@@ -1,0 +1,234 @@
+// Experiment T5: base-layer addressing — the substrate soundness check.
+//
+// Every mark type ultimately bottoms out in one of these addressing
+// operations (paper §4.2: marks "encapsulate the specific addressing scheme
+// of the base-layer information"). Regenerates: A1 codec throughput,
+// XmlPath resolution vs tree depth and fan-out, text-span extraction and
+// search vs document size, HTML id lookup vs page size, and PDF region
+// queries vs page density.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "doc/html/html.h"
+#include "doc/pdf/pdf_document.h"
+#include "doc/spreadsheet/a1.h"
+#include "doc/text/text_document.h"
+#include "doc/xml/dom.h"
+#include "doc/xml/path.h"
+#include "util/rng.h"
+
+namespace slim::doc {
+namespace {
+
+void BM_A1_ParseCell(benchmark::State& state) {
+  const char* inputs[] = {"A1", "Z99", "AA100", "XFD1048576", "B2", "GH77"};
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto ref = ParseCell(inputs[i++ % 6]);
+    benchmark::DoNotOptimize(ref);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_A1_ParseCell);
+
+void BM_A1_FormatRange(benchmark::State& state) {
+  int64_t i = 0;
+  for (auto _ : state) {
+    RangeRef r{{static_cast<int32_t>(i % 1000), static_cast<int32_t>(i % 50)},
+               {static_cast<int32_t>(i % 1000 + 3),
+                static_cast<int32_t>(i % 50 + 2)}};
+    benchmark::DoNotOptimize(FormatRange(r));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_A1_FormatRange);
+
+// XmlPath resolution against trees of varying depth (fixed total size).
+void BM_XmlPath_ResolveAtDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  auto doc = xml::Document::Create("root");
+  xml::Element* cur = doc->root();
+  for (int d = 0; d < depth; ++d) {
+    // Each level: 4 decoy siblings + the spine element.
+    for (int s = 0; s < 4; ++s) cur->AddElement("level");
+    cur = cur->AddElement("level");
+  }
+  xml::XmlPath path = xml::PathOf(cur);
+  std::string path_text = path.ToString();
+  for (auto _ : state) {
+    auto parsed = xml::XmlPath::Parse(path_text);
+    auto elem = parsed->Resolve(doc.get());
+    if (!elem.ok()) state.SkipWithError("resolve failed");
+    benchmark::DoNotOptimize(elem);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XmlPath_ResolveAtDepth)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+// XmlPath resolution against wide trees (fan-out sweep, depth 2).
+void BM_XmlPath_ResolveAtFanout(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  auto doc = xml::Document::Create("root");
+  for (int i = 0; i < fanout; ++i) {
+    doc->root()->AddElement("result")->AddText("v");
+  }
+  std::string path_text = "/root/result[" + std::to_string(fanout) + "]";
+  for (auto _ : state) {
+    auto elem = xml::XmlPath::Parse(path_text)->Resolve(doc.get());
+    if (!elem.ok()) state.SkipWithError("resolve failed");
+    benchmark::DoNotOptimize(elem);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XmlPath_ResolveAtFanout)->Arg(10)->Arg(100)->Arg(1000);
+
+// Robust (attribute-predicate) vs positional resolution at matched fan-out:
+// the price of edit-resilient marks (experiment ROB-1).
+void BM_XmlPath_ResolveOrdinal(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  auto doc = xml::Document::Create("root");
+  for (int i = 0; i < fanout; ++i) {
+    xml::Element* e = doc->root()->AddElement("result");
+    e->SetAttribute("name", "analyte" + std::to_string(i));
+  }
+  std::string text = "/root/result[" + std::to_string(fanout) + "]";
+  for (auto _ : state) {
+    auto elem = xml::XmlPath::Parse(text)->Resolve(doc.get());
+    if (!elem.ok()) state.SkipWithError("resolve failed");
+    benchmark::DoNotOptimize(elem);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XmlPath_ResolveOrdinal)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_XmlPath_ResolveRobust(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  auto doc = xml::Document::Create("root");
+  for (int i = 0; i < fanout; ++i) {
+    xml::Element* e = doc->root()->AddElement("result");
+    e->SetAttribute("name", "analyte" + std::to_string(i));
+  }
+  std::string text =
+      "/root/result[@name='analyte" + std::to_string(fanout - 1) + "']";
+  for (auto _ : state) {
+    auto elem = xml::XmlPath::Parse(text)->Resolve(doc.get());
+    if (!elem.ok()) state.SkipWithError("resolve failed");
+    benchmark::DoNotOptimize(elem);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XmlPath_ResolveRobust)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_XmlPath_PathOf(benchmark::State& state) {
+  auto doc = xml::Document::Create("root");
+  xml::Element* cur = doc->root();
+  for (int d = 0; d < 16; ++d) {
+    for (int s = 0; s < 8; ++s) cur->AddElement("n");
+    cur = cur->AddElement("n");
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xml::PathOf(cur).ToString());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XmlPath_PathOf);
+
+void BM_TextSpan_Extract(benchmark::State& state) {
+  const int paragraphs = static_cast<int>(state.range(0));
+  Rng rng(3);
+  text::TextDocument doc;
+  for (int i = 0; i < paragraphs; ++i) {
+    doc.AddParagraph(rng.Word(9) + " " + rng.Word(7) + " " + rng.Word(11));
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    text::TextSpan span{static_cast<int32_t>(i++ % paragraphs), 2, 9};
+    auto out = doc.ExtractSpan(span);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TextSpan_Extract)->Arg(100)->Arg(10000);
+
+void BM_Text_FindAll(benchmark::State& state) {
+  const int paragraphs = static_cast<int>(state.range(0));
+  Rng rng(3);
+  text::TextDocument doc;
+  for (int i = 0; i < paragraphs; ++i) {
+    std::string para = rng.Word(8);
+    for (int w = 0; w < 20; ++w) para += " " + rng.Word(6);
+    if (i % 7 == 0) para += " needle";
+    doc.AddParagraph(para);
+  }
+  for (auto _ : state) {
+    auto hits = doc.FindAll("needle");
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * doc.TotalChars());
+  state.SetBytesProcessed(state.iterations() * doc.TotalChars());
+}
+BENCHMARK(BM_Text_FindAll)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_Html_FindById(benchmark::State& state) {
+  const int paragraphs = static_cast<int>(state.range(0));
+  Rng rng(4);
+  std::string html = "<body>";
+  for (int i = 0; i < paragraphs; ++i) {
+    html += "<p id=\"p" + std::to_string(i) + "\">" + rng.Word(12) + "</p>";
+  }
+  html += "</body>";
+  auto doc = html::ParseHtml(html);
+  int64_t i = 0;
+  for (auto _ : state) {
+    xml::Element* e =
+        html::FindById(doc.get(), "p" + std::to_string(i++ % paragraphs));
+    benchmark::DoNotOptimize(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Html_FindById)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_Html_Parse(benchmark::State& state) {
+  const int paragraphs = static_cast<int>(state.range(0));
+  Rng rng(4);
+  std::string html = "<html><body>";
+  for (int i = 0; i < paragraphs; ++i) {
+    html += "<p class=\"c\">" + rng.Word(12) + " &amp; " + rng.Word(8) +
+            "</p>";
+  }
+  html += "</body></html>";
+  for (auto _ : state) {
+    auto doc = html::ParseHtml(html);
+    benchmark::DoNotOptimize(doc->ElementCount());
+  }
+  state.SetBytesProcessed(state.iterations() * html.size());
+}
+BENCHMARK(BM_Html_Parse)->Arg(100)->Arg(1000);
+
+void BM_Pdf_RegionQuery(benchmark::State& state) {
+  const int paragraphs = static_cast<int>(state.range(0));
+  Rng rng(5);
+  std::vector<std::string> paras;
+  for (int i = 0; i < paragraphs; ++i) {
+    std::string p;
+    for (int w = 0; w < 15; ++w) p += rng.Word(6) + " ";
+    paras.push_back(p);
+  }
+  auto doc = pdf::PdfDocument::BuildFromParagraphs(paras);
+  pdf::Rect region{72, 300, 400, 100};
+  int64_t page = 0;
+  for (auto _ : state) {
+    auto objs = doc->ObjectsInRegion(
+        static_cast<int32_t>(page++ % doc->page_count()), region);
+    benchmark::DoNotOptimize(objs);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Pdf_RegionQuery)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace slim::doc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,29 @@
+#ifndef SLIM_BENCH_BENCH_COMMON_H_
+#define SLIM_BENCH_BENCH_COMMON_H_
+
+/// \file bench_common.h
+/// \brief Shared helpers for the experiment benches.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/status.h"
+
+namespace slim::bench {
+
+/// Aborts the bench on a non-OK status — setup failures must be loud.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench setup failed (%s): %s\n", what,
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+#define SLIM_BENCH_CHECK(expr) ::slim::bench::CheckOk((expr), #expr)
+
+}  // namespace slim::bench
+
+#endif  // SLIM_BENCH_BENCH_COMMON_H_

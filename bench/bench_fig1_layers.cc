@@ -1,0 +1,182 @@
+// Experiment F1 (paper Fig. 1): one superimposed layer, many heterogeneous
+// base sources.
+//
+// Regenerates: pad construction and resolve-all cost as the number of
+// distinct base-source *types* grows from 1 to 6 with the total scrap count
+// held fixed. The architecture claim under test: the Mark Manager hides
+// heterogeneity, so cost scales with scrap count, not with source-type
+// diversity.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "doc/xml/parser.h"
+#include "mark/mark_manager.h"
+#include "mark/modules.h"
+#include "slimpad/slimpad_app.h"
+#include "util/rng.h"
+
+namespace slim {
+namespace {
+
+constexpr int kScrapsTotal = 120;
+
+class LayersFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State& state) override {
+    if (types_ == state.range(0)) return;
+    types_ = state.range(0);
+    Rng rng(5);
+
+    excel_ = std::make_unique<baseapp::SpreadsheetApp>();
+    xml_ = std::make_unique<baseapp::XmlApp>();
+    text_ = std::make_unique<baseapp::TextApp>();
+    slides_ = std::make_unique<baseapp::SlideApp>();
+    pdf_ = std::make_unique<baseapp::PdfApp>();
+    html_ = std::make_unique<baseapp::HtmlApp>();
+
+    auto wb = std::make_unique<doc::Workbook>("w.book");
+    doc::Worksheet* ws = wb->AddSheet("S").ValueOrDie();
+    for (int r = 0; r < kScrapsTotal; ++r) ws->SetValue({r, 0}, rng.Word(8));
+    SLIM_BENCH_CHECK(excel_->RegisterWorkbook(std::move(wb)));
+
+    auto xdoc = doc::xml::Document::Create("r");
+    for (int i = 0; i < kScrapsTotal; ++i) {
+      xdoc->root()->AddElement("e")->AddText(rng.Word(10));
+    }
+    SLIM_BENCH_CHECK(xml_->RegisterDocument("d.xml", std::move(xdoc)));
+
+    auto note = std::make_unique<doc::text::TextDocument>();
+    for (int i = 0; i < kScrapsTotal; ++i) note->AddParagraph(rng.Word(20));
+    SLIM_BENCH_CHECK(text_->RegisterDocument("n.txt", std::move(note)));
+
+    auto deck = std::make_unique<doc::slides::SlideDeck>("t.deck");
+    for (int s = 0; s < kScrapsTotal / 4; ++s) {
+      auto* slide = deck->GetSlide(deck->AddSlide(rng.Word(6))).ValueOrDie();
+      for (int j = 0; j < 4; ++j) {
+        SLIM_BENCH_CHECK(slide->AddShape(
+            {"sh" + std::to_string(j), doc::slides::ShapeKind::kTextBox,
+             double(j), 0, 50, 20, rng.Word(12), {}}));
+      }
+    }
+    SLIM_BENCH_CHECK(slides_->RegisterDeck(std::move(deck)));
+
+    std::vector<std::string> paras;
+    for (int i = 0; i < kScrapsTotal; ++i) paras.push_back(rng.Word(30));
+    auto pdf_doc = doc::pdf::PdfDocument::BuildFromParagraphs(paras);
+    pdf_doc->set_file_name("g.pdf");
+    pdf_box_ = pdf_doc->pages()[0].objects[0].box;
+    SLIM_BENCH_CHECK(pdf_->RegisterDocument(std::move(pdf_doc)));
+
+    std::string html = "<body>";
+    for (int i = 0; i < kScrapsTotal; ++i) {
+      html += "<p id=\"p" + std::to_string(i) + "\">" + rng.Word(10) + "</p>";
+    }
+    html += "</body>";
+    SLIM_BENCH_CHECK(html_->RegisterPage("u", html));
+
+    modules_.clear();
+    modules_.push_back(std::make_unique<mark::ExcelMarkModule>(excel_.get()));
+    modules_.push_back(std::make_unique<mark::XmlMarkModule>(xml_.get()));
+    modules_.push_back(std::make_unique<mark::TextMarkModule>(text_.get()));
+    modules_.push_back(std::make_unique<mark::SlideMarkModule>(slides_.get()));
+    modules_.push_back(std::make_unique<mark::PdfMarkModule>(pdf_.get()));
+    modules_.push_back(std::make_unique<mark::HtmlMarkModule>(html_.get()));
+  }
+
+  // Makes the i-th selection in the type chosen round-robin over the
+  // first `types_` source types.
+  std::string SelectAndType(int i) {
+    int t = i % static_cast<int>(types_);
+    switch (t) {
+      case 0:
+        SLIM_BENCH_CHECK(excel_->Select(
+            "w.book", "S", doc::RangeRef{{i % kScrapsTotal, 0},
+                                         {i % kScrapsTotal, 0}}));
+        return "excel";
+      case 1:
+        SLIM_BENCH_CHECK(xml_->SelectPath(
+            "d.xml", "/r/e[" + std::to_string(i % kScrapsTotal + 1) + "]"));
+        return "xml";
+      case 2:
+        SLIM_BENCH_CHECK(text_->Select("n.txt", {i % kScrapsTotal, 0, 5}));
+        return "text";
+      case 3:
+        SLIM_BENCH_CHECK(slides_->Select("t.deck",
+                                         (i / 4) % (kScrapsTotal / 4),
+                                         "sh" + std::to_string(i % 4)));
+        return "slides";
+      case 4:
+        SLIM_BENCH_CHECK(pdf_->SelectRegion("g.pdf", 0, pdf_box_));
+        return "pdf";
+      default:
+        SLIM_BENCH_CHECK(html_->NavigateTo(
+            "u", "id:p" + std::to_string(i % kScrapsTotal)));
+        return "html";
+    }
+  }
+
+  int64_t types_ = -1;
+  std::unique_ptr<baseapp::SpreadsheetApp> excel_;
+  std::unique_ptr<baseapp::XmlApp> xml_;
+  std::unique_ptr<baseapp::TextApp> text_;
+  std::unique_ptr<baseapp::SlideApp> slides_;
+  std::unique_ptr<baseapp::PdfApp> pdf_;
+  std::unique_ptr<baseapp::HtmlApp> html_;
+  std::vector<std::unique_ptr<mark::MarkModule>> modules_;
+  doc::pdf::Rect pdf_box_;
+};
+
+BENCHMARK_DEFINE_F(LayersFixture, BuildHeterogeneousPad)
+(benchmark::State& state) {
+  for (auto _ : state) {
+    mark::MarkManager marks;
+    for (auto& m : modules_) SLIM_BENCH_CHECK(marks.RegisterModule(m.get()));
+    pad::SlimPadApp app(&marks);
+    SLIM_BENCH_CHECK(app.NewPad("layers"));
+    std::string root = app.RootBundle().ValueOrDie();
+    for (int i = 0; i < kScrapsTotal; ++i) {
+      std::string type = SelectAndType(i);
+      auto scrap = app.AddScrapFromSelection(root, type, "", {double(i), 0});
+      if (!scrap.ok()) state.SkipWithError(scrap.status().ToString().c_str());
+    }
+    benchmark::DoNotOptimize(marks.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kScrapsTotal);
+  state.counters["source_types"] = static_cast<double>(types_);
+}
+BENCHMARK_REGISTER_F(LayersFixture, BuildHeterogeneousPad)
+    ->DenseRange(1, 6, 1);
+
+BENCHMARK_DEFINE_F(LayersFixture, ResolveAllHeterogeneous)
+(benchmark::State& state) {
+  mark::MarkManager marks;
+  for (auto& m : modules_) SLIM_BENCH_CHECK(marks.RegisterModule(m.get()));
+  pad::SlimPadApp app(&marks);
+  SLIM_BENCH_CHECK(app.NewPad("layers"));
+  std::string root = app.RootBundle().ValueOrDie();
+  std::vector<std::string> scraps;
+  for (int i = 0; i < kScrapsTotal; ++i) {
+    std::string type = SelectAndType(i);
+    scraps.push_back(
+        app.AddScrapFromSelection(root, type, "", {double(i), 0})
+            .ValueOrDie());
+  }
+  for (auto _ : state) {
+    for (const std::string& id : scraps) {
+      auto result = app.OpenScrap(id);
+      if (!result.ok()) {
+        state.SkipWithError(result.status().ToString().c_str());
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kScrapsTotal);
+  state.counters["source_types"] = static_cast<double>(types_);
+}
+BENCHMARK_REGISTER_F(LayersFixture, ResolveAllHeterogeneous)
+    ->DenseRange(1, 6, 1);
+
+}  // namespace
+}  // namespace slim
+
+BENCHMARK_MAIN();

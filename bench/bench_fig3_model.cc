@@ -1,0 +1,166 @@
+// Experiment F3 (paper Fig. 3 / Fig. 10): Bundle-Scrap model operations
+// through the SLIMPad DMI.
+//
+// Regenerates: Create_*/Update_*/Delete_* op latency as the pad grows, the
+// cost of structural edits (nesting with cycle checks) as a function of
+// nesting depth, and cascade deletion of whole bundle subtrees.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "slimpad/slimpad_dmi.h"
+
+namespace slim::pad {
+namespace {
+
+// A pad with `n` scraps in bundles of 16, returning bundle/scrap ids.
+struct BuiltPad {
+  std::vector<std::string> bundles;
+  std::vector<std::string> scraps;
+};
+
+BuiltPad BuildPad(SlimPadDmi* dmi, int64_t scraps) {
+  BuiltPad out;
+  const SlimPad* pad = *dmi->Create_SlimPad("bench");
+  const Bundle* root = *dmi->Create_Bundle("root", {0, 0}, 800, 600);
+  SLIM_BENCH_CHECK(dmi->Update_rootBundle(pad->id(), root->id()));
+  out.bundles.push_back(root->id());
+  for (int64_t i = 0; i < scraps; ++i) {
+    if (i % 16 == 0 && i > 0) {
+      const Bundle* b = *dmi->Create_Bundle("b" + std::to_string(i),
+                                            {double(i), 0}, 200, 150);
+      SLIM_BENCH_CHECK(dmi->AddNestedBundle(root->id(), b->id()));
+      out.bundles.push_back(b->id());
+    }
+    const Scrap* s =
+        *dmi->Create_Scrap("s" + std::to_string(i), {double(i % 640), 10});
+    SLIM_BENCH_CHECK(dmi->AddScrapToBundle(out.bundles.back(), s->id()));
+    out.scraps.push_back(s->id());
+  }
+  return out;
+}
+
+void BM_CreateScrapInGrowingPad(benchmark::State& state) {
+  trim::TripleStore store;
+  SlimPadDmi dmi(&store);
+  BuiltPad pad = BuildPad(&dmi, state.range(0));
+  int64_t i = 0;
+  for (auto _ : state) {
+    const Scrap* s = *dmi.Create_Scrap("new" + std::to_string(i), {0, 0});
+    SLIM_BENCH_CHECK(dmi.AddScrapToBundle(pad.bundles[0], s->id()));
+    state.PauseTiming();
+    SLIM_BENCH_CHECK(dmi.Delete_Scrap(s->id()));  // keep size constant
+    state.ResumeTiming();
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CreateScrapInGrowingPad)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_UpdateScrapPos(benchmark::State& state) {
+  // The most frequent gesture: dragging a scrap (2-D freeform placement).
+  trim::TripleStore store;
+  SlimPadDmi dmi(&store);
+  BuiltPad pad = BuildPad(&dmi, state.range(0));
+  int64_t i = 0;
+  for (auto _ : state) {
+    const std::string& id = pad.scraps[i % pad.scraps.size()];
+    SLIM_BENCH_CHECK(
+        dmi.Update_scrapPos(id, {double(i % 640), double(i % 480)}));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpdateScrapPos)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_RenameBundle(benchmark::State& state) {
+  trim::TripleStore store;
+  SlimPadDmi dmi(&store);
+  BuiltPad pad = BuildPad(&dmi, 1000);
+  int64_t i = 0;
+  for (auto _ : state) {
+    SLIM_BENCH_CHECK(dmi.Update_bundleName(
+        pad.bundles[i % pad.bundles.size()], "name" + std::to_string(i)));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RenameBundle);
+
+void BM_NestBundleAtDepth(benchmark::State& state) {
+  // Cycle detection walks the ancestor chain; cost grows with depth.
+  const int depth = static_cast<int>(state.range(0));
+  trim::TripleStore store;
+  SlimPadDmi dmi(&store);
+  const Bundle* root = *dmi.Create_Bundle("root", {0, 0}, 10, 10);
+  std::string deepest = root->id();
+  for (int d = 0; d < depth; ++d) {
+    const Bundle* b = *dmi.Create_Bundle("d" + std::to_string(d), {0, 0}, 5, 5);
+    SLIM_BENCH_CHECK(dmi.AddNestedBundle(deepest, b->id()));
+    deepest = b->id();
+  }
+  for (auto _ : state) {
+    const Bundle* leaf = *dmi.Create_Bundle("leaf", {0, 0}, 1, 1);
+    SLIM_BENCH_CHECK(dmi.AddNestedBundle(deepest, leaf->id()));
+    state.PauseTiming();
+    SLIM_BENCH_CHECK(dmi.Delete_Bundle(leaf->id()));
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NestBundleAtDepth)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_DeleteBundleCascade(benchmark::State& state) {
+  // Deleting a patient bundle removes its scraps, handles and nested
+  // bundles (Fig. 10 Delete_Bundle).
+  const int64_t scraps = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    trim::TripleStore store;
+    SlimPadDmi dmi(&store);
+    BuiltPad pad = BuildPad(&dmi, scraps);
+    state.ResumeTiming();
+    SLIM_BENCH_CHECK(dmi.Delete_Bundle(pad.bundles[0]));
+    benchmark::DoNotOptimize(store.size());
+  }
+  state.SetItemsProcessed(state.iterations() * scraps);
+}
+BENCHMARK(BM_DeleteBundleCascade)->Arg(100)->Arg(1000);
+
+void BM_AttachMarkHandle(benchmark::State& state) {
+  trim::TripleStore store;
+  SlimPadDmi dmi(&store);
+  BuiltPad pad = BuildPad(&dmi, 1000);
+  int64_t i = 0;
+  for (auto _ : state) {
+    const MarkHandle* h =
+        *dmi.Create_MarkHandle("mark" + std::to_string(i));
+    SLIM_BENCH_CHECK(
+        dmi.SetScrapMark(pad.scraps[i % pad.scraps.size()], h->id()));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AttachMarkHandle);
+
+void BM_Extension_AnnotateAndLink(benchmark::State& state) {
+  trim::TripleStore store;
+  SlimPadDmi dmi(&store);
+  BuiltPad pad = BuildPad(&dmi, 1000);
+  int64_t i = 0;
+  for (auto _ : state) {
+    const std::string& a = pad.scraps[i % pad.scraps.size()];
+    const std::string& b = pad.scraps[(i + 1) % pad.scraps.size()];
+    SLIM_BENCH_CHECK(dmi.AddScrapAnnotation(a, "note " + std::to_string(i)));
+    SLIM_BENCH_CHECK(dmi.LinkScraps(a, b));
+    SLIM_BENCH_CHECK(dmi.UnlinkScraps(a, b));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_Extension_AnnotateAndLink);
+
+}  // namespace
+}  // namespace slim::pad
+
+BENCHMARK_MAIN();

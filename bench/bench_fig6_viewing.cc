@@ -1,0 +1,87 @@
+// Experiment F6 (paper Fig. 6): the three viewing styles.
+//
+// Regenerates: OpenScrap latency under simultaneous, enhanced, and
+// independent viewing. Simultaneous drives the base application only;
+// enhanced drives it AND extracts content; independent extracts only.
+// Expected shape: independent ≈ extract cost, simultaneous ≈ navigate cost,
+// enhanced ≈ both.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "workload/session.h"
+
+namespace slim::workload {
+namespace {
+
+class ViewingFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (session_) return;
+    IcuOptions options;
+    options.patients = 8;
+    options.seed = 42;
+    session_ = std::make_unique<Session>();
+    SLIM_BENCH_CHECK(session_->LoadIcuWorkload(GenerateIcuWorkload(options)));
+    SLIM_BENCH_CHECK(session_->BuildRoundsPad());
+    for (const pad::Scrap* scrap : session_->app().dmi().Scraps()) {
+      if (!scrap->mark_handles().empty()) scraps_.push_back(scrap->id());
+    }
+  }
+
+  void Run(benchmark::State& state, pad::ViewingStyle style) {
+    session_->app().set_viewing_style(style);
+    int64_t i = 0;
+    for (auto _ : state) {
+      auto result = session_->app().OpenScrap(scraps_[i++ % scraps_.size()]);
+      if (!result.ok()) {
+        state.SkipWithError(result.status().ToString().c_str());
+      }
+      benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations());
+  }
+
+  std::unique_ptr<Session> session_;
+  std::vector<std::string> scraps_;
+};
+
+BENCHMARK_DEFINE_F(ViewingFixture, Simultaneous)(benchmark::State& state) {
+  Run(state, pad::ViewingStyle::kSimultaneous);
+}
+BENCHMARK_REGISTER_F(ViewingFixture, Simultaneous);
+
+BENCHMARK_DEFINE_F(ViewingFixture, Enhanced)(benchmark::State& state) {
+  Run(state, pad::ViewingStyle::kEnhanced);
+}
+BENCHMARK_REGISTER_F(ViewingFixture, Enhanced);
+
+BENCHMARK_DEFINE_F(ViewingFixture, Independent)(benchmark::State& state) {
+  Run(state, pad::ViewingStyle::kIndependent);
+}
+BENCHMARK_REGISTER_F(ViewingFixture, Independent);
+
+// The in-place resolver alternative (§5 Monikers contrast): resolving the
+// same marks through the "inplace" resolver registered alongside "context".
+BENCHMARK_DEFINE_F(ViewingFixture, InPlaceResolver)(benchmark::State& state) {
+  std::vector<std::string> mark_ids;
+  for (const std::string& scrap_id : scraps_) {
+    const pad::Scrap* scrap = *session_->app().dmi().GetScrap(scrap_id);
+    const pad::MarkHandle* handle =
+        *session_->app().dmi().GetMarkHandle(scrap->mark_handles()[0]);
+    mark_ids.push_back(handle->mark_id());
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    Status st = session_->marks().ResolveMark(mark_ids[i++ % mark_ids.size()],
+                                              "inplace");
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_REGISTER_F(ViewingFixture, InPlaceResolver);
+
+}  // namespace
+}  // namespace slim::workload
+
+BENCHMARK_MAIN();

@@ -1,0 +1,211 @@
+// Experiment F7/F8 (paper §4.2, Figs. 7-8): mark management.
+//
+// Regenerates: per-mark-type creation (from the base application's current
+// selection) and resolution (driving the base application back to the
+// element), plus how resolution scales with base-document size — the claim
+// under test is that the Mark Manager's narrow interface keeps per-type
+// costs uniform and small.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "doc/xml/parser.h"
+#include "mark/mark_manager.h"
+#include "mark/modules.h"
+#include "util/rng.h"
+
+namespace slim::mark {
+namespace {
+
+// A fixture with one document per base type, sized by state.range(0).
+class MarkBench : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State& state) override {
+    if (size_ == state.range(0)) return;
+    size_ = state.range(0);
+    excel_ = std::make_unique<baseapp::SpreadsheetApp>();
+    xml_ = std::make_unique<baseapp::XmlApp>();
+    text_ = std::make_unique<baseapp::TextApp>();
+    slides_ = std::make_unique<baseapp::SlideApp>();
+    pdf_ = std::make_unique<baseapp::PdfApp>();
+    html_ = std::make_unique<baseapp::HtmlApp>();
+    Rng rng(13);
+
+    // Spreadsheet with `size_` data rows.
+    auto wb = std::make_unique<doc::Workbook>("meds.book");
+    doc::Worksheet* ws = wb->AddSheet("Meds").ValueOrDie();
+    for (int64_t r = 0; r < size_; ++r) {
+      ws->SetValue({static_cast<int32_t>(r), 0}, rng.Word(8));
+      ws->SetValue({static_cast<int32_t>(r), 1}, double(r));
+    }
+    SLIM_BENCH_CHECK(excel_->RegisterWorkbook(std::move(wb)));
+
+    // XML with `size_` result elements.
+    auto doc = doc::xml::Document::Create("labReport");
+    doc::xml::Element* panel = doc->root()->AddElement("panel");
+    for (int64_t i = 0; i < size_; ++i) {
+      doc::xml::Element* result = panel->AddElement("result");
+      result->SetAttribute("name", rng.Word(4));
+      result->AddText(rng.Word(12));
+    }
+    SLIM_BENCH_CHECK(xml_->RegisterDocument("lab.xml", std::move(doc)));
+
+    // Text with `size_` paragraphs.
+    auto note = std::make_unique<doc::text::TextDocument>();
+    for (int64_t i = 0; i < size_; ++i) {
+      note->AddParagraph(rng.Word(7) + " " + rng.Word(9) + " " + rng.Word(5));
+    }
+    SLIM_BENCH_CHECK(text_->RegisterDocument("note.txt", std::move(note)));
+
+    // Slide deck with `size_`/8 slides of 8 shapes.
+    auto deck = std::make_unique<doc::slides::SlideDeck>("talk.deck");
+    for (int64_t s = 0; s < std::max<int64_t>(1, size_ / 8); ++s) {
+      auto* slide = deck->GetSlide(deck->AddSlide(rng.Word(10))).ValueOrDie();
+      for (int j = 0; j < 8; ++j) {
+        SLIM_BENCH_CHECK(slide->AddShape(
+            {"shape" + std::to_string(j), doc::slides::ShapeKind::kTextBox,
+             double(j * 10), 0, 100, 20, rng.Word(16), {}}));
+      }
+    }
+    SLIM_BENCH_CHECK(slides_->RegisterDeck(std::move(deck)));
+
+    // PDF with `size_` paragraphs.
+    std::vector<std::string> paras;
+    for (int64_t i = 0; i < size_; ++i) {
+      paras.push_back(rng.Word(6) + " " + rng.Word(8) + " " + rng.Word(7));
+    }
+    auto pdf_doc = doc::pdf::PdfDocument::BuildFromParagraphs(paras);
+    pdf_doc->set_file_name("doc.pdf");
+    pdf_box_ = pdf_doc->pages()[0].objects[0].box;
+    SLIM_BENCH_CHECK(pdf_->RegisterDocument(std::move(pdf_doc)));
+
+    // HTML with `size_` paragraphs (every 4th has an id).
+    std::string html = "<html><body>";
+    for (int64_t i = 0; i < size_; ++i) {
+      html += "<p";
+      if (i % 4 == 0) html += " id=\"p" + std::to_string(i) + "\"";
+      html += ">" + rng.Word(10) + "</p>";
+    }
+    html += "</body></html>";
+    SLIM_BENCH_CHECK(html_->RegisterPage("http://h/p", html));
+
+    modules_.clear();
+    manager_ = std::make_unique<MarkManager>();
+    modules_.push_back(std::make_unique<ExcelMarkModule>(excel_.get()));
+    modules_.push_back(std::make_unique<XmlMarkModule>(xml_.get()));
+    modules_.push_back(std::make_unique<TextMarkModule>(text_.get()));
+    modules_.push_back(std::make_unique<SlideMarkModule>(slides_.get()));
+    modules_.push_back(std::make_unique<PdfMarkModule>(pdf_.get()));
+    modules_.push_back(std::make_unique<HtmlMarkModule>(html_.get()));
+    for (auto& m : modules_) {
+      SLIM_BENCH_CHECK(manager_->RegisterModule(m.get()));
+    }
+  }
+
+  void SelectFor(const std::string& type, int64_t i) {
+    if (type == "excel") {
+      SLIM_BENCH_CHECK(excel_->Select(
+          "meds.book", "Meds",
+          doc::RangeRef{{static_cast<int32_t>(i % size_), 0},
+                        {static_cast<int32_t>(i % size_), 1}}));
+    } else if (type == "xml") {
+      SLIM_BENCH_CHECK(xml_->SelectPath(
+          "lab.xml",
+          "/labReport/panel/result[" + std::to_string(i % size_ + 1) + "]"));
+    } else if (type == "text") {
+      SLIM_BENCH_CHECK(text_->Select(
+          "note.txt",
+          {static_cast<int32_t>(i % size_), 0, 5}));
+    } else if (type == "slides") {
+      SLIM_BENCH_CHECK(slides_->Select(
+          "talk.deck", static_cast<int32_t>(i % std::max<int64_t>(1, size_ / 8)),
+          "shape" + std::to_string(i % 8)));
+    } else if (type == "pdf") {
+      SLIM_BENCH_CHECK(pdf_->SelectRegion("doc.pdf", 0, pdf_box_));
+    } else if (type == "html") {
+      SLIM_BENCH_CHECK(html_->NavigateTo(
+          "http://h/p", "id:p" + std::to_string((i * 4) % size_)));
+      // NavigateTo re-selects; creation reads the selection.
+    }
+  }
+
+  int64_t size_ = -1;
+  std::unique_ptr<baseapp::SpreadsheetApp> excel_;
+  std::unique_ptr<baseapp::XmlApp> xml_;
+  std::unique_ptr<baseapp::TextApp> text_;
+  std::unique_ptr<baseapp::SlideApp> slides_;
+  std::unique_ptr<baseapp::PdfApp> pdf_;
+  std::unique_ptr<baseapp::HtmlApp> html_;
+  std::vector<std::unique_ptr<MarkModule>> modules_;
+  std::unique_ptr<MarkManager> manager_;
+  doc::pdf::Rect pdf_box_;
+};
+
+void RunCreate(MarkBench* fixture, benchmark::State& state,
+               const std::string& type) {
+  int64_t i = 0;
+  for (auto _ : state) {
+    fixture->SelectFor(type, i++);
+    auto id = fixture->manager_->CreateMarkFromSelection(type);
+    if (!id.ok()) state.SkipWithError(id.status().ToString().c_str());
+    benchmark::DoNotOptimize(id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void RunResolve(MarkBench* fixture, benchmark::State& state,
+                const std::string& type) {
+  // Pre-create a pool of marks to resolve.
+  std::vector<std::string> ids;
+  for (int64_t i = 0; i < 64; ++i) {
+    fixture->SelectFor(type, i);
+    ids.push_back(
+        fixture->manager_->CreateMarkFromSelection(type).ValueOrDie());
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    Status st = fixture->manager_->ResolveMark(ids[i++ % ids.size()]);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+#define MARK_TYPE_BENCH(type_name)                                       \
+  BENCHMARK_DEFINE_F(MarkBench, Create_##type_name)                      \
+  (benchmark::State & state) { RunCreate(this, state, #type_name); }     \
+  BENCHMARK_REGISTER_F(MarkBench, Create_##type_name)                    \
+      ->Arg(64)->Arg(1024);                                              \
+  BENCHMARK_DEFINE_F(MarkBench, Resolve_##type_name)                     \
+  (benchmark::State & state) { RunResolve(this, state, #type_name); }    \
+  BENCHMARK_REGISTER_F(MarkBench, Resolve_##type_name)                   \
+      ->Arg(64)->Arg(1024)
+
+MARK_TYPE_BENCH(excel);
+MARK_TYPE_BENCH(xml);
+MARK_TYPE_BENCH(text);
+MARK_TYPE_BENCH(slides);
+MARK_TYPE_BENCH(pdf);
+MARK_TYPE_BENCH(html);
+
+// Mark persistence: serialize + reload N marks of mixed type.
+BENCHMARK_DEFINE_F(MarkBench, PersistMixedMarks)(benchmark::State& state) {
+  const char* types[] = {"excel", "xml", "text", "slides", "pdf", "html"};
+  for (int64_t i = 0; i < 120; ++i) {
+    SelectFor(types[i % 6], i);
+    (void)manager_->CreateMarkFromSelection(types[i % 6]).ValueOrDie();
+  }
+  for (auto _ : state) {
+    std::string xml_text = manager_->ToXml();
+    MarkManager reloaded;
+    for (auto& m : modules_) SLIM_BENCH_CHECK(reloaded.RegisterModule(m.get()));
+    SLIM_BENCH_CHECK(reloaded.FromXml(xml_text));
+    benchmark::DoNotOptimize(reloaded.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 120);
+}
+BENCHMARK_REGISTER_F(MarkBench, PersistMixedMarks)->Arg(64);
+
+}  // namespace
+}  // namespace slim::mark
+
+BENCHMARK_MAIN();

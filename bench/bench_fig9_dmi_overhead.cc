@@ -1,0 +1,222 @@
+// Experiment F9 (paper §4.4 Fig. 9 and §6): the cost of the generic
+// representation.
+//
+// "The trade-off for this flexibility was space efficiency of the data and
+// the cost of interpreting manipulations on SLIM Store data. However, this
+// tradeoff seems justified, as we expect the volume of superimposed
+// information to be a fraction of the base data."
+//
+// Regenerates the *time* half of that trade-off: the same logical operation
+// performed four ways —
+//   native:   plain C++ structs (no triples at all; the lower bound)
+//   triples:  raw TripleStore writes (the generic representation, no DMI)
+//   dmi:      SLIMPad's hand-written DMI (objects + triples, Fig. 10)
+//   dynamic:  the runtime-generated DMI (schema-validated, §6)
+// The expected shape: native << triples < dmi < dynamic, with the DMI
+// layers costing a small constant factor over raw triples.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "dmi/dynamic_dmi.h"
+#include "slimpad/slimpad_dmi.h"
+
+namespace slim {
+namespace {
+
+// --- native baseline -------------------------------------------------------
+
+struct NativeScrap {
+  std::string id;
+  std::string name;
+  double x, y;
+  std::vector<std::string> marks;
+};
+
+void BM_CreateScrap_Native(benchmark::State& state) {
+  std::vector<NativeScrap> scraps;
+  int64_t i = 0;
+  for (auto _ : state) {
+    NativeScrap s;
+    s.id = "inst:" + std::to_string(i);
+    s.name = "scrap " + std::to_string(i);
+    s.x = double(i % 640);
+    s.y = double(i % 480);
+    scraps.push_back(std::move(s));
+    ++i;
+    if (scraps.size() > 100000) {
+      state.PauseTiming();
+      scraps.clear();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("plain structs (lower bound)");
+}
+BENCHMARK(BM_CreateScrap_Native);
+
+// --- raw triples -------------------------------------------------------------
+
+void BM_CreateScrap_RawTriples(benchmark::State& state) {
+  trim::TripleStore store;
+  int64_t i = 0;
+  for (auto _ : state) {
+    std::string id = "inst:" + std::to_string(i);
+    SLIM_BENCH_CHECK(store.AddResource(id, "slim:type",
+                                       "schema:slimpad/Scrap"));
+    SLIM_BENCH_CHECK(store.AddLiteral(id, "scrapName",
+                                      "scrap " + std::to_string(i)));
+    SLIM_BENCH_CHECK(store.AddLiteral(
+        id, "scrapPos",
+        std::to_string(i % 640) + "," + std::to_string(i % 480)));
+    ++i;
+    if (store.size() > 300000) {
+      state.PauseTiming();
+      store.Clear();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("generic representation, no DMI");
+}
+BENCHMARK(BM_CreateScrap_RawTriples);
+
+// --- SLIMPad's hand-written DMI ---------------------------------------------
+
+void BM_CreateScrap_SlimPadDmi(benchmark::State& state) {
+  trim::TripleStore store;
+  pad::SlimPadDmi dmi(&store);
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto scrap = dmi.Create_Scrap("scrap " + std::to_string(i),
+                                  {double(i % 640), double(i % 480)});
+    if (!scrap.ok()) state.SkipWithError("create failed");
+    benchmark::DoNotOptimize(scrap);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("hand-written DMI (objects + triples)");
+}
+BENCHMARK(BM_CreateScrap_SlimPadDmi);
+
+// --- generated (dynamic) DMI --------------------------------------------------
+
+void BM_CreateScrap_DynamicDmi(benchmark::State& state) {
+  trim::TripleStore store;
+  store::ModelDef model = store::BuildBundleScrapModel();
+  dmi::DynamicDmi dmi(&store, *store::IdentitySchema(model, "slimpad"),
+                      model);
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto scrap = dmi.Create("Scrap");
+    if (!scrap.ok()) state.SkipWithError("create failed");
+    SLIM_BENCH_CHECK(scrap->Set("scrapName", "scrap " + std::to_string(i)));
+    SLIM_BENCH_CHECK(scrap->Set(
+        "scrapPos",
+        std::to_string(i % 640) + "," + std::to_string(i % 480)));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("generated DMI (schema-validated)");
+}
+BENCHMARK(BM_CreateScrap_DynamicDmi);
+
+// --- attribute read path, same four ways --------------------------------------
+
+void BM_ReadName_Native(benchmark::State& state) {
+  std::vector<NativeScrap> scraps(1024);
+  for (size_t i = 0; i < scraps.size(); ++i) {
+    scraps[i].name = "scrap " + std::to_string(i);
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scraps[i++ % scraps.size()].name);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadName_Native);
+
+void BM_ReadName_RawTriples(benchmark::State& state) {
+  trim::TripleStore store;
+  for (int i = 0; i < 1024; ++i) {
+    SLIM_BENCH_CHECK(store.AddLiteral("inst:" + std::to_string(i),
+                                      "scrapName",
+                                      "scrap " + std::to_string(i)));
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto v = store.GetOne("inst:" + std::to_string(i++ % 1024), "scrapName");
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadName_RawTriples);
+
+void BM_ReadName_SlimPadDmi(benchmark::State& state) {
+  trim::TripleStore store;
+  pad::SlimPadDmi dmi(&store);
+  std::vector<std::string> ids;
+  for (int i = 0; i < 1024; ++i) {
+    ids.push_back(
+        (*dmi.Create_Scrap("scrap " + std::to_string(i), {0, 0}))->id());
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto scrap = dmi.GetScrap(ids[i++ % ids.size()]);
+    benchmark::DoNotOptimize((*scrap)->name());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("reads served from native objects");
+}
+BENCHMARK(BM_ReadName_SlimPadDmi);
+
+void BM_ReadName_DynamicDmi(benchmark::State& state) {
+  trim::TripleStore store;
+  store::ModelDef model = store::BuildBundleScrapModel();
+  dmi::DynamicDmi dmi(&store, *store::IdentitySchema(model, "slimpad"),
+                      model);
+  std::vector<dmi::DynamicObject> objs;
+  for (int i = 0; i < 1024; ++i) {
+    dmi::DynamicObject o = *dmi.Create("Scrap");
+    SLIM_BENCH_CHECK(o.Set("scrapName", "scrap " + std::to_string(i)));
+    objs.push_back(o);
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto v = objs[i++ % objs.size()].Get("scrapName");
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("reads interpreted over triples");
+}
+BENCHMARK(BM_ReadName_DynamicDmi);
+
+// --- full pad construction through each write path ----------------------------
+
+void BuildPadViaDmi(pad::SlimPadDmi* dmi, int scraps) {
+  const pad::SlimPad* pad = *dmi->Create_SlimPad("bench");
+  const pad::Bundle* root = *dmi->Create_Bundle("root", {0, 0}, 800, 600);
+  SLIM_BENCH_CHECK(dmi->Update_rootBundle(pad->id(), root->id()));
+  for (int i = 0; i < scraps; ++i) {
+    const pad::Scrap* scrap = *dmi->Create_Scrap("s" + std::to_string(i),
+                                                 {1, 1});
+    SLIM_BENCH_CHECK(dmi->AddScrapToBundle(root->id(), scrap->id()));
+  }
+}
+
+void BM_BuildPad_SlimPadDmi(benchmark::State& state) {
+  const int scraps = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    trim::TripleStore store;
+    pad::SlimPadDmi dmi(&store);
+    BuildPadViaDmi(&dmi, scraps);
+    benchmark::DoNotOptimize(store.size());
+  }
+  state.SetItemsProcessed(state.iterations() * scraps);
+}
+BENCHMARK(BM_BuildPad_SlimPadDmi)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace slim
+
+BENCHMARK_MAIN();

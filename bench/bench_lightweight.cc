@@ -1,0 +1,102 @@
+// Experiment T3 (paper §1 "Keep it lightweight" and §6): the superimposed
+// layer is a thin veneer over a much larger base layer.
+//
+// "In most of the applications we've studied or contemplated, the
+// superimposed information is a thin layer over more extensive information
+// sources in the base layer." / "...we expect the volume of superimposed
+// information to be a fraction of the base data."
+//
+// Regenerates: the superimposed:base size ratio for the ICU scenario as the
+// census grows — base bytes (workbook + XML labs + notes + PDF + HTML)
+// versus superimposed bytes (pad triples + marks XML). The claim holds if
+// the ratio stays well under 1 and shrinks as base documents grow.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "doc/xml/writer.h"
+#include "trim/persistence.h"
+#include "workload/session.h"
+
+namespace slim::workload {
+namespace {
+
+void BM_SuperimposedVsBase(benchmark::State& state) {
+  const int patients = static_cast<int>(state.range(0));
+  IcuOptions options;
+  options.patients = patients;
+  options.seed = 42;
+
+  // Measure the base corpus before it moves into the apps.
+  IcuWorkload workload = GenerateIcuWorkload(options);
+  size_t base_bytes = workload.medication_workbook->Serialize().size();
+  for (const auto& lab : workload.lab_reports) {
+    base_bytes += doc::xml::WriteXml(*lab).size();
+  }
+  for (const auto& note : workload.progress_notes) {
+    base_bytes += note->Serialize().size();
+  }
+  base_bytes += workload.guideline_pdf->Serialize().size();
+  base_bytes += workload.protocol_html.size();
+
+  Session session;
+  SLIM_BENCH_CHECK(session.LoadIcuWorkload(std::move(workload)));
+  SLIM_BENCH_CHECK(session.BuildRoundsPad());
+
+  size_t pad_bytes = trim::StoreToXml(session.app().store()).size();
+  size_t marks_bytes = session.marks().ToXml().size();
+  size_t superimposed_bytes = pad_bytes + marks_bytes;
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trim::StoreToXml(session.app().store()));
+  }
+  state.counters["base_bytes"] = static_cast<double>(base_bytes);
+  state.counters["pad_bytes"] = static_cast<double>(pad_bytes);
+  state.counters["marks_bytes"] = static_cast<double>(marks_bytes);
+  state.counters["superimposed_over_base"] =
+      static_cast<double>(superimposed_bytes) /
+      static_cast<double>(base_bytes);
+}
+BENCHMARK(BM_SuperimposedVsBase)->Arg(2)->Arg(8)->Arg(32);
+
+// Same census, richer base documents (longer notes): the superimposed layer
+// does not grow with base-document size — only with what the user selects.
+void BM_RatioShrinksWithBaseGrowth(benchmark::State& state) {
+  const int note_paragraphs = static_cast<int>(state.range(0));
+  IcuOptions options;
+  options.patients = 8;
+  options.note_paragraphs = note_paragraphs;
+  options.seed = 42;
+
+  IcuWorkload workload = GenerateIcuWorkload(options);
+  size_t base_bytes = workload.medication_workbook->Serialize().size();
+  for (const auto& lab : workload.lab_reports) {
+    base_bytes += doc::xml::WriteXml(*lab).size();
+  }
+  for (const auto& note : workload.progress_notes) {
+    base_bytes += note->Serialize().size();
+  }
+
+  Session session;
+  SLIM_BENCH_CHECK(session.LoadIcuWorkload(std::move(workload)));
+  SLIM_BENCH_CHECK(session.BuildRoundsPad());
+  size_t superimposed_bytes =
+      trim::StoreToXml(session.app().store()).size() +
+      session.marks().ToXml().size();
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.marks().size());
+  }
+  state.counters["base_bytes"] = static_cast<double>(base_bytes);
+  state.counters["superimposed_bytes"] =
+      static_cast<double>(superimposed_bytes);
+  state.counters["superimposed_over_base"] =
+      static_cast<double>(superimposed_bytes) /
+      static_cast<double>(base_bytes);
+}
+BENCHMARK(BM_RatioShrinksWithBaseGrowth)->Arg(6)->Arg(60)->Arg(600);
+
+}  // namespace
+}  // namespace slim::workload
+
+BENCHMARK_MAIN();

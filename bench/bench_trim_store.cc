@@ -1,0 +1,182 @@
+// Experiment T1 (paper §4.4): TRIM — the Triple Manager.
+//
+// "Through TRIM, the DMI can create, remove, persist (through XML files),
+// query, and create simple views over the underlying triples."
+//
+// Regenerates: insert throughput vs store size, selection-query latency by
+// fixed field and selectivity, reachability-view latency vs view size, and
+// XML persistence throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "trim/persistence.h"
+#include "trim/triple_store.h"
+#include "util/rng.h"
+
+namespace slim::trim {
+namespace {
+
+// A synthetic pad-shaped graph: `n` scraps spread over bundles of 16,
+// each scrap with 3 literal attributes and one handle edge.
+void FillPadShaped(TripleStore* store, int64_t scraps, Rng* rng) {
+  int64_t bundles = (scraps + 15) / 16;
+  for (int64_t b = 0; b < bundles; ++b) {
+    std::string bid = "bundle" + std::to_string(b);
+    SLIM_BENCH_CHECK(store->AddLiteral(bid, "bundleName", rng->Word(8)));
+    if (b > 0) {
+      SLIM_BENCH_CHECK(store->AddResource("bundle0", "nestedBundle", bid));
+    }
+  }
+  for (int64_t s = 0; s < scraps; ++s) {
+    std::string sid = "scrap" + std::to_string(s);
+    std::string bid = "bundle" + std::to_string(s / 16);
+    SLIM_BENCH_CHECK(store->AddResource(bid, "bundleContent", sid));
+    SLIM_BENCH_CHECK(store->AddLiteral(sid, "scrapName", rng->Word(10)));
+    SLIM_BENCH_CHECK(store->AddLiteral(
+        sid, "scrapPos", std::to_string(s % 640) + "," +
+                             std::to_string(s % 480)));
+    std::string hid = "handle" + std::to_string(s);
+    SLIM_BENCH_CHECK(store->AddResource(sid, "scrapMark", hid));
+    SLIM_BENCH_CHECK(
+        store->AddLiteral(hid, "markId", "mark" + std::to_string(s)));
+  }
+}
+
+void BM_Insert(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    TripleStore store;
+    Rng rng(7);
+    state.ResumeTiming();
+    FillPadShaped(&store, n, &rng);
+    benchmark::DoNotOptimize(store.size());
+  }
+  // ~6 triples per scrap (attributes + containment + handle).
+  state.SetItemsProcessed(state.iterations() * n * 6);
+}
+BENCHMARK(BM_Insert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+class StoreFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State& state) override {
+    if (store_.size() != 0 &&
+        scraps_ == state.range(0)) {
+      return;  // reuse across repetitions of the same size
+    }
+    store_.Clear();
+    scraps_ = state.range(0);
+    Rng rng(7);
+    FillPadShaped(&store_, scraps_, &rng);
+  }
+  void TearDown(const benchmark::State&) override {}
+
+  TripleStore store_;
+  int64_t scraps_ = -1;
+};
+
+BENCHMARK_DEFINE_F(StoreFixture, SelectBySubject)(benchmark::State& state) {
+  int64_t i = 0;
+  for (auto _ : state) {
+    std::string subject = "scrap" + std::to_string(i++ % scraps_);
+    auto result = store_.Select(TriplePattern::BySubject(subject));
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_REGISTER_F(StoreFixture, SelectBySubject)
+    ->Arg(1000)->Arg(10000)->Arg(100000);
+
+BENCHMARK_DEFINE_F(StoreFixture, SelectByPropertyHighSelectivity)
+(benchmark::State& state) {
+  // "bundleName" matches one triple per bundle — ~ n/16 results.
+  for (auto _ : state) {
+    auto result = store_.Select(TriplePattern::ByProperty("bundleName"));
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * (scraps_ / 16));
+}
+BENCHMARK_REGISTER_F(StoreFixture, SelectByPropertyHighSelectivity)
+    ->Arg(1000)->Arg(10000)->Arg(100000);
+
+BENCHMARK_DEFINE_F(StoreFixture, GetOnePointRead)(benchmark::State& state) {
+  int64_t i = 0;
+  for (auto _ : state) {
+    std::string subject = "scrap" + std::to_string(i++ % scraps_);
+    auto result = store_.GetOne(subject, "scrapName");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_REGISTER_F(StoreFixture, GetOnePointRead)
+    ->Arg(1000)->Arg(10000)->Arg(100000);
+
+BENCHMARK_DEFINE_F(StoreFixture, ViewFromRoot)(benchmark::State& state) {
+  // The paper's view operation: everything reachable from bundle0 — the
+  // whole pad.
+  for (auto _ : state) {
+    auto view = store_.ViewFrom("bundle0");
+    benchmark::DoNotOptimize(view);
+    state.counters["view_triples"] =
+        static_cast<double>(view.size());
+  }
+  state.SetItemsProcessed(state.iterations() * store_.size());
+}
+BENCHMARK_REGISTER_F(StoreFixture, ViewFromRoot)
+    ->Arg(1000)->Arg(10000)->Arg(100000);
+
+BENCHMARK_DEFINE_F(StoreFixture, ViewFromLeafBundle)(benchmark::State& state) {
+  // A small view: one bundle's 16 scraps.
+  std::string leaf = "bundle" + std::to_string(scraps_ / 16 - 1);
+  for (auto _ : state) {
+    auto view = store_.ViewFrom(leaf);
+    benchmark::DoNotOptimize(view);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_REGISTER_F(StoreFixture, ViewFromLeafBundle)
+    ->Arg(1000)->Arg(10000)->Arg(100000);
+
+BENCHMARK_DEFINE_F(StoreFixture, PersistToXml)(benchmark::State& state) {
+  for (auto _ : state) {
+    std::string xml = StoreToXml(store_);
+    benchmark::DoNotOptimize(xml);
+    state.counters["xml_bytes"] = static_cast<double>(xml.size());
+  }
+  state.SetItemsProcessed(state.iterations() * store_.size());
+}
+BENCHMARK_REGISTER_F(StoreFixture, PersistToXml)
+    ->Arg(1000)->Arg(10000)->Arg(100000);
+
+BENCHMARK_DEFINE_F(StoreFixture, LoadFromXml)(benchmark::State& state) {
+  std::string xml = StoreToXml(store_);
+  for (auto _ : state) {
+    TripleStore loaded;
+    SLIM_BENCH_CHECK(StoreFromXml(xml, &loaded));
+    benchmark::DoNotOptimize(loaded.size());
+  }
+  state.SetItemsProcessed(state.iterations() * store_.size());
+}
+BENCHMARK_REGISTER_F(StoreFixture, LoadFromXml)
+    ->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RemoveAdd(benchmark::State& state) {
+  TripleStore store;
+  Rng rng(7);
+  FillPadShaped(&store, 10000, &rng);
+  int64_t i = 0;
+  for (auto _ : state) {
+    std::string sid = "scrap" + std::to_string(i++ % 10000);
+    Triple t{sid, "scrapName", *store.GetOne(sid, "scrapName")};
+    SLIM_BENCH_CHECK(store.Remove(t));
+    SLIM_BENCH_CHECK(store.Add(t));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_RemoveAdd);
+
+}  // namespace
+}  // namespace slim::trim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+// Schema-later: the "information-first" flavor of §3 and the flexible
+// model/schema/instance layering of §4.3.
+//
+// A clinician starts jotting structured facts with NO schema — instances
+// with free type names go straight into the triple store. Later, a schema
+// is *induced* from the accumulated data, conformance is checked, the
+// schema is persisted as triples alongside the data, and finally the whole
+// data set is mapped onto a second schema (the §4.3 schema-to-schema
+// mapping), all through the same generic representation.
+
+#include <iostream>
+
+#include "dmi/dynamic_dmi.h"
+#include "slim/conformance.h"
+#include "slim/instance.h"
+#include "slim/mapping.h"
+#include "trim/persistence.h"
+
+using namespace slim;
+
+#define CHECK_OK(expr)                                \
+  do {                                                \
+    ::slim::Status _st = (expr);                      \
+    if (!_st.ok()) {                                  \
+      std::cerr << "FATAL: " << _st << std::endl;     \
+      return 1;                                       \
+    }                                                 \
+  } while (false)
+
+int main() {
+  trim::TripleStore store;
+  store::InstanceGraph graph(&store);
+
+  // --- Phase 1: information first, no schema ----------------------------
+  std::cout << "Phase 1: jotting facts with no schema..." << std::endl;
+  auto john = graph.Create("Patient").ValueOrDie();
+  CHECK_OK(graph.SetValue(john, "name", "John Smith"));
+  CHECK_OK(graph.SetValue(john, "room", "ICU-4"));
+  auto mary = graph.Create("Patient").ValueOrDie();
+  CHECK_OK(graph.SetValue(mary, "name", "Mary Chen"));
+  CHECK_OK(graph.SetValue(mary, "room", "ICU-7"));
+  CHECK_OK(graph.AddValue(mary, "allergy", "penicillin"));
+  CHECK_OK(graph.AddValue(mary, "allergy", "latex"));
+  auto heparin = graph.Create("Order").ValueOrDie();
+  CHECK_OK(graph.SetValue(heparin, "drug", "heparin"));
+  auto insulin = graph.Create("Order").ValueOrDie();
+  CHECK_OK(graph.SetValue(insulin, "drug", "insulin"));
+  CHECK_OK(graph.Connect(john, "hasOrder", heparin));
+  CHECK_OK(graph.Connect(mary, "hasOrder", insulin));
+  std::cout << "  " << store.size() << " triples, no schema anywhere."
+            << std::endl;
+
+  // --- Phase 2: induce a schema from the data ---------------------------
+  std::cout << "\nPhase 2: inducing a schema..." << std::endl;
+  store::SchemaDef schema = store::InduceSchema(store, "jottings")
+                                .ValueOrDie();
+  for (const auto& [element, construct] : schema.elements()) {
+    std::cout << "  element " << element << " : " << construct << std::endl;
+    for (const auto* c : schema.ConnectorsFor(element)) {
+      std::cout << "    " << c->name << " -> " << c->range << " ["
+                << c->min_card << ".."
+                << (c->max_card == store::kMany
+                        ? std::string("*")
+                        : std::to_string(c->max_card))
+                << "]" << std::endl;
+    }
+  }
+
+  store::ModelDef generic = store::BuildGenericModel();
+  auto report = store::CheckConformance(store, schema, generic);
+  std::cout << "  conformance: " << report.ToString() << std::endl;
+
+  // Persist model + schema next to the data: the store is self-describing.
+  CHECK_OK(generic.ToTriples(&store));
+  CHECK_OK(schema.ToTriples(&store));
+  std::cout << "  store now self-describing: " << store.size() << " triples."
+            << std::endl;
+
+  // --- Phase 3: the induced schema now *guards* new data ----------------
+  std::cout << "\nPhase 3: new data checked against the induced schema..."
+            << std::endl;
+  auto bo = graph.Create("Patient").ValueOrDie();
+  CHECK_OK(graph.SetValue(bo, "name", "Bo Larsen"));
+  CHECK_OK(graph.SetValue(bo, "nickname", "Bo"));  // never seen before
+  report = store::CheckConformance(store, schema, generic);
+  for (const auto& v : report.violations) {
+    std::cout << "  violation [" << store::ViolationKindName(v.kind) << "] "
+              << v.instance << " ." << v.property << ": " << v.message
+              << std::endl;
+  }
+
+  // A generated DMI over the induced schema refuses the same mistake
+  // up front (schema-first mode for the rest of the team).
+  dmi::DynamicDmi typed(&store, schema, generic);
+  auto patient = typed.Create("Patient").ValueOrDie();
+  CHECK_OK(patient.Set("name", "Ingrid Weber"));
+  Status rejected = patient.Set("nickname", "Inge");
+  std::cout << "  generated DMI rejects undeclared attribute: " << rejected
+            << std::endl;
+
+  // --- Phase 4: schema-to-schema mapping --------------------------------
+  std::cout << "\nPhase 4: mapping onto the ward-census schema..."
+            << std::endl;
+  store::Mapping mapping("jottings-to-census");
+  CHECK_OK(mapping.AddRule({"Patient", "schema:census/Person",
+                            {{"name", "fullName"},
+                             {"room", "bed"},
+                             {"hasOrder", "prescription"}},
+                            false}));
+  CHECK_OK(mapping.AddRule({"Order", "schema:census/Rx",
+                            {{"drug", "medication"}},
+                            false}));
+  trim::TripleStore census;
+  auto stats = mapping.Apply(store, &census);
+  CHECK_OK(stats.status());
+  std::cout << "  mapped " << stats->instances_mapped << " instances, wrote "
+            << stats->triples_written << " triples." << std::endl;
+
+  store::InstanceGraph census_graph(&census);
+  for (const std::string& id :
+       census_graph.InstancesOf("schema:census/Person")) {
+    std::cout << "  Person " << id << ": fullName=\""
+              << census_graph.GetValue(id, "fullName").ValueOr("?")
+              << "\" bed=\"" << census_graph.GetValue(id, "bed").ValueOr("?")
+              << "\"" << std::endl;
+  }
+
+  std::cout << "\nschema_later complete." << std::endl;
+  return 0;
+}

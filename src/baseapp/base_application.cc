@@ -1,0 +1,33 @@
+#include "baseapp/base_application.h"
+
+namespace slim::baseapp {
+
+Status AppRegistry::Register(BaseApplication* app) {
+  if (app == nullptr) return Status::InvalidArgument("null application");
+  std::string type(app->app_type());
+  for (const auto& [t, _] : apps_) {
+    if (t == type) {
+      return Status::AlreadyExists("application type '" + type +
+                                   "' already registered");
+    }
+  }
+  apps_.emplace_back(std::move(type), app);
+  return Status::OK();
+}
+
+Result<BaseApplication*> AppRegistry::Find(std::string_view app_type) const {
+  for (const auto& [t, app] : apps_) {
+    if (t == app_type) return app;
+  }
+  return Status::NotFound("no application registered for type '" +
+                          std::string(app_type) + "'");
+}
+
+std::vector<std::string> AppRegistry::Types() const {
+  std::vector<std::string> out;
+  out.reserve(apps_.size());
+  for (const auto& [t, _] : apps_) out.push_back(t);
+  return out;
+}
+
+}  // namespace slim::baseapp

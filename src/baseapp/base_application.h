@@ -1,0 +1,119 @@
+#ifndef SLIM_BASEAPP_BASE_APPLICATION_H_
+#define SLIM_BASEAPP_BASE_APPLICATION_H_
+
+/// \file base_application.h
+/// \brief The base-layer application interface (paper §1, §4.1).
+///
+/// The paper deliberately assumes almost nothing about base applications:
+/// "we assume only that a base source can supply the address of a currently
+/// selected information element, and that it can return to that element
+/// given the address." This interface is that contract, plus the §6
+/// extension behaviors ("extract content", "display in place") that mark
+/// modules may use.
+///
+/// Each concrete application manages its own open documents (simulating the
+/// native application holding files open) and exposes a *current selection*
+/// that a mark module can read when the user asks to create a mark.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace slim::baseapp {
+
+/// \brief The user's current selection inside a base application.
+///
+/// `address` is in the application's native addressing scheme (an A1 range,
+/// an XmlPath, a text span, ...) — exactly what gets captured into a mark.
+struct Selection {
+  std::string file_name;  ///< Document the selection lives in.
+  std::string address;    ///< App-native address of the selected element.
+  std::string content;    ///< Excerpt text of the selected element.
+};
+
+/// \brief Record of the most recent navigation a resolver drove, so callers
+/// (and tests) can observe "the document is displayed with the element
+/// highlighted" (paper §3).
+struct NavigationState {
+  std::string file_name;
+  std::string address;
+  std::string highlighted_content;
+};
+
+/// \brief Abstract base application.
+class BaseApplication {
+ public:
+  virtual ~BaseApplication() = default;
+
+  /// Application type tag; matches the mark type it serves ("excel",
+  /// "xml", "text", "slides", "pdf", "html").
+  virtual std::string_view app_type() const = 0;
+
+  /// Ensures the named document is open, loading it from disk if needed.
+  virtual Status OpenDocument(const std::string& file_name) = 0;
+
+  /// True iff the document is currently open.
+  virtual bool IsOpen(const std::string& file_name) const = 0;
+
+  /// Closes the document; NotFound if it is not open.
+  virtual Status CloseDocument(const std::string& file_name) = 0;
+
+  /// Names of currently open documents.
+  virtual std::vector<std::string> OpenDocuments() const = 0;
+
+  /// The current selection; FailedPrecondition when nothing is selected.
+  virtual Result<Selection> CurrentSelection() const = 0;
+
+  /// Drives the application to the addressed element: opens the document,
+  /// navigates, and highlights. On success the navigation state reflects
+  /// the element.
+  virtual Status NavigateTo(const std::string& file_name,
+                            const std::string& address) = 0;
+
+  /// §6 extension: returns the element's content without changing the
+  /// visible navigation state (used for "display in place" viewers).
+  virtual Result<std::string> ExtractContent(const std::string& file_name,
+                                             const std::string& address) = 0;
+
+  /// The last successful NavigateTo, if any.
+  const std::optional<NavigationState>& last_navigation() const {
+    return last_navigation_;
+  }
+  /// Clears the navigation record (e.g. when the user closes the window).
+  void ClearNavigation() { last_navigation_ = std::nullopt; }
+
+ protected:
+  void RecordNavigation(NavigationState state) {
+    last_navigation_ = std::move(state);
+  }
+
+  std::optional<NavigationState> last_navigation_;
+};
+
+/// \brief Routes app-type tags to application instances (the fan-out in
+/// paper Fig. 7: Mark Manager -> {Excel module, PDF module, HTML module}).
+class AppRegistry {
+ public:
+  /// Registers an application for its app_type(); AlreadyExists on
+  /// duplicates. The registry does not take ownership.
+  Status Register(BaseApplication* app);
+
+  /// Looks up the application serving `app_type`.
+  Result<BaseApplication*> Find(std::string_view app_type) const;
+
+  /// All registered type tags, in registration order.
+  std::vector<std::string> Types() const;
+
+  size_t size() const { return apps_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, BaseApplication*>> apps_;
+};
+
+}  // namespace slim::baseapp
+
+#endif  // SLIM_BASEAPP_BASE_APPLICATION_H_

@@ -1,0 +1,138 @@
+#include "baseapp/html_app.h"
+
+#include "doc/xml/path.h"
+#include "util/strings.h"
+
+namespace slim::baseapp {
+
+namespace xml = slim::doc::xml;
+namespace html = slim::doc::html;
+
+Status HtmlApp::RegisterPage(const std::string& url,
+                             std::string_view html_source) {
+  if (url.empty()) return Status::InvalidArgument("empty URL");
+  if (open_.count(url)) {
+    return Status::AlreadyExists("page '" + url + "' already loaded");
+  }
+  open_[url] = html::ParseHtml(html_source);
+  return Status::OK();
+}
+
+Status HtmlApp::OpenDocument(const std::string& url) {
+  if (open_.count(url)) return Status::OK();
+  SLIM_ASSIGN_OR_RETURN(std::unique_ptr<xml::Document> doc,
+                        html::ParseHtmlFile(url));
+  open_[url] = std::move(doc);
+  return Status::OK();
+}
+
+bool HtmlApp::IsOpen(const std::string& url) const {
+  return open_.count(url) > 0;
+}
+
+Status HtmlApp::CloseDocument(const std::string& url) {
+  auto it = open_.find(url);
+  if (it == open_.end()) {
+    return Status::NotFound("page '" + url + "' is not loaded");
+  }
+  if (selection_ && selection_->file_name == url) selection_.reset();
+  open_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> HtmlApp::OpenDocuments() const {
+  std::vector<std::string> out;
+  out.reserve(open_.size());
+  for (const auto& [name, _] : open_) out.push_back(name);
+  return out;
+}
+
+std::string HtmlApp::AddressOf(const xml::Element* element) {
+  const std::string* id = element->FindAttribute("id");
+  if (id != nullptr && !id->empty()) return "id:" + *id;
+  if (element->name() == "a") {
+    const std::string* name = element->FindAttribute("name");
+    if (name != nullptr && !name->empty()) return "anchor:" + *name;
+  }
+  return "path:" + xml::PathOf(element).ToString();
+}
+
+Result<xml::Element*> HtmlApp::ResolveAddress(const std::string& url,
+                                              const std::string& address) {
+  SLIM_ASSIGN_OR_RETURN(xml::Document * page, GetPage(url));
+  if (StartsWith(address, "id:")) {
+    xml::Element* e = html::FindById(page, address.substr(3));
+    if (e == nullptr) {
+      return Status::NotFound("no element with id '" + address.substr(3) +
+                              "' in '" + url + "'");
+    }
+    return e;
+  }
+  if (StartsWith(address, "anchor:")) {
+    xml::Element* e = html::FindAnchor(page, address.substr(7));
+    if (e == nullptr) {
+      return Status::NotFound("no anchor '" + address.substr(7) + "' in '" +
+                              url + "'");
+    }
+    return e;
+  }
+  if (StartsWith(address, "path:")) {
+    SLIM_ASSIGN_OR_RETURN(xml::XmlPath path,
+                          xml::XmlPath::Parse(address.substr(5)));
+    return path.Resolve(page);
+  }
+  return Status::ParseError(
+      "html address must start with 'id:', 'anchor:' or 'path:': '" +
+      address + "'");
+}
+
+Status HtmlApp::SelectElement(const std::string& url,
+                              const xml::Element* element) {
+  if (element == nullptr) return Status::InvalidArgument("null element");
+  if (!open_.count(url)) {
+    return Status::NotFound("page '" + url + "' is not loaded");
+  }
+  Selection sel;
+  sel.file_name = url;
+  sel.address = AddressOf(element);
+  sel.content = html::VisibleText(element);
+  selection_ = std::move(sel);
+  return Status::OK();
+}
+
+Result<Selection> HtmlApp::CurrentSelection() const {
+  if (!selection_) {
+    return Status::FailedPrecondition("no current selection in browser");
+  }
+  return *selection_;
+}
+
+Status HtmlApp::NavigateTo(const std::string& url,
+                           const std::string& address) {
+  SLIM_RETURN_NOT_OK(OpenDocument(url));
+  SLIM_ASSIGN_OR_RETURN(xml::Element * elem, ResolveAddress(url, address));
+  Selection sel;
+  sel.file_name = url;
+  sel.address = address;
+  sel.content = html::VisibleText(elem);
+  selection_ = sel;
+  RecordNavigation({url, address, sel.content});
+  return Status::OK();
+}
+
+Result<std::string> HtmlApp::ExtractContent(const std::string& url,
+                                            const std::string& address) {
+  SLIM_RETURN_NOT_OK(OpenDocument(url));
+  SLIM_ASSIGN_OR_RETURN(xml::Element * elem, ResolveAddress(url, address));
+  return html::VisibleText(elem);
+}
+
+Result<xml::Document*> HtmlApp::GetPage(const std::string& url) {
+  auto it = open_.find(url);
+  if (it == open_.end()) {
+    return Status::NotFound("page '" + url + "' is not loaded");
+  }
+  return it->second.get();
+}
+
+}  // namespace slim::baseapp

@@ -1,0 +1,62 @@
+#ifndef SLIM_BASEAPP_HTML_APP_H_
+#define SLIM_BASEAPP_HTML_APP_H_
+
+/// \file html_app.h
+/// \brief The web-browser base application ("Internet Explorer").
+///
+/// Native address syntax, in order of robustness:
+///   "id:<value>"     — element with that id attribute
+///   "anchor:<name>"  — <a name=...> / <a id=...>
+///   "path:<XmlPath>" — structural path, e.g. "path:/html/body/p[3]"
+/// Pages are addressed by URL; local files act as URLs here.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baseapp/base_application.h"
+#include "doc/html/html.h"
+
+namespace slim::baseapp {
+
+/// \brief In-memory web browser with a page cache.
+class HtmlApp : public BaseApplication {
+ public:
+  std::string_view app_type() const override { return "html"; }
+
+  /// Installs a page under a URL from HTML source text.
+  Status RegisterPage(const std::string& url, std::string_view html_source);
+
+  Status OpenDocument(const std::string& url) override;
+  bool IsOpen(const std::string& url) const override;
+  Status CloseDocument(const std::string& url) override;
+  std::vector<std::string> OpenDocuments() const override;
+
+  /// Simulates the user selecting an element in the page.
+  Status SelectElement(const std::string& url,
+                       const doc::xml::Element* element);
+
+  Result<Selection> CurrentSelection() const override;
+  Status NavigateTo(const std::string& url,
+                    const std::string& address) override;
+  Result<std::string> ExtractContent(const std::string& url,
+                                     const std::string& address) override;
+
+  /// Direct access to a loaded page's DOM.
+  Result<doc::xml::Document*> GetPage(const std::string& url);
+
+  /// Best available address for an element: id if it has one, enclosing
+  /// anchor, otherwise its structural path.
+  static std::string AddressOf(const doc::xml::Element* element);
+
+ private:
+  Result<doc::xml::Element*> ResolveAddress(const std::string& url,
+                                            const std::string& address);
+
+  std::map<std::string, std::unique_ptr<doc::xml::Document>> open_;
+  std::optional<Selection> selection_;
+};
+
+}  // namespace slim::baseapp
+
+#endif  // SLIM_BASEAPP_HTML_APP_H_

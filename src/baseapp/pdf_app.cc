@@ -1,0 +1,123 @@
+#include "baseapp/pdf_app.h"
+
+#include "util/strings.h"
+
+namespace slim::baseapp {
+
+namespace pdf = slim::doc::pdf;
+
+Status PdfApp::RegisterDocument(std::unique_ptr<pdf::PdfDocument> document) {
+  if (document == nullptr) return Status::InvalidArgument("null document");
+  const std::string& name = document->file_name();
+  if (name.empty()) {
+    return Status::InvalidArgument("document has no file name");
+  }
+  if (open_.count(name)) {
+    return Status::AlreadyExists("document '" + name + "' already open");
+  }
+  open_[name] = std::move(document);
+  return Status::OK();
+}
+
+Status PdfApp::OpenDocument(const std::string& file_name) {
+  if (open_.count(file_name)) return Status::OK();
+  SLIM_ASSIGN_OR_RETURN(std::unique_ptr<pdf::PdfDocument> doc,
+                        pdf::PdfDocument::LoadFromFile(file_name));
+  doc->set_file_name(file_name);
+  open_[file_name] = std::move(doc);
+  return Status::OK();
+}
+
+bool PdfApp::IsOpen(const std::string& file_name) const {
+  return open_.count(file_name) > 0;
+}
+
+Status PdfApp::CloseDocument(const std::string& file_name) {
+  auto it = open_.find(file_name);
+  if (it == open_.end()) {
+    return Status::NotFound("document '" + file_name + "' is not open");
+  }
+  if (selection_ && selection_->file_name == file_name) selection_.reset();
+  open_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> PdfApp::OpenDocuments() const {
+  std::vector<std::string> out;
+  out.reserve(open_.size());
+  for (const auto& [name, _] : open_) out.push_back(name);
+  return out;
+}
+
+std::string PdfApp::FormatAddress(int32_t page, const pdf::Rect& region) {
+  return "page/" + std::to_string(page) + "/rect/" + region.ToString();
+}
+
+Result<std::pair<int32_t, pdf::Rect>> PdfApp::ParseAddress(
+    const std::string& address) {
+  std::vector<std::string> parts = Split(address, '/');
+  if (parts.size() != 4 || parts[0] != "page" || parts[2] != "rect") {
+    return Status::ParseError(
+        "pdf address must be 'page/<n>/rect/<x,y,w,h>': '" + address + "'");
+  }
+  long long page = 0;
+  if (!ParseInt(parts[1], &page) || page < 0) {
+    return Status::ParseError("bad page index in '" + address + "'");
+  }
+  SLIM_ASSIGN_OR_RETURN(pdf::Rect rect, pdf::Rect::Parse(parts[3]));
+  return std::make_pair(static_cast<int32_t>(page), rect);
+}
+
+Status PdfApp::SelectRegion(const std::string& file_name, int32_t page,
+                            const pdf::Rect& region) {
+  SLIM_ASSIGN_OR_RETURN(pdf::PdfDocument * doc, GetDocument(file_name));
+  SLIM_ASSIGN_OR_RETURN(std::string content,
+                        doc->ExtractRegionText(page, region));
+  Selection sel;
+  sel.file_name = file_name;
+  sel.address = FormatAddress(page, region);
+  sel.content = std::move(content);
+  selection_ = std::move(sel);
+  return Status::OK();
+}
+
+Result<Selection> PdfApp::CurrentSelection() const {
+  if (!selection_) {
+    return Status::FailedPrecondition("no current selection in PDF viewer");
+  }
+  return *selection_;
+}
+
+Status PdfApp::NavigateTo(const std::string& file_name,
+                          const std::string& address) {
+  SLIM_RETURN_NOT_OK(OpenDocument(file_name));
+  SLIM_ASSIGN_OR_RETURN(pdf::PdfDocument * doc, GetDocument(file_name));
+  SLIM_ASSIGN_OR_RETURN(auto parsed, ParseAddress(address));
+  SLIM_ASSIGN_OR_RETURN(std::string content,
+                        doc->ExtractRegionText(parsed.first, parsed.second));
+  Selection sel;
+  sel.file_name = file_name;
+  sel.address = address;
+  sel.content = content;
+  selection_ = sel;
+  RecordNavigation({file_name, address, content});
+  return Status::OK();
+}
+
+Result<std::string> PdfApp::ExtractContent(const std::string& file_name,
+                                           const std::string& address) {
+  SLIM_RETURN_NOT_OK(OpenDocument(file_name));
+  SLIM_ASSIGN_OR_RETURN(pdf::PdfDocument * doc, GetDocument(file_name));
+  SLIM_ASSIGN_OR_RETURN(auto parsed, ParseAddress(address));
+  return doc->ExtractRegionText(parsed.first, parsed.second);
+}
+
+Result<pdf::PdfDocument*> PdfApp::GetDocument(const std::string& file_name) {
+  auto it = open_.find(file_name);
+  if (it == open_.end()) {
+    return Status::NotFound("document '" + file_name + "' is not open");
+  }
+  return it->second.get();
+}
+
+}  // namespace slim::baseapp

@@ -1,0 +1,58 @@
+#ifndef SLIM_BASEAPP_PDF_APP_H_
+#define SLIM_BASEAPP_PDF_APP_H_
+
+/// \file pdf_app.h
+/// \brief The PDF-viewer base application ("Adobe Acrobat").
+///
+/// Native address syntax: "page/<n>/rect/<x,y,w,h>" — a page plus a region
+/// rectangle. Resolution returns the text objects intersecting the region.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baseapp/base_application.h"
+#include "doc/pdf/pdf_document.h"
+
+namespace slim::baseapp {
+
+/// \brief In-memory PDF viewer.
+class PdfApp : public BaseApplication {
+ public:
+  std::string_view app_type() const override { return "pdf"; }
+
+  /// Installs an in-memory document under its file name. Takes ownership.
+  Status RegisterDocument(std::unique_ptr<doc::pdf::PdfDocument> document);
+
+  Status OpenDocument(const std::string& file_name) override;
+  bool IsOpen(const std::string& file_name) const override;
+  Status CloseDocument(const std::string& file_name) override;
+  std::vector<std::string> OpenDocuments() const override;
+
+  /// Simulates the user rubber-banding a region on a page.
+  Status SelectRegion(const std::string& file_name, int32_t page,
+                      const doc::pdf::Rect& region);
+
+  Result<Selection> CurrentSelection() const override;
+  Status NavigateTo(const std::string& file_name,
+                    const std::string& address) override;
+  Result<std::string> ExtractContent(const std::string& file_name,
+                                     const std::string& address) override;
+
+  /// Direct access to an open document.
+  Result<doc::pdf::PdfDocument*> GetDocument(const std::string& file_name);
+
+  /// Splits "page/<n>/rect/<x,y,w,h>".
+  static Result<std::pair<int32_t, doc::pdf::Rect>> ParseAddress(
+      const std::string& address);
+  /// Formats an address.
+  static std::string FormatAddress(int32_t page, const doc::pdf::Rect& region);
+
+ private:
+  std::map<std::string, std::unique_ptr<doc::pdf::PdfDocument>> open_;
+  std::optional<Selection> selection_;
+};
+
+}  // namespace slim::baseapp
+
+#endif  // SLIM_BASEAPP_PDF_APP_H_

@@ -1,0 +1,148 @@
+#include "baseapp/slide_app.h"
+
+#include "util/strings.h"
+
+namespace slim::baseapp {
+
+namespace slides = slim::doc::slides;
+
+Status SlideApp::RegisterDeck(std::unique_ptr<slides::SlideDeck> deck) {
+  if (deck == nullptr) return Status::InvalidArgument("null deck");
+  const std::string& name = deck->file_name();
+  if (name.empty()) return Status::InvalidArgument("deck has no file name");
+  if (open_.count(name)) {
+    return Status::AlreadyExists("deck '" + name + "' already open");
+  }
+  open_[name] = std::move(deck);
+  return Status::OK();
+}
+
+Status SlideApp::OpenDocument(const std::string& file_name) {
+  if (open_.count(file_name)) return Status::OK();
+  SLIM_ASSIGN_OR_RETURN(std::unique_ptr<slides::SlideDeck> deck,
+                        slides::SlideDeck::LoadFromFile(file_name));
+  deck->set_file_name(file_name);
+  open_[file_name] = std::move(deck);
+  return Status::OK();
+}
+
+bool SlideApp::IsOpen(const std::string& file_name) const {
+  return open_.count(file_name) > 0;
+}
+
+Status SlideApp::CloseDocument(const std::string& file_name) {
+  auto it = open_.find(file_name);
+  if (it == open_.end()) {
+    return Status::NotFound("deck '" + file_name + "' is not open");
+  }
+  if (selection_ && selection_->file_name == file_name) selection_.reset();
+  open_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> SlideApp::OpenDocuments() const {
+  std::vector<std::string> out;
+  out.reserve(open_.size());
+  for (const auto& [name, _] : open_) out.push_back(name);
+  return out;
+}
+
+std::string SlideApp::FormatAddress(int32_t slide,
+                                    const std::string& shape_id) {
+  std::string out = "slide/" + std::to_string(slide);
+  if (!shape_id.empty()) out += "/shape/" + shape_id;
+  return out;
+}
+
+Result<std::pair<int32_t, std::string>> SlideApp::ParseAddress(
+    const std::string& address) {
+  std::vector<std::string> parts = Split(address, '/');
+  if (parts.size() != 2 && parts.size() != 4) {
+    return Status::ParseError("slide address must be 'slide/<n>' or "
+                              "'slide/<n>/shape/<id>': '" + address + "'");
+  }
+  if (parts[0] != "slide") {
+    return Status::ParseError("slide address must start with 'slide/': '" +
+                              address + "'");
+  }
+  long long n = 0;
+  if (!ParseInt(parts[1], &n) || n < 0) {
+    return Status::ParseError("bad slide index in '" + address + "'");
+  }
+  std::string shape_id;
+  if (parts.size() == 4) {
+    if (parts[2] != "shape" || parts[3].empty()) {
+      return Status::ParseError("malformed shape segment in '" + address +
+                                "'");
+    }
+    shape_id = parts[3];
+  }
+  return std::make_pair(static_cast<int32_t>(n), shape_id);
+}
+
+Result<std::string> SlideApp::ContentAt(const std::string& file_name,
+                                        int32_t slide,
+                                        const std::string& shape_id) {
+  SLIM_ASSIGN_OR_RETURN(slides::SlideDeck * deck, GetDeck(file_name));
+  SLIM_ASSIGN_OR_RETURN(const slides::Slide* s, deck->GetSlide(slide));
+  if (shape_id.empty()) return s->AllText();
+  SLIM_ASSIGN_OR_RETURN(const slides::Shape* shape, s->FindShape(shape_id));
+  std::string out = shape->text;
+  for (const std::string& b : shape->bullets) {
+    if (!out.empty()) out += '\n';
+    out += b;
+  }
+  return out;
+}
+
+Status SlideApp::Select(const std::string& file_name, int32_t slide,
+                        const std::string& shape_id) {
+  SLIM_ASSIGN_OR_RETURN(std::string content,
+                        ContentAt(file_name, slide, shape_id));
+  Selection sel;
+  sel.file_name = file_name;
+  sel.address = FormatAddress(slide, shape_id);
+  sel.content = std::move(content);
+  selection_ = std::move(sel);
+  return Status::OK();
+}
+
+Result<Selection> SlideApp::CurrentSelection() const {
+  if (!selection_) {
+    return Status::FailedPrecondition(
+        "no current selection in presentation app");
+  }
+  return *selection_;
+}
+
+Status SlideApp::NavigateTo(const std::string& file_name,
+                            const std::string& address) {
+  SLIM_RETURN_NOT_OK(OpenDocument(file_name));
+  SLIM_ASSIGN_OR_RETURN(auto parsed, ParseAddress(address));
+  SLIM_ASSIGN_OR_RETURN(std::string content,
+                        ContentAt(file_name, parsed.first, parsed.second));
+  Selection sel;
+  sel.file_name = file_name;
+  sel.address = address;
+  sel.content = content;
+  selection_ = sel;
+  RecordNavigation({file_name, address, content});
+  return Status::OK();
+}
+
+Result<std::string> SlideApp::ExtractContent(const std::string& file_name,
+                                             const std::string& address) {
+  SLIM_RETURN_NOT_OK(OpenDocument(file_name));
+  SLIM_ASSIGN_OR_RETURN(auto parsed, ParseAddress(address));
+  return ContentAt(file_name, parsed.first, parsed.second);
+}
+
+Result<slides::SlideDeck*> SlideApp::GetDeck(const std::string& file_name) {
+  auto it = open_.find(file_name);
+  if (it == open_.end()) {
+    return Status::NotFound("deck '" + file_name + "' is not open");
+  }
+  return it->second.get();
+}
+
+}  // namespace slim::baseapp

@@ -1,0 +1,61 @@
+#ifndef SLIM_BASEAPP_SLIDE_APP_H_
+#define SLIM_BASEAPP_SLIDE_APP_H_
+
+/// \file slide_app.h
+/// \brief The presentation base application ("Microsoft PowerPoint").
+///
+/// Native address syntax: "slide/<index>" for a whole slide, or
+/// "slide/<index>/shape/<id>" for one shape.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baseapp/base_application.h"
+#include "doc/slides/slide_deck.h"
+
+namespace slim::baseapp {
+
+/// \brief In-memory presentation application.
+class SlideApp : public BaseApplication {
+ public:
+  std::string_view app_type() const override { return "slides"; }
+
+  /// Installs an in-memory deck under its file name. Takes ownership.
+  Status RegisterDeck(std::unique_ptr<doc::slides::SlideDeck> deck);
+
+  Status OpenDocument(const std::string& file_name) override;
+  bool IsOpen(const std::string& file_name) const override;
+  Status CloseDocument(const std::string& file_name) override;
+  std::vector<std::string> OpenDocuments() const override;
+
+  /// Simulates the user selecting a slide (shape_id empty) or a shape.
+  Status Select(const std::string& file_name, int32_t slide,
+                const std::string& shape_id = "");
+
+  Result<Selection> CurrentSelection() const override;
+  Status NavigateTo(const std::string& file_name,
+                    const std::string& address) override;
+  Result<std::string> ExtractContent(const std::string& file_name,
+                                     const std::string& address) override;
+
+  /// Direct access to an open deck.
+  Result<doc::slides::SlideDeck*> GetDeck(const std::string& file_name);
+
+  /// Splits an address into (slide index, shape id-or-empty).
+  static Result<std::pair<int32_t, std::string>> ParseAddress(
+      const std::string& address);
+  /// Formats an address.
+  static std::string FormatAddress(int32_t slide, const std::string& shape_id);
+
+ private:
+  Result<std::string> ContentAt(const std::string& file_name, int32_t slide,
+                                const std::string& shape_id);
+
+  std::map<std::string, std::unique_ptr<doc::slides::SlideDeck>> open_;
+  std::optional<Selection> selection_;
+};
+
+}  // namespace slim::baseapp
+
+#endif  // SLIM_BASEAPP_SLIDE_APP_H_

@@ -1,0 +1,138 @@
+#include "baseapp/spreadsheet_app.h"
+
+#include "util/strings.h"
+
+namespace slim::baseapp {
+
+Status SpreadsheetApp::RegisterWorkbook(
+    std::unique_ptr<doc::Workbook> workbook) {
+  if (workbook == nullptr) return Status::InvalidArgument("null workbook");
+  const std::string& name = workbook->file_name();
+  if (name.empty()) {
+    return Status::InvalidArgument("workbook has no file name");
+  }
+  if (open_.count(name)) {
+    return Status::AlreadyExists("workbook '" + name + "' already open");
+  }
+  open_[name] = std::move(workbook);
+  return Status::OK();
+}
+
+Status SpreadsheetApp::OpenDocument(const std::string& file_name) {
+  if (open_.count(file_name)) return Status::OK();
+  SLIM_ASSIGN_OR_RETURN(std::unique_ptr<doc::Workbook> wb,
+                        doc::Workbook::LoadFromFile(file_name));
+  wb->set_file_name(file_name);
+  open_[file_name] = std::move(wb);
+  return Status::OK();
+}
+
+bool SpreadsheetApp::IsOpen(const std::string& file_name) const {
+  return open_.count(file_name) > 0;
+}
+
+Status SpreadsheetApp::CloseDocument(const std::string& file_name) {
+  auto it = open_.find(file_name);
+  if (it == open_.end()) {
+    return Status::NotFound("workbook '" + file_name + "' is not open");
+  }
+  if (selection_ && selection_->file_name == file_name) {
+    selection_.reset();
+  }
+  open_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> SpreadsheetApp::OpenDocuments() const {
+  std::vector<std::string> out;
+  out.reserve(open_.size());
+  for (const auto& [name, _] : open_) out.push_back(name);
+  return out;
+}
+
+std::string SpreadsheetApp::RangeText(doc::Workbook* wb,
+                                      const std::string& sheet,
+                                      const doc::RangeRef& range) {
+  std::string out;
+  doc::RangeRef r = range.Normalized();
+  for (int32_t row = r.start.row; row <= r.end.row; ++row) {
+    if (row != r.start.row) out += '\n';
+    for (int32_t col = r.start.col; col <= r.end.col; ++col) {
+      if (col != r.start.col) out += '\t';
+      out += wb->DisplayText(sheet, doc::CellRef{row, col});
+    }
+  }
+  return out;
+}
+
+Status SpreadsheetApp::Select(const std::string& file_name,
+                              const std::string& sheet,
+                              const doc::RangeRef& range) {
+  SLIM_ASSIGN_OR_RETURN(doc::Workbook * wb, GetWorkbook(file_name));
+  SLIM_RETURN_NOT_OK(wb->GetSheet(sheet).status());
+  Selection sel;
+  sel.file_name = file_name;
+  sel.address = sheet + "!" + doc::FormatRange(range);
+  sel.content = RangeText(wb, sheet, range);
+  selection_ = std::move(sel);
+  return Status::OK();
+}
+
+Result<Selection> SpreadsheetApp::CurrentSelection() const {
+  if (!selection_) {
+    return Status::FailedPrecondition("no current selection in spreadsheet");
+  }
+  return *selection_;
+}
+
+Result<std::pair<std::string, doc::RangeRef>> SpreadsheetApp::ParseAddress(
+    const std::string& address) {
+  size_t bang = address.rfind('!');
+  if (bang == std::string::npos || bang == 0) {
+    return Status::ParseError("spreadsheet address must be 'sheet!range': '" +
+                              address + "'");
+  }
+  SLIM_ASSIGN_OR_RETURN(doc::RangeRef range,
+                        doc::ParseRange(address.substr(bang + 1)));
+  return std::make_pair(address.substr(0, bang), range);
+}
+
+Status SpreadsheetApp::NavigateTo(const std::string& file_name,
+                                  const std::string& address) {
+  SLIM_RETURN_NOT_OK(OpenDocument(file_name));
+  SLIM_ASSIGN_OR_RETURN(doc::Workbook * wb, GetWorkbook(file_name));
+  SLIM_ASSIGN_OR_RETURN(auto parsed, ParseAddress(address));
+  const auto& [sheet, range] = parsed;
+  SLIM_RETURN_NOT_OK(
+      wb->GetSheet(sheet).status().WithContext("navigating to '" + address +
+                                               "'"));
+  // "Activate the worksheet and select the appropriate range."
+  Selection sel;
+  sel.file_name = file_name;
+  sel.address = address;
+  sel.content = RangeText(wb, sheet, range);
+  selection_ = sel;
+  RecordNavigation({file_name, address, sel.content});
+  return Status::OK();
+}
+
+Result<std::string> SpreadsheetApp::ExtractContent(
+    const std::string& file_name, const std::string& address) {
+  SLIM_RETURN_NOT_OK(OpenDocument(file_name));
+  SLIM_ASSIGN_OR_RETURN(doc::Workbook * wb, GetWorkbook(file_name));
+  SLIM_ASSIGN_OR_RETURN(auto parsed, ParseAddress(address));
+  const auto& [sheet, range] = parsed;
+  SLIM_RETURN_NOT_OK(wb->GetSheet(sheet).status());
+  return RangeText(wb, sheet, range);
+}
+
+Result<doc::Workbook*> SpreadsheetApp::GetWorkbook(
+    const std::string& file_name) {
+  auto it = open_.find(file_name);
+  if (it == open_.end()) {
+    return Status::NotFound("workbook '" + file_name + "' is not open");
+  }
+  return it->second.get();
+}
+
+}  // namespace slim::baseapp

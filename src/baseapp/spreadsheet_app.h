@@ -1,0 +1,63 @@
+#ifndef SLIM_BASEAPP_SPREADSHEET_APP_H_
+#define SLIM_BASEAPP_SPREADSHEET_APP_H_
+
+/// \file spreadsheet_app.h
+/// \brief The "Microsoft Excel" base application.
+///
+/// Native address syntax: "<sheet>!<range>", e.g. "Meds!B2:D2". Resolving a
+/// mark drives the app exactly as the paper describes (§4.2): "open the
+/// file, activate the worksheet, and select the appropriate range".
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baseapp/base_application.h"
+#include "doc/spreadsheet/workbook.h"
+
+namespace slim::baseapp {
+
+/// \brief In-memory spreadsheet application with open-workbook management.
+class SpreadsheetApp : public BaseApplication {
+ public:
+  std::string_view app_type() const override { return "excel"; }
+
+  /// Installs an in-memory workbook under its file name (simulates a file
+  /// on disk already open in the app). Takes ownership.
+  Status RegisterWorkbook(std::unique_ptr<doc::Workbook> workbook);
+
+  Status OpenDocument(const std::string& file_name) override;
+  bool IsOpen(const std::string& file_name) const override;
+  Status CloseDocument(const std::string& file_name) override;
+  std::vector<std::string> OpenDocuments() const override;
+
+  /// Simulates the user selecting a range; the selection's address becomes
+  /// "<sheet>!<range>" and its content the display text of the cells.
+  Status Select(const std::string& file_name, const std::string& sheet,
+                const doc::RangeRef& range);
+
+  Result<Selection> CurrentSelection() const override;
+  Status NavigateTo(const std::string& file_name,
+                    const std::string& address) override;
+  Result<std::string> ExtractContent(const std::string& file_name,
+                                     const std::string& address) override;
+
+  /// Direct access to an open workbook (for examples/tests).
+  Result<doc::Workbook*> GetWorkbook(const std::string& file_name);
+
+  /// Splits "<sheet>!<range>" into its parts.
+  static Result<std::pair<std::string, doc::RangeRef>> ParseAddress(
+      const std::string& address);
+
+ private:
+  /// Tab-separated display text of a range (rows newline-separated).
+  static std::string RangeText(doc::Workbook* wb, const std::string& sheet,
+                               const doc::RangeRef& range);
+
+  std::map<std::string, std::unique_ptr<doc::Workbook>> open_;
+  std::optional<Selection> selection_;
+};
+
+}  // namespace slim::baseapp
+
+#endif  // SLIM_BASEAPP_SPREADSHEET_APP_H_

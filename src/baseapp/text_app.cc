@@ -1,0 +1,99 @@
+#include "baseapp/text_app.h"
+
+namespace slim::baseapp {
+
+namespace text = slim::doc::text;
+
+Status TextApp::RegisterDocument(const std::string& file_name,
+                                 std::unique_ptr<text::TextDocument> document) {
+  if (document == nullptr) return Status::InvalidArgument("null document");
+  if (file_name.empty()) return Status::InvalidArgument("empty file name");
+  if (open_.count(file_name)) {
+    return Status::AlreadyExists("document '" + file_name + "' already open");
+  }
+  open_[file_name] = std::move(document);
+  return Status::OK();
+}
+
+Status TextApp::OpenDocument(const std::string& file_name) {
+  if (open_.count(file_name)) return Status::OK();
+  SLIM_ASSIGN_OR_RETURN(std::unique_ptr<text::TextDocument> doc,
+                        text::TextDocument::LoadFromFile(file_name));
+  open_[file_name] = std::move(doc);
+  return Status::OK();
+}
+
+bool TextApp::IsOpen(const std::string& file_name) const {
+  return open_.count(file_name) > 0;
+}
+
+Status TextApp::CloseDocument(const std::string& file_name) {
+  auto it = open_.find(file_name);
+  if (it == open_.end()) {
+    return Status::NotFound("document '" + file_name + "' is not open");
+  }
+  if (selection_ && selection_->file_name == file_name) selection_.reset();
+  open_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> TextApp::OpenDocuments() const {
+  std::vector<std::string> out;
+  out.reserve(open_.size());
+  for (const auto& [name, _] : open_) out.push_back(name);
+  return out;
+}
+
+Status TextApp::Select(const std::string& file_name,
+                       const text::TextSpan& span) {
+  SLIM_ASSIGN_OR_RETURN(text::TextDocument * doc, GetDocument(file_name));
+  SLIM_ASSIGN_OR_RETURN(std::string content, doc->ExtractSpan(span));
+  Selection sel;
+  sel.file_name = file_name;
+  sel.address = span.ToString();
+  sel.content = std::move(content);
+  selection_ = std::move(sel);
+  return Status::OK();
+}
+
+Result<Selection> TextApp::CurrentSelection() const {
+  if (!selection_) {
+    return Status::FailedPrecondition(
+        "no current selection in word processor");
+  }
+  return *selection_;
+}
+
+Status TextApp::NavigateTo(const std::string& file_name,
+                           const std::string& address) {
+  SLIM_RETURN_NOT_OK(OpenDocument(file_name));
+  SLIM_ASSIGN_OR_RETURN(text::TextDocument * doc, GetDocument(file_name));
+  SLIM_ASSIGN_OR_RETURN(text::TextSpan span, text::TextSpan::Parse(address));
+  SLIM_ASSIGN_OR_RETURN(std::string content, doc->ExtractSpan(span));
+  Selection sel;
+  sel.file_name = file_name;
+  sel.address = address;
+  sel.content = content;
+  selection_ = sel;
+  RecordNavigation({file_name, address, content});
+  return Status::OK();
+}
+
+Result<std::string> TextApp::ExtractContent(const std::string& file_name,
+                                            const std::string& address) {
+  SLIM_RETURN_NOT_OK(OpenDocument(file_name));
+  SLIM_ASSIGN_OR_RETURN(text::TextDocument * doc, GetDocument(file_name));
+  SLIM_ASSIGN_OR_RETURN(text::TextSpan span, text::TextSpan::Parse(address));
+  return doc->ExtractSpan(span);
+}
+
+Result<text::TextDocument*> TextApp::GetDocument(
+    const std::string& file_name) {
+  auto it = open_.find(file_name);
+  if (it == open_.end()) {
+    return Status::NotFound("document '" + file_name + "' is not open");
+  }
+  return it->second.get();
+}
+
+}  // namespace slim::baseapp

@@ -1,0 +1,52 @@
+#ifndef SLIM_BASEAPP_TEXT_APP_H_
+#define SLIM_BASEAPP_TEXT_APP_H_
+
+/// \file text_app.h
+/// \brief The word-processor base application ("Microsoft Word").
+///
+/// Native address syntax: a TextSpan, e.g. "p12:40-58" (paragraph 12,
+/// characters 40..58).
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baseapp/base_application.h"
+#include "doc/text/text_document.h"
+
+namespace slim::baseapp {
+
+/// \brief In-memory word processor with open-document management.
+class TextApp : public BaseApplication {
+ public:
+  std::string_view app_type() const override { return "text"; }
+
+  /// Installs an in-memory document under a file name. Takes ownership.
+  Status RegisterDocument(const std::string& file_name,
+                          std::unique_ptr<doc::text::TextDocument> document);
+
+  Status OpenDocument(const std::string& file_name) override;
+  bool IsOpen(const std::string& file_name) const override;
+  Status CloseDocument(const std::string& file_name) override;
+  std::vector<std::string> OpenDocuments() const override;
+
+  /// Simulates the user selecting a character span.
+  Status Select(const std::string& file_name, const doc::text::TextSpan& span);
+
+  Result<Selection> CurrentSelection() const override;
+  Status NavigateTo(const std::string& file_name,
+                    const std::string& address) override;
+  Result<std::string> ExtractContent(const std::string& file_name,
+                                     const std::string& address) override;
+
+  /// Direct access to an open document.
+  Result<doc::text::TextDocument*> GetDocument(const std::string& file_name);
+
+ private:
+  std::map<std::string, std::unique_ptr<doc::text::TextDocument>> open_;
+  std::optional<Selection> selection_;
+};
+
+}  // namespace slim::baseapp
+
+#endif  // SLIM_BASEAPP_TEXT_APP_H_

@@ -1,0 +1,112 @@
+#include "baseapp/xml_app.h"
+
+#include "doc/xml/parser.h"
+#include "util/strings.h"
+
+namespace slim::baseapp {
+
+namespace xml = slim::doc::xml;
+
+Status XmlApp::RegisterDocument(const std::string& file_name,
+                                std::unique_ptr<xml::Document> document) {
+  if (document == nullptr) return Status::InvalidArgument("null document");
+  if (file_name.empty()) return Status::InvalidArgument("empty file name");
+  if (open_.count(file_name)) {
+    return Status::AlreadyExists("document '" + file_name + "' already open");
+  }
+  open_[file_name] = std::move(document);
+  return Status::OK();
+}
+
+Status XmlApp::OpenDocument(const std::string& file_name) {
+  if (open_.count(file_name)) return Status::OK();
+  SLIM_ASSIGN_OR_RETURN(std::unique_ptr<xml::Document> doc,
+                        xml::ParseXmlFile(file_name));
+  open_[file_name] = std::move(doc);
+  return Status::OK();
+}
+
+bool XmlApp::IsOpen(const std::string& file_name) const {
+  return open_.count(file_name) > 0;
+}
+
+Status XmlApp::CloseDocument(const std::string& file_name) {
+  auto it = open_.find(file_name);
+  if (it == open_.end()) {
+    return Status::NotFound("document '" + file_name + "' is not open");
+  }
+  if (selection_ && selection_->file_name == file_name) selection_.reset();
+  open_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> XmlApp::OpenDocuments() const {
+  std::vector<std::string> out;
+  out.reserve(open_.size());
+  for (const auto& [name, _] : open_) out.push_back(name);
+  return out;
+}
+
+Status XmlApp::SelectElement(const std::string& file_name,
+                             const xml::Element* element) {
+  if (element == nullptr) return Status::InvalidArgument("null element");
+  if (!open_.count(file_name)) {
+    return Status::NotFound("document '" + file_name + "' is not open");
+  }
+  Selection sel;
+  sel.file_name = file_name;
+  sel.address = robust_addressing_ ? xml::RobustPathOf(element).ToString()
+                                   : xml::PathOf(element).ToString();
+  sel.content = element->InnerText();
+  selection_ = std::move(sel);
+  return Status::OK();
+}
+
+Status XmlApp::SelectPath(const std::string& file_name,
+                          const std::string& path_text) {
+  SLIM_ASSIGN_OR_RETURN(xml::Document * doc, GetDocument(file_name));
+  SLIM_ASSIGN_OR_RETURN(xml::XmlPath path, xml::XmlPath::Parse(path_text));
+  SLIM_ASSIGN_OR_RETURN(xml::Element * elem, path.Resolve(doc));
+  return SelectElement(file_name, elem);
+}
+
+Result<Selection> XmlApp::CurrentSelection() const {
+  if (!selection_) {
+    return Status::FailedPrecondition("no current selection in XML viewer");
+  }
+  return *selection_;
+}
+
+Status XmlApp::NavigateTo(const std::string& file_name,
+                          const std::string& address) {
+  SLIM_RETURN_NOT_OK(OpenDocument(file_name));
+  SLIM_ASSIGN_OR_RETURN(xml::Document * doc, GetDocument(file_name));
+  SLIM_ASSIGN_OR_RETURN(xml::XmlPath path, xml::XmlPath::Parse(address));
+  SLIM_ASSIGN_OR_RETURN(xml::Element * elem, path.Resolve(doc));
+  Selection sel;
+  sel.file_name = file_name;
+  sel.address = address;
+  sel.content = elem->InnerText();
+  selection_ = sel;
+  RecordNavigation({file_name, address, sel.content});
+  return Status::OK();
+}
+
+Result<std::string> XmlApp::ExtractContent(const std::string& file_name,
+                                           const std::string& address) {
+  SLIM_RETURN_NOT_OK(OpenDocument(file_name));
+  SLIM_ASSIGN_OR_RETURN(xml::Document * doc, GetDocument(file_name));
+  SLIM_ASSIGN_OR_RETURN(xml::XmlPath path, xml::XmlPath::Parse(address));
+  SLIM_ASSIGN_OR_RETURN(xml::Element * elem, path.Resolve(doc));
+  return elem->InnerText();
+}
+
+Result<xml::Document*> XmlApp::GetDocument(const std::string& file_name) {
+  auto it = open_.find(file_name);
+  if (it == open_.end()) {
+    return Status::NotFound("document '" + file_name + "' is not open");
+  }
+  return it->second.get();
+}
+
+}  // namespace slim::baseapp

@@ -1,0 +1,69 @@
+#ifndef SLIM_BASEAPP_XML_APP_H_
+#define SLIM_BASEAPP_XML_APP_H_
+
+/// \file xml_app.h
+/// \brief The XML-viewer base application (lab reports in the paper's ICU
+/// scenario are XML documents).
+///
+/// Native address syntax: an XmlPath, e.g. "/report/labs/result[3]".
+/// Resolution opens the document and highlights the addressed element
+/// (paper Fig. 4: "opens the lab report and highlights the appropriate
+/// section of the XML document").
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baseapp/base_application.h"
+#include "doc/xml/dom.h"
+#include "doc/xml/path.h"
+
+namespace slim::baseapp {
+
+/// \brief In-memory XML viewer with open-document management.
+class XmlApp : public BaseApplication {
+ public:
+  std::string_view app_type() const override { return "xml"; }
+
+  /// Installs an in-memory document under a file name. Takes ownership.
+  Status RegisterDocument(const std::string& file_name,
+                          std::unique_ptr<doc::xml::Document> document);
+
+  Status OpenDocument(const std::string& file_name) override;
+  bool IsOpen(const std::string& file_name) const override;
+  Status CloseDocument(const std::string& file_name) override;
+  std::vector<std::string> OpenDocuments() const override;
+
+  /// When enabled, selections are addressed by RobustPathOf (attribute
+  /// predicates where unique) instead of ordinal-canonical PathOf; such
+  /// marks keep resolving after sibling insertions in the base document.
+  void set_robust_addressing(bool robust) { robust_addressing_ = robust; }
+  bool robust_addressing() const { return robust_addressing_; }
+
+  /// Simulates the user selecting an element; captures its path (canonical
+  /// or robust per the addressing policy).
+  Status SelectElement(const std::string& file_name,
+                       const doc::xml::Element* element);
+
+  /// Selects by path instead of element pointer.
+  Status SelectPath(const std::string& file_name,
+                    const std::string& path_text);
+
+  Result<Selection> CurrentSelection() const override;
+  Status NavigateTo(const std::string& file_name,
+                    const std::string& address) override;
+  Result<std::string> ExtractContent(const std::string& file_name,
+                                     const std::string& address) override;
+
+  /// Direct access to an open document.
+  Result<doc::xml::Document*> GetDocument(const std::string& file_name);
+
+ private:
+  std::map<std::string, std::unique_ptr<doc::xml::Document>> open_;
+  std::optional<Selection> selection_;
+  bool robust_addressing_ = false;
+};
+
+}  // namespace slim::baseapp
+
+#endif  // SLIM_BASEAPP_XML_APP_H_

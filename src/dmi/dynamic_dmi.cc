@@ -1,0 +1,168 @@
+#include "dmi/dynamic_dmi.h"
+
+#include "slim/vocabulary.h"
+#include "trim/persistence.h"
+#include "util/strings.h"
+
+namespace slim::dmi {
+
+using store::SchemaConnectorDef;
+
+// ---------------------------------------------------------------------------
+// DynamicObject
+// ---------------------------------------------------------------------------
+
+Status DynamicObject::Set(const std::string& attribute,
+                          const std::string& value) {
+  if (!valid()) return Status::FailedPrecondition("invalid object handle");
+  SLIM_ASSIGN_OR_RETURN(const SchemaConnectorDef* c,
+                        dmi_->RequireConnector(element_, attribute));
+  if (!dmi_->RangeIsLiteral(*c)) {
+    return Status::Conformance("'" + attribute + "' on '" + element_ +
+                               "' is a link connector; use Connect");
+  }
+  return dmi_->instances_.SetValue(id_, attribute, value);
+}
+
+Result<std::string> DynamicObject::Get(const std::string& attribute) const {
+  if (!valid()) return Status::FailedPrecondition("invalid object handle");
+  SLIM_RETURN_NOT_OK(dmi_->RequireConnector(element_, attribute).status());
+  return dmi_->instances_.GetValue(id_, attribute);
+}
+
+Status DynamicObject::Connect(const std::string& connector,
+                              const DynamicObject& target) {
+  if (!valid() || !target.valid()) {
+    return Status::FailedPrecondition("invalid object handle");
+  }
+  SLIM_ASSIGN_OR_RETURN(const SchemaConnectorDef* c,
+                        dmi_->RequireConnector(element_, connector));
+  if (dmi_->RangeIsLiteral(*c)) {
+    return Status::Conformance("'" + connector + "' on '" + element_ +
+                               "' is an attribute; use Set");
+  }
+  // Range compatibility: exact element or model-level generalization.
+  if (target.element_ != c->range) {
+    auto tgt_construct = dmi_->schema_.ConstructOf(target.element_);
+    auto range_construct = dmi_->schema_.ConstructOf(c->range);
+    bool ok = tgt_construct.ok() && range_construct.ok() &&
+              dmi_->model_.IsA(tgt_construct.ValueOrDie(),
+                               range_construct.ValueOrDie());
+    if (!ok) {
+      return Status::Conformance("connector '" + connector + "' expects a '" +
+                                 c->range + "', got a '" + target.element_ +
+                                 "'");
+    }
+  }
+  // Upper-bound cardinality enforced at write time.
+  if (c->max_card != store::kMany) {
+    size_t n = dmi_->instances_.GetConnected(id_, connector).size();
+    if (static_cast<int>(n) >= c->max_card) {
+      return Status::Conformance("connector '" + connector + "' on '" + id_ +
+                                 "' already at maximum cardinality " +
+                                 std::to_string(c->max_card));
+    }
+  }
+  return dmi_->instances_.Connect(id_, connector, target.id_);
+}
+
+Status DynamicObject::Disconnect(const std::string& connector,
+                                 const DynamicObject& target) {
+  if (!valid() || !target.valid()) {
+    return Status::FailedPrecondition("invalid object handle");
+  }
+  SLIM_RETURN_NOT_OK(dmi_->RequireConnector(element_, connector).status());
+  return dmi_->instances_.Disconnect(id_, connector, target.id_);
+}
+
+Result<std::vector<DynamicObject>> DynamicObject::GetConnected(
+    const std::string& connector) const {
+  if (!valid()) return Status::FailedPrecondition("invalid object handle");
+  SLIM_RETURN_NOT_OK(dmi_->RequireConnector(element_, connector).status());
+  std::vector<DynamicObject> out;
+  for (const std::string& tid :
+       dmi_->instances_.GetConnected(id_, connector)) {
+    SLIM_ASSIGN_OR_RETURN(DynamicObject obj, dmi_->Lookup(tid));
+    out.push_back(std::move(obj));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DynamicDmi
+// ---------------------------------------------------------------------------
+
+DynamicDmi::DynamicDmi(trim::TripleStore* store, store::SchemaDef schema,
+                       store::ModelDef model)
+    : store_(store),
+      schema_(std::move(schema)),
+      model_(std::move(model)),
+      instances_(store) {}
+
+Result<const SchemaConnectorDef*> DynamicDmi::RequireConnector(
+    const std::string& element, const std::string& connector) const {
+  for (const SchemaConnectorDef* c : schema_.ConnectorsFor(element)) {
+    if (c->name == connector) return c;
+  }
+  return Status::Conformance("no connector '" + connector +
+                             "' declared on element '" + element +
+                             "' in schema '" + schema_.name() + "'");
+}
+
+bool DynamicDmi::RangeIsLiteral(const SchemaConnectorDef& c) const {
+  auto kind = model_.FindConstruct(c.range);
+  return kind.has_value() && *kind == store::ConstructKind::kLiteralConstruct;
+}
+
+Result<DynamicObject> DynamicDmi::Create(const std::string& element) {
+  SLIM_RETURN_NOT_OK(schema_.ConstructOf(element).status());
+  SLIM_ASSIGN_OR_RETURN(std::string id,
+                        instances_.Create(schema_.ElementResource(element)));
+  return DynamicObject(this, std::move(id), element);
+}
+
+Result<DynamicObject> DynamicDmi::Lookup(const std::string& id) {
+  SLIM_ASSIGN_OR_RETURN(std::string type, instances_.TypeOf(id));
+  const std::string prefix = schema_.SchemaResource() + "/";
+  if (!StartsWith(type, prefix)) {
+    return Status::Conformance("instance '" + id + "' has type '" + type +
+                               "', which is outside schema '" +
+                               schema_.name() + "'");
+  }
+  return DynamicObject(this, id, type.substr(prefix.size()));
+}
+
+Result<std::vector<DynamicObject>> DynamicDmi::InstancesOf(
+    const std::string& element) {
+  SLIM_RETURN_NOT_OK(schema_.ConstructOf(element).status());
+  std::vector<DynamicObject> out;
+  for (const std::string& id :
+       instances_.InstancesOf(schema_.ElementResource(element))) {
+    out.push_back(DynamicObject(this, id, element));
+  }
+  return out;
+}
+
+Status DynamicDmi::Delete(const DynamicObject& object) {
+  if (!object.valid()) {
+    return Status::FailedPrecondition("invalid object handle");
+  }
+  if (instances_.Delete(object.id()) == 0) {
+    return Status::NotFound("no instance '" + object.id() + "'");
+  }
+  return Status::OK();
+}
+
+store::ConformanceReport DynamicDmi::Check() const {
+  return store::CheckConformance(*store_, schema_, model_);
+}
+
+Status DynamicDmi::Save(const std::string& path) const {
+  return trim::SaveStore(*store_, path);
+}
+
+Status DynamicDmi::Load(const std::string& path) {
+  return trim::LoadStore(path, store_);
+}
+
+}  // namespace slim::dmi

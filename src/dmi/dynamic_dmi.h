@@ -1,0 +1,123 @@
+#ifndef SLIM_DMI_DYNAMIC_DMI_H_
+#define SLIM_DMI_DYNAMIC_DMI_H_
+
+/// \file dynamic_dmi.h
+/// \brief Generated Data-Manipulation Interfaces (paper §4.4 and §6).
+///
+/// §4.4: "The DMI contains the allowable operations on the application's
+/// model... By restricting manipulation of data through the DMI, we store
+/// the triples without intervention from the superimposed application."
+/// §6: "we have been investigating the automatic generation of customized
+/// data manipulation interfaces from high-level specification."
+///
+/// DynamicDmi is that generator, realized at runtime: given a SchemaDef it
+/// synthesizes a typed interface — create/delete per element,
+/// get/set per attribute connector, connect/disconnect per link connector —
+/// with every operation validated against the schema before any triple is
+/// written. The triple representation never leaks to the application.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "slim/conformance.h"
+#include "slim/instance.h"
+#include "slim/schema.h"
+#include "trim/triple_store.h"
+#include "util/result.h"
+
+namespace slim::dmi {
+
+class DynamicDmi;
+
+/// \brief Typed handle to one instance managed by a DynamicDmi.
+///
+/// Handles are cheap value objects (id + element + DMI pointer); the data
+/// lives in the triple store.
+class DynamicObject {
+ public:
+  DynamicObject() = default;
+
+  const std::string& id() const { return id_; }
+  const std::string& element() const { return element_; }
+  bool valid() const { return dmi_ != nullptr; }
+
+  /// \name Attribute access (literal-range connectors).
+  /// @{
+  Status Set(const std::string& attribute, const std::string& value);
+  Result<std::string> Get(const std::string& attribute) const;
+  /// @}
+
+  /// \name Link access (element-range connectors).
+  /// @{
+  Status Connect(const std::string& connector, const DynamicObject& target);
+  Status Disconnect(const std::string& connector, const DynamicObject& target);
+  Result<std::vector<DynamicObject>> GetConnected(
+      const std::string& connector) const;
+  /// @}
+
+  friend bool operator==(const DynamicObject& a, const DynamicObject& b) {
+    return a.id_ == b.id_;
+  }
+
+ private:
+  friend class DynamicDmi;
+  DynamicObject(DynamicDmi* dmi, std::string id, std::string element)
+      : dmi_(dmi), id_(std::move(id)), element_(std::move(element)) {}
+
+  DynamicDmi* dmi_ = nullptr;
+  std::string id_;
+  std::string element_;
+};
+
+/// \brief A schema-driven DMI generated at runtime.
+class DynamicDmi {
+ public:
+  /// Generates the interface for `schema` over `model`. `store` must
+  /// outlive the DMI; the schema/model are copied in.
+  DynamicDmi(trim::TripleStore* store, store::SchemaDef schema,
+             store::ModelDef model);
+
+  const store::SchemaDef& schema() const { return schema_; }
+  const store::ModelDef& model() const { return model_; }
+  trim::TripleStore* triple_store() { return store_; }
+
+  /// Creates a new instance of a declared schema element.
+  Result<DynamicObject> Create(const std::string& element);
+
+  /// Rehydrates a handle from a persisted id.
+  Result<DynamicObject> Lookup(const std::string& id);
+
+  /// All instances of an element.
+  Result<std::vector<DynamicObject>> InstancesOf(const std::string& element);
+
+  /// Deletes an instance and its incident triples.
+  Status Delete(const DynamicObject& object);
+
+  /// Runs a full conformance check of the store against the schema.
+  store::ConformanceReport Check() const;
+
+  /// \name Persistence: save/load the whole store through TRIM's XML form.
+  /// @{
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+  /// @}
+
+ private:
+  friend class DynamicObject;
+
+  /// Validates that `connector` is declared on `element` and returns it.
+  Result<const store::SchemaConnectorDef*> RequireConnector(
+      const std::string& element, const std::string& connector) const;
+  /// True iff the connector's range is a literal construct of the model.
+  bool RangeIsLiteral(const store::SchemaConnectorDef& c) const;
+
+  trim::TripleStore* store_;
+  store::SchemaDef schema_;
+  store::ModelDef model_;
+  store::InstanceGraph instances_;
+};
+
+}  // namespace slim::dmi
+
+#endif  // SLIM_DMI_DYNAMIC_DMI_H_

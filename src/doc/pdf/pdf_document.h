@@ -1,0 +1,121 @@
+#ifndef SLIM_DOC_PDF_PDF_DOCUMENT_H_
+#define SLIM_DOC_PDF_PDF_DOCUMENT_H_
+
+/// \file pdf_document.h
+/// \brief Paginated, position-laid-out documents (the "Adobe PDF"
+/// substitute).
+///
+/// Real PDFs address content by page plus geometry. We simulate exactly
+/// that: a PdfDocument is a sequence of fixed-size pages carrying text
+/// objects with bounding rectangles, produced by a simple line-breaking
+/// layout engine. A PDF mark addresses a page plus a rectangular region;
+/// resolution returns the text objects intersecting the region — the same
+/// code path Acrobat's "go to page / highlight area" automation exercises.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace slim::doc::pdf {
+
+/// \brief An axis-aligned rectangle in page coordinates (origin top-left,
+/// units are points).
+struct Rect {
+  double x = 0, y = 0, width = 0, height = 0;
+
+  bool Intersects(const Rect& other) const {
+    return x < other.x + other.width && other.x < x + width &&
+           y < other.y + other.height && other.y < y + height;
+  }
+  /// "x,y,w,h" form used inside marks.
+  std::string ToString() const;
+  static Result<Rect> Parse(std::string_view text);
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// \brief One positioned run of text on a page.
+struct TextObject {
+  Rect box;
+  std::string text;
+  double font_size = 10;
+};
+
+/// \brief One page: size plus text objects in layout order.
+struct Page {
+  double width = 612;   ///< US-Letter points.
+  double height = 792;
+  std::vector<TextObject> objects;
+};
+
+/// \brief Layout parameters for BuildFromParagraphs.
+struct LayoutOptions {
+  double page_width = 612;
+  double page_height = 792;
+  double margin = 72;
+  double font_size = 10;
+  double char_width = 6;    ///< Monospaced advance per character.
+  double line_height = 14;
+};
+
+/// \brief A simulated PDF document.
+class PdfDocument {
+ public:
+  PdfDocument() = default;
+  explicit PdfDocument(std::string file_name)
+      : file_name_(std::move(file_name)) {}
+
+  const std::string& file_name() const { return file_name_; }
+  void set_file_name(std::string name) { file_name_ = std::move(name); }
+
+  size_t page_count() const { return pages_.size(); }
+  const std::vector<Page>& pages() const { return pages_; }
+  Result<const Page*> GetPage(int32_t index) const;
+
+  /// Appends an empty page with the given size; returns its index.
+  int32_t AddPage(double width = 612, double height = 792);
+
+  /// Appends a text object to a page.
+  Status AddTextObject(int32_t page, TextObject object);
+
+  /// Lays paragraphs out into pages: greedy word wrapping at the text
+  /// width, one text object per line, page breaks at the bottom margin.
+  static std::unique_ptr<PdfDocument> BuildFromParagraphs(
+      const std::vector<std::string>& paragraphs,
+      const LayoutOptions& options = {});
+
+  /// Text objects on `page` intersecting `region`, in layout order.
+  Result<std::vector<const TextObject*>> ObjectsInRegion(
+      int32_t page, const Rect& region) const;
+
+  /// Concatenated text of a region (line per object).
+  Result<std::string> ExtractRegionText(int32_t page, const Rect& region) const;
+
+  /// Finds `term` across pages; returns (page, object index) pairs.
+  std::vector<std::pair<int32_t, int32_t>> FindText(
+      std::string_view term) const;
+
+  /// Bounding box of the object at (page, object index).
+  Result<Rect> ObjectBox(int32_t page, int32_t object_index) const;
+
+  /// \name Persistence — line-oriented native format.
+  /// @{
+  std::string Serialize() const;
+  static Result<std::unique_ptr<PdfDocument>> Deserialize(
+      std::string_view text);
+  Status SaveToFile(const std::string& path) const;
+  static Result<std::unique_ptr<PdfDocument>> LoadFromFile(
+      const std::string& path);
+  /// @}
+
+ private:
+  std::string file_name_;
+  std::vector<Page> pages_;
+};
+
+}  // namespace slim::doc::pdf
+
+#endif  // SLIM_DOC_PDF_PDF_DOCUMENT_H_

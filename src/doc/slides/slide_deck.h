@@ -1,0 +1,97 @@
+#ifndef SLIM_DOC_SLIDES_SLIDE_DECK_H_
+#define SLIM_DOC_SLIDES_SLIDE_DECK_H_
+
+/// \file slide_deck.h
+/// \brief Presentation decks (the "PowerPoint" substitute).
+///
+/// A deck is an ordered list of slides; each slide holds a title and a set
+/// of shapes (text boxes, bullets, images-by-reference). Sub-document
+/// addressing is slide index + shape id — the granularity a slide mark
+/// needs.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace slim::doc::slides {
+
+/// \brief Kinds of shapes on a slide.
+enum class ShapeKind { kTextBox, kBulletList, kImageRef };
+
+/// \brief One shape: an id unique within its slide, geometry, and content.
+struct Shape {
+  std::string id;          ///< Unique within the slide (e.g. "shape3").
+  ShapeKind kind = ShapeKind::kTextBox;
+  double x = 0, y = 0;     ///< Top-left position (arbitrary slide units).
+  double width = 0, height = 0;
+  std::string text;        ///< Text content; image path for kImageRef.
+  std::vector<std::string> bullets;  ///< For kBulletList.
+};
+
+/// \brief One slide: a title and its shapes.
+class Slide {
+ public:
+  explicit Slide(std::string title) : title_(std::move(title)) {}
+
+  const std::string& title() const { return title_; }
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Adds a shape; its id must be unique within the slide.
+  Status AddShape(Shape shape);
+  /// Finds a shape by id; NotFound if absent.
+  Result<const Shape*> FindShape(std::string_view id) const;
+  /// Removes a shape by id.
+  Status RemoveShape(std::string_view id);
+
+  const std::vector<Shape>& shapes() const { return shapes_; }
+
+  /// All text on the slide (title + shape text + bullets), newline-joined.
+  std::string AllText() const;
+
+ private:
+  std::string title_;
+  std::vector<Shape> shapes_;
+};
+
+/// \brief A presentation: file name and ordered slides.
+class SlideDeck {
+ public:
+  SlideDeck() = default;
+  explicit SlideDeck(std::string file_name)
+      : file_name_(std::move(file_name)) {}
+
+  const std::string& file_name() const { return file_name_; }
+  void set_file_name(std::string name) { file_name_ = std::move(name); }
+
+  /// Appends a slide; returns its 0-based index.
+  int32_t AddSlide(std::string title);
+
+  size_t slide_count() const { return slides_.size(); }
+  Result<Slide*> GetSlide(int32_t index);
+  Result<const Slide*> GetSlide(int32_t index) const;
+
+  /// Full-deck text search: returns (slide index, shape id) pairs whose
+  /// text contains `term`. A shape id of "" means the slide title matched.
+  std::vector<std::pair<int32_t, std::string>> FindText(
+      std::string_view term) const;
+
+  /// \name Persistence — line-oriented native format.
+  /// @{
+  std::string Serialize() const;
+  static Result<std::unique_ptr<SlideDeck>> Deserialize(std::string_view text);
+  Status SaveToFile(const std::string& path) const;
+  static Result<std::unique_ptr<SlideDeck>> LoadFromFile(
+      const std::string& path);
+  /// @}
+
+ private:
+  std::string file_name_;
+  std::vector<std::unique_ptr<Slide>> slides_;
+};
+
+}  // namespace slim::doc::slides
+
+#endif  // SLIM_DOC_SLIDES_SLIDE_DECK_H_

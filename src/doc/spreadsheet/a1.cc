@@ -1,0 +1,94 @@
+#include "doc/spreadsheet/a1.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace slim::doc {
+
+RangeRef RangeRef::Normalized() const {
+  RangeRef out = *this;
+  if (out.start.row > out.end.row) std::swap(out.start.row, out.end.row);
+  if (out.start.col > out.end.col) std::swap(out.start.col, out.end.col);
+  return out;
+}
+
+std::string ColumnName(int32_t col) {
+  std::string out;
+  int64_t n = col;
+  while (n >= 0) {
+    out.push_back(static_cast<char>('A' + n % 26));
+    n = n / 26 - 1;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+Result<int32_t> ParseColumnName(std::string_view letters) {
+  if (letters.empty()) {
+    return Status::ParseError("empty column name");
+  }
+  int64_t n = 0;
+  for (char c : letters) {
+    if (!std::isalpha(static_cast<unsigned char>(c))) {
+      return Status::ParseError("non-letter in column name: '" +
+                                std::string(letters) + "'");
+    }
+    n = n * 26 + (std::toupper(static_cast<unsigned char>(c)) - 'A' + 1);
+    if (n > (1 << 24)) {
+      return Status::OutOfRange("column name too large: '" +
+                                std::string(letters) + "'");
+    }
+  }
+  return static_cast<int32_t>(n - 1);
+}
+
+std::string FormatCell(const CellRef& cell) {
+  return ColumnName(cell.col) + std::to_string(cell.row + 1);
+}
+
+std::string FormatRange(const RangeRef& range) {
+  if (range.start == range.end) return FormatCell(range.start);
+  return FormatCell(range.start) + ":" + FormatCell(range.end);
+}
+
+Result<CellRef> ParseCell(std::string_view text) {
+  std::string_view s = Trim(text);
+  size_t i = 0;
+  if (i < s.size() && s[i] == '$') ++i;
+  size_t letters_begin = i;
+  while (i < s.size() && std::isalpha(static_cast<unsigned char>(s[i]))) ++i;
+  size_t letters_end = i;
+  if (i < s.size() && s[i] == '$') ++i;
+  size_t digits_begin = i;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  if (letters_begin == letters_end || digits_begin == i || i != s.size()) {
+    return Status::ParseError("malformed cell reference: '" +
+                              std::string(text) + "'");
+  }
+  SLIM_ASSIGN_OR_RETURN(
+      int32_t col, ParseColumnName(s.substr(letters_begin,
+                                            letters_end - letters_begin)));
+  long long row1 = 0;
+  if (!ParseInt(s.substr(digits_begin, i - digits_begin), &row1) || row1 < 1 ||
+      row1 > (1 << 30)) {
+    return Status::ParseError("malformed row number in '" + std::string(text) +
+                              "'");
+  }
+  return CellRef{static_cast<int32_t>(row1 - 1), col};
+}
+
+Result<RangeRef> ParseRange(std::string_view text) {
+  std::string_view s = Trim(text);
+  size_t colon = s.find(':');
+  if (colon == std::string_view::npos) {
+    SLIM_ASSIGN_OR_RETURN(CellRef cell, ParseCell(s));
+    return RangeRef{cell, cell};
+  }
+  SLIM_ASSIGN_OR_RETURN(CellRef start, ParseCell(s.substr(0, colon)));
+  SLIM_ASSIGN_OR_RETURN(CellRef end, ParseCell(s.substr(colon + 1)));
+  return RangeRef{start, end}.Normalized();
+}
+
+}  // namespace slim::doc

@@ -1,0 +1,75 @@
+#ifndef SLIM_DOC_SPREADSHEET_A1_H_
+#define SLIM_DOC_SPREADSHEET_A1_H_
+
+/// \file a1.h
+/// \brief A1-style cell and range addressing ("B12", "A1:C3").
+///
+/// This is the addressing scheme an Excel mark encapsulates (paper Fig. 8:
+/// `range : String`). Rows and columns are 0-based internally; the textual
+/// form is the familiar 1-based A1 notation with base-26 "bijective" column
+/// letters (A..Z, AA..AZ, ...).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace slim::doc {
+
+/// \brief A single cell coordinate (0-based row and column).
+struct CellRef {
+  int32_t row = 0;
+  int32_t col = 0;
+
+  friend bool operator==(const CellRef&, const CellRef&) = default;
+  friend auto operator<=>(const CellRef&, const CellRef&) = default;
+};
+
+/// \brief A rectangular cell range, inclusive on both corners.
+///
+/// Invariant (after normalization): start.row <= end.row and
+/// start.col <= end.col.
+struct RangeRef {
+  CellRef start;
+  CellRef end;
+
+  /// Number of rows / columns spanned.
+  int32_t rows() const { return end.row - start.row + 1; }
+  int32_t cols() const { return end.col - start.col + 1; }
+  /// Total number of cells.
+  int64_t size() const { return int64_t{rows()} * cols(); }
+  /// True iff `cell` lies inside this range.
+  bool Contains(const CellRef& cell) const {
+    return cell.row >= start.row && cell.row <= end.row &&
+           cell.col >= start.col && cell.col <= end.col;
+  }
+  /// Returns the same rectangle with corners swapped into normal form.
+  RangeRef Normalized() const;
+
+  friend bool operator==(const RangeRef&, const RangeRef&) = default;
+};
+
+/// Converts a 0-based column index to letters (0 -> "A", 27 -> "AB").
+std::string ColumnName(int32_t col);
+
+/// Parses column letters to a 0-based index ("A" -> 0). Case-insensitive.
+Result<int32_t> ParseColumnName(std::string_view letters);
+
+/// Formats a cell as A1 text ("B12").
+std::string FormatCell(const CellRef& cell);
+
+/// Formats a range; single-cell ranges collapse to plain cell form ("B2"),
+/// others use "A1:C3".
+std::string FormatRange(const RangeRef& range);
+
+/// Parses "B12" (absolute markers '$' are accepted and ignored).
+Result<CellRef> ParseCell(std::string_view text);
+
+/// Parses "A1:C3" or a single cell "B2" (treated as a 1x1 range). The result
+/// is normalized.
+Result<RangeRef> ParseRange(std::string_view text);
+
+}  // namespace slim::doc
+
+#endif  // SLIM_DOC_SPREADSHEET_A1_H_

@@ -1,0 +1,31 @@
+#include "doc/spreadsheet/cell.h"
+
+namespace slim::doc {
+
+std::string CellErrorText(CellError e) {
+  switch (e) {
+    case CellError::kDivZero: return "#DIV/0!";
+    case CellError::kValue: return "#VALUE!";
+    case CellError::kRef: return "#REF!";
+    case CellError::kName: return "#NAME?";
+    case CellError::kCycle: return "#CYCLE!";
+  }
+  return "#ERR!";
+}
+
+std::string CellValueText(const CellValue& v) {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return ""; }
+    std::string operator()(double d) const { return FormatNumber(d); }
+    std::string operator()(const std::string& s) const { return s; }
+    std::string operator()(bool b) const { return b ? "TRUE" : "FALSE"; }
+    std::string operator()(CellError e) const { return CellErrorText(e); }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+bool CellValueEquals(const CellValue& a, const CellValue& b) {
+  return a == b;
+}
+
+}  // namespace slim::doc

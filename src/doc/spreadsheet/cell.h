@@ -1,0 +1,71 @@
+#ifndef SLIM_DOC_SPREADSHEET_CELL_H_
+#define SLIM_DOC_SPREADSHEET_CELL_H_
+
+/// \file cell.h
+/// \brief Cell values and cells for the spreadsheet substrate.
+
+#include <string>
+#include <variant>
+
+#include "util/strings.h"
+
+namespace slim::doc {
+
+/// \brief Spreadsheet error values (the "#DIV/0!" family).
+enum class CellError {
+  kDivZero,    ///< Division by zero.
+  kValue,      ///< Type error in an operation.
+  kRef,        ///< Reference to a nonexistent sheet/cell.
+  kName,       ///< Unknown function name.
+  kCycle,      ///< Circular formula dependency.
+};
+
+/// Display text of an error value ("#DIV/0!" etc.).
+std::string CellErrorText(CellError e);
+
+/// \brief The value held (or computed) by a cell.
+///
+/// `monostate` is the blank cell. Blank participates in arithmetic as 0 and
+/// in concatenation as "".
+using CellValue = std::variant<std::monostate, double, std::string, bool,
+                               CellError>;
+
+/// True iff the value is blank.
+inline bool IsBlank(const CellValue& v) {
+  return std::holds_alternative<std::monostate>(v);
+}
+/// True iff the value is numeric.
+inline bool IsNumber(const CellValue& v) {
+  return std::holds_alternative<double>(v);
+}
+/// True iff the value is text.
+inline bool IsText(const CellValue& v) {
+  return std::holds_alternative<std::string>(v);
+}
+/// True iff the value is boolean.
+inline bool IsBool(const CellValue& v) {
+  return std::holds_alternative<bool>(v);
+}
+/// True iff the value is an error.
+inline bool IsError(const CellValue& v) {
+  return std::holds_alternative<CellError>(v);
+}
+
+/// The display text of a value, the way a spreadsheet grid shows it.
+std::string CellValueText(const CellValue& v);
+
+/// Structural equality of two values.
+bool CellValueEquals(const CellValue& a, const CellValue& b);
+
+/// \brief One cell: either a literal value, or a formula (leading '=') whose
+/// cached value is computed by the worksheet's evaluator.
+struct Cell {
+  CellValue value;       ///< Literal value, or cached result for formulas.
+  std::string formula;   ///< Source text including '='; empty for literals.
+
+  bool has_formula() const { return !formula.empty(); }
+};
+
+}  // namespace slim::doc
+
+#endif  // SLIM_DOC_SPREADSHEET_CELL_H_

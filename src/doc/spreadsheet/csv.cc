@@ -1,0 +1,130 @@
+#include "doc/spreadsheet/csv.h"
+
+namespace slim::doc {
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
+                                                       char sep) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // true once any char (or quote) seen this row
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+    field_started = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        break;
+      case '\r':
+        // Swallow; the following '\n' (if any) ends the row. A bare CR also
+        // ends the row.
+        if (i + 1 < text.size() && text[i + 1] == '\n') break;
+        end_row();
+        break;
+      case '\n':
+        end_row();
+        break;
+      default:
+        if (c == sep) {
+          end_field();
+          field_started = true;
+        } else {
+          field.push_back(c);
+          field_started = true;
+        }
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted CSV field");
+  }
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows,
+                     char sep) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out.push_back(sep);
+      const std::string& f = row[i];
+      bool need_quotes = f.find_first_of(std::string("\"\r\n") + sep) !=
+                         std::string::npos;
+      if (need_quotes) {
+        out.push_back('"');
+        for (char c : f) {
+          if (c == '"') out += "\"\"";
+          else out.push_back(c);
+        }
+        out.push_back('"');
+      } else {
+        out += f;
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status ImportCsv(std::string_view text, Worksheet* sheet, char sep) {
+  SLIM_ASSIGN_OR_RETURN(auto rows, ParseCsv(text, sep));
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      if (rows[r][c].empty()) continue;
+      CellRef ref{static_cast<int32_t>(r), static_cast<int32_t>(c)};
+      // CSV content never holds live formulas; '='-prefixed fields import
+      // as text to avoid surprise evaluation of foreign data.
+      const std::string& f = rows[r][c];
+      if (!f.empty() && f[0] == '=') {
+        sheet->SetValue(ref, f);
+      } else {
+        SLIM_RETURN_NOT_OK(sheet->SetInput(ref, f));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string ExportCsv(const Worksheet& sheet, char sep) {
+  Result<RangeRef> used = sheet.UsedRange();
+  if (!used.ok()) return "";
+  const RangeRef& r = used.ValueOrDie();
+  std::vector<std::vector<std::string>> rows(
+      static_cast<size_t>(r.rows()),
+      std::vector<std::string>(static_cast<size_t>(r.cols())));
+  sheet.ForEachCell([&](const CellRef& ref, const Cell& cell) {
+    std::string text = cell.has_formula() ? cell.formula
+                                          : CellValueText(cell.value);
+    rows[static_cast<size_t>(ref.row - r.start.row)]
+        [static_cast<size_t>(ref.col - r.start.col)] = std::move(text);
+  });
+  return WriteCsv(rows, sep);
+}
+
+}  // namespace slim::doc

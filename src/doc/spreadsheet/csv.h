@@ -1,0 +1,37 @@
+#ifndef SLIM_DOC_SPREADSHEET_CSV_H_
+#define SLIM_DOC_SPREADSHEET_CSV_H_
+
+/// \file csv.h
+/// \brief RFC-4180-style CSV parsing/serialization and worksheet import.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "doc/spreadsheet/worksheet.h"
+#include "util/result.h"
+
+namespace slim::doc {
+
+/// \brief Parses CSV text into rows of fields. Handles quoted fields,
+/// embedded separators/newlines, doubled-quote escapes, and both LF and
+/// CRLF line endings. The final row is emitted even without a trailing
+/// newline.
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text,
+                                                       char sep = ',');
+
+/// \brief Serializes rows to CSV, quoting fields that need it.
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows,
+                     char sep = ',');
+
+/// \brief Imports CSV into a worksheet starting at A1. Numeric-looking
+/// fields become numbers, TRUE/FALSE become booleans, everything else text.
+Status ImportCsv(std::string_view text, Worksheet* sheet, char sep = ',');
+
+/// \brief Exports a worksheet's used range as CSV (display text of stored
+/// values; formulas are exported as their source text).
+std::string ExportCsv(const Worksheet& sheet, char sep = ',');
+
+}  // namespace slim::doc
+
+#endif  // SLIM_DOC_SPREADSHEET_CSV_H_

@@ -1,0 +1,104 @@
+#ifndef SLIM_DOC_SPREADSHEET_WORKBOOK_H_
+#define SLIM_DOC_SPREADSHEET_WORKBOOK_H_
+
+/// \file workbook.h
+/// \brief A workbook: named worksheets + cross-sheet recalculation +
+/// persistence. This is the document type the "Excel" base application
+/// serves, and the thing an Excel mark's `fileName` names.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "doc/spreadsheet/worksheet.h"
+#include "util/result.h"
+
+namespace slim::doc {
+
+/// \brief An ordered collection of named worksheets with an on-demand,
+/// memoized, cycle-detecting evaluator.
+class Workbook {
+ public:
+  Workbook() = default;
+  explicit Workbook(std::string file_name) : file_name_(std::move(file_name)) {}
+
+  Workbook(const Workbook&) = delete;
+  Workbook& operator=(const Workbook&) = delete;
+
+  const std::string& file_name() const { return file_name_; }
+  void set_file_name(std::string name) { file_name_ = std::move(name); }
+
+  /// Creates a sheet; fails with AlreadyExists on a duplicate name.
+  Result<Worksheet*> AddSheet(const std::string& name);
+
+  /// Looks up a sheet by name (case-sensitive).
+  Result<Worksheet*> GetSheet(const std::string& name);
+  Result<const Worksheet*> GetSheet(const std::string& name) const;
+
+  /// Removes a sheet; NotFound if absent.
+  Status RemoveSheet(const std::string& name);
+
+  /// Sheets in creation order.
+  const std::vector<std::unique_ptr<Worksheet>>& sheets() const {
+    return sheets_;
+  }
+  size_t sheet_count() const { return sheets_.size(); }
+
+  /// Fully evaluated value of a cell: literals pass through, formulas are
+  /// computed (with memoization and cycle detection producing #CYCLE!).
+  /// A nonexistent sheet yields #REF!.
+  CellValue Evaluate(const std::string& sheet, const CellRef& ref);
+
+  /// Evaluated values of every cell in `range`, row-major (blank cells
+  /// included as blank values).
+  std::vector<CellValue> EvaluateRange(const std::string& sheet,
+                                       const RangeRef& range);
+
+  /// Display text of an evaluated cell.
+  std::string DisplayText(const std::string& sheet, const CellRef& ref);
+
+  /// \name Persistence — simple line-oriented native format.
+  /// @{
+  std::string Serialize() const;
+  static Result<std::unique_ptr<Workbook>> Deserialize(std::string_view text);
+  Status SaveToFile(const std::string& path) const;
+  static Result<std::unique_ptr<Workbook>> LoadFromFile(
+      const std::string& path);
+  /// @}
+
+ private:
+  friend class WorkbookResolver;
+
+  struct CellKey {
+    std::string sheet;
+    int32_t row;
+    int32_t col;
+    bool operator==(const CellKey&) const = default;
+  };
+  struct CellKeyHash {
+    size_t operator()(const CellKey& k) const {
+      size_t h = std::hash<std::string>()(k.sheet);
+      h = h * 1000003 + static_cast<size_t>(k.row);
+      h = h * 1000003 + static_cast<size_t>(k.col);
+      return h;
+    }
+  };
+
+  /// Sum of sheet versions; a change anywhere invalidates the memo cache.
+  uint64_t GlobalVersion() const;
+  void MaybeResetCache();
+
+  std::string file_name_;
+  std::vector<std::unique_ptr<Worksheet>> sheets_;
+  std::unordered_map<std::string, Worksheet*> by_name_;
+
+  // Evaluation memo + in-progress set for cycle detection.
+  uint64_t cached_version_ = UINT64_MAX;
+  std::unordered_map<CellKey, CellValue, CellKeyHash> memo_;
+  std::unordered_map<CellKey, bool, CellKeyHash> in_progress_;
+};
+
+}  // namespace slim::doc
+
+#endif  // SLIM_DOC_SPREADSHEET_WORKBOOK_H_

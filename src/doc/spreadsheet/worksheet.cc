@@ -1,0 +1,93 @@
+#include "doc/spreadsheet/worksheet.h"
+
+#include "util/strings.h"
+
+namespace slim::doc {
+
+Worksheet::StoredCell& Worksheet::Mutable(const CellRef& ref) {
+  ++version_;
+  return cells_[{ref.row, ref.col}];
+}
+
+void Worksheet::SetValue(const CellRef& ref, CellValue value) {
+  StoredCell& sc = Mutable(ref);
+  sc.cell.value = std::move(value);
+  sc.cell.formula.clear();
+  sc.ast.reset();
+}
+
+Status Worksheet::SetFormula(const CellRef& ref, std::string_view source) {
+  if (source.empty() || source[0] != '=') {
+    return Status::InvalidArgument("formula must start with '=': '" +
+                                   std::string(source) + "'");
+  }
+  Result<std::unique_ptr<Expr>> parsed = ParseFormula(source.substr(1));
+  if (!parsed.ok()) {
+    return parsed.status().WithContext("in formula '" + std::string(source) +
+                                       "'");
+  }
+  StoredCell& sc = Mutable(ref);
+  sc.cell.formula = std::string(source);
+  sc.cell.value = std::monostate{};  // cache recomputed by the workbook
+  sc.ast = std::move(parsed).ValueOrDie();
+  return Status::OK();
+}
+
+Status Worksheet::SetInput(const CellRef& ref, std::string_view input) {
+  if (!input.empty() && input[0] == '=') return SetFormula(ref, input);
+  std::string_view trimmed = Trim(input);
+  if (trimmed.empty()) {
+    Clear(ref);
+    return Status::OK();
+  }
+  double d;
+  if (ParseDouble(trimmed, &d)) {
+    SetValue(ref, d);
+    return Status::OK();
+  }
+  if (EqualsIgnoreCase(trimmed, "TRUE")) {
+    SetValue(ref, true);
+    return Status::OK();
+  }
+  if (EqualsIgnoreCase(trimmed, "FALSE")) {
+    SetValue(ref, false);
+    return Status::OK();
+  }
+  SetValue(ref, std::string(input));
+  return Status::OK();
+}
+
+void Worksheet::Clear(const CellRef& ref) {
+  auto it = cells_.find({ref.row, ref.col});
+  if (it != cells_.end()) {
+    cells_.erase(it);
+    ++version_;
+  }
+}
+
+const Cell* Worksheet::GetCell(const CellRef& ref) const {
+  auto it = cells_.find({ref.row, ref.col});
+  return it == cells_.end() ? nullptr : &it->second.cell;
+}
+
+const Expr* Worksheet::GetFormulaAst(const CellRef& ref) const {
+  auto it = cells_.find({ref.row, ref.col});
+  return it == cells_.end() ? nullptr : it->second.ast.get();
+}
+
+Result<RangeRef> Worksheet::UsedRange() const {
+  if (cells_.empty()) {
+    return Status::NotFound("worksheet '" + name_ + "' is empty");
+  }
+  int32_t min_row = INT32_MAX, max_row = INT32_MIN;
+  int32_t min_col = INT32_MAX, max_col = INT32_MIN;
+  for (const auto& [key, _] : cells_) {
+    min_row = std::min(min_row, key.first);
+    max_row = std::max(max_row, key.first);
+    min_col = std::min(min_col, key.second);
+    max_col = std::max(max_col, key.second);
+  }
+  return RangeRef{{min_row, min_col}, {max_row, max_col}};
+}
+
+}  // namespace slim::doc

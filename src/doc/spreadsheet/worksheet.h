@@ -1,0 +1,84 @@
+#ifndef SLIM_DOC_SPREADSHEET_WORKSHEET_H_
+#define SLIM_DOC_SPREADSHEET_WORKSHEET_H_
+
+/// \file worksheet.h
+/// \brief One sheet of a workbook: a sparse grid of cells.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "doc/spreadsheet/a1.h"
+#include "doc/spreadsheet/cell.h"
+#include "doc/spreadsheet/formula.h"
+#include "util/result.h"
+
+namespace slim::doc {
+
+/// \brief A sparse grid of cells with parsed-formula caching.
+///
+/// Worksheets store raw content only; evaluation (which may cross sheets)
+/// is coordinated by the owning Workbook.
+class Worksheet {
+ public:
+  explicit Worksheet(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void Rename(std::string name) { name_ = std::move(name); }
+
+  /// Sets a literal value (clears any formula).
+  void SetValue(const CellRef& ref, CellValue value);
+
+  /// Sets a formula; `source` must start with '='. Parse errors are
+  /// returned and leave the cell untouched.
+  Status SetFormula(const CellRef& ref, std::string_view source);
+
+  /// Interprets free-form user input: '=' formula, number, TRUE/FALSE,
+  /// otherwise text. Mirrors what typing into a grid cell does.
+  Status SetInput(const CellRef& ref, std::string_view input);
+
+  /// Removes the cell entirely (becomes blank).
+  void Clear(const CellRef& ref);
+
+  /// Raw stored cell, or nullptr if blank. The returned pointer is
+  /// invalidated by mutations.
+  const Cell* GetCell(const CellRef& ref) const;
+
+  /// Parsed formula AST for the cell, or nullptr if it has none.
+  const Expr* GetFormulaAst(const CellRef& ref) const;
+
+  /// Number of non-blank cells.
+  size_t cell_count() const { return cells_.size(); }
+
+  /// Smallest range covering all non-blank cells; nullopt when empty.
+  Result<RangeRef> UsedRange() const;
+
+  /// Visits every non-blank cell in row-major order.
+  template <typename F>
+  void ForEachCell(F&& f) const {
+    for (const auto& [key, stored] : cells_) {
+      f(CellRef{key.first, key.second}, stored.cell);
+    }
+  }
+
+  /// Monotone counter bumped by every mutation; used by the workbook to
+  /// invalidate its evaluation cache.
+  uint64_t version() const { return version_; }
+
+ private:
+  struct StoredCell {
+    Cell cell;
+    std::unique_ptr<Expr> ast;  // parsed formula, null for literals
+  };
+
+  StoredCell& Mutable(const CellRef& ref);
+
+  std::string name_;
+  std::map<std::pair<int32_t, int32_t>, StoredCell> cells_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace slim::doc
+
+#endif  // SLIM_DOC_SPREADSHEET_WORKSHEET_H_

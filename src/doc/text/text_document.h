@@ -1,0 +1,111 @@
+#ifndef SLIM_DOC_TEXT_TEXT_DOCUMENT_H_
+#define SLIM_DOC_TEXT_TEXT_DOCUMENT_H_
+
+/// \file text_document.h
+/// \brief Paragraph-structured text documents (the "Word" substitute).
+///
+/// A document is an ordered list of paragraphs, each optionally a heading.
+/// Sub-document addressing is by TextSpan: paragraph index plus a character
+/// range within the paragraph — fine-grained enough for the concordance
+/// example of paper §1 ("play-act-scene-line") and for span marks.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace slim::doc::text {
+
+/// \brief A character range inside one paragraph ([begin, end), 0-based).
+struct TextSpan {
+  int32_t paragraph = 0;
+  int32_t begin = 0;
+  int32_t end = 0;
+
+  /// Compact textual form "p<paragraph>:<begin>-<end>" (used inside marks).
+  std::string ToString() const;
+  /// Parses the ToString form.
+  static Result<TextSpan> Parse(std::string_view text);
+
+  friend bool operator==(const TextSpan&, const TextSpan&) = default;
+};
+
+/// \brief One paragraph: text plus a heading level (0 = body text).
+struct Paragraph {
+  std::string text;
+  int heading_level = 0;
+};
+
+/// \brief A paragraph-structured document.
+class TextDocument {
+ public:
+  TextDocument() = default;
+  explicit TextDocument(std::string file_name)
+      : file_name_(std::move(file_name)) {}
+
+  const std::string& file_name() const { return file_name_; }
+  void set_file_name(std::string name) { file_name_ = std::move(name); }
+
+  /// Appends a paragraph; returns its index.
+  int32_t AddParagraph(std::string text, int heading_level = 0);
+
+  /// Inserts a paragraph before `index`; OutOfRange if index > size.
+  Status InsertParagraph(int32_t index, std::string text,
+                         int heading_level = 0);
+
+  /// Removes a paragraph.
+  Status RemoveParagraph(int32_t index);
+
+  /// Replaces the text a span covers with `replacement` (the character
+  /// edit a word processor makes). Later spans in the same paragraph
+  /// shift; marks holding them may drift — see mark/validator.h.
+  Status ReplaceSpan(const TextSpan& span, std::string_view replacement);
+
+  /// Inserts text at a position within a paragraph.
+  Status InsertText(int32_t paragraph, int32_t offset, std::string_view text);
+
+  size_t paragraph_count() const { return paragraphs_.size(); }
+  const std::vector<Paragraph>& paragraphs() const { return paragraphs_; }
+
+  /// Paragraph accessor with bounds checking.
+  Result<const Paragraph*> GetParagraph(int32_t index) const;
+
+  /// True iff the span lies within the document.
+  bool IsValidSpan(const TextSpan& span) const;
+
+  /// The text a span covers; OutOfRange for invalid spans.
+  Result<std::string> ExtractSpan(const TextSpan& span) const;
+
+  /// The full paragraph containing the span (for context display).
+  Result<std::string> SpanContext(const TextSpan& span) const;
+
+  /// Every occurrence of `term` (plain substring match), in document order.
+  std::vector<TextSpan> FindAll(std::string_view term,
+                                bool case_sensitive = true) const;
+
+  /// Word boundaries of a paragraph as spans (letters/digits/apostrophes
+  /// form words).
+  std::vector<TextSpan> Words(int32_t paragraph) const;
+
+  /// Total character count across paragraphs.
+  size_t TotalChars() const;
+
+  /// \name Persistence — markdown-flavored plain text ("#" headings,
+  /// blank-line paragraph separators).
+  /// @{
+  std::string Serialize() const;
+  static std::unique_ptr<TextDocument> Deserialize(std::string_view text);
+  Status SaveToFile(const std::string& path) const;
+  static Result<std::unique_ptr<TextDocument>> LoadFromFile(
+      const std::string& path);
+  /// @}
+
+ private:
+  std::string file_name_;
+  std::vector<Paragraph> paragraphs_;
+};
+
+}  // namespace slim::doc::text
+
+#endif  // SLIM_DOC_TEXT_TEXT_DOCUMENT_H_

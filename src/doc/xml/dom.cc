@@ -1,0 +1,157 @@
+#include "doc/xml/dom.h"
+
+namespace slim::doc::xml {
+
+const std::string* Element::FindAttribute(std::string_view name) const {
+  for (const Attribute& a : attrs_) {
+    if (a.name == name) return &a.value;
+  }
+  return nullptr;
+}
+
+void Element::SetAttribute(std::string_view name, std::string value) {
+  for (Attribute& a : attrs_) {
+    if (a.name == name) {
+      a.value = std::move(value);
+      return;
+    }
+  }
+  attrs_.push_back({std::string(name), std::move(value)});
+}
+
+bool Element::RemoveAttribute(std::string_view name) {
+  for (auto it = attrs_.begin(); it != attrs_.end(); ++it) {
+    if (it->name == name) {
+      attrs_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Element* Element::AddElement(std::string name) {
+  auto child = std::make_unique<Element>(std::move(name));
+  Element* raw = child.get();
+  AddChild(std::move(child));
+  return raw;
+}
+
+CharData* Element::AddText(std::string text) {
+  auto child = std::make_unique<CharData>(NodeKind::kText, std::move(text));
+  CharData* raw = child.get();
+  AddChild(std::move(child));
+  return raw;
+}
+
+CharData* Element::AddComment(std::string text) {
+  auto child = std::make_unique<CharData>(NodeKind::kComment, std::move(text));
+  CharData* raw = child.get();
+  AddChild(std::move(child));
+  return raw;
+}
+
+CharData* Element::AddCData(std::string text) {
+  auto child = std::make_unique<CharData>(NodeKind::kCData, std::move(text));
+  CharData* raw = child.get();
+  AddChild(std::move(child));
+  return raw;
+}
+
+Node* Element::AddChild(std::unique_ptr<Node> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+Status Element::RemoveChild(size_t index) {
+  if (index >= children_.size()) {
+    return Status::OutOfRange("child index " + std::to_string(index) +
+                              " out of range (" +
+                              std::to_string(children_.size()) + " children)");
+  }
+  children_.erase(children_.begin() + static_cast<ptrdiff_t>(index));
+  return Status::OK();
+}
+
+std::vector<Element*> Element::ChildElements() const {
+  std::vector<Element*> out;
+  for (const auto& c : children_) {
+    if (c->kind() == NodeKind::kElement) {
+      out.push_back(static_cast<Element*>(c.get()));
+    }
+  }
+  return out;
+}
+
+std::vector<Element*> Element::ChildElements(std::string_view name) const {
+  std::vector<Element*> out;
+  for (const auto& c : children_) {
+    if (c->kind() == NodeKind::kElement) {
+      auto* e = static_cast<Element*>(c.get());
+      if (e->name() == name) out.push_back(e);
+    }
+  }
+  return out;
+}
+
+Element* Element::FirstChild(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->kind() == NodeKind::kElement) {
+      auto* e = static_cast<Element*>(c.get());
+      if (e->name() == name) return e;
+    }
+  }
+  return nullptr;
+}
+
+std::string Element::InnerText() const {
+  std::string out;
+  for (const auto& c : children_) {
+    switch (c->kind()) {
+      case NodeKind::kText:
+      case NodeKind::kCData:
+        out += static_cast<const CharData*>(c.get())->text();
+        break;
+      case NodeKind::kElement:
+        out += static_cast<const Element*>(c.get())->InnerText();
+        break;
+      case NodeKind::kComment:
+        break;
+    }
+  }
+  return out;
+}
+
+int Element::OrdinalAmongSiblings() const {
+  if (parent() == nullptr) return 1;
+  int ordinal = 0;
+  for (Element* sibling : parent()->ChildElements(name_)) {
+    ++ordinal;
+    if (sibling == this) return ordinal;
+  }
+  return 1;  // unreachable for well-formed trees
+}
+
+std::unique_ptr<Document> Document::Create(std::string root_name) {
+  auto doc = std::make_unique<Document>();
+  doc->set_root(std::make_unique<Element>(std::move(root_name)));
+  return doc;
+}
+
+namespace {
+size_t CountElements(const Element* e) {
+  size_t n = 1;
+  for (const auto& c : e->children()) {
+    if (c->kind() == NodeKind::kElement) {
+      n += CountElements(static_cast<const Element*>(c.get()));
+    }
+  }
+  return n;
+}
+}  // namespace
+
+size_t Document::ElementCount() const {
+  return root_ ? CountElements(root_.get()) : 0;
+}
+
+}  // namespace slim::doc::xml

@@ -1,0 +1,252 @@
+#include "doc/xml/path.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace slim::doc::xml {
+
+namespace {
+
+// Parses one step body (after the name): "", "[n]" or "[@a='v']".
+Status ParsePredicate(std::string_view pred, PathStep* step,
+                      const std::string& full) {
+  if (pred.empty()) return Status::OK();
+  if (pred.front() != '[' || pred.back() != ']') {
+    return Status::ParseError("malformed predicate in step of '" + full +
+                              "'");
+  }
+  std::string_view body = pred.substr(1, pred.size() - 2);
+  if (!body.empty() && body[0] == '@') {
+    size_t eq = body.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::ParseError("attribute predicate needs '=' in '" + full +
+                                "'");
+    }
+    std::string_view name = body.substr(1, eq - 1);
+    std::string_view value = body.substr(eq + 1);
+    if (value.size() < 2 ||
+        !((value.front() == '\'' && value.back() == '\'') ||
+          (value.front() == '"' && value.back() == '"'))) {
+      return Status::ParseError(
+          "attribute value must be quoted in '" + full + "'");
+    }
+    if (name.empty()) {
+      return Status::ParseError("empty attribute name in '" + full + "'");
+    }
+    step->attr_name = std::string(name);
+    step->attr_value = std::string(value.substr(1, value.size() - 2));
+    return Status::OK();
+  }
+  long long n = 0;
+  if (!ParseInt(body, &n) || n < 1) {
+    return Status::ParseError("ordinal must be a positive integer in '" +
+                              full + "'");
+  }
+  step->ordinal = static_cast<int>(n);
+  return Status::OK();
+}
+
+// Candidate children of `parent` for a step (name filter only).
+std::vector<Element*> StepChildren(const Element* parent,
+                                   const PathStep& step) {
+  return step.name == "*" ? parent->ChildElements()
+                          : parent->ChildElements(step.name);
+}
+
+// Applies a step's predicate to candidates.
+std::vector<Element*> ApplyPredicate(std::vector<Element*> candidates,
+                                     const PathStep& step) {
+  if (step.has_attribute_predicate()) {
+    std::vector<Element*> out;
+    for (Element* e : candidates) {
+      const std::string* v = e->FindAttribute(step.attr_name);
+      if (v != nullptr && *v == step.attr_value) out.push_back(e);
+    }
+    return out;
+  }
+  if (step.ordinal > 0) {
+    if (step.ordinal <= static_cast<int>(candidates.size())) {
+      return {candidates[static_cast<size_t>(step.ordinal - 1)]};
+    }
+    return {};
+  }
+  return candidates;
+}
+
+}  // namespace
+
+Result<XmlPath> XmlPath::Parse(std::string_view text) {
+  std::string_view s = Trim(text);
+  if (s.empty() || s[0] != '/') {
+    return Status::ParseError("path must start with '/': '" +
+                              std::string(text) + "'");
+  }
+  std::vector<PathStep> steps;
+  // Split on '/' — but attribute values may not contain '/' in this
+  // dialect, so a plain split is safe.
+  for (const std::string& part : Split(s.substr(1), '/')) {
+    if (part.empty()) {
+      return Status::ParseError("empty path step in '" + std::string(text) +
+                                "'");
+    }
+    PathStep step;
+    size_t bracket = part.find('[');
+    if (bracket == std::string::npos) {
+      step.name = part;
+    } else {
+      step.name = part.substr(0, bracket);
+      SLIM_RETURN_NOT_OK(ParsePredicate(
+          std::string_view(part).substr(bracket), &step, std::string(text)));
+    }
+    if (step.name.empty()) {
+      return Status::ParseError("empty step name in '" + std::string(text) +
+                                "'");
+    }
+    steps.push_back(std::move(step));
+  }
+  return XmlPath(std::move(steps));
+}
+
+std::string XmlPath::ToString() const {
+  std::string out;
+  for (const PathStep& step : steps_) {
+    out += '/';
+    out += step.name;
+    if (step.has_attribute_predicate()) {
+      out += "[@";
+      out += step.attr_name;
+      out += "='";
+      out += step.attr_value;
+      out += "']";
+    } else if (step.ordinal > 0) {
+      out += '[';
+      out += std::to_string(step.ordinal);
+      out += ']';
+    }
+  }
+  return out;
+}
+
+Result<Element*> XmlPath::Resolve(Document* doc) const {
+  if (doc == nullptr || doc->root() == nullptr) {
+    return Status::InvalidArgument("null document");
+  }
+  if (steps_.empty()) return Status::InvalidArgument("empty path");
+  for (const PathStep& step : steps_) {
+    if (step.name == "*") {
+      return Status::InvalidArgument(
+          "wildcard step not allowed when resolving an address: '" +
+          ToString() + "'");
+    }
+  }
+
+  const PathStep& first = steps_[0];
+  bool root_matches = doc->root()->name() == first.name;
+  if (root_matches && first.has_attribute_predicate()) {
+    const std::string* v = doc->root()->FindAttribute(first.attr_name);
+    root_matches = v != nullptr && *v == first.attr_value;
+  }
+  if (root_matches && first.ordinal > 1) root_matches = false;
+  if (!root_matches) {
+    return Status::NotFound("path '" + ToString() +
+                            "' does not match document root <" +
+                            doc->root()->name() + ">");
+  }
+  Element* cur = doc->root();
+  for (size_t i = 1; i < steps_.size(); ++i) {
+    const PathStep& step = steps_[i];
+    std::vector<Element*> matches =
+        ApplyPredicate(StepChildren(cur, step), step);
+    if (matches.empty()) {
+      return Status::NotFound("path '" + ToString() + "': step " +
+                              std::to_string(i + 1) + " (<" + step.name +
+                              ">) not found");
+    }
+    if (step.has_attribute_predicate() && matches.size() > 1) {
+      return Status::FailedPrecondition(
+          "path '" + ToString() + "': step " + std::to_string(i + 1) +
+          " is ambiguous (" + std::to_string(matches.size()) + " matches)");
+    }
+    // Unqualified steps default to the first match when resolving.
+    cur = matches.front();
+  }
+  return cur;
+}
+
+std::vector<Element*> XmlPath::FindAll(Document* doc) const {
+  std::vector<Element*> current;
+  if (doc == nullptr || doc->root() == nullptr || steps_.empty()) {
+    return current;
+  }
+  const PathStep& first = steps_[0];
+  bool root_matches = (first.name == "*" || first.name == doc->root()->name());
+  if (root_matches && first.has_attribute_predicate()) {
+    const std::string* v = doc->root()->FindAttribute(first.attr_name);
+    root_matches = v != nullptr && *v == first.attr_value;
+  }
+  if (root_matches && first.ordinal > 1) root_matches = false;
+  if (root_matches) current.push_back(doc->root());
+
+  for (size_t i = 1; i < steps_.size() && !current.empty(); ++i) {
+    const PathStep& step = steps_[i];
+    std::vector<Element*> next;
+    for (Element* e : current) {
+      std::vector<Element*> matches =
+          ApplyPredicate(StepChildren(e, step), step);
+      next.insert(next.end(), matches.begin(), matches.end());
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+XmlPath PathOf(const Element* element) {
+  std::vector<PathStep> steps;
+  for (const Element* e = element; e != nullptr; e = e->parent()) {
+    PathStep step;
+    step.name = e->name();
+    step.ordinal = e->OrdinalAmongSiblings();
+    steps.push_back(std::move(step));
+  }
+  std::reverse(steps.begin(), steps.end());
+  return XmlPath(std::move(steps));
+}
+
+XmlPath RobustPathOf(const Element* element,
+                     const std::vector<std::string>& preferred_attrs) {
+  std::vector<PathStep> steps;
+  for (const Element* e = element; e != nullptr; e = e->parent()) {
+    PathStep step;
+    step.name = e->name();
+
+    // Try to find an attribute that uniquely distinguishes `e` among its
+    // same-named siblings.
+    bool qualified = false;
+    std::vector<Element*> siblings =
+        e->parent() != nullptr ? e->parent()->ChildElements(e->name())
+                               : std::vector<Element*>{};
+    for (const std::string& attr : preferred_attrs) {
+      const std::string* value = e->FindAttribute(attr);
+      if (value == nullptr) continue;
+      int matches = 0;
+      for (Element* sib : siblings) {
+        const std::string* sv = sib->FindAttribute(attr);
+        if (sv != nullptr && *sv == *value) ++matches;
+      }
+      // For the root (no siblings list) the attribute is trivially unique.
+      if (siblings.empty() || matches == 1) {
+        step.attr_name = attr;
+        step.attr_value = *value;
+        qualified = true;
+        break;
+      }
+    }
+    if (!qualified) step.ordinal = e->OrdinalAmongSiblings();
+    steps.push_back(std::move(step));
+  }
+  std::reverse(steps.begin(), steps.end());
+  return XmlPath(std::move(steps));
+}
+
+}  // namespace slim::doc::xml

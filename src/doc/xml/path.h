@@ -1,0 +1,90 @@
+#ifndef SLIM_DOC_XML_PATH_H_
+#define SLIM_DOC_XML_PATH_H_
+
+/// \file path.h
+/// \brief XmlPath: the element-addressing language used by XML marks.
+///
+/// The paper's XML mark stores an `xmlPath` string (Fig. 8). Our path
+/// language is a small XPath subset sufficient for sub-document addressing:
+///
+///   /report/patient[2]/labs/result[5]
+///   /report/panel[@name='electrolytes']/result[@name='Na']
+///
+/// Steps name child elements. Two predicate forms select among same-named
+/// siblings: `[n]` is the 1-based position (default 1 when resolving, "all"
+/// when querying), and `[@attr='value']` matches by attribute — the
+/// *robust* form, which keeps resolving when elements are inserted or
+/// reordered (cf. the paper's §5 discussion of structure-based vs
+/// position-based addressing). A step of `*` matches any element name
+/// (query only). Every element has a unique canonical ordinal path
+/// (PathOf); RobustPathOf prefers attribute predicates where they are
+/// unique.
+
+#include <string>
+#include <vector>
+
+#include "doc/xml/dom.h"
+#include "util/result.h"
+
+namespace slim::doc::xml {
+
+/// \brief One step of a path.
+struct PathStep {
+  std::string name;  ///< Element name, or "*" (query only).
+  int ordinal = 0;   ///< 1-based; 0 = unspecified.
+  /// Attribute predicate (`[@attr_name='attr_value']`); active when
+  /// attr_name is non-empty. Mutually exclusive with a non-zero ordinal.
+  std::string attr_name;
+  std::string attr_value;
+
+  bool has_attribute_predicate() const { return !attr_name.empty(); }
+
+  friend bool operator==(const PathStep&, const PathStep&) = default;
+};
+
+/// \brief A parsed path. The first step must match the document root.
+class XmlPath {
+ public:
+  XmlPath() = default;
+  explicit XmlPath(std::vector<PathStep> steps) : steps_(std::move(steps)) {}
+
+  const std::vector<PathStep>& steps() const { return steps_; }
+  bool empty() const { return steps_.empty(); }
+
+  /// Parses "/a/b[2]/c" text.
+  static Result<XmlPath> Parse(std::string_view text);
+
+  /// Canonical text form ("[1]" ordinals are always written when set).
+  std::string ToString() const;
+
+  /// Resolves the path to the unique element it addresses. Unspecified
+  /// ordinals default to 1. Wildcards are rejected here (addressing must be
+  /// unambiguous); use FindAll for queries.
+  Result<Element*> Resolve(Document* doc) const;
+
+  /// Returns every element matching the path; unspecified ordinals match
+  /// all same-named siblings, and "*" steps match any name.
+  std::vector<Element*> FindAll(Document* doc) const;
+
+  friend bool operator==(const XmlPath&, const XmlPath&) = default;
+
+ private:
+  std::vector<PathStep> steps_;
+};
+
+/// Canonical path of an element within its document (all ordinals explicit).
+XmlPath PathOf(const Element* element);
+
+/// Robust path of an element: at each step, if one of `preferred_attrs`
+/// (tried in order; defaults to {"id", "name"}) uniquely identifies the
+/// element among same-named siblings, an attribute predicate is used
+/// instead of the ordinal. Attribute-addressed steps keep resolving after
+/// sibling insertions/reorderings — the property position-based addressing
+/// lacks.
+XmlPath RobustPathOf(const Element* element,
+                     const std::vector<std::string>& preferred_attrs = {
+                         "id", "name"});
+
+}  // namespace slim::doc::xml
+
+#endif  // SLIM_DOC_XML_PATH_H_

@@ -1,0 +1,149 @@
+#include "doc/xml/writer.h"
+
+#include <fstream>
+
+namespace slim::doc::xml {
+
+std::string EscapeText(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      case '\n': out += "&#10;"; break;
+      case '\t': out += "&#9;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool HasElementChildren(const Element& e) {
+  for (const auto& c : e.children()) {
+    if (c->kind() == NodeKind::kElement) return true;
+  }
+  return false;
+}
+
+void WriteElement(const Element& e, const WriteOptions& opt, int depth,
+                  std::string* out) {
+  std::string pad =
+      opt.pretty ? std::string(static_cast<size_t>(depth * opt.indent), ' ')
+                 : "";
+  *out += pad;
+  *out += '<';
+  *out += e.name();
+  for (const Attribute& a : e.attributes()) {
+    *out += ' ';
+    *out += a.name;
+    *out += "=\"";
+    *out += EscapeAttribute(a.value);
+    *out += '"';
+  }
+  if (e.children().empty()) {
+    *out += "/>";
+    if (opt.pretty) *out += '\n';
+    return;
+  }
+  *out += '>';
+
+  bool block = HasElementChildren(e);
+  if (opt.pretty && block) *out += '\n';
+  for (const auto& c : e.children()) {
+    switch (c->kind()) {
+      case NodeKind::kElement:
+        WriteElement(*static_cast<const Element*>(c.get()), opt, depth + 1,
+                     out);
+        break;
+      case NodeKind::kText: {
+        const auto* t = static_cast<const CharData*>(c.get());
+        if (opt.pretty && block) {
+          *out += std::string(static_cast<size_t>((depth + 1) * opt.indent),
+                              ' ');
+        }
+        *out += EscapeText(t->text());
+        if (opt.pretty && block) *out += '\n';
+        break;
+      }
+      case NodeKind::kCData: {
+        const auto* t = static_cast<const CharData*>(c.get());
+        if (opt.pretty && block) {
+          *out += std::string(static_cast<size_t>((depth + 1) * opt.indent),
+                              ' ');
+        }
+        *out += "<![CDATA[";
+        *out += t->text();
+        *out += "]]>";
+        if (opt.pretty && block) *out += '\n';
+        break;
+      }
+      case NodeKind::kComment: {
+        const auto* t = static_cast<const CharData*>(c.get());
+        if (opt.pretty && block) {
+          *out += std::string(static_cast<size_t>((depth + 1) * opt.indent),
+                              ' ');
+        }
+        *out += "<!--";
+        *out += t->text();
+        *out += "-->";
+        if (opt.pretty && block) *out += '\n';
+        break;
+      }
+    }
+  }
+  if (opt.pretty && block) *out += pad;
+  *out += "</";
+  *out += e.name();
+  *out += '>';
+  if (opt.pretty) *out += '\n';
+}
+
+}  // namespace
+
+std::string WriteXml(const Element& elem, const WriteOptions& options) {
+  std::string out;
+  WriteElement(elem, options, 0, &out);
+  return out;
+}
+
+std::string WriteXml(const Document& doc, const WriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if (options.pretty) out += '\n';
+  }
+  if (doc.root() != nullptr) {
+    WriteElement(*doc.root(), options, 0, &out);
+  }
+  return out;
+}
+
+Status WriteXmlFile(const Document& doc, const std::string& path,
+                    const WriteOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << WriteXml(doc, options);
+  if (!out.good()) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace slim::doc::xml

@@ -1,0 +1,42 @@
+#ifndef SLIM_DOC_XML_WRITER_H_
+#define SLIM_DOC_XML_WRITER_H_
+
+/// \file writer.h
+/// \brief XML serialization (escaping + optional pretty printing).
+
+#include <string>
+
+#include "doc/xml/dom.h"
+#include "util/status.h"
+
+namespace slim::doc::xml {
+
+/// \brief Serialization options.
+struct WriteOptions {
+  /// Indent nested elements; text-only elements stay on one line.
+  bool pretty = true;
+  /// Indent width when pretty printing.
+  int indent = 2;
+  /// Emit the `<?xml version="1.0" encoding="UTF-8"?>` declaration.
+  bool declaration = true;
+};
+
+/// Escapes the five XML special characters for text content.
+std::string EscapeText(std::string_view s);
+
+/// Escapes text for use inside a double-quoted attribute value.
+std::string EscapeAttribute(std::string_view s);
+
+/// Serializes a document to XML text.
+std::string WriteXml(const Document& doc, const WriteOptions& options = {});
+
+/// Serializes a single element subtree.
+std::string WriteXml(const Element& elem, const WriteOptions& options = {});
+
+/// Writes a document to a file.
+Status WriteXmlFile(const Document& doc, const std::string& path,
+                    const WriteOptions& options = {});
+
+}  // namespace slim::doc::xml
+
+#endif  // SLIM_DOC_XML_WRITER_H_

@@ -1,0 +1,25 @@
+#include "mark/mark.h"
+
+#include "baseapp/pdf_app.h"
+#include "baseapp/slide_app.h"
+
+namespace slim::mark {
+
+std::string Mark::Describe() const {
+  std::string out(type());
+  out += ":";
+  out += file_name();
+  out += "!";
+  out += address();
+  return out;
+}
+
+std::string SlideMark::address() const {
+  return baseapp::SlideApp::FormatAddress(slide_, shape_id_);
+}
+
+std::string PdfMark::address() const {
+  return baseapp::PdfApp::FormatAddress(page_, region_);
+}
+
+}  // namespace slim::mark

@@ -1,0 +1,202 @@
+#ifndef SLIM_MARK_MARK_H_
+#define SLIM_MARK_MARK_H_
+
+/// \file mark.h
+/// \brief Marks: resolvable addresses into base-layer information.
+///
+/// Paper Fig. 3/Fig. 8: "A mark contains the address to the marked
+/// information element, in whatever form required by the base source. There
+/// is one subclass of Mark for each type of base information supported."
+/// Each subclass carries exactly the fields the paper shows for its type
+/// (e.g. Excel: fileName, sheetName, range; XML: fileName, xmlPath), plus a
+/// content excerpt captured at creation time (used by "display in place"
+/// and by SLIMPad to label scraps without resolving).
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "doc/pdf/pdf_document.h"
+#include "doc/spreadsheet/a1.h"
+#include "doc/text/text_document.h"
+#include "util/result.h"
+
+namespace slim::mark {
+
+/// \brief Named string fields of a mark; the persistence and interchange
+/// form (order is significant for round trips).
+using MarkFields = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief Abstract mark.
+class Mark {
+ public:
+  virtual ~Mark() = default;
+
+  /// Unique id; MarkHandles in the superimposed layer refer to this.
+  const std::string& mark_id() const { return mark_id_; }
+
+  /// The base document (file name or URL) the mark points into.
+  const std::string& file_name() const { return file_name_; }
+
+  /// Mark type tag; selects the mark module ("excel", "xml", "text",
+  /// "slides", "pdf", "html").
+  virtual std::string_view type() const = 0;
+
+  /// The address in the base application's native syntax — what
+  /// BaseApplication::NavigateTo consumes.
+  virtual std::string address() const = 0;
+
+  /// Typed fields for persistence (excluding mark_id/excerpt, which the
+  /// manager serializes uniformly).
+  virtual MarkFields Fields() const = 0;
+
+  /// Excerpt of the marked element's content, captured at creation.
+  const std::string& excerpt() const { return excerpt_; }
+  void set_excerpt(std::string excerpt) { excerpt_ = std::move(excerpt); }
+
+  /// One-line description for UIs/logs: "excel:meds.book!Meds!B2:D2".
+  std::string Describe() const;
+
+ protected:
+  Mark(std::string mark_id, std::string file_name)
+      : mark_id_(std::move(mark_id)), file_name_(std::move(file_name)) {}
+
+ private:
+  std::string mark_id_;
+  std::string file_name_;
+  std::string excerpt_;
+};
+
+/// \brief Mark into a spreadsheet workbook (paper Fig. 8 left).
+class ExcelMark : public Mark {
+ public:
+  ExcelMark(std::string mark_id, std::string file_name, std::string sheet_name,
+            doc::RangeRef range)
+      : Mark(std::move(mark_id), std::move(file_name)),
+        sheet_name_(std::move(sheet_name)),
+        range_(range) {}
+
+  std::string_view type() const override { return "excel"; }
+  const std::string& sheet_name() const { return sheet_name_; }
+  const doc::RangeRef& range() const { return range_; }
+  std::string address() const override {
+    return sheet_name_ + "!" + doc::FormatRange(range_);
+  }
+  MarkFields Fields() const override {
+    return {{"fileName", file_name()},
+            {"sheetName", sheet_name_},
+            {"range", doc::FormatRange(range_)}};
+  }
+
+ private:
+  std::string sheet_name_;
+  doc::RangeRef range_;
+};
+
+/// \brief Mark into an XML document (paper Fig. 8 right).
+class XmlMark : public Mark {
+ public:
+  XmlMark(std::string mark_id, std::string file_name, std::string xml_path)
+      : Mark(std::move(mark_id), std::move(file_name)),
+        xml_path_(std::move(xml_path)) {}
+
+  std::string_view type() const override { return "xml"; }
+  const std::string& xml_path() const { return xml_path_; }
+  std::string address() const override { return xml_path_; }
+  MarkFields Fields() const override {
+    return {{"fileName", file_name()}, {"xmlPath", xml_path_}};
+  }
+
+ private:
+  std::string xml_path_;
+};
+
+/// \brief Span mark into a word-processor document.
+class TextMark : public Mark {
+ public:
+  TextMark(std::string mark_id, std::string file_name,
+           doc::text::TextSpan span)
+      : Mark(std::move(mark_id), std::move(file_name)), span_(span) {}
+
+  std::string_view type() const override { return "text"; }
+  const doc::text::TextSpan& span() const { return span_; }
+  std::string address() const override { return span_.ToString(); }
+  MarkFields Fields() const override {
+    return {{"fileName", file_name()}, {"span", span_.ToString()}};
+  }
+
+ private:
+  doc::text::TextSpan span_;
+};
+
+/// \brief Mark onto a presentation slide or one of its shapes.
+class SlideMark : public Mark {
+ public:
+  SlideMark(std::string mark_id, std::string file_name, int32_t slide,
+            std::string shape_id)
+      : Mark(std::move(mark_id), std::move(file_name)),
+        slide_(slide),
+        shape_id_(std::move(shape_id)) {}
+
+  std::string_view type() const override { return "slides"; }
+  int32_t slide() const { return slide_; }
+  const std::string& shape_id() const { return shape_id_; }
+  std::string address() const override;
+  MarkFields Fields() const override {
+    return {{"fileName", file_name()},
+            {"slide", std::to_string(slide_)},
+            {"shapeId", shape_id_}};
+  }
+
+ private:
+  int32_t slide_;
+  std::string shape_id_;
+};
+
+/// \brief Region mark into a (simulated) PDF document.
+class PdfMark : public Mark {
+ public:
+  PdfMark(std::string mark_id, std::string file_name, int32_t page,
+          doc::pdf::Rect region)
+      : Mark(std::move(mark_id), std::move(file_name)),
+        page_(page),
+        region_(region) {}
+
+  std::string_view type() const override { return "pdf"; }
+  int32_t page() const { return page_; }
+  const doc::pdf::Rect& region() const { return region_; }
+  std::string address() const override;
+  MarkFields Fields() const override {
+    return {{"fileName", file_name()},
+            {"page", std::to_string(page_)},
+            {"rect", region_.ToString()}};
+  }
+
+ private:
+  int32_t page_;
+  doc::pdf::Rect region_;
+};
+
+/// \brief Mark into an HTML page (by id, anchor, or structural path).
+class HtmlMark : public Mark {
+ public:
+  HtmlMark(std::string mark_id, std::string url, std::string locator)
+      : Mark(std::move(mark_id), std::move(url)),
+        locator_(std::move(locator)) {}
+
+  std::string_view type() const override { return "html"; }
+  /// The "id:", "anchor:" or "path:" locator.
+  const std::string& locator() const { return locator_; }
+  std::string address() const override { return locator_; }
+  MarkFields Fields() const override {
+    return {{"url", file_name()}, {"locator", locator_}};
+  }
+
+ private:
+  std::string locator_;
+};
+
+}  // namespace slim::mark
+
+#endif  // SLIM_MARK_MARK_H_

@@ -1,0 +1,174 @@
+#include "mark/mark_manager.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "doc/xml/parser.h"
+#include "doc/xml/writer.h"
+
+namespace slim::mark {
+
+namespace xml = slim::doc::xml;
+
+Status MarkManager::RegisterModule(MarkModule* module) {
+  if (module == nullptr) return Status::InvalidArgument("null module");
+  std::pair<std::string, std::string> key{std::string(module->mark_type()),
+                                          std::string(module->resolver_name())};
+  if (modules_.count(key)) {
+    return Status::AlreadyExists("module for type '" + key.first +
+                                 "' resolver '" + key.second +
+                                 "' already registered");
+  }
+  modules_[key] = module;
+  return Status::OK();
+}
+
+std::vector<std::string> MarkManager::SupportedTypes() const {
+  std::vector<std::string> out;
+  for (const auto& [key, _] : modules_) {
+    if (key.second == "context") out.push_back(key.first);
+  }
+  return out;
+}
+
+Result<MarkModule*> MarkManager::FindModule(std::string_view mark_type,
+                                            std::string_view resolver) const {
+  auto it = modules_.find(
+      {std::string(mark_type), std::string(resolver)});
+  if (it == modules_.end()) {
+    return Status::NotFound("no mark module for type '" +
+                            std::string(mark_type) + "' resolver '" +
+                            std::string(resolver) + "'");
+  }
+  return it->second;
+}
+
+Result<std::string> MarkManager::CreateMarkFromSelection(
+    const std::string& mark_type) {
+  SLIM_ASSIGN_OR_RETURN(MarkModule * module, FindModule(mark_type, "context"));
+  std::string id = ids_.Next();
+  SLIM_ASSIGN_OR_RETURN(std::unique_ptr<Mark> m,
+                        module->CreateFromSelection(id));
+  marks_[id] = std::move(m);
+  return id;
+}
+
+Status MarkManager::AdoptMark(std::unique_ptr<Mark> mark) {
+  if (mark == nullptr) return Status::InvalidArgument("null mark");
+  const std::string& id = mark->mark_id();
+  if (id.empty()) return Status::InvalidArgument("mark has empty id");
+  if (marks_.count(id)) {
+    return Status::AlreadyExists("mark '" + id + "' already exists");
+  }
+  ids_.ObserveExisting(id);
+  marks_[id] = std::move(mark);
+  return Status::OK();
+}
+
+Result<const Mark*> MarkManager::GetMark(const std::string& mark_id) const {
+  auto it = marks_.find(mark_id);
+  if (it == marks_.end()) {
+    return Status::NotFound("no mark '" + mark_id + "'");
+  }
+  return static_cast<const Mark*>(it->second.get());
+}
+
+Status MarkManager::RemoveMark(const std::string& mark_id) {
+  auto it = marks_.find(mark_id);
+  if (it == marks_.end()) {
+    return Status::NotFound("no mark '" + mark_id + "'");
+  }
+  marks_.erase(it);
+  return Status::OK();
+}
+
+Status MarkManager::ResolveMark(const std::string& mark_id,
+                                const std::string& resolver) {
+  SLIM_ASSIGN_OR_RETURN(const Mark* m, GetMark(mark_id));
+  SLIM_ASSIGN_OR_RETURN(MarkModule * module, FindModule(m->type(), resolver));
+  return module->Resolve(*m).WithContext("resolving " + m->Describe());
+}
+
+Result<std::string> MarkManager::ExtractContent(const std::string& mark_id) {
+  SLIM_ASSIGN_OR_RETURN(const Mark* m, GetMark(mark_id));
+  SLIM_ASSIGN_OR_RETURN(MarkModule * module, FindModule(m->type(), "context"));
+  return module->ExtractContent(*m);
+}
+
+std::vector<std::string> MarkManager::MarkIds() const {
+  std::vector<std::string> out;
+  out.reserve(marks_.size());
+  for (const auto& [id, _] : marks_) out.push_back(id);
+  return out;
+}
+
+std::string MarkManager::ToXml() const {
+  xml::Document doc;
+  auto root = std::make_unique<xml::Element>("marks");
+  for (const auto& [id, m] : marks_) {
+    xml::Element* me = root->AddElement("mark");
+    me->SetAttribute("id", id);
+    me->SetAttribute("type", std::string(m->type()));
+    for (const auto& [name, value] : m->Fields()) {
+      xml::Element* fe = me->AddElement("field");
+      fe->SetAttribute("name", name);
+      fe->SetAttribute("value", value);
+    }
+    if (!m->excerpt().empty()) {
+      me->AddElement("excerpt")->AddText(m->excerpt());
+    }
+  }
+  doc.set_root(std::move(root));
+  return xml::WriteXml(doc);
+}
+
+Status MarkManager::FromXml(std::string_view xml_text) {
+  xml::ParseOptions opts;
+  opts.strip_whitespace_text = false;
+  SLIM_ASSIGN_OR_RETURN(std::unique_ptr<xml::Document> doc,
+                        xml::ParseXml(xml_text, opts));
+  if (doc->root() == nullptr || doc->root()->name() != "marks") {
+    return Status::ParseError("root element is not <marks>");
+  }
+  for (xml::Element* me : doc->root()->ChildElements("mark")) {
+    const std::string* id = me->FindAttribute("id");
+    const std::string* type = me->FindAttribute("type");
+    if (id == nullptr || type == nullptr) {
+      return Status::ParseError("<mark> missing id/type attribute");
+    }
+    MarkFields fields;
+    for (xml::Element* fe : me->ChildElements("field")) {
+      const std::string* name = fe->FindAttribute("name");
+      const std::string* value = fe->FindAttribute("value");
+      if (name == nullptr || value == nullptr) {
+        return Status::ParseError("<field> missing name/value attribute");
+      }
+      fields.push_back({*name, *value});
+    }
+    SLIM_ASSIGN_OR_RETURN(MarkModule * module, FindModule(*type, "context"));
+    SLIM_ASSIGN_OR_RETURN(std::unique_ptr<Mark> m,
+                          module->FromFields(*id, fields));
+    xml::Element* excerpt = me->FirstChild("excerpt");
+    if (excerpt != nullptr) m->set_excerpt(excerpt->InnerText());
+    SLIM_RETURN_NOT_OK(AdoptMark(std::move(m)));
+  }
+  return Status::OK();
+}
+
+Status MarkManager::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << ToXml();
+  if (!out.good()) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Status MarkManager::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return FromXml(buf.str());
+}
+
+}  // namespace slim::mark

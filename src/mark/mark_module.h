@@ -1,0 +1,63 @@
+#ifndef SLIM_MARK_MARK_MODULE_H_
+#define SLIM_MARK_MARK_MODULE_H_
+
+/// \file mark_module.h
+/// \brief Mark modules (paper §4.2): the per-application adapters.
+///
+/// "A mark module, specific to a base-layer application, enables the
+/// creation of marks by receiving information from that application... A
+/// mark module resolves a mark by driving the base-layer application to the
+/// information element designated by the mark."
+///
+/// §5 (Monikers comparison): because a *manager* resolves marks rather than
+/// the mark itself, several modules can serve the same mark type with
+/// different behaviors — e.g. one displays the element in context, another
+/// acts as an in-place viewer. `resolver_name()` distinguishes them.
+
+#include <memory>
+#include <string>
+
+#include "mark/mark.h"
+#include "util/result.h"
+
+namespace slim::mark {
+
+/// \brief Abstract per-application mark module.
+class MarkModule {
+ public:
+  virtual ~MarkModule() = default;
+
+  /// The mark type this module serves ("excel", "xml", ...).
+  virtual std::string_view mark_type() const = 0;
+
+  /// Which resolution behavior this module provides. The default module of
+  /// a type is "context" (navigate + highlight in the base app); an
+  /// in-place-viewer module would be "inplace".
+  virtual std::string_view resolver_name() const { return "context"; }
+
+  /// Creates a mark (with the given id) from the base application's
+  /// current selection — the paper's creation flow: the application hands
+  /// its selection to the module, the module builds the typed mark.
+  virtual Result<std::unique_ptr<Mark>> CreateFromSelection(
+      const std::string& mark_id) = 0;
+
+  /// Resolves the mark: drives the base application to the addressed
+  /// element (or whatever this resolver's behavior is).
+  virtual Status Resolve(const Mark& m) = 0;
+
+  /// §6 extension: returns the element's current content without visible
+  /// navigation.
+  virtual Result<std::string> ExtractContent(const Mark& m) = 0;
+
+  /// Reconstructs a typed mark from persisted fields.
+  virtual Result<std::unique_ptr<Mark>> FromFields(
+      const std::string& mark_id, const MarkFields& fields) = 0;
+};
+
+/// Looks up a field by name in persisted MarkFields.
+Result<std::string> GetField(const MarkFields& fields,
+                             const std::string& name);
+
+}  // namespace slim::mark
+
+#endif  // SLIM_MARK_MARK_MODULE_H_

@@ -1,0 +1,208 @@
+#include "mark/modules.h"
+
+#include "util/strings.h"
+
+namespace slim::mark {
+
+Result<std::string> GetField(const MarkFields& fields,
+                             const std::string& name) {
+  for (const auto& [k, v] : fields) {
+    if (k == name) return v;
+  }
+  return Status::NotFound("mark field '" + name + "' missing");
+}
+
+// ---------------------------------------------------------------------------
+// Excel
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<Mark>> ExcelMarkModule::CreateFromSelection(
+    const std::string& mark_id) {
+  SLIM_ASSIGN_OR_RETURN(baseapp::Selection sel, app_->CurrentSelection());
+  SLIM_ASSIGN_OR_RETURN(auto parsed,
+                        baseapp::SpreadsheetApp::ParseAddress(sel.address));
+  auto m = std::make_unique<ExcelMark>(mark_id, sel.file_name, parsed.first,
+                                       parsed.second);
+  m->set_excerpt(sel.content);
+  return std::unique_ptr<Mark>(std::move(m));
+}
+
+Status ExcelMarkModule::Resolve(const Mark& m) {
+  return app_->NavigateTo(m.file_name(), m.address());
+}
+
+Result<std::string> ExcelMarkModule::ExtractContent(const Mark& m) {
+  return app_->ExtractContent(m.file_name(), m.address());
+}
+
+Result<std::unique_ptr<Mark>> ExcelMarkModule::FromFields(
+    const std::string& mark_id, const MarkFields& fields) {
+  SLIM_ASSIGN_OR_RETURN(std::string file, GetField(fields, "fileName"));
+  SLIM_ASSIGN_OR_RETURN(std::string sheet, GetField(fields, "sheetName"));
+  SLIM_ASSIGN_OR_RETURN(std::string range_text, GetField(fields, "range"));
+  SLIM_ASSIGN_OR_RETURN(doc::RangeRef range, doc::ParseRange(range_text));
+  return std::unique_ptr<Mark>(
+      std::make_unique<ExcelMark>(mark_id, file, sheet, range));
+}
+
+// ---------------------------------------------------------------------------
+// XML
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<Mark>> XmlMarkModule::CreateFromSelection(
+    const std::string& mark_id) {
+  SLIM_ASSIGN_OR_RETURN(baseapp::Selection sel, app_->CurrentSelection());
+  auto m = std::make_unique<XmlMark>(mark_id, sel.file_name, sel.address);
+  m->set_excerpt(sel.content);
+  return std::unique_ptr<Mark>(std::move(m));
+}
+
+Status XmlMarkModule::Resolve(const Mark& m) {
+  return app_->NavigateTo(m.file_name(), m.address());
+}
+
+Result<std::string> XmlMarkModule::ExtractContent(const Mark& m) {
+  return app_->ExtractContent(m.file_name(), m.address());
+}
+
+Result<std::unique_ptr<Mark>> XmlMarkModule::FromFields(
+    const std::string& mark_id, const MarkFields& fields) {
+  SLIM_ASSIGN_OR_RETURN(std::string file, GetField(fields, "fileName"));
+  SLIM_ASSIGN_OR_RETURN(std::string path, GetField(fields, "xmlPath"));
+  return std::unique_ptr<Mark>(std::make_unique<XmlMark>(mark_id, file, path));
+}
+
+// ---------------------------------------------------------------------------
+// Text
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<Mark>> TextMarkModule::CreateFromSelection(
+    const std::string& mark_id) {
+  SLIM_ASSIGN_OR_RETURN(baseapp::Selection sel, app_->CurrentSelection());
+  SLIM_ASSIGN_OR_RETURN(doc::text::TextSpan span,
+                        doc::text::TextSpan::Parse(sel.address));
+  auto m = std::make_unique<TextMark>(mark_id, sel.file_name, span);
+  m->set_excerpt(sel.content);
+  return std::unique_ptr<Mark>(std::move(m));
+}
+
+Status TextMarkModule::Resolve(const Mark& m) {
+  return app_->NavigateTo(m.file_name(), m.address());
+}
+
+Result<std::string> TextMarkModule::ExtractContent(const Mark& m) {
+  return app_->ExtractContent(m.file_name(), m.address());
+}
+
+Result<std::unique_ptr<Mark>> TextMarkModule::FromFields(
+    const std::string& mark_id, const MarkFields& fields) {
+  SLIM_ASSIGN_OR_RETURN(std::string file, GetField(fields, "fileName"));
+  SLIM_ASSIGN_OR_RETURN(std::string span_text, GetField(fields, "span"));
+  SLIM_ASSIGN_OR_RETURN(doc::text::TextSpan span,
+                        doc::text::TextSpan::Parse(span_text));
+  return std::unique_ptr<Mark>(
+      std::make_unique<TextMark>(mark_id, file, span));
+}
+
+// ---------------------------------------------------------------------------
+// Slides
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<Mark>> SlideMarkModule::CreateFromSelection(
+    const std::string& mark_id) {
+  SLIM_ASSIGN_OR_RETURN(baseapp::Selection sel, app_->CurrentSelection());
+  SLIM_ASSIGN_OR_RETURN(auto parsed,
+                        baseapp::SlideApp::ParseAddress(sel.address));
+  auto m = std::make_unique<SlideMark>(mark_id, sel.file_name, parsed.first,
+                                       parsed.second);
+  m->set_excerpt(sel.content);
+  return std::unique_ptr<Mark>(std::move(m));
+}
+
+Status SlideMarkModule::Resolve(const Mark& m) {
+  return app_->NavigateTo(m.file_name(), m.address());
+}
+
+Result<std::string> SlideMarkModule::ExtractContent(const Mark& m) {
+  return app_->ExtractContent(m.file_name(), m.address());
+}
+
+Result<std::unique_ptr<Mark>> SlideMarkModule::FromFields(
+    const std::string& mark_id, const MarkFields& fields) {
+  SLIM_ASSIGN_OR_RETURN(std::string file, GetField(fields, "fileName"));
+  SLIM_ASSIGN_OR_RETURN(std::string slide_text, GetField(fields, "slide"));
+  SLIM_ASSIGN_OR_RETURN(std::string shape_id, GetField(fields, "shapeId"));
+  long long slide = 0;
+  if (!ParseInt(slide_text, &slide) || slide < 0) {
+    return Status::ParseError("bad slide index '" + slide_text + "'");
+  }
+  return std::unique_ptr<Mark>(std::make_unique<SlideMark>(
+      mark_id, file, static_cast<int32_t>(slide), shape_id));
+}
+
+// ---------------------------------------------------------------------------
+// PDF
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<Mark>> PdfMarkModule::CreateFromSelection(
+    const std::string& mark_id) {
+  SLIM_ASSIGN_OR_RETURN(baseapp::Selection sel, app_->CurrentSelection());
+  SLIM_ASSIGN_OR_RETURN(auto parsed,
+                        baseapp::PdfApp::ParseAddress(sel.address));
+  auto m = std::make_unique<PdfMark>(mark_id, sel.file_name, parsed.first,
+                                     parsed.second);
+  m->set_excerpt(sel.content);
+  return std::unique_ptr<Mark>(std::move(m));
+}
+
+Status PdfMarkModule::Resolve(const Mark& m) {
+  return app_->NavigateTo(m.file_name(), m.address());
+}
+
+Result<std::string> PdfMarkModule::ExtractContent(const Mark& m) {
+  return app_->ExtractContent(m.file_name(), m.address());
+}
+
+Result<std::unique_ptr<Mark>> PdfMarkModule::FromFields(
+    const std::string& mark_id, const MarkFields& fields) {
+  SLIM_ASSIGN_OR_RETURN(std::string file, GetField(fields, "fileName"));
+  SLIM_ASSIGN_OR_RETURN(std::string page_text, GetField(fields, "page"));
+  SLIM_ASSIGN_OR_RETURN(std::string rect_text, GetField(fields, "rect"));
+  long long page = 0;
+  if (!ParseInt(page_text, &page) || page < 0) {
+    return Status::ParseError("bad page index '" + page_text + "'");
+  }
+  SLIM_ASSIGN_OR_RETURN(doc::pdf::Rect rect, doc::pdf::Rect::Parse(rect_text));
+  return std::unique_ptr<Mark>(std::make_unique<PdfMark>(
+      mark_id, file, static_cast<int32_t>(page), rect));
+}
+
+// ---------------------------------------------------------------------------
+// HTML
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<Mark>> HtmlMarkModule::CreateFromSelection(
+    const std::string& mark_id) {
+  SLIM_ASSIGN_OR_RETURN(baseapp::Selection sel, app_->CurrentSelection());
+  auto m = std::make_unique<HtmlMark>(mark_id, sel.file_name, sel.address);
+  m->set_excerpt(sel.content);
+  return std::unique_ptr<Mark>(std::move(m));
+}
+
+Status HtmlMarkModule::Resolve(const Mark& m) {
+  return app_->NavigateTo(m.file_name(), m.address());
+}
+
+Result<std::string> HtmlMarkModule::ExtractContent(const Mark& m) {
+  return app_->ExtractContent(m.file_name(), m.address());
+}
+
+Result<std::unique_ptr<Mark>> HtmlMarkModule::FromFields(
+    const std::string& mark_id, const MarkFields& fields) {
+  SLIM_ASSIGN_OR_RETURN(std::string url, GetField(fields, "url"));
+  SLIM_ASSIGN_OR_RETURN(std::string locator, GetField(fields, "locator"));
+  return std::unique_ptr<Mark>(
+      std::make_unique<HtmlMark>(mark_id, url, locator));
+}
+
+}  // namespace slim::mark

@@ -1,0 +1,161 @@
+#ifndef SLIM_MARK_MODULES_H_
+#define SLIM_MARK_MODULES_H_
+
+/// \file modules.h
+/// \brief Concrete mark modules, one per base application (paper Fig. 7).
+
+#include <memory>
+
+#include "baseapp/html_app.h"
+#include "baseapp/pdf_app.h"
+#include "baseapp/slide_app.h"
+#include "baseapp/spreadsheet_app.h"
+#include "baseapp/text_app.h"
+#include "baseapp/xml_app.h"
+#include "mark/mark_module.h"
+
+namespace slim::mark {
+
+/// \brief Excel mark module: selection -> ExcelMark; resolution opens the
+/// file, activates the worksheet and selects the range (paper §4.2).
+class ExcelMarkModule : public MarkModule {
+ public:
+  explicit ExcelMarkModule(baseapp::SpreadsheetApp* app) : app_(app) {}
+  std::string_view mark_type() const override { return "excel"; }
+  Result<std::unique_ptr<Mark>> CreateFromSelection(
+      const std::string& mark_id) override;
+  Status Resolve(const Mark& m) override;
+  Result<std::string> ExtractContent(const Mark& m) override;
+  Result<std::unique_ptr<Mark>> FromFields(const std::string& mark_id,
+                                           const MarkFields& fields) override;
+
+ private:
+  baseapp::SpreadsheetApp* app_;
+};
+
+/// \brief XML mark module (xmlPath addressing).
+class XmlMarkModule : public MarkModule {
+ public:
+  explicit XmlMarkModule(baseapp::XmlApp* app) : app_(app) {}
+  std::string_view mark_type() const override { return "xml"; }
+  Result<std::unique_ptr<Mark>> CreateFromSelection(
+      const std::string& mark_id) override;
+  Status Resolve(const Mark& m) override;
+  Result<std::string> ExtractContent(const Mark& m) override;
+  Result<std::unique_ptr<Mark>> FromFields(const std::string& mark_id,
+                                           const MarkFields& fields) override;
+
+ private:
+  baseapp::XmlApp* app_;
+};
+
+/// \brief Word-processor span marks.
+class TextMarkModule : public MarkModule {
+ public:
+  explicit TextMarkModule(baseapp::TextApp* app) : app_(app) {}
+  std::string_view mark_type() const override { return "text"; }
+  Result<std::unique_ptr<Mark>> CreateFromSelection(
+      const std::string& mark_id) override;
+  Status Resolve(const Mark& m) override;
+  Result<std::string> ExtractContent(const Mark& m) override;
+  Result<std::unique_ptr<Mark>> FromFields(const std::string& mark_id,
+                                           const MarkFields& fields) override;
+
+ private:
+  baseapp::TextApp* app_;
+};
+
+/// \brief Presentation slide/shape marks.
+class SlideMarkModule : public MarkModule {
+ public:
+  explicit SlideMarkModule(baseapp::SlideApp* app) : app_(app) {}
+  std::string_view mark_type() const override { return "slides"; }
+  Result<std::unique_ptr<Mark>> CreateFromSelection(
+      const std::string& mark_id) override;
+  Status Resolve(const Mark& m) override;
+  Result<std::string> ExtractContent(const Mark& m) override;
+  Result<std::unique_ptr<Mark>> FromFields(const std::string& mark_id,
+                                           const MarkFields& fields) override;
+
+ private:
+  baseapp::SlideApp* app_;
+};
+
+/// \brief PDF page/region marks.
+class PdfMarkModule : public MarkModule {
+ public:
+  explicit PdfMarkModule(baseapp::PdfApp* app) : app_(app) {}
+  std::string_view mark_type() const override { return "pdf"; }
+  Result<std::unique_ptr<Mark>> CreateFromSelection(
+      const std::string& mark_id) override;
+  Status Resolve(const Mark& m) override;
+  Result<std::string> ExtractContent(const Mark& m) override;
+  Result<std::unique_ptr<Mark>> FromFields(const std::string& mark_id,
+                                           const MarkFields& fields) override;
+
+ private:
+  baseapp::PdfApp* app_;
+};
+
+/// \brief HTML page marks.
+class HtmlMarkModule : public MarkModule {
+ public:
+  explicit HtmlMarkModule(baseapp::HtmlApp* app) : app_(app) {}
+  std::string_view mark_type() const override { return "html"; }
+  Result<std::unique_ptr<Mark>> CreateFromSelection(
+      const std::string& mark_id) override;
+  Status Resolve(const Mark& m) override;
+  Result<std::string> ExtractContent(const Mark& m) override;
+  Result<std::unique_ptr<Mark>> FromFields(const std::string& mark_id,
+                                           const MarkFields& fields) override;
+
+ private:
+  baseapp::HtmlApp* app_;
+};
+
+/// \brief The §5/§6 alternative resolver: an in-place viewer for any mark
+/// type. Resolving does NOT drive the base application's visible state;
+/// instead the element's content is fetched and handed to the superimposed
+/// application (the independent-viewing style of Fig. 6).
+class InPlaceModule : public MarkModule {
+ public:
+  /// Wraps the type's default module; `delegate` must outlive this.
+  explicit InPlaceModule(MarkModule* delegate) : delegate_(delegate) {}
+
+  std::string_view mark_type() const override {
+    return delegate_->mark_type();
+  }
+  std::string_view resolver_name() const override { return "inplace"; }
+
+  /// In-place modules do not create marks.
+  Result<std::unique_ptr<Mark>> CreateFromSelection(
+      const std::string&) override {
+    return Status::Unsupported("in-place module cannot create marks");
+  }
+
+  /// Fetches the content and stores it for the caller to display in place.
+  Status Resolve(const Mark& m) override {
+    SLIM_ASSIGN_OR_RETURN(last_displayed_, delegate_->ExtractContent(m));
+    return Status::OK();
+  }
+
+  Result<std::string> ExtractContent(const Mark& m) override {
+    return delegate_->ExtractContent(m);
+  }
+
+  Result<std::unique_ptr<Mark>> FromFields(const std::string& mark_id,
+                                           const MarkFields& fields) override {
+    return delegate_->FromFields(mark_id, fields);
+  }
+
+  /// Content produced by the last in-place resolution.
+  const std::string& last_displayed() const { return last_displayed_; }
+
+ private:
+  MarkModule* delegate_;
+  std::string last_displayed_;
+};
+
+}  // namespace slim::mark
+
+#endif  // SLIM_MARK_MODULES_H_

@@ -1,0 +1,59 @@
+#include "mark/validator.h"
+
+namespace slim::mark {
+
+std::string_view MarkHealthName(MarkHealth health) {
+  switch (health) {
+    case MarkHealth::kValid: return "valid";
+    case MarkHealth::kContentChanged: return "content-changed";
+    case MarkHealth::kDangling: return "dangling";
+  }
+  return "unknown";
+}
+
+std::string ValidationReport::ToString() const {
+  std::string out = std::to_string(audits.size()) + " mark(s): " +
+                    std::to_string(valid) + " valid, " +
+                    std::to_string(changed) + " changed, " +
+                    std::to_string(dangling) + " dangling";
+  for (const MarkAudit& a : audits) {
+    if (a.health == MarkHealth::kValid) continue;
+    out += "\n  [";
+    out += MarkHealthName(a.health);
+    out += "] ";
+    out += a.mark_id;
+    out += ": ";
+    out += a.detail;
+  }
+  return out;
+}
+
+ValidationReport ValidateAllMarks(MarkManager* manager) {
+  ValidationReport report;
+  for (const std::string& id : manager->MarkIds()) {
+    MarkAudit audit;
+    audit.mark_id = id;
+    Result<std::string> content = manager->ExtractContent(id);
+    if (!content.ok()) {
+      audit.health = MarkHealth::kDangling;
+      audit.detail = content.status().ToString();
+      ++report.dangling;
+    } else {
+      const Mark* m = manager->GetMark(id).ValueOrDie();
+      if (!m->excerpt().empty() && m->excerpt() != *content) {
+        audit.health = MarkHealth::kContentChanged;
+        audit.detail = "was \"" + m->excerpt() + "\", now \"" + *content +
+                       "\"";
+        ++report.changed;
+      } else {
+        audit.health = MarkHealth::kValid;
+        audit.detail = *content;
+        ++report.valid;
+      }
+    }
+    report.audits.push_back(std::move(audit));
+  }
+  return report;
+}
+
+}  // namespace slim::mark

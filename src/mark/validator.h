@@ -1,0 +1,57 @@
+#ifndef SLIM_MARK_VALIDATOR_H_
+#define SLIM_MARK_VALIDATOR_H_
+
+/// \file validator.h
+/// \brief Mark validation: detecting stale and dangling marks.
+///
+/// Paper §3: bundles deliberately duplicate base information ("redundancy
+/// in bundles can be useful"), and marks exist "to minimize inconsistency".
+/// Base documents keep living, though — cells are edited, lab reports
+/// regenerated, files removed. This pass audits every mark in a manager
+/// against the live base layer and classifies it:
+///
+///   kValid          — resolves, content matches the creation-time excerpt
+///   kContentChanged — resolves, but the element's content has drifted
+///   kDangling       — no longer resolves (document/element gone)
+///
+/// Superimposed applications surface the report to the user (e.g. flag
+/// drifted scraps on the pad) rather than silently showing stale excerpts.
+
+#include <string>
+#include <vector>
+
+#include "mark/mark_manager.h"
+
+namespace slim::mark {
+
+/// \brief Validation outcome for one mark.
+enum class MarkHealth { kValid, kContentChanged, kDangling };
+
+std::string_view MarkHealthName(MarkHealth health);
+
+/// \brief One audited mark.
+struct MarkAudit {
+  std::string mark_id;
+  MarkHealth health;
+  std::string detail;  ///< Current content, or the resolution error.
+};
+
+/// \brief Whole-manager audit report.
+struct ValidationReport {
+  std::vector<MarkAudit> audits;
+  size_t valid = 0;
+  size_t changed = 0;
+  size_t dangling = 0;
+
+  bool all_valid() const { return changed == 0 && dangling == 0; }
+  std::string ToString() const;
+};
+
+/// Audits every mark in `manager` against the live base layer. Marks with
+/// an empty creation-time excerpt cannot drift-check and count as valid
+/// when they resolve.
+ValidationReport ValidateAllMarks(MarkManager* manager);
+
+}  // namespace slim::mark
+
+#endif  // SLIM_MARK_VALIDATOR_H_

@@ -1,0 +1,171 @@
+#include "slim/conformance.h"
+
+#include <map>
+
+#include "slim/vocabulary.h"
+#include "util/strings.h"
+
+namespace slim::store {
+
+std::string_view ViolationKindName(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kUnknownType: return "UnknownType";
+    case ViolationKind::kUndeclaredProperty: return "UndeclaredProperty";
+    case ViolationKind::kWrongObjectKind: return "WrongObjectKind";
+    case ViolationKind::kDanglingLink: return "DanglingLink";
+    case ViolationKind::kWrongTargetType: return "WrongTargetType";
+    case ViolationKind::kCardinalityLow: return "CardinalityLow";
+    case ViolationKind::kCardinalityHigh: return "CardinalityHigh";
+  }
+  return "Unknown";
+}
+
+std::string ConformanceReport::ToString() const {
+  std::string out = "checked " + std::to_string(instances_checked) +
+                    " instances: " + std::to_string(violations.size()) +
+                    " violation(s)";
+  for (const Violation& v : violations) {
+    out += "\n  [";
+    out += ViolationKindName(v.kind);
+    out += "] ";
+    out += v.instance;
+    if (!v.property.empty()) {
+      out += " ." + v.property;
+    }
+    out += ": " + v.message;
+  }
+  return out;
+}
+
+namespace {
+
+// Trailing path segment of a type resource ("schema:s/Elem" -> "Elem").
+std::string TrailingSegment(const std::string& resource) {
+  size_t slash = resource.find_last_of('/');
+  return slash == std::string::npos ? resource : resource.substr(slash + 1);
+}
+
+}  // namespace
+
+ConformanceReport CheckConformance(const trim::TripleStore& store,
+                                   const SchemaDef& schema,
+                                   const ModelDef& model) {
+  ConformanceReport report;
+
+  // Collect instances and their (resolved) schema elements.
+  std::map<std::string, std::string> instance_element;  // id -> element
+  std::vector<std::pair<std::string, std::string>> unknown;  // id, type
+  store.SelectEach(
+      trim::TriplePattern::ByProperty(Vocab::kType),
+      [&](const trim::Triple& t) {
+        if (!StartsWith(t.subject, "inst:") || !t.object.is_resource()) {
+          return true;
+        }
+        const std::string element = TrailingSegment(t.object.text);
+        if (schema.elements().count(element)) {
+          instance_element[t.subject] = element;
+        } else {
+          unknown.push_back({t.subject, t.object.text});
+        }
+        return true;
+      });
+
+  report.instances_checked = instance_element.size() + unknown.size();
+  for (const auto& [id, type] : unknown) {
+    report.violations.push_back({ViolationKind::kUnknownType, id, "",
+                                 "type '" + type +
+                                     "' is not declared by schema '" +
+                                     schema.name() + "'"});
+  }
+
+  for (const auto& [id, element] : instance_element) {
+    std::vector<const SchemaConnectorDef*> connectors =
+        schema.ConnectorsFor(element);
+    std::map<std::string, int> counts;
+
+    store.SelectEach(
+        trim::TriplePattern::BySubject(id), [&](const trim::Triple& t) {
+          if (t.property == Vocab::kType) return true;
+          ++counts[t.property];
+          // Find the declared connector.
+          const SchemaConnectorDef* decl = nullptr;
+          for (const SchemaConnectorDef* c : connectors) {
+            if (c->name == t.property) decl = c;
+          }
+          if (decl == nullptr) {
+            report.violations.push_back(
+                {ViolationKind::kUndeclaredProperty, id, t.property,
+                 "no connector '" + t.property + "' declared on element '" +
+                     element + "'"});
+            return true;
+          }
+          bool range_is_literal =
+              model.FindConstruct(decl->range).has_value() &&
+              *model.FindConstruct(decl->range) ==
+                  ConstructKind::kLiteralConstruct;
+          if (range_is_literal) {
+            if (t.object.is_resource()) {
+              report.violations.push_back(
+                  {ViolationKind::kWrongObjectKind, id, t.property,
+                   "expected a literal (" + decl->range +
+                       "), found a link to '" + t.object.text + "'"});
+            }
+            return true;
+          }
+          // Resource-valued connector.
+          if (!t.object.is_resource()) {
+            report.violations.push_back(
+                {ViolationKind::kWrongObjectKind, id, t.property,
+                 "expected a link to a '" + decl->range +
+                     "', found literal \"" + t.object.text + "\""});
+            return true;
+          }
+          auto target_type = store.GetOne(t.object.text, Vocab::kType);
+          if (!target_type) {
+            report.violations.push_back(
+                {ViolationKind::kDanglingLink, id, t.property,
+                 "target '" + t.object.text + "' does not exist"});
+            return true;
+          }
+          std::string target_element = TrailingSegment(target_type->text);
+          bool compatible = target_element == decl->range;
+          if (!compatible) {
+            // Allow model-level generalization compatibility.
+            auto tgt_construct = schema.ConstructOf(target_element);
+            auto range_construct = schema.ConstructOf(decl->range);
+            if (tgt_construct.ok() && range_construct.ok() &&
+                model.IsA(tgt_construct.ValueOrDie(),
+                          range_construct.ValueOrDie())) {
+              compatible = true;
+            }
+          }
+          if (!compatible) {
+            report.violations.push_back(
+                {ViolationKind::kWrongTargetType, id, t.property,
+                 "target '" + t.object.text + "' is a '" + target_element +
+                     "', expected '" + decl->range + "'"});
+          }
+          return true;
+        });
+
+    // Cardinalities (including required-but-absent).
+    for (const SchemaConnectorDef* c : connectors) {
+      int n = counts.count(c->name) ? counts[c->name] : 0;
+      if (n < c->min_card) {
+        report.violations.push_back(
+            {ViolationKind::kCardinalityLow, id, c->name,
+             std::to_string(n) + " occurrence(s), minimum " +
+                 std::to_string(c->min_card)});
+      }
+      if (c->max_card != kMany && n > c->max_card) {
+        report.violations.push_back(
+            {ViolationKind::kCardinalityHigh, id, c->name,
+             std::to_string(n) + " occurrence(s), maximum " +
+                 std::to_string(c->max_card)});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace slim::store

@@ -1,0 +1,65 @@
+#ifndef SLIM_SLIM_CONFORMANCE_H_
+#define SLIM_SLIM_CONFORMANCE_H_
+
+/// \file conformance.h
+/// \brief Schema-instance conformance checking.
+///
+/// The metamodel's conformance connector ties instances to schema elements.
+/// Because the store supports schema-later entry, conformance is a *check*,
+/// not a gate: instances always enter freely; this pass reports where they
+/// diverge from a schema once one exists.
+
+#include <string>
+#include <vector>
+
+#include "slim/instance.h"
+#include "slim/schema.h"
+#include "trim/triple_store.h"
+
+namespace slim::store {
+
+/// \brief Kinds of conformance violations.
+enum class ViolationKind {
+  kUnknownType,         ///< Instance type not declared by the schema.
+  kUndeclaredProperty,  ///< Property with no matching schema connector.
+  kWrongObjectKind,     ///< Literal where a link is required, or vice versa.
+  kDanglingLink,        ///< Link target instance does not exist.
+  kWrongTargetType,     ///< Link target's element incompatible with range.
+  kCardinalityLow,      ///< Fewer occurrences than min_card.
+  kCardinalityHigh,     ///< More occurrences than max_card.
+};
+
+/// Short name of a violation kind ("UnknownType", ...).
+std::string_view ViolationKindName(ViolationKind kind);
+
+/// \brief One conformance violation.
+struct Violation {
+  ViolationKind kind;
+  std::string instance;  ///< Offending instance id.
+  std::string property;  ///< Property involved (may be empty).
+  std::string message;   ///< Human-readable detail.
+};
+
+/// \brief Conformance report.
+struct ConformanceReport {
+  std::vector<Violation> violations;
+  size_t instances_checked = 0;
+
+  bool conforms() const { return violations.empty(); }
+  /// Multi-line summary for logs.
+  std::string ToString() const;
+};
+
+/// \brief Checks every instance in `store` against `schema` (over `model`).
+///
+/// An instance participates if its type resource is in the schema's
+/// namespace or its trailing segment names a declared element (the
+/// schema-later case, where instances were typed with free names before
+/// the schema existed).
+ConformanceReport CheckConformance(const trim::TripleStore& store,
+                                   const SchemaDef& schema,
+                                   const ModelDef& model);
+
+}  // namespace slim::store
+
+#endif  // SLIM_SLIM_CONFORMANCE_H_

@@ -1,0 +1,269 @@
+#include "slim/model.h"
+
+#include "slim/vocabulary.h"
+#include "util/strings.h"
+
+namespace slim::store {
+
+Status ModelDef::AddConstruct(const std::string& name, ConstructKind kind) {
+  if (name.empty()) return Status::InvalidArgument("construct name is empty");
+  if (constructs_.count(name)) {
+    return Status::AlreadyExists("construct '" + name +
+                                 "' already declared in model '" + name_ +
+                                 "'");
+  }
+  constructs_[name] = kind;
+  return Status::OK();
+}
+
+Status ModelDef::AddConnector(ConnectorDef connector) {
+  if (connector.name.empty()) {
+    return Status::InvalidArgument("connector name is empty");
+  }
+  for (const ConnectorDef& c : connectors_) {
+    if (c.name == connector.name) {
+      return Status::AlreadyExists("connector '" + connector.name +
+                                   "' already declared in model '" + name_ +
+                                   "'");
+    }
+  }
+  if (!constructs_.count(connector.domain)) {
+    return Status::NotFound("connector '" + connector.name +
+                            "': domain construct '" + connector.domain +
+                            "' not declared");
+  }
+  if (!constructs_.count(connector.range)) {
+    return Status::NotFound("connector '" + connector.name +
+                            "': range construct '" + connector.range +
+                            "' not declared");
+  }
+  if (connector.min_card < 0 ||
+      (connector.max_card != kMany && connector.max_card < connector.min_card)) {
+    return Status::InvalidArgument("connector '" + connector.name +
+                                   "': invalid cardinality bounds");
+  }
+  connectors_.push_back(std::move(connector));
+  return Status::OK();
+}
+
+Status ModelDef::AddGeneralization(const std::string& sub,
+                                   const std::string& super) {
+  auto sub_kind = FindConstruct(sub);
+  auto super_kind = FindConstruct(super);
+  if (!sub_kind || !super_kind) {
+    return Status::NotFound("generalization '" + sub + "' -> '" + super +
+                            "': both constructs must be declared");
+  }
+  if (*sub_kind == ConstructKind::kLiteralConstruct ||
+      *super_kind == ConstructKind::kLiteralConstruct) {
+    return Status::InvalidArgument(
+        "literal constructs cannot participate in generalization");
+  }
+  if (IsA(super, sub)) {
+    return Status::InvalidArgument("generalization '" + sub + "' -> '" +
+                                   super + "' would create a cycle");
+  }
+  generalizations_.push_back({sub, super});
+  return Status::OK();
+}
+
+std::optional<ConstructKind> ModelDef::FindConstruct(
+    const std::string& name) const {
+  auto it = constructs_.find(name);
+  if (it == constructs_.end()) return std::nullopt;
+  return it->second;
+}
+
+const ConnectorDef* ModelDef::FindConnector(const std::string& name) const {
+  for (const ConnectorDef& c : connectors_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const ConnectorDef*> ModelDef::ConnectorsFor(
+    const std::string& construct) const {
+  std::vector<const ConnectorDef*> out;
+  for (const ConnectorDef& c : connectors_) {
+    if (IsA(construct, c.domain)) out.push_back(&c);
+  }
+  return out;
+}
+
+bool ModelDef::IsA(const std::string& sub,
+                   const std::string& maybe_ancestor) const {
+  if (sub == maybe_ancestor) return true;
+  for (const GeneralizationDef& g : generalizations_) {
+    if (g.sub == sub && IsA(g.super, maybe_ancestor)) return true;
+  }
+  return false;
+}
+
+namespace {
+std::string_view KindResource(ConstructKind kind) {
+  switch (kind) {
+    case ConstructKind::kConstruct: return Vocab::kConstruct;
+    case ConstructKind::kLiteralConstruct: return Vocab::kLiteralConstruct;
+    case ConstructKind::kMarkConstruct: return Vocab::kMarkConstruct;
+  }
+  return Vocab::kConstruct;
+}
+}  // namespace
+
+Status ModelDef::ToTriples(trim::TripleStore* store) const {
+  if (store == nullptr) return Status::InvalidArgument("null store");
+  const std::string model_res = ModelResource();
+  SLIM_RETURN_NOT_OK(store->AddLiteral(model_res, Vocab::kName, name_));
+  for (const auto& [cname, kind] : constructs_) {
+    const std::string res = ElementResource(cname);
+    SLIM_RETURN_NOT_OK(store->AddResource(res, Vocab::kMetaKind,
+                                          std::string(KindResource(kind))));
+    SLIM_RETURN_NOT_OK(store->AddLiteral(res, Vocab::kName, cname));
+    SLIM_RETURN_NOT_OK(store->AddResource(res, Vocab::kInModel, model_res));
+  }
+  for (const ConnectorDef& c : connectors_) {
+    const std::string res = ElementResource(c.name);
+    SLIM_RETURN_NOT_OK(
+        store->AddResource(res, Vocab::kMetaKind, Vocab::kConnector));
+    SLIM_RETURN_NOT_OK(store->AddLiteral(res, Vocab::kName, c.name));
+    SLIM_RETURN_NOT_OK(store->AddResource(res, Vocab::kInModel, model_res));
+    SLIM_RETURN_NOT_OK(
+        store->AddResource(res, Vocab::kDomain, ElementResource(c.domain)));
+    SLIM_RETURN_NOT_OK(
+        store->AddResource(res, Vocab::kRange, ElementResource(c.range)));
+    SLIM_RETURN_NOT_OK(
+        store->AddLiteral(res, Vocab::kMinCard, std::to_string(c.min_card)));
+    SLIM_RETURN_NOT_OK(store->AddLiteral(
+        res, Vocab::kMaxCard,
+        c.max_card == kMany ? "*" : std::to_string(c.max_card)));
+  }
+  for (const GeneralizationDef& g : generalizations_) {
+    SLIM_RETURN_NOT_OK(store->AddResource(ElementResource(g.sub),
+                                          Vocab::kSubConstructOf,
+                                          ElementResource(g.super)));
+  }
+  return Status::OK();
+}
+
+Result<ModelDef> ModelDef::FromTriples(const trim::TripleStore& store,
+                                       const std::string& model_name) {
+  ModelDef model(model_name);
+  const std::string model_res = model.ModelResource();
+  const std::string prefix = model_res + "/";
+
+  auto local_name = [&](const std::string& resource) -> Result<std::string> {
+    if (!StartsWith(resource, prefix)) {
+      return Status::ParseError("resource '" + resource +
+                                "' is not an element of model '" + model_name +
+                                "'");
+    }
+    return resource.substr(prefix.size());
+  };
+
+  // Verify the model root exists.
+  if (!store.GetOne(model_res, Vocab::kName)) {
+    return Status::NotFound("model '" + model_name + "' not present in store");
+  }
+
+  // Pass 1: constructs.
+  std::vector<trim::Triple> members =
+      store.Select(trim::TriplePattern{std::nullopt, Vocab::kInModel,
+                                       trim::Object::Resource(model_res)});
+  std::vector<std::string> connector_resources;
+  for (const trim::Triple& t : members) {
+    auto kind_obj = store.GetOne(t.subject, Vocab::kMetaKind);
+    if (!kind_obj) {
+      return Status::ParseError("model element '" + t.subject +
+                                "' has no slim:metaKind");
+    }
+    SLIM_ASSIGN_OR_RETURN(std::string cname, local_name(t.subject));
+    const std::string& kind = kind_obj->text;
+    if (kind == Vocab::kConstruct) {
+      SLIM_RETURN_NOT_OK(model.AddConstruct(cname, ConstructKind::kConstruct));
+    } else if (kind == Vocab::kLiteralConstruct) {
+      SLIM_RETURN_NOT_OK(
+          model.AddConstruct(cname, ConstructKind::kLiteralConstruct));
+    } else if (kind == Vocab::kMarkConstruct) {
+      SLIM_RETURN_NOT_OK(
+          model.AddConstruct(cname, ConstructKind::kMarkConstruct));
+    } else if (kind == Vocab::kConnector) {
+      connector_resources.push_back(t.subject);
+    } else {
+      return Status::ParseError("unknown metaKind '" + kind + "' on '" +
+                                t.subject + "'");
+    }
+  }
+
+  // Pass 2: connectors (domains/ranges now declared).
+  for (const std::string& res : connector_resources) {
+    ConnectorDef c;
+    SLIM_ASSIGN_OR_RETURN(c.name, local_name(res));
+    auto domain = store.GetOne(res, Vocab::kDomain);
+    auto range = store.GetOne(res, Vocab::kRange);
+    if (!domain || !range) {
+      return Status::ParseError("connector '" + res +
+                                "' missing domain/range");
+    }
+    SLIM_ASSIGN_OR_RETURN(c.domain, local_name(domain->text));
+    SLIM_ASSIGN_OR_RETURN(c.range, local_name(range->text));
+    auto min_card = store.GetOne(res, Vocab::kMinCard);
+    auto max_card = store.GetOne(res, Vocab::kMaxCard);
+    long long n = 0;
+    if (min_card && ParseInt(min_card->text, &n)) {
+      c.min_card = static_cast<int>(n);
+    }
+    if (max_card) {
+      if (max_card->text == "*") {
+        c.max_card = kMany;
+      } else if (ParseInt(max_card->text, &n)) {
+        c.max_card = static_cast<int>(n);
+      }
+    }
+    SLIM_RETURN_NOT_OK(model.AddConnector(std::move(c)));
+  }
+
+  // Pass 3: generalizations.
+  for (const trim::Triple& t :
+       store.Select(trim::TriplePattern::ByProperty(Vocab::kSubConstructOf))) {
+    if (!StartsWith(t.subject, prefix)) continue;
+    SLIM_ASSIGN_OR_RETURN(std::string sub, local_name(t.subject));
+    SLIM_ASSIGN_OR_RETURN(std::string super, local_name(t.object.text));
+    SLIM_RETURN_NOT_OK(model.AddGeneralization(sub, super));
+  }
+  return model;
+}
+
+ModelDef BuildBundleScrapModel() {
+  ModelDef model("bundle-scrap");
+  // Literal constructs (Fig. 3 attribute types).
+  (void)model.AddConstruct("String", ConstructKind::kLiteralConstruct);
+  (void)model.AddConstruct("Number", ConstructKind::kLiteralConstruct);
+  (void)model.AddConstruct("Coordinate", ConstructKind::kLiteralConstruct);
+  // Entities.
+  (void)model.AddConstruct("SlimPad", ConstructKind::kConstruct);
+  (void)model.AddConstruct("Bundle", ConstructKind::kConstruct);
+  (void)model.AddConstruct("Scrap", ConstructKind::kConstruct);
+  (void)model.AddConstruct("MarkHandle", ConstructKind::kMarkConstruct);
+  // Attributes (connectors with literal range).
+  (void)model.AddConnector({"padName", "SlimPad", "String", 1, 1});
+  (void)model.AddConnector({"rootBundle", "SlimPad", "Bundle", 0, 1});
+  (void)model.AddConnector({"bundleName", "Bundle", "String", 1, 1});
+  (void)model.AddConnector({"bundlePos", "Bundle", "Coordinate", 1, 1});
+  (void)model.AddConnector({"bundleHeight", "Bundle", "Number", 1, 1});
+  (void)model.AddConnector({"bundleWidth", "Bundle", "Number", 1, 1});
+  (void)model.AddConnector({"bundleContent", "Bundle", "Scrap", 0, kMany});
+  (void)model.AddConnector({"nestedBundle", "Bundle", "Bundle", 0, kMany});
+  (void)model.AddConnector({"scrapName", "Scrap", "String", 1, 1});
+  (void)model.AddConnector({"scrapPos", "Scrap", "Coordinate", 1, 1});
+  // 0..* rather than Fig. 3's 1..1: purely graphic scraps (the 'gridlet' of
+  // Fig. 4) carry no mark, and §3 contemplates multiple marks per scrap.
+  (void)model.AddConnector({"scrapMark", "Scrap", "MarkHandle", 0, kMany});
+  (void)model.AddConnector({"markId", "MarkHandle", "String", 1, 1});
+  // §6 contemplated extensions, declared optional (0..*) so plain pads
+  // conform: annotations on scraps and explicit links among scraps.
+  (void)model.AddConnector({"scrapAnnotation", "Scrap", "String", 0, kMany});
+  (void)model.AddConnector({"scrapLink", "Scrap", "Scrap", 0, kMany});
+  return model;
+}
+
+}  // namespace slim::store

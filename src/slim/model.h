@@ -1,0 +1,121 @@
+#ifndef SLIM_SLIM_MODEL_H_
+#define SLIM_SLIM_MODEL_H_
+
+/// \file model.h
+/// \brief Data-model definitions via the metamodel (paper §4.3).
+///
+/// "The metamodel consists of a basic set of abstractions to define model
+/// constructs and relationships (called connectors). ... Currently, the
+/// metamodel contains only a subset of primitives: constructs, which define
+/// a unit of structure; literal constructs for primitive type definitions;
+/// mark constructs for delineating marks; connectors, which describe basic
+/// relationships; conformance connectors for schema-instance relationships;
+/// and generalization connectors for specialization relationships."
+///
+/// A ModelDef is the in-memory form; it round-trips to/from triples so
+/// model, schema and instance all live uniformly in TRIM.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trim/triple_store.h"
+#include "util/result.h"
+
+namespace slim::store {
+
+/// \brief Kinds of structural units a model may declare.
+enum class ConstructKind {
+  kConstruct,         ///< A unit of structure (entity-like).
+  kLiteralConstruct,  ///< A primitive type (String, Number, Coordinate...).
+  kMarkConstruct,     ///< A unit that delineates a mark.
+};
+
+/// \brief Unbounded upper cardinality.
+inline constexpr int kMany = -1;
+
+/// \brief A relationship declared by a model.
+struct ConnectorDef {
+  std::string name;
+  std::string domain;  ///< Source construct name.
+  std::string range;   ///< Target construct name (may be a literal construct).
+  int min_card = 0;
+  int max_card = kMany;  ///< kMany = unbounded.
+};
+
+/// \brief A generalization edge: `sub` specializes `super`.
+struct GeneralizationDef {
+  std::string sub;
+  std::string super;
+};
+
+/// \brief An in-memory data-model definition.
+class ModelDef {
+ public:
+  ModelDef() = default;
+  explicit ModelDef(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Declares a construct; AlreadyExists on duplicate names.
+  Status AddConstruct(const std::string& name, ConstructKind kind);
+
+  /// Declares a connector between two declared constructs.
+  Status AddConnector(ConnectorDef connector);
+
+  /// Declares `sub` as a specialization of `super` (both must exist and be
+  /// non-literal constructs).
+  Status AddGeneralization(const std::string& sub, const std::string& super);
+
+  /// Kind of a declared construct, if declared.
+  std::optional<ConstructKind> FindConstruct(const std::string& name) const;
+
+  /// A declared connector, if declared.
+  const ConnectorDef* FindConnector(const std::string& name) const;
+
+  /// Connectors whose domain is `construct` or one of its ancestors.
+  std::vector<const ConnectorDef*> ConnectorsFor(
+      const std::string& construct) const;
+
+  /// True iff `sub` equals `maybe_ancestor` or specializes it transitively.
+  bool IsA(const std::string& sub, const std::string& maybe_ancestor) const;
+
+  const std::map<std::string, ConstructKind>& constructs() const {
+    return constructs_;
+  }
+  const std::vector<ConnectorDef>& connectors() const { return connectors_; }
+  const std::vector<GeneralizationDef>& generalizations() const {
+    return generalizations_;
+  }
+
+  /// \name Triple round trip. Model resources are named
+  /// "model:<model>/<element>"; the model root is "model:<model>".
+  /// @{
+  Status ToTriples(trim::TripleStore* store) const;
+  static Result<ModelDef> FromTriples(const trim::TripleStore& store,
+                                      const std::string& model_name);
+  /// @}
+
+  /// Resource id of this model's root ("model:<name>").
+  std::string ModelResource() const { return "model:" + name_; }
+  /// Resource id of one of this model's elements.
+  std::string ElementResource(const std::string& element) const {
+    return "model:" + name_ + "/" + element;
+  }
+
+ private:
+  std::string name_;
+  std::map<std::string, ConstructKind> constructs_;
+  std::vector<ConnectorDef> connectors_;
+  std::vector<GeneralizationDef> generalizations_;
+};
+
+/// \brief The Bundle-Scrap model of paper Fig. 3, expressed in the
+/// metamodel — SLIMPad's own data model, used throughout tests, examples
+/// and benches.
+ModelDef BuildBundleScrapModel();
+
+}  // namespace slim::store
+
+#endif  // SLIM_SLIM_MODEL_H_

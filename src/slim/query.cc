@@ -1,0 +1,325 @@
+#include "slim/query.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace slim::store {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+  std::string_view src;
+  size_t i = 0;
+
+  void SkipSpace() {
+    while (i < src.size() && std::isspace(static_cast<unsigned char>(src[i]))) {
+      ++i;
+    }
+  }
+  bool Done() {
+    SkipSpace();
+    return i >= src.size();
+  }
+};
+
+Result<QueryTerm> ParseTerm(Cursor* c) {
+  c->SkipSpace();
+  if (c->i >= c->src.size()) {
+    return Status::ParseError("query: expected a term, found end of input");
+  }
+  char ch = c->src[c->i];
+  if (ch == '?') {
+    size_t start = ++c->i;
+    while (c->i < c->src.size() &&
+           (std::isalnum(static_cast<unsigned char>(c->src[c->i])) ||
+            c->src[c->i] == '_')) {
+      ++c->i;
+    }
+    if (c->i == start) return Status::ParseError("query: empty variable name");
+    return QueryTerm::Var(std::string(c->src.substr(start, c->i - start)));
+  }
+  if (ch == '<') {
+    size_t end = c->src.find('>', c->i);
+    if (end == std::string_view::npos) {
+      return Status::ParseError("query: unterminated '<resource>'");
+    }
+    QueryTerm t = QueryTerm::Res(
+        std::string(c->src.substr(c->i + 1, end - c->i - 1)));
+    c->i = end + 1;
+    if (t.text.empty()) return Status::ParseError("query: empty resource");
+    return t;
+  }
+  if (ch == '"') {
+    std::string value;
+    ++c->i;
+    while (c->i < c->src.size()) {
+      char cc = c->src[c->i++];
+      if (cc == '\\' && c->i < c->src.size()) {
+        value.push_back(c->src[c->i++]);
+      } else if (cc == '"') {
+        return QueryTerm::Lit(std::move(value));
+      } else {
+        value.push_back(cc);
+      }
+    }
+    return Status::ParseError("query: unterminated string literal");
+  }
+  // Bare token up to whitespace or '.'-separator (a dot followed by
+  // whitespace/end; dots inside tokens like "schema:x/y.z" stay).
+  size_t start = c->i;
+  while (c->i < c->src.size() &&
+         !std::isspace(static_cast<unsigned char>(c->src[c->i]))) {
+    ++c->i;
+  }
+  std::string_view token = c->src.substr(start, c->i - start);
+  // A trailing bare '.' is the clause separator.
+  if (token.size() > 1 && token.back() == '.') {
+    token.remove_suffix(1);
+    --c->i;
+  }
+  if (token.empty() || token == ".") {
+    return Status::ParseError("query: expected a term before '.'");
+  }
+  return QueryTerm::Res(std::string(token));
+}
+
+std::string TermToString(const QueryTerm& t) {
+  switch (t.kind) {
+    case QueryTerm::Kind::kVariable: return "?" + t.text;
+    case QueryTerm::Kind::kResource: return "<" + t.text + ">";
+    case QueryTerm::Kind::kLiteral: {
+      std::string out = "\"";
+      for (char c : t.text) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+      }
+      out += '"';
+      return out;
+    }
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+// A clause with current bindings substituted where possible.
+struct ResolvedClause {
+  std::optional<std::string> subject;   // nullopt = unbound variable
+  std::optional<std::string> property;
+  std::optional<trim::Object> object;
+  // Variable names for unbound positions (empty = constant there).
+  std::string subject_var, property_var, object_var;
+};
+
+Result<ResolvedClause> ResolveClause(const QueryClause& clause,
+                                     const Binding& binding) {
+  ResolvedClause out;
+  // Subject.
+  switch (clause.subject.kind) {
+    case QueryTerm::Kind::kVariable: {
+      auto it = binding.find(clause.subject.text);
+      if (it != binding.end()) {
+        out.subject = it->second.text;  // subjects are resources
+      } else {
+        out.subject_var = clause.subject.text;
+      }
+      break;
+    }
+    case QueryTerm::Kind::kResource:
+      out.subject = clause.subject.text;
+      break;
+    case QueryTerm::Kind::kLiteral:
+      return Status::InvalidArgument(
+          "query: literal in subject position: " +
+          TermToString(clause.subject));
+  }
+  // Property.
+  switch (clause.property.kind) {
+    case QueryTerm::Kind::kVariable: {
+      auto it = binding.find(clause.property.text);
+      if (it != binding.end()) {
+        out.property = it->second.text;
+      } else {
+        out.property_var = clause.property.text;
+      }
+      break;
+    }
+    case QueryTerm::Kind::kResource:
+      out.property = clause.property.text;
+      break;
+    case QueryTerm::Kind::kLiteral:
+      return Status::InvalidArgument(
+          "query: literal in property position: " +
+          TermToString(clause.property));
+  }
+  // Object.
+  switch (clause.object.kind) {
+    case QueryTerm::Kind::kVariable: {
+      auto it = binding.find(clause.object.text);
+      if (it != binding.end()) {
+        out.object = it->second;
+      } else {
+        out.object_var = clause.object.text;
+      }
+      break;
+    }
+    case QueryTerm::Kind::kResource:
+      out.object = trim::Object::Resource(clause.object.text);
+      break;
+    case QueryTerm::Kind::kLiteral:
+      out.object = trim::Object::Literal(clause.object.text);
+      break;
+  }
+  return out;
+}
+
+// Selectivity estimate: lower = more selective = evaluated first.
+// Bound subject is the best key (direct index), then bound object, then
+// bound property, then nothing.
+int ClauseCost(const QueryClause& clause, const Binding& binding) {
+  auto bound = [&](const QueryTerm& t) {
+    return !t.is_variable() || binding.count(t.text) > 0;
+  };
+  if (bound(clause.subject)) return 0;
+  if (bound(clause.object)) return 1;
+  if (bound(clause.property)) return 2;
+  return 3;
+}
+
+void Search(const trim::TripleStore& store,
+            std::vector<const QueryClause*> remaining, const Binding& binding,
+            std::vector<Binding>* out, Status* failure) {
+  if (!failure->ok()) return;
+  if (remaining.empty()) {
+    out->push_back(binding);
+    return;
+  }
+  // Pick the most selective remaining clause under current bindings.
+  size_t best = 0;
+  int best_cost = 99;
+  for (size_t i = 0; i < remaining.size(); ++i) {
+    int cost = ClauseCost(*remaining[i], binding);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = i;
+    }
+  }
+  const QueryClause* clause = remaining[best];
+  remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(best));
+
+  Result<ResolvedClause> resolved = ResolveClause(*clause, binding);
+  if (!resolved.ok()) {
+    *failure = resolved.status();
+    return;
+  }
+  trim::TriplePattern pattern;
+  pattern.subject = resolved->subject;
+  pattern.property = resolved->property;
+  pattern.object = resolved->object;
+
+  store.SelectEach(pattern, [&](const trim::Triple& t) {
+    Binding next = binding;
+    // Bind unbound variables; repeated variables within the clause must
+    // agree (e.g. "?x link ?x").
+    auto bind = [&](const std::string& var, BoundValue value) {
+      if (var.empty()) return true;
+      auto it = next.find(var);
+      if (it != next.end()) return it->second == value;
+      next[var] = std::move(value);
+      return true;
+    };
+    if (!bind(resolved->subject_var, trim::Object::Resource(t.subject))) {
+      return true;
+    }
+    if (!bind(resolved->property_var, trim::Object::Resource(t.property))) {
+      return true;
+    }
+    if (!bind(resolved->object_var, t.object)) return true;
+    Search(store, remaining, next, out, failure);
+    return failure->ok();
+  });
+}
+
+}  // namespace
+
+Result<Query> Query::Parse(std::string_view text) {
+  std::vector<QueryClause> clauses;
+  Cursor cursor{text};
+  while (!cursor.Done()) {
+    QueryClause clause;
+    SLIM_ASSIGN_OR_RETURN(clause.subject, ParseTerm(&cursor));
+    SLIM_ASSIGN_OR_RETURN(clause.property, ParseTerm(&cursor));
+    SLIM_ASSIGN_OR_RETURN(clause.object, ParseTerm(&cursor));
+    clauses.push_back(std::move(clause));
+    cursor.SkipSpace();
+    if (cursor.i < cursor.src.size()) {
+      if (cursor.src[cursor.i] != '.') {
+        return Status::ParseError("query: expected '.' between clauses at "
+                                  "position " +
+                                  std::to_string(cursor.i));
+      }
+      ++cursor.i;
+    }
+  }
+  if (clauses.empty()) {
+    return Status::InvalidArgument("query has no clauses");
+  }
+  return Query(std::move(clauses));
+}
+
+std::vector<std::string> Query::Variables() const {
+  std::vector<std::string> out;
+  auto add = [&](const QueryTerm& t) {
+    if (t.is_variable() &&
+        std::find(out.begin(), out.end(), t.text) == out.end()) {
+      out.push_back(t.text);
+    }
+  };
+  for (const QueryClause& c : clauses_) {
+    add(c.subject);
+    add(c.property);
+    add(c.object);
+  }
+  return out;
+}
+
+std::string Query::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    if (i) out += " . ";
+    out += TermToString(clauses_[i].subject) + " " +
+           TermToString(clauses_[i].property) + " " +
+           TermToString(clauses_[i].object);
+  }
+  return out;
+}
+
+Result<std::vector<Binding>> Execute(const trim::TripleStore& store,
+                                     const Query& query) {
+  if (query.clauses().empty()) {
+    return Status::InvalidArgument("query has no clauses");
+  }
+  std::vector<const QueryClause*> remaining;
+  for (const QueryClause& c : query.clauses()) remaining.push_back(&c);
+  std::vector<Binding> out;
+  Status failure;
+  Search(store, std::move(remaining), Binding{}, &out, &failure);
+  SLIM_RETURN_NOT_OK(failure);
+  return out;
+}
+
+Result<std::vector<Binding>> ExecuteText(const trim::TripleStore& store,
+                                         std::string_view query_text) {
+  SLIM_ASSIGN_OR_RETURN(Query query, Query::Parse(query_text));
+  return Execute(store, query);
+}
+
+}  // namespace slim::store

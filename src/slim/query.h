@@ -1,0 +1,107 @@
+#ifndef SLIM_SLIM_QUERY_H_
+#define SLIM_SLIM_QUERY_H_
+
+/// \file query.h
+/// \brief Declarative queries over the SLIM store (paper §6: "We are also
+/// considering augmenting such interfaces with query capabilities, in
+/// addition to the current navigational access").
+///
+/// The language is a conjunctive basic-graph-pattern over triples, in the
+/// spirit of the RDF representation the store already uses:
+///
+///   ?s slim:type <schema:slimpad/Scrap> .
+///   ?s scrapName ?name .
+///   ?b bundleContent ?s
+///
+/// Terms: `?var` variables, `<...>` resources, `"..."` literals, and bare
+/// tokens (resource/property names without angle brackets). Clauses are
+/// separated by '.'. Execution greedily orders clauses by estimated
+/// selectivity and runs an index-nested-loop join, so queries stay fast on
+/// pads of tens of thousands of triples (see bench_query).
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trim/triple_store.h"
+#include "util/result.h"
+
+namespace slim::store {
+
+/// \brief One term of a pattern clause.
+struct QueryTerm {
+  enum class Kind { kVariable, kResource, kLiteral };
+  Kind kind = Kind::kResource;
+  std::string text;  ///< Variable name (no '?'), resource id, or literal.
+
+  static QueryTerm Var(std::string name) {
+    return {Kind::kVariable, std::move(name)};
+  }
+  static QueryTerm Res(std::string id) {
+    return {Kind::kResource, std::move(id)};
+  }
+  static QueryTerm Lit(std::string value) {
+    return {Kind::kLiteral, std::move(value)};
+  }
+  bool is_variable() const { return kind == Kind::kVariable; }
+
+  friend bool operator==(const QueryTerm&, const QueryTerm&) = default;
+};
+
+/// \brief One triple pattern: subject / property / object terms.
+struct QueryClause {
+  QueryTerm subject;
+  QueryTerm property;
+  QueryTerm object;
+};
+
+/// \brief A value bound to a variable: a resource id or a literal.
+using BoundValue = trim::Object;
+
+/// \brief One solution: variable name -> bound value.
+using Binding = std::map<std::string, BoundValue>;
+
+/// \brief A conjunctive query.
+class Query {
+ public:
+  Query() = default;
+  explicit Query(std::vector<QueryClause> clauses)
+      : clauses_(std::move(clauses)) {}
+
+  /// Parses query text (see file comment for the syntax).
+  static Result<Query> Parse(std::string_view text);
+
+  /// Programmatic building.
+  Query& Where(QueryTerm subject, QueryTerm property, QueryTerm object) {
+    clauses_.push_back({std::move(subject), std::move(property),
+                        std::move(object)});
+    return *this;
+  }
+
+  const std::vector<QueryClause>& clauses() const { return clauses_; }
+
+  /// Distinct variable names, in first-appearance order.
+  std::vector<std::string> Variables() const;
+
+  /// Canonical text form.
+  std::string ToString() const;
+
+ private:
+  std::vector<QueryClause> clauses_;
+};
+
+/// \brief Evaluates the query; returns all solutions.
+///
+/// Unknown constants simply produce zero solutions; malformed queries (no
+/// clauses, literal in subject position) produce InvalidArgument.
+Result<std::vector<Binding>> Execute(const trim::TripleStore& store,
+                                     const Query& query);
+
+/// \brief Convenience: run a text query.
+Result<std::vector<Binding>> ExecuteText(const trim::TripleStore& store,
+                                         std::string_view query_text);
+
+}  // namespace slim::store
+
+#endif  // SLIM_SLIM_QUERY_H_

@@ -1,0 +1,283 @@
+#include "slim/schema.h"
+
+#include "slim/vocabulary.h"
+#include "util/strings.h"
+
+namespace slim::store {
+
+Status SchemaDef::AddElement(const std::string& element,
+                             const std::string& construct,
+                             const ModelDef& model) {
+  if (model.name() != model_name_) {
+    return Status::InvalidArgument("schema '" + name_ + "' is over model '" +
+                                   model_name_ + "', not '" + model.name() +
+                                   "'");
+  }
+  if (element.empty()) return Status::InvalidArgument("empty element name");
+  if (elements_.count(element)) {
+    return Status::AlreadyExists("schema element '" + element +
+                                 "' already declared");
+  }
+  auto kind = model.FindConstruct(construct);
+  if (!kind) {
+    return Status::NotFound("construct '" + construct +
+                            "' not declared by model '" + model.name() + "'");
+  }
+  if (*kind == ConstructKind::kLiteralConstruct) {
+    return Status::InvalidArgument(
+        "schema elements cannot conform to literal constructs ('" + construct +
+        "')");
+  }
+  elements_[element] = construct;
+  return Status::OK();
+}
+
+Status SchemaDef::AddConnector(SchemaConnectorDef connector,
+                               const ModelDef& model) {
+  if (model.name() != model_name_) {
+    return Status::InvalidArgument("schema/model mismatch");
+  }
+  // Connector names are unique per domain element (two elements may both
+  // declare a "name" attribute).
+  for (const SchemaConnectorDef& c : connectors_) {
+    if (c.name == connector.name && c.domain == connector.domain) {
+      return Status::AlreadyExists("schema connector '" + connector.name +
+                                   "' already declared on element '" +
+                                   connector.domain + "'");
+    }
+  }
+  const ConnectorDef* mc = model.FindConnector(connector.model_connector);
+  if (mc == nullptr) {
+    return Status::NotFound("model connector '" + connector.model_connector +
+                            "' not declared by model '" + model.name() + "'");
+  }
+  // Domain must be a declared element whose construct specializes the model
+  // connector's domain.
+  auto dom_it = elements_.find(connector.domain);
+  if (dom_it == elements_.end()) {
+    return Status::NotFound("schema connector '" + connector.name +
+                            "': domain element '" + connector.domain +
+                            "' not declared");
+  }
+  if (!model.IsA(dom_it->second, mc->domain)) {
+    return Status::Conformance("schema connector '" + connector.name +
+                               "': domain element conforms to '" +
+                               dom_it->second + "' which is not a '" +
+                               mc->domain + "'");
+  }
+  // Range: literal construct or declared element.
+  auto range_kind = model.FindConstruct(connector.range);
+  if (range_kind && *range_kind == ConstructKind::kLiteralConstruct) {
+    if (!model.IsA(connector.range, mc->range)) {
+      return Status::Conformance("schema connector '" + connector.name +
+                                 "': literal range '" + connector.range +
+                                 "' does not match model range '" + mc->range +
+                                 "'");
+    }
+  } else {
+    auto range_it = elements_.find(connector.range);
+    if (range_it == elements_.end()) {
+      return Status::NotFound("schema connector '" + connector.name +
+                              "': range '" + connector.range +
+                              "' is neither a literal construct nor a "
+                              "declared element");
+    }
+    if (!model.IsA(range_it->second, mc->range)) {
+      return Status::Conformance("schema connector '" + connector.name +
+                                 "': range element conforms to '" +
+                                 range_it->second + "' which is not a '" +
+                                 mc->range + "'");
+    }
+  }
+  // Cardinality must narrow the model connector's bounds.
+  if (connector.min_card < mc->min_card ||
+      (mc->max_card != kMany &&
+       (connector.max_card == kMany || connector.max_card > mc->max_card))) {
+    return Status::Conformance("schema connector '" + connector.name +
+                               "': cardinality must narrow the model "
+                               "connector's bounds");
+  }
+  connectors_.push_back(std::move(connector));
+  return Status::OK();
+}
+
+Result<std::string> SchemaDef::ConstructOf(const std::string& element) const {
+  auto it = elements_.find(element);
+  if (it == elements_.end()) {
+    return Status::NotFound("schema element '" + element +
+                            "' not declared in schema '" + name_ + "'");
+  }
+  return it->second;
+}
+
+const SchemaConnectorDef* SchemaDef::FindConnector(
+    const std::string& name) const {
+  for (const SchemaConnectorDef& c : connectors_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const SchemaConnectorDef*> SchemaDef::ConnectorsFor(
+    const std::string& element) const {
+  std::vector<const SchemaConnectorDef*> out;
+  for (const SchemaConnectorDef& c : connectors_) {
+    if (c.domain == element) out.push_back(&c);
+  }
+  return out;
+}
+
+Status SchemaDef::ToTriples(trim::TripleStore* store) const {
+  if (store == nullptr) return Status::InvalidArgument("null store");
+  const std::string schema_res = SchemaResource();
+  SLIM_RETURN_NOT_OK(store->AddLiteral(schema_res, Vocab::kName, name_));
+  SLIM_RETURN_NOT_OK(store->AddResource(schema_res, Vocab::kSchemaOf,
+                                        "model:" + model_name_));
+  for (const auto& [element, construct] : elements_) {
+    const std::string res = ElementResource(element);
+    SLIM_RETURN_NOT_OK(store->AddLiteral(res, Vocab::kName, element));
+    SLIM_RETURN_NOT_OK(store->AddResource(res, Vocab::kInSchema, schema_res));
+    SLIM_RETURN_NOT_OK(store->AddResource(
+        res, Vocab::kConformsTo, "model:" + model_name_ + "/" + construct));
+  }
+  for (const SchemaConnectorDef& c : connectors_) {
+    // Connector resources are qualified by domain so same-named connectors
+    // on different elements get distinct ids.
+    const std::string res = ElementResource(c.domain + "." + c.name);
+    SLIM_RETURN_NOT_OK(store->AddLiteral(res, Vocab::kName, c.name));
+    SLIM_RETURN_NOT_OK(store->AddResource(res, Vocab::kInSchema, schema_res));
+    SLIM_RETURN_NOT_OK(store->AddResource(
+        res, Vocab::kConformsTo,
+        "model:" + model_name_ + "/" + c.model_connector));
+    SLIM_RETURN_NOT_OK(
+        store->AddResource(res, Vocab::kDomain, ElementResource(c.domain)));
+    // Literal-construct ranges point into the model namespace; element
+    // ranges into the schema namespace.
+    if (elements_.count(c.range)) {
+      SLIM_RETURN_NOT_OK(
+          store->AddResource(res, Vocab::kRange, ElementResource(c.range)));
+    } else {
+      SLIM_RETURN_NOT_OK(store->AddResource(
+          res, Vocab::kRange, "model:" + model_name_ + "/" + c.range));
+    }
+    SLIM_RETURN_NOT_OK(
+        store->AddLiteral(res, Vocab::kMinCard, std::to_string(c.min_card)));
+    SLIM_RETURN_NOT_OK(store->AddLiteral(
+        res, Vocab::kMaxCard,
+        c.max_card == kMany ? "*" : std::to_string(c.max_card)));
+  }
+  return Status::OK();
+}
+
+Result<SchemaDef> SchemaDef::FromTriples(const trim::TripleStore& store,
+                                         const std::string& schema_name) {
+  const std::string schema_res = "schema:" + schema_name;
+  auto model_obj = store.GetOne(schema_res, Vocab::kSchemaOf);
+  if (!model_obj) {
+    return Status::NotFound("schema '" + schema_name +
+                            "' not present in store");
+  }
+  std::string model_name = model_obj->text;
+  const std::string model_prefix = "model:";
+  if (StartsWith(model_name, model_prefix)) {
+    model_name = model_name.substr(model_prefix.size());
+  }
+  SLIM_ASSIGN_OR_RETURN(ModelDef model,
+                        ModelDef::FromTriples(store, model_name));
+
+  SchemaDef schema(schema_name, model_name);
+  const std::string prefix = schema_res + "/";
+  auto local_name = [&](const std::string& resource) -> Result<std::string> {
+    if (!StartsWith(resource, prefix)) {
+      return Status::ParseError("resource '" + resource +
+                                "' is not in schema '" + schema_name + "'");
+    }
+    return resource.substr(prefix.size());
+  };
+  auto model_local = [&](const std::string& resource) -> std::string {
+    std::string p = "model:" + model_name + "/";
+    return StartsWith(resource, p) ? resource.substr(p.size()) : resource;
+  };
+
+  std::vector<trim::Triple> members =
+      store.Select(trim::TriplePattern{std::nullopt, Vocab::kInSchema,
+                                       trim::Object::Resource(schema_res)});
+  // Pass 1: elements (conformsTo a construct that is not a connector).
+  std::vector<std::string> connector_resources;
+  for (const trim::Triple& t : members) {
+    auto conforms = store.GetOne(t.subject, Vocab::kConformsTo);
+    if (!conforms) {
+      return Status::ParseError("schema member '" + t.subject +
+                                "' missing slim:conformsTo");
+    }
+    std::string target = model_local(conforms->text);
+    if (model.FindConnector(target) != nullptr) {
+      connector_resources.push_back(t.subject);
+      continue;
+    }
+    SLIM_ASSIGN_OR_RETURN(std::string element, local_name(t.subject));
+    SLIM_RETURN_NOT_OK(schema.AddElement(element, target, model));
+  }
+  // Pass 2: connectors. The plain name comes from the kName literal (the
+  // resource id is domain-qualified).
+  for (const std::string& res : connector_resources) {
+    SchemaConnectorDef c;
+    auto cname = store.GetOne(res, Vocab::kName);
+    if (!cname) {
+      return Status::ParseError("schema connector '" + res +
+                                "' missing slim:name");
+    }
+    c.name = cname->text;
+    auto conforms = store.GetOne(res, Vocab::kConformsTo);
+    c.model_connector = model_local(conforms->text);
+    auto domain = store.GetOne(res, Vocab::kDomain);
+    auto range = store.GetOne(res, Vocab::kRange);
+    if (!domain || !range) {
+      return Status::ParseError("schema connector '" + res +
+                                "' missing domain/range");
+    }
+    SLIM_ASSIGN_OR_RETURN(c.domain, local_name(domain->text));
+    if (StartsWith(range->text, prefix)) {
+      c.range = range->text.substr(prefix.size());
+    } else {
+      c.range = model_local(range->text);
+    }
+    auto min_card = store.GetOne(res, Vocab::kMinCard);
+    auto max_card = store.GetOne(res, Vocab::kMaxCard);
+    long long n = 0;
+    if (min_card && ParseInt(min_card->text, &n)) {
+      c.min_card = static_cast<int>(n);
+    }
+    if (max_card) {
+      if (max_card->text == "*") {
+        c.max_card = kMany;
+      } else if (ParseInt(max_card->text, &n)) {
+        c.max_card = static_cast<int>(n);
+      }
+    }
+    SLIM_RETURN_NOT_OK(schema.AddConnector(std::move(c), model));
+  }
+  return schema;
+}
+
+Result<SchemaDef> IdentitySchema(const ModelDef& model,
+                                 const std::string& schema_name) {
+  SchemaDef schema(schema_name, model.name());
+  for (const auto& [construct, kind] : model.constructs()) {
+    if (kind == ConstructKind::kLiteralConstruct) continue;
+    SLIM_RETURN_NOT_OK(schema.AddElement(construct, construct, model));
+  }
+  for (const ConnectorDef& mc : model.connectors()) {
+    SchemaConnectorDef sc;
+    sc.name = mc.name;
+    sc.model_connector = mc.name;
+    sc.domain = mc.domain;
+    sc.range = mc.range;
+    sc.min_card = mc.min_card;
+    sc.max_card = mc.max_card;
+    SLIM_RETURN_NOT_OK(schema.AddConnector(std::move(sc), model));
+  }
+  return schema;
+}
+
+}  // namespace slim::store

@@ -1,0 +1,105 @@
+#ifndef SLIM_SLIM_SCHEMA_H_
+#define SLIM_SLIM_SCHEMA_H_
+
+/// \file schema.h
+/// \brief Schemas: the middle layer of the metamodel representation.
+///
+/// A schema declares *schema elements*, each conforming to a construct of a
+/// data model (the conformance connector of the metamodel), plus *schema
+/// connectors* that instantiate model connectors between specific elements.
+/// Example: a "rounds" schema in the Bundle-Scrap model might declare
+/// element "PatientBundle" conforming to construct "Bundle".
+///
+/// Like models, schemas round-trip through triples, so model, schema and
+/// instance share TRIM storage (paper §4.3: "Explicitly representing and
+/// storing model, schema, and instance, along with being flexible in which
+/// is defined first").
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "slim/model.h"
+#include "trim/triple_store.h"
+#include "util/result.h"
+
+namespace slim::store {
+
+/// \brief A connector declared at schema level, refining a model connector
+/// to specific schema elements.
+struct SchemaConnectorDef {
+  std::string name;             ///< Property name used by instances.
+  std::string model_connector;  ///< The model connector it instantiates.
+  std::string domain;           ///< Schema element (source).
+  std::string range;  ///< Schema element, or literal construct name.
+  int min_card = 0;
+  int max_card = kMany;
+};
+
+/// \brief An in-memory schema over a model.
+class SchemaDef {
+ public:
+  SchemaDef() = default;
+  SchemaDef(std::string name, std::string model_name)
+      : name_(std::move(name)), model_name_(std::move(model_name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& model_name() const { return model_name_; }
+
+  /// Declares a schema element conforming to `construct` (validated
+  /// against `model`, which must be the schema's model).
+  Status AddElement(const std::string& element, const std::string& construct,
+                    const ModelDef& model);
+
+  /// Declares a schema connector; validates against the model: the model
+  /// connector must exist, its domain/range must subsume the elements'
+  /// constructs, and the refined cardinality must narrow (not widen) the
+  /// model's.
+  Status AddConnector(SchemaConnectorDef connector, const ModelDef& model);
+
+  /// Construct a declared element conforms to; NotFound otherwise.
+  Result<std::string> ConstructOf(const std::string& element) const;
+
+  /// A declared connector by name, or nullptr.
+  const SchemaConnectorDef* FindConnector(const std::string& name) const;
+
+  /// All connectors with the given domain element.
+  std::vector<const SchemaConnectorDef*> ConnectorsFor(
+      const std::string& element) const;
+
+  const std::map<std::string, std::string>& elements() const {
+    return elements_;
+  }
+  const std::vector<SchemaConnectorDef>& connectors() const {
+    return connectors_;
+  }
+
+  /// \name Triple round trip. Schema resources: "schema:<schema>/<elem>".
+  /// @{
+  Status ToTriples(trim::TripleStore* store) const;
+  static Result<SchemaDef> FromTriples(const trim::TripleStore& store,
+                                       const std::string& schema_name);
+  /// @}
+
+  std::string SchemaResource() const { return "schema:" + name_; }
+  std::string ElementResource(const std::string& element) const {
+    return "schema:" + name_ + "/" + element;
+  }
+
+ private:
+  std::string name_;
+  std::string model_name_;
+  std::map<std::string, std::string> elements_;  // element -> construct
+  std::vector<SchemaConnectorDef> connectors_;
+};
+
+/// \brief The identity schema of a model: one schema element per non-literal
+/// construct, one schema connector per model connector. This is how a
+/// "model-direct" application like SLIMPad (whose schema *is* the
+/// Bundle-Scrap model) is expressed in the three-layer representation.
+Result<SchemaDef> IdentitySchema(const ModelDef& model,
+                                 const std::string& schema_name);
+
+}  // namespace slim::store
+
+#endif  // SLIM_SLIM_SCHEMA_H_

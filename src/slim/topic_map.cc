@@ -1,0 +1,59 @@
+#include "slim/topic_map.h"
+
+namespace slim::store {
+
+ModelDef BuildTopicMapModel() {
+  ModelDef model("topic-map");
+  (void)model.AddConstruct("String", ConstructKind::kLiteralConstruct);
+  (void)model.AddConstruct("Topic", ConstructKind::kConstruct);
+  (void)model.AddConstruct("Association", ConstructKind::kConstruct);
+  (void)model.AddConstruct("Occurrence", ConstructKind::kConstruct);
+  (void)model.AddConstruct("Locator", ConstructKind::kMarkConstruct);
+  (void)model.AddConnector({"topicName", "Topic", "String", 1, 1});
+  (void)model.AddConnector({"occurrence", "Topic", "Occurrence", 0, kMany});
+  (void)model.AddConnector({"relatedTo", "Topic", "Topic", 0, kMany});
+  (void)model.AddConnector({"member", "Association", "Topic", 2, kMany});
+  (void)model.AddConnector({"associationType", "Association", "String", 1, 1});
+  (void)model.AddConnector({"occurrenceLabel", "Occurrence", "String", 0, 1});
+  (void)model.AddConnector({"locator", "Occurrence", "Locator", 0, kMany});
+  (void)model.AddConnector({"locatorRef", "Locator", "String", 1, 1});
+  // A topic may nest narrower topics (thesaurus-style), mirroring bundle
+  // nesting under the mapping.
+  (void)model.AddConnector({"narrower", "Topic", "Topic", 0, kMany});
+  return model;
+}
+
+Result<SchemaDef> TopicMapSchema() {
+  return IdentitySchema(BuildTopicMapModel(), "topicmap");
+}
+
+Mapping BundleScrapToTopicMap() {
+  Mapping mapping("bundle-scrap-to-topic-map");
+  // Bundle => Topic.
+  (void)mapping.AddRule({"schema:slimpad/Bundle", "schema:topicmap/Topic",
+                         {{"bundleName", "topicName"},
+                          {"bundleContent", "occurrence"},
+                          {"nestedBundle", "narrower"}},
+                         /*drop_unmapped_properties=*/true});
+  // Scrap => Occurrence. Geometry, annotations and scrap-to-scrap links
+  // have no occurrence counterpart and are dropped.
+  (void)mapping.AddRule({"schema:slimpad/Scrap",
+                         "schema:topicmap/Occurrence",
+                         {{"scrapName", "occurrenceLabel"},
+                          {"scrapMark", "locator"}},
+                         /*drop_unmapped_properties=*/true});
+  // MarkHandle => Locator.
+  (void)mapping.AddRule({"schema:slimpad/MarkHandle",
+                         "schema:topicmap/Locator",
+                         {{"markId", "locatorRef"}},
+                         /*drop_unmapped_properties=*/true});
+  // SlimPad itself has no topic-map counterpart.
+  (void)mapping.AddRule({"schema:slimpad/SlimPad",
+                         "schema:topicmap/Topic",
+                         {{"padName", "topicName"},
+                          {"rootBundle", "narrower"}},
+                         /*drop_unmapped_properties=*/true});
+  return mapping;
+}
+
+}  // namespace slim::store

@@ -1,0 +1,46 @@
+#ifndef SLIM_SLIM_TOPIC_MAP_H_
+#define SLIM_SLIM_TOPIC_MAP_H_
+
+/// \file topic_map.h
+/// \brief A second superimposed model: ISO 13250 Topic Maps (paper §1/§4.3:
+/// "we see models for information emerging that are inherently superimposed
+/// including topic maps, RDF, and XLink" / "we choose to be flexible at the
+/// data-model level by providing storage of superimposed information for
+/// various models").
+///
+/// The Bundle-Scrap model is one point in model space; expressing Topic
+/// Maps in the same metamodel — and mapping pad data onto it — demonstrates
+/// the flexibility claim concretely. The mapping below is the standard
+/// interpretation: a Bundle groups related material (a Topic); a Scrap is
+/// evidence in a base document (an Occurrence); a MarkHandle's mark is the
+/// occurrence's locator.
+
+#include "slim/mapping.h"
+#include "slim/model.h"
+#include "slim/schema.h"
+
+namespace slim::store {
+
+/// \brief The Topic Map data model expressed in the metamodel.
+///
+/// Constructs: Topic, Association, Occurrence, plus the Locator mark
+/// construct. Connectors: topicName (Topic->String 1..1), occurrence
+/// (Topic->Occurrence 0..*), member (Association->Topic 2..*),
+/// associationType (Association->String 1..1), occurrenceLabel
+/// (Occurrence->String 0..1), locator (Occurrence->Locator 0..*),
+/// locatorRef (Locator->String 1..1), relatedTo (Topic->Topic 0..*).
+ModelDef BuildTopicMapModel();
+
+/// \brief The identity schema of the Topic Map model ("topicmap").
+Result<SchemaDef> TopicMapSchema();
+
+/// \brief The Bundle-Scrap -> Topic-Map instance mapping (schema-to-schema
+/// over the "slimpad" identity schema): Bundle=>Topic, Scrap=>Occurrence,
+/// MarkHandle=>Locator, with properties renamed accordingly. Pad-geometry
+/// properties (positions, sizes) have no topic-map counterpart and are
+/// dropped.
+Mapping BundleScrapToTopicMap();
+
+}  // namespace slim::store
+
+#endif  // SLIM_SLIM_TOPIC_MAP_H_

@@ -1,0 +1,54 @@
+#ifndef SLIM_SLIM_VOCABULARY_H_
+#define SLIM_SLIM_VOCABULARY_H_
+
+/// \file vocabulary.h
+/// \brief The RDF-Schema-style vocabulary for the metamodel representation
+/// (paper §4.3: "We represent the metamodel elements using RDF Schema").
+///
+/// Three layers share one triple store:
+///  - *model* triples declare constructs and connectors of a data model,
+///  - *schema* triples declare schema elements as instances of constructs,
+///  - *instance* triples are the data, typed by schema elements.
+///
+/// The properties below are the fixed vocabulary tying the layers together.
+
+namespace slim::store {
+
+/// Property and resource-kind names in the "slim:" namespace.
+struct Vocab {
+  // ---- universal ----
+  static constexpr const char* kType = "slim:type";  ///< instance-of edge
+  static constexpr const char* kName = "slim:name";  ///< display name
+
+  // ---- metamodel kinds (the object of slim:metaKind on model resources) --
+  static constexpr const char* kMetaKind = "slim:metaKind";
+  static constexpr const char* kConstruct = "slim:Construct";
+  static constexpr const char* kLiteralConstruct = "slim:LiteralConstruct";
+  static constexpr const char* kMarkConstruct = "slim:MarkConstruct";
+  static constexpr const char* kConnector = "slim:Connector";
+  static constexpr const char* kConformanceConnector =
+      "slim:ConformanceConnector";
+  static constexpr const char* kGeneralizationConnector =
+      "slim:GeneralizationConnector";
+
+  // ---- model structure ----
+  static constexpr const char* kInModel = "slim:inModel";   ///< element -> model
+  static constexpr const char* kDomain = "slim:domain";     ///< connector source
+  static constexpr const char* kRange = "slim:range";       ///< connector target
+  static constexpr const char* kMinCard = "slim:minCard";   ///< literal int
+  static constexpr const char* kMaxCard = "slim:maxCard";   ///< literal int or "*"
+  static constexpr const char* kSubConstructOf = "slim:subConstructOf";
+
+  // ---- schema structure ----
+  static constexpr const char* kInSchema = "slim:inSchema";
+  static constexpr const char* kSchemaOf = "slim:schemaOf";  ///< schema -> model
+  static constexpr const char* kConformsTo =
+      "slim:conformsTo";  ///< schema element -> model construct
+
+  // ---- instance structure ----
+  static constexpr const char* kMarkRef = "slim:markRef";  ///< -> mark id
+};
+
+}  // namespace slim::store
+
+#endif  // SLIM_SLIM_VOCABULARY_H_

@@ -1,0 +1,128 @@
+#ifndef SLIM_SLIMPAD_BUNDLE_SCRAP_H_
+#define SLIM_SLIMPAD_BUNDLE_SCRAP_H_
+
+/// \file bundle_scrap.h
+/// \brief SLIMPad's application data: the Bundle-Scrap model (paper Fig. 3)
+/// as native objects.
+///
+/// Fig. 10: "The class structure is identical to the Bundle-Scrap model of
+/// SLIMPad, except the classes are writable (i.e., the DMI can set their
+/// attributes). ... Only the interfaces are presented to SLIMPad, which
+/// allows the DMI to guarantee consistency between the triple representation
+/// and the application data."
+///
+/// In C++ we realize "read-only interfaces, writable classes" with const
+/// access: the application receives `const Bundle*` etc.; all mutators are
+/// routed through SlimPadDmi (a friend), which mirrors every change into
+/// triples.
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace slim::pad {
+
+class SlimPadDmi;
+
+/// \brief A 2-D position on the pad (freeform placement, paper §3: "We
+/// allow flexibility for placement of information elements and bundles in
+/// two dimensions").
+struct Coordinate {
+  double x = 0;
+  double y = 0;
+
+  std::string ToString() const;
+  static Result<Coordinate> Parse(std::string_view text);
+  friend bool operator==(const Coordinate&, const Coordinate&) = default;
+};
+
+/// \brief References a Mark in the Mark Manager by id (paper Fig. 3:
+/// "Each MarkHandle references a Mark through a unique mark id").
+class MarkHandle {
+ public:
+  const std::string& id() const { return id_; }
+  const std::string& mark_id() const { return mark_id_; }
+
+ private:
+  friend class SlimPadDmi;
+  std::string id_;
+  std::string mark_id_;
+};
+
+/// \brief An information element on the pad: a label, a position, zero or
+/// more mark handles, plus the §6 extensions (annotations, links).
+class Scrap {
+ public:
+  const std::string& id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Coordinate& pos() const { return pos_; }
+  /// MarkHandle ids (empty for purely graphic scraps like the 'gridlet').
+  const std::vector<std::string>& mark_handles() const {
+    return mark_handles_;
+  }
+  /// §6 extension: free-text annotations on the scrap.
+  const std::vector<std::string>& annotations() const { return annotations_; }
+  /// §6 extension: explicit links to other scraps (by scrap id).
+  const std::vector<std::string>& linked_scraps() const {
+    return linked_scraps_;
+  }
+
+ private:
+  friend class SlimPadDmi;
+  std::string id_;
+  std::string name_;
+  Coordinate pos_;
+  std::vector<std::string> mark_handles_;
+  std::vector<std::string> annotations_;
+  std::vector<std::string> linked_scraps_;
+};
+
+/// \brief A freeform grouping of scraps and nested bundles with a label and
+/// geometry.
+class Bundle {
+ public:
+  const std::string& id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Coordinate& pos() const { return pos_; }
+  double width() const { return width_; }
+  double height() const { return height_; }
+  /// Contained scrap ids, in placement order.
+  const std::vector<std::string>& scraps() const { return scraps_; }
+  /// Nested bundle ids, in placement order.
+  const std::vector<std::string>& nested_bundles() const {
+    return nested_bundles_;
+  }
+  /// Id of the containing bundle; empty for a root bundle.
+  const std::string& parent() const { return parent_; }
+
+ private:
+  friend class SlimPadDmi;
+  std::string id_;
+  std::string name_;
+  Coordinate pos_;
+  double width_ = 0;
+  double height_ = 0;
+  std::vector<std::string> scraps_;
+  std::vector<std::string> nested_bundles_;
+  std::string parent_;
+};
+
+/// \brief The top-level object: a named pad designating a root bundle.
+class SlimPad {
+ public:
+  const std::string& id() const { return id_; }
+  const std::string& pad_name() const { return pad_name_; }
+  /// Root bundle id; empty if not yet set.
+  const std::string& root_bundle() const { return root_bundle_; }
+
+ private:
+  friend class SlimPadDmi;
+  std::string id_;
+  std::string pad_name_;
+  std::string root_bundle_;
+};
+
+}  // namespace slim::pad
+
+#endif  // SLIM_SLIMPAD_BUNDLE_SCRAP_H_

@@ -1,0 +1,173 @@
+#include "slimpad/slimpad_app.h"
+
+namespace slim::pad {
+
+SlimPadApp::SlimPadApp(mark::MarkManager* marks)
+    : marks_(marks), dmi_(std::make_unique<SlimPadDmi>(&store_)) {}
+
+Status SlimPadApp::NewPad(const std::string& pad_name) {
+  SLIM_ASSIGN_OR_RETURN(const SlimPad* pad, dmi_->Create_SlimPad(pad_name));
+  SLIM_ASSIGN_OR_RETURN(
+      const Bundle* root,
+      dmi_->Create_Bundle(pad_name, Coordinate{0, 0}, 800, 600));
+  SLIM_RETURN_NOT_OK(dmi_->Update_rootBundle(pad->id(), root->id()));
+  pad_ = pad;
+  return Status::OK();
+}
+
+Result<std::string> SlimPadApp::RootBundle() const {
+  if (pad_ == nullptr) return Status::FailedPrecondition("no pad open");
+  if (pad_->root_bundle().empty()) {
+    return Status::FailedPrecondition("pad has no root bundle");
+  }
+  return pad_->root_bundle();
+}
+
+Result<std::string> SlimPadApp::CreateBundle(
+    const std::string& parent_bundle_id, const std::string& name,
+    Coordinate pos, double width, double height) {
+  SLIM_ASSIGN_OR_RETURN(const Bundle* bundle,
+                        dmi_->Create_Bundle(name, pos, width, height));
+  SLIM_RETURN_NOT_OK(dmi_->AddNestedBundle(parent_bundle_id, bundle->id()));
+  return bundle->id();
+}
+
+Result<std::string> SlimPadApp::AddScrapFromSelection(
+    const std::string& bundle_id, const std::string& app_type,
+    const std::string& scrap_label, Coordinate pos) {
+  SLIM_ASSIGN_OR_RETURN(std::string mark_id,
+                        marks_->CreateMarkFromSelection(app_type));
+  return AddScrapForMark(bundle_id, mark_id, scrap_label, pos);
+}
+
+Result<std::string> SlimPadApp::AddScrapForMark(const std::string& bundle_id,
+                                                const std::string& mark_id,
+                                                const std::string& scrap_label,
+                                                Coordinate pos) {
+  // Verify the mark exists before wiring anything.
+  SLIM_RETURN_NOT_OK(marks_->GetMark(mark_id).status());
+  std::string label = scrap_label;
+  if (label.empty()) {
+    // Default the label to the mark's excerpt (note §3: "a scrap's label
+    // and its mark's content may differ" — the user can rename later).
+    SLIM_ASSIGN_OR_RETURN(const mark::Mark* m, marks_->GetMark(mark_id));
+    label = m->excerpt().empty() ? m->Describe() : m->excerpt();
+  }
+  SLIM_ASSIGN_OR_RETURN(const Scrap* scrap, dmi_->Create_Scrap(label, pos));
+  SLIM_ASSIGN_OR_RETURN(const MarkHandle* handle,
+                        dmi_->Create_MarkHandle(mark_id));
+  SLIM_RETURN_NOT_OK(dmi_->SetScrapMark(scrap->id(), handle->id()));
+  SLIM_RETURN_NOT_OK(dmi_->AddScrapToBundle(bundle_id, scrap->id()));
+  return scrap->id();
+}
+
+Result<std::string> SlimPadApp::AddGraphicScrap(const std::string& bundle_id,
+                                                const std::string& label,
+                                                Coordinate pos) {
+  SLIM_ASSIGN_OR_RETURN(const Scrap* scrap, dmi_->Create_Scrap(label, pos));
+  SLIM_RETURN_NOT_OK(dmi_->AddScrapToBundle(bundle_id, scrap->id()));
+  return scrap->id();
+}
+
+Result<OpenResult> SlimPadApp::OpenScrap(const std::string& scrap_id) {
+  SLIM_ASSIGN_OR_RETURN(const Scrap* scrap, dmi_->GetScrap(scrap_id));
+  if (scrap->mark_handles().empty()) {
+    return Status::FailedPrecondition("scrap '" + scrap_id +
+                                      "' has no mark (graphic scrap)");
+  }
+  SLIM_ASSIGN_OR_RETURN(const MarkHandle* handle,
+                        dmi_->GetMarkHandle(scrap->mark_handles().front()));
+  OpenResult out;
+  out.style = style_;
+  out.mark_id = handle->mark_id();
+  switch (style_) {
+    case ViewingStyle::kSimultaneous: {
+      // De-reference the mark: the base application window navigates to
+      // and highlights the element.
+      SLIM_RETURN_NOT_OK(marks_->ResolveMark(handle->mark_id(), "context"));
+      out.base_app_navigated = true;
+      break;
+    }
+    case ViewingStyle::kEnhanced: {
+      // The base application hosts the superimposed layer: navigate AND
+      // surface the content to the (enhanced) base window.
+      SLIM_RETURN_NOT_OK(marks_->ResolveMark(handle->mark_id(), "context"));
+      SLIM_ASSIGN_OR_RETURN(out.in_place_content,
+                            marks_->ExtractContent(handle->mark_id()));
+      out.base_app_navigated = true;
+      break;
+    }
+    case ViewingStyle::kIndependent: {
+      // The base application stays hidden; content is displayed in place.
+      SLIM_ASSIGN_OR_RETURN(out.in_place_content,
+                            marks_->ExtractContent(handle->mark_id()));
+      out.base_app_navigated = false;
+      break;
+    }
+  }
+  return out;
+}
+
+Result<std::string> SlimPadApp::InstantiateTemplate(
+    const std::string& parent_bundle_id, const BundleTemplate& tmpl,
+    Coordinate pos) {
+  SLIM_ASSIGN_OR_RETURN(std::string bundle_id,
+                        CreateBundle(parent_bundle_id, tmpl.name, pos,
+                                     tmpl.width, tmpl.height));
+  for (const auto& [label, scrap_pos] : tmpl.scraps) {
+    SLIM_RETURN_NOT_OK(
+        AddGraphicScrap(bundle_id, label, scrap_pos).status());
+  }
+  return bundle_id;
+}
+
+Result<std::vector<std::string>> SlimPadApp::FindScrapsNamed(
+    const std::string& name) {
+  store::Query query;
+  query.Where(store::QueryTerm::Var("s"), store::QueryTerm::Res("scrapName"),
+              store::QueryTerm::Lit(name));
+  SLIM_ASSIGN_OR_RETURN(std::vector<store::Binding> rows,
+                        store::Execute(store_, query));
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const store::Binding& row : rows) out.push_back(row.at("s").text);
+  return out;
+}
+
+Result<std::vector<store::Binding>> SlimPadApp::QueryPad(
+    const std::string& query_text) {
+  return store::ExecuteText(store_, query_text);
+}
+
+Status SlimPadApp::SavePad(const std::string& path) const {
+  SLIM_RETURN_NOT_OK(dmi_->save(path));
+  return marks_->SaveToFile(path + ".marks");
+}
+
+Status SlimPadApp::LoadPad(const std::string& path) {
+  SLIM_RETURN_NOT_OK(marks_->LoadFromFile(path + ".marks"));
+  SLIM_RETURN_NOT_OK(dmi_->load(path));
+  pad_ = nullptr;
+  std::vector<const SlimPad*> pads = dmi_->Pads();
+  if (pads.empty()) {
+    return Status::ParseError("loaded file contains no pad");
+  }
+  pad_ = pads.front();
+  return Status::OK();
+}
+
+BundleTemplate ResidentWorksheetTemplate() {
+  BundleTemplate tmpl;
+  tmpl.name = "Resident worksheet row";
+  tmpl.width = 640;
+  tmpl.height = 120;
+  tmpl.scraps = {
+      {"Patient", Coordinate{10, 10}},
+      {"Problems", Coordinate{170, 10}},
+      {"Labs / vitals", Coordinate{330, 10}},
+      {"To do", Coordinate{490, 10}},
+  };
+  return tmpl;
+}
+
+}  // namespace slim::pad

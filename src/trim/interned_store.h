@@ -1,0 +1,149 @@
+#ifndef SLIM_TRIM_INTERNED_STORE_H_
+#define SLIM_TRIM_INTERNED_STORE_H_
+
+/// \file interned_store.h
+/// \brief The alternative TRIM implementation for large data sets.
+///
+/// Paper §6: "In applications of our SLIM Store technology beyond SLIMPad,
+/// some data sets are quite large and we are developing alternative
+/// implementation mechanisms." This store trades TRIM's pointer-rich hash
+/// indexes for an interned, columnar layout:
+///
+///  - every distinct string is stored once in a StringPool; triples are
+///    three 32-bit ids plus a kind bit,
+///  - triples live in one contiguous array; deletions tombstone,
+///  - lookups use sorted posting arrays (by subject / property / object)
+///    rebuilt lazily after batches of writes,
+///  - persistence is a compact length-prefixed binary format.
+///
+/// The ablation bench (bench_ablation_store) quantifies the trade against
+/// the hash-indexed TripleStore: memory per triple, bulk-load rate, point
+/// and range query latency, and cold-load time.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trim/triple_store.h"  // Triple / TriplePattern / Object
+#include "util/result.h"
+
+namespace slim::trim {
+
+/// \brief Append-only string interner with id lookup.
+///
+/// Move-only: the index holds views into the deque, so a memberwise copy
+/// would leave the copy's index pointing at the source's strings.
+class StringPool {
+ public:
+  StringPool() = default;
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+  StringPool(StringPool&&) = default;
+  StringPool& operator=(StringPool&&) = default;
+
+  /// Id of `s`, interning it if new.
+  uint32_t Intern(std::string_view s);
+  /// Id of `s` if already interned.
+  std::optional<uint32_t> Find(std::string_view s) const;
+  /// The string for an id (must be valid).
+  const std::string& Get(uint32_t id) const { return strings_[id]; }
+  size_t size() const { return strings_.size(); }
+  /// Heap bytes held by the pool (strings + map overhead estimate).
+  size_t ApproximateBytes() const;
+
+  /// \name Binary (de)serialization.
+  /// @{
+  void AppendTo(std::string* out) const;
+  static Result<StringPool> ReadFrom(std::string_view data, size_t* offset);
+  /// @}
+
+ private:
+  // Deque keeps element addresses stable, so the index may hold views.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, uint32_t> index_;  // views into strings_
+};
+
+/// \brief Interned, columnar triple store (same logical contract as
+/// TripleStore).
+class InternedTripleStore {
+ public:
+  InternedTripleStore() = default;
+  InternedTripleStore(const InternedTripleStore&) = delete;
+  InternedTripleStore& operator=(const InternedTripleStore&) = delete;
+  InternedTripleStore(InternedTripleStore&&) = default;
+  InternedTripleStore& operator=(InternedTripleStore&&) = default;
+
+  Status Add(const Triple& triple, bool allow_duplicates = false);
+  Status AddLiteral(const std::string& subject, const std::string& property,
+                    const std::string& literal);
+  Status AddResource(const std::string& subject, const std::string& property,
+                     const std::string& resource);
+  Status Remove(const Triple& triple);
+  bool Contains(const Triple& triple) const;
+
+  std::vector<Triple> Select(const TriplePattern& pattern) const;
+  void SelectEach(const TriplePattern& pattern,
+                  const std::function<bool(const Triple&)>& fn) const;
+  std::optional<Object> GetOne(const std::string& subject,
+                               const std::string& property) const;
+  std::vector<Triple> ViewFrom(const std::string& resource) const;
+
+  size_t size() const { return live_count_; }
+  bool empty() const { return live_count_ == 0; }
+  void Clear();
+  void ForEach(const std::function<void(const Triple&)>& fn) const;
+
+  /// Forces posting-list rebuild now (otherwise lazy on first read after a
+  /// write batch).
+  void Compact();
+
+  /// Heap footprint: pool + triple array + postings.
+  size_t ApproximateBytes() const;
+
+  /// \name Compact binary persistence.
+  /// @{
+  std::string SerializeBinary() const;
+  static Result<InternedTripleStore> DeserializeBinary(std::string_view data);
+  Status SaveBinary(const std::string& path) const;
+  static Result<InternedTripleStore> LoadBinary(const std::string& path);
+  /// @}
+
+ private:
+  struct Row {
+    uint32_t subject;
+    uint32_t property;
+    uint32_t object;
+    uint8_t object_is_resource;
+    uint8_t dead;
+  };
+
+  Triple MakeTriple(const Row& row) const;
+  bool RowMatches(const Row& row, const std::optional<uint32_t>& s,
+                  const std::optional<uint32_t>& p,
+                  const std::optional<uint32_t>& o,
+                  const std::optional<bool>& o_res) const;
+  void EnsureIndexes() const;
+  /// Find the live row index of an exact triple, or SIZE_MAX.
+  size_t FindRow(const Triple& triple) const;
+
+  StringPool pool_;
+  std::vector<Row> rows_;
+  size_t live_count_ = 0;
+
+  // Subject access path, maintained eagerly: writes, point reads and graph
+  // walks (the dominant DMI access pattern) never trigger index rebuilds.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> subject_rows_;
+
+  // Lazily rebuilt sorted postings for property/object-keyed selection.
+  mutable bool indexes_valid_ = false;
+  mutable std::vector<uint32_t> by_property_;  // sorted by (property, row)
+  mutable std::vector<uint32_t> by_object_;    // sorted by (object, row)
+};
+
+}  // namespace slim::trim
+
+#endif  // SLIM_TRIM_INTERNED_STORE_H_

@@ -1,0 +1,77 @@
+#include "trim/persistence.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "doc/xml/parser.h"
+#include "doc/xml/writer.h"
+
+namespace slim::trim {
+
+namespace xml = slim::doc::xml;
+
+std::string StoreToXml(const TripleStore& store) {
+  xml::Document doc;
+  auto root = std::make_unique<xml::Element>("trim:store");
+  root->SetAttribute("xmlns:trim", "http://slim.ogi.edu/trim");
+  store.ForEach([&](const Triple& t) {
+    xml::Element* stmt = root->AddElement("trim:statement");
+    stmt->SetAttribute("subject", t.subject);
+    stmt->SetAttribute("property", t.property);
+    xml::Element* obj = stmt->AddElement(
+        t.object.is_resource() ? "trim:resource" : "trim:literal");
+    if (!t.object.text.empty()) obj->AddText(t.object.text);
+  });
+  doc.set_root(std::move(root));
+  return xml::WriteXml(doc);
+}
+
+Status StoreFromXml(std::string_view xml_text, TripleStore* store) {
+  if (store == nullptr) return Status::InvalidArgument("null store");
+  xml::ParseOptions opts;
+  opts.strip_whitespace_text = false;  // literals may be pure whitespace
+  SLIM_ASSIGN_OR_RETURN(std::unique_ptr<xml::Document> doc,
+                        xml::ParseXml(xml_text, opts));
+  if (doc->root() == nullptr || doc->root()->name() != "trim:store") {
+    return Status::ParseError("root element is not <trim:store>");
+  }
+  store->Clear();
+  for (xml::Element* stmt : doc->root()->ChildElements("trim:statement")) {
+    const std::string* subject = stmt->FindAttribute("subject");
+    const std::string* property = stmt->FindAttribute("property");
+    if (subject == nullptr || property == nullptr) {
+      return Status::ParseError(
+          "<trim:statement> missing subject/property attribute");
+    }
+    xml::Element* res = stmt->FirstChild("trim:resource");
+    xml::Element* lit = stmt->FirstChild("trim:literal");
+    if ((res == nullptr) == (lit == nullptr)) {
+      return Status::ParseError(
+          "<trim:statement> must contain exactly one of <trim:resource> or "
+          "<trim:literal>");
+    }
+    Object object = res != nullptr ? Object::Resource(res->InnerText())
+                                   : Object::Literal(lit->InnerText());
+    SLIM_RETURN_NOT_OK(
+        store->Add(Triple{*subject, *property, std::move(object)}));
+  }
+  return Status::OK();
+}
+
+Status SaveStore(const TripleStore& store, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << StoreToXml(store);
+  if (!out.good()) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Status LoadStore(const std::string& path, TripleStore* store) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return StoreFromXml(buf.str(), store);
+}
+
+}  // namespace slim::trim

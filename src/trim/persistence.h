@@ -1,0 +1,41 @@
+#ifndef SLIM_TRIM_PERSISTENCE_H_
+#define SLIM_TRIM_PERSISTENCE_H_
+
+/// \file persistence.h
+/// \brief XML persistence for TRIM (paper §4.4: "persist (through XML
+/// files)").
+///
+/// The serialization is an RDF-flavored statement list:
+///
+///   <trim:store xmlns:trim="http://slim.ogi.edu/trim">
+///     <trim:statement subject="bundle1" property="bundleName">
+///       <trim:literal>John Smith</trim:literal>
+///     </trim:statement>
+///     <trim:statement subject="bundle1" property="bundleContent">
+///       <trim:resource>scrap4</trim:resource>
+///     </trim:statement>
+///   </trim:store>
+
+#include <string>
+
+#include "trim/triple_store.h"
+#include "util/result.h"
+
+namespace slim::trim {
+
+/// Serializes every triple in the store to XML text.
+std::string StoreToXml(const TripleStore& store);
+
+/// Parses XML text produced by StoreToXml into `store` (which is cleared
+/// first). Duplicate statements in the file are an error.
+Status StoreFromXml(std::string_view xml_text, TripleStore* store);
+
+/// Writes the store to a file.
+Status SaveStore(const TripleStore& store, const std::string& path);
+
+/// Loads a store from a file (clears `store` first).
+Status LoadStore(const std::string& path, TripleStore* store);
+
+}  // namespace slim::trim
+
+#endif  // SLIM_TRIM_PERSISTENCE_H_

@@ -1,0 +1,105 @@
+#include "trim/rdf_xml.h"
+
+#include <cctype>
+#include <map>
+
+#include "doc/xml/parser.h"
+#include "doc/xml/writer.h"
+
+namespace slim::trim {
+
+namespace xml = slim::doc::xml;
+
+namespace {
+
+constexpr const char* kRdfNs = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+
+bool IsValidElementName(const std::string& name) {
+  if (name.empty()) return false;
+  char first = name[0];
+  if (!(std::isalpha(static_cast<unsigned char>(first)) || first == '_')) {
+    return false;
+  }
+  int colons = 0;
+  for (char c : name) {
+    if (c == ':') {
+      ++colons;
+      continue;
+    }
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' || c == '.')) {
+      return false;
+    }
+  }
+  return colons <= 1 && name.back() != ':';
+}
+
+}  // namespace
+
+Result<std::string> StoreToRdfXml(const TripleStore& store) {
+  // Group statements by subject, preserving first-seen subject order.
+  std::vector<std::string> subject_order;
+  std::map<std::string, std::vector<Triple>> by_subject;
+  Status bad;
+  store.ForEach([&](const Triple& t) {
+    if (!bad.ok()) return;
+    if (!IsValidElementName(t.property)) {
+      bad = Status::InvalidArgument(
+          "property '" + t.property +
+          "' is not a valid XML element name; cannot emit RDF/XML");
+      return;
+    }
+    auto [it, inserted] = by_subject.try_emplace(t.subject);
+    if (inserted) subject_order.push_back(t.subject);
+    it->second.push_back(t);
+  });
+  SLIM_RETURN_NOT_OK(bad);
+
+  xml::Document doc;
+  auto root = std::make_unique<xml::Element>("rdf:RDF");
+  root->SetAttribute("xmlns:rdf", kRdfNs);
+  for (const std::string& subject : subject_order) {
+    xml::Element* desc = root->AddElement("rdf:Description");
+    desc->SetAttribute("rdf:about", subject);
+    for (const Triple& t : by_subject[subject]) {
+      xml::Element* prop = desc->AddElement(t.property);
+      if (t.object.is_resource()) {
+        prop->SetAttribute("rdf:resource", t.object.text);
+      } else if (!t.object.text.empty()) {
+        prop->AddText(t.object.text);
+      }
+    }
+  }
+  doc.set_root(std::move(root));
+  return xml::WriteXml(doc);
+}
+
+Status StoreFromRdfXml(std::string_view xml_text, TripleStore* store) {
+  if (store == nullptr) return Status::InvalidArgument("null store");
+  xml::ParseOptions opts;
+  opts.strip_whitespace_text = false;
+  SLIM_ASSIGN_OR_RETURN(std::unique_ptr<xml::Document> doc,
+                        xml::ParseXml(xml_text, opts));
+  if (doc->root() == nullptr || doc->root()->name() != "rdf:RDF") {
+    return Status::ParseError("root element is not <rdf:RDF>");
+  }
+  store->Clear();
+  for (xml::Element* desc : doc->root()->ChildElements("rdf:Description")) {
+    const std::string* about = desc->FindAttribute("rdf:about");
+    if (about == nullptr || about->empty()) {
+      return Status::ParseError(
+          "<rdf:Description> missing rdf:about attribute");
+    }
+    for (xml::Element* prop : desc->ChildElements()) {
+      const std::string* resource = prop->FindAttribute("rdf:resource");
+      Object object = resource != nullptr
+                          ? Object::Resource(*resource)
+                          : Object::Literal(prop->InnerText());
+      SLIM_RETURN_NOT_OK(
+          store->Add(Triple{*about, prop->name(), std::move(object)}));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace slim::trim

@@ -1,0 +1,39 @@
+#ifndef SLIM_TRIM_RDF_XML_H_
+#define SLIM_TRIM_RDF_XML_H_
+
+/// \file rdf_xml.h
+/// \brief RDF/XML interchange (paper §4.3: "since RDF defines a
+/// serialization-syntax (in XML), we can use the representation for
+/// interoperability between superimposed applications").
+///
+/// The trim-native format (persistence.h) is a statement list; this module
+/// emits/consumes the subject-grouped RDF/XML style other tools expect:
+///
+///   <rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#">
+///     <rdf:Description rdf:about="bundle1">
+///       <bundleName>John Smith</bundleName>
+///       <bundleContent rdf:resource="scrap4"/>
+///     </rdf:Description>
+///   </rdf:RDF>
+///
+/// Property names must be valid XML element names; names in this codebase
+/// ("bundleName", "slim:type", ...) all qualify. Exotic property names are
+/// rejected with InvalidArgument rather than silently mangled.
+
+#include <string>
+
+#include "trim/triple_store.h"
+#include "util/result.h"
+
+namespace slim::trim {
+
+/// Serializes the store as RDF/XML, statements grouped by subject.
+Result<std::string> StoreToRdfXml(const TripleStore& store);
+
+/// Parses RDF/XML (the subset StoreToRdfXml emits: Description/about,
+/// rdf:resource attributes, text literals) into `store` (cleared first).
+Status StoreFromRdfXml(std::string_view xml_text, TripleStore* store);
+
+}  // namespace slim::trim
+
+#endif  // SLIM_TRIM_RDF_XML_H_

@@ -1,0 +1,51 @@
+#ifndef SLIM_TRIM_TRIPLE_H_
+#define SLIM_TRIM_TRIPLE_H_
+
+/// \file triple.h
+/// \brief The RDF-style triple: the paper's unit of superimposed storage.
+///
+/// Paper §4.3: "Superimposed model, schema, and instance data is represented
+/// using RDF triples (a triple is composed of a property, a resource, and a
+/// value)." A value is either another resource (an edge in the graph) or a
+/// literal (a leaf string).
+
+#include <string>
+
+namespace slim::trim {
+
+/// \brief Whether a triple's object is a graph node or a leaf string.
+enum class ObjectKind { kResource, kLiteral };
+
+/// \brief The object position of a triple.
+struct Object {
+  ObjectKind kind = ObjectKind::kLiteral;
+  std::string text;
+
+  static Object Resource(std::string id) {
+    return Object{ObjectKind::kResource, std::move(id)};
+  }
+  static Object Literal(std::string value) {
+    return Object{ObjectKind::kLiteral, std::move(value)};
+  }
+  bool is_resource() const { return kind == ObjectKind::kResource; }
+
+  friend bool operator==(const Object&, const Object&) = default;
+  friend auto operator<=>(const Object&, const Object&) = default;
+};
+
+/// \brief One (subject, property, object) statement.
+struct Triple {
+  std::string subject;   ///< Resource id.
+  std::string property;  ///< Property name (vocabulary term).
+  Object object;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+  friend auto operator<=>(const Triple&, const Triple&) = default;
+};
+
+/// Human-readable "(s, p, o)" form for messages and debugging.
+std::string TripleToString(const Triple& t);
+
+}  // namespace slim::trim
+
+#endif  // SLIM_TRIM_TRIPLE_H_

@@ -1,0 +1,271 @@
+#include "trim/triple_store.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+namespace slim::trim {
+
+std::string TripleToString(const Triple& t) {
+  std::string out = "(" + t.subject + ", " + t.property + ", ";
+  if (t.object.is_resource()) {
+    out += "<" + t.object.text + ">";
+  } else {
+    out += "\"" + t.object.text + "\"";
+  }
+  out += ")";
+  return out;
+}
+
+bool TriplePattern::Matches(const Triple& t) const {
+  if (subject && *subject != t.subject) return false;
+  if (property && *property != t.property) return false;
+  if (object && *object != t.object) return false;
+  return true;
+}
+
+Status TripleStore::Add(Triple triple, bool allow_duplicates) {
+  if (triple.subject.empty() || triple.property.empty()) {
+    return Status::InvalidArgument("triple subject/property must be non-empty");
+  }
+  if (!allow_duplicates && Contains(triple)) {
+    return Status::AlreadyExists("duplicate statement " +
+                                 TripleToString(triple));
+  }
+  TripleId id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+    triples_[id] = std::move(triple);
+    live_[id] = true;
+  } else {
+    id = static_cast<TripleId>(triples_.size());
+    triples_.push_back(std::move(triple));
+    live_.push_back(true);
+  }
+  ++live_count_;
+  IndexAdd(id);
+  return Status::OK();
+}
+
+Status TripleStore::AddLiteral(std::string subject, std::string property,
+                               std::string literal) {
+  return Add(Triple{std::move(subject), std::move(property),
+                    Object::Literal(std::move(literal))});
+}
+
+Status TripleStore::AddResource(std::string subject, std::string property,
+                                std::string resource) {
+  return Add(Triple{std::move(subject), std::move(property),
+                    Object::Resource(std::move(resource))});
+}
+
+void TripleStore::IndexAdd(TripleId id) {
+  const Triple& t = triples_[id];
+  by_subject_[t.subject].push_back(id);
+  by_property_[t.property].push_back(id);
+  by_object_text_[t.object.text].push_back(id);
+}
+
+void TripleStore::IndexRemove(TripleId id) {
+  const Triple& t = triples_[id];
+  auto drop = [id](std::unordered_map<std::string, std::vector<TripleId>>& map,
+                   const std::string& key) {
+    auto it = map.find(key);
+    if (it == map.end()) return;
+    auto& vec = it->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), id), vec.end());
+    if (vec.empty()) map.erase(it);
+  };
+  drop(by_subject_, t.subject);
+  drop(by_property_, t.property);
+  drop(by_object_text_, t.object.text);
+}
+
+Status TripleStore::Remove(const Triple& triple) {
+  auto it = by_subject_.find(triple.subject);
+  if (it != by_subject_.end()) {
+    for (TripleId id : it->second) {
+      if (live_[id] && triples_[id] == triple) {
+        IndexRemove(id);
+        live_[id] = false;
+        triples_[id] = Triple{};
+        free_slots_.push_back(id);
+        --live_count_;
+        return Status::OK();
+      }
+    }
+  }
+  return Status::NotFound("statement not present: " + TripleToString(triple));
+}
+
+size_t TripleStore::RemoveMatching(const TriplePattern& pattern) {
+  std::vector<Triple> victims = Select(pattern);
+  for (const Triple& t : victims) {
+    Remove(t).ok();  // each was just observed live
+  }
+  return victims.size();
+}
+
+bool TripleStore::Contains(const Triple& triple) const {
+  auto it = by_subject_.find(triple.subject);
+  if (it == by_subject_.end()) return false;
+  for (TripleId id : it->second) {
+    if (live_[id] && triples_[id] == triple) return true;
+  }
+  return false;
+}
+
+const std::vector<TripleStore::TripleId>* TripleStore::CandidateList(
+    const TriplePattern& pattern, std::vector<TripleId>* scratch) const {
+  // Choose the smallest available index list.
+  const std::vector<TripleId>* best = nullptr;
+  auto consider = [&](const std::unordered_map<std::string,
+                                               std::vector<TripleId>>& map,
+                      const std::string& key) {
+    auto it = map.find(key);
+    if (it == map.end()) {
+      scratch->clear();
+      best = scratch;  // empty — nothing can match
+      return true;     // can't get more selective than empty
+    }
+    if (best == nullptr || it->second.size() < best->size()) {
+      best = &it->second;
+    }
+    return false;
+  };
+  if (pattern.subject && consider(by_subject_, *pattern.subject)) return best;
+  if (pattern.object &&
+      consider(by_object_text_, pattern.object->text)) {
+    return best;
+  }
+  if (pattern.property && consider(by_property_, *pattern.property)) {
+    return best;
+  }
+  return best;  // may be nullptr: full scan
+}
+
+std::vector<Triple> TripleStore::Select(const TriplePattern& pattern) const {
+  std::vector<Triple> out;
+  SelectEach(pattern, [&](const Triple& t) {
+    out.push_back(t);
+    return true;
+  });
+  return out;
+}
+
+void TripleStore::SelectEach(
+    const TriplePattern& pattern,
+    const std::function<bool(const Triple&)>& fn) const {
+  std::vector<TripleId> scratch;
+  const std::vector<TripleId>* candidates = CandidateList(pattern, &scratch);
+  if (candidates != nullptr) {
+    for (TripleId id : *candidates) {
+      if (live_[id] && pattern.Matches(triples_[id])) {
+        if (!fn(triples_[id])) return;
+      }
+    }
+    return;
+  }
+  for (size_t id = 0; id < triples_.size(); ++id) {
+    if (live_[id] && pattern.Matches(triples_[id])) {
+      if (!fn(triples_[id])) return;
+    }
+  }
+}
+
+std::optional<Object> TripleStore::GetOne(const std::string& subject,
+                                          const std::string& property) const {
+  std::optional<Object> out;
+  SelectEach(TriplePattern::BySubjectProperty(subject, property),
+             [&](const Triple& t) {
+               out = t.object;
+               return false;
+             });
+  return out;
+}
+
+Status TripleStore::SetOne(const std::string& subject,
+                           const std::string& property, Object object) {
+  RemoveMatching(TriplePattern::BySubjectProperty(subject, property));
+  return Add(Triple{subject, property, std::move(object)});
+}
+
+std::vector<Triple> TripleStore::ViewFrom(const std::string& resource) const {
+  std::vector<Triple> out;
+  std::unordered_set<std::string> visited;
+  std::queue<std::string> frontier;
+  frontier.push(resource);
+  visited.insert(resource);
+  while (!frontier.empty()) {
+    std::string cur = std::move(frontier.front());
+    frontier.pop();
+    auto it = by_subject_.find(cur);
+    if (it == by_subject_.end()) continue;
+    for (TripleId id : it->second) {
+      if (!live_[id]) continue;
+      const Triple& t = triples_[id];
+      out.push_back(t);
+      if (t.object.is_resource() && visited.insert(t.object.text).second) {
+        frontier.push(t.object.text);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> TripleStore::ReachableResources(
+    const std::string& resource) const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> visited;
+  std::queue<std::string> frontier;
+  frontier.push(resource);
+  visited.insert(resource);
+  out.push_back(resource);
+  while (!frontier.empty()) {
+    std::string cur = std::move(frontier.front());
+    frontier.pop();
+    auto it = by_subject_.find(cur);
+    if (it == by_subject_.end()) continue;
+    for (TripleId id : it->second) {
+      if (!live_[id]) continue;
+      const Triple& t = triples_[id];
+      if (t.object.is_resource() && visited.insert(t.object.text).second) {
+        out.push_back(t.object.text);
+        frontier.push(t.object.text);
+      }
+    }
+  }
+  return out;
+}
+
+void TripleStore::Clear() {
+  triples_.clear();
+  live_.clear();
+  free_slots_.clear();
+  live_count_ = 0;
+  by_subject_.clear();
+  by_property_.clear();
+  by_object_text_.clear();
+}
+
+void TripleStore::ForEach(const std::function<void(const Triple&)>& fn) const {
+  for (size_t id = 0; id < triples_.size(); ++id) {
+    if (live_[id]) fn(triples_[id]);
+  }
+}
+
+size_t TripleStore::ApproximateBytes() const {
+  size_t bytes = 0;
+  for (size_t id = 0; id < triples_.size(); ++id) {
+    if (!live_[id]) continue;
+    const Triple& t = triples_[id];
+    bytes += sizeof(Triple);
+    bytes += t.subject.capacity() + t.property.capacity() +
+             t.object.text.capacity();
+    bytes += 3 * sizeof(TripleId);  // index postings
+  }
+  return bytes;
+}
+
+}  // namespace slim::trim

@@ -1,0 +1,143 @@
+#ifndef SLIM_TRIM_TRIPLE_STORE_H_
+#define SLIM_TRIM_TRIPLE_STORE_H_
+
+/// \file triple_store.h
+/// \brief TRIM — the Triple Manager (paper §4.4).
+///
+/// "Through TRIM, the DMI can create, remove, persist (through XML files),
+/// query, and create simple views over the underlying triples. Query is
+/// specified by selection, where one or more of the triple fields is fixed,
+/// and the result is a set of triples. A view is specified by selecting a
+/// resource (such as a Bundle id), where all triples that can be reached
+/// from this resource are returned."
+///
+/// The store keeps three hash indexes (subject, property, object text) and
+/// answers selection queries through the most selective fixed field.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trim/triple.h"
+#include "util/result.h"
+
+namespace slim::trim {
+
+/// \brief A selection pattern: any subset of fields fixed.
+struct TriplePattern {
+  std::optional<std::string> subject;
+  std::optional<std::string> property;
+  std::optional<Object> object;
+
+  /// Convenience constructors.
+  static TriplePattern BySubject(std::string s) {
+    return {std::move(s), std::nullopt, std::nullopt};
+  }
+  static TriplePattern ByProperty(std::string p) {
+    return {std::nullopt, std::move(p), std::nullopt};
+  }
+  static TriplePattern ByObject(Object o) {
+    return {std::nullopt, std::nullopt, std::move(o)};
+  }
+  static TriplePattern BySubjectProperty(std::string s, std::string p) {
+    return {std::move(s), std::move(p), std::nullopt};
+  }
+
+  bool Matches(const Triple& t) const;
+};
+
+/// \brief In-memory triple store with S/P/O indexes.
+class TripleStore {
+ public:
+  TripleStore() = default;
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+
+  /// Adds a triple. Duplicate statements are allowed only when
+  /// `allow_duplicates` is set (default: rejected with AlreadyExists, the
+  /// RDF set semantics the paper's representation assumes).
+  Status Add(Triple triple, bool allow_duplicates = false);
+
+  /// Convenience: add (s, p, literal) / (s, p, resource).
+  Status AddLiteral(std::string subject, std::string property,
+                    std::string literal);
+  Status AddResource(std::string subject, std::string property,
+                     std::string resource);
+
+  /// Removes one exact statement; NotFound if absent.
+  Status Remove(const Triple& triple);
+
+  /// Removes every triple matching the pattern; returns how many went.
+  size_t RemoveMatching(const TriplePattern& pattern);
+
+  /// True iff the exact statement is present.
+  bool Contains(const Triple& triple) const;
+
+  /// Selection query (paper: "one or more of the triple fields is fixed,
+  /// and the result is a set of triples").
+  std::vector<Triple> Select(const TriplePattern& pattern) const;
+
+  /// Streaming selection; `fn` returning false stops the scan early.
+  void SelectEach(const TriplePattern& pattern,
+                  const std::function<bool(const Triple&)>& fn) const;
+
+  /// First object for (subject, property), if any. The common "attribute
+  /// read" access path of a DMI.
+  std::optional<Object> GetOne(const std::string& subject,
+                               const std::string& property) const;
+
+  /// Replaces the object of (subject, property): removes all existing
+  /// statements with that subject+property, then adds the new one. The
+  /// "attribute write" access path of a DMI.
+  Status SetOne(const std::string& subject, const std::string& property,
+                Object object);
+
+  /// View (paper §4.4): every triple reachable from `resource` by
+  /// following resource-valued objects, including the starting resource's
+  /// own triples. Cycle-safe.
+  std::vector<Triple> ViewFrom(const std::string& resource) const;
+
+  /// All subjects reachable from `resource` (the resources a view spans).
+  std::vector<std::string> ReachableResources(const std::string& resource) const;
+
+  /// Number of live triples.
+  size_t size() const { return live_count_; }
+  bool empty() const { return live_count_ == 0; }
+
+  /// Removes every triple.
+  void Clear();
+
+  /// Visits every live triple.
+  void ForEach(const std::function<void(const Triple&)>& fn) const;
+
+  /// Rough heap footprint of stored triple data in bytes (for the space
+  /// trade-off experiment, paper §6).
+  size_t ApproximateBytes() const;
+
+ private:
+  using TripleId = uint32_t;
+  static constexpr TripleId kTombstone = UINT32_MAX;
+
+  void IndexAdd(TripleId id);
+  void IndexRemove(TripleId id);
+  /// Candidate ids from the most selective index for a pattern; nullptr
+  /// means "no usable index, scan everything".
+  const std::vector<TripleId>* CandidateList(const TriplePattern& pattern,
+                                             std::vector<TripleId>* scratch) const;
+
+  std::vector<Triple> triples_;       // slot = id; tombstoned slots reused
+  std::vector<TripleId> free_slots_;
+  size_t live_count_ = 0;
+  std::vector<bool> live_;
+
+  std::unordered_map<std::string, std::vector<TripleId>> by_subject_;
+  std::unordered_map<std::string, std::vector<TripleId>> by_property_;
+  std::unordered_map<std::string, std::vector<TripleId>> by_object_text_;
+};
+
+}  // namespace slim::trim
+
+#endif  // SLIM_TRIM_TRIPLE_STORE_H_

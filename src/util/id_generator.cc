@@ -1,0 +1,16 @@
+#include "util/id_generator.h"
+
+#include "util/strings.h"
+
+namespace slim {
+
+void IdGenerator::ObserveExisting(const std::string& id) {
+  if (!StartsWith(id, prefix_)) return;
+  std::string_view suffix = std::string_view(id).substr(prefix_.size());
+  long long n = 0;
+  if (ParseInt(suffix, &n) && n >= 0) {
+    ReserveAtLeast(static_cast<uint64_t>(n));
+  }
+}
+
+}  // namespace slim

@@ -1,0 +1,89 @@
+#ifndef SLIM_UTIL_RESULT_H_
+#define SLIM_UTIL_RESULT_H_
+
+/// \file result.h
+/// \brief `Result<T>`: a value or a non-OK Status (Arrow idiom).
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace slim {
+
+/// \brief Holds either a successfully computed `T` or the Status explaining
+/// why it could not be computed.
+///
+/// A Result constructed from an OK status is a programming error and is
+/// normalized to an Unknown error to keep the invariant "has value xor has
+/// non-OK status".
+template <typename T>
+class Result {
+ public:
+  /// Constructs from an error status.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(status)) {
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Unknown("Result constructed from OK status");
+    }
+  }
+
+  /// Constructs from a value.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(value)) {}
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// \name Value access (must hold ok()).
+  /// @{
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+  /// @}
+
+  /// Returns the value, or `fallback` when in the error state.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace slim
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// binds the value to `lhs`. `lhs` may include a declaration.
+#define SLIM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define SLIM_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define SLIM_ASSIGN_OR_RETURN_NAME(a, b) SLIM_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define SLIM_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SLIM_ASSIGN_OR_RETURN_IMPL(             \
+      SLIM_ASSIGN_OR_RETURN_NAME(_slim_result_, __LINE__), lhs, rexpr)
+
+#endif  // SLIM_UTIL_RESULT_H_

@@ -1,0 +1,68 @@
+#ifndef SLIM_UTIL_RNG_H_
+#define SLIM_UTIL_RNG_H_
+
+/// \file rng.h
+/// \brief Deterministic pseudo-random generator for workload synthesis.
+///
+/// The workload generators must be reproducible across runs and platforms, so
+/// we use our own splitmix64/xoshiro-style generator rather than std::mt19937
+/// distribution behavior (which the standard does not pin down for
+/// std::uniform_*_distribution).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slim {
+
+/// \brief Deterministic 64-bit PRNG (splitmix64 core).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound) (bound > 0).
+  uint64_t Below(uint64_t bound) { return Next64() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Below(v.size())];
+  }
+
+  /// Random lowercase identifier of the given length.
+  std::string Word(size_t length) {
+    static const char kAlpha[] = "abcdefghijklmnopqrstuvwxyz";
+    std::string out;
+    out.reserve(length);
+    for (size_t i = 0; i < length; ++i) out.push_back(kAlpha[Below(26)]);
+    return out;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace slim
+
+#endif  // SLIM_UTIL_RNG_H_

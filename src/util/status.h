@@ -1,0 +1,145 @@
+#ifndef SLIM_UTIL_STATUS_H_
+#define SLIM_UTIL_STATUS_H_
+
+/// \file status.h
+/// \brief Error-handling primitives for the SLIM libraries.
+///
+/// Following the Arrow/RocksDB idiom, operations that can fail return a
+/// `Status` (or a `Result<T>`, see result.h) rather than throwing. A Status
+/// carries a coarse machine-readable code plus a human-readable message.
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace slim {
+
+/// \brief Coarse classification of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed something malformed.
+  kNotFound = 2,          ///< Addressed entity does not exist.
+  kAlreadyExists = 3,     ///< Uniqueness violated (id, name, ...).
+  kOutOfRange = 4,        ///< Index/address outside the valid domain.
+  kParseError = 5,        ///< Ill-formed input text (XML, formula, A1, ...).
+  kIoError = 6,           ///< Filesystem / stream failure.
+  kUnsupported = 7,       ///< Valid request the implementation cannot honor.
+  kFailedPrecondition = 8,///< Object not in the required state.
+  kConformance = 9,       ///< Instance violates its schema (SLIM store).
+  kUnknown = 10,          ///< Anything else.
+};
+
+/// \brief Human-readable name of a StatusCode (e.g. "NotFound").
+std::string_view StatusCodeName(StatusCode code);
+
+/// \brief Outcome of an operation: OK, or a code plus message.
+///
+/// The OK state is represented without allocation; error states allocate a
+/// small heap record. Statuses are cheap to move and copy-on-error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. A code of
+  /// StatusCode::kOk with a non-empty message is normalized to plain OK.
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  /// \name Factory helpers, one per error code.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Conformance(std::string msg) {
+    return Status(StatusCode::kConformance, std::move(msg));
+  }
+  static Status Unknown(std::string msg) {
+    return Status(StatusCode::kUnknown, std::move(msg));
+  }
+  /// @}
+
+  /// True iff the operation succeeded.
+  bool ok() const { return state_ == nullptr; }
+
+  /// The status code (kOk when ok()).
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+
+  /// The error message; empty when ok().
+  const std::string& message() const;
+
+  /// \name Code predicates.
+  /// @{
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsConformance() const { return code() == StatusCode::kConformance; }
+  /// @}
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `context` prepended to the message.
+  /// OK statuses are returned unchanged.
+  Status WithContext(std::string_view context) const;
+
+  /// Two statuses are equal iff their codes and messages are equal.
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<State> state_;  // null == OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+}  // namespace slim
+
+/// Propagates a non-OK Status from the current function.
+#define SLIM_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::slim::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+#endif  // SLIM_UTIL_STATUS_H_

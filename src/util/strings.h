@@ -1,0 +1,55 @@
+#ifndef SLIM_UTIL_STRINGS_H_
+#define SLIM_UTIL_STRINGS_H_
+
+/// \file strings.h
+/// \brief Small string utilities shared across the SLIM libraries.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slim {
+
+/// Splits `s` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits but drops empty fields.
+std::vector<std::string> SplitSkipEmpty(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between each pair.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True iff `s` starts with / ends with `prefix` / `suffix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// ASCII lower-casing (locale independent).
+std::string ToLower(std::string_view s);
+/// ASCII upper-casing (locale independent).
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True iff every character is an ASCII decimal digit (and s non-empty).
+bool IsAllDigits(std::string_view s);
+
+/// Parses a decimal integer; returns false on any malformed input.
+bool ParseInt(std::string_view s, long long* out);
+/// Parses a floating-point number; returns false on any malformed input.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Formats a double the way a spreadsheet displays it: integral values
+/// without a trailing ".0", otherwise shortest round-trip representation.
+std::string FormatNumber(double value);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+}  // namespace slim
+
+#endif  // SLIM_UTIL_STRINGS_H_

@@ -1,0 +1,54 @@
+#include "workload/corpus.h"
+
+#include <set>
+
+namespace slim::workload {
+
+Corpus GenerateCorpus(const CorpusOptions& options) {
+  Rng rng(options.seed);
+  Corpus out;
+
+  // Distinct vocabulary.
+  std::set<std::string> seen;
+  while (static_cast<int>(out.vocabulary.size()) < options.vocabulary) {
+    std::string w = rng.Word(rng.Range(3, 9));
+    if (seen.insert(w).second) out.vocabulary.push_back(std::move(w));
+  }
+
+  // Zipf-ish sampling: rank r chosen with probability ~ 1/(r+1) via
+  // rejection-free cumulative trick over a precomputed harmonic table.
+  std::vector<double> cumulative;
+  double total = 0;
+  for (size_t r = 0; r < out.vocabulary.size(); ++r) {
+    total += 1.0 / static_cast<double>(r + 1);
+    cumulative.push_back(total);
+  }
+  auto sample_word = [&]() -> const std::string& {
+    double u = rng.NextDouble() * total;
+    size_t lo = 0, hi = cumulative.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cumulative[mid] < u) lo = mid + 1;
+      else hi = mid;
+    }
+    return out.vocabulary[lo];
+  };
+
+  for (int d = 0; d < options.documents; ++d) {
+    auto document = std::make_unique<doc::text::TextDocument>();
+    document->AddParagraph("Play " + std::to_string(d + 1), 1);
+    for (int p = 0; p < options.paragraphs_per_doc; ++p) {
+      std::string para;
+      for (int w = 0; w < options.words_per_paragraph; ++w) {
+        if (w) para += ' ';
+        para += sample_word();
+      }
+      para += '.';
+      document->AddParagraph(std::move(para));
+    }
+    out.documents.push_back(std::move(document));
+  }
+  return out;
+}
+
+}  // namespace slim::workload

@@ -1,0 +1,42 @@
+#ifndef SLIM_WORKLOAD_CORPUS_H_
+#define SLIM_WORKLOAD_CORPUS_H_
+
+/// \file corpus.h
+/// \brief Synthetic text corpus for the concordance example (paper §1's
+/// motivating Shakespeare concordance) and for text-mark benches.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "doc/text/text_document.h"
+#include "util/rng.h"
+
+namespace slim::workload {
+
+/// \brief Corpus generation parameters.
+struct CorpusOptions {
+  int documents = 3;        ///< "plays".
+  int paragraphs_per_doc = 40;   ///< "scenes" worth of lines.
+  int words_per_paragraph = 30;
+  int vocabulary = 400;     ///< Distinct word count; Zipf-ish reuse.
+  uint64_t seed = 7;
+};
+
+/// \brief A generated corpus: documents plus the vocabulary actually used.
+struct Corpus {
+  std::vector<std::unique_ptr<doc::text::TextDocument>> documents;
+  std::vector<std::string> vocabulary;
+
+  std::string file_name(size_t index) const {
+    return "corpus/play" + std::to_string(index) + ".txt";
+  }
+};
+
+/// Generates a deterministic corpus. Word frequencies follow a 1/rank
+/// (Zipf) distribution so concordance terms range from ubiquitous to rare.
+Corpus GenerateCorpus(const CorpusOptions& options);
+
+}  // namespace slim::workload
+
+#endif  // SLIM_WORKLOAD_CORPUS_H_

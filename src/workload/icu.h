@@ -1,0 +1,84 @@
+#ifndef SLIM_WORKLOAD_ICU_H_
+#define SLIM_WORKLOAD_ICU_H_
+
+/// \file icu.h
+/// \brief Synthetic intensive-care-unit data (the substitution for the
+/// paper's clinical setting).
+///
+/// The paper's evaluation scenario (Figs. 2 and 4) is a resident's
+/// worksheet over real hospital documents: a complete medication list in
+/// Excel, lab reports in XML, progress notes, guidelines. We generate
+/// statistically plausible, fully deterministic stand-ins so the exact
+/// Fig. 4 interaction — click a med scrap, Excel opens with the row
+/// highlighted; double-click an electrolyte scrap, the XML lab report opens
+/// highlighted — runs at benchmarkable scale.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "doc/pdf/pdf_document.h"
+#include "doc/spreadsheet/workbook.h"
+#include "doc/text/text_document.h"
+#include "doc/xml/dom.h"
+#include "util/rng.h"
+
+namespace slim::workload {
+
+/// \brief One synthetic patient.
+struct Patient {
+  std::string name;
+  std::string mrn;  ///< Medical record number.
+  int med_row_begin = 0;  ///< First row (0-based) in the medication sheet.
+  int med_count = 0;
+  std::vector<std::string> problems;
+};
+
+/// \brief A generated ICU census plus its base-layer documents.
+struct IcuWorkload {
+  std::vector<Patient> patients;
+  /// "meds.book": sheet "Medications" with header row; columns
+  /// A=Patient, B=Drug, C=Dose, D=Route, E=Frequency.
+  std::unique_ptr<doc::Workbook> medication_workbook;
+  /// One XML lab report per patient ("labs/<mrn>.xml"):
+  /// <labReport mrn=...><panel name="electrolytes"><result name="Na" ...>.
+  std::vector<std::unique_ptr<doc::xml::Document>> lab_reports;
+  /// One progress note per patient ("notes/<mrn>.txt").
+  std::vector<std::unique_ptr<doc::text::TextDocument>> progress_notes;
+  /// A shared clinical-guideline document rendered to (simulated) PDF.
+  std::unique_ptr<doc::pdf::PdfDocument> guideline_pdf;
+  /// A shared protocol page in HTML (source text; parse with ParseHtml).
+  std::string protocol_html;
+
+  /// File names used when registering with the base applications.
+  std::string medication_file() const { return "meds.book"; }
+  std::string lab_file(size_t patient_index) const {
+    return "labs/" + patients[patient_index].mrn + ".xml";
+  }
+  std::string note_file(size_t patient_index) const {
+    return "notes/" + patients[patient_index].mrn + ".txt";
+  }
+  std::string guideline_file() const { return "guidelines/sepsis.pdf"; }
+  std::string protocol_url() const { return "http://hospital/protocols/icu"; }
+};
+
+/// \brief Generation parameters.
+struct IcuOptions {
+  int patients = 8;
+  int meds_per_patient_min = 2;
+  int meds_per_patient_max = 9;
+  int lab_panels = 3;           ///< Panels per report (electrolytes, cbc, abg).
+  int note_paragraphs = 6;
+  uint64_t seed = 42;
+};
+
+/// Generates the full workload deterministically from `options.seed`.
+IcuWorkload GenerateIcuWorkload(const IcuOptions& options);
+
+/// The standard electrolyte analyte names of the 'Electrolyte' gridlet
+/// (paper Fig. 4): Na, K, Cl, HCO3, BUN, Cr, Glu.
+const std::vector<std::string>& ElectrolyteAnalytes();
+
+}  // namespace slim::workload
+
+#endif  // SLIM_WORKLOAD_ICU_H_

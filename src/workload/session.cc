@@ -1,0 +1,182 @@
+#include "workload/session.h"
+
+#include <algorithm>
+
+namespace slim::workload {
+
+Session::Session()
+    : excel_module_(&excel_),
+      xml_module_(&xml_),
+      text_module_(&text_),
+      slide_module_(&slides_),
+      pdf_module_(&pdf_),
+      html_module_(&html_) {
+  // Lab-report elements carry name attributes, so robust (attribute-
+  // predicate) addressing keeps electrolyte marks valid across report
+  // regenerations.
+  xml_.set_robust_addressing(true);
+  // Default ("context") modules.
+  (void)marks_.RegisterModule(&excel_module_);
+  (void)marks_.RegisterModule(&xml_module_);
+  (void)marks_.RegisterModule(&text_module_);
+  (void)marks_.RegisterModule(&slide_module_);
+  (void)marks_.RegisterModule(&pdf_module_);
+  (void)marks_.RegisterModule(&html_module_);
+  // In-place resolvers for every type (independent viewing, Fig. 6).
+  for (mark::MarkModule* m :
+       {static_cast<mark::MarkModule*>(&excel_module_),
+        static_cast<mark::MarkModule*>(&xml_module_),
+        static_cast<mark::MarkModule*>(&text_module_),
+        static_cast<mark::MarkModule*>(&slide_module_),
+        static_cast<mark::MarkModule*>(&pdf_module_),
+        static_cast<mark::MarkModule*>(&html_module_)}) {
+    inplace_modules_.push_back(std::make_unique<mark::InPlaceModule>(m));
+    (void)marks_.RegisterModule(inplace_modules_.back().get());
+  }
+  app_ = std::make_unique<pad::SlimPadApp>(&marks_);
+}
+
+Status Session::LoadIcuWorkload(IcuWorkload workload) {
+  icu_ = std::move(workload);
+  SLIM_RETURN_NOT_OK(
+      excel_.RegisterWorkbook(std::move(icu_.medication_workbook)));
+  for (size_t p = 0; p < icu_.patients.size(); ++p) {
+    SLIM_RETURN_NOT_OK(
+        xml_.RegisterDocument(icu_.lab_file(p), std::move(icu_.lab_reports[p])));
+    SLIM_RETURN_NOT_OK(text_.RegisterDocument(
+        icu_.note_file(p), std::move(icu_.progress_notes[p])));
+  }
+  icu_.lab_reports.clear();
+  icu_.progress_notes.clear();
+  SLIM_RETURN_NOT_OK(pdf_.RegisterDocument(std::move(icu_.guideline_pdf)));
+  SLIM_RETURN_NOT_OK(
+      html_.RegisterPage(icu_.protocol_url(), icu_.protocol_html));
+  return Status::OK();
+}
+
+Status Session::BuildRoundsPad(int max_patients) {
+  SLIM_RETURN_NOT_OK(app_->NewPad("Rounds"));
+  SLIM_ASSIGN_OR_RETURN(std::string root, app_->RootBundle());
+  patient_bundles_.clear();
+
+  size_t count = icu_.patients.size();
+  if (max_patients >= 0 &&
+      static_cast<size_t>(max_patients) < count) {
+    count = static_cast<size_t>(max_patients);
+  }
+
+  for (size_t p = 0; p < count; ++p) {
+    const Patient& patient = icu_.patients[p];
+    SLIM_ASSIGN_OR_RETURN(
+        std::string bundle_id,
+        app_->CreateBundle(root, patient.name,
+                           pad::Coordinate{20, 20 + 180 * double(p)}, 640,
+                           160));
+    patient_bundles_.push_back(bundle_id);
+
+    // Medication scraps: select each row range in the spreadsheet and drop
+    // it onto the pad (paper §3's creation flow).
+    for (int m = 0; m < patient.med_count; ++m) {
+      int row = patient.med_row_begin + m;
+      SLIM_RETURN_NOT_OK(excel_.Select(
+          icu_.medication_file(), "Medications",
+          doc::RangeRef{{row, 1}, {row, 4}}));
+      SLIM_ASSIGN_OR_RETURN(
+          std::string scrap_id,
+          app_->AddScrapFromSelection(
+              bundle_id, "excel", "",
+              pad::Coordinate{10, 10 + 22 * double(m)}));
+      (void)scrap_id;
+    }
+
+    // 'Electrolyte' bundle with the gridlet plus one scrap per analyte.
+    SLIM_ASSIGN_OR_RETURN(
+        std::string lyte_bundle,
+        app_->CreateBundle(bundle_id, "Electrolyte",
+                           pad::Coordinate{320, 10}, 280, 140));
+    SLIM_RETURN_NOT_OK(
+        app_->AddGraphicScrap(lyte_bundle, "gridlet", pad::Coordinate{10, 10})
+            .status());
+    SLIM_ASSIGN_OR_RETURN(doc::xml::Document * lab,
+                          xml_.GetDocument(icu_.lab_file(p)));
+    doc::xml::Element* lyte_panel = nullptr;
+    for (doc::xml::Element* panel : lab->root()->ChildElements("panel")) {
+      const std::string* name = panel->FindAttribute("name");
+      if (name != nullptr && *name == "electrolytes") lyte_panel = panel;
+    }
+    if (lyte_panel == nullptr) {
+      return Status::NotFound("no electrolytes panel for patient " +
+                              patient.name);
+    }
+    double x = 20;
+    for (doc::xml::Element* result : lyte_panel->ChildElements("result")) {
+      SLIM_RETURN_NOT_OK(xml_.SelectElement(icu_.lab_file(p), result));
+      const std::string* analyte = result->FindAttribute("name");
+      const std::string* value = result->FindAttribute("value");
+      std::string label = (analyte != nullptr ? *analyte : "?") + " " +
+                          (value != nullptr ? *value : "?");
+      SLIM_RETURN_NOT_OK(app_->AddScrapFromSelection(
+                                 lyte_bundle, "xml", label,
+                                 pad::Coordinate{x, 40})
+                             .status());
+      x += 36;
+    }
+  }
+  return Status::OK();
+}
+
+Status Session::BuildFullRoundsPad(int max_patients) {
+  SLIM_RETURN_NOT_OK(BuildRoundsPad(max_patients));
+  SLIM_ASSIGN_OR_RETURN(std::string root, app_->RootBundle());
+
+  // Progress-note scrap per patient (the Problems column of Fig. 2).
+  for (size_t p = 0; p < patient_bundles_.size(); ++p) {
+    SLIM_ASSIGN_OR_RETURN(doc::text::TextDocument * note,
+                          text_.GetDocument(icu_.note_file(p)));
+    if (note->paragraph_count() < 2) continue;
+    SLIM_ASSIGN_OR_RETURN(const doc::text::Paragraph* para,
+                          note->GetParagraph(1));
+    doc::text::TextSpan span{1, 0,
+                             static_cast<int32_t>(std::min<size_t>(
+                                 para->text.size(), 60))};
+    SLIM_RETURN_NOT_OK(text_.Select(icu_.note_file(p), span));
+    SLIM_RETURN_NOT_OK(app_->AddScrapFromSelection(
+                               patient_bundles_[p], "text", "Problems",
+                               pad::Coordinate{170, 10})
+                           .status());
+  }
+
+  // Shared 'References' bundle: guideline PDF + protocol page.
+  SLIM_ASSIGN_OR_RETURN(
+      std::string refs,
+      app_->CreateBundle(root, "References",
+                         pad::Coordinate{700, 20}, 200, 120));
+  SLIM_ASSIGN_OR_RETURN(doc::pdf::PdfDocument * guide,
+                        pdf_.GetDocument(icu_.guideline_file()));
+  if (!guide->pages().empty() && !guide->pages()[0].objects.empty()) {
+    SLIM_RETURN_NOT_OK(pdf_.SelectRegion(icu_.guideline_file(), 0,
+                                         guide->pages()[0].objects[0].box));
+    SLIM_RETURN_NOT_OK(app_->AddScrapFromSelection(
+                               refs, "pdf", "Sepsis guideline",
+                               pad::Coordinate{10, 10})
+                           .status());
+  }
+  SLIM_RETURN_NOT_OK(html_.NavigateTo(icu_.protocol_url(), "id:top"));
+  SLIM_RETURN_NOT_OK(app_->AddScrapFromSelection(refs, "html",
+                                                 "ICU protocols",
+                                                 pad::Coordinate{10, 40})
+                         .status());
+  return Status::OK();
+}
+
+Result<size_t> Session::OpenAllScraps() {
+  size_t opened = 0;
+  for (const pad::Scrap* scrap : app_->dmi().Scraps()) {
+    if (scrap->mark_handles().empty()) continue;  // gridlets
+    SLIM_RETURN_NOT_OK(app_->OpenScrap(scrap->id()).status());
+    ++opened;
+  }
+  return opened;
+}
+
+}  // namespace slim::workload

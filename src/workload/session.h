@@ -1,0 +1,96 @@
+#ifndef SLIM_WORKLOAD_SESSION_H_
+#define SLIM_WORKLOAD_SESSION_H_
+
+/// \file session.h
+/// \brief End-to-end driver: stands up the whole architecture (base apps,
+/// mark modules, Mark Manager, SLIMPad) over a generated ICU workload and
+/// re-enacts the Fig. 4 'Rounds' pad. Shared by integration tests, the
+/// icu_rounds example, and several benches.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseapp/html_app.h"
+#include "baseapp/pdf_app.h"
+#include "baseapp/slide_app.h"
+#include "baseapp/spreadsheet_app.h"
+#include "baseapp/text_app.h"
+#include "baseapp/xml_app.h"
+#include "mark/mark_manager.h"
+#include "mark/modules.h"
+#include "slimpad/slimpad_app.h"
+#include "workload/icu.h"
+
+namespace slim::workload {
+
+/// \brief Everything a running superimposed deployment needs, wired up.
+///
+/// Owns the base applications, the mark modules, the Mark Manager and a
+/// SLIMPad application. Construct, call LoadIcuWorkload, then drive.
+class Session {
+ public:
+  Session();
+
+  /// Registers the workload's documents with the base applications. The
+  /// workload must outlive the session (documents move into the apps).
+  Status LoadIcuWorkload(IcuWorkload workload);
+
+  /// Builds the Fig. 4 'Rounds' pad: one bundle per patient containing one
+  /// scrap per medication (Excel marks) and an 'Electrolyte' bundle with
+  /// one scrap per electrolyte result (XML marks) plus the gridlet.
+  /// `max_patients` < 0 means all.
+  Status BuildRoundsPad(int max_patients = -1);
+
+  /// Extends BuildRoundsPad to the full Fig. 2 worksheet: additionally a
+  /// progress-note scrap per patient (text mark into the note's first
+  /// body paragraph), one shared guideline scrap (PDF region mark) and one
+  /// shared protocol scrap (HTML mark) in a 'References' bundle — every
+  /// base-source type on one pad.
+  Status BuildFullRoundsPad(int max_patients = -1);
+
+  /// Opens (resolves) every scrap on the pad once; returns how many were
+  /// opened. Exercises mark resolution across the whole pad.
+  Result<size_t> OpenAllScraps();
+
+  baseapp::SpreadsheetApp& excel() { return excel_; }
+  baseapp::XmlApp& xml() { return xml_; }
+  baseapp::TextApp& text() { return text_; }
+  baseapp::SlideApp& slides() { return slides_; }
+  baseapp::PdfApp& pdf() { return pdf_; }
+  baseapp::HtmlApp& html() { return html_; }
+  mark::MarkManager& marks() { return marks_; }
+  pad::SlimPadApp& app() { return *app_; }
+  const IcuWorkload& icu() const { return icu_; }
+
+  /// Patient bundle ids in census order (after BuildRoundsPad).
+  const std::vector<std::string>& patient_bundles() const {
+    return patient_bundles_;
+  }
+
+ private:
+  baseapp::SpreadsheetApp excel_;
+  baseapp::XmlApp xml_;
+  baseapp::TextApp text_;
+  baseapp::SlideApp slides_;
+  baseapp::PdfApp pdf_;
+  baseapp::HtmlApp html_;
+
+  mark::ExcelMarkModule excel_module_;
+  mark::XmlMarkModule xml_module_;
+  mark::TextMarkModule text_module_;
+  mark::SlideMarkModule slide_module_;
+  mark::PdfMarkModule pdf_module_;
+  mark::HtmlMarkModule html_module_;
+  std::vector<std::unique_ptr<mark::InPlaceModule>> inplace_modules_;
+
+  mark::MarkManager marks_;
+  std::unique_ptr<pad::SlimPadApp> app_;
+
+  IcuWorkload icu_;
+  std::vector<std::string> patient_bundles_;
+};
+
+}  // namespace slim::workload
+
+#endif  // SLIM_WORKLOAD_SESSION_H_

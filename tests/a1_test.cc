@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "doc/spreadsheet/a1.h"
+
+namespace slim::doc {
+namespace {
+
+TEST(ColumnNameTest, FirstColumns) {
+  EXPECT_EQ(ColumnName(0), "A");
+  EXPECT_EQ(ColumnName(1), "B");
+  EXPECT_EQ(ColumnName(25), "Z");
+  EXPECT_EQ(ColumnName(26), "AA");
+  EXPECT_EQ(ColumnName(27), "AB");
+  EXPECT_EQ(ColumnName(51), "AZ");
+  EXPECT_EQ(ColumnName(52), "BA");
+  EXPECT_EQ(ColumnName(701), "ZZ");
+  EXPECT_EQ(ColumnName(702), "AAA");
+}
+
+TEST(ColumnNameTest, ParseInvertsFormat) {
+  for (int32_t col : {0, 1, 25, 26, 27, 700, 701, 702, 18277}) {
+    Result<int32_t> parsed = ParseColumnName(ColumnName(col));
+    ASSERT_TRUE(parsed.ok()) << col;
+    EXPECT_EQ(*parsed, col);
+  }
+}
+
+TEST(ColumnNameTest, ParseCaseInsensitive) {
+  EXPECT_EQ(*ParseColumnName("ab"), 27);
+  EXPECT_EQ(*ParseColumnName("Ab"), 27);
+}
+
+TEST(ColumnNameTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseColumnName("").ok());
+  EXPECT_FALSE(ParseColumnName("A1").ok());
+  EXPECT_FALSE(ParseColumnName("-").ok());
+}
+
+TEST(ParseCellTest, Basic) {
+  Result<CellRef> r = ParseCell("B12");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row, 11);
+  EXPECT_EQ(r->col, 1);
+}
+
+TEST(ParseCellTest, AbsoluteMarkersAccepted) {
+  EXPECT_EQ(*ParseCell("$C$3"), (CellRef{2, 2}));
+  EXPECT_EQ(*ParseCell("$C3"), (CellRef{2, 2}));
+  EXPECT_EQ(*ParseCell("C$3"), (CellRef{2, 2}));
+}
+
+TEST(ParseCellTest, WhitespaceTolerated) {
+  EXPECT_EQ(*ParseCell("  A1 "), (CellRef{0, 0}));
+}
+
+TEST(ParseCellTest, Rejections) {
+  for (const char* bad : {"", "A", "1", "A0", "1A", "A-1", "A1B", "A 1"}) {
+    EXPECT_FALSE(ParseCell(bad).ok()) << bad;
+  }
+}
+
+TEST(FormatCellTest, RoundTrip) {
+  for (const CellRef ref : {CellRef{0, 0}, CellRef{11, 1}, CellRef{99, 27},
+                            CellRef{1048575, 16383}}) {
+    EXPECT_EQ(*ParseCell(FormatCell(ref)), ref);
+  }
+}
+
+TEST(ParseRangeTest, TwoCorner) {
+  Result<RangeRef> r = ParseRange("A1:C3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->start, (CellRef{0, 0}));
+  EXPECT_EQ(r->end, (CellRef{2, 2}));
+  EXPECT_EQ(r->rows(), 3);
+  EXPECT_EQ(r->cols(), 3);
+  EXPECT_EQ(r->size(), 9);
+}
+
+TEST(ParseRangeTest, SingleCellBecomesUnitRange) {
+  Result<RangeRef> r = ParseRange("B2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->start, r->end);
+  EXPECT_EQ(r->size(), 1);
+}
+
+TEST(ParseRangeTest, NormalizesSwappedCorners) {
+  Result<RangeRef> r = ParseRange("C3:A1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->start, (CellRef{0, 0}));
+  EXPECT_EQ(r->end, (CellRef{2, 2}));
+}
+
+TEST(ParseRangeTest, Rejections) {
+  for (const char* bad : {"", ":", "A1:", ":B2", "A1:B2:C3", "A:B"}) {
+    EXPECT_FALSE(ParseRange(bad).ok()) << bad;
+  }
+}
+
+TEST(FormatRangeTest, SingleCellCollapses) {
+  EXPECT_EQ(FormatRange(RangeRef{{1, 1}, {1, 1}}), "B2");
+  EXPECT_EQ(FormatRange(RangeRef{{0, 0}, {2, 2}}), "A1:C3");
+}
+
+TEST(RangeRefTest, Contains) {
+  RangeRef r{{1, 1}, {3, 3}};
+  EXPECT_TRUE(r.Contains({1, 1}));
+  EXPECT_TRUE(r.Contains({2, 2}));
+  EXPECT_TRUE(r.Contains({3, 3}));
+  EXPECT_FALSE(r.Contains({0, 2}));
+  EXPECT_FALSE(r.Contains({4, 2}));
+  EXPECT_FALSE(r.Contains({2, 0}));
+}
+
+// Property sweep: parse(format(x)) == x over a grid of cells and ranges.
+class A1RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(A1RoundTrip, CellBijective) {
+  int n = GetParam();
+  CellRef ref{n * 37 % 5000, n * 101 % 800};
+  EXPECT_EQ(*ParseCell(FormatCell(ref)), ref);
+}
+
+TEST_P(A1RoundTrip, RangeBijective) {
+  int n = GetParam();
+  RangeRef range{{n % 100, n % 26}, {n % 100 + n % 7, n % 26 + n % 5}};
+  EXPECT_EQ(*ParseRange(FormatRange(range)), range);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, A1RoundTrip, ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace slim::doc

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "baseapp/html_app.h"
+#include "baseapp/pdf_app.h"
+#include "baseapp/slide_app.h"
+#include "baseapp/spreadsheet_app.h"
+#include "baseapp/text_app.h"
+#include "baseapp/xml_app.h"
+#include "doc/xml/parser.h"
+
+namespace slim::baseapp {
+namespace {
+
+std::unique_ptr<doc::Workbook> MakeMedsBook() {
+  auto wb = std::make_unique<doc::Workbook>("meds.book");
+  doc::Worksheet* ws = wb->AddSheet("Meds").ValueOrDie();
+  ws->SetValue({0, 0}, std::string("dopamine"));
+  ws->SetValue({0, 1}, 5.0);
+  ws->SetValue({1, 0}, std::string("heparin"));
+  ws->SetValue({1, 1}, 12.0);
+  return wb;
+}
+
+TEST(AppRegistryTest, RegisterAndFind) {
+  AppRegistry registry;
+  SpreadsheetApp excel;
+  XmlApp xml;
+  ASSERT_TRUE(registry.Register(&excel).ok());
+  ASSERT_TRUE(registry.Register(&xml).ok());
+  EXPECT_TRUE(registry.Register(&excel).IsAlreadyExists());
+  EXPECT_TRUE(registry.Register(nullptr).IsInvalidArgument());
+  EXPECT_EQ(*registry.Find("excel"), &excel);
+  EXPECT_TRUE(registry.Find("word").status().IsNotFound());
+  EXPECT_EQ(registry.Types(), (std::vector<std::string>{"excel", "xml"}));
+}
+
+TEST(SpreadsheetAppTest, SelectionCapturesAddressAndContent) {
+  SpreadsheetApp app;
+  ASSERT_TRUE(app.RegisterWorkbook(MakeMedsBook()).ok());
+  EXPECT_TRUE(app.CurrentSelection().status().IsFailedPrecondition());
+  ASSERT_TRUE(
+      app.Select("meds.book", "Meds", doc::RangeRef{{0, 0}, {0, 1}}).ok());
+  Selection sel = *app.CurrentSelection();
+  EXPECT_EQ(sel.file_name, "meds.book");
+  EXPECT_EQ(sel.address, "Meds!A1:B1");
+  EXPECT_EQ(sel.content, "dopamine\t5");
+}
+
+TEST(SpreadsheetAppTest, NavigateDrivesAppAndHighlights) {
+  SpreadsheetApp app;
+  ASSERT_TRUE(app.RegisterWorkbook(MakeMedsBook()).ok());
+  ASSERT_TRUE(app.NavigateTo("meds.book", "Meds!A2:B2").ok());
+  ASSERT_TRUE(app.last_navigation().has_value());
+  EXPECT_EQ(app.last_navigation()->highlighted_content, "heparin\t12");
+  // Navigation re-selects (the paper: resolve = open + activate + select).
+  EXPECT_EQ(app.CurrentSelection()->address, "Meds!A2:B2");
+}
+
+TEST(SpreadsheetAppTest, NavigateErrors) {
+  SpreadsheetApp app;
+  ASSERT_TRUE(app.RegisterWorkbook(MakeMedsBook()).ok());
+  EXPECT_TRUE(app.NavigateTo("meds.book", "NoSheet!A1").IsNotFound());
+  EXPECT_TRUE(app.NavigateTo("meds.book", "garbage").IsParseError());
+  EXPECT_TRUE(app.NavigateTo("missing.book", "Meds!A1").IsIoError());
+}
+
+TEST(SpreadsheetAppTest, ExtractContentDoesNotDisturbNavigation) {
+  SpreadsheetApp app;
+  ASSERT_TRUE(app.RegisterWorkbook(MakeMedsBook()).ok());
+  EXPECT_EQ(*app.ExtractContent("meds.book", "Meds!A1"), "dopamine");
+  EXPECT_FALSE(app.last_navigation().has_value());
+}
+
+TEST(SpreadsheetAppTest, OpenCloseLifecycle) {
+  SpreadsheetApp app;
+  ASSERT_TRUE(app.RegisterWorkbook(MakeMedsBook()).ok());
+  EXPECT_TRUE(app.IsOpen("meds.book"));
+  EXPECT_EQ(app.OpenDocuments(), (std::vector<std::string>{"meds.book"}));
+  ASSERT_TRUE(app.Select("meds.book", "Meds", doc::RangeRef{{0, 0}, {0, 0}})
+                  .ok());
+  ASSERT_TRUE(app.CloseDocument("meds.book").ok());
+  EXPECT_FALSE(app.IsOpen("meds.book"));
+  // Closing drops a selection into that document.
+  EXPECT_TRUE(app.CurrentSelection().status().IsFailedPrecondition());
+  EXPECT_TRUE(app.CloseDocument("meds.book").IsNotFound());
+}
+
+TEST(XmlAppTest, SelectElementCapturesCanonicalPath) {
+  XmlApp app;
+  auto doc = doc::xml::ParseXml(
+                 "<labReport><panel><result>Na 140</result>"
+                 "<result>K 4.1</result></panel></labReport>")
+                 .ValueOrDie();
+  doc::xml::Element* second =
+      doc->root()->ChildElements("panel")[0]->ChildElements("result")[1];
+  ASSERT_TRUE(app.RegisterDocument("lab.xml", std::move(doc)).ok());
+  ASSERT_TRUE(app.SelectElement("lab.xml", second).ok());
+  Selection sel = *app.CurrentSelection();
+  EXPECT_EQ(sel.address, "/labReport[1]/panel[1]/result[2]");
+  EXPECT_EQ(sel.content, "K 4.1");
+}
+
+TEST(XmlAppTest, NavigateHighlightsElement) {
+  XmlApp app;
+  ASSERT_TRUE(
+      app.RegisterDocument(
+             "lab.xml", doc::xml::ParseXml("<r><a>one</a><a>two</a></r>")
+                            .ValueOrDie())
+          .ok());
+  ASSERT_TRUE(app.NavigateTo("lab.xml", "/r/a[2]").ok());
+  EXPECT_EQ(app.last_navigation()->highlighted_content, "two");
+  EXPECT_TRUE(app.NavigateTo("lab.xml", "/r/b").IsNotFound());
+  EXPECT_TRUE(app.NavigateTo("lab.xml", "no-slash").IsParseError());
+}
+
+TEST(XmlAppTest, SelectPath) {
+  XmlApp app;
+  ASSERT_TRUE(app.RegisterDocument(
+                     "d.xml",
+                     doc::xml::ParseXml("<r><x>v</x></r>").ValueOrDie())
+                  .ok());
+  ASSERT_TRUE(app.SelectPath("d.xml", "/r/x").ok());
+  EXPECT_EQ(app.CurrentSelection()->content, "v");
+}
+
+TEST(TextAppTest, SelectAndNavigateSpans) {
+  TextApp app;
+  auto doc = std::make_unique<doc::text::TextDocument>();
+  doc->AddParagraph("To be or not to be, that is the question.");
+  ASSERT_TRUE(app.RegisterDocument("hamlet.txt", std::move(doc)).ok());
+  ASSERT_TRUE(app.Select("hamlet.txt", {0, 3, 8}).ok());
+  EXPECT_EQ(app.CurrentSelection()->content, "be or");
+  EXPECT_EQ(app.CurrentSelection()->address, "p0:3-8");
+  ASSERT_TRUE(app.NavigateTo("hamlet.txt", "p0:20-24").ok());
+  EXPECT_EQ(app.last_navigation()->highlighted_content, "that");
+  EXPECT_TRUE(app.NavigateTo("hamlet.txt", "p9:0-1").IsOutOfRange());
+}
+
+TEST(SlideAppTest, AddressRoundTripAndNavigate) {
+  SlideApp app;
+  auto deck = std::make_unique<doc::slides::SlideDeck>("talk.deck");
+  doc::slides::Slide* s = *deck->GetSlide(deck->AddSlide("Title slide"));
+  ASSERT_TRUE(s->AddShape({"box1", doc::slides::ShapeKind::kTextBox, 0, 0,
+                           100, 50, "Bundles in captivity", {}})
+                  .ok());
+  ASSERT_TRUE(app.RegisterDeck(std::move(deck)).ok());
+
+  ASSERT_TRUE(app.Select("talk.deck", 0, "box1").ok());
+  EXPECT_EQ(app.CurrentSelection()->address, "slide/0/shape/box1");
+  EXPECT_EQ(app.CurrentSelection()->content, "Bundles in captivity");
+
+  ASSERT_TRUE(app.NavigateTo("talk.deck", "slide/0").ok());
+  EXPECT_NE(app.last_navigation()->highlighted_content.find("Title slide"),
+            std::string::npos);
+  EXPECT_TRUE(app.NavigateTo("talk.deck", "slide/5").IsOutOfRange());
+  EXPECT_TRUE(app.NavigateTo("talk.deck", "slide/0/shape/zzz").IsNotFound());
+  EXPECT_TRUE(app.NavigateTo("talk.deck", "bogus").IsParseError());
+}
+
+TEST(PdfAppTest, RegionSelectionAndNavigate) {
+  PdfApp app;
+  auto doc = doc::pdf::PdfDocument::BuildFromParagraphs(
+      {"first paragraph of the guideline", "second paragraph"});
+  doc->set_file_name("guide.pdf");
+  doc::pdf::Rect first_box = doc->pages()[0].objects[0].box;
+  ASSERT_TRUE(app.RegisterDocument(std::move(doc)).ok());
+
+  ASSERT_TRUE(app.SelectRegion("guide.pdf", 0, first_box).ok());
+  Selection sel = *app.CurrentSelection();
+  EXPECT_NE(sel.content.find("first paragraph"), std::string::npos);
+
+  ASSERT_TRUE(app.NavigateTo("guide.pdf", sel.address).ok());
+  EXPECT_EQ(app.last_navigation()->highlighted_content, sel.content);
+  EXPECT_TRUE(app.NavigateTo("guide.pdf", "page/9/rect/0,0,1,1")
+                  .IsOutOfRange());
+  EXPECT_TRUE(app.NavigateTo("guide.pdf", "nope").IsParseError());
+}
+
+TEST(HtmlAppTest, AddressingPreferenceOrder) {
+  HtmlApp app;
+  ASSERT_TRUE(app.RegisterPage(
+                     "http://x/page",
+                     "<body><div id=\"d1\">with id</div>"
+                     "<a name=\"anchor1\">anchored</a><p>plain</p></body>")
+                  .ok());
+  doc::xml::Document* page = *app.GetPage("http://x/page");
+  doc::xml::Element* with_id = doc::html::FindById(page, "d1");
+  doc::xml::Element* anchor = doc::html::FindAnchor(page, "anchor1");
+  std::vector<doc::xml::Element*> ps = doc::html::FindByTag(page, "p");
+  ASSERT_NE(with_id, nullptr);
+  ASSERT_NE(anchor, nullptr);
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_EQ(HtmlApp::AddressOf(with_id), "id:d1");
+  EXPECT_EQ(HtmlApp::AddressOf(anchor), "anchor:anchor1");
+  EXPECT_TRUE(HtmlApp::AddressOf(ps[0]).rfind("path:", 0) == 0);
+
+  // All three address forms resolve.
+  for (doc::xml::Element* e : {with_id, anchor, ps[0]}) {
+    ASSERT_TRUE(app.NavigateTo("http://x/page", HtmlApp::AddressOf(e)).ok())
+        << HtmlApp::AddressOf(e);
+  }
+  EXPECT_TRUE(app.NavigateTo("http://x/page", "id:zzz").IsNotFound());
+  EXPECT_TRUE(app.NavigateTo("http://x/page", "anchor:zzz").IsNotFound());
+  EXPECT_TRUE(app.NavigateTo("http://x/page", "what:ever").IsParseError());
+}
+
+TEST(HtmlAppTest, SelectElementAndExtract) {
+  HtmlApp app;
+  ASSERT_TRUE(
+      app.RegisterPage("u", "<body><p id=\"p1\">hello world</p></body>")
+          .ok());
+  doc::xml::Element* p = doc::html::FindById(*app.GetPage("u"), "p1");
+  ASSERT_TRUE(app.SelectElement("u", p).ok());
+  EXPECT_EQ(app.CurrentSelection()->content, "hello world");
+  EXPECT_EQ(*app.ExtractContent("u", "id:p1"), "hello world");
+}
+
+}  // namespace
+}  // namespace slim::baseapp

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "dmi/dynamic_dmi.h"
+
+namespace slim::dmi {
+namespace {
+
+using store::BuildBundleScrapModel;
+using store::IdentitySchema;
+using store::ModelDef;
+using store::SchemaDef;
+
+class DynamicDmiTest : public ::testing::Test {
+ protected:
+  DynamicDmiTest()
+      : model_(BuildBundleScrapModel()),
+        dmi_(&store_, *IdentitySchema(model_, "slimpad"), model_) {}
+
+  ModelDef model_;
+  trim::TripleStore store_;
+  DynamicDmi dmi_;
+};
+
+TEST_F(DynamicDmiTest, CreateTypedObjects) {
+  auto bundle = dmi_.Create("Bundle");
+  ASSERT_TRUE(bundle.ok()) << bundle.status();
+  EXPECT_EQ(bundle->element(), "Bundle");
+  EXPECT_TRUE(bundle->valid());
+  EXPECT_TRUE(dmi_.Create("NotAnElement").status().IsNotFound());
+}
+
+TEST_F(DynamicDmiTest, AttributesValidatedBySchema) {
+  DynamicObject b = *dmi_.Create("Bundle");
+  ASSERT_TRUE(b.Set("bundleName", "John Smith").ok());
+  EXPECT_EQ(*b.Get("bundleName"), "John Smith");
+  // Unknown connector.
+  EXPECT_TRUE(b.Set("color", "red").IsConformance());
+  EXPECT_TRUE(b.Get("color").status().IsConformance());
+  // Link connector misused as attribute.
+  EXPECT_TRUE(b.Set("bundleContent", "x").IsConformance());
+  // Attribute misused as link.
+  DynamicObject s = *dmi_.Create("Scrap");
+  EXPECT_TRUE(b.Connect("bundleName", s).IsConformance());
+}
+
+TEST_F(DynamicDmiTest, LinksValidatedBySchema) {
+  DynamicObject b = *dmi_.Create("Bundle");
+  DynamicObject s = *dmi_.Create("Scrap");
+  DynamicObject nested = *dmi_.Create("Bundle");
+  ASSERT_TRUE(b.Connect("bundleContent", s).ok());
+  ASSERT_TRUE(b.Connect("nestedBundle", nested).ok());
+  // Wrong target element.
+  EXPECT_TRUE(b.Connect("nestedBundle", s).IsConformance());
+  auto connected = b.GetConnected("bundleContent");
+  ASSERT_TRUE(connected.ok());
+  ASSERT_EQ(connected->size(), 1u);
+  EXPECT_EQ((*connected)[0], s);
+  ASSERT_TRUE(b.Disconnect("bundleContent", s).ok());
+  EXPECT_TRUE(b.GetConnected("bundleContent")->empty());
+}
+
+TEST_F(DynamicDmiTest, UpperCardinalityEnforcedAtWrite) {
+  DynamicObject pad = *dmi_.Create("SlimPad");
+  DynamicObject b1 = *dmi_.Create("Bundle");
+  DynamicObject b2 = *dmi_.Create("Bundle");
+  ASSERT_TRUE(pad.Connect("rootBundle", b1).ok());  // 0..1
+  EXPECT_TRUE(pad.Connect("rootBundle", b2).IsConformance());
+}
+
+TEST_F(DynamicDmiTest, LookupAndInstancesOf) {
+  DynamicObject b = *dmi_.Create("Bundle");
+  auto again = dmi_.Lookup(b.id());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->element(), "Bundle");
+  EXPECT_TRUE(dmi_.Lookup("inst:404").status().IsNotFound());
+  (void)dmi_.Create("Bundle");
+  (void)dmi_.Create("Scrap");
+  EXPECT_EQ(dmi_.InstancesOf("Bundle")->size(), 2u);
+  EXPECT_EQ(dmi_.InstancesOf("Scrap")->size(), 1u);
+  EXPECT_TRUE(dmi_.InstancesOf("Nope").status().IsNotFound());
+}
+
+TEST_F(DynamicDmiTest, DeleteRemovesInstance) {
+  DynamicObject b = *dmi_.Create("Bundle");
+  ASSERT_TRUE(b.Set("bundleName", "X").ok());
+  ASSERT_TRUE(dmi_.Delete(b).ok());
+  EXPECT_TRUE(dmi_.Lookup(b.id()).status().IsNotFound());
+  EXPECT_TRUE(dmi_.Delete(b).IsNotFound());
+}
+
+TEST_F(DynamicDmiTest, CheckReportsViolations) {
+  DynamicObject b = *dmi_.Create("Bundle");
+  // Required attributes missing -> violations.
+  EXPECT_FALSE(dmi_.Check().conforms());
+  ASSERT_TRUE(b.Set("bundleName", "B").ok());
+  ASSERT_TRUE(b.Set("bundlePos", "0,0").ok());
+  ASSERT_TRUE(b.Set("bundleWidth", "10").ok());
+  ASSERT_TRUE(b.Set("bundleHeight", "10").ok());
+  EXPECT_TRUE(dmi_.Check().conforms()) << dmi_.Check().ToString();
+}
+
+TEST_F(DynamicDmiTest, SaveLoadRoundTrip) {
+  std::string path = ::testing::TempDir() + "/dmi_roundtrip.xml";
+  DynamicObject b = *dmi_.Create("Bundle");
+  ASSERT_TRUE(b.Set("bundleName", "Persisted").ok());
+  DynamicObject s = *dmi_.Create("Scrap");
+  ASSERT_TRUE(s.Set("scrapName", "Child").ok());
+  ASSERT_TRUE(b.Connect("bundleContent", s).ok());
+  ASSERT_TRUE(dmi_.Save(path).ok());
+
+  trim::TripleStore store2;
+  ModelDef model2 = BuildBundleScrapModel();
+  DynamicDmi dmi2(&store2, *IdentitySchema(model2, "slimpad"), model2);
+  ASSERT_TRUE(dmi2.Load(path).ok());
+  auto loaded = dmi2.Lookup(b.id());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded->Get("bundleName"), "Persisted");
+  auto kids = loaded->GetConnected("bundleContent");
+  ASSERT_TRUE(kids.ok());
+  ASSERT_EQ(kids->size(), 1u);
+  EXPECT_EQ(*(*kids)[0].Get("scrapName"), "Child");
+  std::remove(path.c_str());
+}
+
+TEST_F(DynamicDmiTest, GeneratedDmiForArbitrarySchema) {
+  // The §6 automation claim: generate a working typed interface for a
+  // schema that never existed before, with zero code.
+  ModelDef generic = store::BuildGenericModel();
+  SchemaDef schema("todo", "generic");
+  ASSERT_TRUE(schema.AddElement("TodoList", "Entity", generic).ok());
+  ASSERT_TRUE(schema.AddElement("Item", "Entity", generic).ok());
+  ASSERT_TRUE(schema
+                  .AddConnector({"title", "attribute", "TodoList", "String",
+                                 0, 1},
+                                generic)
+                  .ok());
+  ASSERT_TRUE(
+      schema.AddConnector({"items", "link", "TodoList", "Item", 0,
+                           store::kMany},
+                          generic)
+          .ok());
+  ASSERT_TRUE(schema
+                  .AddConnector({"text", "attribute", "Item", "String", 0, 1},
+                                generic)
+                  .ok());
+
+  trim::TripleStore store;
+  DynamicDmi dmi(&store, schema, generic);
+  DynamicObject list = *dmi.Create("TodoList");
+  ASSERT_TRUE(list.Set("title", "rounds prep").ok());
+  DynamicObject item = *dmi.Create("Item");
+  ASSERT_TRUE(item.Set("text", "check electrolytes").ok());
+  ASSERT_TRUE(list.Connect("items", item).ok());
+  EXPECT_TRUE(dmi.Check().conforms());
+  // The schema still guards: Item has no "title".
+  EXPECT_TRUE(item.Set("title", "x").IsConformance());
+}
+
+TEST(DynamicObjectTest, InvalidHandleFailsCleanly) {
+  DynamicObject obj;
+  EXPECT_FALSE(obj.valid());
+  EXPECT_TRUE(obj.Set("x", "y").IsFailedPrecondition());
+  EXPECT_TRUE(obj.Get("x").status().IsFailedPrecondition());
+  EXPECT_TRUE(obj.GetConnected("x").status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace slim::dmi

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "baseapp/spreadsheet_app.h"
+#include "dmi/dynamic_dmi.h"
+#include "doc/spreadsheet/a1.h"
+#include "slim/instance.h"
+#include "slimpad/slimpad_app.h"
+#include "slim/topic_map.h"
+#include "trim/persistence.h"
+#include "trim/triple_store.h"
+
+// Edge-case sweeps for corners the main suites exercise only lightly:
+// extreme addresses, empty structures, boundary cardinalities, aliasing
+// operations, and self-referential graphs.
+
+namespace slim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A1 extremes
+// ---------------------------------------------------------------------------
+
+TEST(A1EdgeTest, HugeButBoundedCoordinates) {
+  // XFD1048576 is Excel's real corner; we go further but stay bounded.
+  auto corner = doc::ParseCell("XFD1048576");
+  ASSERT_TRUE(corner.ok());
+  EXPECT_EQ(corner->col, 16383);
+  EXPECT_EQ(corner->row, 1048575);
+  // Column names beyond the guard are rejected, not wrapped.
+  EXPECT_TRUE(doc::ParseColumnName("AAAAAAA").status().IsOutOfRange());
+  // Row numbers beyond the guard are rejected.
+  EXPECT_FALSE(doc::ParseCell("A99999999999").ok());
+}
+
+TEST(A1EdgeTest, SingleCellRangeIdentities) {
+  doc::RangeRef r{{5, 5}, {5, 5}};
+  EXPECT_EQ(r.size(), 1);
+  EXPECT_TRUE(r.Contains({5, 5}));
+  EXPECT_EQ(r.Normalized(), r);
+}
+
+// ---------------------------------------------------------------------------
+// Empty structures round trip
+// ---------------------------------------------------------------------------
+
+TEST(EmptyStructuresTest, EmptyWorkbook) {
+  doc::Workbook wb("empty.book");
+  auto back = doc::Workbook::Deserialize(wb.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->sheet_count(), 0u);
+}
+
+TEST(EmptyStructuresTest, EmptySheetInWorkbook) {
+  doc::Workbook wb("b");
+  (void)wb.AddSheet("Empty");
+  auto back = doc::Workbook::Deserialize(wb.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE((*back)->GetSheet("Empty").ok());
+  EXPECT_EQ((*(*back)->GetSheet("Empty"))->cell_count(), 0u);
+}
+
+TEST(EmptyStructuresTest, EmptyTripleStoreToXmlAndBack) {
+  trim::TripleStore store;
+  trim::TripleStore loaded;
+  ASSERT_TRUE(trim::StoreFromXml(trim::StoreToXml(store), &loaded).ok());
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(EmptyStructuresTest, EmptyPadSavesAndLoads) {
+  mark::MarkManager marks;
+  pad::SlimPadApp app(&marks);
+  ASSERT_TRUE(app.NewPad("Empty").ok());
+  std::string path = ::testing::TempDir() + "/empty_pad.xml";
+  ASSERT_TRUE(app.SavePad(path).ok());
+  mark::MarkManager marks2;
+  pad::SlimPadApp app2(&marks2);
+  ASSERT_TRUE(app2.LoadPad(path).ok());
+  EXPECT_EQ(app2.pad()->pad_name(), "Empty");
+  EXPECT_TRUE(app2.dmi().Scraps().empty());
+  std::remove(path.c_str());
+  std::remove((path + ".marks").c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Self-referential and aliasing graphs
+// ---------------------------------------------------------------------------
+
+TEST(GraphEdgeTest, SelfLinkInstance) {
+  trim::TripleStore store;
+  store::InstanceGraph graph(&store);
+  std::string a = *graph.Create("T");
+  ASSERT_TRUE(graph.Connect(a, "link", a).ok());
+  EXPECT_EQ(graph.GetConnected(a, "link"), (std::vector<std::string>{a}));
+  // View from a self-linked node terminates.
+  EXPECT_EQ(store.ViewFrom(a).size(), 2u);  // type + link
+  // Deleting removes both directions without double counting issues.
+  EXPECT_GT(graph.Delete(a), 0u);
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(GraphEdgeTest, ScrapSelfLinkThroughDmi) {
+  trim::TripleStore store;
+  pad::SlimPadDmi dmi(&store);
+  const pad::Scrap* s = *dmi.Create_Scrap("self", {0, 0});
+  std::string id = s->id();  // survives the scrap's deletion below
+  ASSERT_TRUE(dmi.LinkScraps(id, id).ok());
+  EXPECT_EQ(s->linked_scraps(), (std::vector<std::string>{id}));
+  ASSERT_TRUE(dmi.Delete_Scrap(id).ok());
+  EXPECT_TRUE(store.Select(trim::TriplePattern::BySubject(id)).empty());
+}
+
+TEST(GraphEdgeTest, DuplicateLinkRejected) {
+  trim::TripleStore store;
+  store::InstanceGraph graph(&store);
+  std::string a = *graph.Create("T");
+  std::string b = *graph.Create("T");
+  ASSERT_TRUE(graph.Connect(a, "link", b).ok());
+  EXPECT_TRUE(graph.Connect(a, "link", b).IsAlreadyExists());
+}
+
+// ---------------------------------------------------------------------------
+// Boundary cardinalities in the dynamic DMI
+// ---------------------------------------------------------------------------
+
+TEST(CardinalityEdgeTest, ExactlyTwoMembers) {
+  // The topic-map 'member' connector demands >= 2; build an Association
+  // and check both sides of the boundary via conformance.
+  store::ModelDef model = store::BuildTopicMapModel();
+  store::SchemaDef schema = *store::TopicMapSchema();
+  trim::TripleStore store;
+  dmi::DynamicDmi dmi(&store, schema, model);
+
+  dmi::DynamicObject assoc = *dmi.Create("Association");
+  ASSERT_TRUE(assoc.Set("associationType", "treats").ok());
+  dmi::DynamicObject t1 = *dmi.Create("Topic");
+  ASSERT_TRUE(t1.Set("topicName", "heparin").ok());
+  dmi::DynamicObject t2 = *dmi.Create("Topic");
+  ASSERT_TRUE(t2.Set("topicName", "DVT").ok());
+
+  ASSERT_TRUE(assoc.Connect("member", t1).ok());
+  // One member only: low-cardinality violation.
+  auto report = dmi.Check();
+  bool low = false;
+  for (const auto& v : report.violations) {
+    if (v.kind == store::ViolationKind::kCardinalityLow &&
+        v.property == "member") {
+      low = true;
+    }
+  }
+  EXPECT_TRUE(low) << report.ToString();
+
+  ASSERT_TRUE(assoc.Connect("member", t2).ok());
+  report = dmi.Check();
+  for (const auto& v : report.violations) {
+    EXPECT_NE(v.property, "member") << report.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worksheet aliasing / overwrite behavior
+// ---------------------------------------------------------------------------
+
+TEST(WorksheetEdgeTest, FormulaOverwritesValueAndBack) {
+  doc::Workbook wb;
+  doc::Worksheet* ws = *wb.AddSheet("S");
+  ws->SetValue({0, 0}, 5.0);
+  ASSERT_TRUE(ws->SetFormula({0, 0}, "=2*3").ok());
+  EXPECT_EQ(wb.Evaluate("S", {0, 0}), doc::CellValue(6.0));
+  ws->SetValue({0, 0}, 7.0);  // literal clears the formula
+  EXPECT_EQ(wb.Evaluate("S", {0, 0}), doc::CellValue(7.0));
+  EXPECT_FALSE(ws->GetCell({0, 0})->has_formula());
+}
+
+TEST(WorksheetEdgeTest, FormulaReferencingItsOwnRangeCycles) {
+  doc::Workbook wb;
+  doc::Worksheet* ws = *wb.AddSheet("S");
+  // SUM over a range that includes the formula's own cell.
+  ASSERT_TRUE(ws->SetFormula({0, 0}, "=SUM(A1:A3)").ok());
+  ws->SetValue({1, 0}, 1.0);
+  EXPECT_EQ(wb.Evaluate("S", {0, 0}), doc::CellValue(doc::CellError::kCycle));
+}
+
+TEST(WorksheetEdgeTest, RemoveSheetInvalidatesDependents) {
+  doc::Workbook wb;
+  doc::Worksheet* a = *wb.AddSheet("A");
+  (void)wb.AddSheet("B");
+  (*wb.GetSheet("B"))->SetValue({0, 0}, 3.0);
+  ASSERT_TRUE(a->SetFormula({0, 0}, "=B!A1*2").ok());
+  EXPECT_EQ(wb.Evaluate("A", {0, 0}), doc::CellValue(6.0));
+  ASSERT_TRUE(wb.RemoveSheet("B").ok());
+  EXPECT_EQ(wb.Evaluate("A", {0, 0}),
+            doc::CellValue(doc::CellError::kRef));
+}
+
+// ---------------------------------------------------------------------------
+// Spreadsheet app: selection pinned to content, not coordinates
+// ---------------------------------------------------------------------------
+
+TEST(SpreadsheetAppEdgeTest, SelectionContentReflectsFormulas) {
+  baseapp::SpreadsheetApp app;
+  auto wb = std::make_unique<doc::Workbook>("f.book");
+  doc::Worksheet* ws = wb->AddSheet("S").ValueOrDie();
+  ws->SetValue({0, 0}, 2.0);
+  ASSERT_TRUE(ws->SetFormula({0, 1}, "=A1*10").ok());
+  ASSERT_TRUE(app.RegisterWorkbook(std::move(wb)).ok());
+  ASSERT_TRUE(app.Select("f.book", "S", doc::RangeRef{{0, 0}, {0, 1}}).ok());
+  // The selection shows evaluated values, as a real grid would.
+  EXPECT_EQ(app.CurrentSelection()->content, "2\t20");
+}
+
+}  // namespace
+}  // namespace slim

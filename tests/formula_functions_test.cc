@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "doc/spreadsheet/workbook.h"
+
+namespace slim::doc {
+namespace {
+
+// These tests run through a real Workbook (rather than a fake resolver) so
+// lookup functions see genuine range resolution and recalculation.
+class FunctionLibraryTest : public ::testing::Test {
+ protected:
+  FunctionLibraryTest() {
+    ws_ = *wb_.AddSheet("S");
+    // A little medication table in A1:C4.
+    ws_->SetValue({0, 0}, std::string("dopamine"));
+    ws_->SetValue({0, 1}, 5.0);
+    ws_->SetValue({0, 2}, std::string("IV"));
+    ws_->SetValue({1, 0}, std::string("heparin"));
+    ws_->SetValue({1, 1}, 1200.0);
+    ws_->SetValue({1, 2}, std::string("IV"));
+    ws_->SetValue({2, 0}, std::string("insulin"));
+    ws_->SetValue({2, 1}, 10.0);
+    ws_->SetValue({2, 2}, std::string("SC"));
+    ws_->SetValue({3, 0}, std::string("warfarin"));
+    ws_->SetValue({3, 1}, 5.0);
+    ws_->SetValue({3, 2}, std::string("PO"));
+  }
+
+  CellValue Eval(const std::string& formula) {
+    EXPECT_TRUE(ws_->SetFormula({9, 9}, "=" + formula).ok()) << formula;
+    return wb_.Evaluate("S", {9, 9});
+  }
+
+  Workbook wb_;
+  Worksheet* ws_;
+};
+
+TEST_F(FunctionLibraryTest, Vlookup) {
+  EXPECT_EQ(Eval("VLOOKUP(\"heparin\", A1:C4, 2)"), CellValue(1200.0));
+  EXPECT_EQ(Eval("VLOOKUP(\"insulin\", A1:C4, 3)"),
+            CellValue(std::string("SC")));
+  // Case-insensitive key match (spreadsheet text semantics).
+  EXPECT_EQ(Eval("VLOOKUP(\"HEPARIN\", A1:C4, 2)"), CellValue(1200.0));
+  // Miss and bad column.
+  EXPECT_EQ(Eval("VLOOKUP(\"morphine\", A1:C4, 2)"),
+            CellValue(CellError::kValue));
+  EXPECT_EQ(Eval("VLOOKUP(\"heparin\", A1:C4, 9)"),
+            CellValue(CellError::kRef));
+  // Range argument must be a range.
+  EXPECT_EQ(Eval("VLOOKUP(\"heparin\", 5, 2)"), CellValue(CellError::kValue));
+}
+
+TEST_F(FunctionLibraryTest, IndexAndMatch) {
+  EXPECT_EQ(Eval("INDEX(A1:C4, 2, 1)"), CellValue(std::string("heparin")));
+  EXPECT_EQ(Eval("INDEX(A1:C4, 3, 2)"), CellValue(10.0));
+  EXPECT_EQ(Eval("INDEX(A1:A4, 4)"), CellValue(std::string("warfarin")));
+  EXPECT_EQ(Eval("INDEX(A1:C4, 5, 1)"), CellValue(CellError::kRef));
+  EXPECT_EQ(Eval("INDEX(A1:C4, 0, 1)"), CellValue(CellError::kRef));
+
+  EXPECT_EQ(Eval("MATCH(\"insulin\", A1:A4)"), CellValue(3.0));
+  EXPECT_EQ(Eval("MATCH(1200, B1:B4)"), CellValue(2.0));
+  EXPECT_EQ(Eval("MATCH(\"none\", A1:A4)"), CellValue(CellError::kValue));
+
+  // The classic INDEX(MATCH()) composition.
+  EXPECT_EQ(Eval("INDEX(B1:B4, MATCH(\"warfarin\", A1:A4))"),
+            CellValue(5.0));
+}
+
+TEST_F(FunctionLibraryTest, SumifCountif) {
+  // Criterion as plain value: sum doses of 5-mg meds.
+  EXPECT_EQ(Eval("SUMIF(B1:B4, 5)"), CellValue(10.0));
+  EXPECT_EQ(Eval("COUNTIF(B1:B4, 5)"), CellValue(2.0));
+  // Text criterion.
+  EXPECT_EQ(Eval("COUNTIF(C1:C4, \"IV\")"), CellValue(2.0));
+  // Comparison criteria.
+  EXPECT_EQ(Eval("COUNTIF(B1:B4, \">=10\")"), CellValue(2.0));
+  EXPECT_EQ(Eval("SUMIF(B1:B4, \"<100\")"), CellValue(20.0));
+  EXPECT_EQ(Eval("COUNTIF(B1:B4, \"<>5\")"), CellValue(2.0));
+  // Separate sum range: total dose of IV meds.
+  EXPECT_EQ(Eval("SUMIF(C1:C4, \"IV\", B1:B4)"), CellValue(1205.0));
+  // Mismatched shapes.
+  EXPECT_EQ(Eval("SUMIF(C1:C4, \"IV\", B1:B2)"), CellValue(CellError::kValue));
+}
+
+TEST_F(FunctionLibraryTest, TextFunctions) {
+  EXPECT_EQ(Eval("LEFT(\"dopamine\", 4)"), CellValue(std::string("dopa")));
+  EXPECT_EQ(Eval("LEFT(\"abc\")"), CellValue(std::string("a")));
+  EXPECT_EQ(Eval("RIGHT(\"dopamine\", 5)"), CellValue(std::string("amine")));
+  EXPECT_EQ(Eval("LEFT(\"abc\", 99)"), CellValue(std::string("abc")));
+  EXPECT_EQ(Eval("LEFT(\"abc\", -1)"), CellValue(CellError::kValue));
+
+  EXPECT_EQ(Eval("FIND(\"pa\", \"dopamine\")"), CellValue(3.0));
+  EXPECT_EQ(Eval("FIND(\"a\", \"banana\", 3)"), CellValue(4.0));
+  EXPECT_EQ(Eval("FIND(\"z\", \"banana\")"), CellValue(CellError::kValue));
+
+  EXPECT_EQ(Eval("SUBSTITUTE(\"a-b-c\", \"-\", \"+\")"),
+            CellValue(std::string("a+b+c")));
+  EXPECT_EQ(Eval("TRIM(\"  two   words  \")"),
+            CellValue(std::string("two words")));
+}
+
+TEST_F(FunctionLibraryTest, LookupRecalculatesOnEdit) {
+  ASSERT_TRUE(ws_->SetFormula({5, 5}, "=VLOOKUP(\"heparin\", A1:C4, 2)").ok());
+  EXPECT_EQ(wb_.Evaluate("S", {5, 5}), CellValue(1200.0));
+  ws_->SetValue({1, 1}, 1500.0);
+  EXPECT_EQ(wb_.Evaluate("S", {5, 5}), CellValue(1500.0));
+}
+
+TEST_F(FunctionLibraryTest, LookupAcrossSheets) {
+  Worksheet* other = *wb_.AddSheet("Doses");
+  other->SetValue({0, 0}, std::string("heparin"));
+  other->SetValue({0, 1}, 999.0);
+  ASSERT_TRUE(
+      ws_->SetFormula({6, 6}, "=VLOOKUP(\"heparin\", Doses!A1:B1, 2)").ok());
+  EXPECT_EQ(wb_.Evaluate("S", {6, 6}), CellValue(999.0));
+}
+
+TEST_F(FunctionLibraryTest, ErrorsPropagateThroughLookups) {
+  ASSERT_TRUE(ws_->SetFormula({7, 0}, "=1/0").ok());  // A8 is #DIV/0!
+  EXPECT_EQ(Eval("MATCH(\"x\", A7:A8)"), CellValue(CellError::kDivZero));
+  EXPECT_EQ(Eval("SUMIF(A7:A8, \"x\")"), CellValue(CellError::kDivZero));
+}
+
+}  // namespace
+}  // namespace slim::doc

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "workload/session.h"
+
+namespace slim::workload {
+namespace {
+
+class FullSessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    IcuOptions options;
+    options.patients = 3;
+    options.seed = 777;
+    ASSERT_TRUE(session_.LoadIcuWorkload(GenerateIcuWorkload(options)).ok());
+    ASSERT_TRUE(session_.BuildFullRoundsPad().ok());
+  }
+  Session session_;
+};
+
+TEST_F(FullSessionTest, EveryBaseTypeOnOnePad) {
+  // Collect the mark types present on the pad (paper Fig. 1: one layer,
+  // heterogeneous sources).
+  std::set<std::string> types;
+  for (const pad::Scrap* scrap : session_.app().dmi().Scraps()) {
+    for (const std::string& hid : scrap->mark_handles()) {
+      const pad::MarkHandle* h = *session_.app().dmi().GetMarkHandle(hid);
+      const mark::Mark* m = *session_.marks().GetMark(h->mark_id());
+      types.insert(std::string(m->type()));
+    }
+  }
+  EXPECT_EQ(types, (std::set<std::string>{"excel", "xml", "text", "pdf",
+                                          "html"}));
+}
+
+TEST_F(FullSessionTest, AllScrapsResolveIncludingNewTypes) {
+  auto opened = session_.OpenAllScraps();
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  // meds + electrolytes + 3 notes + guideline + protocol.
+  size_t expected = 0;
+  for (const Patient& p : session_.icu().patients) {
+    expected += static_cast<size_t>(p.med_count) +
+                ElectrolyteAnalytes().size();
+  }
+  expected += 3 /*notes*/ + 1 /*pdf*/ + 1 /*html*/;
+  EXPECT_EQ(*opened, expected);
+
+  // The text navigation landed in the right note.
+  ASSERT_TRUE(session_.text().last_navigation().has_value());
+  EXPECT_NE(session_.text().last_navigation()->file_name.find("notes/"),
+            std::string::npos);
+}
+
+TEST_F(FullSessionTest, DeclarativeQueriesOverThePad) {
+  // Every patient has a 'Problems' scrap.
+  auto problems = session_.app().FindScrapsNamed("Problems");
+  ASSERT_TRUE(problems.ok()) << problems.status();
+  EXPECT_EQ(problems->size(), 3u);
+
+  // Multi-hop: bundles holding a gridlet are the Electrolyte bundles.
+  auto rows = session_.app().QueryPad(
+      "?b bundleContent ?s . ?s scrapName \"gridlet\" . ?b bundleName ?n");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 3u);
+  for (const store::Binding& row : *rows) {
+    EXPECT_EQ(row.at("n").text, "Electrolyte");
+  }
+}
+
+TEST_F(FullSessionTest, AuditDetectsBaseLayerDrift) {
+  // Fresh pad: everything valid.
+  mark::ValidationReport before = session_.app().AuditMarks();
+  EXPECT_TRUE(before.all_valid()) << before.ToString();
+  EXPECT_EQ(before.audits.size(), session_.marks().size());
+
+  // A nurse corrects a dose in the live medication list.
+  doc::Workbook* wb = *session_.excel().GetWorkbook("meds.book");
+  doc::Worksheet* meds = *wb->GetSheet("Medications");
+  int row = session_.icu().patients[0].med_row_begin;
+  meds->SetValue({row, 2}, std::string("999 mg"));
+
+  mark::ValidationReport after = session_.app().AuditMarks();
+  EXPECT_FALSE(after.all_valid());
+  EXPECT_EQ(after.changed, 1u);
+  EXPECT_EQ(after.dangling, 0u);
+  EXPECT_NE(after.ToString().find("999 mg"), std::string::npos);
+
+  // A whole document disappears: its marks dangle.
+  ASSERT_TRUE(session_.xml().CloseDocument(session_.icu().lab_file(0)).ok());
+  mark::ValidationReport gone = session_.app().AuditMarks();
+  EXPECT_EQ(gone.dangling, ElectrolyteAnalytes().size());
+}
+
+TEST_F(FullSessionTest, FullPadSurvivesHandoff) {
+  std::string path = ::testing::TempDir() + "/full_handoff.xml";
+  ASSERT_TRUE(session_.app().SavePad(path).ok());
+
+  Session doctor2;
+  IcuOptions options;
+  options.patients = 3;
+  options.seed = 777;
+  ASSERT_TRUE(doctor2.LoadIcuWorkload(GenerateIcuWorkload(options)).ok());
+  ASSERT_TRUE(doctor2.app().LoadPad(path).ok());
+  auto opened = doctor2.OpenAllScraps();
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  // Everything, including text/pdf/html marks, resolves after reload.
+  auto original = session_.OpenAllScraps();
+  EXPECT_EQ(*opened, *original);
+  // Queries work identically on the reloaded pad.
+  auto problems = doctor2.app().FindScrapsNamed("Problems");
+  ASSERT_TRUE(problems.ok());
+  EXPECT_EQ(problems->size(), 3u);
+  std::remove(path.c_str());
+  std::remove((path + ".marks").c_str());
+}
+
+}  // namespace
+}  // namespace slim::workload

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "slim/conformance.h"
+#include "workload/corpus.h"
+#include "workload/session.h"
+
+namespace slim::workload {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    IcuOptions options;
+    options.patients = 3;
+    options.seed = 2026;
+    ASSERT_TRUE(session_.LoadIcuWorkload(GenerateIcuWorkload(options)).ok());
+  }
+  Session session_;
+};
+
+TEST_F(SessionTest, WorkloadRegistersAllDocuments) {
+  EXPECT_TRUE(session_.excel().IsOpen("meds.book"));
+  EXPECT_EQ(session_.xml().OpenDocuments().size(), 3u);
+  EXPECT_EQ(session_.text().OpenDocuments().size(), 3u);
+  EXPECT_TRUE(session_.pdf().IsOpen("guidelines/sepsis.pdf"));
+  EXPECT_TRUE(session_.html().IsOpen("http://hospital/protocols/icu"));
+}
+
+TEST_F(SessionTest, BuildRoundsPadMirrorsFig4) {
+  ASSERT_TRUE(session_.BuildRoundsPad().ok());
+  pad::SlimPadApp& app = session_.app();
+  ASSERT_NE(app.pad(), nullptr);
+  EXPECT_EQ(app.pad()->pad_name(), "Rounds");
+
+  // One patient bundle per patient, nested under the root.
+  ASSERT_EQ(session_.patient_bundles().size(), 3u);
+  std::string root = *app.RootBundle();
+  const pad::Bundle* root_bundle = *app.dmi().GetBundle(root);
+  EXPECT_EQ(root_bundle->nested_bundles().size(), 3u);
+
+  // Each patient bundle: med scraps + an 'Electrolyte' nested bundle with
+  // the gridlet and seven analyte scraps.
+  for (size_t p = 0; p < 3; ++p) {
+    const pad::Bundle* patient =
+        *app.dmi().GetBundle(session_.patient_bundles()[p]);
+    EXPECT_EQ(patient->name(), session_.icu().patients[p].name);
+    EXPECT_EQ(static_cast<int>(patient->scraps().size()),
+              session_.icu().patients[p].med_count);
+    ASSERT_EQ(patient->nested_bundles().size(), 1u);
+    const pad::Bundle* lytes =
+        *app.dmi().GetBundle(patient->nested_bundles()[0]);
+    EXPECT_EQ(lytes->name(), "Electrolyte");
+    // Gridlet + 7 analytes.
+    EXPECT_EQ(lytes->scraps().size(), 1u + ElectrolyteAnalytes().size());
+  }
+
+  // Pad data conforms to the Bundle-Scrap schema.
+  store::ConformanceReport report = store::CheckConformance(
+      app.store(), app.dmi().schema(), app.dmi().model());
+  EXPECT_TRUE(report.conforms()) << report.ToString();
+}
+
+TEST_F(SessionTest, ClickScrapOpensMedicationListHighlighted) {
+  ASSERT_TRUE(session_.BuildRoundsPad(1).ok());
+  pad::SlimPadApp& app = session_.app();
+  const pad::Bundle* patient =
+      *app.dmi().GetBundle(session_.patient_bundles()[0]);
+  ASSERT_FALSE(patient->scraps().empty());
+
+  // "By clicking on the scrap, the mark is de-referenced and the original
+  // information source, the medication list, is displayed with the
+  // appropriate medication highlighted" (paper §3).
+  session_.excel().ClearNavigation();
+  auto result = app.OpenScrap(patient->scraps()[0]);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->base_app_navigated);
+  ASSERT_TRUE(session_.excel().last_navigation().has_value());
+  const auto& nav = *session_.excel().last_navigation();
+  EXPECT_EQ(nav.file_name, "meds.book");
+  // The highlighted row is the patient's first medication row.
+  int row = session_.icu().patients[0].med_row_begin;
+  EXPECT_EQ(nav.address,
+            "Medications!B" + std::to_string(row + 1) + ":E" +
+                std::to_string(row + 1));
+  EXPECT_FALSE(nav.highlighted_content.empty());
+}
+
+TEST_F(SessionTest, DoubleClickElectrolyteOpensLabReport) {
+  ASSERT_TRUE(session_.BuildRoundsPad(1).ok());
+  pad::SlimPadApp& app = session_.app();
+  const pad::Bundle* patient =
+      *app.dmi().GetBundle(session_.patient_bundles()[0]);
+  const pad::Bundle* lytes =
+      *app.dmi().GetBundle(patient->nested_bundles()[0]);
+
+  // First scrap is the gridlet (graphic, no mark).
+  auto graphic = app.OpenScrap(lytes->scraps()[0]);
+  EXPECT_TRUE(graphic.status().IsFailedPrecondition());
+
+  // An analyte scrap resolves into the XML lab report.
+  auto result = app.OpenScrap(lytes->scraps()[1]);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(session_.xml().last_navigation().has_value());
+  EXPECT_EQ(session_.xml().last_navigation()->file_name,
+            session_.icu().lab_file(0));
+  EXPECT_NE(session_.xml().last_navigation()->address.find("/labReport"),
+            std::string::npos);
+}
+
+TEST_F(SessionTest, ViewingStylesBehaveDifferently) {
+  ASSERT_TRUE(session_.BuildRoundsPad(1).ok());
+  pad::SlimPadApp& app = session_.app();
+  const pad::Bundle* patient =
+      *app.dmi().GetBundle(session_.patient_bundles()[0]);
+  const std::string scrap = patient->scraps()[0];
+
+  app.set_viewing_style(pad::ViewingStyle::kSimultaneous);
+  auto sim = *app.OpenScrap(scrap);
+  EXPECT_TRUE(sim.base_app_navigated);
+  EXPECT_TRUE(sim.in_place_content.empty());
+
+  app.set_viewing_style(pad::ViewingStyle::kEnhanced);
+  auto enh = *app.OpenScrap(scrap);
+  EXPECT_TRUE(enh.base_app_navigated);
+  EXPECT_FALSE(enh.in_place_content.empty());
+
+  app.set_viewing_style(pad::ViewingStyle::kIndependent);
+  session_.excel().ClearNavigation();
+  auto ind = *app.OpenScrap(scrap);
+  EXPECT_FALSE(ind.base_app_navigated);
+  EXPECT_FALSE(ind.in_place_content.empty());
+  // Independent viewing really did not touch the base window.
+  EXPECT_FALSE(session_.excel().last_navigation().has_value());
+}
+
+TEST_F(SessionTest, OpenAllScrapsResolvesEverything) {
+  ASSERT_TRUE(session_.BuildRoundsPad().ok());
+  auto opened = session_.OpenAllScraps();
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  size_t expected = 0;
+  for (const Patient& p : session_.icu().patients) {
+    expected += static_cast<size_t>(p.med_count) +
+                ElectrolyteAnalytes().size();
+  }
+  EXPECT_EQ(*opened, expected);
+}
+
+TEST_F(SessionTest, HandoffSaveLoadPreservesAwareness) {
+  // §6: "supporting the transfer of 'current situation' awareness ... when
+  // one doctor is taking over rounds for another."
+  ASSERT_TRUE(session_.BuildRoundsPad().ok());
+  std::string path = ::testing::TempDir() + "/handoff_pad.xml";
+  ASSERT_TRUE(session_.app().SavePad(path).ok());
+
+  // The second doctor's session: same base layer, fresh pad + marks.
+  Session doctor2;
+  IcuOptions options;
+  options.patients = 3;
+  options.seed = 2026;  // same documents
+  ASSERT_TRUE(doctor2.LoadIcuWorkload(GenerateIcuWorkload(options)).ok());
+  ASSERT_TRUE(doctor2.app().LoadPad(path).ok());
+
+  EXPECT_EQ(doctor2.app().pad()->pad_name(), "Rounds");
+  // Every scrap still opens against the live base layer.
+  auto opened = doctor2.OpenAllScraps();
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_GT(*opened, 0u);
+  std::remove(path.c_str());
+  std::remove((path + ".marks").c_str());
+}
+
+TEST_F(SessionTest, TemplateStampsWorksheetRow) {
+  ASSERT_TRUE(session_.app().NewPad("Rounds").ok());
+  std::string root = *session_.app().RootBundle();
+  auto bundle_id = session_.app().InstantiateTemplate(
+      root, pad::ResidentWorksheetTemplate(), {10, 10});
+  ASSERT_TRUE(bundle_id.ok());
+  const pad::Bundle* b = *session_.app().dmi().GetBundle(*bundle_id);
+  EXPECT_EQ(b->scraps().size(), 4u);  // Patient / Problems / Labs / To do
+  EXPECT_EQ(b->name(), "Resident worksheet row");
+}
+
+TEST(CorpusTest, DeterministicAndZipfish) {
+  CorpusOptions options;
+  options.seed = 3;
+  Corpus a = GenerateCorpus(options);
+  Corpus b = GenerateCorpus(options);
+  ASSERT_EQ(a.documents.size(), b.documents.size());
+  for (size_t i = 0; i < a.documents.size(); ++i) {
+    EXPECT_EQ(a.documents[i]->Serialize(), b.documents[i]->Serialize());
+  }
+  // The most frequent word appears far more often than a tail word.
+  const std::string& head = a.vocabulary[0];
+  const std::string& tail = a.vocabulary.back();
+  size_t head_count = 0, tail_count = 0;
+  for (const auto& d : a.documents) {
+    head_count += d->FindAll(head).size();
+    tail_count += d->FindAll(tail).size();
+  }
+  EXPECT_GT(head_count, tail_count);
+}
+
+TEST(IcuWorkloadTest, DeterministicAndConsistent) {
+  IcuOptions options;
+  options.patients = 5;
+  options.seed = 11;
+  IcuWorkload a = GenerateIcuWorkload(options);
+  IcuWorkload b = GenerateIcuWorkload(options);
+  ASSERT_EQ(a.patients.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(a.patients[i].name, b.patients[i].name);
+    EXPECT_EQ(a.patients[i].med_count, b.patients[i].med_count);
+  }
+  EXPECT_EQ(a.medication_workbook->Serialize(),
+            b.medication_workbook->Serialize());
+
+  // Medication rows really belong to their patients.
+  doc::Worksheet* meds = *a.medication_workbook->GetSheet("Medications");
+  for (const Patient& p : a.patients) {
+    for (int m = 0; m < p.med_count; ++m) {
+      const doc::Cell* cell =
+          meds->GetCell({p.med_row_begin + m, 0});
+      ASSERT_NE(cell, nullptr);
+      EXPECT_EQ(std::get<std::string>(cell->value), p.name);
+    }
+  }
+  // The TOTAL ORDERS formula counts every med row.
+  int total_rows = 0;
+  for (const Patient& p : a.patients) total_rows += p.med_count;
+  doc::CellValue total = a.medication_workbook->Evaluate(
+      "Medications", {1 + total_rows, 1});
+  EXPECT_EQ(total, doc::CellValue(static_cast<double>(total_rows)));
+
+  // Lab reports have the advertised panels.
+  ASSERT_EQ(a.lab_reports.size(), 5u);
+  for (const auto& report : a.lab_reports) {
+    EXPECT_EQ(report->root()->ChildElements("panel").size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace slim::workload

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trim/interned_store.h"
+#include "util/rng.h"
+
+namespace slim::trim {
+namespace {
+
+Triple T(const std::string& s, const std::string& p, Object o) {
+  return Triple{s, p, std::move(o)};
+}
+
+TEST(StringPoolTest, InternDeduplicates) {
+  StringPool pool;
+  uint32_t a = pool.Intern("hello");
+  uint32_t b = pool.Intern("world");
+  uint32_t c = pool.Intern("hello");
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.Get(a), "hello");
+  EXPECT_EQ(*pool.Find("world"), b);
+  EXPECT_FALSE(pool.Find("absent").has_value());
+}
+
+TEST(StringPoolTest, ManyStringsStayStable) {
+  StringPool pool;
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(pool.Intern("string-" + std::to_string(i)));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(pool.Get(ids[static_cast<size_t>(i)]),
+              "string-" + std::to_string(i));
+    EXPECT_EQ(*pool.Find("string-" + std::to_string(i)),
+              ids[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(StringPoolTest, BinaryRoundTrip) {
+  StringPool pool;
+  pool.Intern("");
+  pool.Intern("with \0 null bytes? no, but unicode: \xC3\xA9");
+  pool.Intern("plain");
+  std::string data;
+  pool.AppendTo(&data);
+  size_t offset = 0;
+  auto back = StringPool::ReadFrom(data, &offset);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(offset, data.size());
+  EXPECT_EQ(back->size(), pool.size());
+  for (uint32_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(back->Get(i), pool.Get(i));
+  }
+}
+
+TEST(InternedStoreTest, AddSelectRemove) {
+  InternedTripleStore store;
+  ASSERT_TRUE(store.AddLiteral("b1", "bundleName", "John").ok());
+  ASSERT_TRUE(store.AddResource("b1", "bundleContent", "s1").ok());
+  ASSERT_TRUE(store.AddLiteral("s1", "scrapName", "Na 140").ok());
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_TRUE(store.Contains(T("b1", "bundleName", Object::Literal("John"))));
+  EXPECT_FALSE(store.Contains(T("b1", "bundleName", Object::Literal("X"))));
+  EXPECT_TRUE(store.AddLiteral("b1", "bundleName", "John").IsAlreadyExists());
+
+  EXPECT_EQ(store.Select(TriplePattern::BySubject("b1")).size(), 2u);
+  EXPECT_EQ(store.Select(TriplePattern::ByProperty("scrapName")).size(), 1u);
+  EXPECT_EQ(
+      store.Select(TriplePattern::ByObject(Object::Resource("s1"))).size(),
+      1u);
+  EXPECT_EQ(store.Select(TriplePattern{}).size(), 3u);
+
+  ASSERT_TRUE(store.Remove(T("b1", "bundleName", Object::Literal("John"))).ok());
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.Remove(T("b1", "bundleName", Object::Literal("John")))
+                  .IsNotFound());
+  EXPECT_TRUE(store.Select(TriplePattern::ByProperty("bundleName")).empty());
+}
+
+TEST(InternedStoreTest, LiteralVsResourceDistinct) {
+  InternedTripleStore store;
+  ASSERT_TRUE(store.AddLiteral("a", "p", "x").ok());
+  ASSERT_TRUE(store.AddResource("a", "p", "x").ok());
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(
+      store.Select(TriplePattern::ByObject(Object::Literal("x"))).size(), 1u);
+}
+
+TEST(InternedStoreTest, GetOneAndViewFrom) {
+  InternedTripleStore store;
+  ASSERT_TRUE(store.AddResource("pad", "rootBundle", "bundle").ok());
+  ASSERT_TRUE(store.AddLiteral("bundle", "bundleName", "B").ok());
+  ASSERT_TRUE(store.AddResource("bundle", "bundleContent", "scrap").ok());
+  ASSERT_TRUE(store.AddLiteral("scrap", "scrapName", "S").ok());
+  ASSERT_TRUE(store.AddLiteral("island", "x", "y").ok());
+  EXPECT_EQ(store.GetOne("bundle", "bundleName")->text, "B");
+  EXPECT_FALSE(store.GetOne("bundle", "nope").has_value());
+  EXPECT_EQ(store.ViewFrom("pad").size(), 4u);
+  EXPECT_TRUE(store.ViewFrom("ghost").empty());
+}
+
+TEST(InternedStoreTest, ViewFromCycleSafe) {
+  InternedTripleStore store;
+  ASSERT_TRUE(store.AddResource("a", "next", "b").ok());
+  ASSERT_TRUE(store.AddResource("b", "next", "a").ok());
+  EXPECT_EQ(store.ViewFrom("a").size(), 2u);
+}
+
+TEST(InternedStoreTest, CompactDropsTombstones) {
+  InternedTripleStore store;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store.AddLiteral("s" + std::to_string(i), "p", "v").ok());
+  }
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        store.Remove(T("s" + std::to_string(i), "p", Object::Literal("v")))
+            .ok());
+  }
+  size_t before = store.ApproximateBytes();
+  store.Compact();
+  EXPECT_EQ(store.size(), 50u);
+  EXPECT_LE(store.ApproximateBytes(), before);
+  EXPECT_EQ(store.Select(TriplePattern::ByProperty("p")).size(), 50u);
+}
+
+TEST(InternedStoreTest, BinaryRoundTrip) {
+  InternedTripleStore store;
+  ASSERT_TRUE(store.AddLiteral("b1", "bundleName", "John <&> \"Smith\"").ok());
+  ASSERT_TRUE(store.AddResource("b1", "bundleContent", "s1").ok());
+  ASSERT_TRUE(store.AddLiteral("s1", "empty", "").ok());
+  ASSERT_TRUE(store.AddLiteral("s1", "scrapName", "line\nbreak").ok());
+  // A removed triple must not be persisted.
+  ASSERT_TRUE(store.AddLiteral("tmp", "p", "v").ok());
+  ASSERT_TRUE(store.Remove(T("tmp", "p", Object::Literal("v"))).ok());
+
+  std::string data = store.SerializeBinary();
+  auto back = InternedTripleStore::DeserializeBinary(data);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->size(), store.size());
+  store.ForEach([&](const Triple& t) {
+    EXPECT_TRUE(back->Contains(t)) << TripleToString(t);
+  });
+  EXPECT_EQ(back->SerializeBinary().size(), data.size());
+}
+
+TEST(InternedStoreTest, DeserializeRejections) {
+  EXPECT_FALSE(InternedTripleStore::DeserializeBinary("garbage").ok());
+  EXPECT_FALSE(InternedTripleStore::DeserializeBinary("SLIMBIN1").ok());
+  InternedTripleStore store;
+  ASSERT_TRUE(store.AddLiteral("a", "p", "v").ok());
+  std::string data = store.SerializeBinary();
+  EXPECT_FALSE(
+      InternedTripleStore::DeserializeBinary(data.substr(0, data.size() - 2))
+          .ok());
+  EXPECT_FALSE(InternedTripleStore::DeserializeBinary(data + "junk").ok());
+}
+
+TEST(InternedStoreTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/interned_store.bin";
+  InternedTripleStore store;
+  ASSERT_TRUE(store.AddLiteral("a", "p", "v").ok());
+  ASSERT_TRUE(store.SaveBinary(path).ok());
+  auto back = InternedTripleStore::LoadBinary(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 1u);
+  std::remove(path.c_str());
+  EXPECT_TRUE(InternedTripleStore::LoadBinary(path).status().IsIoError());
+}
+
+TEST(InternedStoreTest, CompactnessOnPadShapedData) {
+  // The stated point of the alternative implementation: compactness.
+  // Realistic pads repeat property names (every scrap has scrapName,
+  // scrapPos, ...) and subjects (one per attribute of an instance), which
+  // is exactly what interning exploits.
+  InternedTripleStore interned;
+  TripleStore hashed;
+  for (int i = 0; i < 500; ++i) {
+    std::string s = "scrap" + std::to_string(i);
+    for (const char* prop :
+         {"scrapName", "scrapPos", "slim:type", "scrapAnnotation"}) {
+      std::string value = prop + std::to_string(i % 40);
+      ASSERT_TRUE(interned.AddLiteral(s, prop, value).ok());
+      ASSERT_TRUE(hashed.AddLiteral(s, prop, value).ok());
+    }
+  }
+  EXPECT_LT(interned.ApproximateBytes(), hashed.ApproximateBytes());
+  // The binary wire form is denser still than the in-memory layout.
+  EXPECT_LT(interned.SerializeBinary().size(), interned.ApproximateBytes());
+}
+
+// Property test: the interned store agrees with the hash store under
+// identical random op sequences.
+class StoreEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StoreEquivalence, InternedMatchesHashed) {
+  Rng rng(GetParam());
+  InternedTripleStore interned;
+  TripleStore hashed;
+  std::vector<std::string> subjects = {"s1", "s2", "s3"};
+  std::vector<std::string> properties = {"p1", "p2"};
+  std::vector<std::string> values = {"a", "b", "c"};
+
+  for (int op = 0; op < 300; ++op) {
+    Triple t{rng.Pick(subjects), rng.Pick(properties),
+             rng.Chance(0.5) ? Object::Literal(rng.Pick(values))
+                             : Object::Resource(rng.Pick(subjects))};
+    if (rng.Chance(0.6)) {
+      EXPECT_EQ(interned.Add(t).ok(), hashed.Add(t).ok());
+    } else {
+      EXPECT_EQ(interned.Remove(t).ok(), hashed.Remove(t).ok());
+    }
+    ASSERT_EQ(interned.size(), hashed.size());
+  }
+  // Every selection path agrees (as sets).
+  auto as_set = [](std::vector<Triple> v) {
+    return std::set<Triple>(v.begin(), v.end());
+  };
+  for (const std::string& s : subjects) {
+    EXPECT_EQ(as_set(interned.Select(TriplePattern::BySubject(s))),
+              as_set(hashed.Select(TriplePattern::BySubject(s))));
+    EXPECT_EQ(as_set(interned.ViewFrom(s)), as_set(hashed.ViewFrom(s)));
+  }
+  for (const std::string& p : properties) {
+    EXPECT_EQ(as_set(interned.Select(TriplePattern::ByProperty(p))),
+              as_set(hashed.Select(TriplePattern::ByProperty(p))));
+  }
+  // Binary round trip preserves equivalence.
+  auto loaded =
+      InternedTripleStore::DeserializeBinary(interned.SerializeBinary());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(as_set(loaded->Select(TriplePattern{})),
+            as_set(hashed.Select(TriplePattern{})));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreEquivalence,
+                         ::testing::Values(2, 4, 6, 10, 16, 26));
+
+}  // namespace
+}  // namespace slim::trim

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "mark/validator.h"
+#include "mark/modules.h"
+#include "slim/conformance.h"
+#include "slim/topic_map.h"
+#include "slimpad/slimpad_dmi.h"
+#include "trim/rdf_xml.h"
+
+namespace slim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RDF/XML interchange
+// ---------------------------------------------------------------------------
+
+TEST(RdfXmlTest, RoundTrip) {
+  trim::TripleStore store;
+  ASSERT_TRUE(store.AddLiteral("bundle1", "bundleName", "John & <Smith>").ok());
+  ASSERT_TRUE(store.AddResource("bundle1", "bundleContent", "scrap4").ok());
+  ASSERT_TRUE(store.AddLiteral("scrap4", "scrapName", "Na 140").ok());
+  ASSERT_TRUE(store.AddLiteral("scrap4", "empty", "").ok());
+  ASSERT_TRUE(store.AddResource("scrap4", "slim:type", "T").ok());
+
+  auto xml_text = trim::StoreToRdfXml(store);
+  ASSERT_TRUE(xml_text.ok()) << xml_text.status();
+  EXPECT_NE(xml_text->find("rdf:Description"), std::string::npos);
+  EXPECT_NE(xml_text->find("rdf:about=\"bundle1\""), std::string::npos);
+  EXPECT_NE(xml_text->find("rdf:resource=\"scrap4\""), std::string::npos);
+
+  trim::TripleStore loaded;
+  ASSERT_TRUE(trim::StoreFromRdfXml(*xml_text, &loaded).ok());
+  EXPECT_EQ(loaded.size(), store.size());
+  store.ForEach([&](const trim::Triple& t) {
+    EXPECT_TRUE(loaded.Contains(t)) << trim::TripleToString(t);
+  });
+}
+
+TEST(RdfXmlTest, InvalidPropertyNameRejectedOnExport) {
+  trim::TripleStore store;
+  ASSERT_TRUE(store.AddLiteral("s", "not a name", "v").ok());
+  EXPECT_TRUE(trim::StoreToRdfXml(store).status().IsInvalidArgument());
+}
+
+TEST(RdfXmlTest, ImportRejections) {
+  trim::TripleStore store;
+  EXPECT_FALSE(trim::StoreFromRdfXml("<wrong/>", &store).ok());
+  EXPECT_FALSE(trim::StoreFromRdfXml(
+                   "<rdf:RDF><rdf:Description><p>v</p></rdf:Description>"
+                   "</rdf:RDF>",
+                   &store)
+                   .ok());
+}
+
+TEST(RdfXmlTest, WholePadInterchange) {
+  // The §4.3 interoperability claim end to end: a pad built by the DMI is
+  // exported as RDF/XML and re-imported into a second store that rebuilds
+  // an identical pad.
+  trim::TripleStore store;
+  pad::SlimPadDmi dmi(&store);
+  const pad::SlimPad* p = *dmi.Create_SlimPad("Rounds");
+  const pad::Bundle* b = *dmi.Create_Bundle("John", {5, 6}, 100, 50);
+  ASSERT_TRUE(dmi.Update_rootBundle(p->id(), b->id()).ok());
+  const pad::Scrap* s = *dmi.Create_Scrap("Na 140", {1, 2});
+  ASSERT_TRUE(dmi.AddScrapToBundle(b->id(), s->id()).ok());
+
+  auto rdf = trim::StoreToRdfXml(store);
+  ASSERT_TRUE(rdf.ok()) << rdf.status();
+  trim::TripleStore store2;
+  ASSERT_TRUE(trim::StoreFromRdfXml(*rdf, &store2).ok());
+  pad::SlimPadDmi dmi2(&store2);
+  ASSERT_TRUE(dmi2.RebuildFromTriples().ok());
+  const pad::Bundle* b2 = *dmi2.GetBundle(b->id());
+  EXPECT_EQ(b2->name(), "John");
+  EXPECT_EQ(b2->scraps(), (std::vector<std::string>{s->id()}));
+}
+
+// ---------------------------------------------------------------------------
+// Topic-map model + cross-model mapping
+// ---------------------------------------------------------------------------
+
+TEST(TopicMapTest, ModelIsWellFormedAndRoundTrips) {
+  store::ModelDef model = store::BuildTopicMapModel();
+  EXPECT_TRUE(model.FindConstruct("Topic").has_value());
+  EXPECT_EQ(*model.FindConstruct("Locator"),
+            store::ConstructKind::kMarkConstruct);
+  const store::ConnectorDef* member = model.FindConnector("member");
+  ASSERT_NE(member, nullptr);
+  EXPECT_EQ(member->min_card, 2);
+
+  trim::TripleStore store;
+  ASSERT_TRUE(model.ToTriples(&store).ok());
+  auto back = store::ModelDef::FromTriples(store, "topic-map");
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->constructs(), model.constructs());
+
+  auto schema = store::TopicMapSchema();
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_EQ(schema->elements().size(), 4u);
+}
+
+TEST(TopicMapTest, PadMapsToConformingTopicMap) {
+  // Build a pad through the DMI...
+  trim::TripleStore pad_store;
+  pad::SlimPadDmi dmi(&pad_store);
+  const pad::SlimPad* p = *dmi.Create_SlimPad("Rounds");
+  const pad::Bundle* root = *dmi.Create_Bundle("John Smith", {0, 0}, 10, 10);
+  ASSERT_TRUE(dmi.Update_rootBundle(p->id(), root->id()).ok());
+  const pad::Bundle* lytes = *dmi.Create_Bundle("Electrolyte", {0, 0}, 5, 5);
+  ASSERT_TRUE(dmi.AddNestedBundle(root->id(), lytes->id()).ok());
+  const pad::Scrap* s = *dmi.Create_Scrap("Na 140", {1, 1});
+  ASSERT_TRUE(dmi.AddScrapToBundle(lytes->id(), s->id()).ok());
+  const pad::MarkHandle* h = *dmi.Create_MarkHandle("mark9");
+  ASSERT_TRUE(dmi.SetScrapMark(s->id(), h->id()).ok());
+  ASSERT_TRUE(dmi.AddScrapAnnotation(s->id(), "note").ok());  // dropped
+
+  // ...map it to a topic map...
+  store::Mapping mapping = store::BundleScrapToTopicMap();
+  trim::TripleStore tm_store;
+  auto stats = mapping.Apply(pad_store, &tm_store);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->instances_mapped, 5u);  // pad, 2 bundles, scrap, handle
+
+  // ...and check conformance against the topic-map model.
+  store::ModelDef tm_model = store::BuildTopicMapModel();
+  store::SchemaDef tm_schema = *store::TopicMapSchema();
+  store::ConformanceReport report =
+      store::CheckConformance(tm_store, tm_schema, tm_model);
+  EXPECT_TRUE(report.conforms()) << report.ToString();
+
+  // Shape spot checks.
+  store::InstanceGraph graph(&tm_store);
+  EXPECT_EQ(*graph.GetValue(root->id(), "topicName"), "John Smith");
+  EXPECT_EQ(graph.GetConnected(root->id(), "narrower"),
+            (std::vector<std::string>{lytes->id()}));
+  EXPECT_EQ(graph.GetConnected(lytes->id(), "occurrence"),
+            (std::vector<std::string>{s->id()}));
+  EXPECT_EQ(*graph.GetValue(s->id(), "occurrenceLabel"), "Na 140");
+  EXPECT_EQ(*graph.GetValue(h->id(), "locatorRef"), "mark9");
+  // Geometry and annotations were dropped.
+  EXPECT_TRUE(graph.GetValue(s->id(), "scrapPos").status().IsNotFound());
+  EXPECT_TRUE(
+      graph.GetValue(s->id(), "scrapAnnotation").status().IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// Mark validation
+// ---------------------------------------------------------------------------
+
+TEST(MarkValidatorTest, DetectsDriftAndDangling) {
+  baseapp::SpreadsheetApp excel;
+  auto wb = std::make_unique<doc::Workbook>("meds.book");
+  doc::Worksheet* ws = wb->AddSheet("Meds").ValueOrDie();
+  ws->SetValue({0, 0}, std::string("dopamine"));
+  ws->SetValue({1, 0}, std::string("heparin"));
+  ASSERT_TRUE(excel.RegisterWorkbook(std::move(wb)).ok());
+
+  baseapp::XmlApp xml;
+
+  mark::MarkManager marks;
+  mark::ExcelMarkModule excel_module(&excel);
+  mark::XmlMarkModule xml_module(&xml);
+  ASSERT_TRUE(marks.RegisterModule(&excel_module).ok());
+  ASSERT_TRUE(marks.RegisterModule(&xml_module).ok());
+
+  ASSERT_TRUE(
+      excel.Select("meds.book", "Meds", doc::RangeRef{{0, 0}, {0, 0}}).ok());
+  std::string stable = *marks.CreateMarkFromSelection("excel");
+  ASSERT_TRUE(
+      excel.Select("meds.book", "Meds", doc::RangeRef{{1, 0}, {1, 0}}).ok());
+  std::string drifting = *marks.CreateMarkFromSelection("excel");
+  // A mark whose document will never open.
+  ASSERT_TRUE(marks
+                  .AdoptMark(std::make_unique<mark::XmlMark>(
+                      "ghost1", "does-not-exist.xml", "/r"))
+                  .ok());
+
+  // Drift: edit the heparin cell after the mark was taken.
+  doc::Workbook* live = *excel.GetWorkbook("meds.book");
+  (*live->GetSheet("Meds"))->SetValue({1, 0}, std::string("warfarin"));
+
+  mark::ValidationReport report = mark::ValidateAllMarks(&marks);
+  EXPECT_EQ(report.audits.size(), 3u);
+  EXPECT_EQ(report.valid, 1u);
+  EXPECT_EQ(report.changed, 1u);
+  EXPECT_EQ(report.dangling, 1u);
+  EXPECT_FALSE(report.all_valid());
+
+  std::map<std::string, mark::MarkHealth> by_id;
+  for (const auto& a : report.audits) by_id[a.mark_id] = a.health;
+  EXPECT_EQ(by_id[stable], mark::MarkHealth::kValid);
+  EXPECT_EQ(by_id[drifting], mark::MarkHealth::kContentChanged);
+  EXPECT_EQ(by_id["ghost1"], mark::MarkHealth::kDangling);
+
+  // The report narrates the drift.
+  std::string text = report.ToString();
+  EXPECT_NE(text.find("warfarin"), std::string::npos);
+  EXPECT_NE(text.find("heparin"), std::string::npos);
+}
+
+TEST(MarkValidatorTest, EmptyManagerAllValid) {
+  mark::MarkManager marks;
+  mark::ValidationReport report = mark::ValidateAllMarks(&marks);
+  EXPECT_TRUE(report.all_valid());
+  EXPECT_TRUE(report.audits.empty());
+}
+
+}  // namespace
+}  // namespace slim

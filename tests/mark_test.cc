@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "mark/mark_manager.h"
+#include "mark/modules.h"
+#include "doc/xml/parser.h"
+
+namespace slim::mark {
+namespace {
+
+// A full mark-management fixture: every base app + module + manager.
+class MarkManagementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Spreadsheet.
+    auto wb = std::make_unique<doc::Workbook>("meds.book");
+    doc::Worksheet* ws = wb->AddSheet("Meds").ValueOrDie();
+    ws->SetValue({0, 0}, std::string("dopamine"));
+    ws->SetValue({0, 1}, std::string("5 mg"));
+    ws->SetValue({1, 0}, std::string("heparin"));
+    ASSERT_TRUE(excel_.RegisterWorkbook(std::move(wb)).ok());
+    // XML.
+    ASSERT_TRUE(xml_.RegisterDocument(
+                       "lab.xml",
+                       doc::xml::ParseXml("<r><result name=\"Na\">Na 140"
+                                          "</result></r>")
+                           .ValueOrDie())
+                    .ok());
+    // Text.
+    auto note = std::make_unique<doc::text::TextDocument>();
+    note->AddParagraph("Patient improving steadily.");
+    ASSERT_TRUE(text_.RegisterDocument("note.txt", std::move(note)).ok());
+    // Slides.
+    auto deck = std::make_unique<doc::slides::SlideDeck>("talk.deck");
+    auto* slide = deck->GetSlide(deck->AddSlide("Slide one")).ValueOrDie();
+    ASSERT_TRUE(slide
+                    ->AddShape({"s1", doc::slides::ShapeKind::kTextBox, 0, 0,
+                                10, 10, "shape text", {}})
+                    .ok());
+    ASSERT_TRUE(slides_.RegisterDeck(std::move(deck)).ok());
+    // PDF.
+    auto pdf = doc::pdf::PdfDocument::BuildFromParagraphs({"pdf body text"});
+    pdf->set_file_name("doc.pdf");
+    pdf_box_ = pdf->pages()[0].objects[0].box;
+    ASSERT_TRUE(pdf_.RegisterDocument(std::move(pdf)).ok());
+    // HTML.
+    ASSERT_TRUE(
+        html_.RegisterPage("http://h/p",
+                           "<body><p id=\"x\">web content</p></body>")
+            .ok());
+
+    ASSERT_TRUE(manager_.RegisterModule(&excel_module_).ok());
+    ASSERT_TRUE(manager_.RegisterModule(&xml_module_).ok());
+    ASSERT_TRUE(manager_.RegisterModule(&text_module_).ok());
+    ASSERT_TRUE(manager_.RegisterModule(&slide_module_).ok());
+    ASSERT_TRUE(manager_.RegisterModule(&pdf_module_).ok());
+    ASSERT_TRUE(manager_.RegisterModule(&html_module_).ok());
+  }
+
+  baseapp::SpreadsheetApp excel_;
+  baseapp::XmlApp xml_;
+  baseapp::TextApp text_;
+  baseapp::SlideApp slides_;
+  baseapp::PdfApp pdf_;
+  baseapp::HtmlApp html_;
+  ExcelMarkModule excel_module_{&excel_};
+  XmlMarkModule xml_module_{&xml_};
+  TextMarkModule text_module_{&text_};
+  SlideMarkModule slide_module_{&slides_};
+  PdfMarkModule pdf_module_{&pdf_};
+  HtmlMarkModule html_module_{&html_};
+  MarkManager manager_;
+  doc::pdf::Rect pdf_box_;
+};
+
+TEST_F(MarkManagementTest, SupportedTypes) {
+  EXPECT_EQ(manager_.SupportedTypes(),
+            (std::vector<std::string>{"excel", "html", "pdf", "slides",
+                                      "text", "xml"}));
+}
+
+TEST_F(MarkManagementTest, CreateExcelMarkFromSelection) {
+  ASSERT_TRUE(
+      excel_.Select("meds.book", "Meds", doc::RangeRef{{0, 0}, {0, 1}}).ok());
+  auto id = manager_.CreateMarkFromSelection("excel");
+  ASSERT_TRUE(id.ok()) << id.status();
+  const Mark* m = *manager_.GetMark(*id);
+  EXPECT_EQ(m->type(), "excel");
+  EXPECT_EQ(m->file_name(), "meds.book");
+  EXPECT_EQ(m->address(), "Meds!A1:B1");
+  EXPECT_EQ(m->excerpt(), "dopamine\t5 mg");
+  const auto* em = dynamic_cast<const ExcelMark*>(m);
+  ASSERT_NE(em, nullptr);
+  EXPECT_EQ(em->sheet_name(), "Meds");
+  EXPECT_EQ(em->range(), (doc::RangeRef{{0, 0}, {0, 1}}));
+}
+
+TEST_F(MarkManagementTest, CreateRequiresSelection) {
+  EXPECT_TRUE(manager_.CreateMarkFromSelection("excel")
+                  .status()
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(manager_.CreateMarkFromSelection("nope").status().IsNotFound());
+}
+
+TEST_F(MarkManagementTest, ResolveDrivesBaseApplication) {
+  ASSERT_TRUE(
+      excel_.Select("meds.book", "Meds", doc::RangeRef{{1, 0}, {1, 0}}).ok());
+  std::string id = *manager_.CreateMarkFromSelection("excel");
+  excel_.ClearNavigation();
+  ASSERT_TRUE(manager_.ResolveMark(id).ok());
+  ASSERT_TRUE(excel_.last_navigation().has_value());
+  EXPECT_EQ(excel_.last_navigation()->address, "Meds!A2");
+  EXPECT_EQ(excel_.last_navigation()->highlighted_content, "heparin");
+}
+
+TEST_F(MarkManagementTest, EveryTypeCreatesAndResolves) {
+  ASSERT_TRUE(
+      excel_.Select("meds.book", "Meds", doc::RangeRef{{0, 0}, {0, 0}}).ok());
+  ASSERT_TRUE(xml_.SelectPath("lab.xml", "/r/result").ok());
+  ASSERT_TRUE(text_.Select("note.txt", {0, 0, 7}).ok());
+  ASSERT_TRUE(slides_.Select("talk.deck", 0, "s1").ok());
+  ASSERT_TRUE(pdf_.SelectRegion("doc.pdf", 0, pdf_box_).ok());
+  doc::xml::Element* p = doc::html::FindById(*html_.GetPage("http://h/p"), "x");
+  ASSERT_TRUE(html_.SelectElement("http://h/p", p).ok());
+
+  for (const char* type : {"excel", "xml", "text", "slides", "pdf", "html"}) {
+    auto id = manager_.CreateMarkFromSelection(type);
+    ASSERT_TRUE(id.ok()) << type << ": " << id.status();
+    EXPECT_TRUE(manager_.ResolveMark(*id).ok()) << type;
+    auto content = manager_.ExtractContent(*id);
+    ASSERT_TRUE(content.ok()) << type;
+    EXPECT_FALSE(content->empty()) << type;
+  }
+  EXPECT_EQ(manager_.size(), 6u);
+}
+
+TEST_F(MarkManagementTest, ExtractContentSeesLiveData) {
+  ASSERT_TRUE(
+      excel_.Select("meds.book", "Meds", doc::RangeRef{{0, 0}, {0, 0}}).ok());
+  std::string id = *manager_.CreateMarkFromSelection("excel");
+  EXPECT_EQ(*manager_.ExtractContent(id), "dopamine");
+  // The excerpt is a snapshot; extraction reads through to the base layer.
+  doc::Workbook* wb = *excel_.GetWorkbook("meds.book");
+  (*wb->GetSheet("Meds"))->SetValue({0, 0}, std::string("dobutamine"));
+  EXPECT_EQ(*manager_.ExtractContent(id), "dobutamine");
+  EXPECT_EQ((*manager_.GetMark(id))->excerpt(), "dopamine");
+}
+
+TEST_F(MarkManagementTest, InPlaceResolverDoesNotNavigate) {
+  InPlaceModule inplace(&excel_module_);
+  ASSERT_TRUE(manager_.RegisterModule(&inplace).ok());
+  ASSERT_TRUE(
+      excel_.Select("meds.book", "Meds", doc::RangeRef{{0, 0}, {0, 0}}).ok());
+  std::string id = *manager_.CreateMarkFromSelection("excel");
+  excel_.ClearNavigation();
+  ASSERT_TRUE(manager_.ResolveMark(id, "inplace").ok());
+  EXPECT_FALSE(excel_.last_navigation().has_value());
+  EXPECT_EQ(inplace.last_displayed(), "dopamine");
+  // Unknown resolver name.
+  EXPECT_TRUE(manager_.ResolveMark(id, "hologram").IsNotFound());
+  // In-place modules refuse creation.
+  EXPECT_TRUE(inplace.CreateFromSelection("x").status().IsUnsupported());
+}
+
+TEST_F(MarkManagementTest, RemoveMark) {
+  ASSERT_TRUE(
+      excel_.Select("meds.book", "Meds", doc::RangeRef{{0, 0}, {0, 0}}).ok());
+  std::string id = *manager_.CreateMarkFromSelection("excel");
+  ASSERT_TRUE(manager_.RemoveMark(id).ok());
+  EXPECT_TRUE(manager_.GetMark(id).status().IsNotFound());
+  EXPECT_TRUE(manager_.RemoveMark(id).IsNotFound());
+  EXPECT_TRUE(manager_.ResolveMark(id).IsNotFound());
+}
+
+TEST_F(MarkManagementTest, PersistenceRoundTrip) {
+  ASSERT_TRUE(
+      excel_.Select("meds.book", "Meds", doc::RangeRef{{0, 0}, {0, 1}}).ok());
+  std::string excel_id = *manager_.CreateMarkFromSelection("excel");
+  ASSERT_TRUE(xml_.SelectPath("lab.xml", "/r/result").ok());
+  std::string xml_id = *manager_.CreateMarkFromSelection("xml");
+  ASSERT_TRUE(text_.Select("note.txt", {0, 8, 17}).ok());
+  std::string text_id = *manager_.CreateMarkFromSelection("text");
+  ASSERT_TRUE(slides_.Select("talk.deck", 0, "s1").ok());
+  std::string slide_id = *manager_.CreateMarkFromSelection("slides");
+  ASSERT_TRUE(pdf_.SelectRegion("doc.pdf", 0, pdf_box_).ok());
+  std::string pdf_id = *manager_.CreateMarkFromSelection("pdf");
+  doc::xml::Element* p = doc::html::FindById(*html_.GetPage("http://h/p"), "x");
+  ASSERT_TRUE(html_.SelectElement("http://h/p", p).ok());
+  std::string html_id = *manager_.CreateMarkFromSelection("html");
+
+  std::string xml_text = manager_.ToXml();
+
+  // Reload into a second manager wired to the same modules.
+  MarkManager reloaded;
+  ASSERT_TRUE(reloaded.RegisterModule(&excel_module_).ok());
+  ASSERT_TRUE(reloaded.RegisterModule(&xml_module_).ok());
+  ASSERT_TRUE(reloaded.RegisterModule(&text_module_).ok());
+  ASSERT_TRUE(reloaded.RegisterModule(&slide_module_).ok());
+  ASSERT_TRUE(reloaded.RegisterModule(&pdf_module_).ok());
+  ASSERT_TRUE(reloaded.RegisterModule(&html_module_).ok());
+  ASSERT_TRUE(reloaded.FromXml(xml_text).ok());
+  EXPECT_EQ(reloaded.size(), 6u);
+
+  for (const std::string& id :
+       {excel_id, xml_id, text_id, slide_id, pdf_id, html_id}) {
+    const Mark* original = *manager_.GetMark(id);
+    auto loaded = reloaded.GetMark(id);
+    ASSERT_TRUE(loaded.ok()) << id;
+    EXPECT_EQ((*loaded)->type(), original->type());
+    EXPECT_EQ((*loaded)->file_name(), original->file_name());
+    EXPECT_EQ((*loaded)->address(), original->address());
+    EXPECT_EQ((*loaded)->excerpt(), original->excerpt());
+    // Reloaded marks still resolve against the live base layer.
+    EXPECT_TRUE(reloaded.ResolveMark(id).ok()) << id;
+  }
+
+  // Ids allocated after a reload don't collide with loaded ones.
+  ASSERT_TRUE(
+      excel_.Select("meds.book", "Meds", doc::RangeRef{{1, 0}, {1, 0}}).ok());
+  std::string fresh = *reloaded.CreateMarkFromSelection("excel");
+  EXPECT_TRUE(reloaded.GetMark(fresh).ok());
+  EXPECT_EQ(reloaded.size(), 7u);
+}
+
+TEST_F(MarkManagementTest, FromXmlRejectsGarbage) {
+  MarkManager m;
+  ASSERT_TRUE(m.RegisterModule(&excel_module_).ok());
+  EXPECT_FALSE(m.FromXml("<wrong/>").ok());
+  EXPECT_FALSE(m.FromXml("<marks><mark/></marks>").ok());
+  EXPECT_FALSE(
+      m.FromXml("<marks><mark id=\"m1\" type=\"excel\"></mark></marks>").ok());
+  EXPECT_FALSE(
+      m.FromXml(
+           "<marks><mark id=\"m1\" type=\"unregistered\"></mark></marks>")
+          .ok());
+}
+
+TEST_F(MarkManagementTest, DanglingMarkResolutionFailsCleanly) {
+  // A mark whose document has been closed/deleted resolves with an error
+  // rather than crashing — the redundancy-and-staleness reality of §3.
+  ASSERT_TRUE(
+      excel_.Select("meds.book", "Meds", doc::RangeRef{{0, 0}, {0, 0}}).ok());
+  std::string id = *manager_.CreateMarkFromSelection("excel");
+  ASSERT_TRUE(excel_.CloseDocument("meds.book").ok());
+  Status st = manager_.ResolveMark(id);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIoError()) << st;  // tries to reopen from disk, fails
+}
+
+TEST_F(MarkManagementTest, AdoptMarkValidations) {
+  auto m = std::make_unique<XmlMark>("custom7", "lab.xml", "/r/result");
+  ASSERT_TRUE(manager_.AdoptMark(std::move(m)).ok());
+  EXPECT_TRUE(manager_.ResolveMark("custom7").ok());
+  EXPECT_TRUE(manager_
+                  .AdoptMark(std::make_unique<XmlMark>("custom7", "lab.xml",
+                                                       "/r"))
+                  .IsAlreadyExists());
+  EXPECT_TRUE(manager_.AdoptMark(nullptr).IsInvalidArgument());
+}
+
+TEST(MarkDescribeTest, Format) {
+  ExcelMark m("m1", "f.book", "Sheet", doc::RangeRef{{0, 0}, {1, 1}});
+  EXPECT_EQ(m.Describe(), "excel:f.book!Sheet!A1:B2");
+}
+
+}  // namespace
+}  // namespace slim::mark

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "slim/query.h"
+#include "slimpad/slimpad_dmi.h"
+
+namespace slim::store {
+namespace {
+
+TEST(QueryParseTest, TermsAndClauses) {
+  auto q = Query::Parse(
+      "?s slim:type <schema:slimpad/Scrap> . ?s scrapName \"Na 140\"");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->clauses().size(), 2u);
+  EXPECT_EQ(q->clauses()[0].subject, QueryTerm::Var("s"));
+  EXPECT_EQ(q->clauses()[0].property, QueryTerm::Res("slim:type"));
+  EXPECT_EQ(q->clauses()[0].object,
+            QueryTerm::Res("schema:slimpad/Scrap"));
+  EXPECT_EQ(q->clauses()[1].object, QueryTerm::Lit("Na 140"));
+  EXPECT_EQ(q->Variables(), (std::vector<std::string>{"s"}));
+}
+
+TEST(QueryParseTest, EscapedLiteralAndRoundTrip) {
+  auto q = Query::Parse("?x note \"he said \\\"hi\\\"\"");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->clauses()[0].object.text, "he said \"hi\"");
+  // ToString -> Parse -> ToString is a fixpoint.
+  auto q2 = Query::Parse(q->ToString());
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->ToString(), q->ToString());
+}
+
+TEST(QueryParseTest, Rejections) {
+  for (const char* bad :
+       {"", "?s", "?s p", "?s p \"unterminated", "? p o", "?s <unclosed o",
+        "?s p o x p2 o2", ". . ."}) {
+    EXPECT_FALSE(Query::Parse(bad).ok()) << bad;
+  }
+}
+
+class QueryExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // A small pad: two bundles, three scraps, one handle.
+    InstanceGraph graph(&store_);
+    b1_ = *graph.Create("schema:slimpad/Bundle");
+    (void)graph.SetValue(b1_, "bundleName", "John Smith");
+    b2_ = *graph.Create("schema:slimpad/Bundle");
+    (void)graph.SetValue(b2_, "bundleName", "Electrolyte");
+    s1_ = *graph.Create("schema:slimpad/Scrap");
+    (void)graph.SetValue(s1_, "scrapName", "dopamine");
+    s2_ = *graph.Create("schema:slimpad/Scrap");
+    (void)graph.SetValue(s2_, "scrapName", "Na 140");
+    s3_ = *graph.Create("schema:slimpad/Scrap");
+    (void)graph.SetValue(s3_, "scrapName", "K 4.2");
+    (void)graph.Connect(b1_, "bundleContent", s1_);
+    (void)graph.Connect(b2_, "bundleContent", s2_);
+    (void)graph.Connect(b2_, "bundleContent", s3_);
+    (void)graph.Connect(b1_, "nestedBundle", b2_);
+    h1_ = *graph.Create("schema:slimpad/MarkHandle");
+    (void)graph.SetValue(h1_, "markId", "mark7");
+    (void)graph.Connect(s2_, "scrapMark", h1_);
+  }
+
+  trim::TripleStore store_;
+  std::string b1_, b2_, s1_, s2_, s3_, h1_;
+};
+
+TEST_F(QueryExecTest, SingleClauseByType) {
+  auto rows = ExecuteText(store_, "?s slim:type <schema:slimpad/Scrap>");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST_F(QueryExecTest, LiteralFilter) {
+  auto rows = ExecuteText(store_, "?s scrapName \"Na 140\"");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].at("s").text, s2_);
+}
+
+TEST_F(QueryExecTest, JoinAcrossClauses) {
+  // Scraps in the bundle named "Electrolyte", with their names.
+  auto rows = ExecuteText(store_,
+                          "?b bundleName \"Electrolyte\" . "
+                          "?b bundleContent ?s . "
+                          "?s scrapName ?name");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 2u);
+  std::set<std::string> names;
+  for (const Binding& row : *rows) names.insert(row.at("name").text);
+  EXPECT_EQ(names, (std::set<std::string>{"Na 140", "K 4.2"}));
+}
+
+TEST_F(QueryExecTest, ThreeHopNavigation) {
+  // From the top bundle through nesting to a marked scrap's mark id —
+  // the "which marks does John Smith's worksheet reference?" question.
+  auto rows = ExecuteText(store_,
+                          "?top bundleName \"John Smith\" . "
+                          "?top nestedBundle ?nested . "
+                          "?nested bundleContent ?s . "
+                          "?s scrapMark ?h . "
+                          "?h markId ?m");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].at("m").text, "mark7");
+  EXPECT_EQ((*rows)[0].at("s").text, s2_);
+}
+
+TEST_F(QueryExecTest, PropertyVariable) {
+  // What does s2 say about itself? Property position is a variable.
+  auto rows = ExecuteText(store_, "<" + s2_ + "> ?p ?o");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);  // type, scrapName, scrapMark
+}
+
+TEST_F(QueryExecTest, RepeatedVariableMustAgree) {
+  InstanceGraph graph(&store_);
+  (void)graph.Connect(s1_, "scrapLink", s1_);  // self link
+  (void)graph.Connect(s1_, "scrapLink", s2_);
+  auto rows = ExecuteText(store_, "?x scrapLink ?x");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].at("x").text, s1_);
+}
+
+TEST_F(QueryExecTest, NoSolutions) {
+  auto rows = ExecuteText(store_, "?s scrapName \"not present\"");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+  rows = ExecuteText(store_, "?s neverAProperty ?o");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(QueryExecTest, LiteralInSubjectPositionRejected) {
+  auto rows = ExecuteText(store_, "\"lit\" p ?o");
+  EXPECT_TRUE(rows.status().IsInvalidArgument());
+}
+
+TEST_F(QueryExecTest, ObjectsDistinguishLiteralFromResource) {
+  // bundleContent links are resources; a literal with the same text must
+  // not match.
+  auto rows = ExecuteText(store_, "?b bundleContent \"" + s1_ + "\"");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+  rows = ExecuteText(store_, "?b bundleContent <" + s1_ + ">");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST_F(QueryExecTest, ProgrammaticBuilder) {
+  Query q;
+  q.Where(QueryTerm::Var("s"), QueryTerm::Res("scrapName"),
+          QueryTerm::Var("n"));
+  auto rows = Execute(store_, q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST_F(QueryExecTest, QueryOverRealPad) {
+  // Query data written by the actual SLIMPad DMI, not hand-rolled triples.
+  trim::TripleStore store;
+  pad::SlimPadDmi dmi(&store);
+  const pad::Bundle* bundle = *dmi.Create_Bundle("Meds", {0, 0}, 10, 10);
+  const pad::Scrap* scrap = *dmi.Create_Scrap("heparin", {1, 1});
+  (void)dmi.AddScrapToBundle(bundle->id(), scrap->id());
+
+  auto rows = ExecuteText(store,
+                          "?b bundleName \"Meds\" . ?b bundleContent ?s . "
+                          "?s scrapName ?n");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].at("n").text, "heparin");
+  EXPECT_EQ((*rows)[0].at("s").text, scrap->id());
+}
+
+}  // namespace
+}  // namespace slim::store

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "baseapp/xml_app.h"
+#include "doc/xml/parser.h"
+#include "doc/xml/path.h"
+#include "mark/mark_manager.h"
+#include "mark/modules.h"
+
+namespace slim::doc::xml {
+
+// Shared fixture document (also used by the baseapp tests below).
+inline std::unique_ptr<Document> Lab() {
+  return ParseXml(
+             "<labReport mrn=\"MRN1\">"
+             "<panel name=\"electrolytes\">"
+             "<result name=\"Na\" value=\"140\">Na 140</result>"
+             "<result name=\"K\" value=\"4.2\">K 4.2</result>"
+             "</panel>"
+             "<panel name=\"cbc\">"
+             "<result name=\"WBC\" value=\"9\">WBC 9</result>"
+             "</panel>"
+             "</labReport>")
+      .ValueOrDie();
+}
+
+namespace {
+
+TEST(XmlPathPredicateTest, ParseAttributePredicate) {
+  auto p = XmlPath::Parse("/labReport/panel[@name='electrolytes']/result[2]");
+  ASSERT_TRUE(p.ok()) << p.status();
+  ASSERT_EQ(p->steps().size(), 3u);
+  EXPECT_TRUE(p->steps()[1].has_attribute_predicate());
+  EXPECT_EQ(p->steps()[1].attr_name, "name");
+  EXPECT_EQ(p->steps()[1].attr_value, "electrolytes");
+  EXPECT_EQ(p->steps()[2].ordinal, 2);
+  // Round trip.
+  EXPECT_EQ(p->ToString(),
+            "/labReport/panel[@name='electrolytes']/result[2]");
+}
+
+TEST(XmlPathPredicateTest, DoubleQuotesAccepted) {
+  auto p = XmlPath::Parse("/r/x[@a=\"v\"]");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->steps()[1].attr_value, "v");
+}
+
+TEST(XmlPathPredicateTest, ParseRejections) {
+  for (const char* bad :
+       {"/r/x[@]", "/r/x[@a]", "/r/x[@a=v]", "/r/x[@a='v]", "/r/x[@='v']",
+        "/r/x[@a='v'", "/r/x[0]"}) {
+    EXPECT_FALSE(XmlPath::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(XmlPathPredicateTest, ResolveByAttribute) {
+  auto doc = Lab();
+  auto elem = XmlPath::Parse(
+                  "/labReport/panel[@name='electrolytes']/result[@name='K']")
+                  ->Resolve(doc.get());
+  ASSERT_TRUE(elem.ok()) << elem.status();
+  EXPECT_EQ((*elem)->InnerText(), "K 4.2");
+}
+
+TEST(XmlPathPredicateTest, ResolveMissingAttributeValue) {
+  auto doc = Lab();
+  EXPECT_TRUE(XmlPath::Parse("/labReport/panel[@name='micro']")
+                  ->Resolve(doc.get())
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(XmlPathPredicateTest, AmbiguousAttributeIsError) {
+  auto doc = ParseXml("<r><x a=\"1\"/><x a=\"1\"/></r>").ValueOrDie();
+  auto elem = XmlPath::Parse("/r/x[@a='1']")->Resolve(doc.get());
+  EXPECT_TRUE(elem.status().IsFailedPrecondition());
+  // FindAll is happy to return both.
+  EXPECT_EQ(XmlPath::Parse("/r/x[@a='1']")->FindAll(doc.get()).size(), 2u);
+}
+
+TEST(XmlPathPredicateTest, RootAttributePredicateChecked) {
+  auto doc = Lab();
+  EXPECT_TRUE(XmlPath::Parse("/labReport[@mrn='MRN1']/panel")
+                  ->Resolve(doc.get())
+                  .ok());
+  EXPECT_TRUE(XmlPath::Parse("/labReport[@mrn='OTHER']/panel")
+                  ->Resolve(doc.get())
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(RobustPathOfTest, PrefersUniqueAttributes) {
+  auto doc = Lab();
+  Element* k = XmlPath::Parse(
+                   "/labReport/panel[1]/result[2]")
+                   ->Resolve(doc.get())
+                   .ValueOrDie();
+  XmlPath robust = RobustPathOf(k);
+  EXPECT_EQ(robust.ToString(),
+            "/labReport[1]/panel[@name='electrolytes']/result[@name='K']");
+  // It resolves back to the same element.
+  EXPECT_EQ(*robust.Resolve(doc.get()), k);
+}
+
+TEST(RobustPathOfTest, FallsBackToOrdinalWhenNotUnique) {
+  auto doc = ParseXml(
+                 "<r><x name=\"dup\"/><x name=\"dup\"/><x name=\"solo\"/></r>")
+                 .ValueOrDie();
+  std::vector<Element*> xs = doc->root()->ChildElements("x");
+  EXPECT_EQ(RobustPathOf(xs[1]).ToString(), "/r[1]/x[2]");
+  EXPECT_EQ(RobustPathOf(xs[2]).ToString(), "/r[1]/x[@name='solo']");
+}
+
+TEST(RobustPathOfTest, CustomAttributePreference) {
+  auto doc = ParseXml("<r><x code=\"c7\"/><x code=\"c9\"/></r>").ValueOrDie();
+  std::vector<Element*> xs = doc->root()->ChildElements("x");
+  // Default preference (id, name) finds nothing -> ordinal.
+  EXPECT_EQ(RobustPathOf(xs[1]).ToString(), "/r[1]/x[2]");
+  // Asking for "code" produces the robust form.
+  EXPECT_EQ(RobustPathOf(xs[1], {"code"}).ToString(), "/r[1]/x[@code='c9']");
+}
+
+TEST(RobustPathOfTest, EveryElementRoundTrips) {
+  auto doc = Lab();
+  doc->root()->Visit([&](Element* e) {
+    auto back = RobustPathOf(e).Resolve(doc.get());
+    ASSERT_TRUE(back.ok()) << RobustPathOf(e).ToString() << ": "
+                           << back.status();
+    EXPECT_EQ(*back, e);
+  });
+}
+
+// The headline property: robust marks survive base-document edits that
+// break ordinal marks.
+TEST(RobustPathOfTest, SurvivesSiblingInsertion) {
+  auto doc = Lab();
+  Element* k = XmlPath::Parse("/labReport/panel[1]/result[2]")
+                   ->Resolve(doc.get())
+                   .ValueOrDie();
+  std::string ordinal = PathOf(k).ToString();
+  std::string robust = RobustPathOf(k).ToString();
+
+  // The lab regenerates the report with a new result prepended to the
+  // panel (a fresh calcium draw).
+  auto edited = slim::doc::xml::ParseXml(
+                    "<labReport mrn=\"MRN1\">"
+                    "<panel name=\"electrolytes\">"
+                    "<result name=\"Ca\" value=\"8.9\">Ca 8.9</result>"
+                    "<result name=\"Na\" value=\"140\">Na 140</result>"
+                    "<result name=\"K\" value=\"4.2\">K 4.2</result>"
+                    "</panel>"
+                    "<panel name=\"cbc\">"
+                    "<result name=\"WBC\" value=\"9\">WBC 9</result>"
+                    "</panel>"
+                    "</labReport>")
+                    .ValueOrDie();
+
+  // The ordinal path now addresses the WRONG element (silent misdirection).
+  auto ordinal_hit = XmlPath::Parse(ordinal)->Resolve(edited.get());
+  ASSERT_TRUE(ordinal_hit.ok());
+  EXPECT_EQ((*ordinal_hit)->InnerText(), "Na 140");  // was K 4.2!
+
+  // The robust path still finds potassium.
+  auto robust_hit = XmlPath::Parse(robust)->Resolve(edited.get());
+  ASSERT_TRUE(robust_hit.ok()) << robust_hit.status();
+  EXPECT_EQ((*robust_hit)->InnerText(), "K 4.2");
+}
+
+}  // namespace
+}  // namespace slim::doc::xml
+
+namespace slim::baseapp {
+namespace {
+
+TEST(XmlAppRobustTest, PolicySwitchesAddressForm) {
+  XmlApp app;
+  ASSERT_TRUE(app.RegisterDocument("lab.xml", doc::xml::Lab()).ok());
+  doc::xml::Document* doc = *app.GetDocument("lab.xml");
+  doc::xml::Element* na =
+      doc::xml::XmlPath::Parse("/labReport/panel[1]/result[1]")
+          ->Resolve(doc)
+          .ValueOrDie();
+
+  ASSERT_TRUE(app.SelectElement("lab.xml", na).ok());
+  EXPECT_EQ(app.CurrentSelection()->address,
+            "/labReport[1]/panel[1]/result[1]");
+
+  app.set_robust_addressing(true);
+  ASSERT_TRUE(app.SelectElement("lab.xml", na).ok());
+  EXPECT_EQ(app.CurrentSelection()->address,
+            "/labReport[1]/panel[@name='electrolytes']/result[@name='Na']");
+  // Both address forms navigate.
+  ASSERT_TRUE(app.NavigateTo("lab.xml", app.CurrentSelection()->address).ok());
+  EXPECT_EQ(app.last_navigation()->highlighted_content, "Na 140");
+}
+
+TEST(XmlAppRobustTest, RobustMarkSurvivesEditEndToEnd) {
+  // Full stack: a robust XML mark created through the Mark Manager keeps
+  // resolving after the lab report is regenerated with an extra result.
+  XmlApp app;
+  app.set_robust_addressing(true);
+  ASSERT_TRUE(app.RegisterDocument("lab.xml", doc::xml::Lab()).ok());
+
+  mark::MarkManager marks;
+  mark::XmlMarkModule module(&app);
+  ASSERT_TRUE(marks.RegisterModule(&module).ok());
+
+  doc::xml::Document* doc = *app.GetDocument("lab.xml");
+  doc::xml::Element* k =
+      doc::xml::XmlPath::Parse("/labReport/panel[1]/result[2]")
+          ->Resolve(doc)
+          .ValueOrDie();
+  ASSERT_TRUE(app.SelectElement("lab.xml", k).ok());
+  std::string mark_id = *marks.CreateMarkFromSelection("xml");
+
+  // Simulate the lab regenerating the report with a new leading result.
+  ASSERT_TRUE(app.CloseDocument("lab.xml").ok());
+  ASSERT_TRUE(
+      app.RegisterDocument(
+             "lab.xml",
+             doc::xml::ParseXml(
+                 "<labReport mrn=\"MRN1\">"
+                 "<panel name=\"electrolytes\">"
+                 "<result name=\"Ca\" value=\"8.9\">Ca 8.9</result>"
+                 "<result name=\"Na\" value=\"140\">Na 140</result>"
+                 "<result name=\"K\" value=\"4.3\">K 4.3</result>"
+                 "</panel></labReport>")
+                 .ValueOrDie())
+          .ok());
+
+  ASSERT_TRUE(marks.ResolveMark(mark_id).ok());
+  // Still potassium — the value updated, the identity held.
+  EXPECT_EQ(app.last_navigation()->highlighted_content, "K 4.3");
+}
+
+}  // namespace
+}  // namespace slim::baseapp

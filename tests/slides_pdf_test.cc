@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "doc/pdf/pdf_document.h"
+#include "doc/slides/slide_deck.h"
+
+namespace slim::doc {
+namespace {
+
+using slides::Shape;
+using slides::ShapeKind;
+using slides::Slide;
+using slides::SlideDeck;
+
+TEST(SlideDeckTest, AddSlidesAndShapes) {
+  SlideDeck deck("talk.deck");
+  int32_t s0 = deck.AddSlide("Intro");
+  EXPECT_EQ(s0, 0);
+  Slide* slide = *deck.GetSlide(s0);
+  ASSERT_TRUE(slide->AddShape({"title", ShapeKind::kTextBox, 10, 10, 400, 60,
+                               "Superimposed Information", {}})
+                  .ok());
+  ASSERT_TRUE(slide
+                  ->AddShape({"points", ShapeKind::kBulletList, 10, 90, 400,
+                              200, "", {"marks", "bundles", "scraps"}})
+                  .ok());
+  EXPECT_TRUE(slide->AddShape({"title", ShapeKind::kTextBox, 0, 0, 1, 1,
+                               "dup", {}})
+                  .IsAlreadyExists());
+  EXPECT_TRUE(slide->AddShape({"", ShapeKind::kTextBox, 0, 0, 1, 1, "x", {}})
+                  .IsInvalidArgument());
+  EXPECT_EQ(slide->shapes().size(), 2u);
+  EXPECT_EQ((*slide->FindShape("points"))->bullets.size(), 3u);
+  EXPECT_TRUE(slide->FindShape("missing").status().IsNotFound());
+}
+
+TEST(SlideDeckTest, AllTextAndFind) {
+  SlideDeck deck("d");
+  Slide* s = *deck.GetSlide(deck.AddSlide("Bundles in the wild"));
+  (void)s->AddShape(
+      {"b1", ShapeKind::kTextBox, 0, 0, 1, 1, "flowsheet example", {}});
+  deck.AddSlide("Architecture");
+  auto hits = deck.FindText("flowsheet");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].first, 0);
+  EXPECT_EQ(hits[0].second, "b1");
+  auto title_hits = deck.FindText("Architecture");
+  ASSERT_EQ(title_hits.size(), 1u);
+  EXPECT_EQ(title_hits[0].second, "");
+  EXPECT_TRUE(deck.FindText("nothing").empty());
+  EXPECT_NE(s->AllText().find("flowsheet example"), std::string::npos);
+}
+
+TEST(SlideDeckTest, GetSlideOutOfRange) {
+  SlideDeck deck("d");
+  EXPECT_TRUE(deck.GetSlide(0).status().IsOutOfRange());
+  EXPECT_TRUE(deck.GetSlide(-1).status().IsOutOfRange());
+}
+
+TEST(SlideDeckTest, RemoveShape) {
+  SlideDeck deck("d");
+  Slide* s = *deck.GetSlide(deck.AddSlide("x"));
+  (void)s->AddShape({"a", ShapeKind::kTextBox, 0, 0, 1, 1, "t", {}});
+  ASSERT_TRUE(s->RemoveShape("a").ok());
+  EXPECT_TRUE(s->RemoveShape("a").IsNotFound());
+}
+
+TEST(SlideDeckTest, SerializeDeserializeRoundTrip) {
+  SlideDeck deck("rounds.deck");
+  Slide* s = *deck.GetSlide(deck.AddSlide("Patient: John Smith"));
+  (void)s->AddShape({"meds", ShapeKind::kBulletList, 5.5, 10, 300, 200,
+                     "Medications with\nnewline",
+                     {"dopamine 5 mg", "heparin drip"}});
+  deck.AddSlide("Empty slide");
+  std::string text = deck.Serialize();
+  auto back = SlideDeck::Deserialize(text);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ((*back)->slide_count(), 2u);
+  const Slide* s2 = *(*back)->GetSlide(0);
+  EXPECT_EQ(s2->title(), "Patient: John Smith");
+  const Shape* shape = *s2->FindShape("meds");
+  EXPECT_EQ(shape->kind, ShapeKind::kBulletList);
+  EXPECT_DOUBLE_EQ(shape->x, 5.5);
+  EXPECT_EQ(shape->text, "Medications with\nnewline");
+  EXPECT_EQ(shape->bullets,
+            (std::vector<std::string>{"dopamine 5 mg", "heparin drip"}));
+  EXPECT_EQ((*back)->Serialize(), text);
+}
+
+TEST(SlideDeckTest, DeserializeRejections) {
+  EXPECT_FALSE(SlideDeck::Deserialize("nope").ok());
+  EXPECT_FALSE(
+      SlideDeck::Deserialize("SLIMDECK 1\nSHAPE a text 0 0 1 1 x").ok());
+  EXPECT_FALSE(SlideDeck::Deserialize("SLIMDECK 1\nBULLET stray").ok());
+  EXPECT_FALSE(SlideDeck::Deserialize("SLIMDECK 1\nGARBAGE").ok());
+}
+
+// ---------------------------------------------------------------------------
+// PDF
+// ---------------------------------------------------------------------------
+
+using pdf::LayoutOptions;
+using pdf::PdfDocument;
+using pdf::Rect;
+
+TEST(RectTest, ToStringParseRoundTrip) {
+  Rect r{10.5, 20, 100, 14};
+  auto back = Rect::Parse(r.ToString());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, r);
+  EXPECT_FALSE(Rect::Parse("1,2,3").ok());
+  EXPECT_FALSE(Rect::Parse("1,2,3,x").ok());
+  EXPECT_FALSE(Rect::Parse("1,2,-3,4").ok());
+}
+
+TEST(RectTest, Intersects) {
+  Rect a{0, 0, 10, 10};
+  EXPECT_TRUE(a.Intersects({5, 5, 10, 10}));
+  EXPECT_FALSE(a.Intersects({10, 0, 5, 5}));  // touching edges don't overlap
+  EXPECT_FALSE(a.Intersects({20, 20, 5, 5}));
+  EXPECT_TRUE(a.Intersects({-5, -5, 100, 100}));  // containment
+}
+
+TEST(PdfLayoutTest, WrapsAndPaginates) {
+  LayoutOptions opt;
+  opt.page_height = 200;  // small pages force pagination
+  opt.margin = 20;
+  std::vector<std::string> paras;
+  for (int i = 0; i < 10; ++i) {
+    paras.push_back("paragraph " + std::to_string(i) +
+                    " with enough words to wrap across several lines of the "
+                    "simulated page layout engine");
+  }
+  auto doc = PdfDocument::BuildFromParagraphs(paras, opt);
+  EXPECT_GT(doc->page_count(), 1u);
+  // Every object lies within the page margins.
+  for (const auto& page : doc->pages()) {
+    for (const auto& obj : page.objects) {
+      EXPECT_GE(obj.box.x, opt.margin - 1e-9);
+      EXPECT_GE(obj.box.y, opt.margin - 1e-9);
+      EXPECT_LE(obj.box.y + obj.box.height, opt.page_height - opt.margin + 1e-9);
+    }
+  }
+}
+
+TEST(PdfLayoutTest, HardBreaksLongWords) {
+  LayoutOptions opt;
+  std::string monster(500, 'x');
+  auto doc = PdfDocument::BuildFromParagraphs({monster}, opt);
+  size_t total = 0;
+  for (const auto& page : doc->pages()) {
+    for (const auto& obj : page.objects) total += obj.text.size();
+  }
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(PdfDocumentTest, RegionQueries) {
+  PdfDocument doc("t.pdf");
+  int32_t p = doc.AddPage();
+  ASSERT_TRUE(doc.AddTextObject(p, {{72, 72, 200, 14}, "first line", 10}).ok());
+  ASSERT_TRUE(
+      doc.AddTextObject(p, {{72, 100, 200, 14}, "second line", 10}).ok());
+  auto objs = doc.ObjectsInRegion(p, Rect{0, 0, 612, 90});
+  ASSERT_TRUE(objs.ok());
+  ASSERT_EQ(objs->size(), 1u);
+  EXPECT_EQ((*objs)[0]->text, "first line");
+  EXPECT_EQ(*doc.ExtractRegionText(p, Rect{0, 0, 612, 792}),
+            "first line\nsecond line");
+  EXPECT_TRUE(doc.ObjectsInRegion(7, Rect{}).status().IsOutOfRange());
+}
+
+TEST(PdfDocumentTest, FindTextAndObjectBox) {
+  auto doc = PdfDocument::BuildFromParagraphs(
+      {"alpha beta gamma", "delta epsilon zeta"});
+  auto hits = doc->FindText("epsilon");
+  ASSERT_EQ(hits.size(), 1u);
+  auto box = doc->ObjectBox(hits[0].first, hits[0].second);
+  ASSERT_TRUE(box.ok());
+  EXPECT_GT(box->width, 0);
+  EXPECT_TRUE(doc->ObjectBox(0, 999).status().IsOutOfRange());
+  EXPECT_TRUE(doc->FindText("nothinghere").empty());
+}
+
+TEST(PdfDocumentTest, SerializeDeserializeRoundTrip) {
+  auto doc = PdfDocument::BuildFromParagraphs(
+      {"guideline text body", "second paragraph with more words"});
+  doc->set_file_name("guide.pdf");
+  std::string text = doc->Serialize();
+  auto back = PdfDocument::Deserialize(text);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ((*back)->page_count(), doc->page_count());
+  EXPECT_EQ((*back)->Serialize(), text);
+  // Region extraction behaves identically after the trip.
+  Rect all{0, 0, 612, 792};
+  EXPECT_EQ(*(*back)->ExtractRegionText(0, all), *doc->ExtractRegionText(0, all));
+}
+
+TEST(PdfDocumentTest, DeserializeRejections) {
+  EXPECT_FALSE(PdfDocument::Deserialize("nope").ok());
+  EXPECT_FALSE(
+      PdfDocument::Deserialize("SLIMPDF 1\nTEXT 0,0,1,1 10 stray").ok());
+  EXPECT_FALSE(PdfDocument::Deserialize("SLIMPDF 1\nPAGE x y").ok());
+}
+
+}  // namespace
+}  // namespace slim::doc

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include "slim/conformance.h"
+#include "slimpad/slimpad_dmi.h"
+#include "trim/persistence.h"
+#include "util/rng.h"
+
+namespace slim::pad {
+namespace {
+
+TEST(CoordinateTest, RoundTrip) {
+  Coordinate c{12.5, -3};
+  auto back = Coordinate::Parse(c.ToString());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, c);
+  EXPECT_FALSE(Coordinate::Parse("1").ok());
+  EXPECT_FALSE(Coordinate::Parse("1,x").ok());
+}
+
+class SlimPadDmiTest : public ::testing::Test {
+ protected:
+  trim::TripleStore store_;
+  SlimPadDmi dmi_{&store_};
+};
+
+TEST_F(SlimPadDmiTest, CreateEntitiesMirrorsTriples) {
+  const SlimPad* pad = *dmi_.Create_SlimPad("Rounds");
+  EXPECT_EQ(pad->pad_name(), "Rounds");
+  // The triple layer holds the same fact.
+  EXPECT_EQ(store_.GetOne(pad->id(), "padName")->text, "Rounds");
+
+  const Bundle* bundle = *dmi_.Create_Bundle("John", {10, 20}, 300, 200);
+  EXPECT_EQ(store_.GetOne(bundle->id(), "bundleName")->text, "John");
+  EXPECT_EQ(store_.GetOne(bundle->id(), "bundlePos")->text, "10,20");
+  EXPECT_EQ(store_.GetOne(bundle->id(), "bundleWidth")->text, "300");
+
+  const Scrap* scrap = *dmi_.Create_Scrap("Na 140", {1, 2});
+  EXPECT_EQ(store_.GetOne(scrap->id(), "scrapName")->text, "Na 140");
+
+  const MarkHandle* handle = *dmi_.Create_MarkHandle("mark7");
+  EXPECT_EQ(handle->mark_id(), "mark7");
+  EXPECT_EQ(store_.GetOne(handle->id(), "markId")->text, "mark7");
+  EXPECT_TRUE(dmi_.Create_MarkHandle("").status().IsInvalidArgument());
+}
+
+TEST_F(SlimPadDmiTest, UpdatesKeepBothRepresentationsInSync) {
+  const Bundle* b = *dmi_.Create_Bundle("Old", {0, 0}, 10, 10);
+  ASSERT_TRUE(dmi_.Update_bundleName(b->id(), "New").ok());
+  ASSERT_TRUE(dmi_.Update_bundlePos(b->id(), {5, 6}).ok());
+  ASSERT_TRUE(dmi_.Update_bundleSize(b->id(), 42, 24).ok());
+  EXPECT_EQ(b->name(), "New");
+  EXPECT_EQ(b->pos(), (Coordinate{5, 6}));
+  EXPECT_EQ(b->width(), 42);
+  EXPECT_EQ(store_.GetOne(b->id(), "bundleName")->text, "New");
+  EXPECT_EQ(store_.GetOne(b->id(), "bundlePos")->text, "5,6");
+  EXPECT_EQ(store_.GetOne(b->id(), "bundleWidth")->text, "42");
+  EXPECT_TRUE(dmi_.Update_bundleName("inst:404", "x").IsNotFound());
+}
+
+TEST_F(SlimPadDmiTest, StructureEditsAndInvariants) {
+  const SlimPad* pad = *dmi_.Create_SlimPad("P");
+  const Bundle* root = *dmi_.Create_Bundle("root", {0, 0}, 10, 10);
+  const Bundle* child = *dmi_.Create_Bundle("child", {0, 0}, 5, 5);
+  const Scrap* scrap = *dmi_.Create_Scrap("s", {1, 1});
+
+  ASSERT_TRUE(dmi_.Update_rootBundle(pad->id(), root->id()).ok());
+  EXPECT_EQ(pad->root_bundle(), root->id());
+  ASSERT_TRUE(dmi_.AddNestedBundle(root->id(), child->id()).ok());
+  EXPECT_EQ(child->parent(), root->id());
+  // No double parenting.
+  const Bundle* other = *dmi_.Create_Bundle("other", {0, 0}, 5, 5);
+  ASSERT_TRUE(dmi_.AddNestedBundle(root->id(), other->id()).ok());
+  EXPECT_TRUE(
+      dmi_.AddNestedBundle(other->id(), child->id()).IsFailedPrecondition());
+  // No cycles.
+  EXPECT_TRUE(
+      dmi_.AddNestedBundle(child->id(), root->id()).IsInvalidArgument());
+
+  ASSERT_TRUE(dmi_.AddScrapToBundle(child->id(), scrap->id()).ok());
+  // A scrap lives in one bundle only.
+  EXPECT_TRUE(dmi_.AddScrapToBundle(root->id(), scrap->id())
+                  .IsFailedPrecondition());
+  ASSERT_TRUE(dmi_.RemoveScrapFromBundle(child->id(), scrap->id()).ok());
+  ASSERT_TRUE(dmi_.AddScrapToBundle(root->id(), scrap->id()).ok());
+
+  ASSERT_TRUE(dmi_.RemoveNestedBundle(root->id(), child->id()).ok());
+  EXPECT_EQ(child->parent(), "");
+  EXPECT_TRUE(
+      dmi_.RemoveNestedBundle(root->id(), child->id()).IsFailedPrecondition());
+}
+
+TEST_F(SlimPadDmiTest, MarkHandlesAndExtensions) {
+  const Scrap* scrap = *dmi_.Create_Scrap("med", {0, 0});
+  const MarkHandle* handle = *dmi_.Create_MarkHandle("mark1");
+  ASSERT_TRUE(dmi_.SetScrapMark(scrap->id(), handle->id()).ok());
+  EXPECT_EQ(scrap->mark_handles(), (std::vector<std::string>{handle->id()}));
+
+  // §6 extensions.
+  ASSERT_TRUE(dmi_.AddScrapAnnotation(scrap->id(), "verify dose").ok());
+  ASSERT_TRUE(dmi_.AddScrapAnnotation(scrap->id(), "check renal fn").ok());
+  EXPECT_EQ(scrap->annotations().size(), 2u);
+  const Scrap* other = *dmi_.Create_Scrap("lab", {0, 0});
+  ASSERT_TRUE(dmi_.LinkScraps(scrap->id(), other->id()).ok());
+  EXPECT_EQ(scrap->linked_scraps(), (std::vector<std::string>{other->id()}));
+  ASSERT_TRUE(dmi_.UnlinkScraps(scrap->id(), other->id()).ok());
+  EXPECT_TRUE(scrap->linked_scraps().empty());
+}
+
+TEST_F(SlimPadDmiTest, DeleteBundleCascades) {
+  const SlimPad* pad = *dmi_.Create_SlimPad("P");
+  const Bundle* root = *dmi_.Create_Bundle("root", {0, 0}, 10, 10);
+  ASSERT_TRUE(dmi_.Update_rootBundle(pad->id(), root->id()).ok());
+  const Bundle* nested = *dmi_.Create_Bundle("nested", {0, 0}, 5, 5);
+  ASSERT_TRUE(dmi_.AddNestedBundle(root->id(), nested->id()).ok());
+  const Scrap* scrap = *dmi_.Create_Scrap("s", {0, 0});
+  ASSERT_TRUE(dmi_.AddScrapToBundle(nested->id(), scrap->id()).ok());
+  const MarkHandle* handle = *dmi_.Create_MarkHandle("m1");
+  ASSERT_TRUE(dmi_.SetScrapMark(scrap->id(), handle->id()).ok());
+
+  std::string root_id = root->id(), nested_id = nested->id(),
+              scrap_id = scrap->id(), handle_id = handle->id();
+  ASSERT_TRUE(dmi_.Delete_Bundle(root_id).ok());
+  EXPECT_TRUE(dmi_.GetBundle(root_id).status().IsNotFound());
+  EXPECT_TRUE(dmi_.GetBundle(nested_id).status().IsNotFound());
+  EXPECT_TRUE(dmi_.GetScrap(scrap_id).status().IsNotFound());
+  EXPECT_TRUE(dmi_.GetMarkHandle(handle_id).status().IsNotFound());
+  EXPECT_EQ(pad->root_bundle(), "");
+  // Triples for the cascade are gone too.
+  EXPECT_TRUE(store_.Select(trim::TriplePattern::BySubject(nested_id)).empty());
+  EXPECT_TRUE(store_.Select(trim::TriplePattern::BySubject(scrap_id)).empty());
+}
+
+TEST_F(SlimPadDmiTest, DeleteScrapDropsHandlesAndBackLinks) {
+  const Bundle* b = *dmi_.Create_Bundle("b", {0, 0}, 1, 1);
+  const Scrap* s1 = *dmi_.Create_Scrap("s1", {0, 0});
+  const Scrap* s2 = *dmi_.Create_Scrap("s2", {0, 0});
+  ASSERT_TRUE(dmi_.AddScrapToBundle(b->id(), s1->id()).ok());
+  ASSERT_TRUE(dmi_.AddScrapToBundle(b->id(), s2->id()).ok());
+  ASSERT_TRUE(dmi_.LinkScraps(s2->id(), s1->id()).ok());
+  std::string s1_id = s1->id();
+  ASSERT_TRUE(dmi_.Delete_Scrap(s1_id).ok());
+  EXPECT_EQ(b->scraps(), (std::vector<std::string>{s2->id()}));
+  EXPECT_TRUE(s2->linked_scraps().empty());
+}
+
+TEST_F(SlimPadDmiTest, PadDataConformsToBundleScrapSchema) {
+  const SlimPad* pad = *dmi_.Create_SlimPad("Rounds");
+  const Bundle* root = *dmi_.Create_Bundle("root", {0, 0}, 800, 600);
+  ASSERT_TRUE(dmi_.Update_rootBundle(pad->id(), root->id()).ok());
+  const Scrap* s = *dmi_.Create_Scrap("scrap", {1, 1});
+  ASSERT_TRUE(dmi_.AddScrapToBundle(root->id(), s->id()).ok());
+  const MarkHandle* h = *dmi_.Create_MarkHandle("mark1");
+  ASSERT_TRUE(dmi_.SetScrapMark(s->id(), h->id()).ok());
+
+  store::ConformanceReport report =
+      store::CheckConformance(store_, dmi_.schema(), dmi_.model());
+  EXPECT_TRUE(report.conforms()) << report.ToString();
+}
+
+TEST_F(SlimPadDmiTest, SaveLoadRebuildsIdenticalPad) {
+  std::string path = ::testing::TempDir() + "/pad_roundtrip.xml";
+  const SlimPad* pad = *dmi_.Create_SlimPad("Rounds");
+  const Bundle* root = *dmi_.Create_Bundle("John Smith", {20, 20}, 640, 160);
+  ASSERT_TRUE(dmi_.Update_rootBundle(pad->id(), root->id()).ok());
+  const Bundle* lytes = *dmi_.Create_Bundle("Electrolyte", {320, 10}, 280, 140);
+  ASSERT_TRUE(dmi_.AddNestedBundle(root->id(), lytes->id()).ok());
+  const Scrap* s = *dmi_.Create_Scrap("Na 141", {20, 40});
+  ASSERT_TRUE(dmi_.AddScrapToBundle(lytes->id(), s->id()).ok());
+  const MarkHandle* h = *dmi_.Create_MarkHandle("mark3");
+  ASSERT_TRUE(dmi_.SetScrapMark(s->id(), h->id()).ok());
+  ASSERT_TRUE(dmi_.AddScrapAnnotation(s->id(), "trending up").ok());
+  ASSERT_TRUE(dmi_.save(path).ok());
+
+  trim::TripleStore store2;
+  SlimPadDmi dmi2(&store2);
+  ASSERT_TRUE(dmi2.load(path).ok());
+  const SlimPad* pad2 = *dmi2.GetPad(pad->id());
+  EXPECT_EQ(pad2->pad_name(), "Rounds");
+  EXPECT_EQ(pad2->root_bundle(), root->id());
+  const Bundle* root2 = *dmi2.GetBundle(root->id());
+  EXPECT_EQ(root2->name(), "John Smith");
+  EXPECT_EQ(root2->pos(), (Coordinate{20, 20}));
+  EXPECT_EQ(root2->nested_bundles(), (std::vector<std::string>{lytes->id()}));
+  const Bundle* lytes2 = *dmi2.GetBundle(lytes->id());
+  EXPECT_EQ(lytes2->parent(), root->id());
+  EXPECT_EQ(lytes2->scraps(), (std::vector<std::string>{s->id()}));
+  const Scrap* s2 = *dmi2.GetScrap(s->id());
+  EXPECT_EQ(s2->name(), "Na 141");
+  EXPECT_EQ(s2->mark_handles(), (std::vector<std::string>{h->id()}));
+  EXPECT_EQ(s2->annotations(), (std::vector<std::string>{"trending up"}));
+  const MarkHandle* h2 = *dmi2.GetMarkHandle(h->id());
+  EXPECT_EQ(h2->mark_id(), "mark3");
+  // Ids minted after a load don't collide.
+  const Scrap* fresh = *dmi2.Create_Scrap("new", {0, 0});
+  EXPECT_TRUE(dmi2.GetScrap(fresh->id()).ok());
+  EXPECT_NE(fresh->id(), s->id());
+  std::remove(path.c_str());
+}
+
+// Property test: random pads survive the triple round trip bit-exactly.
+class PadRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PadRoundTrip, RandomPadSurvivesTripleRebuild) {
+  Rng rng(GetParam());
+  trim::TripleStore store;
+  SlimPadDmi dmi(&store);
+
+  const SlimPad* pad = *dmi.Create_SlimPad("pad" + std::to_string(GetParam()));
+  const Bundle* root = *dmi.Create_Bundle("root", {0, 0}, 800, 600);
+  ASSERT_TRUE(dmi.Update_rootBundle(pad->id(), root->id()).ok());
+
+  std::vector<std::string> bundles{root->id()};
+  std::vector<std::string> scraps;
+  int ops = 30 + static_cast<int>(rng.Below(40));
+  for (int i = 0; i < ops; ++i) {
+    switch (rng.Below(4)) {
+      case 0: {
+        const Bundle* b = *dmi.Create_Bundle(
+            rng.Word(6), {rng.NextDouble() * 500, rng.NextDouble() * 500},
+            rng.NextDouble() * 300 + 1, rng.NextDouble() * 300 + 1);
+        ASSERT_TRUE(dmi.AddNestedBundle(rng.Pick(bundles), b->id()).ok());
+        bundles.push_back(b->id());
+        break;
+      }
+      case 1: {
+        const Scrap* s = *dmi.Create_Scrap(
+            rng.Word(8), {rng.NextDouble() * 100, rng.NextDouble() * 100});
+        ASSERT_TRUE(dmi.AddScrapToBundle(rng.Pick(bundles), s->id()).ok());
+        scraps.push_back(s->id());
+        break;
+      }
+      case 2: {
+        if (scraps.empty()) break;
+        const MarkHandle* h =
+            *dmi.Create_MarkHandle("mark" + std::to_string(i));
+        ASSERT_TRUE(dmi.SetScrapMark(rng.Pick(scraps), h->id()).ok());
+        break;
+      }
+      case 3: {
+        if (scraps.empty()) break;
+        ASSERT_TRUE(
+            dmi.AddScrapAnnotation(rng.Pick(scraps), rng.Word(12)).ok());
+        break;
+      }
+    }
+  }
+
+  // Round trip through the triple store's XML form.
+  std::string xml_text = trim::StoreToXml(store);
+  trim::TripleStore store2;
+  ASSERT_TRUE(trim::StoreFromXml(xml_text, &store2).ok());
+  SlimPadDmi dmi2(&store2);
+  ASSERT_TRUE(dmi2.RebuildFromTriples().ok());
+
+  // Every bundle/scrap matches field by field.
+  ASSERT_EQ(dmi2.Bundles().size(), bundles.size());
+  for (const std::string& id : bundles) {
+    const Bundle* a = *dmi.GetBundle(id);
+    const Bundle* b = *dmi2.GetBundle(id);
+    EXPECT_EQ(a->name(), b->name());
+    EXPECT_EQ(a->pos(), b->pos());
+    EXPECT_EQ(a->width(), b->width());
+    EXPECT_EQ(a->height(), b->height());
+    EXPECT_EQ(a->parent(), b->parent());
+    EXPECT_EQ(a->scraps(), b->scraps());
+    EXPECT_EQ(a->nested_bundles(), b->nested_bundles());
+  }
+  for (const std::string& id : scraps) {
+    const Scrap* a = *dmi.GetScrap(id);
+    const Scrap* b = *dmi2.GetScrap(id);
+    EXPECT_EQ(a->name(), b->name());
+    EXPECT_EQ(a->pos(), b->pos());
+    EXPECT_EQ(a->mark_handles(), b->mark_handles());
+    EXPECT_EQ(a->annotations(), b->annotations());
+  }
+  // And the rebuilt store re-serializes identically.
+  EXPECT_EQ(trim::StoreToXml(store2), xml_text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PadRoundTrip,
+                         ::testing::Values(1, 7, 42, 99, 1234, 777));
+
+}  // namespace
+}  // namespace slim::pad

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "doc/text/text_document.h"
+
+namespace slim::doc::text {
+namespace {
+
+TEST(TextSpanTest, ToStringParseRoundTrip) {
+  TextSpan span{3, 10, 21};
+  EXPECT_EQ(span.ToString(), "p3:10-21");
+  auto back = TextSpan::Parse("p3:10-21");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, span);
+}
+
+TEST(TextSpanTest, ParseRejections) {
+  for (const char* bad :
+       {"", "3:10-21", "p3", "p3:10", "p3:21-10", "p-1:0-1", "px:1-2",
+        "p3:a-b"}) {
+    EXPECT_FALSE(TextSpan::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(TextDocumentTest, AddAndGetParagraphs) {
+  TextDocument doc;
+  EXPECT_EQ(doc.AddParagraph("Title", 1), 0);
+  EXPECT_EQ(doc.AddParagraph("Body text here."), 1);
+  EXPECT_EQ(doc.paragraph_count(), 2u);
+  EXPECT_EQ((*doc.GetParagraph(0))->heading_level, 1);
+  EXPECT_EQ((*doc.GetParagraph(1))->text, "Body text here.");
+  EXPECT_TRUE(doc.GetParagraph(2).status().IsOutOfRange());
+  EXPECT_TRUE(doc.GetParagraph(-1).status().IsOutOfRange());
+}
+
+TEST(TextDocumentTest, InsertAndRemove) {
+  TextDocument doc;
+  doc.AddParagraph("one");
+  doc.AddParagraph("three");
+  ASSERT_TRUE(doc.InsertParagraph(1, "two").ok());
+  EXPECT_EQ((*doc.GetParagraph(1))->text, "two");
+  ASSERT_TRUE(doc.RemoveParagraph(0).ok());
+  EXPECT_EQ((*doc.GetParagraph(0))->text, "two");
+  EXPECT_TRUE(doc.RemoveParagraph(9).IsOutOfRange());
+  EXPECT_TRUE(doc.InsertParagraph(9, "x").IsOutOfRange());
+}
+
+TEST(TextDocumentTest, SpanValidityAndExtraction) {
+  TextDocument doc;
+  doc.AddParagraph("To be or not to be");
+  EXPECT_TRUE(doc.IsValidSpan({0, 0, 5}));
+  EXPECT_TRUE(doc.IsValidSpan({0, 0, 18}));  // end == size allowed
+  EXPECT_FALSE(doc.IsValidSpan({0, 0, 19}));
+  EXPECT_FALSE(doc.IsValidSpan({1, 0, 1}));
+  EXPECT_FALSE(doc.IsValidSpan({0, 5, 3}));
+  EXPECT_EQ(*doc.ExtractSpan({0, 3, 5}), "be");
+  EXPECT_EQ(*doc.ExtractSpan({0, 0, 0}), "");
+  EXPECT_TRUE(doc.ExtractSpan({0, 0, 99}).status().IsOutOfRange());
+  EXPECT_EQ(*doc.SpanContext({0, 3, 5}), "To be or not to be");
+}
+
+TEST(TextDocumentTest, FindAllOccurrences) {
+  TextDocument doc;
+  doc.AddParagraph("the cat and the dog");
+  doc.AddParagraph("The end");
+  std::vector<TextSpan> hits = doc.FindAll("the");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], (TextSpan{0, 0, 3}));
+  EXPECT_EQ(hits[1], (TextSpan{0, 12, 15}));
+  EXPECT_EQ(doc.FindAll("the", /*case_sensitive=*/false).size(), 3u);
+  EXPECT_TRUE(doc.FindAll("").empty());
+  EXPECT_TRUE(doc.FindAll("zebra").empty());
+  // Every hit extracts back to the term.
+  for (const TextSpan& s : hits) EXPECT_EQ(*doc.ExtractSpan(s), "the");
+}
+
+TEST(TextDocumentTest, OverlappingMatchesFound) {
+  TextDocument doc;
+  doc.AddParagraph("aaaa");
+  EXPECT_EQ(doc.FindAll("aa").size(), 3u);
+}
+
+TEST(TextDocumentTest, Words) {
+  TextDocument doc;
+  doc.AddParagraph("It's  twelve o'clock, isn't it?");
+  std::vector<TextSpan> words = doc.Words(0);
+  ASSERT_EQ(words.size(), 5u);
+  EXPECT_EQ(*doc.ExtractSpan(words[0]), "It's");
+  EXPECT_EQ(*doc.ExtractSpan(words[2]), "o'clock");
+  EXPECT_EQ(*doc.ExtractSpan(words[4]), "it");
+  EXPECT_TRUE(doc.Words(5).empty());
+}
+
+TEST(TextDocumentTest, SerializeDeserializeRoundTrip) {
+  TextDocument doc;
+  doc.AddParagraph("Act I", 1);
+  doc.AddParagraph("Scene 1", 2);
+  doc.AddParagraph("Enter HAMLET, reading a book.");
+  doc.AddParagraph("Words, words, words.");
+  std::string text = doc.Serialize();
+  auto back = TextDocument::Deserialize(text);
+  ASSERT_EQ(back->paragraph_count(), 4u);
+  EXPECT_EQ((*back->GetParagraph(0))->text, "Act I");
+  EXPECT_EQ((*back->GetParagraph(0))->heading_level, 1);
+  EXPECT_EQ((*back->GetParagraph(1))->heading_level, 2);
+  EXPECT_EQ((*back->GetParagraph(3))->text, "Words, words, words.");
+  // Stable under a second trip.
+  EXPECT_EQ(back->Serialize(), text);
+}
+
+TEST(TextDocumentTest, DeserializeJoinsWrappedLines) {
+  auto doc = TextDocument::Deserialize("line one\nline two\n\nnext para\n");
+  ASSERT_EQ(doc->paragraph_count(), 2u);
+  EXPECT_EQ((*doc->GetParagraph(0))->text, "line one line two");
+  EXPECT_EQ((*doc->GetParagraph(1))->text, "next para");
+}
+
+TEST(TextDocumentTest, TotalChars) {
+  TextDocument doc;
+  doc.AddParagraph("abc");
+  doc.AddParagraph("de");
+  EXPECT_EQ(doc.TotalChars(), 5u);
+}
+
+TEST(TextDocumentTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/note_roundtrip.txt";
+  TextDocument doc;
+  doc.AddParagraph("Progress note", 1);
+  doc.AddParagraph("Patient stable overnight.");
+  ASSERT_TRUE(doc.SaveToFile(path).ok());
+  auto back = TextDocument::LoadFromFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->paragraph_count(), 2u);
+  EXPECT_EQ((*back)->file_name(), path);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace slim::doc::text

@@ -1,0 +1,35 @@
+#include <gtest/gtest.h>
+
+#include "core/superimposed.h"
+
+// The umbrella header alone must provide everything a superimposed
+// application needs: this test builds a minimal one using only it.
+namespace slim {
+namespace {
+
+TEST(UmbrellaHeaderTest, EndToEndThroughPublicApi) {
+  baseapp::XmlApp xml;
+  auto doc = doc::xml::Document::Create("r");
+  doc->root()->AddElement("x")->AddText("payload");
+  ASSERT_TRUE(xml.RegisterDocument("d.xml", std::move(doc)).ok());
+
+  mark::MarkManager marks;
+  mark::XmlMarkModule module(&xml);
+  ASSERT_TRUE(marks.RegisterModule(&module).ok());
+
+  pad::SlimPadApp app(&marks);
+  ASSERT_TRUE(app.NewPad("umbrella").ok());
+  ASSERT_TRUE(xml.SelectPath("d.xml", "/r/x").ok());
+  auto scrap = app.AddScrapFromSelection(*app.RootBundle(), "xml", "x",
+                                         {0, 0});
+  ASSERT_TRUE(scrap.ok());
+  auto open = app.OpenScrap(*scrap);
+  ASSERT_TRUE(open.ok());
+  EXPECT_TRUE(app.AuditMarks().all_valid());
+  auto rows = app.QueryPad("?s scrapName \"x\"");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+}  // namespace
+}  // namespace slim

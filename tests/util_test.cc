@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/id_generator.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace slim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::ParseError("bad input");
+  Status t = s;
+  EXPECT_TRUE(t.IsParseError());
+  EXPECT_EQ(t.message(), "bad input");
+  EXPECT_EQ(s, t);
+}
+
+TEST(StatusTest, MovedFromBecomesReusable) {
+  Status s = Status::IoError("disk");
+  Status t = std::move(s);
+  EXPECT_TRUE(t.IsIoError());
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::NotFound("x").WithContext("loading pad");
+  EXPECT_EQ(s.message(), "loading pad: x");
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  Status s = Status::OK().WithContext("ctx");
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(StatusTest, EveryCodeHasDistinctName) {
+  std::set<std::string_view> names;
+  for (int c = 0; c <= 10; ++c) {
+    names.insert(StatusCodeName(static_cast<StatusCode>(c)));
+  }
+  EXPECT_EQ(names.size(), 11u);
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fn = []() -> Status {
+    SLIM_RETURN_NOT_OK(Status::OK());
+    SLIM_RETURN_NOT_OK(Status::OutOfRange("boom"));
+    return Status::OK();
+  };
+  EXPECT_TRUE(fn().IsOutOfRange());
+}
+
+// ---------------------------------------------------------------------------
+// Result
+// ---------------------------------------------------------------------------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, OkStatusNormalizedToError) {
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string s = std::move(r).ValueOrDie();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::InvalidArgument("no");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    SLIM_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 8);
+  EXPECT_TRUE(outer(true).status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringsTest, SplitSkipEmptyDropsEmptyFields) {
+  EXPECT_EQ(SplitSkipEmpty(",a,,b,", ','),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(StringsTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts{"one", "two", "three"};
+  EXPECT_EQ(Split(Join(parts, "|"), '|'), parts);
+}
+
+TEST(StringsTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringsTest, PrefixSuffix) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(ToLower("MiXeD123"), "mixed123");
+  EXPECT_EQ(ToUpper("MiXeD123"), "MIXED123");
+  EXPECT_TRUE(EqualsIgnoreCase("TRUE", "true"));
+  EXPECT_FALSE(EqualsIgnoreCase("TRUE", "tru"));
+}
+
+TEST(StringsTest, ParseIntStrict) {
+  long long v = 0;
+  EXPECT_TRUE(ParseInt("123", &v));
+  EXPECT_EQ(v, 123);
+  EXPECT_TRUE(ParseInt("-5", &v));
+  EXPECT_EQ(v, -5);
+  EXPECT_TRUE(ParseInt(" 42 ", &v));
+  EXPECT_FALSE(ParseInt("12x", &v));
+  EXPECT_FALSE(ParseInt("", &v));
+  EXPECT_FALSE(ParseInt("1.5", &v));
+}
+
+TEST(StringsTest, ParseDoubleStrict) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("1.5", &v));
+  EXPECT_DOUBLE_EQ(v, 1.5);
+  EXPECT_TRUE(ParseDouble("-2e3", &v));
+  EXPECT_DOUBLE_EQ(v, -2000);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+TEST(StringsTest, FormatNumberIntegral) {
+  EXPECT_EQ(FormatNumber(5), "5");
+  EXPECT_EQ(FormatNumber(-3), "-3");
+  EXPECT_EQ(FormatNumber(0), "0");
+  EXPECT_EQ(FormatNumber(1e6), "1000000");
+}
+
+TEST(StringsTest, FormatNumberRoundTrips) {
+  for (double v : {0.1, 3.14159, -2.5, 1e-9, 123456.789}) {
+    double back = 0;
+    ASSERT_TRUE(ParseDouble(FormatNumber(v), &back)) << v;
+    EXPECT_DOUBLE_EQ(back, v);
+  }
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(ReplaceAll("none", "x", "y"), "none");
+  EXPECT_EQ(ReplaceAll("", "x", "y"), "");
+  EXPECT_EQ(ReplaceAll("ab", "", "z"), "ab");
+}
+
+// ---------------------------------------------------------------------------
+// IdGenerator
+// ---------------------------------------------------------------------------
+
+TEST(IdGeneratorTest, MonotoneUnique) {
+  IdGenerator gen("m");
+  EXPECT_EQ(gen.Next(), "m1");
+  EXPECT_EQ(gen.Next(), "m2");
+  EXPECT_EQ(gen.Next(), "m3");
+}
+
+TEST(IdGeneratorTest, ObserveExistingAdvances) {
+  IdGenerator gen("mark");
+  gen.ObserveExisting("mark17");
+  EXPECT_EQ(gen.Next(), "mark18");
+}
+
+TEST(IdGeneratorTest, ObserveForeignPrefixIgnored) {
+  IdGenerator gen("mark");
+  gen.ObserveExisting("bundle99");
+  gen.ObserveExisting("marknotanumber");
+  EXPECT_EQ(gen.Next(), "mark1");
+}
+
+TEST(IdGeneratorTest, ObserveLowerDoesNotRegress) {
+  IdGenerator gen("m");
+  gen.ReserveAtLeast(10);
+  gen.ObserveExisting("m3");
+  EXPECT_EQ(gen.Next(), "m11");
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next64() != b.Next64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, RangeInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.Range(2, 5);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 5);
+    if (v == 2) saw_lo = true;
+    if (v == 5) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, WordHasRequestedLength) {
+  Rng rng(11);
+  for (size_t len : {1u, 5u, 12u}) {
+    std::string w = rng.Word(len);
+    EXPECT_EQ(w.size(), len);
+    for (char c : w) EXPECT_TRUE(c >= 'a' && c <= 'z');
+  }
+}
+
+}  // namespace
+}  // namespace slim

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "doc/spreadsheet/csv.h"
+#include "doc/spreadsheet/workbook.h"
+
+namespace slim::doc {
+namespace {
+
+TEST(WorksheetTest, SetAndGetValue) {
+  Worksheet ws("s");
+  ws.SetValue({0, 0}, 5.0);
+  const Cell* c = ws.GetCell({0, 0});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, CellValue(5.0));
+  EXPECT_FALSE(c->has_formula());
+  EXPECT_EQ(ws.GetCell({1, 1}), nullptr);
+}
+
+TEST(WorksheetTest, SetInputClassifies) {
+  Worksheet ws("s");
+  ASSERT_TRUE(ws.SetInput({0, 0}, "3.5").ok());
+  EXPECT_EQ(ws.GetCell({0, 0})->value, CellValue(3.5));
+  ASSERT_TRUE(ws.SetInput({0, 1}, "true").ok());
+  EXPECT_EQ(ws.GetCell({0, 1})->value, CellValue(true));
+  ASSERT_TRUE(ws.SetInput({0, 2}, "hello world").ok());
+  EXPECT_EQ(ws.GetCell({0, 2})->value, CellValue(std::string("hello world")));
+  ASSERT_TRUE(ws.SetInput({0, 3}, "=1+1").ok());
+  EXPECT_TRUE(ws.GetCell({0, 3})->has_formula());
+  ASSERT_TRUE(ws.SetInput({0, 0}, "  ").ok());  // blanks clear
+  EXPECT_EQ(ws.GetCell({0, 0}), nullptr);
+}
+
+TEST(WorksheetTest, BadFormulaRejectedAndCellUntouched) {
+  Worksheet ws("s");
+  ws.SetValue({0, 0}, 1.0);
+  EXPECT_FALSE(ws.SetFormula({0, 0}, "=1+").ok());
+  EXPECT_EQ(ws.GetCell({0, 0})->value, CellValue(1.0));
+  EXPECT_FALSE(ws.SetFormula({0, 0}, "no equals").ok());
+}
+
+TEST(WorksheetTest, UsedRange) {
+  Worksheet ws("s");
+  EXPECT_FALSE(ws.UsedRange().ok());
+  ws.SetValue({3, 2}, 1.0);
+  ws.SetValue({7, 5}, 1.0);
+  ws.SetValue({5, 1}, 1.0);
+  RangeRef used = *ws.UsedRange();
+  EXPECT_EQ(used, (RangeRef{{3, 1}, {7, 5}}));
+}
+
+TEST(WorksheetTest, ClearAndVersion) {
+  Worksheet ws("s");
+  uint64_t v0 = ws.version();
+  ws.SetValue({0, 0}, 1.0);
+  EXPECT_GT(ws.version(), v0);
+  uint64_t v1 = ws.version();
+  ws.Clear({0, 0});
+  EXPECT_GT(ws.version(), v1);
+  EXPECT_EQ(ws.cell_count(), 0u);
+  uint64_t v2 = ws.version();
+  ws.Clear({0, 0});  // clearing a blank cell is a no-op
+  EXPECT_EQ(ws.version(), v2);
+}
+
+TEST(WorkbookTest, SheetManagement) {
+  Workbook wb("test.book");
+  ASSERT_TRUE(wb.AddSheet("One").ok());
+  ASSERT_TRUE(wb.AddSheet("Two").ok());
+  EXPECT_TRUE(wb.AddSheet("One").status().IsAlreadyExists());
+  EXPECT_TRUE(wb.AddSheet("").status().IsInvalidArgument());
+  EXPECT_EQ(wb.sheet_count(), 2u);
+  EXPECT_TRUE(wb.GetSheet("One").ok());
+  EXPECT_TRUE(wb.GetSheet("Nope").status().IsNotFound());
+  ASSERT_TRUE(wb.RemoveSheet("One").ok());
+  EXPECT_TRUE(wb.GetSheet("One").status().IsNotFound());
+  EXPECT_TRUE(wb.RemoveSheet("One").IsNotFound());
+}
+
+TEST(WorkbookTest, FormulaEvaluationWithDependencies) {
+  Workbook wb;
+  Worksheet* ws = *wb.AddSheet("S");
+  ws->SetValue({0, 0}, 2.0);                       // A1
+  ASSERT_TRUE(ws->SetFormula({0, 1}, "=A1*10").ok());   // B1
+  ASSERT_TRUE(ws->SetFormula({0, 2}, "=B1+A1").ok());   // C1
+  EXPECT_EQ(wb.Evaluate("S", {0, 2}), CellValue(22.0));
+  // Mutation invalidates the memo cache.
+  ws->SetValue({0, 0}, 3.0);
+  EXPECT_EQ(wb.Evaluate("S", {0, 2}), CellValue(33.0));
+}
+
+TEST(WorkbookTest, CrossSheetReferences) {
+  Workbook wb;
+  Worksheet* a = *wb.AddSheet("A");
+  Worksheet* b = *wb.AddSheet("B");
+  a->SetValue({0, 0}, 7.0);
+  ASSERT_TRUE(b->SetFormula({0, 0}, "=A!A1*2").ok());
+  EXPECT_EQ(wb.Evaluate("B", {0, 0}), CellValue(14.0));
+}
+
+TEST(WorkbookTest, MissingSheetIsRefError) {
+  Workbook wb;
+  Worksheet* a = *wb.AddSheet("A");
+  ASSERT_TRUE(a->SetFormula({0, 0}, "=Nope!A1").ok());
+  EXPECT_EQ(wb.Evaluate("A", {0, 0}), CellValue(CellError::kRef));
+  EXPECT_EQ(wb.Evaluate("Nope", {0, 0}), CellValue(CellError::kRef));
+}
+
+TEST(WorkbookTest, DirectCycleDetected) {
+  Workbook wb;
+  Worksheet* ws = *wb.AddSheet("S");
+  ASSERT_TRUE(ws->SetFormula({0, 0}, "=A1+1").ok());
+  EXPECT_EQ(wb.Evaluate("S", {0, 0}), CellValue(CellError::kCycle));
+}
+
+TEST(WorkbookTest, MutualCycleDetected) {
+  Workbook wb;
+  Worksheet* ws = *wb.AddSheet("S");
+  ASSERT_TRUE(ws->SetFormula({0, 0}, "=B1+1").ok());
+  ASSERT_TRUE(ws->SetFormula({0, 1}, "=A1+1").ok());
+  CellValue v = wb.Evaluate("S", {0, 0});
+  EXPECT_EQ(v, CellValue(CellError::kCycle));
+}
+
+TEST(WorkbookTest, RangeThroughFormula) {
+  Workbook wb;
+  Worksheet* ws = *wb.AddSheet("S");
+  for (int i = 0; i < 5; ++i) ws->SetValue({i, 0}, double(i + 1));
+  ASSERT_TRUE(ws->SetFormula({0, 1}, "=SUM(A1:A5)").ok());
+  EXPECT_EQ(wb.Evaluate("S", {0, 1}), CellValue(15.0));
+  // Formula chains through ranges recalc correctly.
+  ws->SetValue({4, 0}, 50.0);
+  EXPECT_EQ(wb.Evaluate("S", {0, 1}), CellValue(60.0));
+}
+
+TEST(WorkbookTest, DisplayText) {
+  Workbook wb;
+  Worksheet* ws = *wb.AddSheet("S");
+  ws->SetValue({0, 0}, 2.5);
+  ws->SetValue({0, 1}, std::string("txt"));
+  ASSERT_TRUE(ws->SetFormula({0, 2}, "=1/0").ok());
+  EXPECT_EQ(wb.DisplayText("S", {0, 0}), "2.5");
+  EXPECT_EQ(wb.DisplayText("S", {0, 1}), "txt");
+  EXPECT_EQ(wb.DisplayText("S", {0, 2}), "#DIV/0!");
+  EXPECT_EQ(wb.DisplayText("S", {9, 9}), "");
+}
+
+TEST(WorkbookTest, SerializeDeserializeRoundTrip) {
+  Workbook wb("medications.book");
+  Worksheet* ws = *wb.AddSheet("Meds");
+  ws->SetValue({0, 0}, std::string("Drug"));
+  ws->SetValue({1, 0}, std::string("dopamine\twith\ttabs\nand newline"));
+  ws->SetValue({1, 1}, 12.5);
+  ws->SetValue({1, 2}, true);
+  ASSERT_TRUE(ws->SetFormula({2, 1}, "=B2*2").ok());
+  Worksheet* other = *wb.AddSheet("Other Sheet");
+  other->SetValue({0, 0}, std::string("x"));
+
+  std::string text = wb.Serialize();
+  auto loaded = Workbook::Deserialize(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  Workbook& wb2 = **loaded;
+  EXPECT_EQ(wb2.file_name(), "medications.book");
+  EXPECT_EQ(wb2.sheet_count(), 2u);
+  EXPECT_EQ(wb2.Evaluate("Meds", {1, 0}),
+            CellValue(std::string("dopamine\twith\ttabs\nand newline")));
+  EXPECT_EQ(wb2.Evaluate("Meds", {1, 1}), CellValue(12.5));
+  EXPECT_EQ(wb2.Evaluate("Meds", {1, 2}), CellValue(true));
+  EXPECT_EQ(wb2.Evaluate("Meds", {2, 1}), CellValue(25.0));
+  // Second round trip is identical text (canonical form).
+  EXPECT_EQ(wb2.Serialize(), text);
+}
+
+TEST(WorkbookTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Workbook::Deserialize("not a workbook").ok());
+  EXPECT_FALSE(Workbook::Deserialize("SLIMBOOK 1\nCELL A1 N 5").ok());
+  EXPECT_FALSE(
+      Workbook::Deserialize("SLIMBOOK 1\nSHEET S\nCELL A1 Q huh").ok());
+  EXPECT_FALSE(Workbook::Deserialize("SLIMBOOK 1\nWHAT").ok());
+}
+
+TEST(WorkbookTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/wb_roundtrip.book";
+  Workbook wb("disk.book");
+  Worksheet* ws = *wb.AddSheet("S");
+  ws->SetValue({0, 0}, 1.0);
+  ASSERT_TRUE(wb.SaveToFile(path).ok());
+  auto loaded = Workbook::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->Evaluate("S", {0, 0}), CellValue(1.0));
+  std::remove(path.c_str());
+  EXPECT_TRUE(Workbook::LoadFromFile(path).status().IsIoError());
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+// ---------------------------------------------------------------------------
+
+TEST(CsvTest, BasicRows) {
+  auto rows = ParseCsv("a,b,c\n1,2,3\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvTest, QuotedFields) {
+  auto rows = ParseCsv("\"a,b\",\"line\nbreak\",\"quo\"\"te\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], "a,b");
+  EXPECT_EQ((*rows)[0][1], "line\nbreak");
+  EXPECT_EQ((*rows)[0][2], "quo\"te");
+}
+
+TEST(CsvTest, CrLfAndMissingTrailingNewline) {
+  auto rows = ParseCsv("a,b\r\nc,d");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvTest, UnterminatedQuoteIsError) {
+  EXPECT_FALSE(ParseCsv("\"open").ok());
+}
+
+TEST(CsvTest, EmptyInputIsNoRows) {
+  auto rows = ParseCsv("");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(CsvTest, WriteQuotesWhenNeeded) {
+  std::string out = WriteCsv({{"plain", "with,comma", "with\"quote"}});
+  EXPECT_EQ(out, "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(CsvTest, WriteParseRoundTrip) {
+  std::vector<std::vector<std::string>> rows = {
+      {"a", "b,c", "d\ne"}, {"", "\"", "normal"}, {"1.5", "true", ""}};
+  auto back = ParseCsv(WriteCsv(rows));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, rows);
+}
+
+TEST(CsvTest, ImportTypesValues) {
+  Worksheet ws("s");
+  ASSERT_TRUE(ImportCsv("name,dose\ndopamine,5.5\nactive,TRUE\n", &ws).ok());
+  EXPECT_EQ(ws.GetCell({0, 0})->value, CellValue(std::string("name")));
+  EXPECT_EQ(ws.GetCell({1, 1})->value, CellValue(5.5));
+  EXPECT_EQ(ws.GetCell({2, 1})->value, CellValue(true));
+}
+
+TEST(CsvTest, ImportNeverEvaluatesFormulas) {
+  Worksheet ws("s");
+  ASSERT_TRUE(ImportCsv("=1+1\n", &ws).ok());
+  EXPECT_EQ(ws.GetCell({0, 0})->value, CellValue(std::string("=1+1")));
+  EXPECT_FALSE(ws.GetCell({0, 0})->has_formula());
+}
+
+TEST(CsvTest, ExportUsesUsedRange) {
+  Worksheet ws("s");
+  ws.SetValue({1, 1}, std::string("x"));
+  ws.SetValue({2, 2}, 5.0);
+  std::string out = ExportCsv(ws);
+  EXPECT_EQ(out, "x,\n,5\n");
+}
+
+}  // namespace
+}  // namespace slim::doc
