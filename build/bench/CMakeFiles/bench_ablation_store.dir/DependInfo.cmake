@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_store.cc" "bench/CMakeFiles/bench_ablation_store.dir/bench_ablation_store.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_store.dir/bench_ablation_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/slim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/slimpad/CMakeFiles/slim_pad.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmi/CMakeFiles/slim_dmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/slim/CMakeFiles/slim_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/mark/CMakeFiles/slim_mark.dir/DependInfo.cmake"
+  "/root/repo/build/src/trim/CMakeFiles/slim_trim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseapp/CMakeFiles/slim_baseapp.dir/DependInfo.cmake"
+  "/root/repo/build/src/doc/CMakeFiles/slim_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/slim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

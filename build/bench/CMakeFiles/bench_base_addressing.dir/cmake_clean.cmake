@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_base_addressing.dir/bench_base_addressing.cc.o"
+  "CMakeFiles/bench_base_addressing.dir/bench_base_addressing.cc.o.d"
+  "bench_base_addressing"
+  "bench_base_addressing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_base_addressing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_persistence.dir/bench_fig10_persistence.cc.o"
+  "CMakeFiles/bench_fig10_persistence.dir/bench_fig10_persistence.cc.o.d"
+  "bench_fig10_persistence"
+  "bench_fig10_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

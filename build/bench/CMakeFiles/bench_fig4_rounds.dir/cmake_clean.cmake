@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_rounds.dir/bench_fig4_rounds.cc.o"
+  "CMakeFiles/bench_fig4_rounds.dir/bench_fig4_rounds.cc.o.d"
+  "bench_fig4_rounds"
+  "bench_fig4_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_viewing.dir/bench_fig6_viewing.cc.o"
+  "CMakeFiles/bench_fig6_viewing.dir/bench_fig6_viewing.cc.o.d"
+  "bench_fig6_viewing"
+  "bench_fig6_viewing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_viewing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_marks.dir/bench_fig7_marks.cc.o"
+  "CMakeFiles/bench_fig7_marks.dir/bench_fig7_marks.cc.o.d"
+  "bench_fig7_marks"
+  "bench_fig7_marks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_marks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

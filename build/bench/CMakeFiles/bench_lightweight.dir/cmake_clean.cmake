@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lightweight.dir/bench_lightweight.cc.o"
+  "CMakeFiles/bench_lightweight.dir/bench_lightweight.cc.o.d"
+  "bench_lightweight"
+  "bench_lightweight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lightweight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

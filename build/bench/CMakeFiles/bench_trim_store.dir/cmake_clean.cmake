@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trim_store.dir/bench_trim_store.cc.o"
+  "CMakeFiles/bench_trim_store.dir/bench_trim_store.cc.o.d"
+  "bench_trim_store"
+  "bench_trim_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trim_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

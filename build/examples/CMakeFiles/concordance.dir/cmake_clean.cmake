@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concordance.dir/concordance.cpp.o"
+  "CMakeFiles/concordance.dir/concordance.cpp.o.d"
+  "concordance"
+  "concordance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concordance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

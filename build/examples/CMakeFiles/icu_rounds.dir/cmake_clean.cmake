@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icu_rounds.dir/icu_rounds.cpp.o"
+  "CMakeFiles/icu_rounds.dir/icu_rounds.cpp.o.d"
+  "icu_rounds"
+  "icu_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icu_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_later.dir/schema_later.cpp.o"
+  "CMakeFiles/schema_later.dir/schema_later.cpp.o.d"
+  "schema_later"
+  "schema_later.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_later.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

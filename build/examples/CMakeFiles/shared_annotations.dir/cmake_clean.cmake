@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_annotations.dir/shared_annotations.cpp.o"
+  "CMakeFiles/shared_annotations.dir/shared_annotations.cpp.o.d"
+  "shared_annotations"
+  "shared_annotations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_annotations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topic_map_export.dir/topic_map_export.cpp.o"
+  "CMakeFiles/topic_map_export.dir/topic_map_export.cpp.o.d"
+  "topic_map_export"
+  "topic_map_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topic_map_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseapp/base_application.cc" "src/baseapp/CMakeFiles/slim_baseapp.dir/base_application.cc.o" "gcc" "src/baseapp/CMakeFiles/slim_baseapp.dir/base_application.cc.o.d"
+  "/root/repo/src/baseapp/html_app.cc" "src/baseapp/CMakeFiles/slim_baseapp.dir/html_app.cc.o" "gcc" "src/baseapp/CMakeFiles/slim_baseapp.dir/html_app.cc.o.d"
+  "/root/repo/src/baseapp/pdf_app.cc" "src/baseapp/CMakeFiles/slim_baseapp.dir/pdf_app.cc.o" "gcc" "src/baseapp/CMakeFiles/slim_baseapp.dir/pdf_app.cc.o.d"
+  "/root/repo/src/baseapp/slide_app.cc" "src/baseapp/CMakeFiles/slim_baseapp.dir/slide_app.cc.o" "gcc" "src/baseapp/CMakeFiles/slim_baseapp.dir/slide_app.cc.o.d"
+  "/root/repo/src/baseapp/spreadsheet_app.cc" "src/baseapp/CMakeFiles/slim_baseapp.dir/spreadsheet_app.cc.o" "gcc" "src/baseapp/CMakeFiles/slim_baseapp.dir/spreadsheet_app.cc.o.d"
+  "/root/repo/src/baseapp/text_app.cc" "src/baseapp/CMakeFiles/slim_baseapp.dir/text_app.cc.o" "gcc" "src/baseapp/CMakeFiles/slim_baseapp.dir/text_app.cc.o.d"
+  "/root/repo/src/baseapp/xml_app.cc" "src/baseapp/CMakeFiles/slim_baseapp.dir/xml_app.cc.o" "gcc" "src/baseapp/CMakeFiles/slim_baseapp.dir/xml_app.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/doc/CMakeFiles/slim_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/slim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_baseapp.dir/base_application.cc.o"
+  "CMakeFiles/slim_baseapp.dir/base_application.cc.o.d"
+  "CMakeFiles/slim_baseapp.dir/html_app.cc.o"
+  "CMakeFiles/slim_baseapp.dir/html_app.cc.o.d"
+  "CMakeFiles/slim_baseapp.dir/pdf_app.cc.o"
+  "CMakeFiles/slim_baseapp.dir/pdf_app.cc.o.d"
+  "CMakeFiles/slim_baseapp.dir/slide_app.cc.o"
+  "CMakeFiles/slim_baseapp.dir/slide_app.cc.o.d"
+  "CMakeFiles/slim_baseapp.dir/spreadsheet_app.cc.o"
+  "CMakeFiles/slim_baseapp.dir/spreadsheet_app.cc.o.d"
+  "CMakeFiles/slim_baseapp.dir/text_app.cc.o"
+  "CMakeFiles/slim_baseapp.dir/text_app.cc.o.d"
+  "CMakeFiles/slim_baseapp.dir/xml_app.cc.o"
+  "CMakeFiles/slim_baseapp.dir/xml_app.cc.o.d"
+  "libslim_baseapp.a"
+  "libslim_baseapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_baseapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

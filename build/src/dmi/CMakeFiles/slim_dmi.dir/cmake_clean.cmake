@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_dmi.dir/dynamic_dmi.cc.o"
+  "CMakeFiles/slim_dmi.dir/dynamic_dmi.cc.o.d"
+  "libslim_dmi.a"
+  "libslim_dmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_dmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

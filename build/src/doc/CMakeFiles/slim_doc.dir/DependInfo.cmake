@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/doc/html/html.cc" "src/doc/CMakeFiles/slim_doc.dir/html/html.cc.o" "gcc" "src/doc/CMakeFiles/slim_doc.dir/html/html.cc.o.d"
+  "/root/repo/src/doc/pdf/pdf_document.cc" "src/doc/CMakeFiles/slim_doc.dir/pdf/pdf_document.cc.o" "gcc" "src/doc/CMakeFiles/slim_doc.dir/pdf/pdf_document.cc.o.d"
+  "/root/repo/src/doc/slides/slide_deck.cc" "src/doc/CMakeFiles/slim_doc.dir/slides/slide_deck.cc.o" "gcc" "src/doc/CMakeFiles/slim_doc.dir/slides/slide_deck.cc.o.d"
+  "/root/repo/src/doc/spreadsheet/a1.cc" "src/doc/CMakeFiles/slim_doc.dir/spreadsheet/a1.cc.o" "gcc" "src/doc/CMakeFiles/slim_doc.dir/spreadsheet/a1.cc.o.d"
+  "/root/repo/src/doc/spreadsheet/cell.cc" "src/doc/CMakeFiles/slim_doc.dir/spreadsheet/cell.cc.o" "gcc" "src/doc/CMakeFiles/slim_doc.dir/spreadsheet/cell.cc.o.d"
+  "/root/repo/src/doc/spreadsheet/csv.cc" "src/doc/CMakeFiles/slim_doc.dir/spreadsheet/csv.cc.o" "gcc" "src/doc/CMakeFiles/slim_doc.dir/spreadsheet/csv.cc.o.d"
+  "/root/repo/src/doc/spreadsheet/formula.cc" "src/doc/CMakeFiles/slim_doc.dir/spreadsheet/formula.cc.o" "gcc" "src/doc/CMakeFiles/slim_doc.dir/spreadsheet/formula.cc.o.d"
+  "/root/repo/src/doc/spreadsheet/workbook.cc" "src/doc/CMakeFiles/slim_doc.dir/spreadsheet/workbook.cc.o" "gcc" "src/doc/CMakeFiles/slim_doc.dir/spreadsheet/workbook.cc.o.d"
+  "/root/repo/src/doc/spreadsheet/worksheet.cc" "src/doc/CMakeFiles/slim_doc.dir/spreadsheet/worksheet.cc.o" "gcc" "src/doc/CMakeFiles/slim_doc.dir/spreadsheet/worksheet.cc.o.d"
+  "/root/repo/src/doc/text/text_document.cc" "src/doc/CMakeFiles/slim_doc.dir/text/text_document.cc.o" "gcc" "src/doc/CMakeFiles/slim_doc.dir/text/text_document.cc.o.d"
+  "/root/repo/src/doc/xml/dom.cc" "src/doc/CMakeFiles/slim_doc.dir/xml/dom.cc.o" "gcc" "src/doc/CMakeFiles/slim_doc.dir/xml/dom.cc.o.d"
+  "/root/repo/src/doc/xml/parser.cc" "src/doc/CMakeFiles/slim_doc.dir/xml/parser.cc.o" "gcc" "src/doc/CMakeFiles/slim_doc.dir/xml/parser.cc.o.d"
+  "/root/repo/src/doc/xml/path.cc" "src/doc/CMakeFiles/slim_doc.dir/xml/path.cc.o" "gcc" "src/doc/CMakeFiles/slim_doc.dir/xml/path.cc.o.d"
+  "/root/repo/src/doc/xml/writer.cc" "src/doc/CMakeFiles/slim_doc.dir/xml/writer.cc.o" "gcc" "src/doc/CMakeFiles/slim_doc.dir/xml/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/slim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

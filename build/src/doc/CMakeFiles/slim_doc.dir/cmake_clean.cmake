@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_doc.dir/html/html.cc.o"
+  "CMakeFiles/slim_doc.dir/html/html.cc.o.d"
+  "CMakeFiles/slim_doc.dir/pdf/pdf_document.cc.o"
+  "CMakeFiles/slim_doc.dir/pdf/pdf_document.cc.o.d"
+  "CMakeFiles/slim_doc.dir/slides/slide_deck.cc.o"
+  "CMakeFiles/slim_doc.dir/slides/slide_deck.cc.o.d"
+  "CMakeFiles/slim_doc.dir/spreadsheet/a1.cc.o"
+  "CMakeFiles/slim_doc.dir/spreadsheet/a1.cc.o.d"
+  "CMakeFiles/slim_doc.dir/spreadsheet/cell.cc.o"
+  "CMakeFiles/slim_doc.dir/spreadsheet/cell.cc.o.d"
+  "CMakeFiles/slim_doc.dir/spreadsheet/csv.cc.o"
+  "CMakeFiles/slim_doc.dir/spreadsheet/csv.cc.o.d"
+  "CMakeFiles/slim_doc.dir/spreadsheet/formula.cc.o"
+  "CMakeFiles/slim_doc.dir/spreadsheet/formula.cc.o.d"
+  "CMakeFiles/slim_doc.dir/spreadsheet/workbook.cc.o"
+  "CMakeFiles/slim_doc.dir/spreadsheet/workbook.cc.o.d"
+  "CMakeFiles/slim_doc.dir/spreadsheet/worksheet.cc.o"
+  "CMakeFiles/slim_doc.dir/spreadsheet/worksheet.cc.o.d"
+  "CMakeFiles/slim_doc.dir/text/text_document.cc.o"
+  "CMakeFiles/slim_doc.dir/text/text_document.cc.o.d"
+  "CMakeFiles/slim_doc.dir/xml/dom.cc.o"
+  "CMakeFiles/slim_doc.dir/xml/dom.cc.o.d"
+  "CMakeFiles/slim_doc.dir/xml/parser.cc.o"
+  "CMakeFiles/slim_doc.dir/xml/parser.cc.o.d"
+  "CMakeFiles/slim_doc.dir/xml/path.cc.o"
+  "CMakeFiles/slim_doc.dir/xml/path.cc.o.d"
+  "CMakeFiles/slim_doc.dir/xml/writer.cc.o"
+  "CMakeFiles/slim_doc.dir/xml/writer.cc.o.d"
+  "libslim_doc.a"
+  "libslim_doc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_doc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mark/mark.cc" "src/mark/CMakeFiles/slim_mark.dir/mark.cc.o" "gcc" "src/mark/CMakeFiles/slim_mark.dir/mark.cc.o.d"
+  "/root/repo/src/mark/mark_manager.cc" "src/mark/CMakeFiles/slim_mark.dir/mark_manager.cc.o" "gcc" "src/mark/CMakeFiles/slim_mark.dir/mark_manager.cc.o.d"
+  "/root/repo/src/mark/modules.cc" "src/mark/CMakeFiles/slim_mark.dir/modules.cc.o" "gcc" "src/mark/CMakeFiles/slim_mark.dir/modules.cc.o.d"
+  "/root/repo/src/mark/validator.cc" "src/mark/CMakeFiles/slim_mark.dir/validator.cc.o" "gcc" "src/mark/CMakeFiles/slim_mark.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseapp/CMakeFiles/slim_baseapp.dir/DependInfo.cmake"
+  "/root/repo/build/src/doc/CMakeFiles/slim_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/slim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

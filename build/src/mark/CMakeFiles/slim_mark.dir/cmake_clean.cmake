@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_mark.dir/mark.cc.o"
+  "CMakeFiles/slim_mark.dir/mark.cc.o.d"
+  "CMakeFiles/slim_mark.dir/mark_manager.cc.o"
+  "CMakeFiles/slim_mark.dir/mark_manager.cc.o.d"
+  "CMakeFiles/slim_mark.dir/modules.cc.o"
+  "CMakeFiles/slim_mark.dir/modules.cc.o.d"
+  "CMakeFiles/slim_mark.dir/validator.cc.o"
+  "CMakeFiles/slim_mark.dir/validator.cc.o.d"
+  "libslim_mark.a"
+  "libslim_mark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_mark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

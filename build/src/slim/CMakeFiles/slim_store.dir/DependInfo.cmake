@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slim/conformance.cc" "src/slim/CMakeFiles/slim_store.dir/conformance.cc.o" "gcc" "src/slim/CMakeFiles/slim_store.dir/conformance.cc.o.d"
+  "/root/repo/src/slim/instance.cc" "src/slim/CMakeFiles/slim_store.dir/instance.cc.o" "gcc" "src/slim/CMakeFiles/slim_store.dir/instance.cc.o.d"
+  "/root/repo/src/slim/mapping.cc" "src/slim/CMakeFiles/slim_store.dir/mapping.cc.o" "gcc" "src/slim/CMakeFiles/slim_store.dir/mapping.cc.o.d"
+  "/root/repo/src/slim/model.cc" "src/slim/CMakeFiles/slim_store.dir/model.cc.o" "gcc" "src/slim/CMakeFiles/slim_store.dir/model.cc.o.d"
+  "/root/repo/src/slim/query.cc" "src/slim/CMakeFiles/slim_store.dir/query.cc.o" "gcc" "src/slim/CMakeFiles/slim_store.dir/query.cc.o.d"
+  "/root/repo/src/slim/schema.cc" "src/slim/CMakeFiles/slim_store.dir/schema.cc.o" "gcc" "src/slim/CMakeFiles/slim_store.dir/schema.cc.o.d"
+  "/root/repo/src/slim/topic_map.cc" "src/slim/CMakeFiles/slim_store.dir/topic_map.cc.o" "gcc" "src/slim/CMakeFiles/slim_store.dir/topic_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trim/CMakeFiles/slim_trim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/slim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/doc/CMakeFiles/slim_doc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_store.dir/conformance.cc.o"
+  "CMakeFiles/slim_store.dir/conformance.cc.o.d"
+  "CMakeFiles/slim_store.dir/instance.cc.o"
+  "CMakeFiles/slim_store.dir/instance.cc.o.d"
+  "CMakeFiles/slim_store.dir/mapping.cc.o"
+  "CMakeFiles/slim_store.dir/mapping.cc.o.d"
+  "CMakeFiles/slim_store.dir/model.cc.o"
+  "CMakeFiles/slim_store.dir/model.cc.o.d"
+  "CMakeFiles/slim_store.dir/query.cc.o"
+  "CMakeFiles/slim_store.dir/query.cc.o.d"
+  "CMakeFiles/slim_store.dir/schema.cc.o"
+  "CMakeFiles/slim_store.dir/schema.cc.o.d"
+  "CMakeFiles/slim_store.dir/topic_map.cc.o"
+  "CMakeFiles/slim_store.dir/topic_map.cc.o.d"
+  "libslim_store.a"
+  "libslim_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

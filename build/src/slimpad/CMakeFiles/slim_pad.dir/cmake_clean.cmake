@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_pad.dir/slimpad_app.cc.o"
+  "CMakeFiles/slim_pad.dir/slimpad_app.cc.o.d"
+  "CMakeFiles/slim_pad.dir/slimpad_dmi.cc.o"
+  "CMakeFiles/slim_pad.dir/slimpad_dmi.cc.o.d"
+  "libslim_pad.a"
+  "libslim_pad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_pad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trim/interned_store.cc" "src/trim/CMakeFiles/slim_trim.dir/interned_store.cc.o" "gcc" "src/trim/CMakeFiles/slim_trim.dir/interned_store.cc.o.d"
+  "/root/repo/src/trim/persistence.cc" "src/trim/CMakeFiles/slim_trim.dir/persistence.cc.o" "gcc" "src/trim/CMakeFiles/slim_trim.dir/persistence.cc.o.d"
+  "/root/repo/src/trim/rdf_xml.cc" "src/trim/CMakeFiles/slim_trim.dir/rdf_xml.cc.o" "gcc" "src/trim/CMakeFiles/slim_trim.dir/rdf_xml.cc.o.d"
+  "/root/repo/src/trim/triple_store.cc" "src/trim/CMakeFiles/slim_trim.dir/triple_store.cc.o" "gcc" "src/trim/CMakeFiles/slim_trim.dir/triple_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/doc/CMakeFiles/slim_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/slim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

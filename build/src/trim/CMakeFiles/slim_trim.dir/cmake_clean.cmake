@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_trim.dir/interned_store.cc.o"
+  "CMakeFiles/slim_trim.dir/interned_store.cc.o.d"
+  "CMakeFiles/slim_trim.dir/persistence.cc.o"
+  "CMakeFiles/slim_trim.dir/persistence.cc.o.d"
+  "CMakeFiles/slim_trim.dir/rdf_xml.cc.o"
+  "CMakeFiles/slim_trim.dir/rdf_xml.cc.o.d"
+  "CMakeFiles/slim_trim.dir/triple_store.cc.o"
+  "CMakeFiles/slim_trim.dir/triple_store.cc.o.d"
+  "libslim_trim.a"
+  "libslim_trim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_trim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

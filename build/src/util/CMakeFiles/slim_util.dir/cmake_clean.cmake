@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_util.dir/id_generator.cc.o"
+  "CMakeFiles/slim_util.dir/id_generator.cc.o.d"
+  "CMakeFiles/slim_util.dir/status.cc.o"
+  "CMakeFiles/slim_util.dir/status.cc.o.d"
+  "CMakeFiles/slim_util.dir/strings.cc.o"
+  "CMakeFiles/slim_util.dir/strings.cc.o.d"
+  "libslim_util.a"
+  "libslim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slim_workload.dir/corpus.cc.o"
+  "CMakeFiles/slim_workload.dir/corpus.cc.o.d"
+  "CMakeFiles/slim_workload.dir/icu.cc.o"
+  "CMakeFiles/slim_workload.dir/icu.cc.o.d"
+  "CMakeFiles/slim_workload.dir/session.cc.o"
+  "CMakeFiles/slim_workload.dir/session.cc.o.d"
+  "libslim_workload.a"
+  "libslim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/a1_test.cc" "tests/CMakeFiles/slim_tests.dir/a1_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/a1_test.cc.o.d"
+  "/root/repo/tests/baseapp_test.cc" "tests/CMakeFiles/slim_tests.dir/baseapp_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/baseapp_test.cc.o.d"
+  "/root/repo/tests/dmi_test.cc" "tests/CMakeFiles/slim_tests.dir/dmi_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/dmi_test.cc.o.d"
+  "/root/repo/tests/drift_and_query_property_test.cc" "tests/CMakeFiles/slim_tests.dir/drift_and_query_property_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/drift_and_query_property_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/slim_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/formula_functions_test.cc" "tests/CMakeFiles/slim_tests.dir/formula_functions_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/formula_functions_test.cc.o.d"
+  "/root/repo/tests/formula_test.cc" "tests/CMakeFiles/slim_tests.dir/formula_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/formula_test.cc.o.d"
+  "/root/repo/tests/full_session_test.cc" "tests/CMakeFiles/slim_tests.dir/full_session_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/full_session_test.cc.o.d"
+  "/root/repo/tests/fuzz_test.cc" "tests/CMakeFiles/slim_tests.dir/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/fuzz_test.cc.o.d"
+  "/root/repo/tests/html_test.cc" "tests/CMakeFiles/slim_tests.dir/html_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/html_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/slim_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/interned_store_test.cc" "tests/CMakeFiles/slim_tests.dir/interned_store_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/interned_store_test.cc.o.d"
+  "/root/repo/tests/interop_test.cc" "tests/CMakeFiles/slim_tests.dir/interop_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/interop_test.cc.o.d"
+  "/root/repo/tests/mark_test.cc" "tests/CMakeFiles/slim_tests.dir/mark_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/mark_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "tests/CMakeFiles/slim_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/query_test.cc.o.d"
+  "/root/repo/tests/robust_path_test.cc" "tests/CMakeFiles/slim_tests.dir/robust_path_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/robust_path_test.cc.o.d"
+  "/root/repo/tests/slides_pdf_test.cc" "tests/CMakeFiles/slim_tests.dir/slides_pdf_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/slides_pdf_test.cc.o.d"
+  "/root/repo/tests/slim_store_test.cc" "tests/CMakeFiles/slim_tests.dir/slim_store_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/slim_store_test.cc.o.d"
+  "/root/repo/tests/slimpad_test.cc" "tests/CMakeFiles/slim_tests.dir/slimpad_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/slimpad_test.cc.o.d"
+  "/root/repo/tests/text_test.cc" "tests/CMakeFiles/slim_tests.dir/text_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/text_test.cc.o.d"
+  "/root/repo/tests/trim_test.cc" "tests/CMakeFiles/slim_tests.dir/trim_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/trim_test.cc.o.d"
+  "/root/repo/tests/umbrella_test.cc" "tests/CMakeFiles/slim_tests.dir/umbrella_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/umbrella_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/slim_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/workbook_test.cc" "tests/CMakeFiles/slim_tests.dir/workbook_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/workbook_test.cc.o.d"
+  "/root/repo/tests/xml_test.cc" "tests/CMakeFiles/slim_tests.dir/xml_test.cc.o" "gcc" "tests/CMakeFiles/slim_tests.dir/xml_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/slim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/slimpad/CMakeFiles/slim_pad.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmi/CMakeFiles/slim_dmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/slim/CMakeFiles/slim_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/mark/CMakeFiles/slim_mark.dir/DependInfo.cmake"
+  "/root/repo/build/src/trim/CMakeFiles/slim_trim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseapp/CMakeFiles/slim_baseapp.dir/DependInfo.cmake"
+  "/root/repo/build/src/doc/CMakeFiles/slim_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/slim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
