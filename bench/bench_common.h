@@ -6,23 +6,53 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/obs.h"
 #include "util/status.h"
 
 namespace slim::bench {
 
-/// Aborts the bench on a non-OK status — setup failures must be loud.
-inline void CheckOk(const Status& status, const char* what) {
+/// Aborts the bench on a non-OK status — setup failures must be loud and
+/// point at the failing call site.
+inline void CheckOk(const Status& status, const char* what, const char* file,
+                    int line) {
   if (!status.ok()) {
-    std::fprintf(stderr, "bench setup failed (%s): %s\n", what,
-                 status.ToString().c_str());
+    std::fprintf(stderr, "%s:%d: bench setup failed (%s): %s\n", file, line,
+                 what, status.ToString().c_str());
     std::abort();
   }
 }
 
-#define SLIM_BENCH_CHECK(expr) ::slim::bench::CheckOk((expr), #expr)
+#define SLIM_BENCH_CHECK(expr) \
+  ::slim::bench::CheckOk((expr), #expr, __FILE__, __LINE__)
+
+/// \brief Reads the growth of a default-registry obs counter across a
+/// bench run, so benches can report *measured* work (selects issued,
+/// triples added) instead of re-deriving it from the loop shape. With obs
+/// compiled out (SLIM_ENABLE_OBS=OFF) the counter never moves and Delta()
+/// is 0 — callers should guard on obs::Enabled-style checks or accept the
+/// zero.
+class ObsCounterProbe {
+ public:
+  explicit ObsCounterProbe(const char* name)
+      : counter_(obs::DefaultRegistry().GetCounter(name)),
+        start_(counter_->value()) {}
+
+  uint64_t Delta() const { return counter_->value() - start_; }
+
+  /// The delta as a per-iteration benchmark counter.
+  benchmark::Counter PerIteration() const {
+    return benchmark::Counter(static_cast<double>(Delta()),
+                              benchmark::Counter::kAvgIterations);
+  }
+
+ private:
+  obs::Counter* counter_;
+  uint64_t start_;
+};
 
 }  // namespace slim::bench
 

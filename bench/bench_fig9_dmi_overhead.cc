@@ -59,6 +59,7 @@ BENCHMARK(BM_CreateScrap_Native);
 
 void BM_CreateScrap_RawTriples(benchmark::State& state) {
   trim::TripleStore store;
+  bench::ObsCounterProbe adds("trim.add.ok");
   int64_t i = 0;
   for (auto _ : state) {
     std::string id = "inst:" + std::to_string(i);
@@ -77,6 +78,9 @@ void BM_CreateScrap_RawTriples(benchmark::State& state) {
     }
   }
   state.SetItemsProcessed(state.iterations());
+  // Triple writes per logical scrap, measured by the obs layer (0 with
+  // obs compiled out).
+  state.counters["triples_per_iter"] = adds.PerIteration();
   state.SetLabel("generic representation, no DMI");
 }
 BENCHMARK(BM_CreateScrap_RawTriples);
@@ -86,6 +90,7 @@ BENCHMARK(BM_CreateScrap_RawTriples);
 void BM_CreateScrap_SlimPadDmi(benchmark::State& state) {
   trim::TripleStore store;
   pad::SlimPadDmi dmi(&store);
+  bench::ObsCounterProbe adds("trim.add.ok");
   int64_t i = 0;
   for (auto _ : state) {
     auto scrap = dmi.Create_Scrap("scrap " + std::to_string(i),
@@ -95,6 +100,7 @@ void BM_CreateScrap_SlimPadDmi(benchmark::State& state) {
     ++i;
   }
   state.SetItemsProcessed(state.iterations());
+  state.counters["triples_per_iter"] = adds.PerIteration();
   state.SetLabel("hand-written DMI (objects + triples)");
 }
 BENCHMARK(BM_CreateScrap_SlimPadDmi);
@@ -106,6 +112,8 @@ void BM_CreateScrap_DynamicDmi(benchmark::State& state) {
   store::ModelDef model = store::BuildBundleScrapModel();
   dmi::DynamicDmi dmi(&store, *store::IdentitySchema(model, "slimpad"),
                       model);
+  bench::ObsCounterProbe adds("trim.add.ok");
+  bench::ObsCounterProbe writes("dmi.attr_write.ok");
   int64_t i = 0;
   for (auto _ : state) {
     auto scrap = dmi.Create("Scrap");
@@ -117,6 +125,8 @@ void BM_CreateScrap_DynamicDmi(benchmark::State& state) {
     ++i;
   }
   state.SetItemsProcessed(state.iterations());
+  state.counters["triples_per_iter"] = adds.PerIteration();
+  state.counters["attr_writes_per_iter"] = writes.PerIteration();
   state.SetLabel("generated DMI (schema-validated)");
 }
 BENCHMARK(BM_CreateScrap_DynamicDmi);
@@ -143,12 +153,14 @@ void BM_ReadName_RawTriples(benchmark::State& state) {
                                       "scrapName",
                                       "scrap " + std::to_string(i)));
   }
+  bench::ObsCounterProbe reads("trim.get_one.calls");
   int64_t i = 0;
   for (auto _ : state) {
     auto v = store.GetOne("inst:" + std::to_string(i++ % 1024), "scrapName");
     benchmark::DoNotOptimize(v);
   }
   state.SetItemsProcessed(state.iterations());
+  state.counters["reads_per_iter"] = reads.PerIteration();
 }
 BENCHMARK(BM_ReadName_RawTriples);
 
@@ -181,12 +193,14 @@ void BM_ReadName_DynamicDmi(benchmark::State& state) {
     SLIM_BENCH_CHECK(o.Set("scrapName", "scrap " + std::to_string(i)));
     objs.push_back(o);
   }
+  bench::ObsCounterProbe reads("dmi.attr_read.ok");
   int64_t i = 0;
   for (auto _ : state) {
     auto v = objs[i++ % objs.size()].Get("scrapName");
     benchmark::DoNotOptimize(v);
   }
   state.SetItemsProcessed(state.iterations());
+  state.counters["attr_reads_per_iter"] = reads.PerIteration();
   state.SetLabel("reads interpreted over triples");
 }
 BENCHMARK(BM_ReadName_DynamicDmi);

@@ -45,6 +45,7 @@ void FillPadShaped(TripleStore* store, int64_t scraps, Rng* rng) {
 
 void BM_Insert(benchmark::State& state) {
   const int64_t n = state.range(0);
+  slim::bench::ObsCounterProbe adds("trim.add.ok");
   for (auto _ : state) {
     state.PauseTiming();
     TripleStore store;
@@ -55,6 +56,9 @@ void BM_Insert(benchmark::State& state) {
   }
   // ~6 triples per scrap (attributes + containment + handle).
   state.SetItemsProcessed(state.iterations() * n * 6);
+  // Measured (not derived) triple writes, from the obs layer; 0 when obs
+  // is compiled out.
+  state.counters["triples_per_iter"] = adds.PerIteration();
 }
 BENCHMARK(BM_Insert)->Arg(1000)->Arg(10000)->Arg(100000);
 
@@ -77,6 +81,7 @@ class StoreFixture : public benchmark::Fixture {
 };
 
 BENCHMARK_DEFINE_F(StoreFixture, SelectBySubject)(benchmark::State& state) {
+  slim::bench::ObsCounterProbe selects("trim.select.calls");
   int64_t i = 0;
   for (auto _ : state) {
     std::string subject = "scrap" + std::to_string(i++ % scraps_);
@@ -84,6 +89,8 @@ BENCHMARK_DEFINE_F(StoreFixture, SelectBySubject)(benchmark::State& state) {
     benchmark::DoNotOptimize(result);
   }
   state.SetItemsProcessed(state.iterations());
+  state.counters["selects_per_iter"] = selects.PerIteration();
+  state.counters["store_triples"] = static_cast<double>(store_.size());
 }
 BENCHMARK_REGISTER_F(StoreFixture, SelectBySubject)
     ->Arg(1000)->Arg(10000)->Arg(100000);
@@ -91,16 +98,20 @@ BENCHMARK_REGISTER_F(StoreFixture, SelectBySubject)
 BENCHMARK_DEFINE_F(StoreFixture, SelectByPropertyHighSelectivity)
 (benchmark::State& state) {
   // "bundleName" matches one triple per bundle — ~ n/16 results.
+  slim::bench::ObsCounterProbe selects("trim.select.calls");
   for (auto _ : state) {
     auto result = store_.Select(TriplePattern::ByProperty("bundleName"));
     benchmark::DoNotOptimize(result);
   }
   state.SetItemsProcessed(state.iterations() * (scraps_ / 16));
+  state.counters["selects_per_iter"] = selects.PerIteration();
+  state.counters["store_triples"] = static_cast<double>(store_.size());
 }
 BENCHMARK_REGISTER_F(StoreFixture, SelectByPropertyHighSelectivity)
     ->Arg(1000)->Arg(10000)->Arg(100000);
 
 BENCHMARK_DEFINE_F(StoreFixture, GetOnePointRead)(benchmark::State& state) {
+  slim::bench::ObsCounterProbe reads("trim.get_one.calls");
   int64_t i = 0;
   for (auto _ : state) {
     std::string subject = "scrap" + std::to_string(i++ % scraps_);
@@ -108,6 +119,7 @@ BENCHMARK_DEFINE_F(StoreFixture, GetOnePointRead)(benchmark::State& state) {
     benchmark::DoNotOptimize(result);
   }
   state.SetItemsProcessed(state.iterations());
+  state.counters["reads_per_iter"] = reads.PerIteration();
 }
 BENCHMARK_REGISTER_F(StoreFixture, GetOnePointRead)
     ->Arg(1000)->Arg(10000)->Arg(100000);
@@ -165,6 +177,8 @@ void BM_RemoveAdd(benchmark::State& state) {
   TripleStore store;
   Rng rng(7);
   FillPadShaped(&store, 10000, &rng);
+  slim::bench::ObsCounterProbe adds("trim.add.ok");
+  slim::bench::ObsCounterProbe removes("trim.remove.ok");
   int64_t i = 0;
   for (auto _ : state) {
     std::string sid = "scrap" + std::to_string(i++ % 10000);
@@ -173,6 +187,8 @@ void BM_RemoveAdd(benchmark::State& state) {
     SLIM_BENCH_CHECK(store.Add(t));
   }
   state.SetItemsProcessed(state.iterations() * 2);
+  state.counters["adds_per_iter"] = adds.PerIteration();
+  state.counters["removes_per_iter"] = removes.PerIteration();
 }
 BENCHMARK(BM_RemoveAdd);
 

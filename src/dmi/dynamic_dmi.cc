@@ -1,5 +1,6 @@
 #include "dmi/dynamic_dmi.h"
 
+#include "obs/obs.h"
 #include "slim/vocabulary.h"
 #include "trim/persistence.h"
 #include "util/strings.h"
@@ -14,56 +15,82 @@ using store::SchemaConnectorDef;
 
 Status DynamicObject::Set(const std::string& attribute,
                           const std::string& value) {
-  if (!valid()) return Status::FailedPrecondition("invalid object handle");
-  SLIM_ASSIGN_OR_RETURN(const SchemaConnectorDef* c,
-                        dmi_->RequireConnector(element_, attribute));
-  if (!dmi_->RangeIsLiteral(*c)) {
-    return Status::Conformance("'" + attribute + "' on '" + element_ +
-                               "' is a link connector; use Connect");
+  SLIM_OBS_TIMER(timer, "dmi.attr_write.latency_us");
+  Status st = [&]() -> Status {
+    if (!valid()) return Status::FailedPrecondition("invalid object handle");
+    SLIM_ASSIGN_OR_RETURN(const SchemaConnectorDef* c,
+                          dmi_->RequireConnector(element_, attribute));
+    if (!dmi_->RangeIsLiteral(*c)) {
+      return Status::Conformance("'" + attribute + "' on '" + element_ +
+                                 "' is a link connector; use Connect");
+    }
+    return dmi_->instances_.SetValue(id_, attribute, value);
+  }();
+  if (st.ok()) {
+    SLIM_OBS_COUNT("dmi.attr_write.ok");
+  } else {
+    SLIM_OBS_COUNT("dmi.attr_write.error");
   }
-  return dmi_->instances_.SetValue(id_, attribute, value);
+  return st;
 }
 
 Result<std::string> DynamicObject::Get(const std::string& attribute) const {
-  if (!valid()) return Status::FailedPrecondition("invalid object handle");
-  SLIM_RETURN_NOT_OK(dmi_->RequireConnector(element_, attribute).status());
-  return dmi_->instances_.GetValue(id_, attribute);
+  SLIM_OBS_TIMER(timer, "dmi.attr_read.latency_us");
+  Result<std::string> out = [&]() -> Result<std::string> {
+    if (!valid()) return Status::FailedPrecondition("invalid object handle");
+    SLIM_RETURN_NOT_OK(dmi_->RequireConnector(element_, attribute).status());
+    return dmi_->instances_.GetValue(id_, attribute);
+  }();
+  if (out.ok()) {
+    SLIM_OBS_COUNT("dmi.attr_read.ok");
+  } else {
+    SLIM_OBS_COUNT("dmi.attr_read.error");
+  }
+  return out;
 }
 
 Status DynamicObject::Connect(const std::string& connector,
                               const DynamicObject& target) {
-  if (!valid() || !target.valid()) {
-    return Status::FailedPrecondition("invalid object handle");
-  }
-  SLIM_ASSIGN_OR_RETURN(const SchemaConnectorDef* c,
-                        dmi_->RequireConnector(element_, connector));
-  if (dmi_->RangeIsLiteral(*c)) {
-    return Status::Conformance("'" + connector + "' on '" + element_ +
-                               "' is an attribute; use Set");
-  }
-  // Range compatibility: exact element or model-level generalization.
-  if (target.element_ != c->range) {
-    auto tgt_construct = dmi_->schema_.ConstructOf(target.element_);
-    auto range_construct = dmi_->schema_.ConstructOf(c->range);
-    bool ok = tgt_construct.ok() && range_construct.ok() &&
-              dmi_->model_.IsA(tgt_construct.ValueOrDie(),
-                               range_construct.ValueOrDie());
-    if (!ok) {
-      return Status::Conformance("connector '" + connector + "' expects a '" +
-                                 c->range + "', got a '" + target.element_ +
-                                 "'");
+  Status st = [&]() -> Status {
+    if (!valid() || !target.valid()) {
+      return Status::FailedPrecondition("invalid object handle");
     }
-  }
-  // Upper-bound cardinality enforced at write time.
-  if (c->max_card != store::kMany) {
-    size_t n = dmi_->instances_.GetConnected(id_, connector).size();
-    if (static_cast<int>(n) >= c->max_card) {
-      return Status::Conformance("connector '" + connector + "' on '" + id_ +
-                                 "' already at maximum cardinality " +
-                                 std::to_string(c->max_card));
+    SLIM_ASSIGN_OR_RETURN(const SchemaConnectorDef* c,
+                          dmi_->RequireConnector(element_, connector));
+    if (dmi_->RangeIsLiteral(*c)) {
+      return Status::Conformance("'" + connector + "' on '" + element_ +
+                                 "' is an attribute; use Set");
     }
+    // Range compatibility: exact element or model-level generalization.
+    if (target.element_ != c->range) {
+      auto tgt_construct = dmi_->schema_.ConstructOf(target.element_);
+      auto range_construct = dmi_->schema_.ConstructOf(c->range);
+      bool ok = tgt_construct.ok() && range_construct.ok() &&
+                dmi_->model_.IsA(tgt_construct.ValueOrDie(),
+                                 range_construct.ValueOrDie());
+      if (!ok) {
+        return Status::Conformance("connector '" + connector +
+                                   "' expects a '" + c->range + "', got a '" +
+                                   target.element_ + "'");
+      }
+    }
+    // Upper-bound cardinality enforced at write time.
+    if (c->max_card != store::kMany) {
+      size_t n = dmi_->instances_.GetConnected(id_, connector).size();
+      if (static_cast<int>(n) >= c->max_card) {
+        return Status::Conformance("connector '" + connector + "' on '" +
+                                   id_ + "' already at maximum cardinality " +
+                                   std::to_string(c->max_card));
+      }
+    }
+    return dmi_->instances_.Connect(id_, connector, target.id_);
+  }();
+  if (st.ok()) {
+    SLIM_OBS_COUNT("dmi.connect.ok");
+  } else {
+    SLIM_OBS_COUNT("dmi.connect.error");
   }
-  return dmi_->instances_.Connect(id_, connector, target.id_);
+  return st;
 }
 
 Status DynamicObject::Disconnect(const std::string& connector,
@@ -115,10 +142,17 @@ bool DynamicDmi::RangeIsLiteral(const SchemaConnectorDef& c) const {
 }
 
 Result<DynamicObject> DynamicDmi::Create(const std::string& element) {
-  SLIM_RETURN_NOT_OK(schema_.ConstructOf(element).status());
-  SLIM_ASSIGN_OR_RETURN(std::string id,
-                        instances_.Create(schema_.ElementResource(element)));
-  return DynamicObject(this, std::move(id), element);
+  SLIM_OBS_TIMER(timer, "dmi.create.latency_us");
+  auto fail = [](Status st) {
+    SLIM_OBS_COUNT("dmi.create.error");
+    return st;
+  };
+  Result<std::string> construct = schema_.ConstructOf(element);
+  if (!construct.ok()) return fail(construct.status());
+  Result<std::string> id = instances_.Create(schema_.ElementResource(element));
+  if (!id.ok()) return fail(id.status());
+  SLIM_OBS_COUNT("dmi.create.ok");
+  return DynamicObject(this, std::move(id).ValueOrDie(), element);
 }
 
 Result<DynamicObject> DynamicDmi::Lookup(const std::string& id) {
@@ -145,11 +179,14 @@ Result<std::vector<DynamicObject>> DynamicDmi::InstancesOf(
 
 Status DynamicDmi::Delete(const DynamicObject& object) {
   if (!object.valid()) {
+    SLIM_OBS_COUNT("dmi.delete.error");
     return Status::FailedPrecondition("invalid object handle");
   }
   if (instances_.Delete(object.id()) == 0) {
+    SLIM_OBS_COUNT("dmi.delete.error");
     return Status::NotFound("no instance '" + object.id() + "'");
   }
+  SLIM_OBS_COUNT("dmi.delete.ok");
   return Status::OK();
 }
 

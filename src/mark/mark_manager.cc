@@ -5,6 +5,7 @@
 
 #include "doc/xml/parser.h"
 #include "doc/xml/writer.h"
+#include "obs/obs.h"
 
 namespace slim::mark {
 
@@ -45,12 +46,25 @@ Result<MarkModule*> MarkManager::FindModule(std::string_view mark_type,
 
 Result<std::string> MarkManager::CreateMarkFromSelection(
     const std::string& mark_type) {
-  SLIM_ASSIGN_OR_RETURN(MarkModule * module, FindModule(mark_type, "context"));
-  std::string id = ids_.Next();
-  SLIM_ASSIGN_OR_RETURN(std::unique_ptr<Mark> m,
-                        module->CreateFromSelection(id));
-  marks_[id] = std::move(m);
-  return id;
+  SLIM_OBS_TIMER(timer, "mark.create.latency_us");
+  SLIM_OBS_SPAN(span, "mark.create");
+  span.AddTag("type", mark_type);
+  Result<std::string> out = [&]() -> Result<std::string> {
+    SLIM_ASSIGN_OR_RETURN(MarkModule * module,
+                          FindModule(mark_type, "context"));
+    std::string id = ids_.Next();
+    SLIM_ASSIGN_OR_RETURN(std::unique_ptr<Mark> m,
+                          module->CreateFromSelection(id));
+    marks_[id] = std::move(m);
+    return id;
+  }();
+  if (out.ok()) {
+    SLIM_OBS_COUNT("mark.create.ok");
+    SLIM_OBS_COUNT_DYN("mark.create.module." + mark_type);
+  } else {
+    SLIM_OBS_COUNT("mark.create.error");
+  }
+  return out;
 }
 
 Status MarkManager::AdoptMark(std::unique_ptr<Mark> mark) {
@@ -84,15 +98,44 @@ Status MarkManager::RemoveMark(const std::string& mark_id) {
 
 Status MarkManager::ResolveMark(const std::string& mark_id,
                                 const std::string& resolver) {
-  SLIM_ASSIGN_OR_RETURN(const Mark* m, GetMark(mark_id));
-  SLIM_ASSIGN_OR_RETURN(MarkModule * module, FindModule(m->type(), resolver));
-  return module->Resolve(*m).WithContext("resolving " + m->Describe());
+  SLIM_OBS_TIMER(timer, "mark.resolve.latency_us");
+  SLIM_OBS_SPAN(span, "mark.resolve");
+  span.AddTag("mark", mark_id);
+  span.AddTag("resolver", resolver);
+  Status st = [&]() -> Status {
+    SLIM_ASSIGN_OR_RETURN(const Mark* m, GetMark(mark_id));
+    SLIM_ASSIGN_OR_RETURN(MarkModule * module,
+                          FindModule(m->type(), resolver));
+    // Which module drove the base application (obs: the Monikers-style
+    // per-module breakdown of §5).
+    SLIM_OBS_COUNT_DYN("mark.resolve.module." + std::string(m->type()) + "." +
+                       resolver);
+    return module->Resolve(*m).WithContext("resolving " + m->Describe());
+  }();
+  if (st.ok()) {
+    SLIM_OBS_COUNT("mark.resolve.ok");
+  } else {
+    SLIM_OBS_COUNT("mark.resolve.error");
+  }
+  return st;
 }
 
 Result<std::string> MarkManager::ExtractContent(const std::string& mark_id) {
-  SLIM_ASSIGN_OR_RETURN(const Mark* m, GetMark(mark_id));
-  SLIM_ASSIGN_OR_RETURN(MarkModule * module, FindModule(m->type(), "context"));
-  return module->ExtractContent(*m);
+  SLIM_OBS_TIMER(timer, "mark.extract.latency_us");
+  SLIM_OBS_SPAN(span, "mark.extract");
+  span.AddTag("mark", mark_id);
+  Result<std::string> out = [&]() -> Result<std::string> {
+    SLIM_ASSIGN_OR_RETURN(const Mark* m, GetMark(mark_id));
+    SLIM_ASSIGN_OR_RETURN(MarkModule * module,
+                          FindModule(m->type(), "context"));
+    return module->ExtractContent(*m);
+  }();
+  if (out.ok()) {
+    SLIM_OBS_COUNT("mark.extract.ok");
+  } else {
+    SLIM_OBS_COUNT("mark.extract.error");
+  }
+  return out;
 }
 
 std::vector<std::string> MarkManager::MarkIds() const {

@@ -1,5 +1,7 @@
 #include "mark/validator.h"
 
+#include "obs/obs.h"
+
 namespace slim::mark {
 
 std::string_view MarkHealthName(MarkHealth health) {
@@ -29,6 +31,8 @@ std::string ValidationReport::ToString() const {
 }
 
 ValidationReport ValidateAllMarks(MarkManager* manager) {
+  SLIM_OBS_SPAN(span, "mark.audit");
+  SLIM_OBS_TIMER(timer, "mark.audit.latency_us");
   ValidationReport report;
   for (const std::string& id : manager->MarkIds()) {
     MarkAudit audit;
@@ -38,6 +42,7 @@ ValidationReport ValidateAllMarks(MarkManager* manager) {
       audit.health = MarkHealth::kDangling;
       audit.detail = content.status().ToString();
       ++report.dangling;
+      SLIM_OBS_COUNT("mark.audit.dangling");
     } else {
       const Mark* m = manager->GetMark(id).ValueOrDie();
       if (!m->excerpt().empty() && m->excerpt() != *content) {
@@ -45,14 +50,17 @@ ValidationReport ValidateAllMarks(MarkManager* manager) {
         audit.detail = "was \"" + m->excerpt() + "\", now \"" + *content +
                        "\"";
         ++report.changed;
+        SLIM_OBS_COUNT("mark.audit.changed");
       } else {
         audit.health = MarkHealth::kValid;
         audit.detail = *content;
         ++report.valid;
+        SLIM_OBS_COUNT("mark.audit.valid");
       }
     }
     report.audits.push_back(std::move(audit));
   }
+  span.AddTag("marks", std::to_string(report.audits.size()));
   return report;
 }
 

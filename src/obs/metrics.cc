@@ -1,0 +1,369 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace slim::obs {
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+void LatencyHistogram::Record(uint64_t value) {
+  size_t bucket = kBucketBounds.size();  // overflow by default
+  for (size_t i = 0; i < kBucketBounds.size(); ++i) {
+    if (value <= kBucketBounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t LatencyHistogram::min() const {
+  uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+uint64_t LatencyHistogram::ApproxPercentile(double p) const {
+  uint64_t total = count();
+  if (total == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(p * double(total));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    seen += BucketValue(i);
+    if (seen >= rank) {
+      return i < kBucketBounds.size() ? kBucketBounds[i] : max();
+    }
+  }
+  return max();
+}
+
+void LatencyHistogram::Merge(uint64_t count, uint64_t sum, uint64_t min_value,
+                             uint64_t max_value,
+                             const std::vector<uint64_t>& buckets) {
+  for (size_t i = 0; i < kBucketCount && i < buckets.size(); ++i) {
+    buckets_[i].fetch_add(buckets[i], std::memory_order_relaxed);
+  }
+  count_.fetch_add(count, std::memory_order_relaxed);
+  sum_.fetch_add(sum, std::memory_order_relaxed);
+  if (count == 0) return;
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (max_value > seen && !max_.compare_exchange_weak(
+                                 seen, max_value, std::memory_order_relaxed)) {
+  }
+  seen = min_.load(std::memory_order_relaxed);
+  while (min_value < seen && !min_.compare_exchange_weak(
+                                 seen, min_value, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+size_t MetricsRegistry::MetricCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::string MetricsRegistry::ExportText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += "counter   " + name + " = " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += "gauge     " + name + " = " + std::to_string(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += "histogram " + name + " count=" + std::to_string(h->count()) +
+           " sum=" + std::to_string(h->sum()) +
+           " min=" + std::to_string(h->min()) +
+           " mean=" + std::to_string(static_cast<uint64_t>(h->mean())) +
+           " p50=" + std::to_string(h->ApproxPercentile(0.5)) +
+           " p95=" + std::to_string(h->ApproxPercentile(0.95)) +
+           " max=" + std::to_string(h->max()) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto quote = [](const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    out += '"';
+    return out;
+  };
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += quote(name) + ":" + std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += quote(name) + ":" + std::to_string(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += quote(name) + ":{\"count\":" + std::to_string(h->count()) +
+           ",\"sum\":" + std::to_string(h->sum()) +
+           ",\"min\":" + std::to_string(h->min()) +
+           ",\"max\":" + std::to_string(h->max()) + ",\"buckets\":[";
+    for (size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+      if (i) out += ',';
+      out += std::to_string(h->BucketValue(i));
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+namespace {
+
+// Minimal parser for the subset of JSON ExportJson emits: objects keyed by
+// strings, unsigned/negative integers, and flat arrays of integers.
+struct JsonCursor {
+  std::string_view src;
+  size_t i = 0;
+  std::string error;
+
+  bool Fail(const std::string& message) {
+    if (error.empty()) {
+      error = message + " at offset " + std::to_string(i);
+    }
+    return false;
+  }
+  void SkipSpace() {
+    while (i < src.size() &&
+           std::isspace(static_cast<unsigned char>(src[i]))) {
+      ++i;
+    }
+  }
+  bool Expect(char c) {
+    SkipSpace();
+    if (i >= src.size() || src[i] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++i;
+    return true;
+  }
+  bool Peek(char c) {
+    SkipSpace();
+    return i < src.size() && src[i] == c;
+  }
+  bool ParseString(std::string* out) {
+    if (!Expect('"')) return false;
+    out->clear();
+    while (i < src.size()) {
+      char c = src[i++];
+      if (c == '\\' && i < src.size()) {
+        out->push_back(src[i++]);
+      } else if (c == '"') {
+        return true;
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+  bool ParseInt(int64_t* out) {
+    SkipSpace();
+    bool negative = false;
+    if (i < src.size() && src[i] == '-') {
+      negative = true;
+      ++i;
+    }
+    if (i >= src.size() || !std::isdigit(static_cast<unsigned char>(src[i]))) {
+      return Fail("expected an integer");
+    }
+    uint64_t value = 0;
+    while (i < src.size() &&
+           std::isdigit(static_cast<unsigned char>(src[i]))) {
+      value = value * 10 + static_cast<uint64_t>(src[i] - '0');
+      ++i;
+    }
+    *out = negative ? -static_cast<int64_t>(value)
+                    : static_cast<int64_t>(value);
+    return true;
+  }
+  bool ParseUint(uint64_t* out) {
+    SkipSpace();
+    if (i >= src.size() || !std::isdigit(static_cast<unsigned char>(src[i]))) {
+      return Fail("expected an unsigned integer");
+    }
+    uint64_t value = 0;
+    while (i < src.size() &&
+           std::isdigit(static_cast<unsigned char>(src[i]))) {
+      value = value * 10 + static_cast<uint64_t>(src[i] - '0');
+      ++i;
+    }
+    *out = value;
+    return true;
+  }
+};
+
+}  // namespace
+
+bool MetricsRegistry::ImportJson(std::string_view json, std::string* error) {
+  JsonCursor c;
+  c.src = json;
+  auto fail = [&]() {
+    if (error != nullptr) *error = c.error;
+    return false;
+  };
+  // Parse each section into scratch space first so a malformed document
+  // leaves the registry untouched.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  struct HistogramData {
+    std::string name;
+    uint64_t count = 0, sum = 0, min = 0, max = 0;
+    std::vector<uint64_t> buckets;
+  };
+  std::vector<HistogramData> histograms;
+
+  if (!c.Expect('{')) return fail();
+  bool first_section = true;
+  while (!c.Peek('}')) {
+    if (!first_section && !c.Expect(',')) return fail();
+    first_section = false;
+    std::string section;
+    if (!c.ParseString(&section) || !c.Expect(':') || !c.Expect('{')) {
+      return fail();
+    }
+    bool first_entry = true;
+    while (!c.Peek('}')) {
+      if (!first_entry && !c.Expect(',')) return fail();
+      first_entry = false;
+      std::string name;
+      if (!c.ParseString(&name) || !c.Expect(':')) return fail();
+      if (section == "counters") {
+        uint64_t value;
+        if (!c.ParseUint(&value)) return fail();
+        counters.emplace_back(std::move(name), value);
+      } else if (section == "gauges") {
+        int64_t value;
+        if (!c.ParseInt(&value)) return fail();
+        gauges.emplace_back(std::move(name), value);
+      } else if (section == "histograms") {
+        HistogramData h;
+        h.name = std::move(name);
+        if (!c.Expect('{')) return fail();
+        bool first_field = true;
+        while (!c.Peek('}')) {
+          if (!first_field && !c.Expect(',')) return fail();
+          first_field = false;
+          std::string field;
+          if (!c.ParseString(&field) || !c.Expect(':')) return fail();
+          if (field == "buckets") {
+            if (!c.Expect('[')) return fail();
+            while (!c.Peek(']')) {
+              if (!h.buckets.empty() && !c.Expect(',')) return fail();
+              uint64_t value;
+              if (!c.ParseUint(&value)) return fail();
+              h.buckets.push_back(value);
+            }
+            if (!c.Expect(']')) return fail();
+          } else {
+            uint64_t value;
+            if (!c.ParseUint(&value)) return fail();
+            if (field == "count") h.count = value;
+            else if (field == "sum") h.sum = value;
+            else if (field == "min") h.min = value;
+            else if (field == "max") h.max = value;
+            else { c.Fail("unknown histogram field '" + field + "'"); return fail(); }
+          }
+        }
+        if (!c.Expect('}')) return fail();
+        histograms.push_back(std::move(h));
+      } else {
+        c.Fail("unknown section '" + section + "'");
+        return fail();
+      }
+    }
+    if (!c.Expect('}')) return fail();
+  }
+  if (!c.Expect('}')) return fail();
+
+  for (auto& [name, value] : counters) GetCounter(name)->Increment(value);
+  for (auto& [name, value] : gauges) GetGauge(name)->Add(value);
+  for (auto& h : histograms) {
+    GetHistogram(h.name)->Merge(h.count, h.sum, h.min, h.max, h.buckets);
+  }
+  return true;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, c] : counters_) c->Reset();
+  for (auto& [_, g] : gauges_) g->Reset();
+  for (auto& [_, h] : histograms_) h->Reset();
+}
+
+MetricsRegistry& DefaultRegistry() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace slim::obs

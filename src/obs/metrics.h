@@ -1,0 +1,168 @@
+#ifndef SLIM_OBS_METRICS_H_
+#define SLIM_OBS_METRICS_H_
+
+/// \file metrics.h
+/// \brief Metrics substrate for the layered architecture (paper §6).
+///
+/// The paper's experiments measure the cost of stacking mark management,
+/// TRIM, the SLIM metamodel and generated DMIs (Fig. 5); this registry is
+/// the runtime counterpart — lock-cheap counters, gauges and fixed-bucket
+/// latency histograms that every layer can write into from its hot path.
+///
+/// Naming convention: `layer.op.outcome`, e.g. `trim.add.ok`,
+/// `mark.resolve.error`, `slimpad.open_scrap.independent`. Histograms
+/// append the unit: `trim.view.latency_us`, `trim.view.fanout`.
+///
+/// Individual metric objects are atomics (no lock on the write path); the
+/// registry itself takes a mutex only on first lookup of a name, so call
+/// sites cache the returned pointer (the macros in obs.h do this). Pointers
+/// returned by Get* stay valid for the registry's lifetime — Reset() zeroes
+/// values but never removes metrics.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace slim::obs {
+
+/// \name Global kill switch.
+/// When disabled, the instrumentation macros and ScopedOpTimer become
+/// near-zero cost (one relaxed atomic load, no clock reads). Compile-time
+/// removal is the SLIM_ENABLE_OBS cmake option instead.
+/// @{
+namespace internal {
+inline std::atomic<bool> g_disabled{false};
+}  // namespace internal
+
+inline bool Disabled() {
+  return internal::g_disabled.load(std::memory_order_relaxed);
+}
+inline void SetDisabled(bool disabled) {
+  internal::g_disabled.store(disabled, std::memory_order_relaxed);
+}
+/// @}
+
+/// \brief Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief A value that can move both ways (open documents, live triples).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Fixed-bucket histogram for latencies (µs) and size distributions
+/// (view fan-out, query solutions). Buckets are cumulative-exportable
+/// upper bounds; the last bucket is the overflow (+inf).
+class LatencyHistogram {
+ public:
+  /// Upper bounds (inclusive) of the finite buckets, in recording units.
+  static constexpr std::array<uint64_t, 19> kBucketBounds = {
+      1,     2,     5,      10,     25,     50,     100,    250,    500,
+      1000,  2500,  5000,   10000,  25000,  50000,  100000, 250000, 500000,
+      1000000};
+  static constexpr size_t kBucketCount = kBucketBounds.size() + 1;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// 0 when empty.
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  /// 0 when empty.
+  uint64_t min() const;
+  double mean() const { return count() ? double(sum()) / double(count()) : 0; }
+
+  uint64_t BucketValue(size_t bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+  /// UINT64_MAX for the overflow bucket.
+  static uint64_t BucketUpperBound(size_t bucket) {
+    return bucket < kBucketBounds.size() ? kBucketBounds[bucket] : UINT64_MAX;
+  }
+
+  /// Approximate percentile (0 < p <= 1): the upper bound of the bucket
+  /// holding the p-th recorded value. 0 when empty.
+  uint64_t ApproxPercentile(double p) const;
+
+  /// Adds another histogram's observations into this one (JSON import and
+  /// per-session roll-ups).
+  void Merge(uint64_t count, uint64_t sum, uint64_t min_value,
+             uint64_t max_value, const std::vector<uint64_t>& buckets);
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kBucketCount> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+};
+
+/// \brief Named metrics, created on first use. One process-wide default
+/// plus per-SlimPadApp / per-workload-session instances.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates; the pointer stays valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  /// Current value of a counter, 0 when it was never created.
+  uint64_t CounterValue(const std::string& name) const;
+
+  size_t MetricCount() const;
+
+  /// \name Exporters.
+  /// `ExportText` is the human report (one line per metric); `ExportJson`
+  /// is machine-readable and round-trips through `ImportJson`, which
+  /// *merges* the imported values into this registry (so per-session
+  /// summaries can be aggregated).
+  /// @{
+  std::string ExportText() const;
+  std::string ExportJson() const;
+  bool ImportJson(std::string_view json, std::string* error = nullptr);
+  /// @}
+
+  /// Zeroes every metric. Never removes them (call sites cache pointers).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+/// Process-wide registry: the sink for all layer instrumentation.
+MetricsRegistry& DefaultRegistry();
+
+}  // namespace slim::obs
+
+#endif  // SLIM_OBS_METRICS_H_

@@ -1,0 +1,129 @@
+#ifndef SLIM_OBS_OBS_H_
+#define SLIM_OBS_OBS_H_
+
+/// \file obs.h
+/// \brief One-line instrumentation for the four layers (umbrella header).
+///
+/// Call sites use the macros below so that a single line instruments an
+/// operation, and the whole substrate compiles out when the cmake option
+/// SLIM_ENABLE_OBS is OFF (SLIM_OBS_ENABLED becomes 0):
+///
+///   SLIM_OBS_COUNT("trim.add.ok");                 // cached counter bump
+///   SLIM_OBS_COUNT_DYN("mark.resolve.module." + type);  // runtime name
+///   SLIM_OBS_HISTOGRAM("trim.view.fanout", out.size());
+///   SLIM_OBS_TIMER(timer, "trim.view.latency_us"); // times the scope
+///   SLIM_OBS_SPAN(span, "slimpad.open_scrap");     // RAII trace span
+///
+/// With obs compiled in but `obs::SetDisabled(true)`, every macro costs one
+/// relaxed atomic load and nothing else (no clock reads, no lookups).
+/// Metric names follow `layer.op.outcome` — see DESIGN.md §Observability.
+
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#ifndef SLIM_OBS_ENABLED
+#define SLIM_OBS_ENABLED 1
+#endif
+
+namespace slim::obs {
+
+/// \brief Times a scope into a LatencyHistogram (µs). Inert when
+/// constructed with nullptr or while obs is disabled.
+class ScopedOpTimer {
+ public:
+  explicit ScopedOpTimer(LatencyHistogram* histogram)
+      : histogram_(Disabled() ? nullptr : histogram) {
+    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ScopedOpTimer(const ScopedOpTimer&) = delete;
+  ScopedOpTimer& operator=(const ScopedOpTimer&) = delete;
+  ~ScopedOpTimer() {
+    if (histogram_ == nullptr) return;
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count()));
+  }
+
+ private:
+  LatencyHistogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace slim::obs
+
+#define SLIM_OBS_CONCAT_INNER(a, b) a##b
+#define SLIM_OBS_CONCAT(a, b) SLIM_OBS_CONCAT_INNER(a, b)
+
+#if SLIM_OBS_ENABLED
+
+/// Bumps a counter in the default registry by `n`. `name` must be a string
+/// literal: the Counter* is looked up once and cached per call site.
+#define SLIM_OBS_COUNT_N(name, n)                                           \
+  do {                                                                      \
+    if (!::slim::obs::Disabled()) {                                         \
+      static ::slim::obs::Counter* SLIM_OBS_CONCAT(_slim_obs_ctr,           \
+                                                   __LINE__) =              \
+          ::slim::obs::DefaultRegistry().GetCounter(name);                  \
+      SLIM_OBS_CONCAT(_slim_obs_ctr, __LINE__)->Increment(n);               \
+    }                                                                       \
+  } while (0)
+
+#define SLIM_OBS_COUNT(name) SLIM_OBS_COUNT_N(name, 1)
+
+/// Counter with a runtime-built name (no per-site caching).
+#define SLIM_OBS_COUNT_DYN(name_expr)                                       \
+  do {                                                                      \
+    if (!::slim::obs::Disabled()) {                                         \
+      ::slim::obs::DefaultRegistry().GetCounter(name_expr)->Increment();    \
+    }                                                                       \
+  } while (0)
+
+/// Records `value` into a histogram in the default registry (cached).
+#define SLIM_OBS_HISTOGRAM(name, value)                                     \
+  do {                                                                      \
+    if (!::slim::obs::Disabled()) {                                         \
+      static ::slim::obs::LatencyHistogram* SLIM_OBS_CONCAT(_slim_obs_hst,  \
+                                                            __LINE__) =     \
+          ::slim::obs::DefaultRegistry().GetHistogram(name);                \
+      SLIM_OBS_CONCAT(_slim_obs_hst, __LINE__)->Record(                     \
+          static_cast<uint64_t>(value));                                    \
+    }                                                                       \
+  } while (0)
+
+/// Declares `var`, a ScopedOpTimer recording the enclosing scope's
+/// duration (µs) into the named default-registry histogram.
+#define SLIM_OBS_TIMER(var, name)                                           \
+  static ::slim::obs::LatencyHistogram* SLIM_OBS_CONCAT(var, _histogram) =  \
+      ::slim::obs::DefaultRegistry().GetHistogram(name);                    \
+  ::slim::obs::ScopedOpTimer var(SLIM_OBS_CONCAT(var, _histogram))
+
+/// Declares `var`, an RAII Span on the default tracer.
+#define SLIM_OBS_SPAN(var, name) \
+  ::slim::obs::Span var = ::slim::obs::DefaultTracer().StartSpan(name)
+
+#else  // !SLIM_OBS_ENABLED — everything compiles away.
+
+#define SLIM_OBS_COUNT_N(name, n) \
+  do {                            \
+  } while (0)
+#define SLIM_OBS_COUNT(name) \
+  do {                       \
+  } while (0)
+#define SLIM_OBS_COUNT_DYN(name_expr) \
+  do {                                \
+  } while (0)
+#define SLIM_OBS_HISTOGRAM(name, value) \
+  do {                                  \
+  } while (0)
+#define SLIM_OBS_TIMER(var, name) \
+  do {                            \
+  } while (0)
+// An inert Span so `var.AddTag(...)` still compiles (and folds away).
+#define SLIM_OBS_SPAN(var, name) ::slim::obs::Span var
+
+#endif  // SLIM_OBS_ENABLED
+
+#endif  // SLIM_OBS_OBS_H_

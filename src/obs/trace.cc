@@ -1,0 +1,145 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace slim::obs {
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+void RingBufferSink::OnSpanEnd(const SpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() == capacity_) {
+    spans_.pop_front();
+    ++dropped_;
+  }
+  spans_.push_back(span);
+}
+
+std::vector<SpanRecord> RingBufferSink::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {spans_.begin(), spans_.end()};
+}
+
+size_t RingBufferSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+size_t RingBufferSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void RingBufferSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  dropped_ = 0;
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::app) {}
+
+void JsonlFileSink::OnSpanEnd(const SpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!out_.is_open()) return;
+  auto quote = [](const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    out += '"';
+    return out;
+  };
+  out_ << "{\"id\":" << span.id << ",\"parent\":" << span.parent_id
+       << ",\"depth\":" << span.depth << ",\"name\":" << quote(span.name)
+       << ",\"start_ns\":" << span.start_ns
+       << ",\"duration_ns\":" << span.duration_ns;
+  if (!span.tags.empty()) {
+    out_ << ",\"tags\":{";
+    for (size_t i = 0; i < span.tags.size(); ++i) {
+      if (i) out_ << ',';
+      out_ << quote(span.tags[i].first) << ':' << quote(span.tags[i].second);
+    }
+    out_ << '}';
+  }
+  out_ << "}\n";
+  out_.flush();
+}
+
+// ---------------------------------------------------------------------------
+// Span
+// ---------------------------------------------------------------------------
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = other.tracer_;
+    record_ = std::move(other.record_);
+    start_ = other.start_;
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::End() {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  tracer->FinishSpan(&record_, start_);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+void Tracer::AddSink(TraceSink* sink) {
+  if (sink == nullptr) return;
+  if (std::find(sinks_.begin(), sinks_.end(), sink) == sinks_.end()) {
+    sinks_.push_back(sink);
+  }
+}
+
+void Tracer::RemoveSink(TraceSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+Span Tracer::StartSpan(std::string name) {
+  if (!active()) return Span{};
+  SpanRecord record;
+  record.id = next_id_++;
+  record.parent_id = open_.empty() ? 0 : open_.back();
+  record.depth = static_cast<int>(open_.size());
+  record.name = std::move(name);
+  auto now = std::chrono::steady_clock::now();
+  record.start_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_)
+          .count());
+  open_.push_back(record.id);
+  return Span(this, std::move(record), now);
+}
+
+void Tracer::FinishSpan(SpanRecord* record,
+                        std::chrono::steady_clock::time_point start) {
+  record->duration_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  // Usually the innermost open span ends first; a moved span ending out of
+  // order is simply removed wherever it is.
+  auto it = std::find(open_.rbegin(), open_.rend(), record->id);
+  if (it != open_.rend()) {
+    open_.erase(std::next(it).base());
+  }
+  ++finished_;
+  for (TraceSink* sink : sinks_) sink->OnSpanEnd(*record);
+}
+
+Tracer& DefaultTracer() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+}  // namespace slim::obs

@@ -1,0 +1,160 @@
+#ifndef SLIM_OBS_TRACE_H_
+#define SLIM_OBS_TRACE_H_
+
+/// \file trace.h
+/// \brief Scoped tracing across the four layers (paper Fig. 5).
+///
+/// A `Span` is an RAII scope: it captures a name, optional tags, its
+/// parent (the innermost span still open on the tracer) and a
+/// monotonic-clock duration. When the scope ends the completed record is
+/// delivered to every registered `TraceSink` — a ring buffer for tests and
+/// interactive dumps, a JSONL file for offline analysis.
+///
+/// Starting a span is free when no sink is attached (or obs is disabled):
+/// `StartSpan` returns an inert span and never reads the clock. Nesting
+/// bookkeeping assumes spans on one tracer open and close on one thread
+/// (the repository is single-threaded today); sinks themselves are
+/// internally locked.
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace slim::obs {
+
+class Tracer;
+
+/// \brief One finished span, as delivered to sinks.
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;  ///< 0 for root spans.
+  int depth = 0;           ///< 0 for root spans.
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> tags;
+  uint64_t start_ns = 0;  ///< Monotonic, relative to the tracer's epoch.
+  uint64_t duration_ns = 0;
+};
+
+/// \brief Receives finished spans. Implementations must tolerate delivery
+/// from any code path that holds a span (no re-entrant tracing).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnSpanEnd(const SpanRecord& span) = 0;
+};
+
+/// \brief Keeps the most recent `capacity` spans in memory.
+class RingBufferSink : public TraceSink {
+ public:
+  explicit RingBufferSink(size_t capacity = 1024) : capacity_(capacity) {}
+
+  void OnSpanEnd(const SpanRecord& span) override;
+
+  /// Retained spans, oldest first (in end order).
+  std::vector<SpanRecord> Spans() const;
+  size_t size() const;
+  /// Spans evicted because the buffer was full.
+  size_t dropped() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::deque<SpanRecord> spans_;
+  size_t dropped_ = 0;
+};
+
+/// \brief Appends one JSON object per span to a file (JSONL).
+class JsonlFileSink : public TraceSink {
+ public:
+  explicit JsonlFileSink(const std::string& path);
+
+  /// False when the file could not be opened (spans are then discarded).
+  bool ok() const { return out_.is_open() && out_.good(); }
+
+  void OnSpanEnd(const SpanRecord& span) override;
+
+ private:
+  std::mutex mu_;
+  std::ofstream out_;
+};
+
+/// \brief RAII span scope. Default-constructed (or moved-from) spans are
+/// inert: every operation is a no-op.
+class Span {
+ public:
+  Span() = default;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  ~Span() { End(); }
+
+  bool active() const { return tracer_ != nullptr; }
+  uint64_t id() const { return record_.id; }
+
+  void AddTag(std::string key, std::string value) {
+    if (active()) record_.tags.emplace_back(std::move(key), std::move(value));
+  }
+
+  /// Ends the span early (idempotent; the destructor calls this).
+  void End();
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, SpanRecord record,
+       std::chrono::steady_clock::time_point start)
+      : tracer_(tracer), record_(std::move(record)), start_(start) {}
+
+  Tracer* tracer_ = nullptr;
+  SpanRecord record_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// \brief Hands out spans and fans finished records out to sinks.
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Sinks are not owned and must outlive their registration.
+  void AddSink(TraceSink* sink);
+  void RemoveSink(TraceSink* sink);
+  size_t sink_count() const { return sinks_.size(); }
+
+  /// True when spans are actually recorded.
+  bool active() const { return !sinks_.empty() && !Disabled(); }
+
+  /// Starts a span nested under the innermost open span. Inert (and free)
+  /// when `active()` is false.
+  Span StartSpan(std::string name);
+
+  /// Spans delivered to sinks so far.
+  uint64_t finished_spans() const { return finished_; }
+
+ private:
+  friend class Span;
+  void FinishSpan(SpanRecord* record,
+                  std::chrono::steady_clock::time_point start);
+
+  std::vector<TraceSink*> sinks_;
+  std::vector<uint64_t> open_;  ///< Ids of open spans, outermost first.
+  uint64_t next_id_ = 1;
+  uint64_t finished_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Process-wide tracer used by the SLIM_OBS_SPAN instrumentation macro.
+Tracer& DefaultTracer();
+
+}  // namespace slim::obs
+
+#endif  // SLIM_OBS_TRACE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 
+#include "obs/obs.h"
 #include "util/strings.h"
 
 namespace slim::store {
@@ -251,28 +252,36 @@ void Search(const trim::TripleStore& store,
 }  // namespace
 
 Result<Query> Query::Parse(std::string_view text) {
-  std::vector<QueryClause> clauses;
-  Cursor cursor{text};
-  while (!cursor.Done()) {
-    QueryClause clause;
-    SLIM_ASSIGN_OR_RETURN(clause.subject, ParseTerm(&cursor));
-    SLIM_ASSIGN_OR_RETURN(clause.property, ParseTerm(&cursor));
-    SLIM_ASSIGN_OR_RETURN(clause.object, ParseTerm(&cursor));
-    clauses.push_back(std::move(clause));
-    cursor.SkipSpace();
-    if (cursor.i < cursor.src.size()) {
-      if (cursor.src[cursor.i] != '.') {
-        return Status::ParseError("query: expected '.' between clauses at "
-                                  "position " +
-                                  std::to_string(cursor.i));
+  Result<Query> out = [&]() -> Result<Query> {
+    std::vector<QueryClause> clauses;
+    Cursor cursor{text};
+    while (!cursor.Done()) {
+      QueryClause clause;
+      SLIM_ASSIGN_OR_RETURN(clause.subject, ParseTerm(&cursor));
+      SLIM_ASSIGN_OR_RETURN(clause.property, ParseTerm(&cursor));
+      SLIM_ASSIGN_OR_RETURN(clause.object, ParseTerm(&cursor));
+      clauses.push_back(std::move(clause));
+      cursor.SkipSpace();
+      if (cursor.i < cursor.src.size()) {
+        if (cursor.src[cursor.i] != '.') {
+          return Status::ParseError("query: expected '.' between clauses at "
+                                    "position " +
+                                    std::to_string(cursor.i));
+        }
+        ++cursor.i;
       }
-      ++cursor.i;
     }
+    if (clauses.empty()) {
+      return Status::InvalidArgument("query has no clauses");
+    }
+    return Query(std::move(clauses));
+  }();
+  if (out.ok()) {
+    SLIM_OBS_COUNT("slim.query.parse.ok");
+  } else {
+    SLIM_OBS_COUNT("slim.query.parse.error");
   }
-  if (clauses.empty()) {
-    return Status::InvalidArgument("query has no clauses");
-  }
-  return Query(std::move(clauses));
+  return out;
 }
 
 std::vector<std::string> Query::Variables() const {
@@ -304,7 +313,12 @@ std::string Query::ToString() const {
 
 Result<std::vector<Binding>> Execute(const trim::TripleStore& store,
                                      const Query& query) {
+  SLIM_OBS_COUNT("slim.query.execute.calls");
+  SLIM_OBS_TIMER(timer, "slim.query.latency_us");
+  SLIM_OBS_SPAN(span, "slim.query.execute");
+  span.AddTag("clauses", std::to_string(query.clauses().size()));
   if (query.clauses().empty()) {
+    SLIM_OBS_COUNT("slim.query.execute.error");
     return Status::InvalidArgument("query has no clauses");
   }
   std::vector<const QueryClause*> remaining;
@@ -312,7 +326,12 @@ Result<std::vector<Binding>> Execute(const trim::TripleStore& store,
   std::vector<Binding> out;
   Status failure;
   Search(store, std::move(remaining), Binding{}, &out, &failure);
-  SLIM_RETURN_NOT_OK(failure);
+  if (!failure.ok()) {
+    SLIM_OBS_COUNT("slim.query.execute.error");
+    return failure;
+  }
+  SLIM_OBS_HISTOGRAM("slim.query.solutions", out.size());
+  span.AddTag("solutions", std::to_string(out.size()));
   return out;
 }
 

@@ -2,8 +2,27 @@
 
 namespace slim::pad {
 
+std::string_view ViewingStyleName(ViewingStyle style) {
+  switch (style) {
+    case ViewingStyle::kSimultaneous: return "simultaneous";
+    case ViewingStyle::kEnhanced: return "enhanced";
+    case ViewingStyle::kIndependent: return "independent";
+  }
+  return "unknown";
+}
+
 SlimPadApp::SlimPadApp(mark::MarkManager* marks)
     : marks_(marks), dmi_(std::make_unique<SlimPadDmi>(&store_)) {}
+
+void SlimPadApp::CountGesture(const std::string& name) {
+#if SLIM_OBS_ENABLED
+  if (obs::Disabled()) return;
+  metrics_.GetCounter(name)->Increment();
+  obs::DefaultRegistry().GetCounter(name)->Increment();
+#else
+  (void)name;
+#endif
+}
 
 Status SlimPadApp::NewPad(const std::string& pad_name) {
   SLIM_ASSIGN_OR_RETURN(const SlimPad* pad, dmi_->Create_SlimPad(pad_name));
@@ -35,9 +54,16 @@ Result<std::string> SlimPadApp::CreateBundle(
 Result<std::string> SlimPadApp::AddScrapFromSelection(
     const std::string& bundle_id, const std::string& app_type,
     const std::string& scrap_label, Coordinate pos) {
-  SLIM_ASSIGN_OR_RETURN(std::string mark_id,
-                        marks_->CreateMarkFromSelection(app_type));
-  return AddScrapForMark(bundle_id, mark_id, scrap_label, pos);
+  SLIM_OBS_TIMER(timer, "slimpad.add_scrap.latency_us");
+  SLIM_OBS_SPAN(span, "slimpad.add_scrap_from_selection");
+  span.AddTag("app_type", app_type);
+  Result<std::string> out = [&]() -> Result<std::string> {
+    SLIM_ASSIGN_OR_RETURN(std::string mark_id,
+                          marks_->CreateMarkFromSelection(app_type));
+    return AddScrapForMark(bundle_id, mark_id, scrap_label, pos);
+  }();
+  CountGesture(out.ok() ? "slimpad.add_scrap.ok" : "slimpad.add_scrap.error");
+  return out;
 }
 
 Result<std::string> SlimPadApp::AddScrapForMark(const std::string& bundle_id,
@@ -70,42 +96,56 @@ Result<std::string> SlimPadApp::AddGraphicScrap(const std::string& bundle_id,
 }
 
 Result<OpenResult> SlimPadApp::OpenScrap(const std::string& scrap_id) {
-  SLIM_ASSIGN_OR_RETURN(const Scrap* scrap, dmi_->GetScrap(scrap_id));
-  if (scrap->mark_handles().empty()) {
-    return Status::FailedPrecondition("scrap '" + scrap_id +
-                                      "' has no mark (graphic scrap)");
+  SLIM_OBS_TIMER(timer, "slimpad.open_scrap.latency_us");
+  SLIM_OBS_SPAN(span, "slimpad.open_scrap");
+  span.AddTag("scrap", scrap_id);
+  span.AddTag("style", std::string(ViewingStyleName(style_)));
+  Result<OpenResult> result = [&]() -> Result<OpenResult> {
+    SLIM_ASSIGN_OR_RETURN(const Scrap* scrap, dmi_->GetScrap(scrap_id));
+    if (scrap->mark_handles().empty()) {
+      return Status::FailedPrecondition("scrap '" + scrap_id +
+                                        "' has no mark (graphic scrap)");
+    }
+    SLIM_ASSIGN_OR_RETURN(const MarkHandle* handle,
+                          dmi_->GetMarkHandle(scrap->mark_handles().front()));
+    OpenResult out;
+    out.style = style_;
+    out.mark_id = handle->mark_id();
+    switch (style_) {
+      case ViewingStyle::kSimultaneous: {
+        // De-reference the mark: the base application window navigates to
+        // and highlights the element.
+        SLIM_RETURN_NOT_OK(marks_->ResolveMark(handle->mark_id(), "context"));
+        out.base_app_navigated = true;
+        break;
+      }
+      case ViewingStyle::kEnhanced: {
+        // The base application hosts the superimposed layer: navigate AND
+        // surface the content to the (enhanced) base window.
+        SLIM_RETURN_NOT_OK(marks_->ResolveMark(handle->mark_id(), "context"));
+        SLIM_ASSIGN_OR_RETURN(out.in_place_content,
+                              marks_->ExtractContent(handle->mark_id()));
+        out.base_app_navigated = true;
+        break;
+      }
+      case ViewingStyle::kIndependent: {
+        // The base application stays hidden; content is displayed in place.
+        SLIM_ASSIGN_OR_RETURN(out.in_place_content,
+                              marks_->ExtractContent(handle->mark_id()));
+        out.base_app_navigated = false;
+        break;
+      }
+    }
+    return out;
+  }();
+  if (result.ok()) {
+    CountGesture("slimpad.open_scrap." +
+                 std::string(ViewingStyleName(style_)));
+    CountGesture("slimpad.open_scrap.ok");
+  } else {
+    CountGesture("slimpad.open_scrap.error");
   }
-  SLIM_ASSIGN_OR_RETURN(const MarkHandle* handle,
-                        dmi_->GetMarkHandle(scrap->mark_handles().front()));
-  OpenResult out;
-  out.style = style_;
-  out.mark_id = handle->mark_id();
-  switch (style_) {
-    case ViewingStyle::kSimultaneous: {
-      // De-reference the mark: the base application window navigates to
-      // and highlights the element.
-      SLIM_RETURN_NOT_OK(marks_->ResolveMark(handle->mark_id(), "context"));
-      out.base_app_navigated = true;
-      break;
-    }
-    case ViewingStyle::kEnhanced: {
-      // The base application hosts the superimposed layer: navigate AND
-      // surface the content to the (enhanced) base window.
-      SLIM_RETURN_NOT_OK(marks_->ResolveMark(handle->mark_id(), "context"));
-      SLIM_ASSIGN_OR_RETURN(out.in_place_content,
-                            marks_->ExtractContent(handle->mark_id()));
-      out.base_app_navigated = true;
-      break;
-    }
-    case ViewingStyle::kIndependent: {
-      // The base application stays hidden; content is displayed in place.
-      SLIM_ASSIGN_OR_RETURN(out.in_place_content,
-                            marks_->ExtractContent(handle->mark_id()));
-      out.base_app_navigated = false;
-      break;
-    }
-  }
-  return out;
+  return result;
 }
 
 Result<std::string> SlimPadApp::InstantiateTemplate(

@@ -17,6 +17,7 @@
 
 #include "mark/mark_manager.h"
 #include "mark/validator.h"
+#include "obs/obs.h"
 #include "slim/query.h"
 #include "slimpad/slimpad_dmi.h"
 #include "util/result.h"
@@ -29,6 +30,10 @@ enum class ViewingStyle {
   kEnhanced,      ///< Superimposed functionality inside the base app.
   kIndependent,   ///< Base app hidden; content shown in the pad.
 };
+
+/// Lower-case style name ("simultaneous"...), used in metric names and
+/// span tags.
+std::string_view ViewingStyleName(ViewingStyle style);
 
 /// \brief What an OpenScrap gesture produced (for display and for tests).
 struct OpenResult {
@@ -126,12 +131,22 @@ class SlimPadApp {
   /// Loads both files and re-binds the current pad.
   Status LoadPad(const std::string& path);
 
+  /// Per-app gesture metrics (`slimpad.*`). The same events also land in
+  /// obs::DefaultRegistry() under identical names, so a process-wide dump
+  /// sees every app while each app can still be inspected alone.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
  private:
+  /// Bumps `name` in both the per-app and the default registry.
+  void CountGesture(const std::string& name);
+
   mark::MarkManager* marks_;
   trim::TripleStore store_;
   std::unique_ptr<SlimPadDmi> dmi_;
   const SlimPad* pad_ = nullptr;
   ViewingStyle style_ = ViewingStyle::kSimultaneous;
+  obs::MetricsRegistry metrics_;
 };
 
 /// The resident's-worksheet template from paper Fig. 2 (patient id,

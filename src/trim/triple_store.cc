@@ -4,6 +4,8 @@
 #include <queue>
 #include <unordered_set>
 
+#include "obs/obs.h"
+
 namespace slim::trim {
 
 std::string TripleToString(const Triple& t) {
@@ -26,12 +28,15 @@ bool TriplePattern::Matches(const Triple& t) const {
 
 Status TripleStore::Add(Triple triple, bool allow_duplicates) {
   if (triple.subject.empty() || triple.property.empty()) {
+    SLIM_OBS_COUNT("trim.add.invalid");
     return Status::InvalidArgument("triple subject/property must be non-empty");
   }
   if (!allow_duplicates && Contains(triple)) {
+    SLIM_OBS_COUNT("trim.add.duplicate");
     return Status::AlreadyExists("duplicate statement " +
                                  TripleToString(triple));
   }
+  SLIM_OBS_COUNT("trim.add.ok");
   TripleId id;
   if (!free_slots_.empty()) {
     id = free_slots_.back();
@@ -92,10 +97,12 @@ Status TripleStore::Remove(const Triple& triple) {
         triples_[id] = Triple{};
         free_slots_.push_back(id);
         --live_count_;
+        SLIM_OBS_COUNT("trim.remove.ok");
         return Status::OK();
       }
     }
   }
+  SLIM_OBS_COUNT("trim.remove.not_found");
   return Status::NotFound("statement not present: " + TripleToString(triple));
 }
 
@@ -117,32 +124,44 @@ bool TripleStore::Contains(const Triple& triple) const {
 }
 
 const std::vector<TripleStore::TripleId>* TripleStore::CandidateList(
-    const TriplePattern& pattern, std::vector<TripleId>* scratch) const {
+    const TriplePattern& pattern, std::vector<TripleId>* scratch,
+    IndexPath* path) const {
   // Choose the smallest available index list.
   const std::vector<TripleId>* best = nullptr;
+  IndexPath chosen = IndexPath::kScan;
   auto consider = [&](const std::unordered_map<std::string,
                                                std::vector<TripleId>>& map,
-                      const std::string& key) {
+                      const std::string& key, IndexPath which) {
     auto it = map.find(key);
     if (it == map.end()) {
       scratch->clear();
       best = scratch;  // empty — nothing can match
+      chosen = IndexPath::kEmpty;
       return true;     // can't get more selective than empty
     }
     if (best == nullptr || it->second.size() < best->size()) {
       best = &it->second;
+      chosen = which;
     }
     return false;
   };
-  if (pattern.subject && consider(by_subject_, *pattern.subject)) return best;
+  auto done = [&]() {
+    if (path != nullptr) *path = chosen;
+    return best;  // may be nullptr: full scan
+  };
+  if (pattern.subject &&
+      consider(by_subject_, *pattern.subject, IndexPath::kSubject)) {
+    return done();
+  }
   if (pattern.object &&
-      consider(by_object_text_, pattern.object->text)) {
-    return best;
+      consider(by_object_text_, pattern.object->text, IndexPath::kObject)) {
+    return done();
   }
-  if (pattern.property && consider(by_property_, *pattern.property)) {
-    return best;
+  if (pattern.property &&
+      consider(by_property_, *pattern.property, IndexPath::kProperty)) {
+    return done();
   }
-  return best;  // may be nullptr: full scan
+  return done();
 }
 
 std::vector<Triple> TripleStore::Select(const TriplePattern& pattern) const {
@@ -157,8 +176,18 @@ std::vector<Triple> TripleStore::Select(const TriplePattern& pattern) const {
 void TripleStore::SelectEach(
     const TriplePattern& pattern,
     const std::function<bool(const Triple&)>& fn) const {
+  SLIM_OBS_COUNT("trim.select.calls");
   std::vector<TripleId> scratch;
-  const std::vector<TripleId>* candidates = CandidateList(pattern, &scratch);
+  IndexPath path = IndexPath::kScan;
+  const std::vector<TripleId>* candidates =
+      CandidateList(pattern, &scratch, &path);
+  switch (path) {
+    case IndexPath::kSubject: SLIM_OBS_COUNT("trim.select.index.subject"); break;
+    case IndexPath::kObject: SLIM_OBS_COUNT("trim.select.index.object"); break;
+    case IndexPath::kProperty: SLIM_OBS_COUNT("trim.select.index.property"); break;
+    case IndexPath::kScan: SLIM_OBS_COUNT("trim.select.index.scan"); break;
+    case IndexPath::kEmpty: SLIM_OBS_COUNT("trim.select.index.empty"); break;
+  }
   if (candidates != nullptr) {
     for (TripleId id : *candidates) {
       if (live_[id] && pattern.Matches(triples_[id])) {
@@ -176,6 +205,7 @@ void TripleStore::SelectEach(
 
 std::optional<Object> TripleStore::GetOne(const std::string& subject,
                                           const std::string& property) const {
+  SLIM_OBS_COUNT("trim.get_one.calls");
   std::optional<Object> out;
   SelectEach(TriplePattern::BySubjectProperty(subject, property),
              [&](const Triple& t) {
@@ -187,11 +217,14 @@ std::optional<Object> TripleStore::GetOne(const std::string& subject,
 
 Status TripleStore::SetOne(const std::string& subject,
                            const std::string& property, Object object) {
+  SLIM_OBS_COUNT("trim.set_one.calls");
   RemoveMatching(TriplePattern::BySubjectProperty(subject, property));
   return Add(Triple{subject, property, std::move(object)});
 }
 
 std::vector<Triple> TripleStore::ViewFrom(const std::string& resource) const {
+  SLIM_OBS_COUNT("trim.view.calls");
+  SLIM_OBS_TIMER(timer, "trim.view.latency_us");
   std::vector<Triple> out;
   std::unordered_set<std::string> visited;
   std::queue<std::string> frontier;
@@ -211,6 +244,7 @@ std::vector<Triple> TripleStore::ViewFrom(const std::string& resource) const {
       }
     }
   }
+  SLIM_OBS_HISTOGRAM("trim.view.fanout", out.size());
   return out;
 }
 

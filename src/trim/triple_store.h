@@ -121,12 +121,18 @@ class TripleStore {
   using TripleId = uint32_t;
   static constexpr TripleId kTombstone = UINT32_MAX;
 
+  /// Which access path CandidateList settled on (obs: the
+  /// `trim.select.index.*` counters).
+  enum class IndexPath { kSubject, kObject, kProperty, kScan, kEmpty };
+
   void IndexAdd(TripleId id);
   void IndexRemove(TripleId id);
   /// Candidate ids from the most selective index for a pattern; nullptr
-  /// means "no usable index, scan everything".
+  /// means "no usable index, scan everything". `path` (optional) reports
+  /// the chosen access path.
   const std::vector<TripleId>* CandidateList(const TriplePattern& pattern,
-                                             std::vector<TripleId>* scratch) const;
+                                             std::vector<TripleId>* scratch,
+                                             IndexPath* path = nullptr) const;
 
   std::vector<Triple> triples_;       // slot = id; tombstoned slots reused
   std::vector<TripleId> free_slots_;

@@ -4,13 +4,34 @@
 
 namespace slim::workload {
 
-Session::Session()
+void Session::Count(const char* name, uint64_t delta) {
+#if SLIM_OBS_ENABLED
+  if (obs::Disabled()) return;
+  metrics_->GetCounter(name)->Increment(delta);
+#else
+  (void)name;
+  (void)delta;
+#endif
+}
+
+obs::LatencyHistogram* Session::Histogram(const char* name) {
+#if SLIM_OBS_ENABLED
+  if (obs::Disabled()) return nullptr;
+  return metrics_->GetHistogram(name);
+#else
+  (void)name;
+  return nullptr;
+#endif
+}
+
+Session::Session(obs::MetricsRegistry* metrics)
     : excel_module_(&excel_),
       xml_module_(&xml_),
       text_module_(&text_),
       slide_module_(&slides_),
       pdf_module_(&pdf_),
-      html_module_(&html_) {
+      html_module_(&html_),
+      metrics_(metrics != nullptr ? metrics : &own_metrics_) {
   // Lab-report elements carry name attributes, so robust (attribute-
   // predicate) addressing keeps electrolyte marks valid across report
   // regenerations.
@@ -37,6 +58,9 @@ Session::Session()
 }
 
 Status Session::LoadIcuWorkload(IcuWorkload workload) {
+  obs::ScopedOpTimer timer(Histogram("workload.load.latency_us"));
+  Count("workload.load.calls");
+  Count("workload.load.patients", workload.patients.size());
   icu_ = std::move(workload);
   SLIM_RETURN_NOT_OK(
       excel_.RegisterWorkbook(std::move(icu_.medication_workbook)));
@@ -55,6 +79,8 @@ Status Session::LoadIcuWorkload(IcuWorkload workload) {
 }
 
 Status Session::BuildRoundsPad(int max_patients) {
+  obs::ScopedOpTimer timer(Histogram("workload.build_rounds_pad.latency_us"));
+  Count("workload.build_rounds_pad.calls");
   SLIM_RETURN_NOT_OK(app_->NewPad("Rounds"));
   SLIM_ASSIGN_OR_RETURN(std::string root, app_->RootBundle());
   patient_bundles_.clear();
@@ -126,6 +152,9 @@ Status Session::BuildRoundsPad(int max_patients) {
 }
 
 Status Session::BuildFullRoundsPad(int max_patients) {
+  obs::ScopedOpTimer timer(
+      Histogram("workload.build_full_rounds_pad.latency_us"));
+  Count("workload.build_full_rounds_pad.calls");
   SLIM_RETURN_NOT_OK(BuildRoundsPad(max_patients));
   SLIM_ASSIGN_OR_RETURN(std::string root, app_->RootBundle());
 
@@ -170,12 +199,15 @@ Status Session::BuildFullRoundsPad(int max_patients) {
 }
 
 Result<size_t> Session::OpenAllScraps() {
+  obs::ScopedOpTimer timer(Histogram("workload.open_all_scraps.latency_us"));
+  Count("workload.open_all_scraps.calls");
   size_t opened = 0;
   for (const pad::Scrap* scrap : app_->dmi().Scraps()) {
     if (scrap->mark_handles().empty()) continue;  // gridlets
     SLIM_RETURN_NOT_OK(app_->OpenScrap(scrap->id()).status());
     ++opened;
   }
+  Count("workload.scraps_opened", opened);
   return opened;
 }
 

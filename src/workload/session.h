@@ -19,6 +19,7 @@
 #include "baseapp/xml_app.h"
 #include "mark/mark_manager.h"
 #include "mark/modules.h"
+#include "obs/obs.h"
 #include "slimpad/slimpad_app.h"
 #include "workload/icu.h"
 
@@ -30,7 +31,13 @@ namespace slim::workload {
 /// SLIMPad application. Construct, call LoadIcuWorkload, then drive.
 class Session {
  public:
-  Session();
+  /// `metrics` receives the session-level `workload.*` metrics (pad
+  /// construction counts/latencies, scraps opened). Pass a shared registry
+  /// to aggregate across sessions; nullptr uses a registry owned by this
+  /// session. Layer metrics (`trim.*`, `mark.*`, ...) go to
+  /// obs::DefaultRegistry() as usual; `slimpad.*` gestures additionally to
+  /// the app's per-app registry (`app().metrics()`).
+  explicit Session(obs::MetricsRegistry* metrics = nullptr);
 
   /// Registers the workload's documents with the base applications. The
   /// workload must outlive the session (documents move into the apps).
@@ -68,7 +75,18 @@ class Session {
     return patient_bundles_;
   }
 
+  /// The registry receiving this session's `workload.*` metrics.
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+
+  /// Human-readable per-session metrics summary (for reports and future
+  /// scaling experiments).
+  std::string MetricsSummary() const { return metrics_->ExportText(); }
+
  private:
+  /// Session-level counter / histogram helpers; no-ops when obs is
+  /// compiled out or disabled.
+  void Count(const char* name, uint64_t delta = 1);
+  obs::LatencyHistogram* Histogram(const char* name);
   baseapp::SpreadsheetApp excel_;
   baseapp::XmlApp xml_;
   baseapp::TextApp text_;
@@ -86,6 +104,9 @@ class Session {
 
   mark::MarkManager marks_;
   std::unique_ptr<pad::SlimPadApp> app_;
+
+  obs::MetricsRegistry own_metrics_;
+  obs::MetricsRegistry* metrics_;  ///< Never null; defaults to own_metrics_.
 
   IcuWorkload icu_;
   std::vector<std::string> patient_bundles_;

@@ -1,0 +1,320 @@
+// Tests for the observability substrate (src/obs): metric math, registry
+// lifetime guarantees, JSON round-trips, span nesting/sink delivery and the
+// Disabled() fast path. Instrumentation *call sites* are covered by
+// slimpad_test.cc; this file tests the substrate itself, which builds under
+// both SLIM_ENABLE_OBS settings.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace slim::obs {
+namespace {
+
+TEST(Counter, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, MovesBothWays) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-15);
+  EXPECT_EQ(g.value(), -5);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Histogram, BucketingMath) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);  // empty → 0, not UINT64_MAX
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+
+  // Bounds are inclusive: 1 lands in bucket 0, 2 in bucket 1, 3 in the
+  // 5-bucket, 1000001 overflows.
+  h.Record(1);
+  h.Record(2);
+  h.Record(3);
+  h.Record(1000001);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1000007u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000001u);
+  EXPECT_EQ(h.BucketValue(0), 1u);  // <= 1
+  EXPECT_EQ(h.BucketValue(1), 1u);  // <= 2
+  EXPECT_EQ(h.BucketValue(2), 1u);  // <= 5
+  EXPECT_EQ(h.BucketValue(LatencyHistogram::kBucketCount - 1), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketUpperBound(0), 1u);
+  EXPECT_EQ(
+      LatencyHistogram::BucketUpperBound(LatencyHistogram::kBucketCount - 1),
+      UINT64_MAX);
+}
+
+TEST(Histogram, ApproxPercentile) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.ApproxPercentile(0.5), 0u);
+  // 90 values <= 10, 10 values in the 25-bucket.
+  for (int i = 0; i < 90; ++i) h.Record(10);
+  for (int i = 0; i < 10; ++i) h.Record(20);
+  EXPECT_EQ(h.ApproxPercentile(0.5), 10u);
+  EXPECT_EQ(h.ApproxPercentile(0.90), 10u);
+  EXPECT_EQ(h.ApproxPercentile(0.95), 25u);  // bucket upper bound
+  EXPECT_EQ(h.ApproxPercentile(1.0), 25u);
+}
+
+TEST(Histogram, MergeAndReset) {
+  LatencyHistogram a;
+  a.Record(5);
+  LatencyHistogram b;
+  b.Record(100);
+  b.Record(7);
+
+  std::vector<uint64_t> buckets(LatencyHistogram::kBucketCount);
+  for (size_t i = 0; i < buckets.size(); ++i) buckets[i] = b.BucketValue(i);
+  a.Merge(b.count(), b.sum(), b.min(), b.max(), buckets);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 112u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 100u);
+
+  a.Reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.min(), 0u);
+  EXPECT_EQ(a.max(), 0u);
+}
+
+TEST(Registry, CreateOnFirstUseWithStablePointers) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("trim.add.ok");
+  EXPECT_EQ(reg.GetCounter("trim.add.ok"), c);  // same object, no dup
+  c->Increment(3);
+  EXPECT_EQ(reg.CounterValue("trim.add.ok"), 3u);
+  EXPECT_EQ(reg.CounterValue("never.created"), 0u);
+
+  reg.GetGauge("docs.open")->Set(2);
+  reg.GetHistogram("trim.view.latency_us")->Record(12);
+  EXPECT_EQ(reg.MetricCount(), 3u);
+
+  // Reset zeroes values but keeps the metrics (cached pointers stay valid).
+  reg.Reset();
+  EXPECT_EQ(reg.MetricCount(), 3u);
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  EXPECT_EQ(reg.CounterValue("trim.add.ok"), 1u);
+}
+
+TEST(Registry, ExportTextListsEveryMetric) {
+  MetricsRegistry reg;
+  reg.GetCounter("mark.resolve.ok")->Increment(7);
+  reg.GetGauge("pads.open")->Set(1);
+  reg.GetHistogram("slim.query.latency_us")->Record(42);
+  std::string text = reg.ExportText();
+  EXPECT_NE(text.find("mark.resolve.ok"), std::string::npos);
+  EXPECT_NE(text.find("pads.open"), std::string::npos);
+  EXPECT_NE(text.find("slim.query.latency_us"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+}
+
+TEST(Registry, JsonRoundTrip) {
+  MetricsRegistry reg;
+  reg.GetCounter("trim.add.ok")->Increment(11);
+  reg.GetGauge("docs.open")->Set(-3);
+  LatencyHistogram* h = reg.GetHistogram("trim.view.latency_us");
+  h->Record(4);
+  h->Record(900);
+
+  std::string json = reg.ExportJson();
+  MetricsRegistry loaded;
+  std::string error;
+  ASSERT_TRUE(loaded.ImportJson(json, &error)) << error;
+  EXPECT_EQ(loaded.CounterValue("trim.add.ok"), 11u);
+  EXPECT_EQ(loaded.GetGauge("docs.open")->value(), -3);
+  LatencyHistogram* lh = loaded.GetHistogram("trim.view.latency_us");
+  EXPECT_EQ(lh->count(), 2u);
+  EXPECT_EQ(lh->sum(), 904u);
+  EXPECT_EQ(lh->min(), 4u);
+  EXPECT_EQ(lh->max(), 900u);
+  // Export of the import is byte-identical: nothing was lost.
+  EXPECT_EQ(loaded.ExportJson(), json);
+}
+
+TEST(Registry, ImportMergesAcrossSessions) {
+  MetricsRegistry session;
+  session.GetCounter("workload.scraps_opened")->Increment(5);
+  session.GetHistogram("workload.open_all_scraps.latency_us")->Record(100);
+  std::string json = session.ExportJson();
+
+  MetricsRegistry fleet;
+  ASSERT_TRUE(fleet.ImportJson(json));
+  ASSERT_TRUE(fleet.ImportJson(json));  // second session's summary
+  EXPECT_EQ(fleet.CounterValue("workload.scraps_opened"), 10u);
+  EXPECT_EQ(
+      fleet.GetHistogram("workload.open_all_scraps.latency_us")->count(), 2u);
+}
+
+TEST(Registry, MalformedJsonLeavesRegistryUntouched) {
+  MetricsRegistry reg;
+  reg.GetCounter("trim.add.ok")->Increment(2);
+  std::string error;
+  EXPECT_FALSE(reg.ImportJson("{\"counters\":{\"x\":", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(reg.ImportJson("not json at all"));
+  EXPECT_EQ(reg.CounterValue("trim.add.ok"), 2u);
+  EXPECT_EQ(reg.MetricCount(), 1u);
+}
+
+TEST(Tracer, SpanNestingParentChild) {
+  Tracer tracer;
+  RingBufferSink sink;
+  tracer.AddSink(&sink);
+
+  {
+    Span parent = tracer.StartSpan("slimpad.open_scrap");
+    parent.AddTag("style", "independent");
+    {
+      Span child = tracer.StartSpan("mark.resolve");
+      EXPECT_NE(child.id(), parent.id());
+    }  // child ends first
+  }
+
+  std::vector<SpanRecord> spans = sink.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Delivery is in *end* order: innermost first.
+  EXPECT_EQ(spans[0].name, "mark.resolve");
+  EXPECT_EQ(spans[1].name, "slimpad.open_scrap");
+  EXPECT_EQ(spans[0].parent_id, spans[1].id);
+  EXPECT_EQ(spans[0].depth, 1);
+  EXPECT_EQ(spans[1].depth, 0);
+  EXPECT_EQ(spans[1].parent_id, 0u);
+  ASSERT_EQ(spans[1].tags.size(), 1u);
+  EXPECT_EQ(spans[1].tags[0].first, "style");
+  EXPECT_EQ(spans[1].tags[0].second, "independent");
+  EXPECT_EQ(tracer.finished_spans(), 2u);
+
+  tracer.RemoveSink(&sink);
+  EXPECT_FALSE(tracer.active());
+}
+
+TEST(Tracer, InertWithoutSinks) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.active());
+  Span s = tracer.StartSpan("unobserved");
+  EXPECT_FALSE(s.active());
+  s.AddTag("k", "v");  // no-op, no crash
+  s.End();
+  EXPECT_EQ(tracer.finished_spans(), 0u);
+}
+
+TEST(Tracer, EndIsIdempotentAndMoveSafe) {
+  Tracer tracer;
+  RingBufferSink sink;
+  tracer.AddSink(&sink);
+  Span a = tracer.StartSpan("once");
+  Span b = std::move(a);
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move)
+  b.End();
+  b.End();
+  EXPECT_EQ(sink.size(), 1u);
+}
+
+TEST(RingBufferSink, EvictsOldestAndCountsDrops) {
+  Tracer tracer;
+  RingBufferSink sink(/*capacity=*/2);
+  tracer.AddSink(&sink);
+  for (int i = 0; i < 5; ++i) {
+    Span s = tracer.StartSpan("s" + std::to_string(i));
+  }
+  EXPECT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.dropped(), 3u);
+  std::vector<SpanRecord> spans = sink.Spans();
+  EXPECT_EQ(spans[0].name, "s3");
+  EXPECT_EQ(spans[1].name, "s4");
+  sink.Clear();
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(JsonlFileSink, WritesOneObjectPerSpan) {
+  std::string path = ::testing::TempDir() + "obs_test_spans.jsonl";
+  {
+    Tracer tracer;
+    JsonlFileSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    tracer.AddSink(&sink);
+    Span s = tracer.StartSpan("persisted");
+    s.AddTag("k", "v\"with quote");
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"name\":\"persisted\""), std::string::npos);
+  EXPECT_NE(line.find("\\\"with quote"), std::string::npos);
+  EXPECT_FALSE(std::getline(in, line));  // exactly one line
+  std::remove(path.c_str());
+}
+
+class DisabledGuard {
+ public:
+  DisabledGuard() { SetDisabled(true); }
+  ~DisabledGuard() { SetDisabled(false); }
+};
+
+TEST(Disabled, FastPathRecordsNothing) {
+  DisabledGuard guard;
+  EXPECT_TRUE(Disabled());
+
+  // ScopedOpTimer never touches the histogram while disabled.
+  LatencyHistogram h;
+  { ScopedOpTimer t(&h); }
+  EXPECT_EQ(h.count(), 0u);
+
+  // StartSpan is inert even with a sink attached.
+  Tracer tracer;
+  RingBufferSink sink;
+  tracer.AddSink(&sink);
+  EXPECT_FALSE(tracer.active());
+  { Span s = tracer.StartSpan("never"); }
+  EXPECT_EQ(sink.size(), 0u);
+
+#if SLIM_OBS_ENABLED
+  // The macros consult Disabled() before touching the default registry.
+  uint64_t before = DefaultRegistry().CounterValue("obs_test.disabled");
+  SLIM_OBS_COUNT("obs_test.disabled");
+  SLIM_OBS_COUNT_DYN(std::string("obs_test.disabled"));
+  EXPECT_EQ(DefaultRegistry().CounterValue("obs_test.disabled"), before);
+#endif
+}
+
+#if SLIM_OBS_ENABLED
+TEST(Macros, WriteToDefaultRegistry) {
+  uint64_t before = DefaultRegistry().CounterValue("obs_test.macro");
+  SLIM_OBS_COUNT("obs_test.macro");
+  SLIM_OBS_COUNT_N("obs_test.macro", 4);
+  EXPECT_EQ(DefaultRegistry().CounterValue("obs_test.macro"), before + 5);
+
+  LatencyHistogram* h = DefaultRegistry().GetHistogram("obs_test.hist");
+  uint64_t count_before = h->count();
+  SLIM_OBS_HISTOGRAM("obs_test.hist", 7);
+  EXPECT_EQ(h->count(), count_before + 1);
+
+  {
+    SLIM_OBS_TIMER(timer, "obs_test.timer_us");
+  }
+  EXPECT_GE(DefaultRegistry().GetHistogram("obs_test.timer_us")->count(), 1u);
+}
+#endif
+
+}  // namespace
+}  // namespace slim::obs

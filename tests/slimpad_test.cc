@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include "obs/obs.h"
 #include "slim/conformance.h"
 #include "slimpad/slimpad_dmi.h"
 #include "trim/persistence.h"
 #include "util/rng.h"
+#include "workload/icu.h"
+#include "workload/session.h"
 
 namespace slim::pad {
 namespace {
@@ -279,6 +282,106 @@ TEST_P(PadRoundTrip, RandomPadSurvivesTripleRebuild) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PadRoundTrip,
                          ::testing::Values(1, 7, 42, 99, 1234, 777));
+
+#if SLIM_OBS_ENABLED
+
+/// Attaches a fresh ring buffer to the default tracer for one test.
+class ScopedSpanCapture {
+ public:
+  ScopedSpanCapture() { obs::DefaultTracer().AddSink(&sink_); }
+  ~ScopedSpanCapture() { obs::DefaultTracer().RemoveSink(&sink_); }
+  obs::RingBufferSink& sink() { return sink_; }
+
+ private:
+  obs::RingBufferSink sink_;
+};
+
+TEST(SlimPadObsTest, OpenScrapEmitsNestedSpansAndGestureCounters) {
+  workload::Session session;
+  workload::IcuOptions options;
+  options.patients = 1;
+  ASSERT_TRUE(session.LoadIcuWorkload(GenerateIcuWorkload(options)).ok());
+  ASSERT_TRUE(session.BuildRoundsPad(1).ok());
+  SlimPadApp& app = session.app();
+  app.set_viewing_style(ViewingStyle::kIndependent);
+
+  // One marked scrap to open.
+  std::vector<const Scrap*> scraps = app.dmi().Scraps();
+  const Scrap* marked = nullptr;
+  for (const Scrap* s : scraps) {
+    if (!s->mark_handles().empty()) marked = s;
+  }
+  ASSERT_NE(marked, nullptr);
+
+  ScopedSpanCapture capture;
+  uint64_t opened_before =
+      app.metrics().CounterValue("slimpad.open_scrap.independent");
+  ASSERT_TRUE(app.OpenScrap(marked->id()).ok());
+
+  // Independent viewing extracts content, so the gesture span nests a
+  // mark.extract child; delivery is in end order (child first, parent
+  // last) with the parent/child ids linked.
+  std::vector<obs::SpanRecord> spans = capture.sink().Spans();
+  ASSERT_GE(spans.size(), 2u);
+  const obs::SpanRecord& parent = spans.back();
+  EXPECT_EQ(parent.name, "slimpad.open_scrap");
+  EXPECT_EQ(parent.depth, 0);
+  bool found_child = false;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name == "mark.extract" && span.parent_id == parent.id) {
+      EXPECT_EQ(span.depth, 1);
+      EXPECT_LE(span.duration_ns, parent.duration_ns);
+      found_child = true;
+    }
+  }
+  EXPECT_TRUE(found_child);
+
+  // The style tag names the viewing style that served the gesture.
+  bool found_style_tag = false;
+  for (const auto& [key, value] : parent.tags) {
+    if (key == "style") {
+      EXPECT_EQ(value, "independent");
+      found_style_tag = true;
+    }
+  }
+  EXPECT_TRUE(found_style_tag);
+
+  // The per-app gesture counter moved too.
+  EXPECT_EQ(app.metrics().CounterValue("slimpad.open_scrap.independent"),
+            opened_before + 1);
+}
+
+TEST(SlimPadObsTest, SimultaneousOpenNestsMarkResolve) {
+  workload::Session session;
+  workload::IcuOptions options;
+  options.patients = 1;
+  ASSERT_TRUE(session.LoadIcuWorkload(GenerateIcuWorkload(options)).ok());
+  ASSERT_TRUE(session.BuildRoundsPad(1).ok());
+  SlimPadApp& app = session.app();
+  app.set_viewing_style(ViewingStyle::kSimultaneous);
+
+  const Scrap* marked = nullptr;
+  for (const Scrap* s : app.dmi().Scraps()) {
+    if (!s->mark_handles().empty()) marked = s;
+  }
+  ASSERT_NE(marked, nullptr);
+
+  ScopedSpanCapture capture;
+  ASSERT_TRUE(app.OpenScrap(marked->id()).ok());
+
+  std::vector<obs::SpanRecord> spans = capture.sink().Spans();
+  ASSERT_GE(spans.size(), 2u);
+  EXPECT_EQ(spans.back().name, "slimpad.open_scrap");
+  bool found_resolve = false;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name == "mark.resolve" && span.parent_id == spans.back().id) {
+      found_resolve = true;
+    }
+  }
+  EXPECT_TRUE(found_resolve);
+}
+
+#endif  // SLIM_OBS_ENABLED
 
 }  // namespace
 }  // namespace slim::pad
