@@ -1,0 +1,116 @@
+// Diagnostics-layer throughput: what does it cost to *look at* a running
+// system? Structured logging (accepted and level-filtered), span profiling,
+// and the two registry export paths a scraper exercises — Prometheus text
+// exposition and the JSON merge format — over registries of realistic size.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/prom.h"
+#include "obs/trace.h"
+
+namespace slim::obs {
+namespace {
+
+// A registry shaped like a live session: per-layer counters plus latency
+// histograms with populated buckets.
+void FillRegistry(MetricsRegistry* registry, int64_t metrics) {
+  for (int64_t i = 0; i < metrics; ++i) {
+    std::string base = "layer" + std::to_string(i % 7) + ".op" +
+                       std::to_string(i);
+    registry->GetCounter(base + ".ok")->Increment(i + 1);
+    LatencyHistogram* h = registry->GetHistogram(base + ".latency_us");
+    for (uint64_t v : {1u, 9u, 42u, 900u, 100000u}) h->Record(v + i);
+  }
+}
+
+void BM_LogEventDelivery(benchmark::State& state) {
+  MetricsRegistry registry;
+  Logger logger;
+  logger.set_registry(&registry);
+  RingBufferLogSink sink(1024);
+  logger.AddSink(&sink);
+  for (auto _ : state) {
+    logger.Log(LogLevel::kInfo, "trim", "store saved",
+               {{"path", "/tmp/pad.xml"}, {"triples", "4096"}});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogEventDelivery);
+
+void BM_LogEventFilteredOut(benchmark::State& state) {
+  Logger logger;
+  logger.set_registry(nullptr);
+  RingBufferLogSink sink(1024);
+  logger.AddSink(&sink);
+  logger.set_min_level(LogLevel::kError);
+  for (auto _ : state) {
+    logger.Log(LogLevel::kDebug, "trim", "chatty detail",
+               {{"key", "value"}});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogEventFilteredOut);
+
+void BM_SpanProfilerIngest(benchmark::State& state) {
+  Tracer tracer;
+  SpanProfiler profiler;
+  tracer.AddSink(&profiler);
+  for (auto _ : state) {
+    Span outer = tracer.StartSpan("slimpad.open_scrap");
+    {
+      Span inner = tracer.StartSpan("mark.resolve");
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_SpanProfilerIngest);
+
+void BM_ExportPrometheus(benchmark::State& state) {
+  MetricsRegistry registry;
+  FillRegistry(&registry, state.range(0));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string text = ExportPrometheus(registry);
+    bytes = text.size();
+    benchmark::DoNotOptimize(text);
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExportPrometheus)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_ExportJson(benchmark::State& state) {
+  MetricsRegistry registry;
+  FillRegistry(&registry, state.range(0));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string text = registry.ExportJson();
+    bytes = text.size();
+    benchmark::DoNotOptimize(text);
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExportJson)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_RegistrySnapshot(benchmark::State& state) {
+  MetricsRegistry registry;
+  FillRegistry(&registry, state.range(0));
+  for (auto _ : state) {
+    MetricsSnapshot snap = registry.Snapshot();
+    benchmark::DoNotOptimize(snap);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RegistrySnapshot)->Arg(16)->Arg(128)->Arg(1024);
+
+}  // namespace
+}  // namespace slim::obs
+
+BENCHMARK_MAIN();

@@ -5,15 +5,27 @@
 // pad, open every scrap under each viewing style, audit the marks, run a
 // declarative query, and exercise the generated (dynamic) DMI. Every layer
 // of the paper's architecture — TRIM, the SLIM query engine, the DMIs, the
-// Mark Manager and SLIMPad itself — reports into obs::DefaultRegistry(),
-// and gesture spans stream into a ring buffer that is printed as a trace
-// tree at the end.
+// Mark Manager and SLIMPad itself — reports into obs::DefaultRegistry().
+//
+// Modes:
+//   obs_dump                 the classic report: metrics, spans, JSON merge
+//   obs_dump --profile       span profiler: self-time table + collapsed
+//                            stacks (flamegraph.pl / speedscope input)
+//   obs_dump --prom          Prometheus text exposition of the registry
+//   obs_dump --serve <port>  serve GET /metrics and /healthz on localhost
+//                            while re-running the workload (Ctrl-C to stop)
+//   obs_dump --dump <path>   write a flight-recorder diagnostics bundle
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <thread>
 
 #include "dmi/dynamic_dmi.h"
 #include "obs/obs.h"
+#include "obs/profile.h"
+#include "obs/prom.h"
 #include "workload/session.h"
 
 using namespace slim;
@@ -27,21 +39,15 @@ using namespace slim;
     }                                                 \
   } while (false)
 
-int main() {
-#if !SLIM_OBS_ENABLED
-  std::cout << "obs_dump: built with SLIM_ENABLE_OBS=OFF — instrumentation "
-               "is compiled out, nothing to report." << std::endl;
-  return 0;
-#else
-  // Capture gesture spans in memory for the trace tree below.
-  obs::RingBufferSink spans(4096);
-  obs::DefaultTracer().AddSink(&spans);
+#if SLIM_OBS_ENABLED
+namespace {
 
-  // --- Drive a session through all four layers ---------------------------
+// Drives a session through all four layers; session metrics land in
+// `session_metrics`, layer metrics in obs::DefaultRegistry().
+int RunWorkload(obs::MetricsRegistry* session_metrics) {
   workload::IcuOptions options;
   options.patients = 3;
-  obs::MetricsRegistry session_metrics;
-  workload::Session session(&session_metrics);
+  workload::Session session(session_metrics);
   CHECK_OK(session.LoadIcuWorkload(workload::GenerateIcuWorkload(options)));
   CHECK_OK(session.BuildFullRoundsPad());
 
@@ -75,22 +81,18 @@ int main() {
       CHECK_OK(scrap->Get("scrapName").status());
     }
   }
+  return 0;
+}
 
-  // --- Report ------------------------------------------------------------
+int RunClassicReport(obs::MetricsRegistry* session_metrics,
+                     obs::RingBufferSink* spans) {
   std::cout << "=== Process-wide metrics (obs::DefaultRegistry) ==="
             << std::endl;
   std::cout << obs::DefaultRegistry().ExportText();
 
-  std::cout << "\n=== Per-session metrics (workload.*) ===" << std::endl;
-  std::cout << session.MetricsSummary();
-
-  std::cout << "\n=== Per-app gesture metrics (session.app().metrics()) ==="
-            << std::endl;
-  std::cout << session.app().metrics().ExportText();
-
   std::cout << "\n=== Last gesture spans (trace tree, end order) ==="
             << std::endl;
-  std::vector<obs::SpanRecord> records = spans.Spans();
+  std::vector<obs::SpanRecord> records = spans->Spans();
   size_t first = records.size() > 12 ? records.size() - 12 : 0;
   for (size_t i = first; i < records.size(); ++i) {
     const obs::SpanRecord& span = records[i];
@@ -101,22 +103,120 @@ int main() {
     }
     std::cout << ")" << std::endl;
   }
-  std::cout << records.size() << " spans captured, " << spans.dropped()
+  std::cout << records.size() << " spans captured, " << spans->dropped()
             << " dropped." << std::endl;
 
   // --- Machine-readable summary and the merge path -----------------------
   // A fleet aggregator would collect each session's JSON and merge:
   obs::MetricsRegistry fleet;
   std::string error;
-  if (!fleet.ImportJson(session_metrics.ExportJson(), &error)) {
+  if (!fleet.ImportJson(session_metrics->ExportJson(), &error)) {
     std::cerr << "FATAL: merge failed: " << error << std::endl;
     return 1;
   }
   std::cout << "\n=== Session JSON (round-trips through ImportJson) ==="
             << std::endl;
   std::cout << fleet.ExportJson() << std::endl;
-
-  obs::DefaultTracer().RemoveSink(&spans);
   return 0;
+}
+
+}  // namespace
+#endif  // SLIM_OBS_ENABLED
+
+int main(int argc, char** argv) {
+#if !SLIM_OBS_ENABLED
+  (void)argc;
+  (void)argv;
+  std::cout << "obs_dump: built with SLIM_ENABLE_OBS=OFF — instrumentation "
+               "is compiled out, nothing to report." << std::endl;
+  return 0;
+#else
+  enum class Mode { kClassic, kProfile, kProm, kServe, kDump } mode =
+      Mode::kClassic;
+  int serve_port = 0;
+  std::string dump_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0) {
+      mode = Mode::kProfile;
+    } else if (std::strcmp(argv[i], "--prom") == 0) {
+      mode = Mode::kProm;
+    } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      mode = Mode::kServe;
+      serve_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--dump") == 0 && i + 1 < argc) {
+      mode = Mode::kDump;
+      dump_path = argv[++i];
+    } else {
+      std::cerr << "usage: obs_dump [--profile | --prom | --serve <port> | "
+                   "--dump <path>]" << std::endl;
+      return 2;
+    }
+  }
+
+  // Capture gesture spans in memory; the profiler aggregates the same
+  // stream when profiling.
+  obs::RingBufferSink spans(4096);
+  obs::DefaultTracer().AddSink(&spans);
+  obs::SpanProfiler profiler;
+  if (mode == Mode::kProfile) obs::DefaultTracer().AddSink(&profiler);
+  if (mode == Mode::kDump) {
+    obs::DefaultFlightRecorder().set_dump_path(dump_path);
+    obs::DefaultFlightRecorder().Install();
+  }
+
+  obs::MetricsRegistry session_metrics;
+  if (int rc = RunWorkload(&session_metrics); rc != 0) return rc;
+
+  int rc = 0;
+  switch (mode) {
+    case Mode::kClassic:
+      rc = RunClassicReport(&session_metrics, &spans);
+      std::cout << "\n=== Per-session metrics (workload.*) ===" << std::endl;
+      std::cout << session_metrics.ExportText();
+      break;
+    case Mode::kProfile: {
+      std::cout << "=== Span hot spots (self time, descending) ==="
+                << std::endl;
+      std::cout << profiler.HotSpotTable();
+      std::cout << "\n=== Collapsed stacks (flamegraph input, self us) ==="
+                << std::endl;
+      std::cout << profiler.CollapsedStacks();
+      std::cout << profiler.span_count() << " spans profiled, "
+                << profiler.records_dropped() << " stack records dropped."
+                << std::endl;
+      break;
+    }
+    case Mode::kProm:
+      std::cout << obs::ExportPrometheus(obs::DefaultRegistry());
+      break;
+    case Mode::kServe: {
+      obs::StatsServer server(&obs::DefaultRegistry(),
+                              static_cast<uint16_t>(serve_port));
+      CHECK_OK(server.Start());
+      std::cout << "serving http://127.0.0.1:" << server.port()
+                << "/metrics and /healthz — re-running the workload every "
+                   "2s, Ctrl-C to stop" << std::endl;
+      // Keep the counters moving so successive scrapes show a live system.
+      while (true) {
+        std::this_thread::sleep_for(std::chrono::seconds(2));
+        if (int wrc = RunWorkload(&session_metrics); wrc != 0) return wrc;
+      }
+      break;
+    }
+    case Mode::kDump: {
+      CHECK_OK(obs::DefaultFlightRecorder().DumpDiagnostics(dump_path));
+      std::cout << "diagnostics bundle written to " << dump_path << " ("
+                << obs::DefaultFlightRecorder().RecentEvents().size()
+                << " events, "
+                << obs::DefaultFlightRecorder().RecentSpans().size()
+                << " spans)" << std::endl;
+      obs::DefaultFlightRecorder().Uninstall();
+      break;
+    }
+  }
+
+  if (mode == Mode::kProfile) obs::DefaultTracer().RemoveSink(&profiler);
+  obs::DefaultTracer().RemoveSink(&spans);
+  return rc;
 #endif  // SLIM_OBS_ENABLED
 }

@@ -143,8 +143,10 @@ bool DynamicDmi::RangeIsLiteral(const SchemaConnectorDef& c) const {
 
 Result<DynamicObject> DynamicDmi::Create(const std::string& element) {
   SLIM_OBS_TIMER(timer, "dmi.create.latency_us");
-  auto fail = [](Status st) {
+  auto fail = [&element](Status st) {
     SLIM_OBS_COUNT("dmi.create.error");
+    SLIM_OBS_LOG(kWarn, "dmi", "interpreted create failed",
+                 {{"element", element}, {"status", st.ToString()}});
     return st;
   };
   Result<std::string> construct = schema_.ConstructOf(element);

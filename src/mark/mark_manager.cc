@@ -116,6 +116,13 @@ Status MarkManager::ResolveMark(const std::string& mark_id,
     SLIM_OBS_COUNT("mark.resolve.ok");
   } else {
     SLIM_OBS_COUNT("mark.resolve.error");
+    // A failed resolve means a wire back to a base document broke — the
+    // classic superimposed-information failure. Leave a post-mortem trail.
+    SLIM_OBS_LOG(kWarn, "mark", "mark resolve failed",
+                 {{"mark", mark_id},
+                  {"resolver", resolver},
+                  {"status", st.ToString()}});
+    SLIM_OBS_DUMP_ON_ERROR("mark.resolve");
   }
   return st;
 }

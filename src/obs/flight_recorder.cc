@@ -1,0 +1,178 @@
+#include "obs/flight_recorder.h"
+
+#include <chrono>
+#include <fstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace slim::obs {
+
+namespace {
+
+std::atomic<FlightRecorder*> g_installed{nullptr};
+
+// The hook runs on whatever thread constructed the error. A status
+// constructed *while recording* one (e.g. the recorder's own dump failing)
+// must not recurse.
+void StatusHookTrampoline(StatusCode code, std::string_view message) {
+  if (Disabled()) return;
+  thread_local bool in_hook = false;
+  if (in_hook) return;
+  in_hook = true;
+  if (FlightRecorder* recorder = g_installed.load(std::memory_order_acquire);
+      recorder != nullptr) {
+    recorder->RecordStatus(code, message);
+  }
+  in_hook = false;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(size_t event_capacity, size_t span_capacity)
+    : event_capacity_(event_capacity), span_capacity_(span_capacity) {}
+
+FlightRecorder::~FlightRecorder() { Uninstall(); }
+
+bool FlightRecorder::Install() {
+  FlightRecorder* expected = nullptr;
+  if (!g_installed.compare_exchange_strong(expected, this,
+                                           std::memory_order_acq_rel)) {
+    return expected == this;  // re-installing self is fine
+  }
+  DefaultLogger().AddSink(this);
+  DefaultTracer().AddSink(this);
+  SetStatusErrorHook(&StatusHookTrampoline);
+  return true;
+}
+
+void FlightRecorder::Uninstall() {
+  FlightRecorder* expected = this;
+  if (!g_installed.compare_exchange_strong(expected, nullptr,
+                                           std::memory_order_acq_rel)) {
+    return;
+  }
+  SetStatusErrorHook(nullptr);
+  DefaultLogger().RemoveSink(this);
+  DefaultTracer().RemoveSink(this);
+}
+
+bool FlightRecorder::installed() const {
+  return g_installed.load(std::memory_order_acquire) == this;
+}
+
+void FlightRecorder::OnLogEvent(const LogEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() == event_capacity_) events_.pop_front();
+  events_.push_back(event);
+}
+
+void FlightRecorder::OnSpanEnd(const SpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() == span_capacity_) spans_.pop_front();
+  spans_.push_back(span);
+}
+
+void FlightRecorder::RecordStatus(StatusCode code, std::string_view message) {
+  statuses_.fetch_add(1, std::memory_order_relaxed);
+  LogEvent event;
+  event.level = LogLevel::kError;
+  event.layer = "status";
+  event.message = std::string(message);
+  event.fields.emplace_back("code", std::string(StatusCodeName(code)));
+  event.timestamp_ns = NowNs();
+  OnLogEvent(event);
+}
+
+std::vector<LogEvent> FlightRecorder::RecentEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {events_.begin(), events_.end()};
+}
+
+std::vector<SpanRecord> FlightRecorder::RecentSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {spans_.begin(), spans_.end()};
+}
+
+uint64_t FlightRecorder::statuses_recorded() const {
+  return statuses_.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::set_dump_path(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dump_path_ = std::move(path);
+}
+
+std::string FlightRecorder::dump_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dump_path_;
+}
+
+std::string FlightRecorder::RenderBundle() const {
+  std::vector<LogEvent> events = RecentEvents();
+  std::vector<SpanRecord> spans = RecentSpans();
+
+  std::string out = "{\"events\":[\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i) out += ",\n";
+    out += FormatLogEventJson(events[i]);
+  }
+  out += "\n],\"spans\":[\n";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i) out += ",\n";
+    out += FormatSpanJson(spans[i]);
+  }
+  out += "\n],\"metrics\":";
+  out += DefaultRegistry().ExportJson();
+  out += "}\n";
+  return out;
+}
+
+Status FlightRecorder::DumpDiagnostics(const std::string& path) const {
+  // Render before touching the filesystem so no recorder lock is held when
+  // an IoError status (which re-enters via the hook) gets constructed.
+  std::string bundle = RenderBundle();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for diagnostics dump");
+  }
+  out << bundle;
+  if (!out.good()) {
+    return Status::IoError("diagnostics dump to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+size_t FlightRecorder::MaybeDumpOnError(std::string_view source) {
+  std::string path = dump_path();
+  if (path.empty()) return 0;
+  LogEvent trigger;
+  trigger.level = LogLevel::kInfo;
+  trigger.layer = "obs";
+  trigger.message = "diagnostics dump triggered";
+  trigger.fields.emplace_back("source", std::string(source));
+  trigger.timestamp_ns = NowNs();
+  OnLogEvent(trigger);
+  return DumpDiagnostics(path).ok() ? 1 : 0;
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  spans_.clear();
+  statuses_.store(0, std::memory_order_relaxed);
+}
+
+FlightRecorder& DefaultFlightRecorder() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+}  // namespace slim::obs

@@ -1,0 +1,96 @@
+#ifndef SLIM_OBS_FLIGHT_RECORDER_H_
+#define SLIM_OBS_FLIGHT_RECORDER_H_
+
+/// \file flight_recorder.h
+/// \brief Failure flight recorder: a bounded window of recent activity that
+/// can be dumped as one post-mortem bundle when something goes wrong.
+///
+/// The recorder is simultaneously a `LogSink` and a `TraceSink`; `Install()`
+/// registers it with the default logger and tracer and hooks
+/// `util::Status` error construction, so every non-OK status anywhere in
+/// the four layers lands in the ring as an `error`-level event without any
+/// call-site changes. Error paths that want a bundle on disk call
+/// `MaybeDumpOnError()` (via the `SLIM_OBS_DUMP_ON_ERROR` macro), which
+/// writes the bundle only when a dump path has been configured — idle
+/// deployments pay nothing.
+///
+/// A bundle is a single JSON document: the recent log events (including the
+/// recorded statuses), the recent spans, and the full
+/// `obs::DefaultRegistry()` metrics export.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace slim::obs {
+
+class FlightRecorder : public LogSink, public TraceSink {
+ public:
+  explicit FlightRecorder(size_t event_capacity = 256,
+                          size_t span_capacity = 256);
+  ~FlightRecorder() override;
+
+  /// Registers with DefaultLogger() and DefaultTracer() and installs the
+  /// util::Status error hook. Only one recorder can be installed at a time;
+  /// installing a second one is a no-op that returns false.
+  bool Install();
+  void Uninstall();
+  bool installed() const;
+
+  /// \name Sink interfaces (also callable directly in tests).
+  /// @{
+  void OnLogEvent(const LogEvent& event) override;
+  void OnSpanEnd(const SpanRecord& span) override;
+  /// @}
+
+  /// Records a non-OK status as an error-level event (the Status hook
+  /// target). Never constructs a Status itself.
+  void RecordStatus(StatusCode code, std::string_view message);
+
+  std::vector<LogEvent> RecentEvents() const;
+  std::vector<SpanRecord> RecentSpans() const;
+  uint64_t statuses_recorded() const;
+
+  /// When non-empty, MaybeDumpOnError() writes the bundle here. Dumping on
+  /// every error overwrites the file, so the bundle on disk always
+  /// describes the most recent failure.
+  void set_dump_path(std::string path);
+  std::string dump_path() const;
+
+  /// The bundle as a JSON document (events, spans, metrics).
+  std::string RenderBundle() const;
+
+  /// Writes RenderBundle() to `path`.
+  Status DumpDiagnostics(const std::string& path) const;
+
+  /// DumpDiagnostics(dump_path()) if a dump path is set, tagging the bundle
+  /// request with `source` (recorded as an event first, so the bundle names
+  /// its own trigger). Returns the number of bundles written (0 or 1).
+  size_t MaybeDumpOnError(std::string_view source);
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  size_t event_capacity_;
+  size_t span_capacity_;
+  std::deque<LogEvent> events_;
+  std::deque<SpanRecord> spans_;
+  std::atomic<uint64_t> statuses_{0};
+  std::string dump_path_;
+};
+
+/// Process-wide recorder used by SLIM_OBS_DUMP_ON_ERROR.
+FlightRecorder& DefaultFlightRecorder();
+
+}  // namespace slim::obs
+
+#endif  // SLIM_OBS_FLIGHT_RECORDER_H_

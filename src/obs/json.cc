@@ -1,0 +1,44 @@
+#include "obs/json.h"
+
+#include <cstdio>
+
+namespace slim::obs {
+
+void AppendJsonEscaped(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  AppendJsonEscaped(s, &out);
+  return out;
+}
+
+std::string JsonQuote(std::string_view s) {
+  std::string out = "\"";
+  AppendJsonEscaped(s, &out);
+  out += '"';
+  return out;
+}
+
+}  // namespace slim::obs

@@ -1,0 +1,30 @@
+#ifndef SLIM_OBS_JSON_H_
+#define SLIM_OBS_JSON_H_
+
+/// \file json.h
+/// \brief Shared JSON string escaping for every obs emitter.
+///
+/// The trace JSONL sink, the log JSONL sink, the flight-recorder bundle and
+/// the metrics JSON exporter all quote user-supplied strings (span names,
+/// tag values, log messages, error messages). They share this one escaper so
+/// a newline in a mark description can never produce an invalid JSONL line.
+
+#include <string>
+#include <string_view>
+
+namespace slim::obs {
+
+/// Appends the JSON escape of `s` — without surrounding quotes — to `*out`.
+/// `"` and `\` get a backslash; newline/tab/CR/backspace/form-feed use their
+/// two-character escapes; every other byte below 0x20 becomes `\u00XX`.
+void AppendJsonEscaped(std::string_view s, std::string* out);
+
+/// The JSON escape of `s`, without quotes.
+std::string EscapeJson(std::string_view s);
+
+/// `s` escaped and wrapped in double quotes: ready to emit as a JSON string.
+std::string JsonQuote(std::string_view s);
+
+}  // namespace slim::obs
+
+#endif  // SLIM_OBS_JSON_H_

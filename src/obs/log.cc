@@ -1,0 +1,148 @@
+#include "obs/log.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace slim::obs {
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "info";
+}
+
+std::string FormatLogEventJson(const LogEvent& event) {
+  std::string out = "{\"ts_ns\":" + std::to_string(event.timestamp_ns) +
+                    ",\"level\":" + JsonQuote(LogLevelName(event.level)) +
+                    ",\"layer\":" + JsonQuote(event.layer) +
+                    ",\"message\":" + JsonQuote(event.message);
+  if (!event.fields.empty()) {
+    out += ",\"fields\":{";
+    for (size_t i = 0; i < event.fields.size(); ++i) {
+      if (i) out += ',';
+      out += JsonQuote(event.fields[i].first) + ":" +
+             JsonQuote(event.fields[i].second);
+    }
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+void RingBufferLogSink::OnLogEvent(const LogEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() == capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(event);
+}
+
+std::vector<LogEvent> RingBufferLogSink::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {events_.begin(), events_.end()};
+}
+
+size_t RingBufferLogSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+size_t RingBufferLogSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void RingBufferLogSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+JsonlFileLogSink::JsonlFileLogSink(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::app) {}
+
+void JsonlFileLogSink::OnLogEvent(const LogEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!out_.is_open()) return;
+  out_ << FormatLogEventJson(event) << "\n";
+  out_.flush();
+}
+
+// ---------------------------------------------------------------------------
+// Logger
+// ---------------------------------------------------------------------------
+
+Logger::Logger()
+    : registry_(&DefaultRegistry()), epoch_(std::chrono::steady_clock::now()) {}
+
+void Logger::AddSink(LogSink* sink) {
+  if (sink == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::find(sinks_.begin(), sinks_.end(), sink) == sinks_.end()) {
+    sinks_.push_back(sink);
+  }
+}
+
+void Logger::RemoveSink(LogSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+}
+
+size_t Logger::sink_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sinks_.size();
+}
+
+void Logger::set_registry(MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_ = registry;
+  level_counters_ = {};  // re-resolve against the new registry
+}
+
+Counter* Logger::LevelCounter(LogLevel level) {
+  // Caller holds mu_.
+  size_t i = static_cast<size_t>(level);
+  if (level_counters_[i] == nullptr && registry_ != nullptr) {
+    level_counters_[i] = registry_->GetCounter(
+        "log.events." + std::string(LogLevelName(level)));
+  }
+  return level_counters_[i];
+}
+
+void Logger::Log(LogLevel level, std::string_view layer,
+                 std::string_view message, LogFields fields) {
+  if (Disabled()) return;
+  if (static_cast<int>(level) < min_level_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  LogEvent event;
+  event.level = level;
+  event.layer = std::string(layer);
+  event.message = std::string(message);
+  event.fields = std::move(fields);
+  event.timestamp_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  events_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Counter* c = LevelCounter(level); c != nullptr) c->Increment();
+  for (LogSink* sink : sinks_) sink->OnLogEvent(event);
+}
+
+Logger& DefaultLogger() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+}  // namespace slim::obs

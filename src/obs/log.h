@@ -1,0 +1,157 @@
+#ifndef SLIM_OBS_LOG_H_
+#define SLIM_OBS_LOG_H_
+
+/// \file log.h
+/// \brief Structured, leveled logging across the four layers.
+///
+/// A `LogEvent` is a key-value record — level, emitting layer, message and
+/// an ordered list of string fields — delivered to pluggable `LogSink`s in
+/// the same style as trace.h: a ring buffer for tests, interactive dumps and
+/// the flight recorder, a JSONL file for offline analysis.
+///
+/// Call sites use the `SLIM_OBS_LOG` macro from obs.h, which compiles out
+/// under SLIM_ENABLE_OBS=OFF:
+///
+///   SLIM_OBS_LOG(kWarn, "trim", "store save failed", {{"path", path}});
+///
+/// Each accepted event also bumps a per-level counter
+/// (`log.events.<level>`) in the logger's `MetricsRegistry`
+/// (`obs::DefaultRegistry()` unless overridden), so a scraper sees error
+/// rates without shipping log lines. Delivery holds the logger's mutex, so
+/// events from any thread serialize; sinks need no extra locking against
+/// one logger.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace slim::obs {
+
+/// \brief Severity, ordered: events below a logger's min level are dropped.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+/// Lower-case name ("debug", "info", "warn", "error").
+std::string_view LogLevelName(LogLevel level);
+
+/// Ordered key-value payload of an event.
+using LogFields = std::vector<std::pair<std::string, std::string>>;
+
+/// \brief One structured event, as delivered to sinks.
+struct LogEvent {
+  LogLevel level = LogLevel::kInfo;
+  std::string layer;    ///< Emitting layer: "trim", "mark", "slim", ...
+  std::string message;  ///< Human-readable, no trailing newline.
+  LogFields fields;
+  uint64_t timestamp_ns = 0;  ///< Monotonic, relative to the logger's epoch.
+};
+
+/// One JSON object (no trailing newline) for an event; shared by the JSONL
+/// sink and the flight-recorder bundle.
+std::string FormatLogEventJson(const LogEvent& event);
+
+/// \brief Receives accepted events (level filter already applied).
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void OnLogEvent(const LogEvent& event) = 0;
+};
+
+/// \brief Keeps the most recent `capacity` events in memory.
+class RingBufferLogSink : public LogSink {
+ public:
+  explicit RingBufferLogSink(size_t capacity = 1024) : capacity_(capacity) {}
+
+  void OnLogEvent(const LogEvent& event) override;
+
+  /// Retained events, oldest first.
+  std::vector<LogEvent> Events() const;
+  size_t size() const;
+  /// Events evicted because the buffer was full.
+  size_t dropped() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::deque<LogEvent> events_;
+  size_t dropped_ = 0;
+};
+
+/// \brief Appends one JSON object per event to a file (JSONL).
+class JsonlFileLogSink : public LogSink {
+ public:
+  explicit JsonlFileLogSink(const std::string& path);
+
+  /// False when the file could not be opened (events are then discarded).
+  bool ok() const { return out_.is_open() && out_.good(); }
+
+  void OnLogEvent(const LogEvent& event) override;
+
+ private:
+  std::mutex mu_;
+  std::ofstream out_;
+};
+
+/// \brief Filters by level, stamps a timestamp, counts per level and fans
+/// events out to sinks.
+class Logger {
+ public:
+  Logger();
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// Sinks are not owned and must outlive their registration.
+  void AddSink(LogSink* sink);
+  void RemoveSink(LogSink* sink);
+  size_t sink_count() const;
+
+  /// Events below this level are dropped before counting. Default kDebug
+  /// (everything passes).
+  void set_min_level(LogLevel level) { min_level_.store(static_cast<int>(level), std::memory_order_relaxed); }
+  LogLevel min_level() const { return static_cast<LogLevel>(min_level_.load(std::memory_order_relaxed)); }
+
+  /// Registry receiving the `log.events.<level>` counters; the default
+  /// logger uses obs::DefaultRegistry(). Pass nullptr to stop counting.
+  void set_registry(MetricsRegistry* registry);
+
+  /// Builds and delivers an event. No-op while obs::Disabled() or below
+  /// the min level.
+  void Log(LogLevel level, std::string_view layer, std::string_view message,
+           LogFields fields = {});
+
+  /// Events accepted (counted and offered to sinks) so far.
+  uint64_t events_logged() const { return events_.load(std::memory_order_relaxed); }
+
+ private:
+  Counter* LevelCounter(LogLevel level);
+
+  mutable std::mutex mu_;
+  std::vector<LogSink*> sinks_;
+  std::atomic<int> min_level_{static_cast<int>(LogLevel::kDebug)};
+  std::atomic<uint64_t> events_{0};
+  MetricsRegistry* registry_;           ///< Guarded by mu_.
+  std::array<Counter*, 4> level_counters_{};  ///< Guarded by mu_.
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Process-wide logger used by the SLIM_OBS_LOG instrumentation macro.
+Logger& DefaultLogger();
+
+}  // namespace slim::obs
+
+#endif  // SLIM_OBS_LOG_H_

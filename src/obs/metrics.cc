@@ -1,7 +1,10 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cctype>
+
+#include "obs/json.h"
 
 namespace slim::obs {
 
@@ -82,7 +85,19 @@ void LatencyHistogram::Reset() {
 // MetricsRegistry
 // ---------------------------------------------------------------------------
 
+bool MetricsRegistry::IsValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '.' ||
+          c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  assert(IsValidMetricName(name) && "metric names must match [a-z0-9._]+");
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
@@ -90,6 +105,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  assert(IsValidMetricName(name) && "metric names must match [a-z0-9._]+");
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
@@ -97,10 +113,35 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 }
 
 LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  assert(IsValidMetricName(name) && "metric names must match [a-z0-9._]+");
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
   return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    for (size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+      hs.buckets[i] = h->BucketValue(i);
+    }
+    snap.histograms.emplace_back(name, hs);
+  }
+  return snap;
 }
 
 uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
@@ -137,15 +178,7 @@ std::string MetricsRegistry::ExportText() const {
 
 std::string MetricsRegistry::ExportJson() const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto quote = [](const std::string& s) {
-    std::string out = "\"";
-    for (char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
-    }
-    out += '"';
-    return out;
-  };
+  auto quote = [](const std::string& s) { return JsonQuote(s); };
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -218,7 +251,31 @@ struct JsonCursor {
     while (i < src.size()) {
       char c = src[i++];
       if (c == '\\' && i < src.size()) {
-        out->push_back(src[i++]);
+        char e = src[i++];
+        switch (e) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u': {
+            unsigned value = 0;
+            for (int d = 0; d < 4; ++d) {
+              if (i >= src.size() ||
+                  !std::isxdigit(static_cast<unsigned char>(src[i]))) {
+                return Fail("bad \\u escape");
+              }
+              char h = src[i++];
+              value = value * 16 +
+                      static_cast<unsigned>(h <= '9' ? h - '0'
+                                                     : (h | 0x20) - 'a' + 10);
+            }
+            // Names are ASCII by construction; anything wider is replaced.
+            out->push_back(value < 0x80 ? static_cast<char>(value) : '?');
+            break;
+          }
+          default: out->push_back(e);
+        }
       } else if (c == '"') {
         return true;
       } else {

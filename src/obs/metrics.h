@@ -26,6 +26,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace slim::obs {
@@ -121,6 +123,21 @@ class LatencyHistogram {
   std::atomic<uint64_t> min_{UINT64_MAX};
 };
 
+/// \brief Point-in-time copy of one histogram (for exporters that must not
+/// hold the registry lock while rendering).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::array<uint64_t, LatencyHistogram::kBucketCount> buckets{};
+};
+
+/// \brief Point-in-time copy of a whole registry, names sorted.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
 /// \brief Named metrics, created on first use. One process-wide default
 /// plus per-SlimPadApp / per-workload-session instances.
 class MetricsRegistry {
@@ -129,10 +146,20 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
+  /// True when `name` matches `[a-z0-9._]+` — the repository's
+  /// `layer.op.outcome` convention, chosen so every name maps cleanly onto
+  /// the Prometheus exposition format (obs/prom.h). Get* asserts this in
+  /// debug builds so a bad name fails loudly at creation, not at scrape
+  /// time.
+  static bool IsValidMetricName(std::string_view name);
+
   /// Finds or creates; the pointer stays valid for the registry's lifetime.
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   LatencyHistogram* GetHistogram(const std::string& name);
+
+  /// Consistent copy of every metric's current value.
+  MetricsSnapshot Snapshot() const;
 
   /// Current value of a counter, 0 when it was never created.
   uint64_t CounterValue(const std::string& name) const;

@@ -13,6 +13,8 @@
 ///   SLIM_OBS_HISTOGRAM("trim.view.fanout", out.size());
 ///   SLIM_OBS_TIMER(timer, "trim.view.latency_us"); // times the scope
 ///   SLIM_OBS_SPAN(span, "slimpad.open_scrap");     // RAII trace span
+///   SLIM_OBS_LOG(kWarn, "trim", "save failed", {{"path", p}});  // event
+///   SLIM_OBS_DUMP_ON_ERROR("trim.persistence");    // flight-recorder dump
 ///
 /// With obs compiled in but `obs::SetDisabled(true)`, every macro costs one
 /// relaxed atomic load and nothing else (no clock reads, no lookups).
@@ -20,6 +22,8 @@
 
 #include <chrono>
 
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -104,6 +108,29 @@ class ScopedOpTimer {
 #define SLIM_OBS_SPAN(var, name) \
   ::slim::obs::Span var = ::slim::obs::DefaultTracer().StartSpan(name)
 
+/// Emits a structured event on the default logger. `level` is a bare
+/// LogLevel enumerator (kDebug/kInfo/kWarn/kError); the trailing varargs
+/// are an optional brace-initialized field list:
+///   SLIM_OBS_LOG(kError, "trim", "store load failed", {{"path", path}});
+#define SLIM_OBS_LOG(level, layer, msg, ...)                               \
+  do {                                                                     \
+    if (!::slim::obs::Disabled()) {                                        \
+      ::slim::obs::DefaultLogger().Log(::slim::obs::LogLevel::level,       \
+                                       layer, msg __VA_OPT__(, )           \
+                                           __VA_ARGS__);                   \
+    }                                                                      \
+  } while (0)
+
+/// Asks the default flight recorder for a diagnostics bundle; writes one
+/// only when a dump path has been configured (set_dump_path), so error
+/// paths can call this unconditionally.
+#define SLIM_OBS_DUMP_ON_ERROR(source)                                     \
+  do {                                                                     \
+    if (!::slim::obs::Disabled()) {                                        \
+      ::slim::obs::DefaultFlightRecorder().MaybeDumpOnError(source);       \
+    }                                                                      \
+  } while (0)
+
 #else  // !SLIM_OBS_ENABLED — everything compiles away.
 
 #define SLIM_OBS_COUNT_N(name, n) \
@@ -123,6 +150,12 @@ class ScopedOpTimer {
   } while (0)
 // An inert Span so `var.AddTag(...)` still compiles (and folds away).
 #define SLIM_OBS_SPAN(var, name) ::slim::obs::Span var
+#define SLIM_OBS_LOG(level, layer, msg, ...) \
+  do {                                       \
+  } while (0)
+#define SLIM_OBS_DUMP_ON_ERROR(source) \
+  do {                                 \
+  } while (0)
 
 #endif  // SLIM_OBS_ENABLED
 

@@ -1,0 +1,127 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace slim::obs {
+
+void SpanProfiler::OnSpanEnd(const SpanRecord& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++span_count_;
+
+  // Child time accumulated while this span was open (children end first).
+  uint64_t child_ns = 0;
+  auto open = open_child_ns_.find(span.id);
+  if (open != open_child_ns_.end()) {
+    child_ns = open->second;
+    open_child_ns_.erase(open);
+  }
+
+  SpanStats& stats = by_name_[span.name];
+  if (stats.name.empty()) stats.name = span.name;
+  stats.count += 1;
+  stats.total_ns += span.duration_ns;
+  // Clock granularity can make a child appear longer than its parent;
+  // clamp instead of wrapping.
+  stats.self_ns +=
+      span.duration_ns > child_ns ? span.duration_ns - child_ns : 0;
+
+  if (span.parent_id != 0) {
+    open_child_ns_[span.parent_id] += span.duration_ns;
+  }
+
+  if (max_records_ > 0) {
+    if (records_.size() == max_records_) {
+      records_.pop_front();
+      ++records_dropped_;
+    }
+    records_.push_back(span);
+  }
+}
+
+std::vector<SpanStats> SpanProfiler::HotSpots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanStats> out;
+  out.reserve(by_name_.size());
+  for (const auto& [_, stats] : by_name_) out.push_back(stats);
+  std::sort(out.begin(), out.end(), [](const SpanStats& a, const SpanStats& b) {
+    if (a.self_ns != b.self_ns) return a.self_ns > b.self_ns;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+uint64_t SpanProfiler::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return span_count_;
+}
+
+uint64_t SpanProfiler::records_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_dropped_;
+}
+
+std::string SpanProfiler::HotSpotTable() const {
+  std::vector<SpanStats> rows = HotSpots();
+  std::string out =
+      "span name                                  count    total_us     self_us\n";
+  char line[160];
+  for (const SpanStats& row : rows) {
+    std::snprintf(line, sizeof(line), "%-40s %7llu %11llu %11llu\n",
+                  row.name.c_str(),
+                  static_cast<unsigned long long>(row.count),
+                  static_cast<unsigned long long>(row.total_ns / 1000),
+                  static_cast<unsigned long long>(row.self_ns / 1000));
+    out += line;
+  }
+  return out;
+}
+
+std::string SpanProfiler::CollapsedStacks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Index the retained records so each one can walk its ancestor chain.
+  std::unordered_map<uint64_t, const SpanRecord*> by_id;
+  by_id.reserve(records_.size());
+  std::unordered_map<uint64_t, uint64_t> child_ns;
+  for (const SpanRecord& r : records_) {
+    by_id[r.id] = &r;
+    if (r.parent_id != 0) child_ns[r.parent_id] += r.duration_ns;
+  }
+
+  std::map<std::string, uint64_t> stacks;  // stack -> self_us
+  for (const SpanRecord& r : records_) {
+    std::string stack = r.name;
+    uint64_t parent = r.parent_id;
+    while (parent != 0) {
+      auto it = by_id.find(parent);
+      if (it == by_id.end()) break;  // ancestor evicted: truncate
+      stack = it->second->name + ";" + stack;
+      parent = it->second->parent_id;
+    }
+    uint64_t children = 0;
+    if (auto it = child_ns.find(r.id); it != child_ns.end()) {
+      children = it->second;
+    }
+    uint64_t self_ns =
+        r.duration_ns > children ? r.duration_ns - children : 0;
+    stacks[stack] += self_ns / 1000;
+  }
+
+  std::string out;
+  for (const auto& [stack, self_us] : stacks) {
+    out += stack + " " + std::to_string(self_us) + "\n";
+  }
+  return out;
+}
+
+void SpanProfiler::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  records_dropped_ = 0;
+  span_count_ = 0;
+  by_name_.clear();
+  open_child_ns_.clear();
+}
+
+}  // namespace slim::obs

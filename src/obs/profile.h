@@ -1,0 +1,80 @@
+#ifndef SLIM_OBS_PROFILE_H_
+#define SLIM_OBS_PROFILE_H_
+
+/// \file profile.h
+/// \brief Span profiler: turns a trace stream into hot-spot tables and
+/// flamegraph input.
+///
+/// `SpanProfiler` is a `TraceSink`. As spans finish it aggregates, per span
+/// name, the call count, total (inclusive) time and *self* time — total
+/// minus the time spent in child spans, computed from the `parent_id`
+/// nesting that `Tracer` records. Because children always end before their
+/// record reaches the sink, child time can be charged to the still-open
+/// parent incrementally, so the per-name statistics are exact regardless of
+/// how many records the profiler retains.
+///
+/// Two renderings:
+///  - `HotSpotTable()` — per-name rows sorted by self time, for humans.
+///  - `CollapsedStacks()` — `root;child;leaf <self_us>` lines, the input
+///    format of flamegraph.pl / speedscope, built from the retained records
+///    (bounded by `max_records`; older stacks are dropped and counted).
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace slim::obs {
+
+/// \brief Aggregated statistics for one span name.
+struct SpanStats {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t total_ns = 0;  ///< Inclusive (with children).
+  uint64_t self_ns = 0;   ///< Exclusive (children subtracted).
+};
+
+class SpanProfiler : public TraceSink {
+ public:
+  /// `max_records` bounds the raw records kept for `CollapsedStacks()`;
+  /// the per-name aggregation is unaffected by eviction.
+  explicit SpanProfiler(size_t max_records = 65536)
+      : max_records_(max_records) {}
+
+  void OnSpanEnd(const SpanRecord& span) override;
+
+  /// Per-name statistics, sorted by self time (descending, ties by name).
+  std::vector<SpanStats> HotSpots() const;
+
+  /// Total spans seen, and records evicted from the collapsed-stack buffer.
+  uint64_t span_count() const;
+  uint64_t records_dropped() const;
+
+  /// Fixed-width table of HotSpots(): name, count, total_us, self_us.
+  std::string HotSpotTable() const;
+
+  /// One line per distinct stack: `a;b;c <self_us>`, sorted by stack name.
+  /// Ancestors missing from the retained records truncate the stack (the
+  /// deepest retained ancestor becomes the root).
+  std::string CollapsedStacks() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  size_t max_records_;
+  std::deque<SpanRecord> records_;
+  uint64_t records_dropped_ = 0;
+  uint64_t span_count_ = 0;
+  std::map<std::string, SpanStats> by_name_;
+  /// Accumulated child time of spans still open (keyed by span id); the
+  /// entry is consumed when the parent's own record arrives.
+  std::map<uint64_t, uint64_t> open_child_ns_;
+};
+
+}  // namespace slim::obs
+
+#endif  // SLIM_OBS_PROFILE_H_

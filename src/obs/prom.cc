@@ -1,0 +1,194 @@
+#include "obs/prom.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace slim::obs {
+
+std::string PromMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name[0] >= '0' && name[0] <= '9') out += '_';
+  for (char c : name) {
+    bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += legal ? c : '_';
+  }
+  return out;
+}
+
+std::string ExportPrometheus(const MetricsRegistry& registry) {
+  MetricsSnapshot snap = registry.Snapshot();
+  std::string out;
+
+  for (const auto& [name, value] : snap.counters) {
+    std::string prom = PromMetricName(name);
+    out += "# HELP " + prom + " SLIM counter " + name + "\n";
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    std::string prom = PromMetricName(name);
+    out += "# HELP " + prom + " SLIM gauge " + name + "\n";
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    std::string prom = PromMetricName(name);
+    out += "# HELP " + prom + " SLIM histogram " + name + "\n";
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+      cumulative += h.buckets[i];
+      std::string le =
+          i < LatencyHistogram::kBucketBounds.size()
+              ? std::to_string(LatencyHistogram::BucketUpperBound(i))
+              : std::string("+Inf");
+      out += prom + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_sum " + std::to_string(h.sum) + "\n";
+    out += prom + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// StatsServer
+// ---------------------------------------------------------------------------
+
+StatsServer::StatsServer(const MetricsRegistry* registry, uint16_t port)
+    : registry_(registry), port_(port) {}
+
+StatsServer::~StatsServer() { Stop(); }
+
+Status StatsServer::Start() {
+  if (registry_ == nullptr) {
+    return Status::InvalidArgument("StatsServer needs a registry");
+  }
+  if (running()) return Status::FailedPrecondition("StatsServer already running");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st = Status::IoError(std::string("bind 127.0.0.1:") +
+                                std::to_string(port_) + ": " +
+                                std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    Status st = Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void StatsServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Unblock the accept loop; closing alone is not enough on all platforms.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void StatsServer::Serve() {
+  while (running()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down (Stop) or fatal error
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+namespace {
+
+void SendAll(int fd, std::string_view data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+void SendResponse(int fd, std::string_view status_line,
+                  std::string_view content_type, std::string_view body) {
+  std::string head = std::string("HTTP/1.1 ") + std::string(status_line) +
+                     "\r\nContent-Type: " + std::string(content_type) +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  SendAll(fd, head);
+  SendAll(fd, body);
+}
+
+}  // namespace
+
+void StatsServer::HandleConnection(int fd) {
+  // Read until the end of the request head (or a sanity cap); the request
+  // body, if any, is irrelevant to GET handling.
+  std::string request;
+  char buf[1024];
+  while (request.size() < 16 * 1024 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+  size_t method_end = request.find(' ');
+  if (method_end == std::string::npos) return;
+  size_t path_end = request.find(' ', method_end + 1);
+  if (path_end == std::string::npos) return;
+  std::string method = request.substr(0, method_end);
+  std::string path = request.substr(method_end + 1, path_end - method_end - 1);
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (method != "GET") {
+    SendResponse(fd, "405 Method Not Allowed", "text/plain",
+                 "only GET is supported\n");
+    return;
+  }
+  if (path == "/metrics") {
+    SendResponse(fd, "200 OK", "text/plain; version=0.0.4; charset=utf-8",
+                 ExportPrometheus(*registry_));
+  } else if (path == "/healthz") {
+    SendResponse(fd, "200 OK", "text/plain", "ok\n");
+  } else {
+    SendResponse(fd, "404 Not Found", "text/plain",
+                 "try /metrics or /healthz\n");
+  }
+}
+
+}  // namespace slim::obs

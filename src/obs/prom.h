@@ -1,0 +1,78 @@
+#ifndef SLIM_OBS_PROM_H_
+#define SLIM_OBS_PROM_H_
+
+/// \file prom.h
+/// \brief Prometheus text exposition of a MetricsRegistry, plus a minimal
+/// localhost scrape endpoint.
+///
+/// `ExportPrometheus` renders the registry in the Prometheus text format
+/// (version 0.0.4): `# HELP`/`# TYPE` headers, plain counter/gauge samples,
+/// and full histogram series — cumulative `_bucket{le="..."}` samples
+/// ending at `le="+Inf"`, plus `_sum` and `_count`. Repository names
+/// (`layer.op.outcome`, `[a-z0-9._]+` enforced by MetricsRegistry) map onto
+/// exposition names by `.` → `_`; anything else that sneaks through is
+/// folded to `_` too, so a scrape can never be rejected by the server side.
+///
+/// `StatsServer` is a dependency-free POSIX-socket HTTP responder bound to
+/// 127.0.0.1: a background thread runs a blocking accept loop and answers
+/// `GET /metrics` (the exposition) and `GET /healthz` ("ok"). It exists so
+/// a real scraper can pull a running workload — production deployments
+/// would put a real server in front, but the format is the contract and
+/// this serves it faithfully.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace slim::obs {
+
+/// Exposition-format name for a registry metric name: lowercase `[a-z0-9_]`
+/// with `.` (and any other illegal byte) mapped to `_`; a leading digit is
+/// prefixed with `_`.
+std::string PromMetricName(std::string_view name);
+
+/// The whole registry in Prometheus text format.
+std::string ExportPrometheus(const MetricsRegistry& registry);
+
+/// \brief Localhost `GET /metrics` + `GET /healthz` endpoint over a
+/// registry. Start() binds and spawns the accept thread; Stop() (or the
+/// destructor) shuts it down.
+class StatsServer {
+ public:
+  /// `port` 0 picks an ephemeral port — read it back with port() after
+  /// Start() succeeds. The registry must outlive the server.
+  explicit StatsServer(const MetricsRegistry* registry, uint16_t port = 0);
+  ~StatsServer();
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (valid after Start() returns OK).
+  uint16_t port() const { return port_; }
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  const MetricsRegistry* registry_;
+  uint16_t port_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace slim::obs
+
+#endif  // SLIM_OBS_PROM_H_

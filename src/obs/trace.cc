@@ -2,7 +2,29 @@
 
 #include <algorithm>
 
+#include "obs/json.h"
+
 namespace slim::obs {
+
+std::string FormatSpanJson(const SpanRecord& span) {
+  std::string out = "{\"id\":" + std::to_string(span.id) +
+                    ",\"parent\":" + std::to_string(span.parent_id) +
+                    ",\"depth\":" + std::to_string(span.depth) +
+                    ",\"name\":" + JsonQuote(span.name) +
+                    ",\"start_ns\":" + std::to_string(span.start_ns) +
+                    ",\"duration_ns\":" + std::to_string(span.duration_ns);
+  if (!span.tags.empty()) {
+    out += ",\"tags\":{";
+    for (size_t i = 0; i < span.tags.size(); ++i) {
+      if (i) out += ',';
+      out += JsonQuote(span.tags[i].first) + ":" +
+             JsonQuote(span.tags[i].second);
+    }
+    out += '}';
+  }
+  out += '}';
+  return out;
+}
 
 // ---------------------------------------------------------------------------
 // Sinks
@@ -44,28 +66,7 @@ JsonlFileSink::JsonlFileSink(const std::string& path)
 void JsonlFileSink::OnSpanEnd(const SpanRecord& span) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!out_.is_open()) return;
-  auto quote = [](const std::string& s) {
-    std::string out = "\"";
-    for (char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
-    }
-    out += '"';
-    return out;
-  };
-  out_ << "{\"id\":" << span.id << ",\"parent\":" << span.parent_id
-       << ",\"depth\":" << span.depth << ",\"name\":" << quote(span.name)
-       << ",\"start_ns\":" << span.start_ns
-       << ",\"duration_ns\":" << span.duration_ns;
-  if (!span.tags.empty()) {
-    out_ << ",\"tags\":{";
-    for (size_t i = 0; i < span.tags.size(); ++i) {
-      if (i) out_ << ',';
-      out_ << quote(span.tags[i].first) << ':' << quote(span.tags[i].second);
-    }
-    out_ << '}';
-  }
-  out_ << "}\n";
+  out_ << FormatSpanJson(span) << "\n";
   out_.flush();
 }
 

@@ -42,6 +42,11 @@ struct SpanRecord {
   uint64_t duration_ns = 0;
 };
 
+/// One JSON object (no trailing newline) for a span; shared by the JSONL
+/// sink and the flight-recorder bundle. Names and tags are fully escaped
+/// (quotes, backslashes, control characters).
+std::string FormatSpanJson(const SpanRecord& span);
+
 /// \brief Receives finished spans. Implementations must tolerate delivery
 /// from any code path that holds a span (no re-entrant tracing).
 class TraceSink {

@@ -280,6 +280,8 @@ Result<Query> Query::Parse(std::string_view text) {
     SLIM_OBS_COUNT("slim.query.parse.ok");
   } else {
     SLIM_OBS_COUNT("slim.query.parse.error");
+    SLIM_OBS_LOG(kWarn, "slim", "query parse failed",
+                 {{"status", out.status().ToString()}});
   }
   return out;
 }

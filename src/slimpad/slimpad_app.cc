@@ -144,6 +144,10 @@ Result<OpenResult> SlimPadApp::OpenScrap(const std::string& scrap_id) {
     CountGesture("slimpad.open_scrap.ok");
   } else {
     CountGesture("slimpad.open_scrap.error");
+    SLIM_OBS_LOG(kWarn, "slimpad", "open scrap gesture failed",
+                 {{"scrap", scrap_id},
+                  {"style", std::string(ViewingStyleName(style_))},
+                  {"status", result.status().ToString()}});
   }
   return result;
 }

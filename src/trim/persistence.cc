@@ -5,10 +5,26 @@
 
 #include "doc/xml/parser.h"
 #include "doc/xml/writer.h"
+#include "obs/obs.h"
 
 namespace slim::trim {
 
 namespace xml = slim::doc::xml;
+
+namespace {
+
+// Store persistence failures are exactly what the flight recorder exists
+// for: log the event, snapshot a diagnostics bundle (when configured) and
+// hand the status back unchanged.
+Status NotePersistenceFailure(Status st, [[maybe_unused]] const char* op,
+                              [[maybe_unused]] const std::string& path) {
+  SLIM_OBS_LOG(kError, "trim", "store persistence failed",
+               {{"op", op}, {"path", path}, {"status", st.ToString()}});
+  SLIM_OBS_DUMP_ON_ERROR("trim.persistence");
+  return st;
+}
+
+}  // namespace
 
 std::string StoreToXml(const TripleStore& store) {
   xml::Document doc;
@@ -60,18 +76,31 @@ Status StoreFromXml(std::string_view xml_text, TripleStore* store) {
 
 Status SaveStore(const TripleStore& store, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  if (!out) {
+    return NotePersistenceFailure(
+        Status::IoError("cannot open '" + path + "' for writing"), "save",
+        path);
+  }
   out << StoreToXml(store);
-  if (!out.good()) return Status::IoError("write failed for '" + path + "'");
+  if (!out.good()) {
+    return NotePersistenceFailure(
+        Status::IoError("write failed for '" + path + "'"), "save", path);
+  }
   return Status::OK();
 }
 
 Status LoadStore(const std::string& path, TripleStore* store) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  if (!in) {
+    return NotePersistenceFailure(
+        Status::IoError("cannot open '" + path + "' for reading"), "load",
+        path);
+  }
   std::ostringstream buf;
   buf << in.rdbuf();
-  return StoreFromXml(buf.str(), store);
+  Status st = StoreFromXml(buf.str(), store);
+  if (!st.ok()) return NotePersistenceFailure(std::move(st), "load", path);
+  return st;
 }
 
 }  // namespace slim::trim

@@ -1,10 +1,21 @@
 #include "util/status.h"
 
+#include <atomic>
+
 namespace slim {
 
 namespace {
 const std::string kEmpty;
+std::atomic<StatusErrorHook> g_error_hook{nullptr};
 }  // namespace
+
+void SetStatusErrorHook(StatusErrorHook hook) {
+  g_error_hook.store(hook, std::memory_order_release);
+}
+
+StatusErrorHook GetStatusErrorHook() {
+  return g_error_hook.load(std::memory_order_acquire);
+}
 
 std::string_view StatusCodeName(StatusCode code) {
   switch (code) {
@@ -26,6 +37,9 @@ std::string_view StatusCodeName(StatusCode code) {
 Status::Status(StatusCode code, std::string msg) {
   if (code != StatusCode::kOk) {
     state_ = std::make_unique<State>(State{code, std::move(msg)});
+    if (StatusErrorHook hook = GetStatusErrorHook(); hook != nullptr) {
+      hook(code, state_->msg);
+    }
   }
 }
 

@@ -133,6 +133,20 @@ class Status {
 
 std::ostream& operator<<(std::ostream& os, const Status& s);
 
+/// \name Error-construction hook.
+/// Observers (the obs flight recorder) may install a single process-wide
+/// hook that fires whenever a non-OK Status is *constructed* from a code and
+/// message (copies and moves do not re-fire; context-wrapping via
+/// WithContext constructs a new status and therefore does). The hook runs on
+/// the erroring thread and must not itself construct error statuses. Install
+/// nullptr to remove. The unsynchronized window between installing and
+/// firing is benign: a hook observed as null is simply skipped.
+/// @{
+using StatusErrorHook = void (*)(StatusCode code, std::string_view message);
+void SetStatusErrorHook(StatusErrorHook hook);
+StatusErrorHook GetStatusErrorHook();
+/// @}
+
 }  // namespace slim
 
 /// Propagates a non-OK Status from the current function.

@@ -61,6 +61,8 @@ Status Session::LoadIcuWorkload(IcuWorkload workload) {
   obs::ScopedOpTimer timer(Histogram("workload.load.latency_us"));
   Count("workload.load.calls");
   Count("workload.load.patients", workload.patients.size());
+  SLIM_OBS_LOG(kInfo, "workload", "icu workload loading",
+               {{"patients", std::to_string(workload.patients.size())}});
   icu_ = std::move(workload);
   SLIM_RETURN_NOT_OK(
       excel_.RegisterWorkbook(std::move(icu_.medication_workbook)));
@@ -204,7 +206,16 @@ Result<size_t> Session::OpenAllScraps() {
   size_t opened = 0;
   for (const pad::Scrap* scrap : app_->dmi().Scraps()) {
     if (scrap->mark_handles().empty()) continue;  // gridlets
-    SLIM_RETURN_NOT_OK(app_->OpenScrap(scrap->id()).status());
+    Status st = app_->OpenScrap(scrap->id()).status();
+    if (!st.ok()) {
+      SLIM_OBS_LOG(kError, "workload", "open scrap failed mid-session",
+                   {{"scrap", scrap->id()},
+                    {"opened_so_far", std::to_string(opened)},
+                    {"status", st.ToString()}});
+      SLIM_OBS_DUMP_ON_ERROR("workload.open_all_scraps");
+      Count("workload.scraps_opened", opened);
+      return st;
+    }
     ++opened;
   }
   Count("workload.scraps_opened", opened);

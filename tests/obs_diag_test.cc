@@ -1,0 +1,540 @@
+// Tests for the diagnostics layer built on the obs substrate: shared JSON
+// escaping, structured logging, the span profiler, the failure flight
+// recorder (incl. the util::Status error hook and the persistence error
+// path), Prometheus exposition and a real-socket StatsServer scrape. Like
+// obs_test.cc, everything here is library-level and must pass under both
+// SLIM_ENABLE_OBS settings.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/obs.h"
+#include "obs/profile.h"
+#include "obs/prom.h"
+#include "trim/persistence.h"
+#include "trim/triple_store.h"
+
+namespace slim::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared JSON escaping
+// ---------------------------------------------------------------------------
+
+TEST(EscapeJson, ControlCharactersAndQuotes) {
+  EXPECT_EQ(EscapeJson("plain"), "plain");
+  EXPECT_EQ(EscapeJson("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(EscapeJson("line\nbreak\tand\rmore"),
+            "line\\nbreak\\tand\\rmore");
+  EXPECT_EQ(EscapeJson(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+  EXPECT_EQ(JsonQuote("x"), "\"x\"");
+}
+
+// ---------------------------------------------------------------------------
+// Structured logging
+// ---------------------------------------------------------------------------
+
+TEST(Log, DeliversEventsWithFieldsAndCountsPerLevel) {
+  MetricsRegistry registry;
+  Logger logger;
+  logger.set_registry(&registry);
+  RingBufferLogSink sink;
+  logger.AddSink(&sink);
+
+  logger.Log(LogLevel::kInfo, "trim", "store loaded",
+             {{"path", "/tmp/x"}, {"triples", "42"}});
+  logger.Log(LogLevel::kError, "mark", "resolve failed");
+
+  std::vector<LogEvent> events = sink.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].layer, "trim");
+  EXPECT_EQ(events[0].message, "store loaded");
+  ASSERT_EQ(events[0].fields.size(), 2u);
+  EXPECT_EQ(events[0].fields[0].first, "path");
+  EXPECT_EQ(events[0].fields[1].second, "42");
+  EXPECT_EQ(events[1].level, LogLevel::kError);
+  EXPECT_GE(events[1].timestamp_ns, events[0].timestamp_ns);
+
+  EXPECT_EQ(registry.CounterValue("log.events.info"), 1u);
+  EXPECT_EQ(registry.CounterValue("log.events.error"), 1u);
+  EXPECT_EQ(logger.events_logged(), 2u);
+  logger.RemoveSink(&sink);
+}
+
+TEST(Log, MinLevelFiltersBeforeCountingAndSinks) {
+  MetricsRegistry registry;
+  Logger logger;
+  logger.set_registry(&registry);
+  RingBufferLogSink sink;
+  logger.AddSink(&sink);
+  logger.set_min_level(LogLevel::kWarn);
+
+  logger.Log(LogLevel::kDebug, "slim", "noise");
+  logger.Log(LogLevel::kInfo, "slim", "still noise");
+  logger.Log(LogLevel::kWarn, "slim", "kept");
+
+  EXPECT_EQ(sink.size(), 1u);
+  EXPECT_EQ(registry.CounterValue("log.events.debug"), 0u);
+  EXPECT_EQ(registry.CounterValue("log.events.warn"), 1u);
+  EXPECT_EQ(logger.events_logged(), 1u);
+}
+
+TEST(Log, RingBufferEvictsOldest) {
+  Logger logger;
+  logger.set_registry(nullptr);
+  RingBufferLogSink sink(/*capacity=*/2);
+  logger.AddSink(&sink);
+  for (int i = 0; i < 5; ++i) {
+    logger.Log(LogLevel::kInfo, "t", "m" + std::to_string(i));
+  }
+  EXPECT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.dropped(), 3u);
+  EXPECT_EQ(sink.Events()[0].message, "m3");
+  sink.Clear();
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(Log, JsonlSinkEscapesControlCharacters) {
+  std::string path = ::testing::TempDir() + "obs_diag_log.jsonl";
+  std::remove(path.c_str());
+  {
+    Logger logger;
+    logger.set_registry(nullptr);
+    JsonlFileLogSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    logger.AddSink(&sink);
+    logger.Log(LogLevel::kWarn, "trim", "multi\nline\tmessage",
+               {{"k", "quote\"value"}});
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_NE(line.find("multi\\nline\\tmessage"), std::string::npos);
+  EXPECT_NE(line.find("quote\\\"value"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_FALSE(std::getline(in, line));  // exactly one line
+  std::remove(path.c_str());
+}
+
+TEST(Log, UnopenablePathDiscardsWithoutCrashing) {
+  JsonlFileLogSink sink("/nonexistent-dir-xyz/log.jsonl");
+  EXPECT_FALSE(sink.ok());
+  LogEvent event;
+  event.message = "dropped";
+  sink.OnLogEvent(event);  // no crash
+}
+
+#if SLIM_OBS_ENABLED
+TEST(Log, MacroRoutesThroughDefaultLogger) {
+  RingBufferLogSink sink;
+  DefaultLogger().AddSink(&sink);
+  SLIM_OBS_LOG(kInfo, "test", "no fields");
+  SLIM_OBS_LOG(kWarn, "test", "with fields", {{"a", "1"}, {"b", "2"}});
+  DefaultLogger().RemoveSink(&sink);
+  std::vector<LogEvent> events = sink.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].fields.size(), 0u);
+  ASSERT_EQ(events[1].fields.size(), 2u);
+  EXPECT_EQ(events[1].fields[1].first, "b");
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// Span profiler
+// ---------------------------------------------------------------------------
+
+SpanRecord MakeSpan(uint64_t id, uint64_t parent, int depth,
+                    const std::string& name, uint64_t duration_ns) {
+  SpanRecord r;
+  r.id = id;
+  r.parent_id = parent;
+  r.depth = depth;
+  r.name = name;
+  r.duration_ns = duration_ns;
+  return r;
+}
+
+TEST(SpanProfiler, SelfTimeSubtractsChildren) {
+  SpanProfiler profiler;
+  // parent(id=1) wraps child(id=2) and child(id=3); children end first.
+  profiler.OnSpanEnd(MakeSpan(2, 1, 1, "child", 300));
+  profiler.OnSpanEnd(MakeSpan(3, 1, 1, "child", 200));
+  profiler.OnSpanEnd(MakeSpan(1, 0, 0, "parent", 1000));
+
+  std::vector<SpanStats> stats = profiler.HotSpots();
+  ASSERT_EQ(stats.size(), 2u);
+  std::map<std::string, SpanStats> by_name;
+  for (const SpanStats& s : stats) by_name[s.name] = s;
+  EXPECT_EQ(by_name["parent"].count, 1u);
+  EXPECT_EQ(by_name["parent"].total_ns, 1000u);
+  EXPECT_EQ(by_name["parent"].self_ns, 500u);  // 1000 - (300 + 200)
+  EXPECT_EQ(by_name["child"].count, 2u);
+  EXPECT_EQ(by_name["child"].total_ns, 500u);
+  EXPECT_EQ(by_name["child"].self_ns, 500u);  // leaves keep everything
+  EXPECT_EQ(profiler.span_count(), 3u);
+}
+
+TEST(SpanProfiler, ChildLongerThanParentClampsToZero) {
+  SpanProfiler profiler;
+  profiler.OnSpanEnd(MakeSpan(2, 1, 1, "child", 150));
+  profiler.OnSpanEnd(MakeSpan(1, 0, 0, "parent", 100));
+  std::vector<SpanStats> stats = profiler.HotSpots();
+  for (const SpanStats& s : stats) {
+    if (s.name == "parent") {
+      EXPECT_EQ(s.self_ns, 0u);
+    }
+  }
+}
+
+TEST(SpanProfiler, CollapsedStacksJoinAncestry) {
+  SpanProfiler profiler;
+  // a -> b -> c, plus a second root-level a.
+  profiler.OnSpanEnd(MakeSpan(3, 2, 2, "c", 100'000));
+  profiler.OnSpanEnd(MakeSpan(2, 1, 1, "b", 300'000));
+  profiler.OnSpanEnd(MakeSpan(1, 0, 0, "a", 1'000'000));
+  profiler.OnSpanEnd(MakeSpan(4, 0, 0, "a", 50'000));
+
+  std::string stacks = profiler.CollapsedStacks();
+  // self times in us: c=100, b=200, a(root1)=700, a(root2)=50 → a line 750.
+  EXPECT_NE(stacks.find("a;b;c 100\n"), std::string::npos);
+  EXPECT_NE(stacks.find("a;b 200\n"), std::string::npos);
+  EXPECT_NE(stacks.find("a 750\n"), std::string::npos);
+}
+
+TEST(SpanProfiler, AggregatesFromRealTracerNesting) {
+  Tracer tracer;
+  SpanProfiler profiler;
+  tracer.AddSink(&profiler);
+  {
+    Span outer = tracer.StartSpan("outer");
+    { Span inner = tracer.StartSpan("inner"); }
+  }
+  std::vector<SpanStats> stats = profiler.HotSpots();
+  ASSERT_EQ(stats.size(), 2u);
+  uint64_t outer_total = 0, outer_self = 0, inner_total = 0;
+  for (const SpanStats& s : stats) {
+    if (s.name == "outer") {
+      outer_total = s.total_ns;
+      outer_self = s.self_ns;
+    } else {
+      inner_total = s.total_ns;
+    }
+  }
+  // outer_self == outer_total - inner_total (exactly, same records).
+  EXPECT_EQ(outer_self, outer_total - inner_total);
+  std::string table = profiler.HotSpotTable();
+  EXPECT_NE(table.find("outer"), std::string::npos);
+  EXPECT_NE(table.find("inner"), std::string::npos);
+  tracer.RemoveSink(&profiler);
+}
+
+TEST(SpanProfiler, BoundedRecordsStillAggregateExactly) {
+  SpanProfiler profiler(/*max_records=*/1);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    profiler.OnSpanEnd(MakeSpan(i, 0, 0, "hot", 100));
+  }
+  EXPECT_EQ(profiler.records_dropped(), 9u);
+  std::vector<SpanStats> stats = profiler.HotSpots();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].count, 10u);      // aggregation unaffected by eviction
+  EXPECT_EQ(stats[0].total_ns, 1000u);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorder, StatusHookRecordsEveryError) {
+  FlightRecorder recorder;
+  ASSERT_TRUE(recorder.Install());
+  EXPECT_TRUE(recorder.installed());
+
+  uint64_t before = recorder.statuses_recorded();
+  Status st = Status::IoError("disk on fire");
+  Status copy = st;  // copies must not re-fire the hook
+  (void)copy;
+  EXPECT_EQ(recorder.statuses_recorded(), before + 1);
+
+  std::vector<LogEvent> events = recorder.RecentEvents();
+  ASSERT_FALSE(events.empty());
+  const LogEvent& event = events.back();
+  EXPECT_EQ(event.level, LogLevel::kError);
+  EXPECT_EQ(event.layer, "status");
+  EXPECT_EQ(event.message, "disk on fire");
+  ASSERT_EQ(event.fields.size(), 1u);
+  EXPECT_EQ(event.fields[0].second, "IoError");
+
+  recorder.Uninstall();
+  EXPECT_FALSE(recorder.installed());
+  Status after = Status::NotFound("unrecorded");
+  EXPECT_EQ(recorder.statuses_recorded(), before + 1);
+}
+
+TEST(FlightRecorder, OnlyOneRecorderInstallsAtATime) {
+  FlightRecorder first;
+  FlightRecorder second;
+  ASSERT_TRUE(first.Install());
+  EXPECT_FALSE(second.Install());
+  EXPECT_TRUE(first.Install());  // re-install of the owner is fine
+  first.Uninstall();
+  EXPECT_TRUE(second.Install());
+  second.Uninstall();
+}
+
+TEST(FlightRecorder, PersistenceIoErrorProducesFullBundle) {
+  FlightRecorder& recorder = DefaultFlightRecorder();
+  recorder.Clear();
+  ASSERT_TRUE(recorder.Install());
+  std::string bundle_path = ::testing::TempDir() + "obs_diag_bundle.json";
+  std::remove(bundle_path.c_str());
+  recorder.set_dump_path(bundle_path);
+
+  // Some span activity so the bundle has a trace window (the recorder is a
+  // sink of the default tracer while installed).
+  { Span s = DefaultTracer().StartSpan("pre_crash_work"); }
+
+  // Inject the failure: loading a store from a path that cannot exist.
+  trim::TripleStore store;
+  Status st = trim::LoadStore("/nonexistent-dir-xyz/store.xml", &store);
+  ASSERT_TRUE(st.IsIoError());
+
+#if SLIM_OBS_ENABLED
+  // The persistence error path triggered the dump itself.
+  std::ifstream dumped(bundle_path);
+  ASSERT_TRUE(dumped.good())
+      << "expected the trim error path to write " << bundle_path;
+#else
+  // Instrumentation is compiled out; dump explicitly.
+  ASSERT_TRUE(recorder.DumpDiagnostics(bundle_path).ok());
+#endif
+
+  std::ifstream in(bundle_path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string bundle = buf.str();
+
+  // The status event (via the hook), the recent spans and the metrics JSON
+  // are all present.
+  EXPECT_NE(bundle.find("\"code\":\"IoError\""), std::string::npos);
+  EXPECT_NE(bundle.find("cannot open '/nonexistent-dir-xyz/store.xml'"),
+            std::string::npos);
+  EXPECT_NE(bundle.find("\"spans\":["), std::string::npos);
+  EXPECT_NE(bundle.find("\"name\":\"pre_crash_work\""), std::string::npos);
+  EXPECT_NE(bundle.find("\"metrics\":{\"counters\":{"), std::string::npos);
+
+  recorder.set_dump_path("");
+  recorder.Uninstall();
+  std::remove(bundle_path.c_str());
+}
+
+TEST(FlightRecorder, MaybeDumpIsFreeWithoutAPath) {
+  FlightRecorder recorder;
+  EXPECT_EQ(recorder.MaybeDumpOnError("test"), 0u);
+  EXPECT_TRUE(recorder.RecentEvents().empty());  // no trigger event either
+}
+
+TEST(FlightRecorder, BoundedRings) {
+  FlightRecorder recorder(/*event_capacity=*/2, /*span_capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    LogEvent event;
+    event.message = "e" + std::to_string(i);
+    recorder.OnLogEvent(event);
+    recorder.OnSpanEnd(MakeSpan(uint64_t(i + 1), 0, 0,
+                                "s" + std::to_string(i), 1));
+  }
+  std::vector<LogEvent> events = recorder.RecentEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].message, "e3");
+  std::vector<SpanRecord> spans = recorder.RecentSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[1].name, "s4");
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+// ---------------------------------------------------------------------------
+
+TEST(Prom, MetricNameMapping) {
+  EXPECT_EQ(PromMetricName("trim.add.ok"), "trim_add_ok");
+  EXPECT_EQ(PromMetricName("trim.view.latency_us"), "trim_view_latency_us");
+  EXPECT_EQ(PromMetricName("weird-name with/stuff"), "weird_name_with_stuff");
+  EXPECT_EQ(PromMetricName("0starts.with.digit"), "_0starts_with_digit");
+}
+
+TEST(Prom, RendersCountersGaugesAndCumulativeHistograms) {
+  MetricsRegistry registry;
+  registry.GetCounter("trim.add.ok")->Increment(7);
+  registry.GetGauge("docs.open")->Set(-2);
+  LatencyHistogram* h = registry.GetHistogram("trim.view.latency_us");
+  h->Record(1);    // bucket 0
+  h->Record(2);    // bucket 1
+  h->Record(9);    // bucket 3 (<=10)
+  std::string text = ExportPrometheus(registry);
+
+  EXPECT_NE(text.find("# TYPE trim_add_ok counter\ntrim_add_ok 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE docs_open gauge\ndocs_open -2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE trim_view_latency_us histogram"),
+            std::string::npos);
+  // Buckets are cumulative.
+  EXPECT_NE(text.find("trim_view_latency_us_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("trim_view_latency_us_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("trim_view_latency_us_bucket{le=\"10\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("trim_view_latency_us_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("trim_view_latency_us_sum 12\n"), std::string::npos);
+  EXPECT_NE(text.find("trim_view_latency_us_count 3\n"), std::string::npos);
+}
+
+TEST(Registry, MetricNameValidation) {
+  EXPECT_TRUE(MetricsRegistry::IsValidMetricName("trim.add.ok"));
+  EXPECT_TRUE(MetricsRegistry::IsValidMetricName("trim.view.latency_us"));
+  EXPECT_TRUE(MetricsRegistry::IsValidMetricName("log.events.error"));
+  EXPECT_FALSE(MetricsRegistry::IsValidMetricName(""));
+  EXPECT_FALSE(MetricsRegistry::IsValidMetricName("Has.Upper"));
+  EXPECT_FALSE(MetricsRegistry::IsValidMetricName("with space"));
+  EXPECT_FALSE(MetricsRegistry::IsValidMetricName("dash-ed"));
+  EXPECT_FALSE(MetricsRegistry::IsValidMetricName("brace{le}"));
+}
+
+// ---------------------------------------------------------------------------
+// StatsServer: scrape over a real socket
+// ---------------------------------------------------------------------------
+
+// Minimal blocking HTTP/1.1 GET against 127.0.0.1:port.
+std::string HttpGet(uint16_t port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  size_t off = 0;
+  while (off < request.size()) {
+    ssize_t n = ::send(fd, request.data() + off, request.size() - off, 0);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Body(const std::string& response) {
+  size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+TEST(StatsServer, ServesValidPrometheusOverARealSocket) {
+  MetricsRegistry registry;
+  registry.GetCounter("trim.add.ok")->Increment(13);
+  LatencyHistogram* h = registry.GetHistogram("slim.query.latency_us");
+  h->Record(3);
+  h->Record(40);
+  h->Record(2'000'000);  // overflow bucket
+
+  StatsServer server(&registry, /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  std::string response = HttpGet(server.port(), "/metrics");
+  ASSERT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  ASSERT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  std::string body = Body(response);
+
+  // Parse the exposition: every sample line is `name[{le="..."}] value`,
+  // histogram buckets must be cumulative (non-decreasing) and end at +Inf
+  // == _count, with _sum matching the registry.
+  std::istringstream lines(body);
+  std::string line;
+  std::vector<uint64_t> buckets;
+  uint64_t count = 0, sum = 0, counter_value = 0;
+  bool saw_inf = false;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string name = line.substr(0, space);
+    std::string value = line.substr(space + 1);
+    if (name.rfind("slim_query_latency_us_bucket", 0) == 0) {
+      buckets.push_back(std::stoull(value));
+      if (name.find("+Inf") != std::string::npos) saw_inf = true;
+    } else if (name == "slim_query_latency_us_count") {
+      count = std::stoull(value);
+    } else if (name == "slim_query_latency_us_sum") {
+      sum = std::stoull(value);
+    } else if (name == "trim_add_ok") {
+      counter_value = std::stoull(value);
+    }
+  }
+  ASSERT_EQ(buckets.size(), LatencyHistogram::kBucketCount);
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GE(buckets[i], buckets[i - 1]) << "buckets must be cumulative";
+  }
+  EXPECT_TRUE(saw_inf);
+  EXPECT_EQ(buckets.back(), count);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(sum, 2'000'043u);
+  EXPECT_EQ(counter_value, 13u);
+
+  // The scrape is reflected in the server's own accounting.
+  EXPECT_GE(server.requests_served(), 1u);
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(StatsServer, HealthzAndNotFound) {
+  MetricsRegistry registry;
+  StatsServer server(&registry, /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+  std::string health = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_EQ(Body(health), "ok\n");
+  std::string missing = HttpGet(server.port(), "/nope");
+  EXPECT_NE(missing.find("404 Not Found"), std::string::npos);
+  server.Stop();
+}
+
+TEST(StatsServer, StopIsIdempotentAndRestartable) {
+  MetricsRegistry registry;
+  StatsServer server(&registry, /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(server.Start().IsFailedPrecondition());
+  server.Stop();
+  server.Stop();  // no-op
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_NE(HttpGet(server.port(), "/healthz").find("200"),
+            std::string::npos);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace slim::obs

@@ -297,6 +297,66 @@ TEST(Disabled, FastPathRecordsNothing) {
 #endif
 }
 
+TEST(JsonlFileSink, UnopenablePathDiscardsSpansWithoutCrashing) {
+  Tracer tracer;
+  JsonlFileSink sink("/nonexistent-dir-xyz/spans.jsonl");
+  EXPECT_FALSE(sink.ok());
+  tracer.AddSink(&sink);
+  { Span s = tracer.StartSpan("discarded"); }
+  EXPECT_EQ(tracer.finished_spans(), 1u);  // delivered, silently dropped
+}
+
+TEST(JsonlFileSink, EscapesControlCharactersInNamesAndTags) {
+  std::string path = ::testing::TempDir() + "obs_test_escapes.jsonl";
+  std::remove(path.c_str());
+  {
+    Tracer tracer;
+    JsonlFileSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    tracer.AddSink(&sink);
+    Span s = tracer.StartSpan("multi\nline");
+    s.AddTag("key", std::string("tab\there\x01", 9));
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"name\":\"multi\\nline\""), std::string::npos);
+  EXPECT_NE(line.find("tab\\there\\u0001"), std::string::npos);
+  EXPECT_EQ(line.find('\t'), std::string::npos);  // one parseable line
+  EXPECT_FALSE(std::getline(in, line));
+  std::remove(path.c_str());
+}
+
+TEST(Tracer, OutOfOrderEndKeepsNestingConsistent) {
+  Tracer tracer;
+  RingBufferSink sink;
+  tracer.AddSink(&sink);
+
+  Span parent = tracer.StartSpan("parent");
+  Span child = tracer.StartSpan("child");
+  parent.End();  // out of order: the parent ends while the child is open
+  // The still-open child remains the innermost open span.
+  Span sibling = tracer.StartSpan("nested_after");
+  sibling.End();
+  child.End();
+
+  std::vector<SpanRecord> spans = sink.Spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "parent");
+  EXPECT_EQ(spans[1].name, "nested_after");
+  EXPECT_EQ(spans[2].name, "child");
+  EXPECT_EQ(spans[1].parent_id, spans[2].id);  // child was still open
+  EXPECT_EQ(spans[2].parent_id, spans[0].id);
+  EXPECT_EQ(tracer.finished_spans(), 3u);
+
+  // The open-span stack drained completely: a new span is a root again.
+  {
+    Span fresh = tracer.StartSpan("fresh_root");
+  }
+  EXPECT_EQ(sink.Spans().back().parent_id, 0u);
+  EXPECT_EQ(sink.Spans().back().depth, 0);
+}
+
 #if SLIM_OBS_ENABLED
 TEST(Macros, WriteToDefaultRegistry) {
   uint64_t before = DefaultRegistry().CounterValue("obs_test.macro");
