@@ -29,6 +29,7 @@
 #include "obs/log.h"
 #include "obs/trace.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace slim::obs {
 
@@ -80,12 +81,12 @@ class FlightRecorder : public LogSink, public TraceSink {
 
  private:
   mutable std::mutex mu_;
-  size_t event_capacity_;
-  size_t span_capacity_;
-  std::deque<LogEvent> events_;
-  std::deque<SpanRecord> spans_;
+  size_t event_capacity_ GUARDED_BY(mu_);
+  size_t span_capacity_ GUARDED_BY(mu_);
+  std::deque<LogEvent> events_ GUARDED_BY(mu_);
+  std::deque<SpanRecord> spans_ GUARDED_BY(mu_);
   std::atomic<uint64_t> statuses_{0};
-  std::string dump_path_;
+  std::string dump_path_ GUARDED_BY(mu_);
 };
 
 /// Process-wide recorder used by SLIM_OBS_DUMP_ON_ERROR.

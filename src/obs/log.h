@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/thread_annotations.h"
 
 namespace slim::obs {
 
@@ -87,9 +88,9 @@ class RingBufferLogSink : public LogSink {
 
  private:
   mutable std::mutex mu_;
-  size_t capacity_;
-  std::deque<LogEvent> events_;
-  size_t dropped_ = 0;
+  size_t capacity_ GUARDED_BY(mu_);
+  std::deque<LogEvent> events_ GUARDED_BY(mu_);
+  size_t dropped_ GUARDED_BY(mu_) = 0;
 };
 
 /// \brief Appends one JSON object per event to a file (JSONL).
@@ -104,7 +105,7 @@ class JsonlFileLogSink : public LogSink {
 
  private:
   std::mutex mu_;
-  std::ofstream out_;
+  std::ofstream out_ GUARDED_BY(mu_);
 };
 
 /// \brief Filters by level, stamps a timestamp, counts per level and fans
@@ -138,14 +139,14 @@ class Logger {
   uint64_t events_logged() const { return events_.load(std::memory_order_relaxed); }
 
  private:
-  Counter* LevelCounter(LogLevel level);
+  Counter* LevelCounter(LogLevel level) REQUIRES(mu_);
 
   mutable std::mutex mu_;
-  std::vector<LogSink*> sinks_;
+  std::vector<LogSink*> sinks_ GUARDED_BY(mu_);
   std::atomic<int> min_level_{static_cast<int>(LogLevel::kDebug)};
   std::atomic<uint64_t> events_{0};
-  MetricsRegistry* registry_;           ///< Guarded by mu_.
-  std::array<Counter*, 4> level_counters_{};  ///< Guarded by mu_.
+  MetricsRegistry* registry_ GUARDED_BY(mu_);
+  std::array<Counter*, 4> level_counters_ GUARDED_BY(mu_){};
   std::chrono::steady_clock::time_point epoch_;
 };
 

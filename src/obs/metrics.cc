@@ -356,11 +356,11 @@ bool MetricsRegistry::ImportJson(std::string_view json, std::string* error) {
       std::string name;
       if (!c.ParseString(&name) || !c.Expect(':')) return fail();
       if (section == "counters") {
-        uint64_t value;
+        uint64_t value = 0;
         if (!c.ParseUint(&value)) return fail();
         counters.emplace_back(std::move(name), value);
       } else if (section == "gauges") {
-        int64_t value;
+        int64_t value = 0;
         if (!c.ParseInt(&value)) return fail();
         gauges.emplace_back(std::move(name), value);
       } else if (section == "histograms") {
@@ -377,13 +377,13 @@ bool MetricsRegistry::ImportJson(std::string_view json, std::string* error) {
             if (!c.Expect('[')) return fail();
             while (!c.Peek(']')) {
               if (!h.buckets.empty() && !c.Expect(',')) return fail();
-              uint64_t value;
+              uint64_t value = 0;
               if (!c.ParseUint(&value)) return fail();
               h.buckets.push_back(value);
             }
             if (!c.Expect(']')) return fail();
           } else {
-            uint64_t value;
+            uint64_t value = 0;
             if (!c.ParseUint(&value)) return fail();
             if (field == "count") h.count = value;
             else if (field == "sum") h.sum = value;

@@ -30,6 +30,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace slim::obs {
 
 /// \name Global kill switch.
@@ -182,9 +184,10 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 /// Process-wide registry: the sink for all layer instrumentation.

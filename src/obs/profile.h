@@ -22,10 +22,12 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/trace.h"
+#include "util/thread_annotations.h"
 
 namespace slim::obs {
 
@@ -65,14 +67,14 @@ class SpanProfiler : public TraceSink {
 
  private:
   mutable std::mutex mu_;
-  size_t max_records_;
-  std::deque<SpanRecord> records_;
-  uint64_t records_dropped_ = 0;
-  uint64_t span_count_ = 0;
-  std::map<std::string, SpanStats> by_name_;
+  size_t max_records_ GUARDED_BY(mu_);
+  std::deque<SpanRecord> records_ GUARDED_BY(mu_);
+  uint64_t records_dropped_ GUARDED_BY(mu_) = 0;
+  uint64_t span_count_ GUARDED_BY(mu_) = 0;
+  std::map<std::string, SpanStats> by_name_ GUARDED_BY(mu_);
   /// Accumulated child time of spans still open (keyed by span id); the
   /// entry is consumed when the parent's own record arrives.
-  std::map<uint64_t, uint64_t> open_child_ns_;
+  std::map<uint64_t, uint64_t> open_child_ns_ GUARDED_BY(mu_);
 };
 
 }  // namespace slim::obs

@@ -96,29 +96,53 @@ void Span::End() {
 // Tracer
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Per-thread stack of open spans, outermost first. Entries carry the
+/// owning tracer so several tracers (the default one plus test-local ones)
+/// can nest independently on the same thread.
+struct OpenSpan {
+  const Tracer* tracer;
+  uint64_t id;
+};
+thread_local std::vector<OpenSpan> t_open_spans;
+
+}  // namespace
+
 void Tracer::AddSink(TraceSink* sink) {
   if (sink == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
   if (std::find(sinks_.begin(), sinks_.end(), sink) == sinks_.end()) {
     sinks_.push_back(sink);
+    sink_count_.store(sinks_.size(), std::memory_order_release);
   }
 }
 
 void Tracer::RemoveSink(TraceSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
   sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+  sink_count_.store(sinks_.size(), std::memory_order_release);
 }
 
 Span Tracer::StartSpan(std::string name) {
   if (!active()) return Span{};
   SpanRecord record;
-  record.id = next_id_++;
-  record.parent_id = open_.empty() ? 0 : open_.back();
-  record.depth = static_cast<int>(open_.size());
+  record.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  record.parent_id = 0;
+  int depth = 0;
+  for (const OpenSpan& open : t_open_spans) {
+    if (open.tracer == this) {
+      record.parent_id = open.id;  // innermost-so-far; loop ends on deepest
+      ++depth;
+    }
+  }
+  record.depth = depth;
   record.name = std::move(name);
   auto now = std::chrono::steady_clock::now();
   record.start_ns = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_)
           .count());
-  open_.push_back(record.id);
+  t_open_spans.push_back(OpenSpan{this, record.id});
   return Span(this, std::move(record), now);
 }
 
@@ -129,12 +153,19 @@ void Tracer::FinishSpan(SpanRecord* record,
           std::chrono::steady_clock::now() - start)
           .count());
   // Usually the innermost open span ends first; a moved span ending out of
-  // order is simply removed wherever it is.
-  auto it = std::find(open_.rbegin(), open_.rend(), record->id);
-  if (it != open_.rend()) {
-    open_.erase(std::next(it).base());
+  // order is removed wherever it is. A span ended on a different thread
+  // than it started on is simply absent from this thread's stack.
+  for (auto it = t_open_spans.rbegin(); it != t_open_spans.rend(); ++it) {
+    if (it->tracer == this && it->id == record->id) {
+      t_open_spans.erase(std::next(it).base());
+      break;
+    }
   }
-  ++finished_;
+  finished_.fetch_add(1, std::memory_order_relaxed);
+  // Delivery holds the tracer's mutex (like Logger): records from any
+  // thread serialize, and RemoveSink cannot return while a sink is still
+  // being offered a record.
+  std::lock_guard<std::mutex> lock(mu_);
   for (TraceSink* sink : sinks_) sink->OnSpanEnd(*record);
 }
 

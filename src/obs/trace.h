@@ -11,11 +11,16 @@
 /// interactive dumps, a JSONL file for offline analysis.
 ///
 /// Starting a span is free when no sink is attached (or obs is disabled):
-/// `StartSpan` returns an inert span and never reads the clock. Nesting
-/// bookkeeping assumes spans on one tracer open and close on one thread
-/// (the repository is single-threaded today); sinks themselves are
-/// internally locked.
+/// `StartSpan` returns an inert span and never reads the clock. The tracer
+/// is thread-safe: ids and counts are atomics, the sink list is
+/// mutex-guarded (delivery holds the tracer's mutex, so finished records
+/// from any thread serialize), and nesting bookkeeping is kept on a
+/// per-thread stack — a span's parent is the innermost span opened *on the
+/// same thread*, so concurrent traces never entangle. A span must end on
+/// the thread that started it for its parent linkage to be recorded;
+/// ending elsewhere is safe but drops the nesting entry.
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
@@ -26,6 +31,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/thread_annotations.h"
 
 namespace slim::obs {
 
@@ -71,9 +77,9 @@ class RingBufferSink : public TraceSink {
 
  private:
   mutable std::mutex mu_;
-  size_t capacity_;
-  std::deque<SpanRecord> spans_;
-  size_t dropped_ = 0;
+  size_t capacity_ GUARDED_BY(mu_);
+  std::deque<SpanRecord> spans_ GUARDED_BY(mu_);
+  size_t dropped_ GUARDED_BY(mu_) = 0;
 };
 
 /// \brief Appends one JSON object per span to a file (JSONL).
@@ -88,7 +94,7 @@ class JsonlFileSink : public TraceSink {
 
  private:
   std::mutex mu_;
-  std::ofstream out_;
+  std::ofstream out_ GUARDED_BY(mu_);
 };
 
 /// \brief RAII span scope. Default-constructed (or moved-from) spans are
@@ -131,29 +137,35 @@ class Tracer {
   Tracer& operator=(const Tracer&) = delete;
 
   /// Sinks are not owned and must outlive their registration.
-  void AddSink(TraceSink* sink);
-  void RemoveSink(TraceSink* sink);
-  size_t sink_count() const { return sinks_.size(); }
+  void AddSink(TraceSink* sink) EXCLUDES(mu_);
+  void RemoveSink(TraceSink* sink) EXCLUDES(mu_);
+  size_t sink_count() const {
+    return sink_count_.load(std::memory_order_acquire);
+  }
 
   /// True when spans are actually recorded.
-  bool active() const { return !sinks_.empty() && !Disabled(); }
+  bool active() const { return sink_count() != 0 && !Disabled(); }
 
-  /// Starts a span nested under the innermost open span. Inert (and free)
-  /// when `active()` is false.
+  /// Starts a span nested under the innermost span open on this thread.
+  /// Inert (and free) when `active()` is false.
   Span StartSpan(std::string name);
 
   /// Spans delivered to sinks so far.
-  uint64_t finished_spans() const { return finished_; }
+  uint64_t finished_spans() const {
+    return finished_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class Span;
   void FinishSpan(SpanRecord* record,
-                  std::chrono::steady_clock::time_point start);
+                  std::chrono::steady_clock::time_point start) EXCLUDES(mu_);
 
-  std::vector<TraceSink*> sinks_;
-  std::vector<uint64_t> open_;  ///< Ids of open spans, outermost first.
-  uint64_t next_id_ = 1;
-  uint64_t finished_ = 0;
+  mutable std::mutex mu_;
+  std::vector<TraceSink*> sinks_ GUARDED_BY(mu_);
+  /// Mirrors sinks_.size() so the active() fast path never locks.
+  std::atomic<size_t> sink_count_{0};
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> finished_{0};
   std::chrono::steady_clock::time_point epoch_;
 };
 

@@ -18,8 +18,11 @@ namespace slim {
 /// A Result constructed from an OK status is a programming error and is
 /// normalized to an Unknown error to keep the invariant "has value xor has
 /// non-OK status".
+///
+/// Like Status, Result is [[nodiscard]]: dropping a returned Result is a
+/// compile error repo-wide (-Werror=unused-result).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from an error status.
   Result(Status status)  // NOLINT(google-explicit-constructor)

@@ -38,7 +38,11 @@ std::string_view StatusCodeName(StatusCode code);
 ///
 /// The OK state is represented without allocation; error states allocate a
 /// small heap record. Statuses are cheap to move and copy-on-error.
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping a returned Status is a
+/// compile error repo-wide (-Werror=unused-result). Call sites that truly
+/// do not care spell it `(void)DoThing();`.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

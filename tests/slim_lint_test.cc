@@ -1,0 +1,292 @@
+// Golden-fixture tests for tools/slim_lint: every rule is proven by a
+// seeded-violation fixture under tools/slim_lint/testdata/tree, asserting
+// the exact diagnostics and the non-zero exit code, plus unit tests over
+// the catalog matcher and the per-file scanners.
+
+#include "lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace slim::lint {
+namespace {
+
+// Injected by tests/CMakeLists.txt.
+#ifndef SLIM_LINT_TESTDATA
+#error "SLIM_LINT_TESTDATA must be defined"
+#endif
+#ifndef SLIM_REPO_ROOT
+#error "SLIM_REPO_ROOT must be defined"
+#endif
+
+std::filesystem::path Testdata() { return SLIM_LINT_TESTDATA; }
+
+Catalog FixtureCatalog() {
+  Catalog catalog;
+  Status st = LoadCatalog(Testdata() / "catalog.md", &catalog);
+  EXPECT_TRUE(st.ok()) << st;
+  return catalog;
+}
+
+// ---------------------------------------------------------------------------
+// Catalog parsing and matching
+// ---------------------------------------------------------------------------
+
+TEST(LintCatalog, ParsesOnlyTypedTableRows) {
+  Catalog catalog = FixtureCatalog();
+  // 3 (brace) + 2 + 1 + 1 + 1 + 1 = 9; the untyped `not.a.metric` row is
+  // skipped.
+  EXPECT_EQ(catalog.size(), 9u);
+  EXPECT_FALSE(catalog.MatchesExact("not.a.metric"));
+}
+
+TEST(LintCatalog, BraceExpansion) {
+  Catalog catalog = FixtureCatalog();
+  EXPECT_TRUE(catalog.MatchesExact("trim.add.ok"));
+  EXPECT_TRUE(catalog.MatchesExact("trim.add.duplicate"));
+  EXPECT_TRUE(catalog.MatchesExact("trim.add.invalid"));
+  EXPECT_FALSE(catalog.MatchesExact("trim.add"));
+  EXPECT_FALSE(catalog.MatchesExact("trim.add.bogus"));
+}
+
+TEST(LintCatalog, SegmentWildcards) {
+  Catalog catalog = FixtureCatalog();
+  EXPECT_TRUE(catalog.MatchesExact("mark.resolve.module.xml.context"));
+  EXPECT_TRUE(catalog.MatchesExact("mark.resolve.module.excel.cell"));
+  // <type> is exactly one segment.
+  EXPECT_FALSE(catalog.MatchesExact("mark.resolve.module.xml"));
+}
+
+TEST(LintCatalog, StarSuffix) {
+  Catalog catalog = FixtureCatalog();
+  EXPECT_TRUE(catalog.MatchesExact("workload.open_all_scraps.calls"));
+  EXPECT_TRUE(catalog.MatchesExact("workload.open_all_scraps.latency_us"));
+  EXPECT_FALSE(catalog.MatchesExact("workload.open_all"));
+}
+
+TEST(LintCatalog, PrefixMatching) {
+  Catalog catalog = FixtureCatalog();
+  EXPECT_TRUE(catalog.MatchesPrefix("mark.resolve.module."));
+  EXPECT_TRUE(catalog.MatchesPrefix("trim.add."));
+  EXPECT_FALSE(catalog.MatchesPrefix("slimpad.gesture."));
+}
+
+TEST(LintCatalog, MissingFileIsAnError) {
+  Catalog catalog;
+  Status st = LoadCatalog(Testdata() / "does_not_exist.md", &catalog);
+  EXPECT_TRUE(st.IsIoError());
+}
+
+TEST(LintCatalog, RealCatalogLoadsAndCoversKnownNames) {
+  Catalog catalog;
+  Status st = LoadCatalog(std::filesystem::path(SLIM_REPO_ROOT) / "DESIGN.md",
+                          &catalog);
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_GT(catalog.size(), 40u);
+  EXPECT_TRUE(catalog.MatchesExact("trim.add.ok"));
+  EXPECT_TRUE(catalog.MatchesExact("slim.query.execute"));
+  EXPECT_TRUE(catalog.MatchesExact("log.events.error"));
+  EXPECT_TRUE(catalog.MatchesPrefix("mark.create.module."));
+}
+
+// ---------------------------------------------------------------------------
+// Per-rule scanning (inline sources)
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> Lint(const std::string& path,
+                              const std::string& source,
+                              const Catalog& catalog) {
+  std::vector<Diagnostic> diags;
+  LintFile(path, source, catalog, &diags);
+  std::vector<std::string> out;
+  out.reserve(diags.size());
+  for (const Diagnostic& d : diags) out.push_back(FormatDiagnostic(d));
+  return out;
+}
+
+TEST(LintLayerDag, UtilIncludesNothingAbove) {
+  Catalog catalog = FixtureCatalog();
+  auto diags =
+      Lint("src/util/x.h", "#include \"obs/metrics.h\"\n", catalog);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0],
+            "src/util/x.h:1: [layer-dag] layer 'util' must not include "
+            "\"obs/metrics.h\" (allowed layers: util)");
+}
+
+TEST(LintLayerDag, TrimNeverReachesUp) {
+  Catalog catalog = FixtureCatalog();
+  for (const char* bad :
+       {"slim/model.h", "dmi/dynamic_dmi.h", "slimpad/slimpad_app.h"}) {
+    auto diags = Lint("src/trim/x.cc",
+                      "#include \"" + std::string(bad) + "\"\n", catalog);
+    EXPECT_EQ(diags.size(), 1u) << bad;
+  }
+  // Its own layer and everything it links stay allowed.
+  for (const char* good :
+       {"trim/triple.h", "doc/xml/dom.h", "obs/obs.h", "util/status.h"}) {
+    auto diags = Lint("src/trim/x.cc",
+                      "#include \"" + std::string(good) + "\"\n", catalog);
+    EXPECT_TRUE(diags.empty()) << good;
+  }
+}
+
+TEST(LintLayerDag, SystemAndTestFilesUnconstrained) {
+  Catalog catalog = FixtureCatalog();
+  EXPECT_TRUE(Lint("src/util/x.h", "#include <vector>\n", catalog).empty());
+  EXPECT_TRUE(
+      Lint("tests/x_test.cc", "#include \"slimpad/slimpad_app.h\"\n", catalog)
+          .empty());
+}
+
+TEST(LintMacroArgs, FlagsIncrementDecrementAndAssignment) {
+  Catalog catalog = FixtureCatalog();
+  EXPECT_EQ(Lint("tests/t.cc", "void f(int n){SLIM_OBS_COUNT_N(\"a.b\", ++n);}",
+                 catalog)
+                .size(),
+            1u);
+  EXPECT_EQ(Lint("tests/t.cc", "void f(int n){SLIM_OBS_COUNT_N(\"a.b\", n--);}",
+                 catalog)
+                .size(),
+            1u);
+  EXPECT_EQ(Lint("tests/t.cc",
+                 "void f(int n){SLIM_OBS_HISTOGRAM(\"a.b\", n = n + 1);}",
+                 catalog)
+                .size(),
+            1u);
+  EXPECT_EQ(Lint("tests/t.cc",
+                 "void f(int n){SLIM_OBS_HISTOGRAM(\"a.b\", n += 1);}", catalog)
+                .size(),
+            1u);
+}
+
+TEST(LintMacroArgs, ComparisonsAndStringsAreClean) {
+  Catalog catalog = FixtureCatalog();
+  EXPECT_TRUE(Lint("tests/t.cc",
+                   "void f(int n){SLIM_OBS_HISTOGRAM(\"a.b\", n <= 1);}",
+                   catalog)
+                  .empty());
+  EXPECT_TRUE(Lint("tests/t.cc",
+                   "void f(int n){SLIM_OBS_HISTOGRAM(\"a.b\", n == 1);}",
+                   catalog)
+                  .empty());
+  EXPECT_TRUE(
+      Lint("tests/t.cc",
+           "void f(){SLIM_OBS_LOG(kWarn, \"trim\", \"a = b ++ c\");}", catalog)
+          .empty());
+}
+
+TEST(LintMacroArgs, MacroDefinitionsDoNotFire) {
+  Catalog catalog = FixtureCatalog();
+  // The #define in obs/obs.h must not be scanned as a call site.
+  EXPECT_TRUE(Lint("src/obs/obs.h",
+                   "#define SLIM_OBS_COUNT(name)  \\\n"
+                   "  do { reg().GetCounter(name)->Increment(); } while (0)\n",
+                   catalog)
+                  .empty());
+}
+
+TEST(LintNames, LiteralRequiredForCachedMacros) {
+  Catalog catalog = FixtureCatalog();
+  auto diags =
+      Lint("tests/t.cc", "void f(const char* n){SLIM_OBS_COUNT(n);}", catalog);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].find("must be a string literal"), std::string::npos);
+}
+
+TEST(LintNames, CharsetCheckedEverywhereCatalogOnlyInSrc) {
+  Catalog catalog = FixtureCatalog();
+  // Bad charset fires even in tests/.
+  EXPECT_EQ(
+      Lint("tests/t.cc", "void f(){SLIM_OBS_COUNT(\"BadName\");}", catalog)
+          .size(),
+      1u);
+  // A name outside the catalog is fine in tests/ but not in src/.
+  EXPECT_TRUE(
+      Lint("tests/t.cc", "void f(){SLIM_OBS_COUNT(\"foo.bar\");}", catalog)
+          .empty());
+  EXPECT_EQ(
+      Lint("src/trim/t.cc", "void f(){SLIM_OBS_COUNT(\"foo.bar\");}", catalog)
+          .size(),
+      1u);
+}
+
+TEST(LintNames, EmissionHelpersAreChecked) {
+  Catalog catalog = FixtureCatalog();
+  EXPECT_EQ(Lint("src/slimpad/t.cc",
+                 "void f(){CountGesture(\"slimpad.not.in.catalog\");}", catalog)
+                .size(),
+            1u);
+  EXPECT_TRUE(Lint("src/workload/t.cc",
+                   "void f(){Count(\"workload.open_all_scraps.calls\");}",
+                   catalog)
+                  .empty());
+  // Non-literal helper arguments (declarations, forwarding) are skipped.
+  EXPECT_TRUE(Lint("src/obs/t.cc",
+                   "Counter* GetCounter(const std::string& name);", catalog)
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Golden fixture tree: exact diagnostics, non-zero exit
+// ---------------------------------------------------------------------------
+
+TEST(LintTreeFixtures, ExactDiagnosticsAndExitCode) {
+  Options options;
+  options.root = Testdata() / "tree";
+  options.catalog_path = Testdata() / "catalog.md";
+  std::vector<Diagnostic> diags;
+  Status st = LintTree(options, &diags);
+  ASSERT_TRUE(st.ok()) << st;
+
+  std::vector<std::string> got;
+  got.reserve(diags.size());
+  for (const Diagnostic& d : diags) got.push_back(FormatDiagnostic(d));
+
+  const std::vector<std::string> want = {
+      "src/trim/bad_layering.cc:3: [layer-dag] layer 'trim' must not "
+      "include \"slim/model.h\" (allowed layers: doc, obs, trim, util)",
+      "src/trim/bad_macro_args.cc:8: [obs-macro-arg] SLIM_OBS_COUNT_N "
+      "argument '++retries' uses '++' (obs macros compile out under "
+      "SLIM_ENABLE_OBS=OFF; arguments must be side-effect free)",
+      "src/trim/bad_macro_args.cc:9: [obs-macro-arg] SLIM_OBS_HISTOGRAM "
+      "argument 'total = total + 1' uses '=' (obs macros compile out under "
+      "SLIM_ENABLE_OBS=OFF; arguments must be side-effect free)",
+      "src/trim/bad_names.cc:7: [obs-name] SLIM_OBS_COUNT name "
+      "\"Trim.Add.OK\" does not match [a-z0-9._]+",
+      "src/trim/bad_names.cc:8: [obs-name] SLIM_OBS_COUNT name "
+      "\"trim.nonexistent.metric\" is not in the DESIGN.md metric-name "
+      "catalog",
+      "src/trim/bad_names.cc:9: [obs-name] SLIM_OBS_COUNT name "
+      "'runtime_name.c_str()' must be a string literal (the "
+      "Counter*/Histogram* is cached per call site; use SLIM_OBS_COUNT_DYN "
+      "for runtime names)",
+      "src/trim/bad_names.cc:10: [obs-name] SLIM_OBS_COUNT_DYN name "
+      "'runtime_name + \".ok\"' should start with a string-literal prefix "
+      "so the catalog can be checked",
+      "src/util/bad_layering.h:6: [layer-dag] layer 'util' must not "
+      "include \"obs/metrics.h\" (allowed layers: util)",
+  };
+  EXPECT_EQ(got, want);
+
+  // The CLI wrapper reports findings through its exit code.
+  EXPECT_EQ(RunLint(options), 1);
+}
+
+TEST(LintTreeFixtures, RealTreeIsClean) {
+  Options options;
+  options.root = SLIM_REPO_ROOT;
+  std::vector<Diagnostic> diags;
+  Status st = LintTree(options, &diags);
+  ASSERT_TRUE(st.ok()) << st;
+  for (const Diagnostic& d : diags) {
+    ADD_FAILURE() << FormatDiagnostic(d);
+  }
+  EXPECT_EQ(RunLint(options), 0);
+}
+
+}  // namespace
+}  // namespace slim::lint

@@ -1,0 +1,671 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace slim::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// The include-layer DAG. A layer may include itself plus the transitive
+// closure of the libraries it links against (src/*/CMakeLists.txt). "core"
+// is the umbrella interface and may include everything.
+// ---------------------------------------------------------------------------
+
+const std::map<std::string, std::set<std::string>>& LayerAllowedIncludes() {
+  static const auto* kAllowed = new std::map<std::string, std::set<std::string>>{
+      {"util", {"util"}},
+      {"obs", {"obs", "util"}},
+      {"doc", {"doc", "util"}},
+      {"baseapp", {"baseapp", "doc", "util"}},
+      {"trim", {"trim", "doc", "obs", "util"}},
+      {"mark", {"mark", "baseapp", "doc", "obs", "util"}},
+      {"slim", {"slim", "trim", "doc", "obs", "util"}},
+      {"dmi", {"dmi", "slim", "trim", "doc", "obs", "util"}},
+      {"slimpad",
+       {"slimpad", "mark", "slim", "trim", "baseapp", "doc", "obs", "util"}},
+      {"workload",
+       {"workload", "slimpad", "mark", "slim", "trim", "baseapp", "doc", "obs",
+        "util"}},
+      {"core",
+       {"core", "workload", "slimpad", "dmi", "slim", "mark", "trim",
+        "baseapp", "doc", "obs", "util"}},
+  };
+  return *kAllowed;
+}
+
+bool IsLayerName(const std::string& name) {
+  return LayerAllowedIncludes().count(name) != 0;
+}
+
+// ---------------------------------------------------------------------------
+// Source preprocessing
+// ---------------------------------------------------------------------------
+
+/// Replaces comments with spaces (newlines kept, so positions and line
+/// numbers survive). String and character literals are preserved.
+std::string StripComments(std::string_view src) {
+  std::string out(src);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < out.size(); ++i) {
+    char c = out[i];
+    char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+/// Blanks preprocessor-directive lines (and their backslash continuations)
+/// so that macro *definitions* — e.g. obs/obs.h's own `#define
+/// SLIM_OBS_COUNT(name)` — are not mistaken for macro call sites.
+std::string BlankDirectives(std::string_view code) {
+  std::string out(code);
+  size_t pos = 0;
+  bool continuation = false;
+  while (pos < out.size()) {
+    size_t eol = out.find('\n', pos);
+    if (eol == std::string::npos) eol = out.size();
+    size_t first = pos;
+    while (first < eol && (out[first] == ' ' || out[first] == '\t')) ++first;
+    bool directive = continuation || (first < eol && out[first] == '#');
+    if (directive) {
+      continuation = eol > pos && out[eol - 1] == '\\';
+      for (size_t i = pos; i < eol; ++i) out[i] = ' ';
+    } else {
+      continuation = false;
+    }
+    pos = eol + 1;
+  }
+  return out;
+}
+
+/// 1-based line number of `pos` in `text`.
+int LineOf(std::string_view text, size_t pos) {
+  return 1 + static_cast<int>(
+                 std::count(text.begin(), text.begin() + std::min(pos, text.size()), '\n'));
+}
+
+// ---------------------------------------------------------------------------
+// Macro / helper call scanning
+// ---------------------------------------------------------------------------
+
+/// Which argument of a scanned call carries the metric/span/log name, and
+/// which checks apply to it.
+struct CallSpec {
+  int name_arg = 0;
+  bool name_must_be_literal = false;  ///< Cached-pointer macros.
+  bool check_catalog = false;         ///< Membership in DESIGN.md (src/ only).
+  bool hygiene = false;               ///< Args must be side-effect free.
+};
+
+const std::map<std::string, CallSpec>& ScannedCalls() {
+  static const auto* kCalls = new std::map<std::string, CallSpec>{
+      // Instrumentation macros: compiled out under SLIM_ENABLE_OBS=OFF.
+      {"SLIM_OBS_COUNT", {0, true, true, true}},
+      {"SLIM_OBS_COUNT_N", {0, true, true, true}},
+      {"SLIM_OBS_COUNT_DYN", {0, false, true, true}},
+      {"SLIM_OBS_HISTOGRAM", {0, true, true, true}},
+      {"SLIM_OBS_TIMER", {1, true, true, true}},
+      {"SLIM_OBS_SPAN", {1, true, true, true}},
+      {"SLIM_OBS_LOG", {1, false, false, true}},           // layer tag
+      {"SLIM_OBS_DUMP_ON_ERROR", {0, false, false, true}}, // source tag
+      // Direct emission helpers: plain functions (no hygiene concern), but
+      // literal names still follow the convention and the catalog.
+      {"GetCounter", {0, false, true, false}},
+      {"GetGauge", {0, false, true, false}},
+      {"GetHistogram", {0, false, true, false}},
+      {"StartSpan", {0, false, true, false}},
+      {"CountGesture", {0, false, true, false}},
+      {"Count", {0, false, true, false}},
+      {"Histogram", {0, false, true, false}},
+  };
+  return *kCalls;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsValidNameLiteral(std::string_view name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (!(std::islower(static_cast<unsigned char>(c)) ||
+          std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Extracts the balanced `(...)` argument span starting at `open` (which
+/// must index a '('). Returns the index one past the closing ')', or npos
+/// when unbalanced. Strings/chars are skipped opaquely.
+size_t FindCallEnd(std::string_view code, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < code.size(); ++i) {
+    char c = code[i];
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      for (++i; i < code.size(); ++i) {
+        if (code[i] == '\\') {
+          ++i;
+        } else if (code[i] == quote) {
+          break;
+        }
+      }
+    } else if (c == '(' || c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ')' || c == ']' || c == '}') {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return std::string_view::npos;
+}
+
+/// Splits an argument list (without outer parens) at top-level commas.
+std::vector<std::string> SplitArgs(std::string_view args) {
+  std::vector<std::string> out;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i < args.size(); ++i) {
+    char c = args[i];
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      for (++i; i < args.size(); ++i) {
+        if (args[i] == '\\') {
+          ++i;
+        } else if (args[i] == quote) {
+          break;
+        }
+      }
+    } else if (c == '(' || c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ')' || c == ']' || c == '}') {
+      --depth;
+    } else if (c == ',' && depth == 0) {
+      out.emplace_back(args.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  out.emplace_back(args.substr(start));
+  for (std::string& arg : out) {
+    while (!arg.empty() && std::isspace(static_cast<unsigned char>(arg.front())))
+      arg.erase(arg.begin());
+    while (!arg.empty() && std::isspace(static_cast<unsigned char>(arg.back())))
+      arg.pop_back();
+  }
+  return out;
+}
+
+/// Reports the first side-effect operator (`++`, `--`, or an assignment)
+/// found outside string/char literals, or an empty string when clean.
+std::string FindSideEffectOperator(std::string_view arg) {
+  for (size_t i = 0; i < arg.size(); ++i) {
+    char c = arg[i];
+    char next = i + 1 < arg.size() ? arg[i + 1] : '\0';
+    char prev = i > 0 ? arg[i - 1] : '\0';
+    char prev2 = i > 1 ? arg[i - 2] : '\0';
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      for (++i; i < arg.size(); ++i) {
+        if (arg[i] == '\\') {
+          ++i;
+        } else if (arg[i] == quote) {
+          break;
+        }
+      }
+    } else if (c == '+' && next == '+') {
+      return "++";
+    } else if (c == '-' && next == '-') {
+      return "--";
+    } else if (c == '=') {
+      if (next == '=') {
+        ++i;  // ==
+      } else if (prev == '=' || prev == '!') {
+        // second char of == / != — already consumed or harmless
+      } else if (prev == '<' || prev == '>') {
+        // <= / >= are fine; <<= / >>= are assignments.
+        if ((prev == '<' && prev2 == '<') || (prev == '>' && prev2 == '>')) {
+          return "<<=";
+        }
+      } else {
+        return "=";
+      }
+    }
+  }
+  return "";
+}
+
+/// Parses a leading string literal from `arg`. On success sets `*literal`
+/// to its contents and `*exact` to whether the literal is the whole
+/// argument (vs. a prefix of a concatenation).
+bool LeadingStringLiteral(std::string_view arg, std::string* literal,
+                          bool* exact) {
+  if (arg.empty() || arg.front() != '"') return false;
+  std::string value;
+  size_t i = 1;
+  for (; i < arg.size(); ++i) {
+    if (arg[i] == '\\' && i + 1 < arg.size()) {
+      value.push_back(arg[i + 1]);
+      ++i;
+    } else if (arg[i] == '"') {
+      break;
+    } else {
+      value.push_back(arg[i]);
+    }
+  }
+  if (i >= arg.size()) return false;  // unterminated (mid-macro split)
+  size_t rest = i + 1;
+  while (rest < arg.size() &&
+         std::isspace(static_cast<unsigned char>(arg[rest]))) {
+    ++rest;
+  }
+  *literal = std::move(value);
+  *exact = rest == arg.size();
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Expands `{a,b,c}` alternatives (possibly several per pattern).
+void ExpandBraces(const std::string& pattern, std::vector<std::string>* out) {
+  size_t open = pattern.find('{');
+  if (open == std::string::npos) {
+    out->push_back(pattern);
+    return;
+  }
+  size_t close = pattern.find('}', open);
+  if (close == std::string::npos) return;  // malformed: drop
+  std::string head = pattern.substr(0, open);
+  std::string tail = pattern.substr(close + 1);
+  std::string body = pattern.substr(open + 1, close - open - 1);
+  std::stringstream ss(body);
+  std::string alt;
+  while (std::getline(ss, alt, ',')) {
+    ExpandBraces(head + alt + tail, out);
+  }
+}
+
+}  // namespace
+
+void Catalog::AddPattern(const std::string& pattern) {
+  ExpandBraces(pattern, &patterns_);
+}
+
+bool Catalog::MatchesExact(std::string_view name) const {
+  for (const std::string& p : patterns_) {
+    if (p.find('<') == std::string::npos && p.find('*') == std::string::npos) {
+      if (p == name) return true;
+      continue;
+    }
+    // Wildcard pattern → regex: '.' literal, '<word>' one segment, '*' any
+    // dotted suffix.
+    std::string re;
+    for (size_t i = 0; i < p.size(); ++i) {
+      char c = p[i];
+      if (c == '.') {
+        re += "\\.";
+      } else if (c == '<') {
+        size_t close = p.find('>', i);
+        if (close == std::string::npos) {
+          re += "<";
+          continue;
+        }
+        re += "[a-z0-9_]+";
+        i = close;
+      } else if (c == '*') {
+        re += "[a-z0-9_.]+";
+      } else {
+        re += c;
+      }
+    }
+    if (std::regex_match(name.begin(), name.end(), std::regex(re))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Catalog::MatchesPrefix(std::string_view prefix) const {
+  for (const std::string& p : patterns_) {
+    if (std::string_view(p).substr(0, prefix.size()) == prefix) return true;
+  }
+  return false;
+}
+
+Status LoadCatalog(const std::filesystem::path& path, Catalog* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open catalog file " + path.string());
+  }
+  static const std::set<std::string> kTypes = {"counter", "gauge", "histogram",
+                                              "span"};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] != '|') continue;
+    // Split the markdown row into cells.
+    std::vector<std::string> cells;
+    std::string cell;
+    for (size_t i = 1; i < line.size(); ++i) {
+      if (line[i] == '|') {
+        cells.push_back(cell);
+        cell.clear();
+      } else {
+        cell.push_back(line[i]);
+      }
+    }
+    if (cells.size() < 2) continue;
+    // A catalog row is identified by its Type column.
+    std::string type = cells[1];
+    type.erase(std::remove_if(type.begin(), type.end(),
+                              [](unsigned char c) { return std::isspace(c); }),
+               type.end());
+    bool is_catalog_row = false;
+    {
+      std::stringstream ss(type);
+      std::string t;
+      while (std::getline(ss, t, ',')) {
+        if (kTypes.count(t)) is_catalog_row = true;
+      }
+    }
+    if (!is_catalog_row) continue;
+    // Every `backtick` token in the first cell is a name pattern.
+    const std::string& names = cells[0];
+    size_t pos = 0;
+    while ((pos = names.find('`', pos)) != std::string::npos) {
+      size_t end = names.find('`', pos + 1);
+      if (end == std::string::npos) break;
+      out->AddPattern(names.substr(pos + 1, end - pos - 1));
+      pos = end + 1;
+    }
+  }
+  if (out->size() == 0) {
+    return Status::FailedPrecondition("no catalog entries found in " +
+                                      path.string());
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Per-file linting
+// ---------------------------------------------------------------------------
+
+std::string FormatDiagnostic(const Diagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ": [" + d.rule + "] " +
+         d.message;
+}
+
+namespace {
+
+void LintIncludes(const std::string& relative_path, std::string_view code,
+                  std::vector<Diagnostic>* out) {
+  // Only src/<layer>/... files carry a layer contract.
+  if (relative_path.rfind("src/", 0) != 0) return;
+  size_t layer_end = relative_path.find('/', 4);
+  if (layer_end == std::string::npos) return;
+  std::string layer = relative_path.substr(4, layer_end - 4);
+  auto it = LayerAllowedIncludes().find(layer);
+  if (it == LayerAllowedIncludes().end()) return;
+  const std::set<std::string>& allowed = it->second;
+
+  static const std::regex kInclude("^[ \t]*#[ \t]*include[ \t]*\"([^\"]+)\"");
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos <= code.size()) {
+    size_t eol = code.find('\n', pos);
+    if (eol == std::string::npos) eol = code.size();
+    ++line_no;
+    std::string line(code.substr(pos, eol - pos));
+    std::smatch m;
+    if (std::regex_search(line, m, kInclude)) {
+      std::string included = m[1];
+      std::string first = included.substr(0, included.find('/'));
+      if (IsLayerName(first) && allowed.count(first) == 0) {
+        out->push_back({relative_path, line_no, "layer-dag",
+                        "layer '" + layer + "' must not include \"" +
+                            included + "\" (allowed layers: " +
+                            [&allowed] {
+                              std::string s;
+                              for (const auto& a : allowed) {
+                                if (!s.empty()) s += ", ";
+                                s += a;
+                              }
+                              return s;
+                            }() +
+                            ")"});
+      }
+    }
+    pos = eol + 1;
+  }
+}
+
+void LintCalls(const std::string& relative_path, std::string_view macro_view,
+               const Catalog& catalog, std::vector<Diagnostic>* out) {
+  bool in_src = relative_path.rfind("src/", 0) == 0;
+  const auto& calls = ScannedCalls();
+
+  for (size_t i = 0; i < macro_view.size(); ++i) {
+    char c = macro_view[i];
+    if (c == '"' || c == '\'') {  // skip literals at top level
+      char quote = c;
+      for (++i; i < macro_view.size(); ++i) {
+        if (macro_view[i] == '\\') {
+          ++i;
+        } else if (macro_view[i] == quote) {
+          break;
+        }
+      }
+      continue;
+    }
+    if (!IsIdentChar(c) || (i > 0 && IsIdentChar(macro_view[i - 1]))) continue;
+    size_t id_end = i;
+    while (id_end < macro_view.size() && IsIdentChar(macro_view[id_end])) {
+      ++id_end;
+    }
+    std::string ident(macro_view.substr(i, id_end - i));
+    auto it = calls.find(ident);
+    if (it == calls.end()) {
+      i = id_end - 1;
+      continue;
+    }
+    size_t open = id_end;
+    while (open < macro_view.size() &&
+           std::isspace(static_cast<unsigned char>(macro_view[open]))) {
+      ++open;
+    }
+    if (open >= macro_view.size() || macro_view[open] != '(') {
+      i = id_end - 1;
+      continue;
+    }
+    size_t call_end = FindCallEnd(macro_view, open);
+    if (call_end == std::string_view::npos) {
+      i = id_end - 1;
+      continue;
+    }
+    const CallSpec& spec = it->second;
+    int line_no = LineOf(macro_view, i);
+    std::vector<std::string> args =
+        SplitArgs(macro_view.substr(open + 1, call_end - open - 2));
+
+    if (spec.hygiene) {
+      for (const std::string& arg : args) {
+        std::string op = FindSideEffectOperator(arg);
+        if (!op.empty()) {
+          out->push_back(
+              {relative_path, line_no, "obs-macro-arg",
+               ident + " argument '" + arg + "' uses '" + op +
+                   "' (obs macros compile out under SLIM_ENABLE_OBS=OFF; "
+                   "arguments must be side-effect free)"});
+        }
+      }
+    }
+
+    if (static_cast<size_t>(spec.name_arg) < args.size()) {
+      const std::string& name_arg = args[spec.name_arg];
+      std::string literal;
+      bool exact = false;
+      if (LeadingStringLiteral(name_arg, &literal, &exact)) {
+        bool charset_ok = IsValidNameLiteral(literal);
+        if (!charset_ok) {
+          out->push_back({relative_path, line_no, "obs-name",
+                          ident + " name \"" + literal +
+                              "\" does not match [a-z0-9._]+"});
+        }
+        if (charset_ok && spec.check_catalog && in_src) {
+          bool found = exact ? catalog.MatchesExact(literal)
+                             : catalog.MatchesPrefix(literal);
+          if (!found) {
+            out->push_back(
+                {relative_path, line_no, "obs-name",
+                 ident + " name " + (exact ? "\"" : "prefix \"") + literal +
+                     "\" is not in the DESIGN.md metric-name catalog"});
+          }
+        }
+      } else if (spec.name_must_be_literal) {
+        out->push_back(
+            {relative_path, line_no, "obs-name",
+             ident + " name '" + name_arg +
+                 "' must be a string literal (the Counter*/Histogram* is "
+                 "cached per call site; use SLIM_OBS_COUNT_DYN for runtime "
+                 "names)"});
+      } else if (ident == "SLIM_OBS_COUNT_DYN" && in_src) {
+        out->push_back({relative_path, line_no, "obs-name",
+                        "SLIM_OBS_COUNT_DYN name '" + name_arg +
+                            "' should start with a string-literal prefix "
+                            "so the catalog can be checked"});
+      }
+    }
+    i = id_end - 1;
+  }
+}
+
+bool IsCppFile(const std::filesystem::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+}  // namespace
+
+void LintFile(const std::string& relative_path, std::string_view contents,
+              const Catalog& catalog, std::vector<Diagnostic>* out) {
+  std::string code = StripComments(contents);
+  LintIncludes(relative_path, code, out);
+  std::string macro_view = BlankDirectives(code);
+  LintCalls(relative_path, macro_view, catalog, out);
+}
+
+Status LintTree(const Options& options, std::vector<Diagnostic>* out) {
+  std::filesystem::path catalog_path = options.catalog_path.empty()
+                                           ? options.root / "DESIGN.md"
+                                           : options.catalog_path;
+  Catalog catalog;
+  SLIM_RETURN_NOT_OK(LoadCatalog(catalog_path, &catalog));
+
+  std::vector<std::filesystem::path> files;
+  for (const std::string& sub : options.subdirs) {
+    std::filesystem::path dir = options.root / sub;
+    std::error_code ec;
+    if (!std::filesystem::is_directory(dir, ec)) continue;
+    for (auto it = std::filesystem::recursive_directory_iterator(dir, ec);
+         it != std::filesystem::recursive_directory_iterator(); ++it) {
+      if (it->is_regular_file() && IsCppFile(it->path())) {
+        files.push_back(it->path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const std::filesystem::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      return Status::IoError("cannot read " + file.string());
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string relative =
+        std::filesystem::relative(file, options.root).generic_string();
+    LintFile(relative, buffer.str(), catalog, out);
+  }
+  return Status::OK();
+}
+
+int RunLint(const Options& options) {
+  std::vector<Diagnostic> diagnostics;
+  Status status = LintTree(options, &diagnostics);
+  if (!status.ok()) {
+    std::fprintf(stderr, "slim_lint: %s\n", status.ToString().c_str());
+    return 2;
+  }
+  for (const Diagnostic& d : diagnostics) {
+    std::printf("%s\n", FormatDiagnostic(d).c_str());
+  }
+  if (!diagnostics.empty()) {
+    std::fprintf(stderr, "slim_lint: %zu finding(s)\n", diagnostics.size());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace slim::lint

@@ -1,0 +1,105 @@
+#ifndef SLIM_TOOLS_SLIM_LINT_LINT_H_
+#define SLIM_TOOLS_SLIM_LINT_LINT_H_
+
+/// \file lint.h
+/// \brief slim_lint: SLIM-specific static analysis over the source tree.
+///
+/// Generic tooling (clang-tidy, sanitizers) cannot see the repository's
+/// architectural contracts, so this linter enforces them mechanically:
+///
+///  - `layer-dag` — the include-layer DAG. Each directory under `src/` is a
+///    layer; a layer may only include headers from itself and the layers it
+///    links against (transitively). In particular `util` includes nothing
+///    above it (not even `obs`), and `trim` never includes `slim`, `dmi`
+///    or `slimpad`.
+///  - `obs-macro-arg` — SLIM_OBS_* macro hygiene. The instrumentation
+///    macros compile out under SLIM_ENABLE_OBS=OFF, so their arguments must
+///    be side-effect free: no `++`, `--` or assignment operators.
+///  - `obs-name` — metric/span/log names. Name literals passed to the
+///    SLIM_OBS_* macros and to the metric-emission helpers (`GetCounter`,
+///    `CountGesture`, ...) must match `[a-z0-9._]+`; inside `src/` they
+///    must additionally appear in the DESIGN.md metric-name catalog, and
+///    the cached-counter macros require a literal (a runtime name defeats
+///    per-site caching).
+///
+/// The library half (this header) exists so the golden-fixture tests can
+/// run individual rules over seeded-violation files and assert the exact
+/// diagnostics; the `slim_lint` binary wraps `LintTree` and is wired into
+/// ctest and CI against the real tree.
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace slim::lint {
+
+/// \brief One finding. `file` is relative to the linted root.
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;     ///< "layer-dag", "obs-macro-arg", "obs-name".
+  std::string message;  ///< Human-readable, no trailing newline.
+
+  friend bool operator==(const Diagnostic& a, const Diagnostic& b) {
+    return a.file == b.file && a.line == b.line && a.rule == b.rule &&
+           a.message == b.message;
+  }
+};
+
+/// `<file>:<line>: [<rule>] <message>` — stable, test-asserted.
+std::string FormatDiagnostic(const Diagnostic& d);
+
+/// \brief The DESIGN.md metric-name catalog, parsed from the markdown
+/// table(s): every backtick-quoted token in a table row's first column.
+/// `{a,b}` alternatives are expanded; `<word>` is a single-segment
+/// wildcard; a trailing `.*` matches any dotted suffix.
+class Catalog {
+ public:
+  /// Registers one catalog pattern (already backtick-stripped).
+  void AddPattern(const std::string& pattern);
+
+  /// True when `name` matches some pattern exactly (wildcards honored).
+  bool MatchesExact(std::string_view name) const;
+
+  /// True when some pattern begins with `prefix` (textually) — used for
+  /// runtime-concatenated names whose literal part ends with '.'.
+  bool MatchesPrefix(std::string_view prefix) const;
+
+  size_t size() const { return patterns_.size(); }
+
+ private:
+  std::vector<std::string> patterns_;  ///< Brace-expanded.
+};
+
+/// Parses the metric-name catalog out of a DESIGN.md-style markdown file.
+/// Fails if the file cannot be read or yields no names.
+Status LoadCatalog(const std::filesystem::path& path, Catalog* out);
+
+/// \brief What to lint and against which catalog.
+struct Options {
+  std::filesystem::path root;          ///< Repository root.
+  std::filesystem::path catalog_path;  ///< Defaults to root/DESIGN.md.
+  /// Subdirectories of root to walk.
+  std::vector<std::string> subdirs = {"src", "tests", "bench", "examples"};
+};
+
+/// Lints one file's contents. `relative_path` determines which rules apply
+/// (layer-dag and the catalog check only fire under `src/`). Appends to
+/// `out`.
+void LintFile(const std::string& relative_path, std::string_view contents,
+              const Catalog& catalog, std::vector<Diagnostic>* out);
+
+/// Walks `options.subdirs` under `options.root`, lints every C++ file and
+/// appends the findings (sorted by file, then line) to `out`.
+Status LintTree(const Options& options, std::vector<Diagnostic>* out);
+
+/// CLI entry: runs LintTree, prints diagnostics to stdout. Returns 0 when
+/// clean, 1 on findings, 2 on usage/IO errors.
+int RunLint(const Options& options);
+
+}  // namespace slim::lint
+
+#endif  // SLIM_TOOLS_SLIM_LINT_LINT_H_

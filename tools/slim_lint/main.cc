@@ -1,0 +1,40 @@
+/// \file main.cc
+/// \brief slim_lint CLI. `slim_lint --root <repo>` walks src/, tests/,
+/// bench/ and examples/ and prints one diagnostic per line; exit 0 clean,
+/// 1 on findings, 2 on usage/IO errors. Wired into ctest (slim_lint_tree)
+/// and the CI lint job.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "lint.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: slim_lint --root <repo-root> [--catalog <DESIGN.md>]\n"
+               "\n"
+               "Enforces the SLIM architecture contracts: the include-layer\n"
+               "DAG, SLIM_OBS_* macro hygiene, and the DESIGN.md metric-name\n"
+               "catalog. Exit: 0 clean, 1 findings, 2 errors.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  slim::lint::Options options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      options.root = argv[++i];
+    } else if (std::strcmp(argv[i], "--catalog") == 0 && i + 1 < argc) {
+      options.catalog_path = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  if (options.root.empty()) return Usage();
+  return slim::lint::RunLint(options);
+}

@@ -1,0 +1,7 @@
+// Seeded violation: trim sits below the SLIM store and must never reach
+// up into slim/, dmi/ or slimpad/.
+#include "slim/model.h"
+#include "trim/triple_store.h"
+
+// An include mentioned in a comment must not fire:
+// #include "dmi/dynamic_dmi.h"

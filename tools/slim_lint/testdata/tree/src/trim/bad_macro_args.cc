@@ -1,0 +1,11 @@
+#include "obs/obs.h"
+#include "trim/triple_store.h"
+
+// Seeded violations: the SLIM_OBS_* macros compile out under
+// SLIM_ENABLE_OBS=OFF, so side-effecting arguments silently change
+// behavior between the two configurations.
+void FixtureBadMacroArgs(int retries, int total) {
+  SLIM_OBS_COUNT_N("trim.add.ok", ++retries);
+  SLIM_OBS_HISTOGRAM("trim.view.fanout", total = total + 1);
+  SLIM_OBS_HISTOGRAM("trim.view.fanout", total - 1);  // clean: no finding
+}

@@ -1,0 +1,14 @@
+#include <string>
+
+#include "obs/obs.h"
+
+// Seeded violations for the obs-name rule, one per failure mode.
+void FixtureBadNames(const std::string& runtime_name) {
+  SLIM_OBS_COUNT("Trim.Add.OK");               // bad charset
+  SLIM_OBS_COUNT("trim.nonexistent.metric");   // not in the catalog
+  SLIM_OBS_COUNT(runtime_name.c_str());        // must be a literal
+  SLIM_OBS_COUNT_DYN(runtime_name + ".ok");    // no literal prefix
+  SLIM_OBS_COUNT_DYN("mark.resolve.module." + runtime_name);  // clean
+  SLIM_OBS_COUNT("trim.add.duplicate");        // clean: brace expansion
+  SLIM_OBS_COUNT("workload.open_all_scraps.calls");  // clean: star pattern
+}

@@ -1,0 +1,13 @@
+#include "doc/xml/dom.h"
+#include "obs/obs.h"
+#include "trim/triple_store.h"
+#include "util/status.h"
+
+// A fully conforming file: none of these may produce a finding.
+void FixtureClean(int fanout) {
+  SLIM_OBS_COUNT("trim.add.ok");
+  SLIM_OBS_HISTOGRAM("trim.view.fanout", fanout);
+  SLIM_OBS_TIMER(timer, "trim.view.latency_us");
+  SLIM_OBS_SPAN(span, "mark.create");
+  SLIM_OBS_LOG(kWarn, "trim", "message == with operators <= inside text");
+}

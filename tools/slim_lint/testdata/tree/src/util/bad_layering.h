@@ -1,0 +1,9 @@
+#ifndef FIXTURE_BAD_LAYERING_H_
+#define FIXTURE_BAD_LAYERING_H_
+
+// Seeded violation: util is the bottom layer and must not include obs
+// (or anything else above itself).
+#include "obs/metrics.h"
+#include "util/status.h"
+
+#endif  // FIXTURE_BAD_LAYERING_H_
