@@ -203,4 +203,4 @@ BENCHMARK(BM_ColdLoad_BinaryInterned)->Arg(10000);
 }  // namespace
 }  // namespace slim::trim
 
-BENCHMARK_MAIN();
+SLIM_BENCH_MAIN();

@@ -231,4 +231,4 @@ BENCHMARK(BM_Pdf_RegionQuery)->Arg(100)->Arg(1000);
 }  // namespace
 }  // namespace slim::doc
 
-BENCHMARK_MAIN();
+SLIM_BENCH_MAIN();

@@ -106,4 +106,4 @@ BENCHMARK_REGISTER_F(PadFixture, SaveLoadThroughDisk)->Arg(100)->Arg(1000);
 }  // namespace
 }  // namespace slim::pad
 
-BENCHMARK_MAIN();
+SLIM_BENCH_MAIN();

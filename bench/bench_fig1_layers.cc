@@ -179,4 +179,4 @@ BENCHMARK_REGISTER_F(LayersFixture, ResolveAllHeterogeneous)
 }  // namespace
 }  // namespace slim
 
-BENCHMARK_MAIN();
+SLIM_BENCH_MAIN();

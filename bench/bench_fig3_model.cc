@@ -163,4 +163,4 @@ BENCHMARK(BM_Extension_AnnotateAndLink);
 }  // namespace
 }  // namespace slim::pad
 
-BENCHMARK_MAIN();
+SLIM_BENCH_MAIN();

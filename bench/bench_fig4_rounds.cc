@@ -147,4 +147,4 @@ BENCHMARK_REGISTER_F(RoundsFixture, HandoffSaveLoad)->Arg(4)->Arg(16);
 }  // namespace
 }  // namespace slim::workload
 
-BENCHMARK_MAIN();
+SLIM_BENCH_MAIN();

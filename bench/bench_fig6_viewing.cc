@@ -84,4 +84,4 @@ BENCHMARK_REGISTER_F(ViewingFixture, InPlaceResolver);
 }  // namespace
 }  // namespace slim::workload
 
-BENCHMARK_MAIN();
+SLIM_BENCH_MAIN();

@@ -208,4 +208,4 @@ BENCHMARK_REGISTER_F(MarkBench, PersistMixedMarks)->Arg(64);
 }  // namespace
 }  // namespace slim::mark
 
-BENCHMARK_MAIN();
+SLIM_BENCH_MAIN();

@@ -80,7 +80,7 @@ void BM_CreateScrap_RawTriples(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
   // Triple writes per logical scrap, measured by the obs layer (0 with
   // obs compiled out).
-  state.counters["triples_per_iter"] = adds.PerIteration();
+  adds.Report(state, "triples_per_iter");
   state.SetLabel("generic representation, no DMI");
 }
 BENCHMARK(BM_CreateScrap_RawTriples);
@@ -100,7 +100,7 @@ void BM_CreateScrap_SlimPadDmi(benchmark::State& state) {
     ++i;
   }
   state.SetItemsProcessed(state.iterations());
-  state.counters["triples_per_iter"] = adds.PerIteration();
+  adds.Report(state, "triples_per_iter");
   state.SetLabel("hand-written DMI (objects + triples)");
 }
 BENCHMARK(BM_CreateScrap_SlimPadDmi);
@@ -125,8 +125,8 @@ void BM_CreateScrap_DynamicDmi(benchmark::State& state) {
     ++i;
   }
   state.SetItemsProcessed(state.iterations());
-  state.counters["triples_per_iter"] = adds.PerIteration();
-  state.counters["attr_writes_per_iter"] = writes.PerIteration();
+  adds.Report(state, "triples_per_iter");
+  writes.Report(state, "attr_writes_per_iter");
   state.SetLabel("generated DMI (schema-validated)");
 }
 BENCHMARK(BM_CreateScrap_DynamicDmi);
@@ -160,7 +160,7 @@ void BM_ReadName_RawTriples(benchmark::State& state) {
     benchmark::DoNotOptimize(v);
   }
   state.SetItemsProcessed(state.iterations());
-  state.counters["reads_per_iter"] = reads.PerIteration();
+  reads.Report(state, "reads_per_iter");
 }
 BENCHMARK(BM_ReadName_RawTriples);
 
@@ -200,7 +200,7 @@ void BM_ReadName_DynamicDmi(benchmark::State& state) {
     benchmark::DoNotOptimize(v);
   }
   state.SetItemsProcessed(state.iterations());
-  state.counters["attr_reads_per_iter"] = reads.PerIteration();
+  reads.Report(state, "attr_reads_per_iter");
   state.SetLabel("reads interpreted over triples");
 }
 BENCHMARK(BM_ReadName_DynamicDmi);
@@ -233,4 +233,4 @@ BENCHMARK(BM_BuildPad_SlimPadDmi)->Arg(100)->Arg(1000);
 }  // namespace
 }  // namespace slim
 
-BENCHMARK_MAIN();
+SLIM_BENCH_MAIN();

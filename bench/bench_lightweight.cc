@@ -99,4 +99,4 @@ BENCHMARK(BM_RatioShrinksWithBaseGrowth)->Arg(6)->Arg(60)->Arg(600);
 }  // namespace
 }  // namespace slim::workload
 
-BENCHMARK_MAIN();
+SLIM_BENCH_MAIN();

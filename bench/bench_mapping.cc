@@ -138,4 +138,4 @@ BENCHMARK(BM_ConformanceCheck)->Arg(1000)->Arg(10000);
 }  // namespace
 }  // namespace slim::store
 
-BENCHMARK_MAIN();
+SLIM_BENCH_MAIN();

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -113,4 +114,4 @@ BENCHMARK(BM_RegistrySnapshot)->Arg(16)->Arg(128)->Arg(1024);
 }  // namespace
 }  // namespace slim::obs
 
-BENCHMARK_MAIN();
+SLIM_BENCH_MAIN();

@@ -183,4 +183,4 @@ BENCHMARK(BM_QueryClauseSweep)->DenseRange(1, 4, 1);
 }  // namespace
 }  // namespace slim
 
-BENCHMARK_MAIN();
+SLIM_BENCH_MAIN();

@@ -90,4 +90,4 @@ BENCHMARK(BM_SpaceDualRepresentationDelta)->Arg(1000);
 }  // namespace
 }  // namespace slim::pad
 
-BENCHMARK_MAIN();
+SLIM_BENCH_MAIN();

@@ -56,9 +56,9 @@ void BM_Insert(benchmark::State& state) {
   }
   // ~6 triples per scrap (attributes + containment + handle).
   state.SetItemsProcessed(state.iterations() * n * 6);
-  // Measured (not derived) triple writes, from the obs layer; 0 when obs
-  // is compiled out.
-  state.counters["triples_per_iter"] = adds.PerIteration();
+  // Measured (not derived) triple writes, from the obs layer; annotated
+  // as suppressed when obs is compiled out.
+  adds.Report(state, "triples_per_iter");
 }
 BENCHMARK(BM_Insert)->Arg(1000)->Arg(10000)->Arg(100000);
 
@@ -89,7 +89,7 @@ BENCHMARK_DEFINE_F(StoreFixture, SelectBySubject)(benchmark::State& state) {
     benchmark::DoNotOptimize(result);
   }
   state.SetItemsProcessed(state.iterations());
-  state.counters["selects_per_iter"] = selects.PerIteration();
+  selects.Report(state, "selects_per_iter");
   state.counters["store_triples"] = static_cast<double>(store_.size());
 }
 BENCHMARK_REGISTER_F(StoreFixture, SelectBySubject)
@@ -104,7 +104,7 @@ BENCHMARK_DEFINE_F(StoreFixture, SelectByPropertyHighSelectivity)
     benchmark::DoNotOptimize(result);
   }
   state.SetItemsProcessed(state.iterations() * (scraps_ / 16));
-  state.counters["selects_per_iter"] = selects.PerIteration();
+  selects.Report(state, "selects_per_iter");
   state.counters["store_triples"] = static_cast<double>(store_.size());
 }
 BENCHMARK_REGISTER_F(StoreFixture, SelectByPropertyHighSelectivity)
@@ -119,7 +119,7 @@ BENCHMARK_DEFINE_F(StoreFixture, GetOnePointRead)(benchmark::State& state) {
     benchmark::DoNotOptimize(result);
   }
   state.SetItemsProcessed(state.iterations());
-  state.counters["reads_per_iter"] = reads.PerIteration();
+  reads.Report(state, "reads_per_iter");
 }
 BENCHMARK_REGISTER_F(StoreFixture, GetOnePointRead)
     ->Arg(1000)->Arg(10000)->Arg(100000);
@@ -187,12 +187,12 @@ void BM_RemoveAdd(benchmark::State& state) {
     SLIM_BENCH_CHECK(store.Add(t));
   }
   state.SetItemsProcessed(state.iterations() * 2);
-  state.counters["adds_per_iter"] = adds.PerIteration();
-  state.counters["removes_per_iter"] = removes.PerIteration();
+  adds.Report(state, "adds_per_iter");
+  removes.Report(state, "removes_per_iter");
 }
 BENCHMARK(BM_RemoveAdd);
 
 }  // namespace
 }  // namespace slim::trim
 
-BENCHMARK_MAIN();
+SLIM_BENCH_MAIN();

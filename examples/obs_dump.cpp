@@ -26,6 +26,7 @@
 #include "obs/obs.h"
 #include "obs/profile.h"
 #include "obs/prom.h"
+#include "trim/store_stats.h"
 #include "workload/session.h"
 
 using namespace slim;
@@ -43,8 +44,13 @@ using namespace slim;
 namespace {
 
 // Drives a session through all four layers; session metrics land in
-// `session_metrics`, layer metrics in obs::DefaultRegistry().
-int RunWorkload(obs::MetricsRegistry* session_metrics) {
+// `session_metrics`, layer metrics in obs::DefaultRegistry(). The pad
+// store's introspection report lands in `store_report` (when non-null) and
+// its `slim.store.*` gauges in the default registry, so every output mode
+// — classic text, --prom, --serve — carries store shape alongside the
+// layer counters.
+int RunWorkload(obs::MetricsRegistry* session_metrics,
+                std::string* store_report = nullptr) {
   workload::IcuOptions options;
   options.patients = 3;
   workload::Session session(session_metrics);
@@ -81,6 +87,12 @@ int RunWorkload(obs::MetricsRegistry* session_metrics) {
       CHECK_OK(scrap->Get("scrapName").status());
     }
   }
+
+  // Store introspection: snapshot the pad store and refresh the
+  // slim.store.* gauges in the default registry.
+  trim::StoreStats stats = trim::ComputeStats(session.app().store());
+  trim::PublishStoreStats(stats);
+  if (store_report != nullptr) *store_report = stats.ToText();
   return 0;
 }
 
@@ -165,12 +177,18 @@ int main(int argc, char** argv) {
   }
 
   obs::MetricsRegistry session_metrics;
-  if (int rc = RunWorkload(&session_metrics); rc != 0) return rc;
+  std::string store_report;
+  if (int rc = RunWorkload(&session_metrics, &store_report); rc != 0) {
+    return rc;
+  }
 
   int rc = 0;
   switch (mode) {
     case Mode::kClassic:
       rc = RunClassicReport(&session_metrics, &spans);
+      std::cout << "\n=== Store introspection (trim::ComputeStats) ==="
+                << std::endl;
+      std::cout << store_report;
       std::cout << "\n=== Per-session metrics (workload.*) ===" << std::endl;
       std::cout << session_metrics.ExportText();
       break;

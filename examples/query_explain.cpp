@@ -1,0 +1,134 @@
+// Query EXPLAIN / EXPLAIN ANALYZE over a realistic pad.
+//
+// Builds the ICU 'Rounds' workload (Figures 2 and 4), then shows what the
+// SLIM query engine plans — the greedy join order, the TRIM index path each
+// pattern probes, and estimated cardinalities — and, in ANALYZE mode, what
+// actually happened: probes, rows examined/matched/emitted and per-pattern
+// wall time.
+//
+// Modes:
+//   query_explain ["query"]            EXPLAIN (plan only, nothing executed)
+//   query_explain --analyze ["query"]  EXPLAIN ANALYZE (plan + actuals)
+//   query_explain --json ["query"]     ANALYZE, machine-readable JSON plan
+//   query_explain --slow <us> ["query"]
+//       arm the slow-query sampler at <us> microseconds, run the query
+//       through store::Execute, then print whatever the sampler recorded
+//       (at 0 every query is "slow" — handy for demos)
+//   query_explain --slow <us> --dump <path> ["query"]
+//       additionally point the flight recorder at <path>; a sampled query
+//       leaves a diagnostics bundle holding its analyzed plan
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "obs/obs.h"
+#include "slim/query.h"
+#include "slim/slow_query.h"
+#include "workload/session.h"
+
+using namespace slim;
+
+namespace {
+
+constexpr const char* kDefaultQuery =
+    "?b bundleContent ?s . ?s scrapName ?n";
+
+int Fail(const Status& status) {
+  std::cerr << "FATAL: " << status << std::endl;
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  enum class Mode { kExplain, kAnalyze, kJson, kSlow } mode = Mode::kExplain;
+  int64_t slow_us = 0;
+  std::string dump_path;
+  std::string query_text = kDefaultQuery;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--analyze") == 0) {
+      mode = Mode::kAnalyze;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      mode = Mode::kJson;
+    } else if (std::strcmp(argv[i], "--slow") == 0 && i + 1 < argc) {
+      mode = Mode::kSlow;
+      slow_us = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--dump") == 0 && i + 1 < argc) {
+      dump_path = argv[++i];
+    } else if (argv[i][0] != '-') {
+      query_text = argv[i];
+    } else {
+      std::cerr << "usage: query_explain [--analyze | --json | "
+                   "--slow <us> [--dump <path>]] [\"query\"]" << std::endl;
+      return 2;
+    }
+  }
+
+  workload::IcuOptions options;
+  options.patients = 3;
+  workload::Session session(nullptr);
+  if (Status st = session.LoadIcuWorkload(workload::GenerateIcuWorkload(options));
+      !st.ok()) {
+    return Fail(st);
+  }
+  if (Status st = session.BuildFullRoundsPad(); !st.ok()) return Fail(st);
+  const trim::TripleStore& store = session.app().store();
+
+  Result<store::Query> query = store::Query::Parse(query_text);
+  if (!query.ok()) return Fail(query.status());
+
+  switch (mode) {
+    case Mode::kExplain: {
+      Result<store::QueryPlan> plan = store::Explain(store, *query);
+      if (!plan.ok()) return Fail(plan.status());
+      std::cout << plan->ToText();
+      break;
+    }
+    case Mode::kAnalyze:
+    case Mode::kJson: {
+      Result<store::AnalyzedQuery> analyzed =
+          store::ExplainAnalyze(store, *query);
+      if (!analyzed.ok()) return Fail(analyzed.status());
+      if (mode == Mode::kJson) {
+        std::cout << analyzed->plan.ToJson() << std::endl;
+      } else {
+        std::cout << analyzed->plan.ToText();
+      }
+      break;
+    }
+    case Mode::kSlow: {
+#if SLIM_OBS_ENABLED
+      if (!dump_path.empty()) {
+        obs::DefaultFlightRecorder().set_dump_path(dump_path);
+        obs::DefaultFlightRecorder().Install();
+      }
+#endif
+      store::DefaultSlowQueryLog().set_threshold_us(slow_us);
+      Result<std::vector<store::Binding>> solutions =
+          store::Execute(store, *query);
+      if (!solutions.ok()) return Fail(solutions.status());
+      std::cout << solutions->size() << " solutions." << std::endl;
+      std::vector<store::QueryPlan> sampled =
+          store::DefaultSlowQueryLog().Recent();
+      if (sampled.empty()) {
+        std::cout << "query finished under " << slow_us
+                  << " us; nothing sampled." << std::endl;
+      } else {
+        std::cout << "slow-query sampler recorded "
+                  << store::DefaultSlowQueryLog().recorded()
+                  << " plan(s); most recent:" << std::endl;
+        std::cout << sampled.back().ToText();
+      }
+#if SLIM_OBS_ENABLED
+      if (!dump_path.empty()) {
+        std::cout << "diagnostics bundle written to " << dump_path
+                  << std::endl;
+        obs::DefaultFlightRecorder().Uninstall();
+      }
+#endif
+      break;
+    }
+  }
+  return 0;
+}

@@ -82,10 +82,15 @@ class Gauge {
 class LatencyHistogram {
  public:
   /// Upper bounds (inclusive) of the finite buckets, in recording units.
-  static constexpr std::array<uint64_t, 19> kBucketBounds = {
-      1,     2,     5,      10,     25,     50,     100,    250,    500,
-      1000,  2500,  5000,   10000,  25000,  50000,  100000, 250000, 500000,
-      1000000};
+  /// The 1-2-5 ladder tops out at 10M (ten seconds when recording µs):
+  /// whole-pad rebuilds and 100k-triple persistence runs land in seconds,
+  /// and with the old 1M ceiling they all collapsed into the overflow
+  /// bucket, blinding ApproxPercentile above p≈0.9 for those series
+  /// (tests/obs_test.cc pins these bounds).
+  static constexpr std::array<uint64_t, 22> kBucketBounds = {
+      1,     2,     5,      10,     25,     50,      100,     250,
+      500,   1000,  2500,   5000,   10000,  25000,   50000,   100000,
+      250000, 500000, 1000000, 2500000, 5000000, 10000000};
   static constexpr size_t kBucketCount = kBucketBounds.size() + 1;
 
   void Record(uint64_t value);

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <set>
 
 #include "obs/obs.h"
+#include "slim/slow_query.h"
 #include "util/strings.h"
 
 namespace slim::store {
@@ -184,15 +187,256 @@ Result<ResolvedClause> ResolveClause(const QueryClause& clause,
 
 // Selectivity estimate: lower = more selective = evaluated first.
 // Bound subject is the best key (direct index), then bound object, then
-// bound property, then nothing.
-int ClauseCost(const QueryClause& clause, const Binding& binding) {
+// bound property, then nothing. `bound_var` answers "is this variable name
+// bound?" — the executor asks its concrete Binding, the planner asks the
+// set of names earlier steps will have bound. Cost depends only on *which*
+// variables are bound, so the planner's static simulation reproduces the
+// executor's order exactly (see Explain in query.h).
+template <typename BoundVarFn>
+int ClauseCostWith(const QueryClause& clause, const BoundVarFn& bound_var) {
   auto bound = [&](const QueryTerm& t) {
-    return !t.is_variable() || binding.count(t.text) > 0;
+    return !t.is_variable() || bound_var(t.text);
   };
   if (bound(clause.subject)) return 0;
   if (bound(clause.object)) return 1;
   if (bound(clause.property)) return 2;
   return 3;
+}
+
+int ClauseCost(const QueryClause& clause, const Binding& binding) {
+  return ClauseCostWith(clause, [&](const std::string& name) {
+    return binding.count(name) > 0;
+  });
+}
+
+std::string ClauseText(const QueryClause& clause) {
+  return TermToString(clause.subject) + " " + TermToString(clause.property) +
+         " " + TermToString(clause.object);
+}
+
+// ---------------------------------------------------------------------------
+// Planning (EXPLAIN)
+// ---------------------------------------------------------------------------
+
+// Average posting-list length for an index with `keys` distinct keys over
+// `live` triples, rounded up. Zero keys means the index is empty: any probe
+// through it yields nothing.
+uint64_t AverageFanout(size_t live, size_t keys) {
+  if (keys == 0) return 0;
+  return (static_cast<uint64_t>(live) + keys - 1) / keys;
+}
+
+// Simulates the executor's greedy clause ordering without touching data and
+// fills one PlanStep per clause. `step_of_clause` maps source clause index
+// -> plan step index so the ANALYZE executor can attribute its actuals.
+Result<QueryPlan> BuildPlan(const trim::TripleStore& store, const Query& query,
+                            std::vector<size_t>* step_of_clause) {
+  const std::vector<QueryClause>& clauses = query.clauses();
+  QueryPlan plan;
+  plan.query_text = query.ToString();
+  step_of_clause->assign(clauses.size(), 0);
+  std::vector<bool> used(clauses.size(), false);
+  std::set<std::string> bound_vars;
+  auto is_bound = [&](const std::string& name) {
+    return bound_vars.count(name) > 0;
+  };
+  for (size_t step = 0; step < clauses.size(); ++step) {
+    // Same pick as Search: first clause (in source order among the not yet
+    // chosen) with minimal cost.
+    size_t best = clauses.size();
+    int best_cost = 99;
+    for (size_t i = 0; i < clauses.size(); ++i) {
+      if (used[i]) continue;
+      int cost = ClauseCostWith(clauses[i], is_bound);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = i;
+      }
+    }
+    used[best] = true;
+    (*step_of_clause)[best] = step;
+    const QueryClause& clause = clauses[best];
+
+    PlanStep ps;
+    ps.clause_index = best;
+    ps.clause_text = ClauseText(clause);
+
+    // Classify each field: constant, runtime-bound variable, or free.
+    if (clause.subject.kind == QueryTerm::Kind::kLiteral) {
+      return Status::InvalidArgument("query: literal in subject position: " +
+                                     TermToString(clause.subject));
+    }
+    if (clause.property.kind == QueryTerm::Kind::kLiteral) {
+      return Status::InvalidArgument("query: literal in property position: " +
+                                     TermToString(clause.property));
+    }
+    std::optional<std::string> subject_const, property_const;
+    std::optional<trim::Object> object_const;
+    if (clause.subject.kind == QueryTerm::Kind::kResource) {
+      subject_const = clause.subject.text;
+    }
+    if (clause.property.kind == QueryTerm::Kind::kResource) {
+      property_const = clause.property.text;
+    }
+    if (clause.object.kind == QueryTerm::Kind::kResource) {
+      object_const = trim::Object::Resource(clause.object.text);
+    } else if (clause.object.kind == QueryTerm::Kind::kLiteral) {
+      object_const = trim::Object::Literal(clause.object.text);
+    }
+    bool subject_fixed =
+        subject_const.has_value() || is_bound(clause.subject.text);
+    bool property_fixed =
+        property_const.has_value() || is_bound(clause.property.text);
+    bool object_fixed = object_const.has_value() ||
+                        (clause.object.is_variable() &&
+                         is_bound(clause.object.text));
+    if (subject_fixed) ps.bound_fields += 's';
+    if (property_fixed) ps.bound_fields += 'p';
+    if (object_fixed) ps.bound_fields += 'o';
+
+    bool has_runtime_bound = (subject_fixed && !subject_const) ||
+                             (property_fixed && !property_const) ||
+                             (object_fixed && !object_const);
+    if (!has_runtime_bound) {
+      // Every fixed field is a query constant — the store can tell us the
+      // exact path and candidate count it will use (store size for a scan).
+      trim::TriplePattern pattern;
+      pattern.subject = subject_const;
+      pattern.property = property_const;
+      pattern.object = object_const;
+      trim::TripleStore::AccessPlan access = store.PlanAccess(pattern);
+      ps.predicted_path = access.path;
+      ps.estimated_rows = access.candidates;
+      ps.estimate_exact = true;
+    } else {
+      // A runtime-bound variable fixes a field whose value differs per
+      // probe. Predict the path by the store's own consideration order
+      // (subject > object > property) and estimate with the exact posting
+      // count when that field is a constant, the index's average fanout
+      // otherwise. Either way the store may divert to a smaller list at
+      // run time, so the estimate is not exact.
+      auto exact_for = [&](trim::TriplePattern pattern) {
+        return static_cast<uint64_t>(store.PlanAccess(pattern).candidates);
+      };
+      if (subject_fixed) {
+        ps.predicted_path = trim::TripleStore::IndexPath::kSubject;
+        ps.estimated_rows =
+            subject_const
+                ? exact_for(trim::TriplePattern::BySubject(*subject_const))
+                : AverageFanout(store.size(), store.DistinctSubjects());
+      } else if (object_fixed) {
+        ps.predicted_path = trim::TripleStore::IndexPath::kObject;
+        ps.estimated_rows =
+            object_const
+                ? exact_for(trim::TriplePattern::ByObject(*object_const))
+                : AverageFanout(store.size(), store.DistinctObjects());
+      } else {
+        ps.predicted_path = trim::TripleStore::IndexPath::kProperty;
+        ps.estimated_rows =
+            property_const
+                ? exact_for(trim::TriplePattern::ByProperty(*property_const))
+                : AverageFanout(store.size(), store.DistinctProperties());
+      }
+      ps.estimate_exact = false;
+    }
+
+    // This step binds every free variable of its clause.
+    for (const QueryTerm* t :
+         {&clause.subject, &clause.property, &clause.object}) {
+      if (t->is_variable()) bound_vars.insert(t->text);
+    }
+    plan.steps.push_back(std::move(ps));
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Analyzed execution (EXPLAIN ANALYZE)
+// ---------------------------------------------------------------------------
+
+struct AnalyzeContext {
+  QueryPlan* plan;
+  const std::vector<size_t>* step_of_clause;
+  const QueryClause* clause_base;  // &query.clauses()[0], for index recovery
+};
+
+// Mirror of Search that attributes probes, rows and wall time to plan
+// steps. Matched bindings are buffered per probe and recursed into after
+// the step's timer stops, so `wall_us` measures only this pattern's own
+// index work, not the nested joins under it.
+void SearchAnalyzed(const trim::TripleStore& store,
+                    std::vector<const QueryClause*> remaining,
+                    const Binding& binding, std::vector<Binding>* out,
+                    Status* failure, AnalyzeContext* ctx) {
+  if (!failure->ok()) return;
+  if (remaining.empty()) {
+    out->push_back(binding);
+    return;
+  }
+  size_t best = 0;
+  int best_cost = 99;
+  for (size_t i = 0; i < remaining.size(); ++i) {
+    int cost = ClauseCost(*remaining[i], binding);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = i;
+    }
+  }
+  const QueryClause* clause = remaining[best];
+  remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(best));
+  PlanStep& step =
+      ctx->plan->steps[(*ctx->step_of_clause)[static_cast<size_t>(
+          clause - ctx->clause_base)]];
+
+  Result<ResolvedClause> resolved = ResolveClause(*clause, binding);
+  if (!resolved.ok()) {
+    *failure = resolved.status();
+    return;
+  }
+  trim::TriplePattern pattern;
+  pattern.subject = resolved->subject;
+  pattern.property = resolved->property;
+  pattern.object = resolved->object;
+
+  trim::TripleStore::SelectStats stats;
+  std::vector<Binding> next_bindings;
+  auto probe_start = std::chrono::steady_clock::now();
+  store.SelectEach(
+      pattern,
+      [&](const trim::Triple& t) {
+        Binding next = binding;
+        auto bind = [&](const std::string& var, BoundValue value) {
+          if (var.empty()) return true;
+          auto it = next.find(var);
+          if (it != next.end()) return it->second == value;
+          next[var] = std::move(value);
+          return true;
+        };
+        if (!bind(resolved->subject_var, trim::Object::Resource(t.subject))) {
+          return true;
+        }
+        if (!bind(resolved->property_var,
+                  trim::Object::Resource(t.property))) {
+          return true;
+        }
+        if (!bind(resolved->object_var, t.object)) return true;
+        next_bindings.push_back(std::move(next));
+        return true;
+      },
+      &stats);
+  auto probe_end = std::chrono::steady_clock::now();
+  step.probes += 1;
+  step.rows_examined += stats.examined;
+  step.rows_matched += stats.matched;
+  step.rows_out += next_bindings.size();
+  step.wall_us += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(probe_end -
+                                                            probe_start)
+          .count());
+  for (const Binding& next : next_bindings) {
+    SearchAnalyzed(store, remaining, next, out, failure, ctx);
+    if (!failure->ok()) return;
+  }
 }
 
 void Search(const trim::TripleStore& store,
@@ -323,6 +567,19 @@ Result<std::vector<Binding>> Execute(const trim::TripleStore& store,
     SLIM_OBS_COUNT("slim.query.execute.error");
     return Status::InvalidArgument("query has no clauses");
   }
+  // When the slow-query sampler is armed, run through the ANALYZE executor
+  // so a query that crosses the threshold leaves its full plan behind.
+  if (DefaultSlowQueryLog().enabled()) {
+    Result<AnalyzedQuery> analyzed = ExplainAnalyze(store, query);
+    if (!analyzed.ok()) {
+      SLIM_OBS_COUNT("slim.query.execute.error");
+      return analyzed.status();
+    }
+    DefaultSlowQueryLog().MaybeRecord(analyzed->plan);
+    SLIM_OBS_HISTOGRAM("slim.query.solutions", analyzed->solutions.size());
+    span.AddTag("solutions", std::to_string(analyzed->solutions.size()));
+    return std::move(analyzed->solutions);
+  }
   std::vector<const QueryClause*> remaining;
   for (const QueryClause& c : query.clauses()) remaining.push_back(&c);
   std::vector<Binding> out;
@@ -341,6 +598,45 @@ Result<std::vector<Binding>> ExecuteText(const trim::TripleStore& store,
                                          std::string_view query_text) {
   SLIM_ASSIGN_OR_RETURN(Query query, Query::Parse(query_text));
   return Execute(store, query);
+}
+
+Result<QueryPlan> Explain(const trim::TripleStore& store, const Query& query) {
+  SLIM_OBS_COUNT("slim.query.explain.calls");
+  SLIM_OBS_SPAN(span, "slim.query.explain");
+  if (query.clauses().empty()) {
+    return Status::InvalidArgument("query has no clauses");
+  }
+  std::vector<size_t> step_of_clause;
+  return BuildPlan(store, query, &step_of_clause);
+}
+
+Result<AnalyzedQuery> ExplainAnalyze(const trim::TripleStore& store,
+                                     const Query& query) {
+  SLIM_OBS_COUNT("slim.query.analyze.calls");
+  SLIM_OBS_SPAN(span, "slim.query.analyze");
+  if (query.clauses().empty()) {
+    return Status::InvalidArgument("query has no clauses");
+  }
+  std::vector<size_t> step_of_clause;
+  SLIM_ASSIGN_OR_RETURN(QueryPlan plan,
+                        BuildPlan(store, query, &step_of_clause));
+  AnalyzeContext ctx{&plan, &step_of_clause, query.clauses().data()};
+  std::vector<const QueryClause*> remaining;
+  for (const QueryClause& c : query.clauses()) remaining.push_back(&c);
+  std::vector<Binding> out;
+  Status failure;
+  auto run_start = std::chrono::steady_clock::now();
+  SearchAnalyzed(store, std::move(remaining), Binding{}, &out, &failure, &ctx);
+  auto run_end = std::chrono::steady_clock::now();
+  if (!failure.ok()) return failure;
+  plan.analyzed = true;
+  plan.total_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(run_end -
+                                                            run_start)
+          .count());
+  plan.solutions = out.size();
+  span.AddTag("solutions", std::to_string(out.size()));
+  return AnalyzedQuery{std::move(plan), std::move(out)};
 }
 
 }  // namespace slim::store

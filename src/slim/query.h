@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "slim/query_plan.h"
 #include "trim/triple_store.h"
 #include "util/result.h"
 
@@ -101,6 +102,30 @@ Result<std::vector<Binding>> Execute(const trim::TripleStore& store,
 /// \brief Convenience: run a text query.
 Result<std::vector<Binding>> ExecuteText(const trim::TripleStore& store,
                                          std::string_view query_text);
+
+/// \brief EXPLAIN: reifies the evaluator's greedy join order without
+/// executing the query — per-step predicted index path and estimated
+/// cardinality (exact when the fixed fields are query constants, an
+/// average-fanout estimate when they are runtime-bound variables).
+///
+/// The executor re-picks the cheapest clause at every recursion depth, but
+/// clause cost depends only on *which* variables are bound — identical
+/// along every branch at a given depth — so the order is deterministic and
+/// EXPLAIN's static simulation reproduces it faithfully.
+Result<QueryPlan> Explain(const trim::TripleStore& store, const Query& query);
+
+/// \brief EXPLAIN ANALYZE result: the analyzed plan plus the solutions the
+/// run produced.
+struct AnalyzedQuery {
+  QueryPlan plan;
+  std::vector<Binding> solutions;
+};
+
+/// \brief Executes the query while attributing actual probes, rows
+/// examined/matched/emitted and wall time to each plan step. The final
+/// step's `rows_out` equals `plan.solutions`.
+Result<AnalyzedQuery> ExplainAnalyze(const trim::TripleStore& store,
+                                     const Query& query);
 
 }  // namespace slim::store
 

@@ -1,0 +1,66 @@
+#include "slim/query_plan.h"
+
+#include "obs/json.h"
+
+namespace slim::store {
+
+std::string QueryPlan::ToText() const {
+  std::string out = analyzed ? "QUERY PLAN (analyzed) for: "
+                             : "QUERY PLAN for: ";
+  out += query_text + "\n";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const PlanStep& step = steps[i];
+    out += "  step " + std::to_string(i + 1) + ": clause #" +
+           std::to_string(step.clause_index + 1) + "  " + step.clause_text +
+           "\n";
+    out += "    bound=" +
+           (step.bound_fields.empty() ? std::string("(none)")
+                                      : step.bound_fields) +
+           " path=" + trim::TripleStore::IndexPathName(step.predicted_path) +
+           " est_rows=" + std::to_string(step.estimated_rows) +
+           (step.estimate_exact ? " (exact)" : " (avg)") + "\n";
+    if (analyzed) {
+      out += "    actual: probes=" + std::to_string(step.probes) +
+             " examined=" + std::to_string(step.rows_examined) +
+             " matched=" + std::to_string(step.rows_matched) +
+             " out=" + std::to_string(step.rows_out) +
+             " wall_us=" + std::to_string(step.wall_us) + "\n";
+    }
+  }
+  if (analyzed) {
+    out += "  solutions: " + std::to_string(solutions) + ", total " +
+           std::to_string(total_us) + " us\n";
+  }
+  return out;
+}
+
+std::string QueryPlan::ToJson() const {
+  std::string out = "{\"query\":" + obs::JsonQuote(query_text) +
+                    ",\"analyzed\":" + (analyzed ? "true" : "false") +
+                    ",\"total_us\":" + std::to_string(total_us) +
+                    ",\"solutions\":" + std::to_string(solutions) +
+                    ",\"steps\":[";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const PlanStep& step = steps[i];
+    if (i) out += ",";
+    out += "{\"clause_index\":" + std::to_string(step.clause_index) +
+           ",\"clause\":" + obs::JsonQuote(step.clause_text) +
+           ",\"bound\":" + obs::JsonQuote(step.bound_fields) + ",\"path\":" +
+           obs::JsonQuote(
+               trim::TripleStore::IndexPathName(step.predicted_path)) +
+           ",\"estimated_rows\":" + std::to_string(step.estimated_rows) +
+           ",\"estimate_exact\":" + (step.estimate_exact ? "true" : "false");
+    if (analyzed) {
+      out += ",\"probes\":" + std::to_string(step.probes) +
+             ",\"rows_examined\":" + std::to_string(step.rows_examined) +
+             ",\"rows_matched\":" + std::to_string(step.rows_matched) +
+             ",\"rows_out\":" + std::to_string(step.rows_out) +
+             ",\"wall_us\":" + std::to_string(step.wall_us);
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace slim::store

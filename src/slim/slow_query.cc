@@ -1,0 +1,56 @@
+#include "slim/slow_query.h"
+
+#include <cstdlib>
+
+#include "obs/obs.h"
+
+namespace slim::store {
+
+SlowQueryLog::SlowQueryLog(size_t capacity) : capacity_(capacity) {}
+
+bool SlowQueryLog::MaybeRecord(const QueryPlan& plan) {
+  int64_t threshold = threshold_us();
+  if (threshold < 0 || plan.total_us < static_cast<uint64_t>(threshold)) {
+    return false;
+  }
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  SLIM_OBS_COUNT("slim.query.slow.count");
+  SLIM_OBS_HISTOGRAM("slim.query.slow.latency_us", plan.total_us);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.push_back(plan);
+    while (ring_.size() > capacity_) ring_.pop_front();
+  }
+  // The plan JSON rides on a structured event so the flight recorder's ring
+  // (a LogSink) holds it; a post-mortem bundle then explains the slowness.
+  SLIM_OBS_LOG(kWarn, "slim", "slow query",
+               {{"query", plan.query_text},
+                {"total_us", std::to_string(plan.total_us)},
+                {"solutions", std::to_string(plan.solutions)},
+                {"plan", plan.ToJson()}});
+  SLIM_OBS_DUMP_ON_ERROR("slim.query.slow");
+  return true;
+}
+
+std::vector<QueryPlan> SlowQueryLog::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+SlowQueryLog& DefaultSlowQueryLog() {
+  static SlowQueryLog* log = [] {
+    auto* out = new SlowQueryLog();
+    if (const char* env = std::getenv("SLIM_SLOW_QUERY_US")) {
+      out->set_threshold_us(std::atoll(env));
+    }
+    return out;
+  }();
+  return *log;
+}
+
+}  // namespace slim::store

@@ -113,6 +113,8 @@ class InternedTripleStore {
   /// @}
 
  private:
+  friend StoreStats ComputeStats(const InternedTripleStore& store);
+
   struct Row {
     uint32_t subject;
     uint32_t property;

@@ -1,0 +1,176 @@
+#include "trim/store_stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "obs/json.h"
+
+namespace slim::trim {
+
+namespace {
+
+/// Bucket index for a predicate fanout n >= 1: the smallest i with
+/// n <= 2^i (bucket 0 holds n == 1).
+size_t FanoutBucket(uint64_t n) {
+  size_t idx = 0;
+  while ((uint64_t{1} << idx) < n) ++idx;
+  return idx;
+}
+
+void RecordFanout(uint64_t n, StoreStats* stats) {
+  if (n == 0) return;
+  size_t bucket = FanoutBucket(n);
+  if (stats->predicate_cardinality.size() <= bucket) {
+    stats->predicate_cardinality.resize(bucket + 1, 0);
+  }
+  ++stats->predicate_cardinality[bucket];
+  stats->predicate_max_fanout = std::max(stats->predicate_max_fanout, n);
+}
+
+void AppendU64(const char* key, uint64_t value, bool* first,
+               std::string* out) {
+  if (!*first) *out += ",";
+  *first = false;
+  *out += "\"";
+  *out += key;
+  *out += "\":";
+  *out += std::to_string(value);
+}
+
+}  // namespace
+
+std::string StoreStats::ToText() const {
+  std::string out;
+  auto line = [&out](const std::string& label, const std::string& value) {
+    out += label;
+    for (size_t i = label.size(); i < 26; ++i) out += ' ';
+    out += ": " + value + "\n";
+  };
+  line("store backend", backend);
+  line("live triples", std::to_string(live_triples));
+  line("tombstoned slots", std::to_string(tombstoned));
+  line("index subject", std::to_string(subject_keys) + " keys / " +
+                            std::to_string(subject_postings) + " postings");
+  line("index property", std::to_string(property_keys) + " keys / " +
+                             std::to_string(property_postings) + " postings");
+  line("index object", std::to_string(object_keys) + " keys / " +
+                           std::to_string(object_postings) + " postings");
+  std::string fanout = "max " + std::to_string(predicate_max_fanout);
+  if (!predicate_cardinality.empty()) {
+    fanout += ";";
+    for (size_t i = 0; i < predicate_cardinality.size(); ++i) {
+      fanout += " [<=" + std::to_string(uint64_t{1} << i) +
+                "]=" + std::to_string(predicate_cardinality[i]);
+    }
+  }
+  line("predicate fanout", fanout);
+  if (backend == "interned") {
+    line("interned strings", std::to_string(interned_strings) + " (" +
+                                 std::to_string(interned_bytes) + " bytes)");
+  }
+  line("approx resident bytes", std::to_string(approximate_bytes));
+  return out;
+}
+
+std::string StoreStats::ToJson() const {
+  std::string out = "{\"backend\":" + obs::JsonQuote(backend);
+  bool first = false;
+  AppendU64("live_triples", live_triples, &first, &out);
+  AppendU64("tombstoned", tombstoned, &first, &out);
+  AppendU64("subject_keys", subject_keys, &first, &out);
+  AppendU64("property_keys", property_keys, &first, &out);
+  AppendU64("object_keys", object_keys, &first, &out);
+  AppendU64("subject_postings", subject_postings, &first, &out);
+  AppendU64("property_postings", property_postings, &first, &out);
+  AppendU64("object_postings", object_postings, &first, &out);
+  AppendU64("predicate_max_fanout", predicate_max_fanout, &first, &out);
+  out += ",\"predicate_cardinality\":[";
+  for (size_t i = 0; i < predicate_cardinality.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(predicate_cardinality[i]);
+  }
+  out += "]";
+  AppendU64("interned_strings", interned_strings, &first, &out);
+  AppendU64("interned_bytes", interned_bytes, &first, &out);
+  AppendU64("approximate_bytes", approximate_bytes, &first, &out);
+  out += "}";
+  return out;
+}
+
+StoreStats ComputeStats(const TripleStore& store) {
+  StoreStats stats;
+  stats.backend = "hash";
+  stats.live_triples = store.live_count_;
+  stats.tombstoned = store.free_slots_.size();
+  stats.subject_keys = store.by_subject_.size();
+  stats.property_keys = store.by_property_.size();
+  stats.object_keys = store.by_object_text_.size();
+  for (const auto& [key, postings] : store.by_subject_) {
+    stats.subject_postings += postings.size();
+  }
+  for (const auto& [key, postings] : store.by_property_) {
+    stats.property_postings += postings.size();
+    RecordFanout(postings.size(), &stats);
+  }
+  for (const auto& [key, postings] : store.by_object_text_) {
+    stats.object_postings += postings.size();
+  }
+  stats.approximate_bytes = store.ApproximateBytes();
+  return stats;
+}
+
+StoreStats ComputeStats(const InternedTripleStore& store) {
+  StoreStats stats;
+  stats.backend = "interned";
+  stats.live_triples = store.live_count_;
+  std::unordered_map<uint32_t, uint64_t> per_property;
+  std::unordered_set<uint32_t> subjects;
+  std::unordered_set<uint32_t> objects;
+  for (const auto& row : store.rows_) {
+    if (row.dead) {
+      ++stats.tombstoned;
+      continue;
+    }
+    subjects.insert(row.subject);
+    objects.insert(row.object);
+    ++per_property[row.property];
+  }
+  stats.subject_keys = subjects.size();
+  stats.property_keys = per_property.size();
+  stats.object_keys = objects.size();
+  stats.subject_postings = stats.live_triples;
+  stats.property_postings = stats.live_triples;
+  stats.object_postings = stats.live_triples;
+  for (const auto& [property, fanout] : per_property) {
+    RecordFanout(fanout, &stats);
+  }
+  stats.interned_strings = store.pool_.size();
+  stats.interned_bytes = store.pool_.ApproximateBytes();
+  stats.approximate_bytes = store.ApproximateBytes();
+  return stats;
+}
+
+void PublishStoreStats(const StoreStats& stats,
+                       obs::MetricsRegistry* registry) {
+  obs::MetricsRegistry& reg =
+      registry != nullptr ? *registry : obs::DefaultRegistry();
+  reg.GetCounter("slim.store.refresh.calls")->Increment();
+  auto set = [&reg](const std::string& name, uint64_t value) {
+    reg.GetGauge(name)->Set(static_cast<int64_t>(value));
+  };
+  set("slim.store.live_triples", stats.live_triples);
+  set("slim.store.tombstones", stats.tombstoned);
+  set("slim.store.index.subject.keys", stats.subject_keys);
+  set("slim.store.index.property.keys", stats.property_keys);
+  set("slim.store.index.object.keys", stats.object_keys);
+  set("slim.store.index.subject.postings", stats.subject_postings);
+  set("slim.store.index.property.postings", stats.property_postings);
+  set("slim.store.index.object.postings", stats.object_postings);
+  set("slim.store.predicate.max_fanout", stats.predicate_max_fanout);
+  set("slim.store.interned.strings", stats.interned_strings);
+  set("slim.store.interned.bytes", stats.interned_bytes);
+  set("slim.store.approx_bytes", stats.approximate_bytes);
+}
+
+}  // namespace slim::trim

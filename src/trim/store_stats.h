@@ -1,0 +1,78 @@
+#ifndef SLIM_TRIM_STORE_STATS_H_
+#define SLIM_TRIM_STORE_STATS_H_
+
+/// \file store_stats.h
+/// \brief Store introspection: a point-in-time statistical snapshot of a
+/// triple store, for operators and the query planner.
+///
+/// The paper's TRIM layer serves every selection and reachability view, so
+/// understanding *why* a store behaves the way it does — index shapes,
+/// predicate skew, tombstone debt, resident bytes — matters as much as the
+/// per-op counters PR 1 added. `ComputeStats` walks either backend
+/// (hash-indexed `TripleStore` or columnar `InternedTripleStore`) and
+/// returns one `StoreStats`; `PublishStoreStats` refreshes the
+/// `slim.store.*` gauge family in a metrics registry on demand, from where
+/// the Prometheus endpoint and `obs_dump` pick it up.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "trim/interned_store.h"
+#include "trim/triple_store.h"
+
+namespace slim::trim {
+
+/// \brief Point-in-time statistics for one store instance.
+struct StoreStats {
+  std::string backend;  ///< "hash" or "interned".
+
+  uint64_t live_triples = 0;
+  uint64_t tombstoned = 0;  ///< Dead slots awaiting reuse / compaction.
+
+  /// Distinct keys per index ("entry count" of each hash/posting index).
+  uint64_t subject_keys = 0;
+  uint64_t property_keys = 0;
+  uint64_t object_keys = 0;
+  /// Total posting entries per index (>= keys; == live triples per index
+  /// for both backends, kept explicit so an index bug shows up as a skew).
+  uint64_t subject_postings = 0;
+  uint64_t property_postings = 0;
+  uint64_t object_postings = 0;
+
+  /// Predicate-cardinality histogram: bucket i counts predicates whose
+  /// live-triple fanout n satisfies 2^(i-1) < n <= 2^i (bucket 0: n == 1).
+  /// Skewed stores — one `bundleContent` predicate carrying most triples —
+  /// show up as mass in the high buckets.
+  std::vector<uint64_t> predicate_cardinality;
+  uint64_t predicate_max_fanout = 0;
+
+  /// Interning-table occupancy (interned backend; zero for hash).
+  uint64_t interned_strings = 0;
+  uint64_t interned_bytes = 0;
+
+  /// Estimated resident heap bytes of triple data + indexes.
+  uint64_t approximate_bytes = 0;
+
+  /// Human-readable multi-line report (obs_dump's store section).
+  std::string ToText() const;
+  /// One JSON object, machine-readable.
+  std::string ToJson() const;
+};
+
+/// Walks the hash-indexed store. O(live triples + index keys).
+StoreStats ComputeStats(const TripleStore& store);
+
+/// Walks the interned columnar store. O(rows).
+StoreStats ComputeStats(const InternedTripleStore& store);
+
+/// Refreshes the `slim.store.*` gauge family in `registry` (the process
+/// default when null) from `stats`. Gauges are Set, not added, so repeated
+/// refreshes are idempotent; `slim.store.refresh.calls` counts refreshes.
+void PublishStoreStats(const StoreStats& stats,
+                       obs::MetricsRegistry* registry = nullptr);
+
+}  // namespace slim::trim
+
+#endif  // SLIM_TRIM_STORE_STATS_H_

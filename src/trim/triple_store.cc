@@ -19,6 +19,17 @@ std::string TripleToString(const Triple& t) {
   return out;
 }
 
+const char* TripleStore::IndexPathName(IndexPath path) {
+  switch (path) {
+    case IndexPath::kSubject: return "subject";
+    case IndexPath::kObject: return "object";
+    case IndexPath::kProperty: return "property";
+    case IndexPath::kScan: return "scan";
+    case IndexPath::kEmpty: return "empty";
+  }
+  return "scan";
+}
+
 bool TriplePattern::Matches(const Triple& t) const {
   if (subject && *subject != t.subject) return false;
   if (property && *property != t.property) return false;
@@ -173,9 +184,9 @@ std::vector<Triple> TripleStore::Select(const TriplePattern& pattern) const {
   return out;
 }
 
-void TripleStore::SelectEach(
-    const TriplePattern& pattern,
-    const std::function<bool(const Triple&)>& fn) const {
+void TripleStore::SelectEach(const TriplePattern& pattern,
+                             const std::function<bool(const Triple&)>& fn,
+                             SelectStats* stats) const {
   SLIM_OBS_COUNT("trim.select.calls");
   std::vector<TripleId> scratch;
   IndexPath path = IndexPath::kScan;
@@ -188,19 +199,39 @@ void TripleStore::SelectEach(
     case IndexPath::kScan: SLIM_OBS_COUNT("trim.select.index.scan"); break;
     case IndexPath::kEmpty: SLIM_OBS_COUNT("trim.select.index.empty"); break;
   }
+  if (stats != nullptr) {
+    stats->path = path;
+    stats->candidates =
+        candidates != nullptr ? candidates->size() : triples_.size();
+  }
+  auto visit = [&](TripleId id) {
+    if (!live_[id]) return true;
+    if (stats != nullptr) ++stats->examined;
+    if (!pattern.Matches(triples_[id])) return true;
+    if (stats != nullptr) ++stats->matched;
+    return fn(triples_[id]);
+  };
   if (candidates != nullptr) {
     for (TripleId id : *candidates) {
-      if (live_[id] && pattern.Matches(triples_[id])) {
-        if (!fn(triples_[id])) return;
-      }
+      if (!visit(id)) return;
     }
     return;
   }
   for (size_t id = 0; id < triples_.size(); ++id) {
-    if (live_[id] && pattern.Matches(triples_[id])) {
-      if (!fn(triples_[id])) return;
-    }
+    if (!visit(static_cast<TripleId>(id))) return;
   }
+}
+
+TripleStore::AccessPlan TripleStore::PlanAccess(
+    const TriplePattern& pattern) const {
+  std::vector<TripleId> scratch;
+  IndexPath path = IndexPath::kScan;
+  const std::vector<TripleId>* candidates =
+      CandidateList(pattern, &scratch, &path);
+  AccessPlan plan;
+  plan.path = path;
+  plan.candidates = candidates != nullptr ? candidates->size() : live_count_;
+  return plan;
 }
 
 std::optional<Object> TripleStore::GetOne(const std::string& subject,

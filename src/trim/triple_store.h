@@ -49,9 +49,35 @@ struct TriplePattern {
   bool Matches(const Triple& t) const;
 };
 
+struct StoreStats;  // trim/store_stats.h
+
 /// \brief In-memory triple store with S/P/O indexes.
 class TripleStore {
  public:
+  /// Which access path a selection settled on (obs: the
+  /// `trim.select.index.*` counters; also reified into query EXPLAIN
+  /// plans, see slim/query_plan.h).
+  enum class IndexPath { kSubject, kObject, kProperty, kScan, kEmpty };
+
+  /// Stable lowercase name of an IndexPath ("subject", "scan", ...).
+  static const char* IndexPathName(IndexPath path);
+
+  /// \brief What a selection *would* do: the access path CandidateList
+  /// would choose and how many candidate ids that path yields (the store
+  /// size for a full scan, 0 for a provably-empty selection).
+  struct AccessPlan {
+    IndexPath path = IndexPath::kScan;
+    size_t candidates = 0;
+  };
+
+  /// \brief Per-call execution statistics for SelectEach (EXPLAIN ANALYZE).
+  struct SelectStats {
+    IndexPath path = IndexPath::kScan;
+    uint64_t candidates = 0;  ///< Ids the chosen path offered.
+    uint64_t examined = 0;    ///< Live candidates tested against the pattern.
+    uint64_t matched = 0;     ///< Rows handed to the callback.
+  };
+
   TripleStore() = default;
   TripleStore(const TripleStore&) = delete;
   TripleStore& operator=(const TripleStore&) = delete;
@@ -81,8 +107,15 @@ class TripleStore {
   std::vector<Triple> Select(const TriplePattern& pattern) const;
 
   /// Streaming selection; `fn` returning false stops the scan early.
+  /// When `stats` is non-null the call additionally reports the access path
+  /// taken and the rows examined/matched (the EXPLAIN ANALYZE feed).
   void SelectEach(const TriplePattern& pattern,
-                  const std::function<bool(const Triple&)>& fn) const;
+                  const std::function<bool(const Triple&)>& fn,
+                  SelectStats* stats = nullptr) const;
+
+  /// Plans a selection without executing it: which index would serve the
+  /// pattern and how many candidates it holds. Never bumps obs counters.
+  AccessPlan PlanAccess(const TriplePattern& pattern) const;
 
   /// First object for (subject, property), if any. The common "attribute
   /// read" access path of a DMI.
@@ -107,6 +140,15 @@ class TripleStore {
   size_t size() const { return live_count_; }
   bool empty() const { return live_count_ == 0; }
 
+  /// \name Index key counts (distinct subjects/properties/object texts).
+  /// Cheap O(1) reads; the query planner divides size() by these for
+  /// average-cardinality estimates of runtime-bound patterns.
+  /// @{
+  size_t DistinctSubjects() const { return by_subject_.size(); }
+  size_t DistinctProperties() const { return by_property_.size(); }
+  size_t DistinctObjects() const { return by_object_text_.size(); }
+  /// @}
+
   /// Removes every triple.
   void Clear();
 
@@ -118,12 +160,10 @@ class TripleStore {
   size_t ApproximateBytes() const;
 
  private:
+  friend StoreStats ComputeStats(const TripleStore& store);
+
   using TripleId = uint32_t;
   static constexpr TripleId kTombstone = UINT32_MAX;
-
-  /// Which access path CandidateList settled on (obs: the
-  /// `trim.select.index.*` counters).
-  enum class IndexPath { kSubject, kObject, kProperty, kScan, kEmpty };
 
   void IndexAdd(TripleId id);
   void IndexRemove(TripleId id);

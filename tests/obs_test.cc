@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <utility>
 #include <vector>
@@ -44,15 +45,15 @@ TEST(Histogram, BucketingMath) {
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 
   // Bounds are inclusive: 1 lands in bucket 0, 2 in bucket 1, 3 in the
-  // 5-bucket, 1000001 overflows.
+  // 5-bucket, 10000001 overflows the 10M top bound.
   h.Record(1);
   h.Record(2);
   h.Record(3);
-  h.Record(1000001);
+  h.Record(10000001);
   EXPECT_EQ(h.count(), 4u);
-  EXPECT_EQ(h.sum(), 1000007u);
+  EXPECT_EQ(h.sum(), 10000007u);
   EXPECT_EQ(h.min(), 1u);
-  EXPECT_EQ(h.max(), 1000001u);
+  EXPECT_EQ(h.max(), 10000001u);
   EXPECT_EQ(h.BucketValue(0), 1u);  // <= 1
   EXPECT_EQ(h.BucketValue(1), 1u);  // <= 2
   EXPECT_EQ(h.BucketValue(2), 1u);  // <= 5
@@ -61,6 +62,35 @@ TEST(Histogram, BucketingMath) {
   EXPECT_EQ(
       LatencyHistogram::BucketUpperBound(LatencyHistogram::kBucketCount - 1),
       UINT64_MAX);
+}
+
+TEST(Histogram, BucketBoundariesPinned) {
+  // The 1-2-5 ladder from 1 µs to 10 s. Exporters (Prometheus `le=` labels)
+  // and merged JSON snapshots bake these bounds into persisted data, so a
+  // change here is a telemetry schema change: it must be deliberate, and
+  // old/new bench or dump comparisons across it are suspect. The top bound
+  // is 10M because second-scale operations (whole-pad rebuilds, 100k-triple
+  // persistence) must land in finite buckets, not the overflow — otherwise
+  // ApproxPercentile saturates at the last finite bound for those series.
+  static constexpr uint64_t kExpected[] = {
+      1,      2,      5,       10,      25,      50,      100,     250,
+      500,    1000,   2500,    5000,    10000,   25000,   50000,   100000,
+      250000, 500000, 1000000, 2500000, 5000000, 10000000};
+  ASSERT_EQ(LatencyHistogram::kBucketBounds.size(), std::size(kExpected));
+  for (size_t i = 0; i < std::size(kExpected); ++i) {
+    EXPECT_EQ(LatencyHistogram::kBucketBounds[i], kExpected[i]) << i;
+  }
+  EXPECT_EQ(LatencyHistogram::kBucketCount, std::size(kExpected) + 1);
+
+  // Values past the old 1M ceiling now resolve to distinct buckets.
+  LatencyHistogram h;
+  h.Record(2000000);   // 2 s -> <=2.5M bucket
+  h.Record(4000000);   // 4 s -> <=5M bucket
+  h.Record(9000000);   // 9 s -> <=10M bucket
+  EXPECT_EQ(h.BucketValue(19), 1u);
+  EXPECT_EQ(h.BucketValue(20), 1u);
+  EXPECT_EQ(h.BucketValue(21), 1u);
+  EXPECT_EQ(h.BucketValue(LatencyHistogram::kBucketCount - 1), 0u);
 }
 
 TEST(Histogram, ApproxPercentile) {
