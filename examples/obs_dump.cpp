@@ -15,14 +15,22 @@
 //   obs_dump --serve <port>  serve GET /metrics and /healthz on localhost
 //                            while re-running the workload (Ctrl-C to stop)
 //   obs_dump --dump <path>   write a flight-recorder diagnostics bundle
+//   obs_dump --watch [n]     re-run the workload n times (default 3),
+//                            capturing a metrics-history sample per round:
+//                            per-round counter deltas/rates, then the
+//                            hot-lock contention table
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <thread>
+#include <vector>
 
 #include "dmi/dynamic_dmi.h"
+#include "obs/history.h"
+#include "obs/lock_profiler.h"
 #include "obs/obs.h"
 #include "obs/profile.h"
 #include "obs/prom.h"
@@ -143,9 +151,10 @@ int main(int argc, char** argv) {
                "is compiled out, nothing to report." << std::endl;
   return 0;
 #else
-  enum class Mode { kClassic, kProfile, kProm, kServe, kDump } mode =
+  enum class Mode { kClassic, kProfile, kProm, kServe, kDump, kWatch } mode =
       Mode::kClassic;
   int serve_port = 0;
+  int watch_rounds = 3;
   std::string dump_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--profile") == 0) {
@@ -158,12 +167,21 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--dump") == 0 && i + 1 < argc) {
       mode = Mode::kDump;
       dump_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--watch") == 0) {
+      mode = Mode::kWatch;
+      if (i + 1 < argc && std::atoi(argv[i + 1]) > 0) {
+        watch_rounds = std::atoi(argv[++i]);
+      }
     } else {
       std::cerr << "usage: obs_dump [--profile | --prom | --serve <port> | "
-                   "--dump <path>]" << std::endl;
+                   "--dump <path> | --watch [rounds]]" << std::endl;
       return 2;
     }
   }
+
+  // Watch every InstrumentedMutex in the process: per-site wait/hold
+  // aggregates plus obs.lock.* metrics in the default registry.
+  obs::LockProfiler::Default().Install(&obs::DefaultRegistry());
 
   // Capture gesture spans in memory; the profiler aggregates the same
   // stream when profiling.
@@ -191,6 +209,8 @@ int main(int argc, char** argv) {
       std::cout << store_report;
       std::cout << "\n=== Per-session metrics (workload.*) ===" << std::endl;
       std::cout << session_metrics.ExportText();
+      std::cout << "\n=== Hot locks (ranked by total wait) ===" << std::endl;
+      std::cout << obs::LockProfiler::Default().HotLockTable();
       break;
     case Mode::kProfile: {
       std::cout << "=== Span hot spots (self time, descending) ==="
@@ -210,15 +230,59 @@ int main(int argc, char** argv) {
     case Mode::kServe: {
       obs::StatsServer server(&obs::DefaultRegistry(),
                               static_cast<uint16_t>(serve_port));
+      obs::HistoryOptions history_options;
+      history_options.interval_ms = 1000;
+      history_options.capacity = 300;
+      obs::MetricsHistory history(&obs::DefaultRegistry(), history_options);
+      CHECK_OK(history.Start());
+      server.set_history(&history);
       CHECK_OK(server.Start());
       std::cout << "serving http://127.0.0.1:" << server.port()
-                << "/metrics and /healthz — re-running the workload every "
-                   "2s, Ctrl-C to stop" << std::endl;
+                << "/metrics, /metrics/history, /vars.json and /healthz — "
+                   "re-running the workload every 2s, Ctrl-C to stop"
+                << std::endl;
       // Keep the counters moving so successive scrapes show a live system.
       while (true) {
         std::this_thread::sleep_for(std::chrono::seconds(2));
         if (int wrc = RunWorkload(&session_metrics); wrc != 0) return wrc;
       }
+      break;
+    }
+    case Mode::kWatch: {
+      // Manual captures (one per workload round) keep the deltas
+      // deterministic — no background thread racing the printout.
+      obs::MetricsHistory history(&obs::DefaultRegistry());
+      history.CaptureOnce();  // baseline: everything RunWorkload did above
+      for (int round = 1; round <= watch_rounds; ++round) {
+        if (int wrc = RunWorkload(&session_metrics); wrc != 0) return wrc;
+        history.CaptureOnce();
+        std::vector<obs::HistorySample> samples = history.Samples();
+        const obs::HistorySample& s = samples.back();
+        // The busiest counters this round, by delta.
+        std::vector<const obs::HistorySample::CounterEntry*> top;
+        for (const auto& entry : s.counters) {
+          if (entry.delta > 0) top.push_back(&entry);
+        }
+        std::sort(top.begin(), top.end(),
+                  [](const obs::HistorySample::CounterEntry* a,
+                     const obs::HistorySample::CounterEntry* b) {
+                    return a->delta != b->delta ? a->delta > b->delta
+                                                : a->name < b->name;
+                  });
+        if (top.size() > 8) top.resize(8);
+        std::printf("round %d  (sample #%llu, +%lld ms)\n", round,
+                    static_cast<unsigned long long>(s.seq),
+                    static_cast<long long>(s.dt_ms));
+        for (const auto* entry : top) {
+          std::printf("  %-42s +%-8llu %10.1f/s\n", entry->name.c_str(),
+                      static_cast<unsigned long long>(entry->delta),
+                      entry->rate_per_s);
+        }
+      }
+      std::cout << "\n=== Hot locks (ranked by total wait) ===" << std::endl;
+      std::cout << obs::LockProfiler::Default().HotLockTable();
+      std::cout << history.capture_count() << " samples captured, "
+                << history.dropped() << " evicted." << std::endl;
       break;
     }
     case Mode::kDump: {
@@ -235,6 +299,7 @@ int main(int argc, char** argv) {
 
   if (mode == Mode::kProfile) obs::DefaultTracer().RemoveSink(&profiler);
   obs::DefaultTracer().RemoveSink(&spans);
+  obs::LockProfiler::Default().Uninstall();
   return rc;
 #endif  // SLIM_OBS_ENABLED
 }

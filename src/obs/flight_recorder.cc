@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "obs/json.h"
+#include "obs/lock_profiler.h"
 #include "obs/metrics.h"
 
 namespace slim::obs {
@@ -69,13 +70,13 @@ bool FlightRecorder::installed() const {
 }
 
 void FlightRecorder::OnLogEvent(const LogEvent& event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (events_.size() == event_capacity_) events_.pop_front();
   events_.push_back(event);
 }
 
 void FlightRecorder::OnSpanEnd(const SpanRecord& span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (spans_.size() == span_capacity_) spans_.pop_front();
   spans_.push_back(span);
 }
@@ -92,12 +93,12 @@ void FlightRecorder::RecordStatus(StatusCode code, std::string_view message) {
 }
 
 std::vector<LogEvent> FlightRecorder::RecentEvents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return {events_.begin(), events_.end()};
 }
 
 std::vector<SpanRecord> FlightRecorder::RecentSpans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return {spans_.begin(), spans_.end()};
 }
 
@@ -106,12 +107,12 @@ uint64_t FlightRecorder::statuses_recorded() const {
 }
 
 void FlightRecorder::set_dump_path(std::string path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   dump_path_ = std::move(path);
 }
 
 std::string FlightRecorder::dump_path() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return dump_path_;
 }
 
@@ -131,6 +132,10 @@ std::string FlightRecorder::RenderBundle() const {
   }
   out += "\n],\"metrics\":";
   out += DefaultRegistry().ExportJson();
+  // Lock-contention aggregates since the profiler was installed (empty
+  // array when no LockProfiler is active — Sites() is then empty too).
+  out += ",\"lock_sites\":";
+  out += LockProfiler::Default().ToJson();
   out += "}\n";
   return out;
 }
@@ -164,7 +169,7 @@ size_t FlightRecorder::MaybeDumpOnError(std::string_view source) {
 }
 
 void FlightRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   events_.clear();
   spans_.clear();
   statuses_.store(0, std::memory_order_relaxed);

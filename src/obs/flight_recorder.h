@@ -28,6 +28,7 @@
 
 #include "obs/log.h"
 #include "obs/trace.h"
+#include "util/instrumented_mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
@@ -80,7 +81,7 @@ class FlightRecorder : public LogSink, public TraceSink {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
+  mutable util::InstrumentedMutex mu_{"obs.flight_recorder.ring"};
   size_t event_capacity_ GUARDED_BY(mu_);
   size_t span_capacity_ GUARDED_BY(mu_);
   std::deque<LogEvent> events_ GUARDED_BY(mu_);

@@ -1,0 +1,201 @@
+#include "obs/history.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "obs/json.h"
+#include "obs/obs.h"
+
+namespace slim::obs {
+
+namespace {
+
+std::string FormatRate(double rate) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", rate);
+  return buf;
+}
+
+}  // namespace
+
+MetricsHistory::MetricsHistory(const MetricsRegistry* registry,
+                               Options options)
+    : registry_(registry), options_(options) {}
+
+MetricsHistory::~MetricsHistory() { Stop(); }
+
+int64_t MetricsHistory::NowMs() const {
+  if (options_.now_ms != nullptr) return options_.now_ms();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void MetricsHistory::CaptureOnce() {
+  MetricsSnapshot snap = registry_->Snapshot();
+  const int64_t now = NowMs();
+  SLIM_OBS_COUNT("obs.history.captures");
+
+  util::MutexLock lock(&mu_);
+  HistorySample sample;
+  sample.seq = ++captures_;
+  sample.t_ms = now;
+  sample.dt_ms = captures_ > 1 ? now - prev_t_ms_ : 0;
+
+  // Both snapshots are name-sorted (registry maps are ordered), so the
+  // previous value of each metric is found with a linear merge walk. A
+  // counter that shrank (Reset between captures) restarts: delta = value.
+  sample.counters.reserve(snap.counters.size());
+  {
+    size_t j = 0;
+    for (const auto& [name, value] : snap.counters) {
+      while (j < prev_.counters.size() && prev_.counters[j].first < name) ++j;
+      uint64_t prev_value =
+          (j < prev_.counters.size() && prev_.counters[j].first == name)
+              ? prev_.counters[j].second
+              : 0;
+      HistorySample::CounterEntry entry;
+      entry.name = name;
+      entry.value = value;
+      entry.delta = value >= prev_value ? value - prev_value : value;
+      entry.rate_per_s = sample.dt_ms > 0
+                             ? double(entry.delta) * 1000.0 / sample.dt_ms
+                             : 0.0;
+      sample.counters.push_back(std::move(entry));
+    }
+  }
+  sample.gauges.reserve(snap.gauges.size());
+  for (const auto& [name, value] : snap.gauges) {
+    sample.gauges.push_back({name, value});
+  }
+  sample.histograms.reserve(snap.histograms.size());
+  {
+    size_t j = 0;
+    for (const auto& [name, hs] : snap.histograms) {
+      while (j < prev_.histograms.size() && prev_.histograms[j].first < name) {
+        ++j;
+      }
+      const HistogramSnapshot* prev_hs =
+          (j < prev_.histograms.size() && prev_.histograms[j].first == name)
+              ? &prev_.histograms[j].second
+              : nullptr;
+      HistorySample::HistogramEntry entry;
+      entry.name = name;
+      entry.count = hs.count;
+      entry.sum = hs.sum;
+      uint64_t prev_count = prev_hs != nullptr ? prev_hs->count : 0;
+      uint64_t prev_sum = prev_hs != nullptr ? prev_hs->sum : 0;
+      entry.count_delta =
+          hs.count >= prev_count ? hs.count - prev_count : hs.count;
+      entry.sum_delta = hs.sum >= prev_sum ? hs.sum - prev_sum : hs.sum;
+      sample.histograms.push_back(std::move(entry));
+    }
+  }
+
+  ring_.push_back(std::move(sample));
+  while (ring_.size() > options_.capacity) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  prev_ = std::move(snap);
+  prev_t_ms_ = now;
+}
+
+Status MetricsHistory::Start() {
+  if (running_) {
+    return Status::FailedPrecondition("metrics history already running");
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { Run(); });
+  running_ = true;
+  return Status::OK();
+}
+
+void MetricsHistory::Stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_requested_ = true;
+  }
+  wake_cv_.notify_all();
+  thread_.join();
+  running_ = false;
+}
+
+void MetricsHistory::Run() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  while (!stop_requested_) {
+    lock.unlock();
+    CaptureOnce();
+    lock.lock();
+    wake_cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                      [this] { return stop_requested_; });
+  }
+}
+
+std::vector<HistorySample> MetricsHistory::Samples() const {
+  util::MutexLock lock(&mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+uint64_t MetricsHistory::capture_count() const {
+  util::MutexLock lock(&mu_);
+  return captures_;
+}
+
+uint64_t MetricsHistory::dropped() const {
+  util::MutexLock lock(&mu_);
+  return dropped_;
+}
+
+std::string MetricsHistory::ExportJson() const {
+  util::MutexLock lock(&mu_);
+  std::string out = "{\"schema\":\"slim-metrics-history-v1\"";
+  out += ",\"interval_ms\":" + std::to_string(options_.interval_ms);
+  out += ",\"capacity\":" + std::to_string(options_.capacity);
+  out += ",\"captures\":" + std::to_string(captures_);
+  out += ",\"dropped\":" + std::to_string(dropped_);
+  out += ",\"samples\":[";
+  bool first_sample = true;
+  for (const HistorySample& s : ring_) {
+    if (!first_sample) out += ',';
+    first_sample = false;
+    out += "{\"seq\":" + std::to_string(s.seq) +
+           ",\"t_ms\":" + std::to_string(s.t_ms) +
+           ",\"dt_ms\":" + std::to_string(s.dt_ms) + ",\"counters\":{";
+    bool first = true;
+    for (const auto& c : s.counters) {
+      if (!first) out += ',';
+      first = false;
+      out += JsonQuote(c.name) + ":{\"value\":" + std::to_string(c.value) +
+             ",\"delta\":" + std::to_string(c.delta) +
+             ",\"rate_per_s\":" + FormatRate(c.rate_per_s) + "}";
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& g : s.gauges) {
+      if (!first) out += ',';
+      first = false;
+      out += JsonQuote(g.name) + ":" + std::to_string(g.value);
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto& h : s.histograms) {
+      if (!first) out += ',';
+      first = false;
+      out += JsonQuote(h.name) + ":{\"count\":" + std::to_string(h.count) +
+             ",\"count_delta\":" + std::to_string(h.count_delta) +
+             ",\"sum\":" + std::to_string(h.sum) +
+             ",\"sum_delta\":" + std::to_string(h.sum_delta) + "}";
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace slim::obs

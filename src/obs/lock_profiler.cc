@@ -1,0 +1,145 @@
+#include "obs/lock_profiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace slim::obs {
+
+namespace {
+
+// The installed profiler; the thunk routes events here. At most one.
+std::atomic<LockProfiler*> g_active_profiler{nullptr};
+
+// Recording an event touches the metrics registry, whose own mutex is
+// instrumented — so the hook re-enters itself one level deep. Drop the
+// nested events: they describe the profiler's bookkeeping, not the
+// workload.
+thread_local bool t_in_lock_hook = false;
+
+}  // namespace
+
+bool LockProfiler::Install(MetricsRegistry* registry) {
+  LockProfiler* expected = nullptr;
+  if (!g_active_profiler.compare_exchange_strong(expected, this)) {
+    return expected == this;
+  }
+  registry_ = registry;
+  util::SetMutexEventHook(&LockProfiler::OnEventThunk);
+  return true;
+}
+
+void LockProfiler::Uninstall() {
+  LockProfiler* expected = this;
+  if (g_active_profiler.compare_exchange_strong(expected, nullptr)) {
+    util::SetMutexEventHook(nullptr);
+  }
+}
+
+bool LockProfiler::installed() const {
+  return g_active_profiler.load(std::memory_order_acquire) == this;
+}
+
+void LockProfiler::OnEventThunk(const util::MutexEvent& event) {
+  LockProfiler* profiler = g_active_profiler.load(std::memory_order_acquire);
+  if (profiler != nullptr) profiler->OnEvent(event);
+}
+
+void LockProfiler::OnEvent(const util::MutexEvent& event) {
+  if (t_in_lock_hook) return;
+  t_in_lock_hook = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SiteStats& stats = sites_[event.site];
+    stats.site = event.site;
+    stats.acquisitions += 1;
+    if (event.contended) stats.contended += 1;
+    stats.wait_ns_total += event.wait_ns;
+    stats.wait_ns_max = std::max(stats.wait_ns_max, event.wait_ns);
+    stats.hold_ns_total += event.hold_ns;
+    stats.hold_ns_max = std::max(stats.hold_ns_max, event.hold_ns);
+  }
+  if (registry_ != nullptr &&
+      MetricsRegistry::IsValidMetricName(event.site)) {
+    const std::string prefix = std::string("obs.lock.") + event.site;
+    registry_->GetHistogram(prefix + ".wait_us")->Record(event.wait_ns / 1000);
+    registry_->GetHistogram(prefix + ".hold_us")->Record(event.hold_ns / 1000);
+    registry_->GetCounter(prefix + ".acquisitions")->Increment();
+    if (event.contended) {
+      registry_->GetCounter(prefix + ".contended")->Increment();
+    }
+  }
+  t_in_lock_hook = false;
+}
+
+std::vector<LockProfiler::SiteStats> LockProfiler::Sites() const {
+  std::vector<SiteStats> sites;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sites.reserve(sites_.size());
+    for (const auto& [_, stats] : sites_) sites.push_back(stats);
+  }
+  std::sort(sites.begin(), sites.end(),
+            [](const SiteStats& a, const SiteStats& b) {
+              if (a.wait_ns_total != b.wait_ns_total) {
+                return a.wait_ns_total > b.wait_ns_total;
+              }
+              return std::strcmp(a.site, b.site) < 0;
+            });
+  return sites;
+}
+
+std::string LockProfiler::HotLockTable(size_t max_rows) const {
+  std::vector<SiteStats> sites = Sites();
+  if (sites.size() > max_rows) sites.resize(max_rows);
+  std::string out =
+      "site                            acquire  contend   wait_total_us "
+      "wait_max_us   hold_total_us hold_max_us\n";
+  char line[256];
+  for (const SiteStats& s : sites) {
+    std::snprintf(line, sizeof(line),
+                  "%-30s %8llu %8llu %15llu %11llu %15llu %11llu\n", s.site,
+                  static_cast<unsigned long long>(s.acquisitions),
+                  static_cast<unsigned long long>(s.contended),
+                  static_cast<unsigned long long>(s.wait_ns_total / 1000),
+                  static_cast<unsigned long long>(s.wait_ns_max / 1000),
+                  static_cast<unsigned long long>(s.hold_ns_total / 1000),
+                  static_cast<unsigned long long>(s.hold_ns_max / 1000));
+    out += line;
+  }
+  return out;
+}
+
+std::string LockProfiler::ToJson() const {
+  std::string out = "[";
+  bool first = true;
+  for (const SiteStats& s : Sites()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"site\":" + JsonQuote(s.site) +
+           ",\"acquisitions\":" + std::to_string(s.acquisitions) +
+           ",\"contended\":" + std::to_string(s.contended) +
+           ",\"wait_ns_total\":" + std::to_string(s.wait_ns_total) +
+           ",\"wait_ns_max\":" + std::to_string(s.wait_ns_max) +
+           ",\"hold_ns_total\":" + std::to_string(s.hold_ns_total) +
+           ",\"hold_ns_max\":" + std::to_string(s.hold_ns_max) + "}";
+  }
+  out += "]";
+  return out;
+}
+
+void LockProfiler::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+}
+
+LockProfiler& LockProfiler::Default() {
+  static LockProfiler* profiler = new LockProfiler();
+  return *profiler;
+}
+
+}  // namespace slim::obs

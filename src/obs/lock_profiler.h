@@ -1,0 +1,96 @@
+#ifndef SLIM_OBS_LOCK_PROFILER_H_
+#define SLIM_OBS_LOCK_PROFILER_H_
+
+/// \file lock_profiler.h
+/// \brief Turns util::InstrumentedMutex events into lock-contention
+/// telemetry.
+///
+/// `util::InstrumentedMutex` publishes one `MutexEvent` per acquire/release
+/// cycle through a process-wide hook (util stays obs-free); this profiler
+/// is the hook's implementation. While installed it keeps per-site
+/// aggregates (acquisitions, contended count, total/max wait and hold
+/// times) and emits, per named lock site:
+///
+///   - `obs.lock.<site>.wait_us`   histogram — time lock() blocked
+///   - `obs.lock.<site>.hold_us`   histogram — critical-section length
+///   - `obs.lock.<site>.acquisitions` counter
+///   - `obs.lock.<site>.contended`    counter — acquisitions that blocked
+///
+/// into a MetricsRegistry (`obs.lock.*` in the DESIGN.md §8 catalog). The
+/// registry's own mutex is itself instrumented, so recording an event can
+/// generate another event; a per-thread reentrancy guard drops those
+/// nested events instead of recursing.
+///
+/// `HotLockTable()` renders the sites sorted by total wait time — the
+/// "which lock is the bottleneck" view used by `obs_dump` and the flight
+/// recorder bundle.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/instrumented_mutex.h"
+#include "util/thread_annotations.h"
+
+namespace slim::obs {
+
+class MetricsRegistry;
+
+class LockProfiler {
+ public:
+  struct SiteStats {
+    const char* site = nullptr;
+    uint64_t acquisitions = 0;
+    uint64_t contended = 0;
+    uint64_t wait_ns_total = 0;
+    uint64_t wait_ns_max = 0;
+    uint64_t hold_ns_total = 0;
+    uint64_t hold_ns_max = 0;
+  };
+
+  LockProfiler() = default;
+  ~LockProfiler() { Uninstall(); }
+  LockProfiler(const LockProfiler&) = delete;
+  LockProfiler& operator=(const LockProfiler&) = delete;
+
+  /// Installs this profiler as the process-wide mutex-event hook. Events
+  /// are aggregated per site and, when `registry` is non-null, emitted as
+  /// `obs.lock.*` metrics into it. Only one profiler (and one mutex-event
+  /// hook) can be installed at a time; returns false if another is active.
+  bool Install(MetricsRegistry* registry);
+  void Uninstall();
+  bool installed() const;
+
+  /// Per-site aggregates, sorted by total wait time (desc), then site name.
+  std::vector<SiteStats> Sites() const;
+
+  /// Human-readable hot-lock table (top `max_rows` sites by wait time).
+  std::string HotLockTable(size_t max_rows = 16) const;
+
+  /// JSON array of per-site aggregates (flight-recorder bundle section).
+  std::string ToJson() const;
+
+  /// Drops all per-site aggregates (obs.lock.* metrics are not reset).
+  void Clear();
+
+  /// Process-wide instance used by obs_dump and the flight recorder.
+  static LockProfiler& Default();
+
+ private:
+  static void OnEventThunk(const util::MutexEvent& event);
+  void OnEvent(const util::MutexEvent& event);
+
+  // Raw mutex by design: this lock sits *inside* the mutex-event hook, so
+  // instrumenting it would feed the profiler its own lock traffic (and the
+  // reentrancy guard would drop every event it generated anyway).
+  mutable std::mutex mu_;  // slim-lint: allow(raw-mutex)
+  // Keyed by the site literal's address: one entry per declaration site.
+  std::map<const char*, SiteStats> sites_ GUARDED_BY(mu_);
+  MetricsRegistry* registry_ = nullptr;  // set in Install, before hooking
+};
+
+}  // namespace slim::obs
+
+#endif  // SLIM_OBS_LOCK_PROFILER_H_

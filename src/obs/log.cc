@@ -39,7 +39,7 @@ std::string FormatLogEventJson(const LogEvent& event) {
 // ---------------------------------------------------------------------------
 
 void RingBufferLogSink::OnLogEvent(const LogEvent& event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (events_.size() == capacity_) {
     events_.pop_front();
     ++dropped_;
@@ -48,22 +48,22 @@ void RingBufferLogSink::OnLogEvent(const LogEvent& event) {
 }
 
 std::vector<LogEvent> RingBufferLogSink::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return {events_.begin(), events_.end()};
 }
 
 size_t RingBufferLogSink::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return events_.size();
 }
 
 size_t RingBufferLogSink::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return dropped_;
 }
 
 void RingBufferLogSink::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   events_.clear();
   dropped_ = 0;
 }
@@ -72,7 +72,7 @@ JsonlFileLogSink::JsonlFileLogSink(const std::string& path)
     : out_(path, std::ios::binary | std::ios::app) {}
 
 void JsonlFileLogSink::OnLogEvent(const LogEvent& event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (!out_.is_open()) return;
   out_ << FormatLogEventJson(event) << "\n";
   out_.flush();
@@ -87,24 +87,24 @@ Logger::Logger()
 
 void Logger::AddSink(LogSink* sink) {
   if (sink == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (std::find(sinks_.begin(), sinks_.end(), sink) == sinks_.end()) {
     sinks_.push_back(sink);
   }
 }
 
 void Logger::RemoveSink(LogSink* sink) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
 }
 
 size_t Logger::sink_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return sinks_.size();
 }
 
 void Logger::set_registry(MetricsRegistry* registry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   registry_ = registry;
   level_counters_ = {};  // re-resolve against the new registry
 }
@@ -135,7 +135,7 @@ void Logger::Log(LogLevel level, std::string_view layer,
           std::chrono::steady_clock::now() - epoch_)
           .count());
   events_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (Counter* c = LevelCounter(level); c != nullptr) c->Increment();
   for (LogSink* sink : sinks_) sink->OnLogEvent(event);
 }

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/instrumented_mutex.h"
 #include "util/thread_annotations.h"
 
 namespace slim::obs {
@@ -87,7 +88,7 @@ class RingBufferLogSink : public LogSink {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
+  mutable util::InstrumentedMutex mu_{"obs.log.ring"};
   size_t capacity_ GUARDED_BY(mu_);
   std::deque<LogEvent> events_ GUARDED_BY(mu_);
   size_t dropped_ GUARDED_BY(mu_) = 0;
@@ -104,7 +105,7 @@ class JsonlFileLogSink : public LogSink {
   void OnLogEvent(const LogEvent& event) override;
 
  private:
-  std::mutex mu_;
+  util::InstrumentedMutex mu_{"obs.log.jsonl"};
   std::ofstream out_ GUARDED_BY(mu_);
 };
 
@@ -141,7 +142,7 @@ class Logger {
  private:
   Counter* LevelCounter(LogLevel level) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable util::InstrumentedMutex mu_{"obs.log.logger"};
   std::vector<LogSink*> sinks_ GUARDED_BY(mu_);
   std::atomic<int> min_level_{static_cast<int>(LogLevel::kDebug)};
   std::atomic<uint64_t> events_{0};

@@ -3,10 +3,90 @@
 #include <algorithm>
 #include <cassert>
 #include <cctype>
+#include <mutex>
+#include <vector>
 
 #include "obs/json.h"
 
 namespace slim::obs {
+
+// ---------------------------------------------------------------------------
+// Shard-id pool
+// ---------------------------------------------------------------------------
+
+namespace internal {
+
+namespace {
+
+struct ShardIdPool {
+  // Raw mutex by design: this pool sits *under* every sharded metric write
+  // and under the lock profiler itself, so it must not be instrumented.
+  std::mutex mu;  // slim-lint: allow(raw-mutex)
+  std::vector<uint32_t> free_ids;
+  uint32_t next_id = 0;
+};
+
+// Leaky singleton: thread-exit destructors (ShardIdHolder) may run after
+// static destruction would have torn a plain global down.
+ShardIdPool& Pool() {
+  static ShardIdPool* pool = new ShardIdPool();
+  return *pool;
+}
+
+}  // namespace
+
+uint32_t AcquireShardId() {
+  ShardIdPool& pool = Pool();
+  std::lock_guard<std::mutex> lock(pool.mu);
+  if (!pool.free_ids.empty()) {
+    uint32_t id = pool.free_ids.back();
+    pool.free_ids.pop_back();
+    return id;
+  }
+  if (pool.next_id < kShards) return pool.next_id++;
+  // More than kShards live threads: share the overflow slot (RMW writes).
+  return kShards;
+}
+
+void ReleaseShardId(uint32_t id) {
+  if (id >= kShards) return;  // the overflow id is shared, never recycled
+  ShardIdPool& pool = Pool();
+  std::lock_guard<std::mutex> lock(pool.mu);
+  // The pool mutex also transfers the slot's last value to the next owner:
+  // release here happens-before the successor's AcquireShardId, so its
+  // first load+store increment starts from the predecessor's final store.
+  pool.free_ids.push_back(id);
+}
+
+uint64_t HashMetricName(std::string_view name) {
+  // 64-bit mix (splitmix-style) over 8-byte chunks; quality matters more
+  // than speed here — hashing only runs on memo-cache misses.
+  uint64_t h = 0x9e3779b97f4a7c15ull ^ (uint64_t(name.size()) << 1);
+  size_t i = 0;
+  while (i + 8 <= name.size()) {
+    uint64_t chunk;
+    std::memcpy(&chunk, name.data() + i, 8);
+    h ^= chunk;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    i += 8;
+  }
+  uint64_t tail = 0;
+  if (i < name.size()) {
+    std::memcpy(&tail, name.data() + i, name.size() - i);
+    h ^= tail;
+    h *= 0xc4ceb9fe1a85ec53ull;
+    h ^= h >> 33;
+  }
+  return h;
+}
+
+uint64_t NextRegistryEpoch() {
+  static std::atomic<uint64_t> epoch{1};
+  return epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace internal
 
 // ---------------------------------------------------------------------------
 // LatencyHistogram
@@ -20,22 +100,77 @@ void LatencyHistogram::Record(uint64_t value) {
       break;
     }
   }
-  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(value, std::memory_order_relaxed);
-  uint64_t seen = max_.load(std::memory_order_relaxed);
-  while (value > seen &&
-         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
-  }
-  seen = min_.load(std::memory_order_relaxed);
-  while (value < seen &&
-         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  const size_t shard_index = internal::CurrentShardId();
+  Shard& shard = shards_[shard_index];
+  if (shard_index < internal::kShards) {
+    // Exclusive shard: single writer, plain relaxed load+store updates.
+    shard.buckets[bucket].store(
+        shard.buckets[bucket].load(std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    shard.count.store(shard.count.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+    shard.sum.store(shard.sum.load(std::memory_order_relaxed) + value,
+                    std::memory_order_relaxed);
+    if (value > shard.max.load(std::memory_order_relaxed)) {
+      shard.max.store(value, std::memory_order_relaxed);
+    }
+    if (value < shard.min.load(std::memory_order_relaxed)) {
+      shard.min.store(value, std::memory_order_relaxed);
+    }
+  } else {
+    // Overflow shard: shared between threads, interlocked updates.
+    shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+    uint64_t seen = shard.max.load(std::memory_order_relaxed);
+    while (value > seen && !shard.max.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
+    seen = shard.min.load(std::memory_order_relaxed);
+    while (value < seen && !shard.min.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
   }
 }
 
+uint64_t LatencyHistogram::count() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t LatencyHistogram::sum() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t LatencyHistogram::max() const {
+  uint64_t result = 0;
+  for (const auto& shard : shards_) {
+    result = std::max(result, shard.max.load(std::memory_order_relaxed));
+  }
+  return result;
+}
+
 uint64_t LatencyHistogram::min() const {
-  uint64_t m = min_.load(std::memory_order_relaxed);
-  return m == UINT64_MAX ? 0 : m;
+  uint64_t result = UINT64_MAX;
+  for (const auto& shard : shards_) {
+    result = std::min(result, shard.min.load(std::memory_order_relaxed));
+  }
+  return result == UINT64_MAX ? 0 : result;
+}
+
+uint64_t LatencyHistogram::BucketValue(size_t bucket) const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.buckets[bucket].load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 uint64_t LatencyHistogram::ApproxPercentile(double p) const {
@@ -57,28 +192,57 @@ uint64_t LatencyHistogram::ApproxPercentile(double p) const {
 void LatencyHistogram::Merge(uint64_t count, uint64_t sum, uint64_t min_value,
                              uint64_t max_value,
                              const std::vector<uint64_t>& buckets) {
+  const size_t shard_index = internal::CurrentShardId();
+  Shard& shard = shards_[shard_index];
+  const bool exclusive = shard_index < internal::kShards;
   for (size_t i = 0; i < kBucketCount && i < buckets.size(); ++i) {
-    buckets_[i].fetch_add(buckets[i], std::memory_order_relaxed);
+    if (exclusive) {
+      shard.buckets[i].store(
+          shard.buckets[i].load(std::memory_order_relaxed) + buckets[i],
+          std::memory_order_relaxed);
+    } else {
+      shard.buckets[i].fetch_add(buckets[i], std::memory_order_relaxed);
+    }
   }
-  count_.fetch_add(count, std::memory_order_relaxed);
-  sum_.fetch_add(sum, std::memory_order_relaxed);
+  if (exclusive) {
+    shard.count.store(shard.count.load(std::memory_order_relaxed) + count,
+                      std::memory_order_relaxed);
+    shard.sum.store(shard.sum.load(std::memory_order_relaxed) + sum,
+                    std::memory_order_relaxed);
+  } else {
+    shard.count.fetch_add(count, std::memory_order_relaxed);
+    shard.sum.fetch_add(sum, std::memory_order_relaxed);
+  }
   if (count == 0) return;
-  uint64_t seen = max_.load(std::memory_order_relaxed);
-  while (max_value > seen && !max_.compare_exchange_weak(
-                                 seen, max_value, std::memory_order_relaxed)) {
-  }
-  seen = min_.load(std::memory_order_relaxed);
-  while (min_value < seen && !min_.compare_exchange_weak(
-                                 seen, min_value, std::memory_order_relaxed)) {
+  if (exclusive) {
+    if (max_value > shard.max.load(std::memory_order_relaxed)) {
+      shard.max.store(max_value, std::memory_order_relaxed);
+    }
+    if (min_value < shard.min.load(std::memory_order_relaxed)) {
+      shard.min.store(min_value, std::memory_order_relaxed);
+    }
+  } else {
+    uint64_t seen = shard.max.load(std::memory_order_relaxed);
+    while (max_value > seen && !shard.max.compare_exchange_weak(
+                                   seen, max_value,
+                                   std::memory_order_relaxed)) {
+    }
+    seen = shard.min.load(std::memory_order_relaxed);
+    while (min_value < seen && !shard.min.compare_exchange_weak(
+                                   seen, min_value,
+                                   std::memory_order_relaxed)) {
+    }
   }
 }
 
 void LatencyHistogram::Reset() {
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  sum_.store(0, std::memory_order_relaxed);
-  max_.store(0, std::memory_order_relaxed);
-  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  for (auto& shard : shards_) {
+    for (auto& b : shard.buckets) b.store(0, std::memory_order_relaxed);
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+    shard.max.store(0, std::memory_order_relaxed);
+    shard.min.store(UINT64_MAX, std::memory_order_relaxed);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -96,32 +260,66 @@ bool MetricsRegistry::IsValidMetricName(std::string_view name) {
   return true;
 }
 
-Counter* MetricsRegistry::GetCounter(const std::string& name) {
+Counter* MetricsRegistry::GetCounterMiss(std::string_view name,
+                                         internal::MemoEntry* memo) {
   assert(IsValidMetricName(name) && "metric names must match [a-z0-9._]+");
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = counters_[name];
-  if (slot == nullptr) slot = std::make_unique<Counter>();
-  return slot.get();
+  const uint64_t hash = internal::HashMetricName(name);
+  auto hit = counter_index_.Find(name, hash);
+  if (hit.value == nullptr) {
+    util::MutexLock lock(&mu_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+               .first;
+      counter_index_.Insert(&it->first, it->second.get());
+    }
+    hit = {it->second.get(), &it->first};
+  }
+  *memo = {this, epoch_, hit.key, hit.value};
+  return hit.value;
 }
 
-Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+Gauge* MetricsRegistry::GetGaugeMiss(std::string_view name,
+                                     internal::MemoEntry* memo) {
   assert(IsValidMetricName(name) && "metric names must match [a-z0-9._]+");
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = gauges_[name];
-  if (slot == nullptr) slot = std::make_unique<Gauge>();
-  return slot.get();
+  const uint64_t hash = internal::HashMetricName(name);
+  auto hit = gauge_index_.Find(name, hash);
+  if (hit.value == nullptr) {
+    util::MutexLock lock(&mu_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+      gauge_index_.Insert(&it->first, it->second.get());
+    }
+    hit = {it->second.get(), &it->first};
+  }
+  *memo = {this, epoch_, hit.key, hit.value};
+  return hit.value;
 }
 
-LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+LatencyHistogram* MetricsRegistry::GetHistogramMiss(
+    std::string_view name, internal::MemoEntry* memo) {
   assert(IsValidMetricName(name) && "metric names must match [a-z0-9._]+");
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = histograms_[name];
-  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
-  return slot.get();
+  const uint64_t hash = internal::HashMetricName(name);
+  auto hit = histogram_index_.Find(name, hash);
+  if (hit.value == nullptr) {
+    util::MutexLock lock(&mu_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_
+               .emplace(std::string(name),
+                        std::make_unique<LatencyHistogram>())
+               .first;
+      histogram_index_.Insert(&it->first, it->second.get());
+    }
+    hit = {it->second.get(), &it->first};
+  }
+  *memo = {this, epoch_, hit.key, hit.value};
+  return hit.value;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
@@ -144,19 +342,19 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   return snap;
 }
 
-uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+uint64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  util::MutexLock lock(&mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }
 
 size_t MetricsRegistry::MetricCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 std::string MetricsRegistry::ExportText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   std::string out;
   for (const auto& [name, c] : counters_) {
     out += "counter   " + name + " = " + std::to_string(c->value()) + "\n";
@@ -177,7 +375,7 @@ std::string MetricsRegistry::ExportText() const {
 }
 
 std::string MetricsRegistry::ExportJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto quote = [](const std::string& s) { return JsonQuote(s); };
   std::string out = "{\"counters\":{";
   bool first = true;
@@ -412,7 +610,7 @@ bool MetricsRegistry::ImportJson(std::string_view json, std::string* error) {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   for (auto& [_, c] : counters_) c->Reset();
   for (auto& [_, g] : gauges_) g->Reset();
   for (auto& [_, h] : histograms_) h->Reset();

@@ -13,23 +13,45 @@
 /// `mark.resolve.error`, `slimpad.open_scrap.independent`. Histograms
 /// append the unit: `trim.view.latency_us`, `trim.view.fanout`.
 ///
-/// Individual metric objects are atomics (no lock on the write path); the
-/// registry itself takes a mutex only on first lookup of a name, so call
-/// sites cache the returned pointer (the macros in obs.h do this). Pointers
-/// returned by Get* stay valid for the registry's lifetime — Reset() zeroes
-/// values but never removes metrics.
+/// ## Concurrency design (bench/bench_metrics_contention.cc measures it)
+///
+/// Counters and histograms are *sharded*: each holds `kShards` cache-line
+/// sized (`alignas(64)`) slots plus one overflow slot. Every thread gets a
+/// small dense shard id from a recycling pool on first use; a thread whose
+/// id is below `kShards` is the *only* writer of its slot, so it updates
+/// with plain relaxed load+store pairs — no interlocked RMW, no cache-line
+/// ping-pong between writers. Threads beyond `kShards` concurrent writers
+/// share the overflow slot with `fetch_add`. Reads aggregate across slots.
+///
+/// Exactness: totals observed *while* writers run are approximate in the
+/// usual relaxed-atomics sense (a sum over per-slot loads), but totals
+/// observed after joining the writers are exact — thread join gives
+/// happens-before for each slot's final store, and shard-id recycling is
+/// synchronized through the pool's mutex, so a successor thread reusing an
+/// id always sees its predecessor's last value. `Reset()` concurrent with
+/// writers can lose in-flight increments (same contract as the pre-shard
+/// single-atomic `store(0)`).
+///
+/// Registry lookups (`GetCounter("name")`) are also lock-free on the hot
+/// path: a per-thread 8-entry memo cache (epoch-guarded against registry
+/// destruction) fronts a lock-free open-addressing name index; the mutex
+/// and ordered `std::map` are only touched on first resolution of a name
+/// from a given thread. Call sites should still cache the returned pointer
+/// (the macros in obs.h do this) — pointers stay valid for the registry's
+/// lifetime; Reset() zeroes values but never removes metrics.
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "util/instrumented_mutex.h"
 #include "util/thread_annotations.h"
 
 namespace slim::obs {
@@ -51,20 +73,184 @@ inline void SetDisabled(bool disabled) {
 }
 /// @}
 
-/// \brief Monotonically increasing event count.
+namespace internal {
+
+/// Number of exclusive single-writer slots per sharded metric. Threads
+/// beyond this many *concurrent* writers share the overflow slot (ids are
+/// recycled at thread exit, so short-lived workers reuse the dense range).
+inline constexpr size_t kShards = 16;
+
+/// Shard-id pool (metrics.cc): dense ids handed out smallest-first and
+/// recycled on thread exit; ids >= kShards are the shared overflow.
+uint32_t AcquireShardId();
+void ReleaseShardId(uint32_t id);
+
+struct ShardIdHolder {
+  uint32_t id = AcquireShardId();
+  ~ShardIdHolder() { ReleaseShardId(id); }
+};
+
+/// The calling thread's shard id in [0, kShards]; stable for the thread's
+/// lifetime. Values below kShards mean exclusive slot ownership.
+inline size_t CurrentShardId() {
+  thread_local ShardIdHolder holder;
+  return holder.id;
+}
+
+uint64_t HashMetricName(std::string_view name);
+uint64_t NextRegistryEpoch();
+
+/// One slot of the per-thread Get* memo cache. `interned` points at the
+/// registry's own map key, so it is valid exactly as long as the registry;
+/// the (registry, epoch) pair is checked first, which proves the registry
+/// is alive before `interned` is dereferenced.
+struct MemoEntry {
+  const void* registry = nullptr;
+  uint64_t epoch = 0;
+  const std::string* interned = nullptr;
+  void* value = nullptr;
+};
+inline constexpr size_t kMemoSlots = 8;
+inline size_t MemoIndex(std::string_view name) {
+  const size_t first =
+      name.empty() ? 0 : static_cast<unsigned char>(name.front());
+  return (name.size() ^ first) & (kMemoSlots - 1);
+}
+
+/// \brief Lock-free read index from metric name to metric pointer.
+///
+/// Open addressing, insert-only. `Find` is wait-free and runs without the
+/// registry mutex; `Insert` (and table growth) runs only *under* it. A new
+/// entry is published with a release store of its key pointer, so a reader
+/// that sees the key also sees the value; a reader racing a grow may miss
+/// a just-inserted name and falls back to the locked map lookup. Retired
+/// tables are kept until destruction (readers may still hold them); total
+/// retired memory is bounded by the live table's size.
+template <typename T>
+class NameIndex {
+ public:
+  struct Hit {
+    T* value = nullptr;
+    const std::string* key = nullptr;
+  };
+
+  Hit Find(std::string_view name, uint64_t hash) const {
+    const Table* table = table_.load(std::memory_order_acquire);
+    if (table == nullptr) return {};
+    const size_t mask = table->capacity - 1;
+    size_t i = static_cast<size_t>(hash) & mask;
+    for (size_t probes = 0; probes <= mask; ++probes, i = (i + 1) & mask) {
+      const std::string* key =
+          table->slots[i].key.load(std::memory_order_acquire);
+      if (key == nullptr) return {};
+      if (key->size() == name.size() &&
+          std::memcmp(key->data(), name.data(), name.size()) == 0) {
+        return {table->slots[i].value, key};
+      }
+    }
+    return {};
+  }
+
+  /// Caller holds the registry mutex. `key` must outlive this index (it
+  /// points at a map node's key).
+  void Insert(const std::string* key, T* value) {
+    const Table* table = table_.load(std::memory_order_relaxed);
+    if (table == nullptr || (size_ + 1) * 2 > table->capacity) {
+      table = Grow(table);
+    }
+    const size_t mask = table->capacity - 1;
+    size_t i = static_cast<size_t>(HashMetricName(*key)) & mask;
+    while (table->slots[i].key.load(std::memory_order_relaxed) != nullptr) {
+      i = (i + 1) & mask;
+    }
+    table->slots[i].value = value;
+    table->slots[i].key.store(key, std::memory_order_release);
+    ++size_;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<const std::string*> key{nullptr};
+    T* value = nullptr;
+  };
+  struct Table {
+    explicit Table(size_t cap) : capacity(cap), slots(new Slot[cap]) {}
+    size_t capacity;
+    std::unique_ptr<Slot[]> slots;
+  };
+
+  const Table* Grow(const Table* old) {
+    auto fresh = std::make_unique<Table>(old ? old->capacity * 2 : 64);
+    if (old != nullptr) {
+      const size_t mask = fresh->capacity - 1;
+      for (size_t i = 0; i < old->capacity; ++i) {
+        const std::string* key =
+            old->slots[i].key.load(std::memory_order_relaxed);
+        if (key == nullptr) continue;
+        size_t j = static_cast<size_t>(HashMetricName(*key)) & mask;
+        while (fresh->slots[j].key.load(std::memory_order_relaxed) !=
+               nullptr) {
+          j = (j + 1) & mask;
+        }
+        fresh->slots[j].value = old->slots[i].value;
+        fresh->slots[j].key.store(key, std::memory_order_relaxed);
+      }
+    }
+    const Table* result = fresh.get();
+    tables_.push_back(std::move(fresh));
+    table_.store(result, std::memory_order_release);
+    return result;
+  }
+
+  std::atomic<const Table*> table_{nullptr};
+  size_t size_ = 0;                             // writers only, under mu_
+  std::vector<std::unique_ptr<Table>> tables_;  // live + retired
+};
+
+}  // namespace internal
+
+/// \brief Monotonically increasing event count, sharded per writer thread.
 class Counter {
  public:
   void Increment(uint64_t delta = 1) {
-    value_.fetch_add(delta, std::memory_order_relaxed);
+    const size_t shard = internal::CurrentShardId();
+    std::atomic<uint64_t>& slot = shards_[shard].value;
+    if (shard < internal::kShards) {
+      // Exclusive slot: this thread is the only writer, so a plain relaxed
+      // load+store pair replaces the interlocked fetch_add.
+      slot.store(slot.load(std::memory_order_relaxed) + delta,
+                 std::memory_order_relaxed);
+    } else {
+      slot.fetch_add(delta, std::memory_order_relaxed);
+    }
   }
-  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
-  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  /// Sum over shards; exact once writers have been joined.
+  uint64_t value() const {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void Reset() {
+    for (auto& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
 
  private:
-  std::atomic<uint64_t> value_{0};
+  // One cache line per slot: writers on different shards never share a
+  // line, and the trailing padding stops false sharing with whatever is
+  // allocated next to this metric.
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Shard, internal::kShards + 1> shards_;
 };
 
 /// \brief A value that can move both ways (open documents, live triples).
+/// Set() semantics don't shard; the single atomic gets its own cache line
+/// so adjacent metrics can't false-share with it.
 class Gauge {
  public:
   void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
@@ -73,12 +259,13 @@ class Gauge {
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::atomic<int64_t> value_{0};
+  alignas(64) std::atomic<int64_t> value_{0};
 };
 
 /// \brief Fixed-bucket histogram for latencies (µs) and size distributions
 /// (view fan-out, query solutions). Buckets are cumulative-exportable
-/// upper bounds; the last bucket is the overflow (+inf).
+/// upper bounds; the last bucket is the overflow (+inf). Sharded like
+/// Counter: each writer thread owns a full bucket array.
 class LatencyHistogram {
  public:
   /// Upper bounds (inclusive) of the finite buckets, in recording units.
@@ -95,17 +282,16 @@ class LatencyHistogram {
 
   void Record(uint64_t value);
 
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t count() const;
+  uint64_t sum() const;
   /// 0 when empty.
-  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t max() const;
   /// 0 when empty.
   uint64_t min() const;
   double mean() const { return count() ? double(sum()) / double(count()) : 0; }
 
-  uint64_t BucketValue(size_t bucket) const {
-    return buckets_[bucket].load(std::memory_order_relaxed);
-  }
+  /// Sum over shards of one bucket's occupancy.
+  uint64_t BucketValue(size_t bucket) const;
   /// UINT64_MAX for the overflow bucket.
   static uint64_t BucketUpperBound(size_t bucket) {
     return bucket < kBucketBounds.size() ? kBucketBounds[bucket] : UINT64_MAX;
@@ -123,11 +309,14 @@ class LatencyHistogram {
   void Reset();
 
  private:
-  std::array<std::atomic<uint64_t>, kBucketCount> buckets_{};
-  std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> sum_{0};
-  std::atomic<uint64_t> max_{0};
-  std::atomic<uint64_t> min_{UINT64_MAX};
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kBucketCount> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> max{0};
+    std::atomic<uint64_t> min{UINT64_MAX};
+  };
+  std::array<Shard, internal::kShards + 1> shards_;
 };
 
 /// \brief Point-in-time copy of one histogram (for exporters that must not
@@ -149,7 +338,7 @@ struct MetricsSnapshot {
 /// plus per-SlimPadApp / per-workload-session instances.
 class MetricsRegistry {
  public:
-  MetricsRegistry() = default;
+  MetricsRegistry() : epoch_(internal::NextRegistryEpoch()) {}
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
@@ -160,16 +349,48 @@ class MetricsRegistry {
   /// time.
   static bool IsValidMetricName(std::string_view name);
 
-  /// Finds or creates; the pointer stays valid for the registry's lifetime.
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
-  LatencyHistogram* GetHistogram(const std::string& name);
+  /// \name Finds or creates; the pointer stays valid for the registry's
+  /// lifetime. Hot path is a per-thread memo hit (no lock, no hashing);
+  /// misses go through the lock-free name index, and only the first
+  /// resolution of a name takes the registry mutex.
+  /// @{
+  Counter* GetCounter(std::string_view name) {
+    thread_local internal::MemoEntry memo[internal::kMemoSlots];
+    internal::MemoEntry& entry = memo[internal::MemoIndex(name)];
+    if (entry.registry == this && entry.epoch == epoch_ &&
+        entry.interned->size() == name.size() &&
+        std::memcmp(entry.interned->data(), name.data(), name.size()) == 0) {
+      return static_cast<Counter*>(entry.value);
+    }
+    return GetCounterMiss(name, &entry);
+  }
+  Gauge* GetGauge(std::string_view name) {
+    thread_local internal::MemoEntry memo[internal::kMemoSlots];
+    internal::MemoEntry& entry = memo[internal::MemoIndex(name)];
+    if (entry.registry == this && entry.epoch == epoch_ &&
+        entry.interned->size() == name.size() &&
+        std::memcmp(entry.interned->data(), name.data(), name.size()) == 0) {
+      return static_cast<Gauge*>(entry.value);
+    }
+    return GetGaugeMiss(name, &entry);
+  }
+  LatencyHistogram* GetHistogram(std::string_view name) {
+    thread_local internal::MemoEntry memo[internal::kMemoSlots];
+    internal::MemoEntry& entry = memo[internal::MemoIndex(name)];
+    if (entry.registry == this && entry.epoch == epoch_ &&
+        entry.interned->size() == name.size() &&
+        std::memcmp(entry.interned->data(), name.data(), name.size()) == 0) {
+      return static_cast<LatencyHistogram*>(entry.value);
+    }
+    return GetHistogramMiss(name, &entry);
+  }
+  /// @}
 
   /// Consistent copy of every metric's current value.
   MetricsSnapshot Snapshot() const;
 
   /// Current value of a counter, 0 when it was never created.
-  uint64_t CounterValue(const std::string& name) const;
+  uint64_t CounterValue(std::string_view name) const;
 
   size_t MetricCount() const;
 
@@ -188,11 +409,26 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+  Counter* GetCounterMiss(std::string_view name, internal::MemoEntry* memo);
+  Gauge* GetGaugeMiss(std::string_view name, internal::MemoEntry* memo);
+  LatencyHistogram* GetHistogramMiss(std::string_view name,
+                                     internal::MemoEntry* memo);
+
+  /// Globally unique per registry instance; lets the per-thread memo
+  /// caches detect a dead registry (or a new one at the same address)
+  /// without dereferencing anything.
+  const uint64_t epoch_;
+  mutable util::InstrumentedMutex mu_{"obs.metrics.registry"};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
       GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms_ GUARDED_BY(mu_);
+  // Lock-free read indexes over the maps above; mutated only under mu_.
+  internal::NameIndex<Counter> counter_index_;
+  internal::NameIndex<Gauge> gauge_index_;
+  internal::NameIndex<LatencyHistogram> histogram_index_;
 };
 
 /// Process-wide registry: the sink for all layer instrumentation.

@@ -7,7 +7,7 @@
 namespace slim::obs {
 
 void SpanProfiler::OnSpanEnd(const SpanRecord& span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   ++span_count_;
 
   // Child time accumulated while this span was open (children end first).
@@ -41,7 +41,7 @@ void SpanProfiler::OnSpanEnd(const SpanRecord& span) {
 }
 
 std::vector<SpanStats> SpanProfiler::HotSpots() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   std::vector<SpanStats> out;
   out.reserve(by_name_.size());
   for (const auto& [_, stats] : by_name_) out.push_back(stats);
@@ -53,12 +53,12 @@ std::vector<SpanStats> SpanProfiler::HotSpots() const {
 }
 
 uint64_t SpanProfiler::span_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return span_count_;
 }
 
 uint64_t SpanProfiler::records_dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return records_dropped_;
 }
 
@@ -79,7 +79,7 @@ std::string SpanProfiler::HotSpotTable() const {
 }
 
 std::string SpanProfiler::CollapsedStacks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   // Index the retained records so each one can walk its ancestor chain.
   std::unordered_map<uint64_t, const SpanRecord*> by_id;
   by_id.reserve(records_.size());
@@ -116,7 +116,7 @@ std::string SpanProfiler::CollapsedStacks() const {
 }
 
 void SpanProfiler::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   records_.clear();
   records_dropped_ = 0;
   span_count_ = 0;

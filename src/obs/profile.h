@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "obs/trace.h"
+#include "util/instrumented_mutex.h"
 #include "util/thread_annotations.h"
 
 namespace slim::obs {
@@ -66,7 +67,7 @@ class SpanProfiler : public TraceSink {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
+  mutable util::InstrumentedMutex mu_{"obs.profile.spans"};
   size_t max_records_ GUARDED_BY(mu_);
   std::deque<SpanRecord> records_ GUARDED_BY(mu_);
   uint64_t records_dropped_ GUARDED_BY(mu_) = 0;

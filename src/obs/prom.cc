@@ -1,5 +1,7 @@
 #include "obs/prom.h"
 
+#include "obs/history.h"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -183,11 +185,22 @@ void StatsServer::HandleConnection(int fd) {
   if (path == "/metrics") {
     SendResponse(fd, "200 OK", "text/plain; version=0.0.4; charset=utf-8",
                  ExportPrometheus(*registry_));
+  } else if (path == "/metrics/history") {
+    const MetricsHistory* history =
+        history_.load(std::memory_order_acquire);
+    if (history != nullptr) {
+      SendResponse(fd, "200 OK", "application/json", history->ExportJson());
+    } else {
+      SendResponse(fd, "404 Not Found", "text/plain",
+                   "no metrics history attached\n");
+    }
+  } else if (path == "/vars.json") {
+    SendResponse(fd, "200 OK", "application/json", registry_->ExportJson());
   } else if (path == "/healthz") {
     SendResponse(fd, "200 OK", "text/plain", "ok\n");
   } else {
     SendResponse(fd, "404 Not Found", "text/plain",
-                 "try /metrics or /healthz\n");
+                 "try /metrics, /metrics/history, /vars.json or /healthz\n");
   }
 }
 

@@ -31,6 +31,8 @@
 
 namespace slim::obs {
 
+class MetricsHistory;
+
 /// Exposition-format name for a registry metric name: lowercase `[a-z0-9_]`
 /// with `.` (and any other illegal byte) mapped to `_`; a leading digit is
 /// prefixed with `_`.
@@ -54,6 +56,14 @@ class StatsServer {
   Status Start();
   void Stop();
 
+  /// Attaches a metrics history ring; while set, `GET /metrics/history`
+  /// serves its ExportJson document. The history must outlive the server
+  /// (or be detached with set_history(nullptr) first). May be swapped
+  /// while the server runs.
+  void set_history(const MetricsHistory* history) {
+    history_.store(history, std::memory_order_release);
+  }
+
   bool running() const { return running_.load(std::memory_order_acquire); }
   /// The bound port (valid after Start() returns OK).
   uint16_t port() const { return port_; }
@@ -66,6 +76,7 @@ class StatsServer {
   void HandleConnection(int fd);
 
   const MetricsRegistry* registry_;
+  std::atomic<const MetricsHistory*> history_{nullptr};
   uint16_t port_;
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};

@@ -31,7 +31,7 @@ std::string FormatSpanJson(const SpanRecord& span) {
 // ---------------------------------------------------------------------------
 
 void RingBufferSink::OnSpanEnd(const SpanRecord& span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (spans_.size() == capacity_) {
     spans_.pop_front();
     ++dropped_;
@@ -40,22 +40,22 @@ void RingBufferSink::OnSpanEnd(const SpanRecord& span) {
 }
 
 std::vector<SpanRecord> RingBufferSink::Spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return {spans_.begin(), spans_.end()};
 }
 
 size_t RingBufferSink::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return spans_.size();
 }
 
 size_t RingBufferSink::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return dropped_;
 }
 
 void RingBufferSink::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   spans_.clear();
   dropped_ = 0;
 }
@@ -64,7 +64,7 @@ JsonlFileSink::JsonlFileSink(const std::string& path)
     : out_(path, std::ios::binary | std::ios::app) {}
 
 void JsonlFileSink::OnSpanEnd(const SpanRecord& span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (!out_.is_open()) return;
   out_ << FormatSpanJson(span) << "\n";
   out_.flush();
@@ -111,7 +111,7 @@ thread_local std::vector<OpenSpan> t_open_spans;
 
 void Tracer::AddSink(TraceSink* sink) {
   if (sink == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (std::find(sinks_.begin(), sinks_.end(), sink) == sinks_.end()) {
     sinks_.push_back(sink);
     sink_count_.store(sinks_.size(), std::memory_order_release);
@@ -119,7 +119,7 @@ void Tracer::AddSink(TraceSink* sink) {
 }
 
 void Tracer::RemoveSink(TraceSink* sink) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
   sink_count_.store(sinks_.size(), std::memory_order_release);
 }
@@ -165,7 +165,7 @@ void Tracer::FinishSpan(SpanRecord* record,
   // Delivery holds the tracer's mutex (like Logger): records from any
   // thread serialize, and RemoveSink cannot return while a sink is still
   // being offered a record.
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   for (TraceSink* sink : sinks_) sink->OnSpanEnd(*record);
 }
 

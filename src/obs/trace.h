@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/instrumented_mutex.h"
 #include "util/thread_annotations.h"
 
 namespace slim::obs {
@@ -76,7 +77,7 @@ class RingBufferSink : public TraceSink {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
+  mutable util::InstrumentedMutex mu_{"obs.trace.ring"};
   size_t capacity_ GUARDED_BY(mu_);
   std::deque<SpanRecord> spans_ GUARDED_BY(mu_);
   size_t dropped_ GUARDED_BY(mu_) = 0;
@@ -93,7 +94,7 @@ class JsonlFileSink : public TraceSink {
   void OnSpanEnd(const SpanRecord& span) override;
 
  private:
-  std::mutex mu_;
+  util::InstrumentedMutex mu_{"obs.trace.jsonl"};
   std::ofstream out_ GUARDED_BY(mu_);
 };
 
@@ -160,7 +161,7 @@ class Tracer {
   void FinishSpan(SpanRecord* record,
                   std::chrono::steady_clock::time_point start) EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
+  mutable util::InstrumentedMutex mu_{"obs.trace.sinks"};
   std::vector<TraceSink*> sinks_ GUARDED_BY(mu_);
   /// Mirrors sinks_.size() so the active() fast path never locks.
   std::atomic<size_t> sink_count_{0};

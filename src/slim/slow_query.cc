@@ -17,7 +17,7 @@ bool SlowQueryLog::MaybeRecord(const QueryPlan& plan) {
   SLIM_OBS_COUNT("slim.query.slow.count");
   SLIM_OBS_HISTOGRAM("slim.query.slow.latency_us", plan.total_us);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     ring_.push_back(plan);
     while (ring_.size() > capacity_) ring_.pop_front();
   }
@@ -33,12 +33,12 @@ bool SlowQueryLog::MaybeRecord(const QueryPlan& plan) {
 }
 
 std::vector<QueryPlan> SlowQueryLog::Recent() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return {ring_.begin(), ring_.end()};
 }
 
 void SlowQueryLog::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   ring_.clear();
 }
 

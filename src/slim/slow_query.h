@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "slim/query_plan.h"
+#include "util/instrumented_mutex.h"
 #include "util/thread_annotations.h"
 
 namespace slim::store {
@@ -60,7 +61,7 @@ class SlowQueryLog {
  private:
   std::atomic<int64_t> threshold_us_{-1};
   std::atomic<uint64_t> recorded_{0};
-  mutable std::mutex mu_;
+  mutable util::InstrumentedMutex mu_{"slim.slow_query.ring"};
   size_t capacity_ GUARDED_BY(mu_);
   std::deque<QueryPlan> ring_ GUARDED_BY(mu_);
 };

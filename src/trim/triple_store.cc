@@ -38,6 +38,11 @@ bool TriplePattern::Matches(const Triple& t) const {
 }
 
 Status TripleStore::Add(Triple triple, bool allow_duplicates) {
+  util::MutexLock lock(&write_mu_);
+  return AddLocked(std::move(triple), allow_duplicates);
+}
+
+Status TripleStore::AddLocked(Triple triple, bool allow_duplicates) {
   if (triple.subject.empty() || triple.property.empty()) {
     SLIM_OBS_COUNT("trim.add.invalid");
     return Status::InvalidArgument("triple subject/property must be non-empty");
@@ -99,6 +104,11 @@ void TripleStore::IndexRemove(TripleId id) {
 }
 
 Status TripleStore::Remove(const Triple& triple) {
+  util::MutexLock lock(&write_mu_);
+  return RemoveLocked(triple);
+}
+
+Status TripleStore::RemoveLocked(const Triple& triple) {
   auto it = by_subject_.find(triple.subject);
   if (it != by_subject_.end()) {
     for (TripleId id : it->second) {
@@ -118,9 +128,14 @@ Status TripleStore::Remove(const Triple& triple) {
 }
 
 size_t TripleStore::RemoveMatching(const TriplePattern& pattern) {
+  util::MutexLock lock(&write_mu_);
+  return RemoveMatchingLocked(pattern);
+}
+
+size_t TripleStore::RemoveMatchingLocked(const TriplePattern& pattern) {
   std::vector<Triple> victims = Select(pattern);
   for (const Triple& t : victims) {
-    Remove(t).ok();  // each was just observed live
+    RemoveLocked(t).ok();  // each was just observed live
   }
   return victims.size();
 }
@@ -249,8 +264,10 @@ std::optional<Object> TripleStore::GetOne(const std::string& subject,
 Status TripleStore::SetOne(const std::string& subject,
                            const std::string& property, Object object) {
   SLIM_OBS_COUNT("trim.set_one.calls");
-  RemoveMatching(TriplePattern::BySubjectProperty(subject, property));
-  return Add(Triple{subject, property, std::move(object)});
+  util::MutexLock lock(&write_mu_);
+  RemoveMatchingLocked(TriplePattern::BySubjectProperty(subject, property));
+  return AddLocked(Triple{subject, property, std::move(object)},
+                   /*allow_duplicates=*/false);
 }
 
 std::vector<Triple> TripleStore::ViewFrom(const std::string& resource) const {
@@ -305,6 +322,7 @@ std::vector<std::string> TripleStore::ReachableResources(
 }
 
 void TripleStore::Clear() {
+  util::MutexLock lock(&write_mu_);
   triples_.clear();
   live_.clear();
   free_slots_.clear();

@@ -13,6 +13,17 @@
 ///
 /// The store keeps three hash indexes (subject, property, object text) and
 /// answers selection queries through the most selective fixed field.
+///
+/// Concurrency contract: *mutations* (Add/Remove/RemoveMatching/SetOne/
+/// Clear) serialize on an internal `util::InstrumentedMutex` (lock site
+/// `trim.store.write`), so concurrent writers are safe and their
+/// contention shows up in the lock profiler — the instrumentation
+/// prerequisite for the ROADMAP's concurrent-store work. *Reads* remain
+/// deliberately lock-free and unsynchronized: queries nest (SelectEach
+/// callbacks issue further Selects during joins), so a read lock here
+/// would either deadlock or need to be recursive. Callers must therefore
+/// not mutate the store while other threads read it (single-writer or
+/// quiescent-readers; the existing single-threaded usage is unchanged).
 
 #include <cstdint>
 #include <functional>
@@ -22,7 +33,9 @@
 #include <vector>
 
 #include "trim/triple.h"
+#include "util/instrumented_mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace slim::trim {
 
@@ -165,6 +178,15 @@ class TripleStore {
   using TripleId = uint32_t;
   static constexpr TripleId kTombstone = UINT32_MAX;
 
+  /// Lock-split internals: public mutators take write_mu_ once and
+  /// delegate here, so compound operations (SetOne = RemoveMatching + Add)
+  /// never re-enter the non-recursive mutex.
+  Status AddLocked(Triple triple, bool allow_duplicates)
+      REQUIRES(write_mu_);
+  Status RemoveLocked(const Triple& triple) REQUIRES(write_mu_);
+  size_t RemoveMatchingLocked(const TriplePattern& pattern)
+      REQUIRES(write_mu_);
+
   void IndexAdd(TripleId id);
   void IndexRemove(TripleId id);
   /// Candidate ids from the most selective index for a pattern; nullptr
@@ -173,6 +195,9 @@ class TripleStore {
   const std::vector<TripleId>* CandidateList(const TriplePattern& pattern,
                                              std::vector<TripleId>* scratch,
                                              IndexPath* path = nullptr) const;
+
+  /// Serializes mutations only; see the concurrency contract above.
+  mutable util::InstrumentedMutex write_mu_{"trim.store.write"};
 
   std::vector<Triple> triples_;       // slot = id; tombstoned slots reused
   std::vector<TripleId> free_slots_;

@@ -1,0 +1,72 @@
+#include "util/instrumented_mutex.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace slim::util {
+
+namespace {
+std::atomic<MutexEventHook> g_mutex_event_hook{nullptr};
+}  // namespace
+
+void SetMutexEventHook(MutexEventHook hook) {
+  g_mutex_event_hook.store(hook, std::memory_order_release);
+}
+
+MutexEventHook GetMutexEventHook() {
+  return g_mutex_event_hook.load(std::memory_order_acquire);
+}
+
+uint64_t MutexNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void InstrumentedMutex::lock() {
+  if (GetMutexEventHook() == nullptr) {
+    mu_.lock();
+    timed_ = false;
+    return;
+  }
+  uint64_t wait = 0;
+  bool contended = false;
+  if (!mu_.try_lock()) {
+    const uint64_t blocked_at = MutexNowNs();
+    mu_.lock();
+    wait = MutexNowNs() - blocked_at;
+    contended = true;
+  }
+  wait_ns_ = wait;
+  contended_ = contended;
+  timed_ = true;
+  locked_at_ns_ = MutexNowNs();
+}
+
+bool InstrumentedMutex::try_lock() {
+  if (!mu_.try_lock()) return false;
+  if (GetMutexEventHook() == nullptr) {
+    timed_ = false;
+    return true;
+  }
+  wait_ns_ = 0;
+  contended_ = false;
+  timed_ = true;
+  locked_at_ns_ = MutexNowNs();
+  return true;
+}
+
+void InstrumentedMutex::unlock() {
+  if (!timed_) {
+    mu_.unlock();
+    return;
+  }
+  MutexEvent event{site_, wait_ns_, MutexNowNs() - locked_at_ns_, contended_};
+  timed_ = false;
+  mu_.unlock();
+  // Fire outside the critical section so the hook can take locks itself.
+  if (MutexEventHook hook = GetMutexEventHook()) hook(event);
+}
+
+}  // namespace slim::util

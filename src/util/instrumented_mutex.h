@@ -1,0 +1,137 @@
+#ifndef SLIM_UTIL_INSTRUMENTED_MUTEX_H_
+#define SLIM_UTIL_INSTRUMENTED_MUTEX_H_
+
+/// \file instrumented_mutex.h
+/// \brief A named, contention-instrumented mutex plus RAII shims.
+///
+/// `InstrumentedMutex` wraps `std::mutex` and carries a *site name* (a
+/// string literal such as `"trim.store.write"`). When a process-wide
+/// `MutexEventHook` is installed it measures, per acquisition:
+///
+///  - **wait time** — how long `lock()` blocked (0 when the fast-path
+///    `try_lock()` succeeded, i.e. the lock was uncontended), and
+///  - **hold time** — how long the lock was held until `unlock()`.
+///
+/// The event fires *after* the mutex is released, so hooks may themselves
+/// take locks (including other instrumented ones) without extending the
+/// critical section or deadlocking against it. With no hook installed the
+/// cost over a plain `std::mutex` is one relaxed atomic load and one flag
+/// store — no clock reads.
+///
+/// `util` sits at the bottom of the layer DAG and must not depend on the
+/// obs layer, so this header only *publishes* events through a function
+/// pointer (the same pattern as `SetStatusErrorHook`); `obs::LockProfiler`
+/// installs the hook and turns events into `obs.lock.*` metrics.
+///
+/// The class is a clang thread-safety `CAPABILITY`, and the `MutexLock` /
+/// `UniqueLock` shims are `SCOPED_CAPABILITY`, so `GUARDED_BY` /
+/// `REQUIRES` annotations written against an `InstrumentedMutex` get full
+/// capability tracking under `clang -Wthread-safety` (std::lock_guard and
+/// std::unique_lock are unannotated and would not).
+
+#include <cstdint>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace slim::util {
+
+/// One completed acquire/release cycle of an InstrumentedMutex. Delivered
+/// to the hook after the mutex has been released.
+struct MutexEvent {
+  const char* site;   ///< The mutex's site name (string literal).
+  uint64_t wait_ns;   ///< Time lock() blocked; 0 when uncontended.
+  uint64_t hold_ns;   ///< Time between acquisition and release.
+  bool contended;     ///< True when the fast-path try_lock failed.
+};
+
+/// Process-wide event sink. Must be safe to call from any thread. The hook
+/// runs outside the critical section; reentrant acquisitions of other
+/// instrumented mutexes inside the hook produce further events, so hooks
+/// that record into shared state must guard against their own recursion
+/// (see obs::LockProfiler).
+using MutexEventHook = void (*)(const MutexEvent& event);
+
+/// Installs (or, with nullptr, removes) the process-wide hook.
+void SetMutexEventHook(MutexEventHook hook);
+MutexEventHook GetMutexEventHook();
+
+/// Monotonic clock used for the measurements, exposed for tests.
+uint64_t MutexNowNs();
+
+class CAPABILITY("mutex") InstrumentedMutex {
+ public:
+  /// `site` must be a string literal (or otherwise outlive the mutex); it
+  /// names the lock in profiler tables and `obs.lock.<site>.*` metrics.
+  explicit InstrumentedMutex(const char* site = "unnamed") : site_(site) {}
+
+  InstrumentedMutex(const InstrumentedMutex&) = delete;
+  InstrumentedMutex& operator=(const InstrumentedMutex&) = delete;
+
+  void lock() ACQUIRE();
+  bool try_lock() TRY_ACQUIRE(true);
+  void unlock() RELEASE();
+
+  const char* site() const { return site_; }
+
+ private:
+  // The one legitimate raw mutex: this class *is* the instrumentation.
+  std::mutex mu_;
+  const char* site_;
+  // Per-hold measurement state; only touched while mu_ is held (written
+  // after acquisition in lock()/try_lock(), read before release in
+  // unlock()), so plain members are race-free.
+  uint64_t locked_at_ns_ = 0;
+  uint64_t wait_ns_ = 0;
+  bool contended_ = false;
+  bool timed_ = false;
+};
+
+/// std::lock_guard shim with scoped-capability annotations.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(InstrumentedMutex* mu) ACQUIRE(mu) : mu_(mu) {
+    mu_->lock();
+  }
+  ~MutexLock() RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  InstrumentedMutex* mu_;
+};
+
+/// std::unique_lock shim: a scoped lock that can be dropped and re-taken,
+/// e.g. around a blocking wait or a callback that must run unlocked.
+class SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(InstrumentedMutex* mu) ACQUIRE(mu) : mu_(mu) {
+    mu_->lock();
+    owned_ = true;
+  }
+  ~UniqueLock() RELEASE() {
+    if (owned_) mu_->unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() ACQUIRE() {
+    mu_->lock();
+    owned_ = true;
+  }
+  void unlock() RELEASE() {
+    mu_->unlock();
+    owned_ = false;
+  }
+  bool owns_lock() const { return owned_; }
+
+ private:
+  InstrumentedMutex* mu_;
+  bool owned_ = false;
+};
+
+}  // namespace slim::util
+
+#endif  // SLIM_UTIL_INSTRUMENTED_MUTEX_H_

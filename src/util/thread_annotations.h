@@ -35,6 +35,14 @@
 #define SLIM_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
 #endif
 
+#ifndef CAPABILITY
+#define CAPABILITY(x) SLIM_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+#endif
+
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY SLIM_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+#endif
+
 #ifndef GUARDED_BY
 #define GUARDED_BY(x) SLIM_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
 #endif
@@ -61,6 +69,15 @@
 #ifndef RELEASE
 #define RELEASE(...) \
   SLIM_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  SLIM_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) SLIM_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
 #endif
 
 #ifndef NO_THREAD_SAFETY_ANALYSIS

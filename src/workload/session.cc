@@ -58,6 +58,7 @@ Session::Session(obs::MetricsRegistry* metrics)
 }
 
 Status Session::LoadIcuWorkload(IcuWorkload workload) {
+  util::MutexLock lock(&mu_);
   obs::ScopedOpTimer timer(Histogram("workload.load.latency_us"));
   Count("workload.load.calls");
   Count("workload.load.patients", workload.patients.size());
@@ -81,6 +82,11 @@ Status Session::LoadIcuWorkload(IcuWorkload workload) {
 }
 
 Status Session::BuildRoundsPad(int max_patients) {
+  util::MutexLock lock(&mu_);
+  return BuildRoundsPadLocked(max_patients);
+}
+
+Status Session::BuildRoundsPadLocked(int max_patients) {
   obs::ScopedOpTimer timer(Histogram("workload.build_rounds_pad.latency_us"));
   Count("workload.build_rounds_pad.calls");
   SLIM_RETURN_NOT_OK(app_->NewPad("Rounds"));
@@ -154,10 +160,11 @@ Status Session::BuildRoundsPad(int max_patients) {
 }
 
 Status Session::BuildFullRoundsPad(int max_patients) {
+  util::MutexLock lock(&mu_);
   obs::ScopedOpTimer timer(
       Histogram("workload.build_full_rounds_pad.latency_us"));
   Count("workload.build_full_rounds_pad.calls");
-  SLIM_RETURN_NOT_OK(BuildRoundsPad(max_patients));
+  SLIM_RETURN_NOT_OK(BuildRoundsPadLocked(max_patients));
   SLIM_ASSIGN_OR_RETURN(std::string root, app_->RootBundle());
 
   // Progress-note scrap per patient (the Problems column of Fig. 2).
@@ -201,6 +208,7 @@ Status Session::BuildFullRoundsPad(int max_patients) {
 }
 
 Result<size_t> Session::OpenAllScraps() {
+  util::MutexLock lock(&mu_);
   obs::ScopedOpTimer timer(Histogram("workload.open_all_scraps.latency_us"));
   Count("workload.open_all_scraps.calls");
   size_t opened = 0;

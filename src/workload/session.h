@@ -21,6 +21,8 @@
 #include "mark/modules.h"
 #include "obs/obs.h"
 #include "slimpad/slimpad_app.h"
+#include "util/instrumented_mutex.h"
+#include "util/thread_annotations.h"
 #include "workload/icu.h"
 
 namespace slim::workload {
@@ -29,6 +31,12 @@ namespace slim::workload {
 ///
 /// Owns the base applications, the mark modules, the Mark Manager and a
 /// SLIMPad application. Construct, call LoadIcuWorkload, then drive.
+///
+/// The public driver operations (LoadIcuWorkload, BuildRoundsPad,
+/// BuildFullRoundsPad, OpenAllScraps) serialize on an internal
+/// `util::InstrumentedMutex` (lock site `workload.session`): two threads
+/// driving one session won't corrupt pad state, and contention between
+/// them is visible in the lock profiler. Accessors stay unsynchronized.
 class Session {
  public:
   /// `metrics` receives the session-level `workload.*` metrics (pad
@@ -87,6 +95,13 @@ class Session {
   /// compiled out or disabled.
   void Count(const char* name, uint64_t delta = 1);
   obs::LatencyHistogram* Histogram(const char* name);
+
+  /// BuildRoundsPad body; BuildFullRoundsPad composes with it under one
+  /// acquisition of the (non-recursive) session mutex.
+  Status BuildRoundsPadLocked(int max_patients) REQUIRES(mu_);
+
+  /// Serializes the public driver operations.
+  util::InstrumentedMutex mu_{"workload.session"};
   baseapp::SpreadsheetApp excel_;
   baseapp::XmlApp xml_;
   baseapp::TextApp text_;

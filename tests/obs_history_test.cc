@@ -1,0 +1,298 @@
+// MetricsHistory: delta/rate math against an injected fake clock, ring
+// eviction accounting, the slim-metrics-history-v1 JSON document, the
+// background capture thread, and a real-socket scrape of the StatsServer
+// /metrics/history and /vars.json routes.
+//
+// Like obs_test.cc, everything here is library-level and must pass under
+// both SLIM_ENABLE_OBS settings.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/history.h"
+#include "obs/metrics.h"
+#include "obs/prom.h"
+
+namespace slim::obs {
+namespace {
+
+// Injectable clock: HistoryOptions::now_ms is a plain function pointer, so
+// the fake ticks through a process-wide atomic.
+std::atomic<int64_t> g_fake_now_ms{0};
+int64_t FakeNowMs() { return g_fake_now_ms.load(std::memory_order_relaxed); }
+
+HistoryOptions FakeClockOptions(size_t capacity = 120) {
+  HistoryOptions options;
+  options.capacity = capacity;
+  options.now_ms = &FakeNowMs;
+  return options;
+}
+
+// Minimal blocking HTTP/1.1 GET against 127.0.0.1:port.
+std::string HttpGet(uint16_t port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string request = "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  size_t off = 0;
+  while (off < request.size()) {
+    ssize_t n = ::send(fd, request.data() + off, request.size() - off, 0);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+const HistorySample::CounterEntry* FindCounter(const HistorySample& sample,
+                                               const std::string& name) {
+  for (const auto& entry : sample.counters) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+TEST(ObsHistory, FirstSampleHasDeltaButNoRate) {
+  g_fake_now_ms.store(1000);
+  MetricsRegistry registry;
+  registry.GetCounter("h.ops")->Increment(7);
+  MetricsHistory history(&registry, FakeClockOptions());
+
+  history.CaptureOnce();
+  std::vector<HistorySample> samples = history.Samples();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].seq, 1u);
+  EXPECT_EQ(samples[0].t_ms, 1000);
+  EXPECT_EQ(samples[0].dt_ms, 0);  // nothing to diff against
+  const auto* ops = FindCounter(samples[0], "h.ops");
+  ASSERT_NE(ops, nullptr);
+  EXPECT_EQ(ops->value, 7u);
+  EXPECT_EQ(ops->delta, 7u);
+  EXPECT_EQ(ops->rate_per_s, 0.0);
+}
+
+TEST(ObsHistory, DeltaAndRateMath) {
+  g_fake_now_ms.store(0);
+  MetricsRegistry registry;
+  Counter* ops = registry.GetCounter("h.ops");
+  Gauge* depth = registry.GetGauge("h.depth");
+  LatencyHistogram* lat = registry.GetHistogram("h.latency_us");
+  ops->Increment(10);
+  depth->Set(4);
+  lat->Record(100);
+  MetricsHistory history(&registry, FakeClockOptions());
+  history.CaptureOnce();
+
+  // +100 ops over 500 ms → rate 200/s; histogram gains 2 records, sum 30.
+  ops->Increment(100);
+  depth->Set(9);
+  lat->Record(10);
+  lat->Record(20);
+  g_fake_now_ms.store(500);
+  history.CaptureOnce();
+
+  std::vector<HistorySample> samples = history.Samples();
+  ASSERT_EQ(samples.size(), 2u);
+  const HistorySample& s = samples[1];
+  EXPECT_EQ(s.seq, 2u);
+  EXPECT_EQ(s.dt_ms, 500);
+  const auto* entry = FindCounter(s, "h.ops");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->value, 110u);
+  EXPECT_EQ(entry->delta, 100u);
+  EXPECT_DOUBLE_EQ(entry->rate_per_s, 200.0);
+  ASSERT_EQ(s.gauges.size(), 1u);
+  EXPECT_EQ(s.gauges[0].name, "h.depth");
+  EXPECT_EQ(s.gauges[0].value, 9);
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].count, 3u);
+  EXPECT_EQ(s.histograms[0].count_delta, 2u);
+  EXPECT_EQ(s.histograms[0].sum, 130u);
+  EXPECT_EQ(s.histograms[0].sum_delta, 30u);
+}
+
+TEST(ObsHistory, CounterShrinkRestartsDelta) {
+  g_fake_now_ms.store(0);
+  MetricsRegistry registry;
+  registry.GetCounter("h.ops")->Increment(10);
+  MetricsHistory history(&registry, FakeClockOptions());
+  history.CaptureOnce();
+
+  registry.Reset();  // cumulative value goes backwards
+  registry.GetCounter("h.ops")->Increment(3);
+  g_fake_now_ms.store(1000);
+  history.CaptureOnce();
+
+  std::vector<HistorySample> samples = history.Samples();
+  const auto* entry = FindCounter(samples[1], "h.ops");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->value, 3u);
+  EXPECT_EQ(entry->delta, 3u);  // restart, not underflow
+}
+
+TEST(ObsHistory, RingEvictsOldestAndCounts) {
+  g_fake_now_ms.store(0);
+  MetricsRegistry registry;
+  MetricsHistory history(&registry, FakeClockOptions(/*capacity=*/3));
+  for (int i = 0; i < 5; ++i) {
+    g_fake_now_ms.fetch_add(10);
+    history.CaptureOnce();
+  }
+  EXPECT_EQ(history.capture_count(), 5u);
+  EXPECT_EQ(history.dropped(), 2u);
+  std::vector<HistorySample> samples = history.Samples();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples.front().seq, 3u);  // 1 and 2 evicted
+  EXPECT_EQ(samples.back().seq, 5u);
+}
+
+TEST(ObsHistory, ExportJsonSchema) {
+  g_fake_now_ms.store(0);
+  MetricsRegistry registry;
+  registry.GetCounter("h.ops")->Increment(5);
+  MetricsHistory history(&registry, FakeClockOptions());
+  history.CaptureOnce();
+  g_fake_now_ms.store(250);
+  registry.GetCounter("h.ops")->Increment(5);
+  history.CaptureOnce();
+
+  std::string json = history.ExportJson();
+  EXPECT_NE(json.find("\"schema\":\"slim-metrics-history-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"captures\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"seq\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"seq\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"h.ops\":{\"value\":10,\"delta\":5,"
+                      "\"rate_per_s\":20.000}"),
+            std::string::npos);
+}
+
+TEST(ObsHistory, BackgroundThreadCapturesAtInterval) {
+  MetricsRegistry registry;
+  registry.GetCounter("h.ops")->Increment();
+  HistoryOptions options;
+  options.interval_ms = 5;  // real clock: just prove the thread captures
+  MetricsHistory history(&registry, options);
+  ASSERT_TRUE(history.Start().ok());
+  EXPECT_FALSE(history.Start().ok());  // already running
+  for (int i = 0; i < 400 && history.capture_count() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  history.Stop();
+  history.Stop();  // idempotent
+  EXPECT_GE(history.capture_count(), 3u);
+  // Restartable after Stop.
+  ASSERT_TRUE(history.Start().ok());
+  history.Stop();
+}
+
+TEST(ObsHistory, HttpHistoryAndVarsEndpoints) {
+  g_fake_now_ms.store(0);
+  MetricsRegistry registry;
+  registry.GetCounter("h.ops")->Increment(3);
+  MetricsHistory history(&registry, FakeClockOptions());
+  history.CaptureOnce();
+  g_fake_now_ms.store(100);
+  registry.GetCounter("h.ops")->Increment(3);
+  history.CaptureOnce();
+
+  StatsServer server(&registry, 0);
+  server.set_history(&history);
+  Status start = server.Start();
+  ASSERT_TRUE(start.ok()) << start;
+
+  std::string response = HttpGet(server.port(), "/metrics/history");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  EXPECT_NE(response.find("slim-metrics-history-v1"), std::string::npos);
+  // At least two delta samples over the wire.
+  EXPECT_NE(response.find("\"seq\":1"), std::string::npos);
+  EXPECT_NE(response.find("\"seq\":2"), std::string::npos);
+
+  std::string vars = HttpGet(server.port(), "/vars.json");
+  EXPECT_NE(vars.find("200 OK"), std::string::npos);
+  EXPECT_NE(vars.find("\"h.ops\""), std::string::npos);
+
+  server.Stop();
+}
+
+TEST(ObsHistory, HttpHistoryWithoutAttachmentIs404) {
+  MetricsRegistry registry;
+  StatsServer server(&registry, 0);
+  Status start = server.Start();
+  ASSERT_TRUE(start.ok()) << start;
+  std::string response = HttpGet(server.port(), "/metrics/history");
+  EXPECT_NE(response.find("404"), std::string::npos);
+  EXPECT_NE(response.find("no metrics history attached"), std::string::npos);
+  server.Stop();
+}
+
+// TSan target: writers mutate the registry while one thread drives manual
+// captures and the background thread samples on its own cadence. After the
+// join, a final capture must see the exact total.
+TEST(ObsHistory, ConcurrentWritersAndCaptures) {
+  MetricsRegistry registry;
+  HistoryOptions options;
+  options.interval_ms = 1;
+  options.capacity = 64;
+  MetricsHistory history(&registry, options);
+  ASSERT_TRUE(history.Start().ok());
+
+  constexpr int kWriters = 4;
+  constexpr int kIterations = 2000;
+  std::atomic<bool> stop_capturer{false};
+  std::thread capturer([&] {
+    while (!stop_capturer.load(std::memory_order_acquire)) {
+      history.CaptureOnce();
+      (void)history.Samples();
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&registry] {
+      for (int i = 0; i < kIterations; ++i) {
+        registry.GetCounter("h.stress.ops")->Increment();
+        registry.GetHistogram("h.stress.latency_us")->Record(
+            static_cast<uint64_t>(i % 512));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop_capturer.store(true, std::memory_order_release);
+  capturer.join();
+  history.Stop();
+
+  history.CaptureOnce();
+  std::vector<HistorySample> samples = history.Samples();
+  ASSERT_FALSE(samples.empty());
+  const auto* entry = FindCounter(samples.back(), "h.stress.ops");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->value, uint64_t(kWriters) * kIterations);
+}
+
+}  // namespace
+}  // namespace slim::obs

@@ -203,5 +203,30 @@ TEST(ObsStress, ToggleDisabledWhileWriting) {
   EXPECT_LE(counter->value(), 50000u);
 }
 
+// More live threads than the counter has owner shards (internal::kShards =
+// 16): the surplus threads all collapse onto the overflow slot, which must
+// stay exact because it uses RMW increments (unlike the owner shards'
+// cheaper load+store). Threads are held at a start gate so all 24 genuinely
+// coexist — dense shard-id recycling must never hand an owner slot to two
+// live threads at once.
+TEST(ObsStress, OverflowShardStaysExact) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("stress.overflow.ops");
+  constexpr int kThreads = 24;
+  constexpr int kPerThread = 500;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kPerThread; ++i) counter->Increment();
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->value(), uint64_t(kThreads) * kPerThread);
+}
+
 }  // namespace
 }  // namespace slim::obs

@@ -231,6 +231,45 @@ TEST(LintNames, EmissionHelpersAreChecked) {
 }
 
 // ---------------------------------------------------------------------------
+// raw-mutex rule
+// ---------------------------------------------------------------------------
+
+TEST(LintRawMutex, FlagsDeclarationsAndHonorsSuppression) {
+  Catalog catalog = FixtureCatalog();
+  std::vector<Diagnostic> diags;
+  LintFile("src/obs/x.cc",
+           "std::mutex a;\n"
+           "mutable std::shared_mutex b;\n"
+           "std::mutex c;  // slim-lint: allow(raw-mutex)\n"
+           "util::InstrumentedMutex d{\"obs.x\"};\n"
+           "std::lock_guard<std::mutex> lock(a);\n"
+           "std::mutex* borrowed = &a;\n",
+           catalog, &diags);
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].line, 1);
+  EXPECT_EQ(diags[0].rule, "raw-mutex");
+  EXPECT_EQ(diags[1].line, 2);
+}
+
+TEST(LintRawMutex, CommentedDeclarationsDoNotFire) {
+  Catalog catalog = FixtureCatalog();
+  std::vector<Diagnostic> diags;
+  LintFile("src/trim/x.cc", "// std::mutex old_way;\n", catalog, &diags);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRawMutex, OnlyInstrumentedLayers) {
+  Catalog catalog = FixtureCatalog();
+  std::vector<Diagnostic> diags;
+  // util *implements* the instrumentation; tests and bench are free to use
+  // plain mutexes.
+  LintFile("src/util/x.cc", "std::mutex a;\n", catalog, &diags);
+  LintFile("tests/x.cc", "std::mutex a;\n", catalog, &diags);
+  LintFile("bench/x.cc", "std::mutex a;\n", catalog, &diags);
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
 // Golden fixture tree: exact diagnostics, non-zero exit
 // ---------------------------------------------------------------------------
 
@@ -247,6 +286,14 @@ TEST(LintTreeFixtures, ExactDiagnosticsAndExitCode) {
   for (const Diagnostic& d : diags) got.push_back(FormatDiagnostic(d));
 
   const std::vector<std::string> want = {
+      "src/obs/bad_mutex.cc:9: [raw-mutex] raw std::mutex declared in "
+      "instrumented layer 'obs'; use util::InstrumentedMutex with a named "
+      "lock site, or annotate the line with '// slim-lint: "
+      "allow(raw-mutex)'",
+      "src/obs/bad_mutex.cc:10: [raw-mutex] raw std::mutex declared in "
+      "instrumented layer 'obs'; use util::InstrumentedMutex with a named "
+      "lock site, or annotate the line with '// slim-lint: "
+      "allow(raw-mutex)'",
       "src/trim/bad_layering.cc:3: [layer-dag] layer 'trim' must not "
       "include \"slim/model.h\" (allowed layers: doc, obs, trim, util)",
       "src/trim/bad_macro_args.cc:8: [obs-macro-arg] SLIM_OBS_COUNT_N "

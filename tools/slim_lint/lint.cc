@@ -601,6 +601,57 @@ void LintCalls(const std::string& relative_path, std::string_view macro_view,
   }
 }
 
+// ---------------------------------------------------------------------------
+// raw-mutex: locks in instrumented layers must be InstrumentedMutex
+// ---------------------------------------------------------------------------
+
+/// True when the file lives in a layer whose locks are expected to feed
+/// the obs.lock.* contention telemetry (util/instrumented_mutex.h).
+bool InInstrumentedLayer(const std::string& relative_path) {
+  static const char* const kLayers[] = {"src/trim/", "src/slim/", "src/obs/",
+                                        "src/workload/"};
+  for (const char* layer : kLayers) {
+    if (relative_path.rfind(layer, 0) == 0) return true;
+  }
+  return false;
+}
+
+/// Flags raw `std::mutex` *declarations* (plus the recursive/shared/timed
+/// variants) in the instrumented layers. Declaration heuristic: the type
+/// followed by whitespace and an identifier on one line — template
+/// arguments (`std::lock_guard<std::mutex>`), pointers and references do
+/// not match, because using a mutex someone else declared is not the
+/// declaration site's problem. `code` is the comment-stripped view (same
+/// line positions as `contents`); the suppression annotation lives in a
+/// comment, so it is looked up on the *original* line.
+void LintRawMutex(const std::string& relative_path, std::string_view code,
+                  std::string_view contents, std::vector<Diagnostic>* out) {
+  if (!InInstrumentedLayer(relative_path)) return;
+  static const std::regex kDecl(
+      "(^|[^:<\\w])std::(recursive_|shared_|timed_|recursive_timed_)?"
+      "mutex\\s+[A-Za-z_]");
+  size_t layer_end = relative_path.find('/', 4);
+  std::string layer = relative_path.substr(4, layer_end - 4);
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos <= code.size()) {
+    size_t eol = code.find('\n', pos);
+    if (eol == std::string::npos) eol = code.size();
+    ++line_no;
+    std::string line(code.substr(pos, eol - pos));
+    if (std::regex_search(line, kDecl) &&
+        contents.substr(pos, eol - pos).find("slim-lint: allow(raw-mutex)") ==
+            std::string_view::npos) {
+      out->push_back(
+          {relative_path, line_no, "raw-mutex",
+           "raw std::mutex declared in instrumented layer '" + layer +
+               "'; use util::InstrumentedMutex with a named lock site, or "
+               "annotate the line with '// slim-lint: allow(raw-mutex)'"});
+    }
+    pos = eol + 1;
+  }
+}
+
 bool IsCppFile(const std::filesystem::path& p) {
   std::string ext = p.extension().string();
   return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
@@ -612,6 +663,7 @@ void LintFile(const std::string& relative_path, std::string_view contents,
               const Catalog& catalog, std::vector<Diagnostic>* out) {
   std::string code = StripComments(contents);
   LintIncludes(relative_path, code, out);
+  LintRawMutex(relative_path, code, contents, out);
   std::string macro_view = BlankDirectives(code);
   LintCalls(relative_path, macro_view, catalog, out);
 }

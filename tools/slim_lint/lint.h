@@ -21,6 +21,13 @@
 ///    must additionally appear in the DESIGN.md metric-name catalog, and
 ///    the cached-counter macros require a literal (a runtime name defeats
 ///    per-site caching).
+///  - `raw-mutex` — lock-instrumentation coverage. The instrumented layers
+///    (`trim`, `slim`, `obs`, `workload`) declare their locks as
+///    `util::InstrumentedMutex` so every lock site feeds the `obs.lock.*`
+///    contention telemetry; a raw `std::mutex` declaration there is
+///    flagged unless the line carries `// slim-lint: allow(raw-mutex)`
+///    (legitimate, e.g. a std::condition_variable's companion mutex or a
+///    lock *inside* the instrumentation's own event path).
 ///
 /// The library half (this header) exists so the golden-fixture tests can
 /// run individual rules over seeded-violation files and assert the exact
@@ -40,7 +47,8 @@ namespace slim::lint {
 struct Diagnostic {
   std::string file;
   int line = 0;
-  std::string rule;     ///< "layer-dag", "obs-macro-arg", "obs-name".
+  std::string rule;  ///< "layer-dag", "obs-macro-arg", "obs-name",
+                     ///< "raw-mutex".
   std::string message;  ///< Human-readable, no trailing newline.
 
   friend bool operator==(const Diagnostic& a, const Diagnostic& b) {

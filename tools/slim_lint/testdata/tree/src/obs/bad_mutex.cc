@@ -1,0 +1,19 @@
+// Seeded raw-mutex violations: two flagged declarations (plain and
+// recursive), one suppressed companion mutex, and non-declarations that
+// must not fire (template argument, instrumented type).
+#include <mutex>
+
+namespace slim::obs {
+
+struct Ring {
+  std::mutex mu;
+  std::recursive_mutex nested_mu;
+  std::mutex wake_mu;  // slim-lint: allow(raw-mutex)
+};
+
+inline void Use(Ring* ring) {
+  std::lock_guard<std::mutex> lock(ring->mu);
+  (void)ring;
+}
+
+}  // namespace slim::obs
