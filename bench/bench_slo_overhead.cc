@@ -1,0 +1,207 @@
+// Self-diagnosis overhead: what does the armed runtime cost the hot path?
+//
+// The acceptance bar for the SLO engine + stall watchdog + alert stream
+// (obs/slo.h, obs/watchdog.h, obs/alert.h) is < 1% added p50 on the
+// declarative-query hot path. The watched configuration is the full
+// production wiring: the default watchdog armed — which turns on the
+// tracer's deadline-filtered active-span registry and the heartbeat fast
+// path — with a two-objective SLO engine and an alert ring attached. The
+// poll tick itself is priced separately (BM_WatchdogCheckOnce).
+//
+// Families:
+//   BM_QueryUnwatched      store::Execute, watchdog off (the seed path)
+//   BM_QueryWatched        same query under the armed self-diagnosis stack
+//   BM_HeartbeatUnarmed    SLIM_OBS_HEARTBEAT when the watchdog is idle
+//   BM_HeartbeatArmed      the same beat with the watchdog armed
+//   BM_WatchdogCheckOnce   one full poll tick: spans + heartbeats + SLO
+//   BM_SloEvaluate         two objectives over a live registry window
+//
+// The <1% gate compares BM_QueryWatched p50 against BM_QueryUnwatched p50
+// via tools/bench_report and the seeded baseline in
+// bench/baselines/BENCH_slo_overhead.json.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "obs/alert.h"
+#include "obs/obs.h"
+#include "obs/slo.h"
+#include "obs/watchdog.h"
+#include "slim/query.h"
+#include "slimpad/slimpad_dmi.h"
+
+namespace slim {
+namespace {
+
+// A rounds-shaped pad (64 patients x 8 scraps) — bench_query's realistic
+// middle scale — so the headline pair prices the armed stack against a
+// representative query, not a toy one. The fixed per-span cost (~100ns:
+// clock read, slot claim, filter lookup, heartbeat) is what the gate
+// bounds; it does not grow with pad size.
+struct BenchPad {
+  trim::TripleStore store;
+  std::unique_ptr<pad::SlimPadDmi> dmi;
+};
+
+std::unique_ptr<BenchPad> BuildBenchPad() {
+  auto out = std::make_unique<BenchPad>();
+  out->dmi = std::make_unique<pad::SlimPadDmi>(&out->store);
+  pad::SlimPadDmi& dmi = *out->dmi;
+  const pad::SlimPad* p = *dmi.Create_SlimPad("Rounds");
+  const pad::Bundle* root = *dmi.Create_Bundle("root", {0, 0}, 800, 600);
+  SLIM_BENCH_CHECK(dmi.Update_rootBundle(p->id(), root->id()));
+  for (int i = 0; i < 64; ++i) {
+    const pad::Bundle* b = *dmi.Create_Bundle(
+        "patient" + std::to_string(i), {0, double(i)}, 640, 160);
+    SLIM_BENCH_CHECK(dmi.AddNestedBundle(root->id(), b->id()));
+    for (int s = 0; s < 8; ++s) {
+      std::string name = s == 3 ? "K 4.9"
+                                : "med" + std::to_string(i) + "_" +
+                                      std::to_string(s);
+      const pad::Scrap* scrap = *dmi.Create_Scrap(name, {double(s), 0});
+      SLIM_BENCH_CHECK(dmi.AddScrapToBundle(b->id(), scrap->id()));
+    }
+  }
+  return out;
+}
+
+// The production wiring, armed for the lifetime of the object: default
+// watchdog armed (deadline-filtered span tracking and the heartbeat fast
+// path on), SLO engine with a latency and an error-rate objective, alert
+// ring. Objectives use realistic thresholds — the point is the
+// bookkeeping cost, not burning. The poller thread is left off so the
+// per-op cost isn't confounded with scheduler noise on small machines;
+// BM_WatchdogCheckOnce prices the poll tick separately (it runs every
+// 200ms, a ~0.0004% duty cycle).
+class ArmedStack {
+ public:
+  ArmedStack()
+      : alerts_(&obs::DefaultRegistry()), slo_(&obs::DefaultRegistry()) {
+    slo_.set_alerts(&alerts_);
+    SLIM_BENCH_CHECK(slo_.AddObjective(
+        "query_p99: slim.query.latency_us p99 < 50ms window 60s"));
+    SLIM_BENCH_CHECK(slo_.AddObjective(
+        "query_errors: slim.query.execute error_rate < 5% window 60s"));
+    obs::Watchdog& dog = obs::Watchdog::Default();
+    dog.set_alerts(&alerts_);
+    dog.set_slo(&slo_);
+    dog.SetSpanDeadline("slim.query.execute", 10'000);
+    dog.Arm();
+  }
+  ~ArmedStack() {
+    obs::Watchdog& dog = obs::Watchdog::Default();
+    dog.Disarm();
+    dog.set_alerts(nullptr);
+    dog.set_slo(nullptr);
+  }
+
+ private:
+  obs::AlertRing alerts_;
+  obs::SloEngine slo_;
+};
+
+// --- The headline pair: the same query, watched and unwatched -------------
+
+void BM_QueryUnwatched(benchmark::State& state) {
+  auto pad = BuildBenchPad();
+  store::Query q = *store::Query::Parse("?s scrapName \"K 4.9\"");
+  for (auto _ : state) {
+    auto rows = store::Execute(pad->store, q);
+    if (!rows.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryUnwatched);
+
+void BM_QueryWatched(benchmark::State& state) {
+  ArmedStack stack;
+  auto pad = BuildBenchPad();
+  store::Query q = *store::Query::Parse("?s scrapName \"K 4.9\"");
+  for (auto _ : state) {
+    auto rows = store::Execute(pad->store, q);
+    if (!rows.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryWatched);
+
+// --- The heartbeat fast path: one load idle, two relaxed stores armed -----
+
+void BM_HeartbeatUnarmed(benchmark::State& state) {
+  for (auto _ : state) {
+    SLIM_OBS_HEARTBEAT("bench.slo.heartbeat");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeartbeatUnarmed);
+
+void BM_HeartbeatArmed(benchmark::State& state) {
+  ArmedStack stack;
+  for (auto _ : state) {
+    SLIM_OBS_HEARTBEAT("bench.slo.heartbeat");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeartbeatArmed);
+
+// --- Control-plane costs: one poll tick, one SLO evaluation ---------------
+
+void BM_WatchdogCheckOnce(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  obs::Watchdog dog(&registry, &tracer);
+  obs::AlertRing alerts(&registry);
+  obs::SloEngine slo(&registry);
+  slo.set_alerts(&alerts);
+  SLIM_BENCH_CHECK(slo.AddObjective(
+      "lat: bench.tick.latency_us p99 < 50ms window 60s"));
+  dog.set_alerts(&alerts);
+  dog.set_slo(&slo);
+  dog.SetSpanDeadline("bench.span", 10'000);
+  for (int i = 0; i < 8; ++i) {
+    dog.RegisterOnActivity("bench.sub" + std::to_string(i));
+  }
+  dog.Arm();
+  // A handful of live spans for CheckSpansAt to walk.
+  std::vector<obs::Span> spans;
+  for (int i = 0; i < 4; ++i) spans.push_back(tracer.StartSpan("bench.span"));
+  registry.GetHistogram("bench.tick.latency_us")->Record(100);
+  for (auto _ : state) {
+    dog.CheckOnce();
+  }
+  state.SetItemsProcessed(state.iterations());
+  spans.clear();
+  dog.Disarm();
+}
+BENCHMARK(BM_WatchdogCheckOnce);
+
+void BM_SloEvaluate(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::SloEngine slo(&registry);
+  SLIM_BENCH_CHECK(slo.AddObjective(
+      "lat: bench.eval.latency_us p99 < 1ms window 60s"));
+  SLIM_BENCH_CHECK(slo.AddObjective(
+      "err: errors(bench.eval.error,bench.eval.calls) < 1% window 60s"));
+  obs::LatencyHistogram* h = registry.GetHistogram("bench.eval.latency_us");
+  obs::Counter* calls = registry.GetCounter("bench.eval.calls");
+  uint64_t value = 1;
+  for (auto _ : state) {
+    h->Record(value);
+    calls->Increment();
+    value = value * 33 % 5000 + 1;
+    slo.Evaluate();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SloEvaluate);
+
+}  // namespace
+}  // namespace slim
+
+SLIM_BENCH_MAIN();

@@ -19,6 +19,16 @@
 //                            capturing a metrics-history sample per round:
 //                            per-round counter deltas/rates, then the
 //                            hot-lock contention table
+//   obs_dump --slo [n]       the full self-diagnosis loop: declare SLOs
+//                            (one deliberately unmeetable), arm the stall
+//                            watchdog with a short span deadline, run n
+//                            workload rounds (default 2), stall a span on
+//                            purpose, and print the burn table, health
+//                            verdict, alert stream and flight-bundle path
+//   obs_dump --alerts        deterministic tour of the alert ring: raise,
+//                            dedup, escalate, resolve and flap-suppress a
+//                            key on an injected clock, then print the
+//                            slim-alerts-v1 document
 
 #include <algorithm>
 #include <chrono>
@@ -29,11 +39,14 @@
 #include <vector>
 
 #include "dmi/dynamic_dmi.h"
+#include "obs/alert.h"
 #include "obs/history.h"
 #include "obs/lock_profiler.h"
 #include "obs/obs.h"
 #include "obs/profile.h"
 #include "obs/prom.h"
+#include "obs/slo.h"
+#include "obs/watchdog.h"
 #include "trim/store_stats.h"
 #include "workload/session.h"
 
@@ -140,6 +153,135 @@ int RunClassicReport(obs::MetricsRegistry* session_metrics,
   return 0;
 }
 
+void PrintSloTable(const obs::SloEngine& slo) {
+  for (const obs::SloStatus& s : slo.Statuses()) {
+    std::printf("  %-14s %-8s", s.objective.id.c_str(),
+                std::string(obs::SloStateName(s.state)).c_str());
+    if (!s.has_data) {
+      std::printf("  (window still filling)\n");
+      continue;
+    }
+    std::printf("  bad %llu/%llu  burn %.2fx budget\n",
+                static_cast<unsigned long long>(s.window_bad),
+                static_cast<unsigned long long>(s.window_total), s.burn_rate);
+  }
+}
+
+// The tentpole, end to end: objectives burn against real workload
+// metrics, a deliberately-stalled span trips the watchdog, and the trip
+// is visible in the health verdict, the alert stream and a flight bundle
+// on disk.
+int RunSloDemo(obs::MetricsRegistry* session_metrics, int rounds) {
+  const char* bundle_path = "obs_slo_bundle.json";
+  obs::DefaultFlightRecorder().set_dump_path(bundle_path);
+  obs::DefaultFlightRecorder().Install();
+
+  obs::AlertRing alerts(&obs::DefaultRegistry());
+  obs::SloEngine slo(&obs::DefaultRegistry());
+  slo.set_alerts(&alerts);
+  // p99 < 1us is unmeetable on purpose: the demo must show a burn.
+  CHECK_OK(slo.AddObjective(
+      "query_p99: slim.query.latency_us p99 < 1us window 30s"));
+  CHECK_OK(slo.AddObjective(
+      "query_errors: slim.query.execute error_rate < 5% window 30s"));
+
+  obs::Watchdog& dog = obs::Watchdog::Default();
+  dog.set_alerts(&alerts);
+  dog.set_slo(&slo);
+  dog.set_lock_profiler(&obs::LockProfiler::Default());
+  dog.SetSpanDeadline("demo.stall", 100);
+  CHECK_OK(dog.Start());
+  dog.Arm();
+
+  for (int round = 1; round <= rounds; ++round) {
+    int rc = RunWorkload(session_metrics);
+    if (rc != 0) return rc;
+    slo.Evaluate();
+    std::printf("round %d/%d\n", round, rounds);
+    PrintSloTable(slo);
+  }
+
+  std::cout << "\nstalling a span past its 100ms deadline..." << std::endl;
+  std::thread stall([] {
+    SLIM_OBS_SPAN(span, "demo.stall");
+    std::this_thread::sleep_for(std::chrono::milliseconds(450));
+  });
+  stall.join();
+  // One more poll interval so the watchdog sees the span finish and
+  // resolves the stall alert.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  std::cout << "\n=== Health verdict (watchdog.Health) ===" << std::endl;
+  std::cout << dog.Health().ToJson() << std::endl;
+  std::cout << "\n=== Alert stream (slim-alerts-v1) ===" << std::endl;
+  std::cout << alerts.ExportJson() << std::endl;
+  std::cout << "\n=== SLO document (slim-slo-v1) ===" << std::endl;
+  std::cout << slo.ExportJson() << std::endl;
+  std::cout << "\nflight bundle (dumped on the stall trip): " << bundle_path
+            << std::endl;
+
+  dog.Disarm();
+  dog.Stop();
+  dog.set_alerts(nullptr);
+  dog.set_slo(nullptr);
+  dog.set_lock_profiler(nullptr);
+  obs::DefaultFlightRecorder().Uninstall();
+  return 0;
+}
+
+// Deterministic alert-ring walkthrough on an injected clock: every line
+// of output is reproducible, so CI can grep it.
+int64_t g_demo_now_ms = 0;
+int64_t DemoNowMs() { return g_demo_now_ms; }
+
+int RunAlertsDemo() {
+  obs::AlertRingOptions options;
+  options.now_ms = &DemoNowMs;
+  options.flap_threshold = 4;
+  options.flap_window_ms = 1000;
+  obs::AlertRing ring(&obs::DefaultRegistry(), options);
+
+  auto step = [&](const char* what, bool emitted) {
+    std::printf("  t=%-5lld %-44s -> %s\n",
+                static_cast<long long>(g_demo_now_ms), what,
+                emitted ? "event emitted" : "suppressed / deduped");
+  };
+  std::cout << "alert-ring walkthrough (flap threshold 4 transitions / 1s):"
+            << std::endl;
+  g_demo_now_ms = 0;
+  step("raise slo:demo warn", ring.Raise("slo:demo", "slo_burn",
+                                         obs::AlertSeverity::kWarn, "2x"));
+  g_demo_now_ms = 100;
+  step("raise slo:demo warn again (dedup)",
+       ring.Raise("slo:demo", "slo_burn", obs::AlertSeverity::kWarn, "2x"));
+  g_demo_now_ms = 200;
+  step("escalate slo:demo to critical",
+       ring.Raise("slo:demo", "slo_burn", obs::AlertSeverity::kCritical,
+                  "5x"));
+  g_demo_now_ms = 300;
+  step("resolve slo:demo", ring.Resolve("slo:demo"));
+  for (int i = 0; i < 3; ++i) {
+    g_demo_now_ms = 400 + 100 * i;
+    step("flapping raise stall:op",
+         ring.Raise("stall:op", "stall", obs::AlertSeverity::kCritical,
+                    "stuck"));
+    step("flapping resolve stall:op", ring.Resolve("stall:op"));
+  }
+  g_demo_now_ms = 2000;  // a calm window clears the suppression
+  step("raise stall:op after the storm",
+       ring.Raise("stall:op", "stall", obs::AlertSeverity::kCritical,
+                  "stuck"));
+  step("resolve stall:op", ring.Resolve("stall:op"));
+
+  std::printf("\nraised %llu, deduped %llu, flap-suppressed %llu\n",
+              static_cast<unsigned long long>(ring.raised()),
+              static_cast<unsigned long long>(ring.deduped()),
+              static_cast<unsigned long long>(ring.flap_suppressed()));
+  std::cout << "\n=== Alert stream (slim-alerts-v1) ===" << std::endl;
+  std::cout << ring.ExportJson() << std::endl;
+  return 0;
+}
+
 }  // namespace
 #endif  // SLIM_OBS_ENABLED
 
@@ -151,10 +293,19 @@ int main(int argc, char** argv) {
                "is compiled out, nothing to report." << std::endl;
   return 0;
 #else
-  enum class Mode { kClassic, kProfile, kProm, kServe, kDump, kWatch } mode =
-      Mode::kClassic;
+  enum class Mode {
+    kClassic,
+    kProfile,
+    kProm,
+    kServe,
+    kDump,
+    kWatch,
+    kSlo,
+    kAlerts
+  } mode = Mode::kClassic;
   int serve_port = 0;
   int watch_rounds = 3;
+  int slo_rounds = 2;
   std::string dump_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--profile") == 0) {
@@ -172,9 +323,17 @@ int main(int argc, char** argv) {
       if (i + 1 < argc && std::atoi(argv[i + 1]) > 0) {
         watch_rounds = std::atoi(argv[++i]);
       }
+    } else if (std::strcmp(argv[i], "--slo") == 0) {
+      mode = Mode::kSlo;
+      if (i + 1 < argc && std::atoi(argv[i + 1]) > 0) {
+        slo_rounds = std::atoi(argv[++i]);
+      }
+    } else if (std::strcmp(argv[i], "--alerts") == 0) {
+      mode = Mode::kAlerts;
     } else {
       std::cerr << "usage: obs_dump [--profile | --prom | --serve <port> | "
-                   "--dump <path> | --watch [rounds]]" << std::endl;
+                   "--dump <path> | --watch [rounds] | --slo [rounds] | "
+                   "--alerts]" << std::endl;
       return 2;
     }
   }
@@ -196,8 +355,12 @@ int main(int argc, char** argv) {
 
   obs::MetricsRegistry session_metrics;
   std::string store_report;
-  if (int rc = RunWorkload(&session_metrics, &store_report); rc != 0) {
-    return rc;
+  // --alerts is a pure alert-ring walkthrough; every other mode wants the
+  // workload's metrics in the default registry before reporting.
+  if (mode != Mode::kAlerts) {
+    if (int rc = RunWorkload(&session_metrics, &store_report); rc != 0) {
+      return rc;
+    }
   }
 
   int rc = 0;
@@ -236,10 +399,29 @@ int main(int argc, char** argv) {
       obs::MetricsHistory history(&obs::DefaultRegistry(), history_options);
       CHECK_OK(history.Start());
       server.set_history(&history);
+      // Self-diagnosis endpoints: SLOs over the live workload metrics, the
+      // armed watchdog behind /healthz, alerts behind /alerts.json.
+      obs::AlertRing alerts(&obs::DefaultRegistry());
+      obs::SloEngine slo(&obs::DefaultRegistry());
+      slo.set_alerts(&alerts);
+      CHECK_OK(slo.AddObjective(
+          "query_p99: slim.query.latency_us p99 < 5ms window 60s"));
+      CHECK_OK(slo.AddObjective(
+          "query_errors: slim.query.execute error_rate < 5% window 60s"));
+      obs::Watchdog& dog = obs::Watchdog::Default();
+      dog.set_alerts(&alerts);
+      dog.set_slo(&slo);
+      dog.set_lock_profiler(&obs::LockProfiler::Default());
+      CHECK_OK(dog.Start());
+      dog.Arm();
+      server.set_slo(&slo);
+      server.set_alerts(&alerts);
+      server.set_watchdog(&dog);
       CHECK_OK(server.Start());
       std::cout << "serving http://127.0.0.1:" << server.port()
-                << "/metrics, /metrics/history, /vars.json and /healthz — "
-                   "re-running the workload every 2s, Ctrl-C to stop"
+                << "/metrics, /metrics/history, /vars.json, /slo.json, "
+                   "/alerts.json and /healthz — re-running the workload "
+                   "every 2s, Ctrl-C to stop"
                 << std::endl;
       // Keep the counters moving so successive scrapes show a live system.
       while (true) {
@@ -295,6 +477,12 @@ int main(int argc, char** argv) {
       obs::DefaultFlightRecorder().Uninstall();
       break;
     }
+    case Mode::kSlo:
+      rc = RunSloDemo(&session_metrics, slo_rounds);
+      break;
+    case Mode::kAlerts:
+      rc = RunAlertsDemo();
+      break;
   }
 
   if (mode == Mode::kProfile) obs::DefaultTracer().RemoveSink(&profiler);

@@ -98,6 +98,7 @@ Status MarkManager::RemoveMark(const std::string& mark_id) {
 
 Status MarkManager::ResolveMark(const std::string& mark_id,
                                 const std::string& resolver) {
+  SLIM_OBS_HEARTBEAT("mark.resolve");
   SLIM_OBS_TIMER(timer, "mark.resolve.latency_us");
   SLIM_OBS_SPAN(span, "mark.resolve");
   span.AddTag("mark", mark_id);

@@ -1,0 +1,266 @@
+#include "obs/alert.h"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace slim::obs {
+
+std::string_view AlertSeverityName(AlertSeverity severity) {
+  switch (severity) {
+    case AlertSeverity::kInfo:
+      return "info";
+    case AlertSeverity::kWarn:
+      return "warn";
+    case AlertSeverity::kCritical:
+      return "critical";
+  }
+  return "info";
+}
+
+AlertRing::AlertRing(MetricsRegistry* registry, Options options)
+    : registry_(registry), options_(options) {}
+
+int64_t AlertRing::NowMs() const {
+  if (options_.now_ms != nullptr) return options_.now_ms();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool AlertRing::NoteTransition(KeyState* state, int64_t now) {
+  if (now - state->window_start_ms > options_.flap_window_ms) {
+    // A calmer (or first) window: start counting afresh. Leaving the
+    // flapping state therefore costs one full quiet-ish window, and a
+    // persistent flapper emits at most one raise/resolve pair per window.
+    state->window_start_ms = now;
+    state->transitions = 0;
+    state->flapping = false;
+  }
+  ++state->transitions;
+  if (state->transitions > options_.flap_threshold) state->flapping = true;
+  return state->flapping;
+}
+
+void AlertRing::Append(AlertEvent event) {
+  if (options_.capacity == 0) return;
+  if (events_.size() == options_.capacity) {
+    events_.pop_front();
+    ++evicted_;
+    if (registry_ != nullptr) {
+      registry_->GetCounter("obs.alert.evicted")->Increment();
+    }
+  }
+  event.seq = next_seq_++;
+  events_.push_back(std::move(event));
+}
+
+bool AlertRing::Raise(std::string_view key, std::string_view kind,
+                      AlertSeverity severity, std::string_view message) {
+  util::MutexLock lock(&mu_);
+  const int64_t now = NowMs();
+  auto it = keys_.find(key);
+  if (it == keys_.end()) {
+    it = keys_.emplace(std::string(key), KeyState{}).first;
+  }
+  KeyState& state = it->second;
+
+  if (state.active && severity <= state.severity) {
+    // Same condition still firing: fold into the active alert.
+    ++state.count;
+    state.message = std::string(message);
+    ++deduped_;
+    if (registry_ != nullptr) {
+      registry_->GetCounter("obs.alert.deduped")->Increment();
+    }
+    return false;
+  }
+
+  const bool escalation = state.active;
+  if (!state.active) {
+    state.active = true;
+    state.since_ms = now;
+    state.count = 0;
+    ++active_;
+  }
+  state.kind = std::string(kind);
+  state.severity = severity;
+  state.message = std::string(message);
+  ++state.count;
+  ++raised_;
+  if (registry_ != nullptr) {
+    registry_->GetCounter("obs.alert.raised")->Increment();
+    registry_->GetGauge("obs.alert.active")
+        ->Set(static_cast<int64_t>(active_));
+  }
+
+  // Escalations are not raise/resolve flips, so they don't feed the flap
+  // counter — but an already-flapping key stays quiet for them too.
+  const bool suppressed =
+      escalation ? (state.flapping &&
+                    now - state.window_start_ms <= options_.flap_window_ms)
+                 : NoteTransition(&state, now);
+  if (suppressed) {
+    ++flap_suppressed_;
+    if (registry_ != nullptr) {
+      registry_->GetCounter("obs.alert.flap_suppressed")->Increment();
+    }
+    return false;
+  }
+
+  AlertEvent event;
+  event.t_ms = now;
+  event.key = it->first;
+  event.kind = state.kind;
+  event.severity = severity;
+  event.message = state.message;
+  event.resolved = false;
+  Append(std::move(event));
+  return true;
+}
+
+bool AlertRing::Resolve(std::string_view key) {
+  util::MutexLock lock(&mu_);
+  const int64_t now = NowMs();
+  auto it = keys_.find(key);
+  if (it == keys_.end() || !it->second.active) return false;
+  KeyState& state = it->second;
+  state.active = false;
+  --active_;
+  ++resolved_;
+  if (registry_ != nullptr) {
+    registry_->GetCounter("obs.alert.resolved")->Increment();
+    registry_->GetGauge("obs.alert.active")
+        ->Set(static_cast<int64_t>(active_));
+  }
+
+  if (NoteTransition(&state, now)) {
+    ++flap_suppressed_;
+    if (registry_ != nullptr) {
+      registry_->GetCounter("obs.alert.flap_suppressed")->Increment();
+    }
+    return false;
+  }
+
+  AlertEvent event;
+  event.t_ms = now;
+  event.key = it->first;
+  event.kind = state.kind;
+  event.severity = state.severity;
+  event.message = state.message;
+  event.resolved = true;
+  Append(std::move(event));
+  return true;
+}
+
+bool AlertRing::IsActive(std::string_view key) const {
+  util::MutexLock lock(&mu_);
+  auto it = keys_.find(key);
+  return it != keys_.end() && it->second.active;
+}
+
+size_t AlertRing::active_count() const {
+  util::MutexLock lock(&mu_);
+  return active_;
+}
+
+std::vector<AlertEvent> AlertRing::Events() const {
+  util::MutexLock lock(&mu_);
+  return {events_.begin(), events_.end()};
+}
+
+std::vector<ActiveAlert> AlertRing::Active() const {
+  util::MutexLock lock(&mu_);
+  std::vector<ActiveAlert> out;
+  for (const auto& [key, state] : keys_) {
+    if (!state.active) continue;
+    ActiveAlert alert;
+    alert.key = key;
+    alert.kind = state.kind;
+    alert.severity = state.severity;
+    alert.message = state.message;
+    alert.since_ms = state.since_ms;
+    alert.count = state.count;
+    alert.flapping = state.flapping;
+    out.push_back(std::move(alert));
+  }
+  return out;
+}
+
+uint64_t AlertRing::raised() const {
+  util::MutexLock lock(&mu_);
+  return raised_;
+}
+uint64_t AlertRing::resolved() const {
+  util::MutexLock lock(&mu_);
+  return resolved_;
+}
+uint64_t AlertRing::deduped() const {
+  util::MutexLock lock(&mu_);
+  return deduped_;
+}
+uint64_t AlertRing::flap_suppressed() const {
+  util::MutexLock lock(&mu_);
+  return flap_suppressed_;
+}
+uint64_t AlertRing::evicted() const {
+  util::MutexLock lock(&mu_);
+  return evicted_;
+}
+
+namespace {
+
+void AppendAlertJson(const AlertEvent& event, std::string* out) {
+  *out += "{\"seq\":" + std::to_string(event.seq) +
+          ",\"t_ms\":" + std::to_string(event.t_ms) +
+          ",\"key\":" + JsonQuote(event.key) +
+          ",\"kind\":" + JsonQuote(event.kind) + ",\"severity\":" +
+          JsonQuote(AlertSeverityName(event.severity)) +
+          ",\"message\":" + JsonQuote(event.message) +
+          ",\"resolved\":" + (event.resolved ? "true" : "false") + "}";
+}
+
+}  // namespace
+
+std::string AlertRing::ExportJson() const {
+  util::MutexLock lock(&mu_);
+  std::string out = "{\"schema\":\"slim-alerts-v1\"";
+  out += ",\"capacity\":" + std::to_string(options_.capacity);
+  out += ",\"raised\":" + std::to_string(raised_);
+  out += ",\"resolved\":" + std::to_string(resolved_);
+  out += ",\"deduped\":" + std::to_string(deduped_);
+  out += ",\"flap_suppressed\":" + std::to_string(flap_suppressed_);
+  out += ",\"evicted\":" + std::to_string(evicted_);
+  out += ",\"active\":[";
+  bool first = true;
+  for (const auto& [key, state] : keys_) {
+    if (!state.active) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"key\":" + JsonQuote(key) +
+           ",\"kind\":" + JsonQuote(state.kind) + ",\"severity\":" +
+           JsonQuote(AlertSeverityName(state.severity)) +
+           ",\"message\":" + JsonQuote(state.message) +
+           ",\"since_ms\":" + std::to_string(state.since_ms) +
+           ",\"count\":" + std::to_string(state.count) +
+           ",\"flapping\":" + (state.flapping ? "true" : "false") + "}";
+  }
+  out += "],\"events\":[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    if (i) out += ',';
+    AppendAlertJson(events_[i], &out);
+  }
+  out += "]}";
+  return out;
+}
+
+void AlertRing::Clear() {
+  util::MutexLock lock(&mu_);
+  events_.clear();
+  keys_.clear();
+  active_ = 0;
+  if (registry_ != nullptr) registry_->GetGauge("obs.alert.active")->Set(0);
+}
+
+}  // namespace slim::obs

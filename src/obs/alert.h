@@ -1,0 +1,168 @@
+#ifndef SLIM_OBS_ALERT_H_
+#define SLIM_OBS_ALERT_H_
+
+/// \file alert.h
+/// \brief Bounded stream of structured alert events with dedup and flap
+/// suppression.
+///
+/// The SLO engine (obs/slo.h) and the watchdog (obs/watchdog.h) report
+/// verdicts — "this objective is burning budget", "this span is stalled",
+/// "this subsystem stopped heartbeating" — into one `AlertRing`. The ring
+/// keeps the most recent `capacity` events plus the current *active* set
+/// (keys raised but not yet resolved), and applies two operator-protecting
+/// filters:
+///
+///   - **dedup** — re-raising an active key at the same (or lower) severity
+///     bumps its occurrence count instead of appending a new event; only a
+///     severity *escalation* emits again while active.
+///   - **flap suppression** — a key that transitions (raise/resolve) more
+///     than `flap_threshold` times inside `flap_window_ms` stops emitting
+///     events (state is still tracked and visible in `Active()`); emission
+///     resumes on the first transition of a later, calmer window.
+///
+/// `ExportJson` renders the `slim-alerts-v1` document served by StatsServer
+/// at `GET /alerts.json`. The clock is injectable so eviction/flap math is
+/// unit-testable without sleeping.
+///
+/// Metrics (DESIGN.md §8): `obs.alert.{raised,resolved,deduped,
+/// flap_suppressed,evicted}` counters and the `obs.alert.active` gauge.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/instrumented_mutex.h"
+#include "util/thread_annotations.h"
+
+namespace slim::obs {
+
+enum class AlertSeverity { kInfo = 0, kWarn = 1, kCritical = 2 };
+
+/// "info" / "warn" / "critical".
+std::string_view AlertSeverityName(AlertSeverity severity);
+
+/// \brief One emitted alert event (a raise, an escalation, or a resolve).
+struct AlertEvent {
+  uint64_t seq = 0;  ///< 1-based, monotonic, never reused.
+  int64_t t_ms = 0;
+  std::string key;   ///< Identity for dedup, e.g. "slo:slim_query_p99".
+  std::string kind;  ///< "slo_burn", "stall", "heartbeat", "lock_hold".
+  AlertSeverity severity = AlertSeverity::kInfo;
+  std::string message;
+  bool resolved = false;  ///< True for the resolve edge of the alert.
+};
+
+/// \brief The current state of a raised-but-unresolved key.
+struct ActiveAlert {
+  std::string key;
+  std::string kind;
+  AlertSeverity severity = AlertSeverity::kInfo;
+  std::string message;
+  int64_t since_ms = 0;
+  uint64_t count = 0;  ///< Occurrences folded into this activation.
+  bool flapping = false;
+};
+
+struct AlertRingOptions {
+  size_t capacity = 128;  ///< Event ring size; oldest events evicted.
+  /// Flap detection: more than `flap_threshold` raise/resolve transitions
+  /// of one key within `flap_window_ms` suppresses further event emission
+  /// for that key until a calmer window.
+  int64_t flap_window_ms = 60'000;
+  int flap_threshold = 4;
+  /// Injectable monotonic clock (ms). nullptr = steady_clock.
+  int64_t (*now_ms)() = nullptr;
+};
+
+class AlertRing {
+ public:
+  using Options = AlertRingOptions;
+
+  /// `registry` may be null (no obs.alert.* metrics are then emitted); it
+  /// must outlive the ring.
+  explicit AlertRing(MetricsRegistry* registry = nullptr,
+                     Options options = {});
+  AlertRing(const AlertRing&) = delete;
+  AlertRing& operator=(const AlertRing&) = delete;
+
+  /// Raises `key`. Returns true when an event was appended to the ring —
+  /// false when the raise was deduped (key already active at >= severity)
+  /// or flap-suppressed. The active state is updated either way.
+  bool Raise(std::string_view key, std::string_view kind,
+             AlertSeverity severity, std::string_view message)
+      EXCLUDES(mu_);
+
+  /// Resolves `key` if active. Returns true when a resolve event was
+  /// appended (false when the key was not active or flap-suppressed).
+  bool Resolve(std::string_view key) EXCLUDES(mu_);
+
+  bool IsActive(std::string_view key) const EXCLUDES(mu_);
+  size_t active_count() const EXCLUDES(mu_);
+
+  /// Retained events, oldest first.
+  std::vector<AlertEvent> Events() const EXCLUDES(mu_);
+  /// Currently active alerts, sorted by key.
+  std::vector<ActiveAlert> Active() const EXCLUDES(mu_);
+
+  /// \name Lifetime totals (monotonic).
+  /// @{
+  uint64_t raised() const EXCLUDES(mu_);
+  uint64_t resolved() const EXCLUDES(mu_);
+  uint64_t deduped() const EXCLUDES(mu_);
+  uint64_t flap_suppressed() const EXCLUDES(mu_);
+  uint64_t evicted() const EXCLUDES(mu_);
+  /// @}
+
+  /// The ring as a `slim-alerts-v1` JSON document (counts, active set,
+  /// event list) — served at `GET /alerts.json`.
+  std::string ExportJson() const EXCLUDES(mu_);
+
+  /// Drops all events and active state (lifetime totals are kept).
+  void Clear() EXCLUDES(mu_);
+
+  size_t capacity() const { return options_.capacity; }
+
+ private:
+  /// Per-key dedup + flap bookkeeping. Kept after resolve so flap history
+  /// survives the inactive half of a flap cycle.
+  struct KeyState {
+    bool active = false;
+    std::string kind;
+    AlertSeverity severity = AlertSeverity::kInfo;
+    std::string message;
+    int64_t since_ms = 0;
+    uint64_t count = 0;
+    // Flap window: transitions counted since window_start_ms.
+    int64_t window_start_ms = 0;
+    int transitions = 0;
+    bool flapping = false;
+  };
+
+  int64_t NowMs() const;
+  /// Records one raise/resolve transition for flap accounting; returns
+  /// true when the key is (now) flapping and emission must be suppressed.
+  bool NoteTransition(KeyState* state, int64_t now) REQUIRES(mu_);
+  void Append(AlertEvent event) REQUIRES(mu_);
+
+  MetricsRegistry* const registry_;
+  const Options options_;
+
+  mutable util::InstrumentedMutex mu_{"obs.alert.ring"};
+  std::map<std::string, KeyState, std::less<>> keys_ GUARDED_BY(mu_);
+  std::deque<AlertEvent> events_ GUARDED_BY(mu_);
+  uint64_t next_seq_ GUARDED_BY(mu_) = 1;
+  size_t active_ GUARDED_BY(mu_) = 0;
+  uint64_t raised_ GUARDED_BY(mu_) = 0;
+  uint64_t resolved_ GUARDED_BY(mu_) = 0;
+  uint64_t deduped_ GUARDED_BY(mu_) = 0;
+  uint64_t flap_suppressed_ GUARDED_BY(mu_) = 0;
+  uint64_t evicted_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace slim::obs
+
+#endif  // SLIM_OBS_ALERT_H_

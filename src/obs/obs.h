@@ -15,6 +15,7 @@
 ///   SLIM_OBS_SPAN(span, "slimpad.open_scrap");     // RAII trace span
 ///   SLIM_OBS_LOG(kWarn, "trim", "save failed", {{"path", p}});  // event
 ///   SLIM_OBS_DUMP_ON_ERROR("trim.persistence");    // flight-recorder dump
+///   SLIM_OBS_HEARTBEAT("trim.persistence");        // watchdog liveness
 ///
 /// With obs compiled in but `obs::SetDisabled(true)`, every macro costs one
 /// relaxed atomic load and nothing else (no clock reads, no lookups).
@@ -26,6 +27,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 
 #ifndef SLIM_OBS_ENABLED
 #define SLIM_OBS_ENABLED 1
@@ -131,6 +133,22 @@ class ScopedOpTimer {
     }                                                                      \
   } while (0)
 
+/// Marks the enclosing subsystem alive for the default watchdog
+/// (obs/watchdog.h). `name` must be a string literal; the Heartbeat* is
+/// registered once and cached per call site. Activity heartbeats show
+/// liveness in /healthz but never trip the watchdog — two relaxed atomic
+/// writes when the watchdog is armed, one load when it is not.
+#define SLIM_OBS_HEARTBEAT(name)                                            \
+  do {                                                                      \
+    if (!::slim::obs::Disabled()) {                                         \
+      static ::slim::obs::Watchdog::Heartbeat* SLIM_OBS_CONCAT(             \
+          _slim_obs_hb, __LINE__) =                                         \
+          ::slim::obs::Watchdog::Default().RegisterOnActivity(name);        \
+      ::slim::obs::Watchdog::Default().Beat(                                \
+          SLIM_OBS_CONCAT(_slim_obs_hb, __LINE__));                         \
+    }                                                                       \
+  } while (0)
+
 #else  // !SLIM_OBS_ENABLED — everything compiles away.
 
 #define SLIM_OBS_COUNT_N(name, n) \
@@ -155,6 +173,9 @@ class ScopedOpTimer {
   } while (0)
 #define SLIM_OBS_DUMP_ON_ERROR(source) \
   do {                                 \
+  } while (0)
+#define SLIM_OBS_HEARTBEAT(name) \
+  do {                           \
   } while (0)
 
 #endif  // SLIM_OBS_ENABLED

@@ -1,6 +1,10 @@
 #include "obs/prom.h"
 
+#include "obs/alert.h"
 #include "obs/history.h"
+#include "obs/obs.h"
+#include "obs/slo.h"
+#include "obs/watchdog.h"
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -159,27 +163,62 @@ void SendResponse(int fd, std::string_view status_line,
 }  // namespace
 
 void StatsServer::HandleConnection(int fd) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  SLIM_OBS_COUNT("obs.stats_server.requests");
+  auto send_error = [this, fd](std::string_view status_line,
+                               std::string_view body) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    SLIM_OBS_COUNT("obs.stats_server.errors");
+    SendResponse(fd, status_line, "text/plain", body);
+  };
+
   // Read until the end of the request head (or a sanity cap); the request
   // body, if any, is irrelevant to GET handling.
+  constexpr size_t kMaxHead = 16 * 1024;
+  constexpr size_t kMaxRequestLine = 8 * 1024;
   std::string request;
   char buf[1024];
-  while (request.size() < 16 * 1024 &&
+  while (request.size() < kMaxHead &&
          request.find("\r\n\r\n") == std::string::npos) {
     ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) break;
     request.append(buf, static_cast<size_t>(n));
   }
-  size_t method_end = request.find(' ');
-  if (method_end == std::string::npos) return;
-  size_t path_end = request.find(' ', method_end + 1);
-  if (path_end == std::string::npos) return;
-  std::string method = request.substr(0, method_end);
-  std::string path = request.substr(method_end + 1, path_end - method_end - 1);
 
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  // The request line ("<METHOD> <path> HTTP/x.y\r\n") must have arrived in
+  // full before anything is routed — a short read used to fall through to
+  // the path matcher with a truncated path and mis-route to 404.
+  const size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos || line_end > kMaxRequestLine) {
+    if (request.empty()) {
+      // Connected and went away without sending anything: nobody to answer.
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      SLIM_OBS_COUNT("obs.stats_server.errors");
+      return;
+    }
+    if (request.size() > kMaxRequestLine) {
+      send_error("414 URI Too Long", "request line too long\n");
+    } else {
+      send_error("400 Bad Request", "incomplete request line\n");
+    }
+    return;
+  }
+  const std::string line = request.substr(0, line_end);
+  const size_t method_end = line.find(' ');
+  const size_t path_end =
+      method_end == std::string::npos ? std::string::npos
+                                      : line.find(' ', method_end + 1);
+  if (method_end == std::string::npos || path_end == std::string::npos ||
+      line.compare(path_end + 1, 5, "HTTP/") != 0) {
+    send_error("400 Bad Request", "malformed request line\n");
+    return;
+  }
+  const std::string method = line.substr(0, method_end);
+  const std::string path =
+      line.substr(method_end + 1, path_end - method_end - 1);
+
   if (method != "GET") {
-    SendResponse(fd, "405 Method Not Allowed", "text/plain",
-                 "only GET is supported\n");
+    send_error("405 Method Not Allowed", "only GET is supported\n");
     return;
   }
   if (path == "/metrics") {
@@ -191,16 +230,47 @@ void StatsServer::HandleConnection(int fd) {
     if (history != nullptr) {
       SendResponse(fd, "200 OK", "application/json", history->ExportJson());
     } else {
-      SendResponse(fd, "404 Not Found", "text/plain",
-                   "no metrics history attached\n");
+      send_error("404 Not Found", "no metrics history attached\n");
     }
   } else if (path == "/vars.json") {
     SendResponse(fd, "200 OK", "application/json", registry_->ExportJson());
+  } else if (path == "/slo.json") {
+    const SloEngine* slo = slo_.load(std::memory_order_acquire);
+    if (slo != nullptr) {
+      SendResponse(fd, "200 OK", "application/json", slo->ExportJson());
+    } else {
+      send_error("404 Not Found", "no SLO engine attached\n");
+    }
+  } else if (path == "/alerts.json") {
+    const AlertRing* alerts = alerts_.load(std::memory_order_acquire);
+    if (alerts != nullptr) {
+      SendResponse(fd, "200 OK", "application/json", alerts->ExportJson());
+    } else {
+      send_error("404 Not Found", "no alert ring attached\n");
+    }
   } else if (path == "/healthz") {
-    SendResponse(fd, "200 OK", "text/plain", "ok\n");
+    const Watchdog* watchdog = watchdog_.load(std::memory_order_acquire);
+    if (watchdog == nullptr || !watchdog->armed()) {
+      // Backward compatible: without an armed watchdog there is no verdict
+      // to report, and probes expecting the plain "ok" keep working.
+      SendResponse(fd, "200 OK", "text/plain", "ok\n");
+    } else {
+      const HealthReport report = watchdog->Health();
+      if (report.overall == HealthState::kOk) {
+        SendResponse(fd, "200 OK", "text/plain", "ok\n");
+      } else if (report.overall == HealthState::kDegraded) {
+        SendResponse(fd, "200 OK", "application/json", report.ToJson());
+      } else {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        SLIM_OBS_COUNT("obs.stats_server.errors");
+        SendResponse(fd, "503 Service Unavailable", "application/json",
+                     report.ToJson());
+      }
+    }
   } else {
-    SendResponse(fd, "404 Not Found", "text/plain",
-                 "try /metrics, /metrics/history, /vars.json or /healthz\n");
+    send_error("404 Not Found",
+               "try /metrics, /metrics/history, /vars.json, /slo.json, "
+               "/alerts.json or /healthz\n");
   }
 }
 

@@ -15,10 +15,17 @@
 ///
 /// `StatsServer` is a dependency-free POSIX-socket HTTP responder bound to
 /// 127.0.0.1: a background thread runs a blocking accept loop and answers
-/// `GET /metrics` (the exposition) and `GET /healthz` ("ok"). It exists so
-/// a real scraper can pull a running workload — production deployments
-/// would put a real server in front, but the format is the contract and
-/// this serves it faithfully.
+/// `GET /metrics` (the exposition), `GET /metrics/history`, `GET
+/// /vars.json`, `GET /slo.json`, `GET /alerts.json` and `GET /healthz`.
+/// Requests are parsed defensively: an incomplete request line (partial
+/// read) is 400, an oversized one 414, a non-GET method 405 — and every
+/// connection/outcome is counted (`obs.stats_server.{requests,errors}`).
+/// `/healthz` consults an attached Watchdog: 200 + "ok" while healthy (or
+/// when no watchdog is attached/armed — backward compatible), 200 + a JSON
+/// health report when degraded, and HTTP 503 + the JSON report naming the
+/// failing subsystems when failing. It exists so a real scraper can pull a
+/// running workload — production deployments would put a real server in
+/// front, but the format is the contract and this serves it faithfully.
 
 #include <atomic>
 #include <cstdint>
@@ -32,6 +39,9 @@
 namespace slim::obs {
 
 class MetricsHistory;
+class SloEngine;
+class AlertRing;
+class Watchdog;
 
 /// Exposition-format name for a registry metric name: lowercase `[a-z0-9_]`
 /// with `.` (and any other illegal byte) mapped to `_`; a leading digit is
@@ -63,12 +73,32 @@ class StatsServer {
   void set_history(const MetricsHistory* history) {
     history_.store(history, std::memory_order_release);
   }
+  /// While set, `GET /slo.json` serves the engine's slim-slo-v1 document.
+  /// Same lifetime/swap contract as set_history.
+  void set_slo(const SloEngine* slo) {
+    slo_.store(slo, std::memory_order_release);
+  }
+  /// While set, `GET /alerts.json` serves the ring's slim-alerts-v1
+  /// document. Same lifetime/swap contract as set_history.
+  void set_alerts(const AlertRing* alerts) {
+    alerts_.store(alerts, std::memory_order_release);
+  }
+  /// While set *and armed*, `/healthz` reports the watchdog's Health()
+  /// verdict (503 when failing). Same lifetime/swap contract.
+  void set_watchdog(const Watchdog* watchdog) {
+    watchdog_.store(watchdog, std::memory_order_release);
+  }
 
   bool running() const { return running_.load(std::memory_order_acquire); }
   /// The bound port (valid after Start() returns OK).
   uint16_t port() const { return port_; }
+  /// Connections handled (also `obs.stats_server.requests`).
   uint64_t requests_served() const {
     return requests_.load(std::memory_order_relaxed);
+  }
+  /// Error responses + aborted requests (also `obs.stats_server.errors`).
+  uint64_t errors_served() const {
+    return errors_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -77,10 +107,14 @@ class StatsServer {
 
   const MetricsRegistry* registry_;
   std::atomic<const MetricsHistory*> history_{nullptr};
+  std::atomic<const SloEngine*> slo_{nullptr};
+  std::atomic<const AlertRing*> alerts_{nullptr};
+  std::atomic<const Watchdog*> watchdog_{nullptr};
   uint16_t port_;
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> errors_{0};
   std::thread thread_;
 };
 

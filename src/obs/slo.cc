@@ -1,0 +1,469 @@
+#include "obs/slo.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace slim::obs {
+
+std::string_view SloStateName(SloState state) {
+  switch (state) {
+    case SloState::kOk:
+      return "ok";
+    case SloState::kDegraded:
+      return "degraded";
+    case SloState::kFailing:
+      return "failing";
+  }
+  return "ok";
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<std::string> SplitTokens(std::string_view spec) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < spec.size()) {
+    while (i < spec.size() && (spec[i] == ' ' || spec[i] == '\t')) ++i;
+    size_t start = i;
+    while (i < spec.size() && spec[i] != ' ' && spec[i] != '\t') ++i;
+    if (i > start) tokens.emplace_back(spec.substr(start, i - start));
+  }
+  return tokens;
+}
+
+bool ParseNumber(std::string_view text, double* value) {
+  if (text.empty()) return false;
+  std::string buf(text);
+  char* end = nullptr;
+  *value = std::strtod(buf.c_str(), &end);
+  return end == buf.c_str() + buf.size();
+}
+
+/// "5ms", "500us", "2.5s" -> microseconds. False on anything else.
+bool ParseDurationUs(std::string_view token, uint64_t* us) {
+  double mult = 0;
+  std::string_view number = token;
+  if (token.size() > 2 && token.substr(token.size() - 2) == "us") {
+    mult = 1;
+    number = token.substr(0, token.size() - 2);
+  } else if (token.size() > 2 && token.substr(token.size() - 2) == "ms") {
+    mult = 1e3;
+    number = token.substr(0, token.size() - 2);
+  } else if (token.size() > 1 && token.back() == 's') {
+    mult = 1e6;
+    number = token.substr(0, token.size() - 1);
+  } else {
+    return false;
+  }
+  double value = 0;
+  if (!ParseNumber(number, &value) || value <= 0) return false;
+  *us = static_cast<uint64_t>(std::llround(value * mult));
+  return *us > 0;
+}
+
+/// "0.1%" -> 0.001; "0.001" -> 0.001. Must land in (0, 1).
+bool ParseFraction(std::string_view token, double* fraction) {
+  double value = 0;
+  if (!token.empty() && token.back() == '%') {
+    if (!ParseNumber(token.substr(0, token.size() - 1), &value)) return false;
+    value /= 100.0;
+  } else if (!ParseNumber(token, &value)) {
+    return false;
+  }
+  if (value <= 0 || value >= 1) return false;
+  *fraction = value;
+  return true;
+}
+
+/// "p50" / "p99" / "p99.9" (also spelled "p999") -> quantile in (0, 1).
+bool ParseQuantile(std::string_view token, double* quantile) {
+  if (token.size() < 2 || token[0] != 'p') return false;
+  std::string_view digits = token.substr(1);
+  double value = 0;
+  if (digits == "999") {
+    value = 99.9;
+  } else if (!ParseNumber(digits, &value)) {
+    return false;
+  }
+  if (value <= 0 || value >= 100) return false;
+  *quantile = value / 100.0;
+  return true;
+}
+
+bool ValidId(std::string_view id) {
+  if (id.empty()) return false;
+  for (char c : id) {
+    bool legal = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!legal) return false;
+  }
+  return true;
+}
+
+/// Metric-name charset folded into the id charset: '.' -> '_'.
+std::string SanitizeId(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) out += c == '.' ? '_' : c;
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+Result<SloObjective> SloObjective::Parse(std::string_view spec) {
+  std::vector<std::string> tokens = SplitTokens(spec);
+  SloObjective obj;
+
+  if (tokens.size() >= 2 && tokens[tokens.size() - 2] == "window") {
+    uint64_t us = 0;
+    if (!ParseDurationUs(tokens.back(), &us) || us < 1000) {
+      return Status::ParseError("SLO spec: bad window duration '" +
+                                tokens.back() + "' in: " + std::string(spec));
+    }
+    obj.window_ms = static_cast<int64_t>(us / 1000);
+    tokens.resize(tokens.size() - 2);
+  }
+
+  std::string id_hint;
+  if (!tokens.empty() && tokens[0].size() > 1 && tokens[0].back() == ':') {
+    id_hint = tokens[0].substr(0, tokens[0].size() - 1);
+    tokens.erase(tokens.begin());
+  }
+
+  if (tokens.size() == 3 && tokens[0].rfind("errors(", 0) == 0) {
+    // errors(<error_counter>,<total_counter>) < <fraction>
+    if (tokens[0].back() != ')' || tokens[1] != "<" ||
+        !ParseFraction(tokens[2], &obj.max_error_fraction)) {
+      return Status::ParseError("SLO spec: expected errors(err,total) < N%: " +
+                                std::string(spec));
+    }
+    std::string inside = tokens[0].substr(7, tokens[0].size() - 8);
+    size_t comma = inside.find(',');
+    if (comma == std::string::npos) {
+      return Status::ParseError("SLO spec: errors(...) needs two counters: " +
+                                std::string(spec));
+    }
+    obj.kind = SloKind::kErrorRate;
+    obj.error_counter = inside.substr(0, comma);
+    obj.total_counter = inside.substr(comma + 1);
+    obj.id = SanitizeId(obj.error_counter) + "_rate";
+  } else if (tokens.size() == 4 &&
+             (tokens[1] == "error_rate" || tokens[1] == "error-rate")) {
+    // <base> error_rate < <fraction>   (counters <base>.error/<base>.calls)
+    if (tokens[2] != "<" || !ParseFraction(tokens[3], &obj.max_error_fraction)) {
+      return Status::ParseError("SLO spec: expected <base> error_rate < N%: " +
+                                std::string(spec));
+    }
+    obj.kind = SloKind::kErrorRate;
+    obj.error_counter = tokens[0] + ".error";
+    obj.total_counter = tokens[0] + ".calls";
+    obj.id = SanitizeId(tokens[0]) + "_error_rate";
+  } else if (tokens.size() == 4 && ParseQuantile(tokens[1], &obj.quantile)) {
+    // <histogram> pN < <duration>
+    if (tokens[2] != "<" || !ParseDurationUs(tokens[3], &obj.threshold_us)) {
+      return Status::ParseError("SLO spec: expected <histogram> pN < <dur>: " +
+                                std::string(spec));
+    }
+    obj.kind = SloKind::kLatency;
+    obj.metric = tokens[0];
+    obj.id = SanitizeId(obj.metric) + "_" + SanitizeId(tokens[1]);
+  } else {
+    return Status::ParseError("SLO spec: unrecognized form: " +
+                              std::string(spec));
+  }
+
+  for (const std::string* name :
+       {&obj.metric, &obj.error_counter, &obj.total_counter}) {
+    if (!name->empty() && !MetricsRegistry::IsValidMetricName(*name)) {
+      return Status::ParseError("SLO spec: bad metric name '" + *name +
+                                "' in: " + std::string(spec));
+    }
+  }
+  if (!id_hint.empty()) obj.id = id_hint;
+  if (!ValidId(obj.id)) {
+    return Status::ParseError("SLO spec: objective id must be [a-z0-9_]+, "
+                              "got '" + obj.id + "'");
+  }
+  return obj;
+}
+
+std::string SloObjective::ToString() const {
+  std::string out = id + ": ";
+  if (kind == SloKind::kLatency) {
+    out += metric + " p" + FormatDouble(quantile * 100) + " < " +
+           std::to_string(threshold_us) + "us";
+  } else {
+    out += "errors(" + error_counter + "," + total_counter + ") < " +
+           FormatDouble(max_error_fraction * 100) + "%";
+  }
+  out += " window " + std::to_string(window_ms) + "ms";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SloEngine
+// ---------------------------------------------------------------------------
+
+SloEngine::SloEngine(MetricsRegistry* registry, Options options)
+    : registry_(registry), options_(options) {}
+
+int64_t SloEngine::NowMs() const {
+  if (options_.now_ms != nullptr) return options_.now_ms();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status SloEngine::AddObjective(std::string_view spec) {
+  auto parsed = SloObjective::Parse(spec);
+  if (!parsed.ok()) return parsed.status();
+  return Add(std::move(parsed).ValueOrDie());
+}
+
+Status SloEngine::Add(SloObjective objective) {
+  util::MutexLock lock(&mu_);
+  for (const Tracked& tracked : objectives_) {
+    if (tracked.objective.id == objective.id) {
+      return Status::InvalidArgument("duplicate SLO objective id: " +
+                                     objective.id);
+    }
+  }
+  Tracked tracked;
+  tracked.status.objective = objective;
+  tracked.objective = std::move(objective);
+  objectives_.push_back(std::move(tracked));
+  return Status::OK();
+}
+
+void SloEngine::set_alerts(AlertRing* alerts) {
+  util::MutexLock lock(&mu_);
+  alerts_ = alerts;
+}
+
+SloEngine::Sample SloEngine::Read(Tracked* tracked, int64_t now) {
+  const SloObjective& obj = tracked->objective;
+  Sample sample;
+  sample.t_ms = now;
+  if (obj.kind == SloKind::kLatency) {
+    if (tracked->histogram == nullptr) {
+      tracked->histogram = registry_->GetHistogram(obj.metric);
+    }
+    const LatencyHistogram& h = *tracked->histogram;
+    uint64_t total = h.count();
+    uint64_t good = 0;
+    for (size_t i = 0; i < LatencyHistogram::kBucketCount; ++i) {
+      if (LatencyHistogram::BucketUpperBound(i) > obj.threshold_us) break;
+      good += h.BucketValue(i);
+    }
+    // Relaxed per-bucket reads can momentarily disagree with count();
+    // clamp so a racing writer never produces negative "bad".
+    sample.total = total;
+    sample.bad = total > good ? total - good : 0;
+  } else {
+    if (tracked->error == nullptr) {
+      tracked->error = registry_->GetCounter(obj.error_counter);
+      tracked->total = registry_->GetCounter(obj.total_counter);
+    }
+    sample.total = tracked->total->value();
+    sample.bad = tracked->error->value();
+    if (sample.bad > sample.total) sample.bad = sample.total;
+  }
+  return sample;
+}
+
+void SloEngine::EvaluateOne(Tracked* tracked, int64_t now) {
+  const SloObjective& obj = tracked->objective;
+  Sample current = Read(tracked, now);
+
+  std::deque<Sample>& samples = tracked->samples;
+  if (!samples.empty() && (current.total < samples.back().total ||
+                           current.bad < samples.back().bad)) {
+    // Registry Reset() (counters shrank): restart the window from here.
+    samples.clear();
+  }
+  samples.push_back(current);
+  while (samples.size() > options_.max_samples) samples.pop_front();
+  // The baseline is the newest sample that is at least one window old; if
+  // none is old enough yet, the oldest retained sample serves.
+  while (samples.size() >= 2 && samples[1].t_ms <= now - obj.window_ms) {
+    samples.pop_front();
+  }
+
+  SloStatus& status = tracked->status;
+  status.objective = obj;
+  const Sample& base = samples.front();
+  const uint64_t window_total =
+      samples.size() >= 2 ? current.total - base.total : 0;
+  const uint64_t window_bad =
+      samples.size() >= 2 ? current.bad - base.bad : 0;
+  status.window_total = window_total;
+  status.window_bad = window_bad;
+  if (window_total == 0) {
+    // No baseline yet, or an idle window: no verdict to render.
+    status.has_data = false;
+    status.bad_fraction = 0;
+    status.burn_rate = 0;
+    status.budget_remaining = 1.0;
+    status.state = SloState::kOk;
+  } else {
+    status.has_data = true;
+    status.bad_fraction =
+        static_cast<double>(window_bad) / static_cast<double>(window_total);
+    status.burn_rate = status.bad_fraction / obj.budget();
+    status.budget_remaining = 1.0 - status.burn_rate;
+    status.state = status.burn_rate < 1.0 ? SloState::kOk
+                   : status.burn_rate < obj.critical_burn
+                       ? SloState::kDegraded
+                       : SloState::kFailing;
+  }
+
+  if (tracked->burn_gauge == nullptr) {
+    const std::string base_name = "slim.slo." + obj.id + ".";
+    tracked->burn_gauge = registry_->GetGauge(base_name + "burn_x1000");
+    tracked->budget_gauge = registry_->GetGauge(base_name + "budget_x1000");
+    tracked->state_gauge = registry_->GetGauge(base_name + "state");
+  }
+  tracked->burn_gauge->Set(
+      static_cast<int64_t>(std::llround(status.burn_rate * 1000)));
+  tracked->budget_gauge->Set(
+      static_cast<int64_t>(std::llround(status.budget_remaining * 1000)));
+  tracked->state_gauge->Set(static_cast<int64_t>(status.state));
+
+  if (alerts_ != nullptr) {
+    const std::string key = "slo:" + obj.id;
+    if (status.state == SloState::kOk) {
+      alerts_->Resolve(key);
+    } else {
+      const std::string message =
+          "burn rate " + FormatDouble(status.burn_rate) + "x budget (bad " +
+          std::to_string(window_bad) + "/" + std::to_string(window_total) +
+          " over " + std::to_string(obj.window_ms) + "ms): " + obj.ToString();
+      alerts_->Raise(key, "slo_burn",
+                     status.state == SloState::kFailing
+                         ? AlertSeverity::kCritical
+                         : AlertSeverity::kWarn,
+                     message);
+    }
+  }
+}
+
+void SloEngine::Evaluate() {
+  util::MutexLock lock(&mu_);
+  const int64_t now = NowMs();
+  if (evaluations_counter_ == nullptr) {
+    evaluations_counter_ = registry_->GetCounter("slim.slo.evaluations");
+  }
+  evaluations_counter_->Increment();
+  ++evaluations_;
+  for (Tracked& tracked : objectives_) EvaluateOne(&tracked, now);
+}
+
+std::vector<SloStatus> SloEngine::Statuses() const {
+  util::MutexLock lock(&mu_);
+  std::vector<SloStatus> out;
+  out.reserve(objectives_.size());
+  for (const Tracked& tracked : objectives_) out.push_back(tracked.status);
+  return out;
+}
+
+SloState SloEngine::OverallState() const {
+  util::MutexLock lock(&mu_);
+  SloState worst = SloState::kOk;
+  for (const Tracked& tracked : objectives_) {
+    if (static_cast<int>(tracked.status.state) > static_cast<int>(worst)) {
+      worst = tracked.status.state;
+    }
+  }
+  return worst;
+}
+
+size_t SloEngine::objective_count() const {
+  util::MutexLock lock(&mu_);
+  return objectives_.size();
+}
+
+uint64_t SloEngine::evaluations() const {
+  util::MutexLock lock(&mu_);
+  return evaluations_;
+}
+
+std::string SloEngine::ToText() const {
+  util::MutexLock lock(&mu_);
+  std::string out = "SLO objectives (" + std::to_string(evaluations_) +
+                    " evaluations)\n";
+  for (const Tracked& tracked : objectives_) {
+    const SloStatus& s = tracked.status;
+    out += "  [" + std::string(SloStateName(s.state)) + "] " +
+           tracked.objective.ToString();
+    if (s.has_data) {
+      out += "  burn=" + FormatDouble(s.burn_rate) + "x bad=" +
+             std::to_string(s.window_bad) + "/" +
+             std::to_string(s.window_total);
+    } else {
+      out += "  (no data)";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string SloEngine::ExportJson() const {
+  util::MutexLock lock(&mu_);
+  SloState worst = SloState::kOk;
+  for (const Tracked& tracked : objectives_) {
+    if (static_cast<int>(tracked.status.state) > static_cast<int>(worst)) {
+      worst = tracked.status.state;
+    }
+  }
+  std::string out = "{\"schema\":\"slim-slo-v1\"";
+  out += ",\"evaluations\":" + std::to_string(evaluations_);
+  out += ",\"overall\":" + JsonQuote(SloStateName(worst));
+  out += ",\"objectives\":[";
+  for (size_t i = 0; i < objectives_.size(); ++i) {
+    const SloObjective& obj = objectives_[i].objective;
+    const SloStatus& s = objectives_[i].status;
+    if (i) out += ',';
+    out += "{\"id\":" + JsonQuote(obj.id);
+    out += ",\"kind\":";
+    out += obj.kind == SloKind::kLatency ? "\"latency\"" : "\"error_rate\"";
+    out += ",\"spec\":" + JsonQuote(obj.ToString());
+    if (obj.kind == SloKind::kLatency) {
+      out += ",\"metric\":" + JsonQuote(obj.metric);
+      out += ",\"quantile\":" + FormatDouble(obj.quantile);
+      out += ",\"threshold_us\":" + std::to_string(obj.threshold_us);
+    } else {
+      out += ",\"error_counter\":" + JsonQuote(obj.error_counter);
+      out += ",\"total_counter\":" + JsonQuote(obj.total_counter);
+      out += ",\"max_error_fraction\":" + FormatDouble(obj.max_error_fraction);
+    }
+    out += ",\"window_ms\":" + std::to_string(obj.window_ms);
+    out += ",\"budget\":" + FormatDouble(obj.budget());
+    out += ",\"state\":" + JsonQuote(SloStateName(s.state));
+    out += ",\"has_data\":";
+    out += s.has_data ? "true" : "false";
+    out += ",\"window_total\":" + std::to_string(s.window_total);
+    out += ",\"window_bad\":" + std::to_string(s.window_bad);
+    out += ",\"bad_fraction\":" + FormatDouble(s.bad_fraction);
+    out += ",\"burn_rate\":" + FormatDouble(s.burn_rate);
+    out += ",\"budget_remaining\":" + FormatDouble(s.budget_remaining);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace slim::obs

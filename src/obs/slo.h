@@ -1,0 +1,186 @@
+#ifndef SLIM_OBS_SLO_H_
+#define SLIM_OBS_SLO_H_
+
+/// \file slo.h
+/// \brief Declarative service-level objectives over a MetricsRegistry.
+///
+/// An objective is a one-line spec judged over a rolling window:
+///
+///   slim.query.latency_us p99 < 5ms window 60s     (latency objective)
+///   slim.query.execute error_rate < 0.1%           (counter pair
+///                                                   <base>.error /
+///                                                   <base>.calls)
+///   errors(trim.save.error,trim.save.ok) < 1%      (explicit counters)
+///
+/// An optional leading `id:` token names the objective (default: derived
+/// from the metric name, `.` -> `_`, plus the quantile). `window <dur>`
+/// may trail any form (default 60s).
+///
+/// The engine samples the *cumulative* registry values on every
+/// `Evaluate()` call (the watchdog ticks it; tests and `obs_dump --slo`
+/// drive it manually with an injected clock) and keeps a per-objective
+/// ring of timestamped samples. The oldest retained sample is the window
+/// baseline, so:
+///
+///   bad_fraction = (bad_now - bad_base) / (total_now - total_base)
+///   budget       = 1 - quantile            (latency)
+///                | max_error_fraction      (error rate)
+///   burn_rate    = bad_fraction / budget
+///
+/// burn_rate < 1 means the objective is met (state `ok`); burn_rate in
+/// [1, critical_burn) is `degraded`; >= critical_burn is `failing`. For a
+/// latency objective "bad" events are histogram recordings above the
+/// threshold — the threshold is snapped down to the histogram's 1-2-5
+/// bucket ladder, so pick thresholds on bucket bounds (1/2/5/10/25/...).
+///
+/// Verdicts are published as `slim.slo.<id>.{burn_x1000,budget_x1000,
+/// state}` gauges (x1000 fixed-point; state 0=ok 1=degraded 2=failing),
+/// optionally raised into an AlertRing, and served by StatsServer at
+/// `GET /slo.json` as `slim-slo-v1`.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/alert.h"
+#include "obs/metrics.h"
+#include "util/instrumented_mutex.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace slim::obs {
+
+enum class SloKind { kLatency, kErrorRate };
+enum class SloState { kOk = 0, kDegraded = 1, kFailing = 2 };
+
+/// "ok" / "degraded" / "failing".
+std::string_view SloStateName(SloState state);
+
+/// \brief One parsed objective.
+struct SloObjective {
+  std::string id;  ///< `[a-z0-9_]+`; keys the slim.slo.<id>.* gauges.
+  SloKind kind = SloKind::kLatency;
+
+  // Latency form.
+  std::string metric;        ///< Histogram name.
+  double quantile = 0.99;    ///< Target compliance, e.g. p99 -> 0.99.
+  uint64_t threshold_us = 0; ///< Bound, in the histogram's recording unit.
+
+  // Error-rate form.
+  std::string error_counter;
+  std::string total_counter;
+  double max_error_fraction = 0.0;
+
+  int64_t window_ms = 60'000;
+  /// burn_rate at which the objective flips degraded -> failing.
+  double critical_burn = 2.0;
+
+  /// The error budget: the fraction of events allowed to be bad.
+  double budget() const {
+    return kind == SloKind::kLatency ? 1.0 - quantile : max_error_fraction;
+  }
+
+  /// Parses the spec grammar documented at the top of this file.
+  static Result<SloObjective> Parse(std::string_view spec);
+
+  /// Round-trippable-ish human rendering (used by ToText and /slo.json).
+  std::string ToString() const;
+};
+
+/// \brief One objective's latest verdict.
+struct SloStatus {
+  SloObjective objective;
+  SloState state = SloState::kOk;
+  /// False until two samples span the window (or any events arrive).
+  bool has_data = false;
+  uint64_t window_total = 0;
+  uint64_t window_bad = 0;
+  double bad_fraction = 0.0;
+  double burn_rate = 0.0;
+  /// 1 - burn_rate; negative when the budget is overspent.
+  double budget_remaining = 1.0;
+};
+
+struct SloEngineOptions {
+  /// Injectable monotonic clock (ms). nullptr = steady_clock.
+  int64_t (*now_ms)() = nullptr;
+  /// Per-objective sample-ring bound (oldest evicted). 512 samples covers
+  /// a 60s window at the watchdog's default 200ms tick with slack.
+  size_t max_samples = 512;
+};
+
+class SloEngine {
+ public:
+  using Options = SloEngineOptions;
+
+  /// The registry must outlive the engine. Metric pointers are resolved on
+  /// first evaluation (a never-written metric reads as zero events).
+  explicit SloEngine(MetricsRegistry* registry, Options options = {});
+  SloEngine(const SloEngine&) = delete;
+  SloEngine& operator=(const SloEngine&) = delete;
+
+  /// Parses and adds one objective spec. Duplicate ids are rejected.
+  Status AddObjective(std::string_view spec) EXCLUDES(mu_);
+  Status Add(SloObjective objective) EXCLUDES(mu_);
+
+  /// While set, state transitions raise/resolve `slo:<id>` alerts
+  /// (kind "slo_burn"; warn for degraded, critical for failing). The ring
+  /// must outlive the engine.
+  void set_alerts(AlertRing* alerts) EXCLUDES(mu_);
+
+  /// Takes one cumulative sample per objective and recomputes every
+  /// verdict. The first call only establishes the baseline.
+  void Evaluate() EXCLUDES(mu_);
+
+  /// Latest verdicts, in objective-addition order.
+  std::vector<SloStatus> Statuses() const EXCLUDES(mu_);
+  /// Worst state across objectives (kOk when none are defined).
+  SloState OverallState() const EXCLUDES(mu_);
+  size_t objective_count() const EXCLUDES(mu_);
+  uint64_t evaluations() const EXCLUDES(mu_);
+
+  /// Human table, one line per objective.
+  std::string ToText() const EXCLUDES(mu_);
+  /// The `slim-slo-v1` JSON document served at `GET /slo.json`.
+  std::string ExportJson() const EXCLUDES(mu_);
+
+ private:
+  struct Sample {
+    int64_t t_ms = 0;
+    uint64_t total = 0;
+    uint64_t bad = 0;
+  };
+  struct Tracked {
+    SloObjective objective;
+    // Resolved lazily on first evaluation.
+    LatencyHistogram* histogram = nullptr;
+    Counter* error = nullptr;
+    Counter* total = nullptr;
+    Gauge* burn_gauge = nullptr;
+    Gauge* budget_gauge = nullptr;
+    Gauge* state_gauge = nullptr;
+    std::deque<Sample> samples;
+    SloStatus status;
+  };
+
+  int64_t NowMs() const;
+  void EvaluateOne(Tracked* tracked, int64_t now) REQUIRES(mu_);
+  /// Cumulative (total, bad) event counts for an objective right now.
+  Sample Read(Tracked* tracked, int64_t now) REQUIRES(mu_);
+
+  MetricsRegistry* const registry_;
+  const Options options_;
+
+  mutable util::InstrumentedMutex mu_{"obs.slo.engine"};
+  std::vector<Tracked> objectives_ GUARDED_BY(mu_);
+  AlertRing* alerts_ GUARDED_BY(mu_) = nullptr;
+  uint64_t evaluations_ GUARDED_BY(mu_) = 0;
+  Counter* evaluations_counter_ GUARDED_BY(mu_) = nullptr;
+};
+
+}  // namespace slim::obs
+
+#endif  // SLIM_OBS_SLO_H_

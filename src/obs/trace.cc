@@ -80,7 +80,13 @@ Span& Span::operator=(Span&& other) noexcept {
     tracer_ = other.tracer_;
     record_ = std::move(other.record_);
     start_ = other.start_;
+    slot_ = other.slot_;
+    tracked_in_map_ = other.tracked_in_map_;
+    lightweight_ = other.lightweight_;
     other.tracer_ = nullptr;
+    other.slot_ = nullptr;
+    other.tracked_in_map_ = false;
+    other.lightweight_ = false;
   }
   return *this;
 }
@@ -89,6 +95,19 @@ void Span::End() {
   if (tracer_ == nullptr) return;
   Tracer* tracer = tracer_;
   tracer_ = nullptr;
+  if (slot_ != nullptr) {
+    tracer->ReleaseSlot(slot_, record_.id);
+    slot_ = nullptr;
+  }
+  if (tracked_in_map_) {
+    tracer->UnregisterActive(record_.id);
+    tracked_in_map_ = false;
+  }
+  if (lightweight_) {
+    lightweight_ = false;
+    tracer->NoteFinished();
+    return;
+  }
   tracer->FinishSpan(&record_, start_);
 }
 
@@ -107,7 +126,23 @@ struct OpenSpan {
 };
 thread_local std::vector<OpenSpan> t_open_spans;
 
+/// This thread's slot slabs, one per tracer it has started tracked spans
+/// on. Keyed by the tracer's process-unique epoch (never reused), so an
+/// entry for a destroyed tracer can never be matched — it just sits inert.
+struct SlabRef {
+  uint64_t tracer_epoch;
+  ActiveSlab* slab;
+};
+thread_local std::vector<SlabRef> t_slabs;
+
 }  // namespace
+
+namespace internal {
+uint64_t NextTracerEpoch() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace internal
 
 void Tracer::AddSink(TraceSink* sink) {
   if (sink == nullptr) return;
@@ -124,10 +159,77 @@ void Tracer::RemoveSink(TraceSink* sink) {
   sink_count_.store(sinks_.size(), std::memory_order_release);
 }
 
+const std::string* Tracer::TrackFilter::Find(const std::string& name) const {
+  auto it = std::lower_bound(names.begin(), names.end(), name);
+  if (it == names.end() || *it != name) return nullptr;
+  return &*it;
+}
+
+ActiveSlab* Tracer::LocalSlab() {
+  for (const SlabRef& ref : t_slabs) {
+    if (ref.tracer_epoch == tracer_epoch_) return ref.slab;
+  }
+  auto slab = std::make_unique<ActiveSlab>();
+  ActiveSlab* raw = slab.get();
+  {
+    util::MutexLock lock(&active_mu_);
+    slabs_.push_back(std::move(slab));
+  }
+  t_slabs.push_back(SlabRef{tracer_epoch_, raw});
+  return raw;
+}
+
+ActiveSlot* Tracer::ClaimSlot(uint64_t id, const std::string* name,
+                              uint64_t start_ns) {
+  ActiveSlab* slab = LocalSlab();
+  for (ActiveSlot& slot : slab->slots) {
+    // Only this thread claims slots in its slab (End() may clear them from
+    // another thread, but that only ever frees slots — never claims).
+    if (slot.id.load(std::memory_order_relaxed) != 0) continue;
+    slot.name.store(name, std::memory_order_relaxed);
+    slot.start_ns.store(start_ns, std::memory_order_relaxed);
+    slot.id.store(id, std::memory_order_release);
+    return &slot;
+  }
+  // Every slot busy (16 concurrent tracked spans on this thread): the
+  // shared map still catches the span, at mutex cost.
+  util::MutexLock lock(&active_mu_);
+  active_.emplace(id, ActiveSpanInfo{id, *name, start_ns});
+  return nullptr;
+}
+
 Span Tracer::StartSpan(std::string name) {
-  if (!active()) return Span{};
+  if (Disabled()) return Span{};
+  const bool to_sinks = sink_count() != 0;
+  const bool track_all = tracking_active();
+  const std::string* interned = nullptr;
+  if (!track_all) {
+    const TrackFilter* filter =
+        track_filter_.load(std::memory_order_acquire);
+    if (filter != nullptr) interned = filter->Find(name);
+  }
+  if (!to_sinks && !track_all && interned == nullptr) return Span{};
+
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  auto now = std::chrono::steady_clock::now();
+  const uint64_t start_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_)
+          .count());
+
+  if (!to_sinks && !track_all) {
+    // Tracked-only fast path: the span exists solely for stall detection.
+    // No parent bookkeeping, no name copy — ~30ns on top of an inert span.
+    SpanRecord record;
+    record.id = id;
+    Span span(this, std::move(record), now);
+    span.slot_ = ClaimSlot(id, interned, start_ns);
+    span.tracked_in_map_ = span.slot_ == nullptr;
+    span.lightweight_ = true;
+    return span;
+  }
+
   SpanRecord record;
-  record.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  record.id = id;
   record.parent_id = 0;
   int depth = 0;
   for (const OpenSpan& open : t_open_spans) {
@@ -138,12 +240,89 @@ Span Tracer::StartSpan(std::string name) {
   }
   record.depth = depth;
   record.name = std::move(name);
-  auto now = std::chrono::steady_clock::now();
-  record.start_ns = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_)
-          .count());
+  record.start_ns = start_ns;
   t_open_spans.push_back(OpenSpan{this, record.id});
-  return Span(this, std::move(record), now);
+  Span span(this, std::move(record), now);
+  if (track_all) {
+    util::MutexLock lock(&active_mu_);
+    active_.emplace(id, ActiveSpanInfo{id, span.record_.name, start_ns});
+    span.tracked_in_map_ = true;
+  } else if (interned != nullptr) {
+    span.slot_ = ClaimSlot(id, interned, start_ns);
+    span.tracked_in_map_ = span.slot_ == nullptr;
+  }
+  return span;
+}
+
+void Tracer::set_track_active(bool enabled) {
+  track_active_.store(enabled, std::memory_order_relaxed);
+  if (!enabled) {
+    // Spans started while tracking was on unregister themselves on End()
+    // whether or not tracking is still enabled; clearing here just frees
+    // entries for spans that will finish after a disable raced them.
+    util::MutexLock lock(&active_mu_);
+    active_.clear();
+  }
+}
+
+void Tracer::set_track_filter(std::vector<std::string> names) {
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  if (names.empty()) {
+    track_filter_.store(nullptr, std::memory_order_release);
+    return;
+  }
+  auto filter = std::make_unique<TrackFilter>();
+  filter->names = std::move(names);
+  const TrackFilter* raw = filter.get();
+  util::MutexLock lock(&active_mu_);
+  // Superseded filters are retained, not freed: slots in still-open spans
+  // hold pointers into them.
+  filters_.push_back(std::move(filter));
+  track_filter_.store(raw, std::memory_order_release);
+}
+
+void Tracer::UnregisterActive(uint64_t id) {
+  util::MutexLock lock(&active_mu_);
+  active_.erase(id);
+}
+
+std::vector<ActiveSpanInfo> Tracer::ActiveSpans() const {
+  util::MutexLock lock(&active_mu_);
+  std::vector<ActiveSpanInfo> out;
+  out.reserve(active_.size());
+  for (const auto& [id, info] : active_) out.push_back(info);
+  for (const auto& slab : slabs_) {
+    for (const ActiveSlot& slot : slab->slots) {
+      const uint64_t id = slot.id.load(std::memory_order_acquire);
+      if (id == 0) continue;
+      const std::string* name = slot.name.load(std::memory_order_relaxed);
+      const uint64_t start_ns = slot.start_ns.load(std::memory_order_relaxed);
+      // A claim raced us: ids are never reused, so an unchanged id means
+      // the fields belong together.
+      if (name == nullptr ||
+          slot.id.load(std::memory_order_acquire) != id) {
+        continue;
+      }
+      out.push_back(ActiveSpanInfo{id, *name, start_ns});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ActiveSpanInfo& a, const ActiveSpanInfo& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+size_t Tracer::active_span_count() const {
+  util::MutexLock lock(&active_mu_);
+  size_t count = active_.size();
+  for (const auto& slab : slabs_) {
+    for (const ActiveSlot& slot : slab->slots) {
+      if (slot.id.load(std::memory_order_acquire) != 0) ++count;
+    }
+  }
+  return count;
 }
 
 void Tracer::FinishSpan(SpanRecord* record,
@@ -162,6 +341,7 @@ void Tracer::FinishSpan(SpanRecord* record,
     }
   }
   finished_.fetch_add(1, std::memory_order_relaxed);
+  if (sink_count() == 0) return;  // tracking-only mode: nothing to deliver
   // Delivery holds the tracer's mutex (like Logger): records from any
   // thread serialize, and RemoveSink cannot return while a sink is still
   // being offered a record.

@@ -25,6 +25,8 @@
 #include <cstdint>
 #include <deque>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -98,6 +100,24 @@ class JsonlFileSink : public TraceSink {
   std::ofstream out_ GUARDED_BY(mu_);
 };
 
+/// \brief One lock-free registration slot for the deadline-filtered
+/// active-span fast path. Single claimer (the owning thread); the watchdog
+/// scans slots from any thread. Writers publish `name`/`start_ns` before
+/// the release-store of `id`; ids are never reused, so a scanner that
+/// re-reads the same nonzero id saw a consistent snapshot.
+struct ActiveSlot {
+  std::atomic<uint64_t> id{0};  ///< 0 = free.
+  std::atomic<uint64_t> start_ns{0};
+  std::atomic<const std::string*> name{nullptr};  ///< Interned in a filter.
+};
+
+/// \brief A thread's block of active-span slots. Sized for realistic span
+/// nesting; deeper concurrent tracked spans fall back to the shared map.
+struct ActiveSlab {
+  static constexpr size_t kSlots = 16;
+  ActiveSlot slots[kSlots];
+};
+
 /// \brief RAII span scope. Default-constructed (or moved-from) spans are
 /// inert: every operation is a no-op.
 class Span {
@@ -128,12 +148,36 @@ class Span {
   Tracer* tracer_ = nullptr;
   SpanRecord record_;
   std::chrono::steady_clock::time_point start_;
+  /// Fast-path registration; cleared (before any record work) on End().
+  ActiveSlot* slot_ = nullptr;
+  /// Registered in the tracer's shared active map (track-everything mode,
+  /// or slot overflow); End() erases the entry.
+  bool tracked_in_map_ = false;
+  /// Tracked-only span: no record bookkeeping, no sink delivery — End()
+  /// just releases the slot/map entry and counts the finish.
+  bool lightweight_ = false;
 };
+
+/// \brief One still-open span, as reported by Tracer::ActiveSpans(). The
+/// watchdog (obs/watchdog.h) compares `start_ns` against per-name deadlines
+/// to detect stalled operations.
+struct ActiveSpanInfo {
+  uint64_t id = 0;
+  std::string name;
+  uint64_t start_ns = 0;  ///< Monotonic, relative to the tracer's epoch.
+};
+
+namespace internal {
+/// Process-unique tracer ids for the thread-local slab caches.
+uint64_t NextTracerEpoch();
+}  // namespace internal
 
 /// \brief Hands out spans and fans finished records out to sinks.
 class Tracer {
  public:
-  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+  Tracer()
+      : epoch_(std::chrono::steady_clock::now()),
+        tracer_epoch_(internal::NextTracerEpoch()) {}
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
@@ -144,8 +188,13 @@ class Tracer {
     return sink_count_.load(std::memory_order_acquire);
   }
 
-  /// True when spans are actually recorded.
-  bool active() const { return sink_count() != 0 && !Disabled(); }
+  /// True when spans are actually recorded (a sink is attached or the
+  /// active-span registry is tracking, by filter or wholesale).
+  bool active() const {
+    return (sink_count() != 0 || tracking_active() ||
+            track_filter_.load(std::memory_order_relaxed) != nullptr) &&
+           !Disabled();
+  }
 
   /// Starts a span nested under the innermost span open on this thread.
   /// Inert (and free) when `active()` is false.
@@ -156,10 +205,72 @@ class Tracer {
     return finished_.load(std::memory_order_relaxed);
   }
 
+  /// \name Active-span registry (stall detection).
+  /// While tracking is enabled every started span is registered until it
+  /// finishes, so a watchdog can see operations that are *still running* —
+  /// sinks only ever see completed spans. Off by default: the registry adds
+  /// one map insert+erase (under its own mutex) per span.
+  /// @{
+  void set_track_active(bool enabled) EXCLUDES(active_mu_);
+  bool tracking_active() const {
+    return track_active_.load(std::memory_order_relaxed);
+  }
+  /// Tracks only spans whose name is in `names` — the cheap production
+  /// mode (the watchdog publishes its deadline names). A filtered span
+  /// with no sink attached skips record bookkeeping entirely: one id
+  /// fetch_add, one clock read and a lock-free slot claim per span.
+  /// Empty `names` clears the filter. Independent of set_track_active
+  /// (track-everything wins when both are on). Old filters stay allocated
+  /// until the tracer is destroyed, so interned name pointers held by
+  /// still-open spans never dangle.
+  void set_track_filter(std::vector<std::string> names) EXCLUDES(active_mu_);
+  bool has_track_filter() const {
+    return track_filter_.load(std::memory_order_relaxed) != nullptr;
+  }
+  /// Open spans, ordered by id (i.e. start order). Empty when tracking is
+  /// disabled.
+  std::vector<ActiveSpanInfo> ActiveSpans() const EXCLUDES(active_mu_);
+  size_t active_span_count() const EXCLUDES(active_mu_);
+  /// The tracer's clock now, on the same epoch as SpanRecord/ActiveSpanInfo
+  /// `start_ns` — `now_ns() - info.start_ns` is a span's current age.
+  uint64_t now_ns() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+  /// @}
+
  private:
   friend class Span;
   void FinishSpan(SpanRecord* record,
-                  std::chrono::steady_clock::time_point start) EXCLUDES(mu_);
+                  std::chrono::steady_clock::time_point start)
+      EXCLUDES(mu_, active_mu_);
+  void NoteFinished() {
+    finished_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void UnregisterActive(uint64_t id) EXCLUDES(active_mu_);
+
+  /// Sorted unique span names whose spans the registry tracks; the vector
+  /// is immutable once published, so `&names[i]` intern pointers are
+  /// stable for the snapshot's lifetime.
+  struct TrackFilter {
+    std::vector<std::string> names;
+    const std::string* Find(const std::string& name) const;
+  };
+  /// The calling thread's slab for this tracer (created and registered on
+  /// first use).
+  ActiveSlab* LocalSlab() EXCLUDES(active_mu_);
+  /// Registers an active span: lock-free slot when the thread's slab has
+  /// room, shared map otherwise (returns nullptr; caller flags the span
+  /// as map-tracked).
+  ActiveSlot* ClaimSlot(uint64_t id, const std::string* name,
+                        uint64_t start_ns) EXCLUDES(active_mu_);
+  void ReleaseSlot(ActiveSlot* slot, uint64_t id) {
+    uint64_t expected = id;
+    slot->id.compare_exchange_strong(expected, 0, std::memory_order_release,
+                                     std::memory_order_relaxed);
+  }
 
   mutable util::InstrumentedMutex mu_{"obs.trace.sinks"};
   std::vector<TraceSink*> sinks_ GUARDED_BY(mu_);
@@ -168,6 +279,18 @@ class Tracer {
   std::atomic<uint64_t> next_id_{1};
   std::atomic<uint64_t> finished_{0};
   std::chrono::steady_clock::time_point epoch_;
+  /// Distinguishes this tracer from a later one reusing its address, so
+  /// thread-local slab caches can never match a destroyed tracer.
+  const uint64_t tracer_epoch_;
+
+  std::atomic<bool> track_active_{false};
+  std::atomic<const TrackFilter*> track_filter_{nullptr};
+  mutable util::InstrumentedMutex active_mu_{"obs.trace.active"};
+  std::map<uint64_t, ActiveSpanInfo> active_ GUARDED_BY(active_mu_);
+  /// All published filters, kept until destruction (see set_track_filter).
+  std::vector<std::unique_ptr<const TrackFilter>> filters_
+      GUARDED_BY(active_mu_);
+  std::vector<std::unique_ptr<ActiveSlab>> slabs_ GUARDED_BY(active_mu_);
 };
 
 /// Process-wide tracer used by the SLIM_OBS_SPAN instrumentation macro.

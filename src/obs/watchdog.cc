@@ -1,0 +1,431 @@
+#include "obs/watchdog.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/alert.h"
+#include "obs/json.h"
+#include "obs/lock_profiler.h"
+#include "obs/obs.h"
+#include "obs/slo.h"
+
+namespace slim::obs {
+
+std::string_view HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kOk:
+      return "ok";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kFailing:
+      return "failing";
+  }
+  return "ok";
+}
+
+std::vector<std::string> HealthReport::failing() const {
+  std::vector<std::string> out;
+  for (const SubsystemHealth& s : subsystems) {
+    if (s.state == HealthState::kFailing) out.push_back(s.name);
+  }
+  return out;
+}
+
+std::string HealthReport::ToJson() const {
+  std::string out = "{\"status\":" + JsonQuote(HealthStateName(overall));
+  out += ",\"watchdog_running\":";
+  out += watchdog_running ? "true" : "false";
+  out += ",\"failing\":[";
+  bool first = true;
+  for (const SubsystemHealth& s : subsystems) {
+    if (s.state != HealthState::kFailing) continue;
+    if (!first) out += ',';
+    first = false;
+    out += JsonQuote(s.name);
+  }
+  out += "],\"subsystems\":[";
+  for (size_t i = 0; i < subsystems.size(); ++i) {
+    if (i) out += ',';
+    out += "{\"name\":" + JsonQuote(subsystems[i].name) +
+           ",\"state\":" + JsonQuote(HealthStateName(subsystems[i].state)) +
+           ",\"detail\":" + JsonQuote(subsystems[i].detail) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------------
+
+Watchdog::Watchdog(MetricsRegistry* registry, Tracer* tracer, Options options)
+    : registry_(registry), tracer_(tracer), options_(options) {
+  // The watchdog reports its own last check time like any other subsystem
+  // (activity-only: a manually driven watchdog must not fail itself).
+  self_heartbeat_ = RegisterOnActivity("obs.watchdog");
+}
+
+Watchdog::~Watchdog() { Stop(); }
+
+void Watchdog::EnsureMetrics() {
+  if (metrics_ready_ || registry_ == nullptr) return;
+  c_checks_ = registry_->GetCounter("obs.watchdog.checks");
+  c_stalled_ = registry_->GetCounter("obs.watchdog.stalled_spans");
+  c_misses_ = registry_->GetCounter("obs.watchdog.heartbeat_misses");
+  c_long_holds_ = registry_->GetCounter("obs.watchdog.long_holds");
+  c_trips_ = registry_->GetCounter("obs.watchdog.trips");
+  g_running_ = registry_->GetGauge("obs.watchdog.running");
+  g_active_spans_ = registry_->GetGauge("obs.watchdog.active_spans");
+  g_subsystems_ = registry_->GetGauge("obs.watchdog.subsystems");
+  metrics_ready_ = true;
+}
+
+void Watchdog::SetSpanDeadline(std::string_view span_name,
+                               int64_t deadline_ms) {
+  {
+    util::MutexLock lock(&mu_);
+    deadlines_[std::string(span_name)] = deadline_ms;
+  }
+  // An armed watchdog in filter mode must see the new name immediately.
+  if (armed() && options_.default_span_deadline_ms == 0) {
+    PublishTrackFilter();
+  }
+}
+
+void Watchdog::PublishTrackFilter() {
+  std::vector<std::string> names;
+  {
+    util::MutexLock lock(&mu_);
+    names.reserve(deadlines_.size());
+    for (const auto& [name, deadline_ms] : deadlines_) {
+      if (deadline_ms > 0) names.push_back(name);
+    }
+  }
+  tracer_->set_track_filter(std::move(names));
+}
+
+void Watchdog::FoldBeats(Heartbeat* heartbeat, int64_t now) const {
+  const uint64_t beats = heartbeat->beats.load(std::memory_order_relaxed);
+  if (beats != heartbeat->beats_seen) {
+    heartbeat->beats_seen = beats;
+    heartbeat->last_beat_ms.store(now, std::memory_order_relaxed);
+  }
+}
+
+Watchdog::Heartbeat* Watchdog::RegisterHeartbeat(std::string_view name,
+                                                 int64_t max_silence_ms,
+                                                 bool periodic) {
+  util::MutexLock lock(&mu_);
+  auto it = heartbeats_.find(name);
+  if (it == heartbeats_.end()) {
+    auto heartbeat = std::make_unique<Heartbeat>();
+    heartbeat->name = std::string(name);
+    heartbeat->registered_ms = NowMs();
+    it = heartbeats_.emplace(heartbeat->name, std::move(heartbeat)).first;
+  }
+  it->second->max_silence_ms = max_silence_ms;
+  it->second->periodic = periodic;
+  return it->second.get();
+}
+
+void Watchdog::set_alerts(AlertRing* alerts) {
+  util::MutexLock lock(&mu_);
+  alerts_ = alerts;
+}
+
+void Watchdog::set_slo(SloEngine* slo) {
+  util::MutexLock lock(&mu_);
+  slo_ = slo;
+}
+
+void Watchdog::set_lock_profiler(const LockProfiler* profiler) {
+  util::MutexLock lock(&mu_);
+  lock_profiler_ = profiler;
+}
+
+void Watchdog::Arm() {
+  {
+    util::MutexLock lock(&mu_);
+    EnsureMetrics();
+    if (g_running_ != nullptr) g_running_->Set(1);
+  }
+  armed_at_ms_.store(NowMs(), std::memory_order_relaxed);
+  if (!armed_.exchange(true, std::memory_order_acq_rel)) {
+    // A blanket default deadline needs every span registered; named
+    // deadlines use the cheap filtered fast path.
+    if (options_.default_span_deadline_ms != 0) {
+      tracer_->set_track_active(true);
+    } else {
+      PublishTrackFilter();
+    }
+  }
+}
+
+void Watchdog::Disarm() {
+  if (armed_.exchange(false, std::memory_order_acq_rel)) {
+    if (options_.default_span_deadline_ms != 0) {
+      tracer_->set_track_active(false);
+    } else {
+      tracer_->set_track_filter({});
+    }
+  }
+  util::MutexLock lock(&mu_);
+  if (g_running_ != nullptr) g_running_->Set(0);
+  // Resolve anything still firing so a re-arm starts from a clean slate.
+  if (alerts_ != nullptr) {
+    for (const auto& [name, age] : stalled_) alerts_->Resolve("stall:" + name);
+    for (const auto& [name, silence] : missed_) {
+      alerts_->Resolve("heartbeat:" + name);
+    }
+  }
+  stalled_.clear();
+  missed_.clear();
+}
+
+size_t Watchdog::CheckSpansAt(uint64_t now_ns) {
+  std::vector<ActiveSpanInfo> spans = tracer_->ActiveSpans();
+  util::MutexLock lock(&mu_);
+  EnsureMetrics();
+  if (g_active_spans_ != nullptr) {
+    g_active_spans_->Set(static_cast<int64_t>(spans.size()));
+  }
+  // Worst current overage per span name. Strictly past the deadline only:
+  // a span whose age equals the deadline exactly has not missed it yet.
+  std::map<std::string, int64_t> stalled_now;
+  size_t stalled_spans = 0;
+  for (const ActiveSpanInfo& span : spans) {
+    int64_t deadline_ms = options_.default_span_deadline_ms;
+    auto it = deadlines_.find(span.name);
+    if (it != deadlines_.end()) deadline_ms = it->second;
+    if (deadline_ms <= 0 || now_ns <= span.start_ns) continue;
+    const uint64_t age_ns = now_ns - span.start_ns;
+    if (age_ns > static_cast<uint64_t>(deadline_ms) * 1'000'000u) {
+      ++stalled_spans;
+      const int64_t age_ms = static_cast<int64_t>(age_ns / 1'000'000u);
+      auto [worst, inserted] = stalled_now.emplace(span.name, age_ms);
+      if (!inserted) worst->second = std::max(worst->second, age_ms);
+    }
+  }
+  for (const auto& [name, age_ms] : stalled_now) {
+    const bool fresh = stalled_.find(name) == stalled_.end();
+    stalled_[name] = static_cast<uint64_t>(age_ms);
+    if (!fresh) continue;
+    if (c_stalled_ != nullptr) c_stalled_->Increment();
+    if (c_trips_ != nullptr) c_trips_->Increment();
+    if (alerts_ != nullptr) {
+      auto it = deadlines_.find(name);
+      const int64_t deadline_ms = it != deadlines_.end()
+                                      ? it->second
+                                      : options_.default_span_deadline_ms;
+      alerts_->Raise("stall:" + name, "stall", AlertSeverity::kCritical,
+                     "span '" + name + "' open for " +
+                         std::to_string(age_ms) + "ms (deadline " +
+                         std::to_string(deadline_ms) + "ms)");
+    }
+    SLIM_OBS_LOG(kError, "obs", "watchdog: stalled span",
+                 {{"span", name}, {"age_ms", std::to_string(age_ms)}});
+    SLIM_OBS_DUMP_ON_ERROR("obs.watchdog.stall");
+  }
+  for (auto it = stalled_.begin(); it != stalled_.end();) {
+    if (stalled_now.find(it->first) == stalled_now.end()) {
+      if (alerts_ != nullptr) alerts_->Resolve("stall:" + it->first);
+      it = stalled_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return stalled_spans;
+}
+
+void Watchdog::CheckHeartbeats(int64_t now) {
+  for (const auto& [name, heartbeat] : heartbeats_) {
+    FoldBeats(heartbeat.get(), now);
+    if (!heartbeat->periodic) continue;
+    const int64_t base = std::max(
+        heartbeat->last_beat_ms.load(std::memory_order_relaxed),
+        std::max(heartbeat->registered_ms,
+                 armed_at_ms_.load(std::memory_order_relaxed)));
+    const int64_t silence = now - base;
+    if (silence > heartbeat->max_silence_ms) {
+      const bool fresh = missed_.find(name) == missed_.end();
+      missed_[name] = silence;
+      if (!fresh) continue;
+      if (c_misses_ != nullptr) c_misses_->Increment();
+      if (c_trips_ != nullptr) c_trips_->Increment();
+      if (alerts_ != nullptr) {
+        alerts_->Raise("heartbeat:" + name, "heartbeat",
+                       AlertSeverity::kCritical,
+                       "subsystem '" + name + "' silent for " +
+                           std::to_string(silence) + "ms (limit " +
+                           std::to_string(heartbeat->max_silence_ms) + "ms)");
+      }
+      SLIM_OBS_LOG(kError, "obs", "watchdog: heartbeat lost",
+                   {{"subsystem", name},
+                    {"silence_ms", std::to_string(silence)}});
+      SLIM_OBS_DUMP_ON_ERROR("obs.watchdog.heartbeat");
+    } else if (missed_.find(name) != missed_.end()) {
+      missed_.erase(name);
+      if (alerts_ != nullptr) alerts_->Resolve("heartbeat:" + name);
+    }
+  }
+}
+
+void Watchdog::CheckLocks() {
+  if (lock_profiler_ == nullptr || options_.long_hold_threshold_ns == 0) {
+    return;
+  }
+  for (const LockProfiler::SiteStats& site : lock_profiler_->Sites()) {
+    uint64_t& alerted = hold_alerted_[site.site];
+    const std::string name = site.site != nullptr ? site.site : "?";
+    if (site.hold_ns_max > options_.long_hold_threshold_ns &&
+        site.hold_ns_max > alerted) {
+      alerted = site.hold_ns_max;
+      if (c_long_holds_ != nullptr) c_long_holds_->Increment();
+      if (alerts_ != nullptr) {
+        alerts_->Raise("lock_hold:" + name, "lock_hold", AlertSeverity::kWarn,
+                       "lock '" + name + "' held for " +
+                           std::to_string(site.hold_ns_max / 1000) +
+                           "us (threshold " +
+                           std::to_string(options_.long_hold_threshold_ns /
+                                          1000) +
+                           "us)");
+      }
+    } else if (alerted != 0 && site.hold_ns_max <= alerted &&
+               alerts_ != nullptr) {
+      // No new high-water mark since the alert: the hold was an episode,
+      // not a condition — clear it.
+      alerts_->Resolve("lock_hold:" + name);
+    }
+  }
+}
+
+void Watchdog::CheckOnce() {
+  const int64_t now = NowMs();
+  checks_.fetch_add(1, std::memory_order_relaxed);
+  CheckSpansAt(tracer_->now_ns());
+  SloEngine* slo = nullptr;
+  Heartbeat* self = nullptr;
+  {
+    util::MutexLock lock(&mu_);
+    EnsureMetrics();
+    if (c_checks_ != nullptr) c_checks_->Increment();
+    if (g_subsystems_ != nullptr) {
+      g_subsystems_->Set(static_cast<int64_t>(heartbeats_.size()));
+    }
+    CheckHeartbeats(now);
+    CheckLocks();
+    slo = slo_;
+    self = self_heartbeat_;
+  }
+  // Outside mu_: the SLO engine takes its own lock (and may raise alerts).
+  if (slo != nullptr) slo->Evaluate();
+  Beat(self);
+}
+
+HealthReport Watchdog::Health() const {
+  HealthReport report;
+  report.watchdog_running = armed();
+  std::vector<SloStatus> slo_statuses;
+  {
+    util::MutexLock lock(&mu_);
+    const int64_t now = NowMs();
+    const int64_t armed_at = armed_at_ms_.load(std::memory_order_relaxed);
+    for (const auto& [name, heartbeat] : heartbeats_) {
+      SubsystemHealth sub;
+      sub.name = name;
+      FoldBeats(heartbeat.get(), now);
+      const int64_t last = heartbeat->last_beat_ms.load(
+          std::memory_order_relaxed);
+      if (heartbeat->periodic) {
+        if (!armed()) {
+          sub.state = HealthState::kOk;
+          sub.detail = "watchdog not armed";
+        } else {
+          const int64_t base =
+              std::max(last, std::max(heartbeat->registered_ms, armed_at));
+          const int64_t silence = now - base;
+          sub.state = silence > heartbeat->max_silence_ms
+                          ? HealthState::kFailing
+                          : HealthState::kOk;
+          sub.detail = "last beat " + std::to_string(silence) +
+                       "ms ago (limit " +
+                       std::to_string(heartbeat->max_silence_ms) + "ms)";
+        }
+      } else {
+        sub.state = HealthState::kOk;
+        sub.detail = last < 0 ? "no activity recorded"
+                              : "last activity " + std::to_string(now - last) +
+                                    "ms ago";
+      }
+      report.subsystems.push_back(std::move(sub));
+    }
+    for (const auto& [name, age_ms] : stalled_) {
+      SubsystemHealth sub;
+      sub.name = "span:" + name;
+      sub.state = HealthState::kFailing;
+      sub.detail = "stalled for " + std::to_string(age_ms) + "ms";
+      report.subsystems.push_back(std::move(sub));
+    }
+    if (slo_ != nullptr) slo_statuses = slo_->Statuses();
+  }
+  for (const SloStatus& status : slo_statuses) {
+    SubsystemHealth sub;
+    sub.name = "slo:" + status.objective.id;
+    sub.state = static_cast<HealthState>(status.state);
+    sub.detail = status.has_data
+                     ? "burn rate " + std::to_string(status.burn_rate)
+                     : "no data";
+    report.subsystems.push_back(std::move(sub));
+  }
+  for (const SubsystemHealth& sub : report.subsystems) {
+    if (static_cast<int>(sub.state) > static_cast<int>(report.overall)) {
+      report.overall = sub.state;
+    }
+  }
+  return report;
+}
+
+Status Watchdog::Start() {
+  if (running_) return Status::FailedPrecondition("watchdog already running");
+  Arm();
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { Run(); });
+  running_ = true;
+  return Status::OK();
+}
+
+void Watchdog::Stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_requested_ = true;
+  }
+  wake_cv_.notify_all();
+  thread_.join();
+  running_ = false;
+  Disarm();
+}
+
+void Watchdog::Run() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  while (!stop_requested_) {
+    lock.unlock();
+    CheckOnce();
+    lock.lock();
+    if (stop_requested_) break;
+    wake_cv_.wait_for(lock,
+                      std::chrono::milliseconds(options_.poll_interval_ms),
+                      [this] { return stop_requested_; });
+  }
+}
+
+Watchdog& Watchdog::Default() {
+  static Watchdog* watchdog =
+      new Watchdog(&DefaultRegistry(), &DefaultTracer());
+  return *watchdog;
+}
+
+}  // namespace slim::obs

@@ -1,0 +1,240 @@
+#ifndef SLIM_OBS_WATCHDOG_H_
+#define SLIM_OBS_WATCHDOG_H_
+
+/// \file watchdog.h
+/// \brief Stall/heartbeat watchdog: the judging half of the obs stack.
+///
+/// A background thread (or a test driving `CheckOnce()` with an injected
+/// clock) periodically checks four things:
+///
+///   1. **Stalled spans** — the tracer's active-span registry
+///      (Tracer::ActiveSpans) against per-name deadlines set with
+///      `SetSpanDeadline`. A span strictly *older* than its deadline is a
+///      stall: a critical `stall:<name>` alert is raised, an error event
+///      logged, and the flight recorder fires (a bundle lands on disk when
+///      a dump path is configured). A span that finishes exactly at its
+///      deadline never trips.
+///   2. **Heartbeats** — subsystems registered with `RegisterHeartbeat`
+///      must call `Beat` within `max_silence_ms` (measured from the later
+///      of the last beat and the time the watchdog was armed). Silence is
+///      heartbeat loss: critical alert + flight dump. Hot layers instead
+///      use `RegisterOnActivity` (the `SLIM_OBS_HEARTBEAT` macro):
+///      activity heartbeats only record liveness for `/healthz` and never
+///      trip — an idle system is not a broken one.
+///   3. **Long lock holds** — when a LockProfiler is attached, any site
+///      whose max hold time grows past `long_hold_threshold_ns` raises a
+///      warn `lock_hold:<site>` alert.
+///   4. **SLOs** — an attached SloEngine is evaluated every tick, so SLO
+///      burn alerts ride the same cadence.
+///
+/// `Health()` folds heartbeats, stalls and SLO verdicts into a
+/// per-subsystem ok/degraded/failing report; StatsServer serves it at
+/// `/healthz` (HTTP 503 + JSON naming the failing subsystems when
+/// failing). `Beat` costs two relaxed atomic ops when armed and one load
+/// when not, so instrumenting hot paths is free until someone is watching.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/instrumented_mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace slim::obs {
+
+class AlertRing;
+class SloEngine;
+class LockProfiler;
+
+enum class HealthState { kOk = 0, kDegraded = 1, kFailing = 2 };
+
+/// "ok" / "degraded" / "failing".
+std::string_view HealthStateName(HealthState state);
+
+struct SubsystemHealth {
+  std::string name;  ///< Heartbeat name, "span:<name>" or "slo:<id>".
+  HealthState state = HealthState::kOk;
+  std::string detail;
+};
+
+/// \brief Point-in-time readiness verdict (served at /healthz).
+struct HealthReport {
+  HealthState overall = HealthState::kOk;
+  bool watchdog_running = false;
+  std::vector<SubsystemHealth> subsystems;
+
+  /// Failing subsystem names (convenience for callers and the JSON body).
+  std::vector<std::string> failing() const;
+  std::string ToJson() const;
+};
+
+struct WatchdogOptions {
+  int64_t poll_interval_ms = 200;  ///< Background check period.
+  /// Deadline applied to span names with no explicit SetSpanDeadline entry;
+  /// 0 disables the default (only named deadlines are checked).
+  int64_t default_span_deadline_ms = 0;
+  /// Lock-hold alert threshold; 0 disables the lock check.
+  uint64_t long_hold_threshold_ns = 0;
+  /// Injectable monotonic clock (ms). nullptr = steady_clock.
+  int64_t (*now_ms)() = nullptr;
+};
+
+class Watchdog {
+ public:
+  using Options = WatchdogOptions;
+
+  /// \brief One registered subsystem pulse. Stable address for the
+  /// watchdog's lifetime; `Beat` writes it lock-free.
+  struct Heartbeat {
+    std::string name;
+    int64_t max_silence_ms = 0;  ///< 0 (on-activity) never trips.
+    bool periodic = false;
+    int64_t registered_ms = 0;
+    /// Stamped by the watchdog when it *observes* new beats (CheckOnce or
+    /// Health), not by Beat() itself — beats are clock-free, so liveness
+    /// has poll-interval precision.
+    std::atomic<int64_t> last_beat_ms{-1};
+    std::atomic<uint64_t> beats{0};
+    /// Beats already folded into last_beat_ms; watchdog-internal.
+    uint64_t beats_seen = 0;
+  };
+
+  /// Registry and tracer must outlive the watchdog. obs.watchdog.* metrics
+  /// are created lazily on Arm(), so an un-armed watchdog (the Default()
+  /// instance in processes that never start it) adds nothing anywhere.
+  Watchdog(MetricsRegistry* registry, Tracer* tracer, Options options = {});
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// \name Configuration (safe while running).
+  /// @{
+  void SetSpanDeadline(std::string_view span_name, int64_t deadline_ms)
+      EXCLUDES(mu_);
+  /// Registers (or finds) a named heartbeat. `periodic` subsystems must
+  /// beat every `max_silence_ms` once the watchdog is armed; re-registering
+  /// an existing name updates its policy and returns the same pointer.
+  Heartbeat* RegisterHeartbeat(std::string_view name, int64_t max_silence_ms,
+                               bool periodic) EXCLUDES(mu_);
+  /// An activity-only heartbeat: liveness shows in Health(), never trips.
+  Heartbeat* RegisterOnActivity(std::string_view name) EXCLUDES(mu_) {
+    return RegisterHeartbeat(name, 0, false);
+  }
+  void set_alerts(AlertRing* alerts) EXCLUDES(mu_);
+  void set_slo(SloEngine* slo) EXCLUDES(mu_);
+  void set_lock_profiler(const LockProfiler* profiler) EXCLUDES(mu_);
+  /// @}
+
+  /// Records one pulse. Near-free when the watchdog is not armed (one
+  /// relaxed load) and clock-free when it is (one relaxed fetch_add);
+  /// never locks. The watchdog folds the count into last_beat_ms at its
+  /// next check, so a beat is credited with poll-interval precision.
+  void Beat(Heartbeat* heartbeat) {
+    if (heartbeat == nullptr || !armed()) return;
+    heartbeat->beats.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Arms checking (enables the tracer's active-span registry, starts the
+  /// heartbeat-silence clocks) without a background thread — tests and
+  /// obs_dump drive CheckOnce() manually. Idempotent.
+  void Arm() EXCLUDES(mu_);
+  void Disarm() EXCLUDES(mu_);
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Arm() + spawn the background check thread. Fails when already running.
+  Status Start() EXCLUDES(mu_);
+  /// Stops and joins the thread, then disarms. Idempotent.
+  void Stop() EXCLUDES(mu_);
+  bool running() const { return running_; }
+
+  /// One full check pass: spans, heartbeats, locks, SLO evaluation.
+  void CheckOnce() EXCLUDES(mu_);
+
+  /// The span-deadline check alone, against an explicit "now" on the
+  /// tracer's clock (deterministic deadline-edge tests). Returns the
+  /// number of currently stalled spans. A span whose age equals its
+  /// deadline exactly is NOT stalled — only strictly past it.
+  size_t CheckSpansAt(uint64_t now_ns) EXCLUDES(mu_);
+
+  /// Folds heartbeats, current stalls and SLO verdicts into a readiness
+  /// report.
+  HealthReport Health() const EXCLUDES(mu_);
+
+  uint64_t checks() const { return checks_.load(std::memory_order_relaxed); }
+
+  /// Process-wide watchdog over DefaultRegistry()/DefaultTracer(); used by
+  /// the SLIM_OBS_HEARTBEAT macro. Never armed unless someone starts it.
+  static Watchdog& Default();
+
+ private:
+  void Run();
+  int64_t NowMs() const {
+    if (options_.now_ms != nullptr) return options_.now_ms();
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  /// Lazily resolves the obs.watchdog.* metrics (first Arm()).
+  void EnsureMetrics() REQUIRES(mu_);
+  /// Credits unobserved beats to `now` (Beat() is clock-free).
+  void FoldBeats(Heartbeat* heartbeat, int64_t now) const REQUIRES(mu_);
+  /// Publishes the deadline-name set as the tracer's track filter.
+  void PublishTrackFilter() EXCLUDES(mu_);
+  void CheckHeartbeats(int64_t now) REQUIRES(mu_);
+  void CheckLocks() REQUIRES(mu_);
+
+  MetricsRegistry* const registry_;
+  Tracer* const tracer_;
+  const Options options_;
+
+  std::atomic<bool> armed_{false};
+  std::atomic<int64_t> armed_at_ms_{0};
+  std::atomic<uint64_t> checks_{0};
+
+  mutable util::InstrumentedMutex mu_{"obs.watchdog.state"};
+  std::map<std::string, int64_t, std::less<>> deadlines_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Heartbeat>, std::less<>> heartbeats_
+      GUARDED_BY(mu_);
+  /// Span names currently considered stalled (raised, not yet recovered).
+  std::map<std::string, uint64_t> stalled_ GUARDED_BY(mu_);
+  /// Heartbeat names currently considered lost.
+  std::map<std::string, int64_t> missed_ GUARDED_BY(mu_);
+  /// Per-site hold_ns_max high-water mark already alerted on.
+  std::map<const char*, uint64_t> hold_alerted_ GUARDED_BY(mu_);
+  AlertRing* alerts_ GUARDED_BY(mu_) = nullptr;
+  SloEngine* slo_ GUARDED_BY(mu_) = nullptr;
+  const LockProfiler* lock_profiler_ GUARDED_BY(mu_) = nullptr;
+  Heartbeat* self_heartbeat_ GUARDED_BY(mu_) = nullptr;
+
+  bool metrics_ready_ GUARDED_BY(mu_) = false;
+  Counter* c_checks_ GUARDED_BY(mu_) = nullptr;
+  Counter* c_stalled_ GUARDED_BY(mu_) = nullptr;
+  Counter* c_misses_ GUARDED_BY(mu_) = nullptr;
+  Counter* c_long_holds_ GUARDED_BY(mu_) = nullptr;
+  Counter* c_trips_ GUARDED_BY(mu_) = nullptr;
+  Gauge* g_running_ GUARDED_BY(mu_) = nullptr;
+  Gauge* g_active_spans_ GUARDED_BY(mu_) = nullptr;
+  Gauge* g_subsystems_ GUARDED_BY(mu_) = nullptr;
+
+  // Wakeup plumbing for the check thread (same shape as MetricsHistory).
+  std::mutex wake_mu_;  // slim-lint: allow(raw-mutex)
+  std::condition_variable wake_cv_;
+  bool stop_requested_ = false;  // guarded by wake_mu_
+  std::thread thread_;
+  bool running_ = false;  // touched only by the Start/Stop caller
+};
+
+}  // namespace slim::obs
+
+#endif  // SLIM_OBS_WATCHDOG_H_

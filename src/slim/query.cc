@@ -560,6 +560,7 @@ std::string Query::ToString() const {
 Result<std::vector<Binding>> Execute(const trim::TripleStore& store,
                                      const Query& query) {
   SLIM_OBS_COUNT("slim.query.execute.calls");
+  SLIM_OBS_HEARTBEAT("slim.query");
   SLIM_OBS_TIMER(timer, "slim.query.latency_us");
   SLIM_OBS_SPAN(span, "slim.query.execute");
   span.AddTag("clauses", std::to_string(query.clauses().size()));

@@ -75,6 +75,7 @@ Status StoreFromXml(std::string_view xml_text, TripleStore* store) {
 }
 
 Status SaveStore(const TripleStore& store, const std::string& path) {
+  SLIM_OBS_HEARTBEAT("trim.persistence");
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     return NotePersistenceFailure(
@@ -90,6 +91,7 @@ Status SaveStore(const TripleStore& store, const std::string& path) {
 }
 
 Status LoadStore(const std::string& path, TripleStore* store) {
+  SLIM_OBS_HEARTBEAT("trim.persistence");
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return NotePersistenceFailure(

@@ -82,6 +82,7 @@ Status Session::LoadIcuWorkload(IcuWorkload workload) {
 }
 
 Status Session::BuildRoundsPad(int max_patients) {
+  SLIM_OBS_HEARTBEAT("workload.session");
   util::MutexLock lock(&mu_);
   return BuildRoundsPadLocked(max_patients);
 }
@@ -208,6 +209,7 @@ Status Session::BuildFullRoundsPad(int max_patients) {
 }
 
 Result<size_t> Session::OpenAllScraps() {
+  SLIM_OBS_HEARTBEAT("workload.session");
   util::MutexLock lock(&mu_);
   obs::ScopedOpTimer timer(Histogram("workload.open_all_scraps.latency_us"));
   Count("workload.open_all_scraps.calls");

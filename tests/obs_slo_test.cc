@@ -1,0 +1,785 @@
+// Tests for the self-diagnosing runtime: SLO spec parsing and burn-rate
+// math (with an injected clock), the alert ring's dedup / flap / eviction
+// behavior, the watchdog's span-deadline and heartbeat checks, the
+// StatsServer's robust request parsing and /healthz verdicts, and the full
+// loop (slow ops burn an SLO, a stalled span trips the watchdog, the
+// alert stream and health endpoint report it, a flight bundle lands on
+// disk). Like obs_test.cc, everything here is library-level and must pass
+// under both SLIM_ENABLE_OBS settings.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/alert.h"
+#include "obs/obs.h"
+#include "obs/prom.h"
+#include "obs/slo.h"
+#include "obs/watchdog.h"
+
+namespace slim::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SLO spec parsing
+// ---------------------------------------------------------------------------
+
+TEST(SloSpec, ParsesLatencyForm) {
+  auto parsed = SloObjective::Parse("slim.query.latency_us p99 < 5ms");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const SloObjective& obj = parsed.ValueOrDie();
+  EXPECT_EQ(obj.kind, SloKind::kLatency);
+  EXPECT_EQ(obj.metric, "slim.query.latency_us");
+  EXPECT_DOUBLE_EQ(obj.quantile, 0.99);
+  EXPECT_EQ(obj.threshold_us, 5000u);
+  EXPECT_EQ(obj.window_ms, 60'000);  // default
+  EXPECT_EQ(obj.id, "slim_query_latency_us_p99");
+  EXPECT_DOUBLE_EQ(obj.budget(), 1.0 - 0.99);
+}
+
+TEST(SloSpec, ParsesErrorRateFormBothSpellings) {
+  for (const char* spec : {"slim.query.execute error_rate < 0.1%",
+                           "slim.query.execute error-rate < 0.001"}) {
+    auto parsed = SloObjective::Parse(spec);
+    ASSERT_TRUE(parsed.ok()) << spec << ": " << parsed.status();
+    const SloObjective& obj = parsed.ValueOrDie();
+    EXPECT_EQ(obj.kind, SloKind::kErrorRate);
+    EXPECT_EQ(obj.error_counter, "slim.query.execute.error");
+    EXPECT_EQ(obj.total_counter, "slim.query.execute.calls");
+    EXPECT_DOUBLE_EQ(obj.max_error_fraction, 0.001);
+    EXPECT_EQ(obj.id, "slim_query_execute_error_rate");
+    EXPECT_DOUBLE_EQ(obj.budget(), 0.001);
+  }
+}
+
+TEST(SloSpec, ParsesExplicitCountersIdAndWindow) {
+  auto parsed = SloObjective::Parse(
+      "adds: errors(trim.add.invalid,trim.add.ok) < 1% window 5s");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const SloObjective& obj = parsed.ValueOrDie();
+  EXPECT_EQ(obj.id, "adds");
+  EXPECT_EQ(obj.kind, SloKind::kErrorRate);
+  EXPECT_EQ(obj.error_counter, "trim.add.invalid");
+  EXPECT_EQ(obj.total_counter, "trim.add.ok");
+  EXPECT_DOUBLE_EQ(obj.max_error_fraction, 0.01);
+  EXPECT_EQ(obj.window_ms, 5000);
+}
+
+TEST(SloSpec, QuantileSpellings) {
+  EXPECT_DOUBLE_EQ(
+      SloObjective::Parse("m.lat p50 < 1ms").ValueOrDie().quantile, 0.50);
+  EXPECT_DOUBLE_EQ(
+      SloObjective::Parse("m.lat p99.9 < 1ms").ValueOrDie().quantile, 0.999);
+  EXPECT_DOUBLE_EQ(
+      SloObjective::Parse("m.lat p999 < 1ms").ValueOrDie().quantile, 0.999);
+}
+
+TEST(SloSpec, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "",                                    // empty
+      "m.lat p99 5ms",                       // missing <
+      "m.lat p99 < xyz",                     // bad duration
+      "m.lat p0 < 1ms",                      // quantile out of range
+      "m.lat p100 < 1ms",                    // quantile out of range
+      "m.op error_rate < 150%",              // fraction out of range
+      "errors(only.one) < 1%",               // needs two counters
+      "Bad.Name p99 < 1ms",                  // metric charset
+      "UPPER: m.lat p99 < 1ms",              // id charset
+      "m.lat p99 < 1ms window 10us",         // window under 1ms
+      "m.lat p99 < 1ms window soon",         // bad window duration
+  };
+  for (const char* spec : bad) {
+    auto parsed = SloObjective::Parse(spec);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << spec;
+    if (!parsed.ok()) {
+      EXPECT_TRUE(parsed.status().IsParseError()) << spec;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SloEngine burn math, with an injected clock
+// ---------------------------------------------------------------------------
+
+// MetricsSnapshot stores sorted (name, value) vectors, not maps.
+template <typename T>
+T FindValue(const std::vector<std::pair<std::string, T>>& entries,
+            const std::string& name) {
+  for (const auto& [n, v] : entries) {
+    if (n == name) return v;
+  }
+  ADD_FAILURE() << "metric not found in snapshot: " << name;
+  return T{};
+}
+
+std::atomic<int64_t> g_fake_now_ms{0};
+int64_t FakeNowMs() { return g_fake_now_ms.load(std::memory_order_relaxed); }
+
+SloEngineOptions FakeClockSlo() {
+  SloEngineOptions options;
+  options.now_ms = &FakeNowMs;
+  return options;
+}
+
+TEST(SloEngine, FirstEvaluateOnlyEstablishesBaseline) {
+  MetricsRegistry registry;
+  SloEngine engine(&registry, FakeClockSlo());
+  ASSERT_TRUE(engine.AddObjective("q.lat p99 < 1ms").ok());
+  g_fake_now_ms = 0;
+  registry.GetHistogram("q.lat")->Record(50'000);  // before the baseline
+  engine.Evaluate();
+  std::vector<SloStatus> statuses = engine.Statuses();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_FALSE(statuses[0].has_data);
+  EXPECT_EQ(statuses[0].state, SloState::kOk);
+  EXPECT_EQ(engine.evaluations(), 1u);
+}
+
+TEST(SloEngine, LatencyBurnMathIsDeterministic) {
+  MetricsRegistry registry;
+  SloEngine engine(&registry, FakeClockSlo());
+  // p99 < 1ms: budget is 1% of requests allowed over 1000us.
+  ASSERT_TRUE(engine.AddObjective("q.lat p99 < 1ms window 1s").ok());
+  LatencyHistogram* h = registry.GetHistogram("q.lat");
+
+  g_fake_now_ms = 0;
+  engine.Evaluate();  // baseline at (0 events)
+  for (int i = 0; i < 90; ++i) h->Record(500);   // good: <= 1000us
+  for (int i = 0; i < 10; ++i) h->Record(5000);  // bad: > 1000us
+  g_fake_now_ms = 500;
+  engine.Evaluate();
+
+  std::vector<SloStatus> statuses = engine.Statuses();
+  ASSERT_EQ(statuses.size(), 1u);
+  const SloStatus& s = statuses[0];
+  EXPECT_TRUE(s.has_data);
+  EXPECT_EQ(s.window_total, 100u);
+  EXPECT_EQ(s.window_bad, 10u);
+  EXPECT_DOUBLE_EQ(s.bad_fraction, 0.1);
+  // burn = 0.1 / 0.01 = 10x budget: well past critical_burn (2.0).
+  EXPECT_NEAR(s.burn_rate, 10.0, 1e-9);
+  EXPECT_EQ(s.state, SloState::kFailing);
+  EXPECT_EQ(engine.OverallState(), SloState::kFailing);
+
+  // Verdicts are published as fixed-point gauges.
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(FindValue(snap.gauges, "slim.slo.q_lat_p99.burn_x1000"), 10'000);
+  EXPECT_EQ(FindValue(snap.gauges, "slim.slo.q_lat_p99.state"), 2);
+  EXPECT_EQ(FindValue(snap.counters, "slim.slo.evaluations"), 2u);
+}
+
+TEST(SloEngine, ErrorRateRecoversWhenTheWindowSlides) {
+  MetricsRegistry registry;
+  AlertRingOptions alert_options;
+  alert_options.now_ms = &FakeNowMs;
+  AlertRing alerts(nullptr, alert_options);
+  SloEngine engine(&registry, FakeClockSlo());
+  engine.set_alerts(&alerts);
+  ASSERT_TRUE(engine.AddObjective("eid: errors(op.err,op.total) < 10% "
+                                  "window 1s").ok());
+  Counter* err = registry.GetCounter("op.err");
+  Counter* total = registry.GetCounter("op.total");
+
+  g_fake_now_ms = 0;
+  engine.Evaluate();  // baseline
+  err->Increment(5);
+  total->Increment(10);
+  g_fake_now_ms = 500;
+  engine.Evaluate();
+  // 5/10 bad against a 10% budget: burn 5x -> failing, alert raised.
+  EXPECT_EQ(engine.OverallState(), SloState::kFailing);
+  EXPECT_TRUE(alerts.IsActive("slo:eid"));
+
+  // 90 clean ops later the same window reads 5/100 = 0.5x budget -> ok.
+  total->Increment(90);
+  g_fake_now_ms = 600;
+  engine.Evaluate();
+  EXPECT_EQ(engine.OverallState(), SloState::kOk);
+  EXPECT_FALSE(alerts.IsActive("slo:eid"));
+  // The full raise/resolve pair landed in the event stream.
+  std::vector<AlertEvent> events = alerts.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].key, "slo:eid");
+  EXPECT_EQ(events[0].kind, "slo_burn");
+  EXPECT_FALSE(events[0].resolved);
+  EXPECT_TRUE(events[1].resolved);
+
+  // An idle window (baseline slides past all events) renders no verdict.
+  g_fake_now_ms = 5'000;
+  engine.Evaluate();
+  g_fake_now_ms = 6'500;
+  engine.Evaluate();
+  std::vector<SloStatus> statuses = engine.Statuses();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_FALSE(statuses[0].has_data);
+  EXPECT_EQ(statuses[0].state, SloState::kOk);
+}
+
+TEST(SloEngine, RegistryResetRestartsTheWindow) {
+  MetricsRegistry registry;
+  SloEngine engine(&registry, FakeClockSlo());
+  ASSERT_TRUE(engine.AddObjective("errors(op.err,op.total) < 10%").ok());
+  g_fake_now_ms = 0;
+  engine.Evaluate();
+  registry.GetCounter("op.err")->Increment(50);
+  registry.GetCounter("op.total")->Increment(50);
+  g_fake_now_ms = 100;
+  engine.Evaluate();
+  EXPECT_EQ(engine.OverallState(), SloState::kFailing);
+
+  registry.Reset();  // counters shrink: the old baseline is meaningless
+  g_fake_now_ms = 200;
+  engine.Evaluate();
+  std::vector<SloStatus> statuses = engine.Statuses();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_FALSE(statuses[0].has_data);
+  EXPECT_EQ(statuses[0].state, SloState::kOk);
+}
+
+TEST(SloEngine, DuplicateIdsAreRejected) {
+  MetricsRegistry registry;
+  SloEngine engine(&registry);
+  ASSERT_TRUE(engine.AddObjective("q.lat p99 < 1ms").ok());
+  Status st = engine.AddObjective("q.lat p99 < 5ms");
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(engine.objective_count(), 1u);
+}
+
+TEST(SloEngine, ExportJsonCarriesTheSchemaAndVerdicts) {
+  MetricsRegistry registry;
+  SloEngine engine(&registry, FakeClockSlo());
+  ASSERT_TRUE(engine.AddObjective("q.lat p99 < 1ms").ok());
+  g_fake_now_ms = 0;
+  engine.Evaluate();
+  std::string json = engine.ExportJson();
+  EXPECT_NE(json.find("\"schema\":\"slim-slo-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"q_lat_p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"overall\":\"ok\""), std::string::npos);
+  EXPECT_NE(engine.ToText().find("q_lat_p99"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// AlertRing: dedup, escalation, eviction, flap suppression
+// ---------------------------------------------------------------------------
+
+AlertRingOptions FakeClockAlerts() {
+  AlertRingOptions options;
+  options.now_ms = &FakeNowMs;
+  return options;
+}
+
+TEST(AlertRing, DedupsActiveKeysAndEmitsEscalations) {
+  AlertRing ring(nullptr, FakeClockAlerts());
+  g_fake_now_ms = 0;
+  EXPECT_TRUE(ring.Raise("k", "stall", AlertSeverity::kWarn, "first"));
+  EXPECT_FALSE(ring.Raise("k", "stall", AlertSeverity::kWarn, "again"));
+  EXPECT_FALSE(ring.Raise("k", "stall", AlertSeverity::kInfo, "quieter"));
+  EXPECT_EQ(ring.deduped(), 2u);
+  // Escalation emits a new event while the key stays active.
+  EXPECT_TRUE(ring.Raise("k", "stall", AlertSeverity::kCritical, "worse"));
+  std::vector<ActiveAlert> active = ring.Active();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0].severity, AlertSeverity::kCritical);
+  EXPECT_EQ(active[0].count, 4u);
+  EXPECT_TRUE(ring.Resolve("k"));
+  EXPECT_FALSE(ring.Resolve("k"));  // not active anymore
+  EXPECT_EQ(ring.Events().size(), 3u);  // raise, escalation, resolve
+}
+
+TEST(AlertRing, EvictsOldestEventsAtCapacity) {
+  AlertRingOptions options = FakeClockAlerts();
+  options.capacity = 4;
+  AlertRing ring(nullptr, options);
+  g_fake_now_ms = 0;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(ring.Raise("k" + std::to_string(i), "stall",
+                           AlertSeverity::kWarn, "m"));
+  }
+  std::vector<AlertEvent> events = ring.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(ring.evicted(), 2u);
+  // Oldest first, seq monotonic, never reused.
+  EXPECT_EQ(events.front().key, "k2");
+  EXPECT_EQ(events.front().seq, 3u);
+  EXPECT_EQ(events.back().seq, 6u);
+  EXPECT_EQ(ring.active_count(), 6u);  // eviction drops events, not state
+}
+
+TEST(AlertRing, FlapSuppressionQuietsNoisyKeysThenRecovers) {
+  AlertRingOptions options = FakeClockAlerts();
+  options.flap_window_ms = 1000;
+  options.flap_threshold = 4;
+  AlertRing ring(nullptr, options);
+
+  g_fake_now_ms = 0;
+  // Each cycle is two transitions; the 5th transition inside the window
+  // crosses flap_threshold=4 and stops emitting.
+  EXPECT_TRUE(ring.Raise("k", "stall", AlertSeverity::kWarn, "m"));   // t1
+  EXPECT_TRUE(ring.Resolve("k"));                                     // t2
+  EXPECT_TRUE(ring.Raise("k", "stall", AlertSeverity::kWarn, "m"));   // t3
+  EXPECT_TRUE(ring.Resolve("k"));                                     // t4
+  EXPECT_FALSE(ring.Raise("k", "stall", AlertSeverity::kWarn, "m"));  // t5
+  EXPECT_FALSE(ring.Resolve("k"));
+  EXPECT_GE(ring.flap_suppressed(), 2u);
+  EXPECT_EQ(ring.Events().size(), 4u);
+
+  // State is still tracked while suppressed.
+  EXPECT_FALSE(ring.Raise("k", "stall", AlertSeverity::kWarn, "m"));
+  EXPECT_TRUE(ring.IsActive("k"));
+  std::vector<ActiveAlert> active = ring.Active();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_TRUE(active[0].flapping);
+
+  // A calmer window clears the suppression: the next transition emits.
+  g_fake_now_ms = 2500;
+  EXPECT_TRUE(ring.Resolve("k"));
+  EXPECT_TRUE(ring.Raise("k", "stall", AlertSeverity::kWarn, "m"));
+}
+
+TEST(AlertRing, ExportJsonAndMetrics) {
+  MetricsRegistry registry;
+  AlertRing ring(&registry, FakeClockAlerts());
+  g_fake_now_ms = 42;
+  ring.Raise("slo:q", "slo_burn", AlertSeverity::kCritical, "burning");
+  std::string json = ring.ExportJson();
+  EXPECT_NE(json.find("\"schema\":\"slim-alerts-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"key\":\"slo:q\""), std::string::npos);
+  EXPECT_NE(json.find("\"severity\":\"critical\""), std::string::npos);
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(FindValue(snap.counters, "obs.alert.raised"), 1u);
+  EXPECT_EQ(FindValue(snap.gauges, "obs.alert.active"), 1);
+  ring.Clear();
+  EXPECT_EQ(ring.active_count(), 0u);
+  EXPECT_EQ(ring.raised(), 1u);  // lifetime totals survive Clear
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog: span deadlines (exact edge), heartbeats, health
+// ---------------------------------------------------------------------------
+
+TEST(Watchdog, SpanExactlyAtDeadlineDoesNotTrip) {
+  MetricsRegistry registry;
+  Tracer tracer;
+  AlertRing alerts(nullptr, FakeClockAlerts());
+  Watchdog watchdog(&registry, &tracer);
+  watchdog.set_alerts(&alerts);
+  watchdog.SetSpanDeadline("op", 10);
+  watchdog.Arm();
+  {
+    Span span = tracer.StartSpan("op");
+    std::vector<ActiveSpanInfo> active = tracer.ActiveSpans();
+    ASSERT_EQ(active.size(), 1u);
+    const uint64_t start = active[0].start_ns;
+    const uint64_t deadline_ns = 10ull * 1'000'000;
+    // Exactly at the deadline: not stalled.
+    EXPECT_EQ(watchdog.CheckSpansAt(start + deadline_ns), 0u);
+    EXPECT_FALSE(alerts.IsActive("stall:op"));
+    // One nanosecond past: stalled, critical alert, counters bump.
+    EXPECT_EQ(watchdog.CheckSpansAt(start + deadline_ns + 1), 1u);
+    EXPECT_TRUE(alerts.IsActive("stall:op"));
+    EXPECT_EQ(FindValue(registry.Snapshot().counters,
+                        "obs.watchdog.stalled_spans"),
+              1u);
+    // Still stalled on the next pass: no duplicate trip.
+    EXPECT_EQ(watchdog.CheckSpansAt(start + deadline_ns + 2), 1u);
+    EXPECT_EQ(FindValue(registry.Snapshot().counters, "obs.watchdog.trips"),
+              1u);
+  }
+  // The span finished: the stall recovers and the alert resolves.
+  EXPECT_EQ(watchdog.CheckSpansAt(tracer.now_ns()), 0u);
+  EXPECT_FALSE(alerts.IsActive("stall:op"));
+  watchdog.Disarm();
+}
+
+TEST(Watchdog, SpansWithoutDeadlinesAreIgnored) {
+  MetricsRegistry registry;
+  Tracer tracer;
+  Watchdog watchdog(&registry, &tracer);
+  watchdog.Arm();
+  {
+    Span span = tracer.StartSpan("unwatched");
+    EXPECT_EQ(watchdog.CheckSpansAt(tracer.now_ns() + 1'000'000'000), 0u);
+  }
+  watchdog.Disarm();
+}
+
+TEST(Watchdog, HeartbeatLossTripsAndRecovers) {
+  g_fake_now_ms = 1000;
+  MetricsRegistry registry;
+  Tracer tracer;
+  AlertRing alerts(nullptr, FakeClockAlerts());
+  WatchdogOptions options;
+  options.now_ms = &FakeNowMs;
+  Watchdog watchdog(&registry, &tracer, options);
+  watchdog.set_alerts(&alerts);
+  Watchdog::Heartbeat* heartbeat =
+      watchdog.RegisterHeartbeat("svc", /*max_silence_ms=*/100,
+                                 /*periodic=*/true);
+  watchdog.Arm();
+
+  // Silence is measured from arming, not registration: no trip yet.
+  g_fake_now_ms = 1050;
+  watchdog.CheckOnce();
+  EXPECT_FALSE(alerts.IsActive("heartbeat:svc"));
+  EXPECT_EQ(watchdog.Health().overall, HealthState::kOk);
+
+  // 200ms of silence > the 100ms limit: heartbeat lost.
+  g_fake_now_ms = 1200;
+  watchdog.CheckOnce();
+  EXPECT_TRUE(alerts.IsActive("heartbeat:svc"));
+  HealthReport report = watchdog.Health();
+  EXPECT_EQ(report.overall, HealthState::kFailing);
+  ASSERT_EQ(report.failing().size(), 1u);
+  EXPECT_EQ(report.failing()[0], "svc");
+  EXPECT_NE(report.ToJson().find("\"failing\":[\"svc\"]"), std::string::npos);
+  EXPECT_EQ(FindValue(registry.Snapshot().counters,
+                      "obs.watchdog.heartbeat_misses"),
+            1u);
+
+  // A beat recovers it and resolves the alert.
+  g_fake_now_ms = 1250;
+  watchdog.Beat(heartbeat);
+  watchdog.CheckOnce();
+  EXPECT_FALSE(alerts.IsActive("heartbeat:svc"));
+  EXPECT_EQ(watchdog.Health().overall, HealthState::kOk);
+  EXPECT_EQ(heartbeat->beats.load(), 1u);
+  watchdog.Disarm();
+}
+
+TEST(Watchdog, OnActivityHeartbeatsNeverTrip) {
+  g_fake_now_ms = 0;
+  MetricsRegistry registry;
+  Tracer tracer;
+  WatchdogOptions options;
+  options.now_ms = &FakeNowMs;
+  Watchdog watchdog(&registry, &tracer, options);
+  watchdog.RegisterOnActivity("idle.subsystem");
+  watchdog.Arm();
+  g_fake_now_ms = 1'000'000;  // ~17 minutes of silence
+  watchdog.CheckOnce();
+  HealthReport report = watchdog.Health();
+  EXPECT_EQ(report.overall, HealthState::kOk);
+  bool found = false;
+  for (const SubsystemHealth& sub : report.subsystems) {
+    if (sub.name == "idle.subsystem") {
+      found = true;
+      EXPECT_EQ(sub.state, HealthState::kOk);
+      EXPECT_EQ(sub.detail, "no activity recorded");
+    }
+  }
+  EXPECT_TRUE(found);
+  watchdog.Disarm();
+}
+
+TEST(Watchdog, BeatIsInertWhenNotArmed) {
+  MetricsRegistry registry;
+  Tracer tracer;
+  Watchdog watchdog(&registry, &tracer);
+  Watchdog::Heartbeat* heartbeat = watchdog.RegisterOnActivity("svc");
+  watchdog.Beat(heartbeat);
+  EXPECT_EQ(heartbeat->beats.load(), 0u);
+  EXPECT_EQ(heartbeat->last_beat_ms.load(), -1);
+  watchdog.Beat(nullptr);  // null-safe
+  // An unarmed watchdog creates no obs.watchdog.* metrics at all.
+  EXPECT_TRUE(registry.Snapshot().counters.empty());
+  EXPECT_TRUE(registry.Snapshot().gauges.empty());
+}
+
+TEST(Watchdog, StartStopRunsTheBackgroundThread) {
+  MetricsRegistry registry;
+  Tracer tracer;
+  WatchdogOptions options;
+  options.poll_interval_ms = 1;
+  Watchdog watchdog(&registry, &tracer, options);
+  ASSERT_TRUE(watchdog.Start().ok());
+  EXPECT_TRUE(watchdog.running());
+  EXPECT_TRUE(watchdog.Start().IsFailedPrecondition());
+  while (watchdog.checks() < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  watchdog.Stop();
+  watchdog.Stop();  // idempotent
+  EXPECT_FALSE(watchdog.running());
+  EXPECT_FALSE(watchdog.armed());
+  EXPECT_EQ(FindValue(registry.Snapshot().gauges, "obs.watchdog.running"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// StatsServer: robust request parsing
+// ---------------------------------------------------------------------------
+
+// Sends raw bytes (optionally half-closing the write side) and returns the
+// full response.
+std::string RawRequest(uint16_t port, const std::string& data) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);  // our side is done: a short read stays short
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string HttpGet(uint16_t port, const std::string& path) {
+  return RawRequest(port, "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n");
+}
+
+std::string Body(const std::string& response) {
+  size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+TEST(StatsServerRobustness, TruncatedRequestLineIs400NotMisrouted) {
+  MetricsRegistry registry;
+  StatsServer server(&registry, /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+  // A partial request line (no CRLF ever arrives) must be answered 400 —
+  // it used to fall through to the path matcher and 404 on "/metr".
+  std::string response = RawRequest(server.port(), "GET /metr");
+  EXPECT_NE(response.find("400 Bad Request"), std::string::npos);
+  EXPECT_EQ(Body(response), "incomplete request line\n");
+  EXPECT_GE(server.errors_served(), 1u);
+  server.Stop();
+}
+
+TEST(StatsServerRobustness, OversizedRequestLineIs414) {
+  MetricsRegistry registry;
+  StatsServer server(&registry, /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+  std::string long_path(9000, 'a');
+  std::string response =
+      RawRequest(server.port(), "GET /" + long_path + " HTTP/1.1\r\n\r\n");
+  EXPECT_NE(response.find("414 URI Too Long"), std::string::npos);
+  server.Stop();
+}
+
+TEST(StatsServerRobustness, NonGetIs405AndGarbageIs400) {
+  MetricsRegistry registry;
+  StatsServer server(&registry, /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+  std::string post =
+      RawRequest(server.port(), "POST /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_NE(post.find("405 Method Not Allowed"), std::string::npos);
+  std::string garbage = RawRequest(server.port(), "NOT-HTTP-AT-ALL\r\n\r\n");
+  EXPECT_NE(garbage.find("400 Bad Request"), std::string::npos);
+  EXPECT_GE(server.errors_served(), 2u);
+  server.Stop();
+}
+
+TEST(StatsServerRobustness, RequestAndErrorCountersTrack) {
+  MetricsRegistry registry;
+  StatsServer server(&registry, /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_NE(HttpGet(server.port(), "/metrics").find("200 OK"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(server.port(), "/nope").find("404"), std::string::npos);
+  EXPECT_GE(server.requests_served(), 2u);
+  EXPECT_GE(server.errors_served(), 1u);
+  server.Stop();
+}
+
+TEST(StatsServer, SloAndAlertEndpointsAre404UntilAttached) {
+  MetricsRegistry registry;
+  StatsServer server(&registry, /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_NE(HttpGet(server.port(), "/slo.json").find("404"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(server.port(), "/alerts.json").find("404"),
+            std::string::npos);
+  SloEngine slo(&registry);
+  AlertRing alerts(&registry);
+  server.set_slo(&slo);
+  server.set_alerts(&alerts);
+  EXPECT_NE(HttpGet(server.port(), "/slo.json").find("slim-slo-v1"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(server.port(), "/alerts.json").find("slim-alerts-v1"),
+            std::string::npos);
+  server.set_slo(nullptr);
+  server.set_alerts(nullptr);
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// The full loop: burn an SLO, stall a span, read it all back over HTTP
+// ---------------------------------------------------------------------------
+
+TEST(SelfDiagnosis, FullLoopFromBurnToHealthzAndFlightBundle) {
+  g_fake_now_ms = 0;
+  MetricsRegistry registry;
+  Tracer tracer;
+  AlertRing alerts(&registry, FakeClockAlerts());
+  SloEngine slo(&registry, FakeClockSlo());
+  slo.set_alerts(&alerts);
+  WatchdogOptions wd_options;
+  wd_options.now_ms = &FakeNowMs;
+  Watchdog watchdog(&registry, &tracer, wd_options);
+  watchdog.set_alerts(&alerts);
+  watchdog.set_slo(&slo);
+  watchdog.SetSpanDeadline("slim.op", 5);
+
+  StatsServer server(&registry, /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+  server.set_slo(&slo);
+  server.set_alerts(&alerts);
+  server.set_watchdog(&watchdog);
+
+  // Healthy before arming: /healthz stays the plain probe answer.
+  EXPECT_EQ(Body(HttpGet(server.port(), "/healthz")), "ok\n");
+
+  // Arm with a flight-recorder dump path so the stall writes a bundle.
+  FlightRecorder& recorder = DefaultFlightRecorder();
+  recorder.Clear();
+  ASSERT_TRUE(recorder.Install());
+  std::string bundle_path = ::testing::TempDir() + "obs_slo_bundle.json";
+  std::remove(bundle_path.c_str());
+  recorder.set_dump_path(bundle_path);
+  g_fake_now_ms = 0;
+  watchdog.Arm();
+
+  // A bad minute: 1 error in 4 calls against a 10% error budget...
+  ASSERT_TRUE(
+      slo.AddObjective("slim.op error_rate < 10% window 1s").ok());
+  watchdog.CheckOnce();  // baseline
+  registry.GetCounter("slim.op.calls")->Increment(4);
+  registry.GetCounter("slim.op.error")->Increment(1);
+  g_fake_now_ms = 500;
+  // ...while a span blows through its 5ms deadline.
+  {
+    Span span = tracer.StartSpan("slim.op");
+    std::vector<ActiveSpanInfo> active = tracer.ActiveSpans();
+    ASSERT_EQ(active.size(), 1u);
+    watchdog.CheckOnce();  // heartbeats + SLO (burn 2.5x -> failing)
+    watchdog.CheckSpansAt(active[0].start_ns + 6 * 1'000'000);
+
+    // The whole verdict is visible over HTTP while the stall is live.
+    std::string slo_json = Body(HttpGet(server.port(), "/slo.json"));
+    EXPECT_NE(slo_json.find("\"schema\":\"slim-slo-v1\""), std::string::npos);
+    EXPECT_NE(slo_json.find("\"state\":\"failing\""), std::string::npos);
+    std::string alerts_json = Body(HttpGet(server.port(), "/alerts.json"));
+    EXPECT_NE(alerts_json.find("\"key\":\"stall:slim.op\""),
+              std::string::npos);
+    EXPECT_NE(alerts_json.find("\"key\":\"slo:slim_op_error_rate\""),
+              std::string::npos);
+    std::string health = HttpGet(server.port(), "/healthz");
+    EXPECT_NE(health.find("503 Service Unavailable"), std::string::npos);
+    EXPECT_NE(health.find("\"status\":\"failing\""), std::string::npos);
+    EXPECT_NE(health.find("span:slim.op"), std::string::npos);
+
+#if SLIM_OBS_ENABLED
+    // The stall fired the flight recorder: a diagnostic bundle is on disk.
+    std::ifstream bundle(bundle_path);
+    EXPECT_TRUE(bundle.good())
+        << "expected the watchdog trip to write " << bundle_path;
+#endif
+  }
+
+  // Recovery: span finished, errors stop, the window slides clean.
+  watchdog.CheckSpansAt(tracer.now_ns());
+  registry.GetCounter("slim.op.calls")->Increment(96);
+  g_fake_now_ms = 900;
+  watchdog.CheckOnce();
+  EXPECT_EQ(watchdog.Health().overall, HealthState::kOk);
+  EXPECT_EQ(Body(HttpGet(server.port(), "/healthz")), "ok\n");
+  EXPECT_EQ(alerts.active_count(), 0u);
+
+  server.Stop();
+  watchdog.Disarm();
+  recorder.set_dump_path("");
+  recorder.Uninstall();
+  std::remove(bundle_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Thread-safety stress (run under TSan in CI): a live watchdog, four
+// writer threads, and concurrent HTTP scrapes of the alert stream.
+// ---------------------------------------------------------------------------
+
+TEST(ObsStress, WatchdogWritersAndLiveScrapes) {
+  MetricsRegistry registry;
+  Tracer tracer;
+  AlertRing alerts(&registry);
+  SloEngine slo(&registry);
+  slo.set_alerts(&alerts);
+  ASSERT_TRUE(slo.AddObjective("stress.lat p99 < 1ms window 1s").ok());
+  WatchdogOptions options;
+  options.poll_interval_ms = 1;
+  Watchdog watchdog(&registry, &tracer, options);
+  watchdog.set_alerts(&alerts);
+  watchdog.set_slo(&slo);
+  watchdog.SetSpanDeadline("stress.op", 1);
+  Watchdog::Heartbeat* heartbeat =
+      watchdog.RegisterHeartbeat("stress.writers", /*max_silence_ms=*/50,
+                                 /*periodic=*/true);
+
+  StatsServer server(&registry, /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+  server.set_slo(&slo);
+  server.set_alerts(&alerts);
+  server.set_watchdog(&watchdog);
+  ASSERT_TRUE(watchdog.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&registry, &tracer, &watchdog, heartbeat, &stop] {
+      LatencyHistogram* h = registry.GetHistogram("stress.lat");
+      while (!stop.load(std::memory_order_relaxed)) {
+        Span span = tracer.StartSpan("stress.op");
+        h->Record(500);
+        h->Record(5000);  // keep the SLO burning
+        watchdog.Beat(heartbeat);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+
+  // Scrape the live endpoints while everything churns.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_NE(HttpGet(server.port(), "/alerts.json").find("slim-alerts-v1"),
+              std::string::npos);
+    EXPECT_FALSE(HttpGet(server.port(), "/slo.json").empty());
+    EXPECT_FALSE(HttpGet(server.port(), "/healthz").empty());
+  }
+  while (watchdog.checks() < 10) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& writer : writers) writer.join();
+  watchdog.Stop();
+  server.Stop();
+  EXPECT_GE(watchdog.checks(), 10u);
+  EXPECT_GE(slo.evaluations(), 10u);
+}
+
+}  // namespace
+}  // namespace slim::obs

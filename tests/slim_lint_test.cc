@@ -37,9 +37,9 @@ Catalog FixtureCatalog() {
 
 TEST(LintCatalog, ParsesOnlyTypedTableRows) {
   Catalog catalog = FixtureCatalog();
-  // 3 (brace) + 2 + 1 + 1 + 1 + 1 = 9; the untyped `not.a.metric` row is
-  // skipped.
-  EXPECT_EQ(catalog.size(), 9u);
+  // 3 (brace) + 2 + 1 + 1 + 1 + 1 + 1 + 2 (brace) + 1 = 13; the untyped
+  // `not.a.metric` row is skipped.
+  EXPECT_EQ(catalog.size(), 13u);
   EXPECT_FALSE(catalog.MatchesExact("not.a.metric"));
 }
 
@@ -294,6 +294,12 @@ TEST(LintTreeFixtures, ExactDiagnosticsAndExitCode) {
       "instrumented layer 'obs'; use util::InstrumentedMutex with a named "
       "lock site, or annotate the line with '// slim-lint: "
       "allow(raw-mutex)'",
+      "src/obs/bad_slo_names.cc:7: [obs-name] SLIM_OBS_COUNT name "
+      "\"slim.slo.bogus.metric\" is not in the DESIGN.md metric-name "
+      "catalog",
+      "src/obs/bad_slo_names.cc:9: [obs-name] SLIM_OBS_HEARTBEAT name "
+      "\"obs.bogus_subsystem\" is not in the DESIGN.md metric-name "
+      "catalog",
       "src/trim/bad_layering.cc:3: [layer-dag] layer 'trim' must not "
       "include \"slim/model.h\" (allowed layers: doc, obs, trim, util)",
       "src/trim/bad_macro_args.cc:8: [obs-macro-arg] SLIM_OBS_COUNT_N "

@@ -161,6 +161,7 @@ const std::map<std::string, CallSpec>& ScannedCalls() {
       {"SLIM_OBS_HISTOGRAM", {0, true, true, true}},
       {"SLIM_OBS_TIMER", {1, true, true, true}},
       {"SLIM_OBS_SPAN", {1, true, true, true}},
+      {"SLIM_OBS_HEARTBEAT", {0, true, true, true}},
       {"SLIM_OBS_LOG", {1, false, false, true}},           // layer tag
       {"SLIM_OBS_DUMP_ON_ERROR", {0, false, false, true}}, // source tag
       // Direct emission helpers: plain functions (no hygiene concern), but
@@ -401,7 +402,7 @@ Status LoadCatalog(const std::filesystem::path& path, Catalog* out) {
     return Status::IoError("cannot open catalog file " + path.string());
   }
   static const std::set<std::string> kTypes = {"counter", "gauge", "histogram",
-                                              "span"};
+                                              "span", "heartbeat"};
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] != '|') continue;

@@ -1,0 +1,10 @@
+#include "obs/obs.h"
+
+// Seeded violations for the SLO/heartbeat metric families: bogus names in
+// each family next to clean ones, proving the catalog rows gate them.
+void FixtureBadSloNames() {
+  SLIM_OBS_COUNT("slim.slo.evaluations");     // clean: exact row
+  SLIM_OBS_COUNT("slim.slo.bogus.metric");    // not in the catalog
+  SLIM_OBS_HEARTBEAT("slim.query");           // clean: heartbeat row
+  SLIM_OBS_HEARTBEAT("obs.bogus_subsystem");  // not in the catalog
+}
