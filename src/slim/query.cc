@@ -568,6 +568,11 @@ Result<std::vector<Binding>> Execute(const trim::TripleStore& store,
     SLIM_OBS_COUNT("slim.query.execute.error");
     return Status::InvalidArgument("query has no clauses");
   }
+  // Pin one store snapshot for the whole execution: every SelectEach the
+  // join recursion issues below evaluates at this epoch (reads nest, so
+  // the recursion shares the pin), which means a concurrent writer can
+  // commit mid-query without ever tearing the result set.
+  trim::TripleStore::Snapshot snapshot(store);
   // When the slow-query sampler is armed, run through the ANALYZE executor
   // so a query that crosses the threshold leaves its full plan behind.
   if (DefaultSlowQueryLog().enabled()) {
@@ -607,6 +612,9 @@ Result<QueryPlan> Explain(const trim::TripleStore& store, const Query& query) {
   if (query.clauses().empty()) {
     return Status::InvalidArgument("query has no clauses");
   }
+  // One snapshot across all PlanAccess probes keeps the estimates mutually
+  // consistent under concurrent writes.
+  trim::TripleStore::Snapshot snapshot(store);
   std::vector<size_t> step_of_clause;
   return BuildPlan(store, query, &step_of_clause);
 }
@@ -618,6 +626,10 @@ Result<AnalyzedQuery> ExplainAnalyze(const trim::TripleStore& store,
   if (query.clauses().empty()) {
     return Status::InvalidArgument("query has no clauses");
   }
+  // Plan estimates and the instrumented execution below read one pinned
+  // epoch, so ANALYZE's predicted-vs-actual comparison is apples-to-apples
+  // even while writers commit.
+  trim::TripleStore::Snapshot snapshot(store);
   std::vector<size_t> step_of_clause;
   SLIM_ASSIGN_OR_RETURN(QueryPlan plan,
                         BuildPlan(store, query, &step_of_clause));

@@ -1,0 +1,193 @@
+#include "trim/epoch.h"
+
+#include <algorithm>
+
+namespace slim::trim {
+namespace {
+
+// Per-thread nested-pin cache. A thread that pins an EpochManager and then
+// pins it again (a join running a nested SelectEach on the same store)
+// must reuse the outer snapshot — both for correctness (one consistent
+// snapshot per logical read) and so the reader-slot table holds one entry
+// per thread, not one per nesting level. A thread can realistically hold
+// pins on a couple of stores at once (e.g. a query over one store while a
+// persistence round-trip touches another); 8 concurrent managers per
+// thread is far above anything the codebase does.
+struct PinEntry {
+  const EpochManager* mgr = nullptr;
+  int slot = -1;  // index into slots_, or -1 for the overflow list
+  uint64_t epoch = 0;
+  int depth = 0;
+};
+
+constexpr int kMaxThreadPins = 8;
+thread_local PinEntry t_pins[kMaxThreadPins];
+
+PinEntry* FindPin(const EpochManager* mgr) {
+  for (auto& e : t_pins) {
+    if (e.mgr == mgr) return &e;
+  }
+  return nullptr;
+}
+
+PinEntry* FreePin() {
+  for (auto& e : t_pins) {
+    if (e.mgr == nullptr) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+EpochManager::~EpochManager() {
+  // No readers can exist by now (destroying the store while reads are in
+  // flight is a caller bug); free whatever is still in limbo.
+  util::MutexLock lock(&limbo_mu_);
+  for (auto& r : limbo_) {
+    r.reclaim();
+    reclaimed_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+  limbo_.clear();
+  limbo_size_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t EpochManager::Pin() {
+  PinEntry* entry = FindPin(this);
+  if (entry != nullptr) {
+    ++entry->depth;
+    return entry->epoch;
+  }
+  entry = FreePin();
+
+  // Claim a slot, then re-check the epoch: if the writer published a new
+  // epoch between our read and our store, re-publish the newer pin. The
+  // stale (smaller) pin is never unsafe — it only delays reclamation — but
+  // re-checking keeps MinPinned() tight. The loop terminates because each
+  // iteration observes a strictly newer epoch.
+  for (size_t i = 0; entry != nullptr && i < kReaderSlots; ++i) {
+    uint64_t e = current();
+    uint64_t expect = 0;
+    if (!slots_[i].epoch.compare_exchange_strong(expect, e,
+                                                 std::memory_order_seq_cst)) {
+      continue;
+    }
+    for (;;) {
+      uint64_t now = current();
+      if (now == e) break;
+      e = now;
+      slots_[i].epoch.store(e, std::memory_order_seq_cst);
+    }
+    *entry = PinEntry{this, static_cast<int>(i), e, 1};
+    return e;
+  }
+
+  // Slow path: slot table full (or this thread already tracks 8 managers).
+  // The overflow list is mutex-guarded; the epoch read under the lock is
+  // race-free against Publish because MinPinned() also takes the lock.
+  uint64_t e;
+  {
+    util::MutexLock lock(&overflow_mu_);
+    e = current();
+    overflow_.push_back(e);
+    overflow_count_.fetch_add(1, std::memory_order_seq_cst);
+  }
+  if (entry != nullptr) *entry = PinEntry{this, -1, e, 1};
+  return e;
+}
+
+void EpochManager::Unpin() {
+  PinEntry* entry = FindPin(this);
+  if (entry == nullptr) {
+    // Pin() ran with all 8 thread-pin entries busy; the pin went to the
+    // overflow list untracked, so we don't know its epoch. Releasing the
+    // LARGEST overflow entry is always conservative: every remaining entry
+    // is <= some still-pinned epoch, so MinPinned() can only underestimate
+    // (delaying reclamation, never corrupting it).
+    ReleaseOverflow(kNeverDies);
+    return;
+  }
+  if (--entry->depth > 0) return;
+  if (entry->slot >= 0) {
+    slots_[entry->slot].epoch.store(0, std::memory_order_seq_cst);
+  } else {
+    ReleaseOverflow(entry->epoch);
+  }
+  *entry = PinEntry{};
+}
+
+void EpochManager::ReleaseOverflow(uint64_t epoch) {
+  util::MutexLock lock(&overflow_mu_);
+  if (overflow_.empty()) return;
+  auto it = epoch == kNeverDies ? overflow_.end()
+                                : std::find(overflow_.begin(), overflow_.end(),
+                                            epoch);
+  if (it == overflow_.end()) {
+    // Exact entry already consumed by an untracked release (or this IS the
+    // untracked release): drop the max — see the conservatism note above.
+    it = std::max_element(overflow_.begin(), overflow_.end());
+  }
+  overflow_.erase(it);
+  overflow_count_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+uint64_t EpochManager::OldestPin() const {
+  uint64_t oldest = kNeverDies;
+  for (const auto& s : slots_) {
+    uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+    if (e != 0 && e < oldest) oldest = e;
+  }
+  if (overflow_count_.load(std::memory_order_seq_cst) > 0) {
+    util::MutexLock lock(&overflow_mu_);
+    for (uint64_t e : overflow_) {
+      if (e < oldest) oldest = e;
+    }
+  }
+  return oldest;
+}
+
+uint64_t EpochManager::MinPinned() const {
+  uint64_t oldest = OldestPin();
+  return oldest == kNeverDies ? current() + 1 : oldest;
+}
+
+void EpochManager::Retire(uint64_t safe_epoch, std::function<void()> reclaim) {
+  util::MutexLock lock(&limbo_mu_);
+  limbo_.push_back(Retired{safe_epoch, std::move(reclaim)});
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
+  limbo_size_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t EpochManager::Reclaim() {
+  if (limbo_size_.load(std::memory_order_relaxed) == 0) return 0;
+  uint64_t min_pinned = MinPinned();
+  size_t freed = 0;
+  util::MutexLock lock(&limbo_mu_);
+  // Safe epochs are monotone non-decreasing in retirement order, so the
+  // first unsafe entry ends the drain.
+  while (!limbo_.empty() && limbo_.front().safe_epoch <= min_pinned) {
+    limbo_.front().reclaim();
+    limbo_.pop_front();
+    ++freed;
+  }
+  if (freed > 0) {
+    reclaimed_total_.fetch_add(freed, std::memory_order_relaxed);
+    limbo_size_.fetch_sub(freed, std::memory_order_relaxed);
+  }
+  return freed;
+}
+
+EpochManager::Stats EpochManager::GetStats() const {
+  Stats s;
+  s.current = current();
+  uint64_t oldest = OldestPin();
+  if (oldest != kNeverDies) {
+    s.oldest_pin = oldest;
+    s.lag = s.current > oldest ? s.current - oldest : 0;
+  }
+  s.retired = retired_total_.load(std::memory_order_relaxed);
+  s.reclaimed = reclaimed_total_.load(std::memory_order_relaxed);
+  s.limbo = limbo_size_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace slim::trim

@@ -65,6 +65,17 @@ std::string StoreStats::ToText() const {
     }
   }
   line("predicate fanout", fanout);
+  if (shard_count > 0) {
+    line("shards", std::to_string(shard_count) + " (live max " +
+                       std::to_string(shard_max_live) + " / min " +
+                       std::to_string(shard_min_live) + ", skew x100 " +
+                       std::to_string(shard_skew_x100) + ")");
+    line("epoch", std::to_string(epoch_current) + " (lag " +
+                      std::to_string(epoch_lag) + ", limbo " +
+                      std::to_string(epoch_limbo) + ", reclaimed " +
+                      std::to_string(epoch_reclaimed) + "/" +
+                      std::to_string(epoch_retired) + ")");
+  }
   if (backend == "interned") {
     line("interned strings", std::to_string(interned_strings) + " (" +
                                  std::to_string(interned_bytes) + " bytes)");
@@ -93,6 +104,22 @@ std::string StoreStats::ToJson() const {
   out += "]";
   AppendU64("interned_strings", interned_strings, &first, &out);
   AppendU64("interned_bytes", interned_bytes, &first, &out);
+  AppendU64("shard_count", shard_count, &first, &out);
+  out += ",\"shard_live\":[";
+  for (size_t i = 0; i < shard_live.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(shard_live[i]);
+  }
+  out += "]";
+  AppendU64("shard_max_live", shard_max_live, &first, &out);
+  AppendU64("shard_min_live", shard_min_live, &first, &out);
+  AppendU64("shard_skew_x100", shard_skew_x100, &first, &out);
+  AppendU64("epoch_current", epoch_current, &first, &out);
+  AppendU64("epoch_oldest_pin", epoch_oldest_pin, &first, &out);
+  AppendU64("epoch_lag", epoch_lag, &first, &out);
+  AppendU64("epoch_retired", epoch_retired, &first, &out);
+  AppendU64("epoch_reclaimed", epoch_reclaimed, &first, &out);
+  AppendU64("epoch_limbo", epoch_limbo, &first, &out);
   AppendU64("approximate_bytes", approximate_bytes, &first, &out);
   out += "}";
   return out;
@@ -101,21 +128,46 @@ std::string StoreStats::ToJson() const {
 StoreStats ComputeStats(const TripleStore& store) {
   StoreStats stats;
   stats.backend = "hash";
-  stats.live_triples = store.live_count_;
-  stats.tombstoned = store.free_slots_.size();
-  stats.subject_keys = store.by_subject_.size();
-  stats.property_keys = store.by_property_.size();
-  stats.object_keys = store.by_object_text_.size();
-  for (const auto& [key, postings] : store.by_subject_) {
-    stats.subject_postings += postings.size();
+  // The global per-key tallies are writer-state: hold the writer lock for
+  // a consistent reading (stats refreshes are rare; the pause is one map
+  // walk, no record scanning).
+  util::MutexLock lock(&store.write_mu_);
+  stats.live_triples = store.live_count_.load(std::memory_order_relaxed);
+  stats.subject_keys = store.subject_live_.size();
+  stats.property_keys = store.property_live_.size();
+  stats.object_keys = store.object_live_.size();
+  for (const auto& [key, live] : store.subject_live_) {
+    stats.subject_postings += live;
   }
-  for (const auto& [key, postings] : store.by_property_) {
-    stats.property_postings += postings.size();
-    RecordFanout(postings.size(), &stats);
+  for (const auto& [key, live] : store.property_live_) {
+    stats.property_postings += live;
+    RecordFanout(live, &stats);
   }
-  for (const auto& [key, postings] : store.by_object_text_) {
-    stats.object_postings += postings.size();
+  for (const auto& [key, live] : store.object_live_) {
+    stats.object_postings += live;
   }
+  stats.shard_count = TripleStore::kNumShards;
+  stats.shard_live.reserve(TripleStore::kNumShards);
+  stats.shard_min_live = UINT64_MAX;
+  for (const auto& shard : store.shards_) {
+    uint64_t live = shard.live.load(std::memory_order_relaxed);
+    stats.tombstoned += shard.dead.load(std::memory_order_relaxed);
+    stats.shard_live.push_back(live);
+    stats.shard_max_live = std::max(stats.shard_max_live, live);
+    stats.shard_min_live = std::min(stats.shard_min_live, live);
+  }
+  if (stats.shard_min_live == UINT64_MAX) stats.shard_min_live = 0;
+  if (stats.live_triples > 0) {
+    stats.shard_skew_x100 =
+        stats.shard_max_live * stats.shard_count * 100 / stats.live_triples;
+  }
+  EpochManager::Stats epoch = store.epoch_.GetStats();
+  stats.epoch_current = epoch.current;
+  stats.epoch_oldest_pin = epoch.oldest_pin;
+  stats.epoch_lag = epoch.lag;
+  stats.epoch_retired = epoch.retired;
+  stats.epoch_reclaimed = epoch.reclaimed;
+  stats.epoch_limbo = epoch.limbo;
   stats.approximate_bytes = store.ApproximateBytes();
   return stats;
 }
@@ -171,6 +223,16 @@ void PublishStoreStats(const StoreStats& stats,
   set("slim.store.interned.strings", stats.interned_strings);
   set("slim.store.interned.bytes", stats.interned_bytes);
   set("slim.store.approx_bytes", stats.approximate_bytes);
+  set("slim.store.shard.count", stats.shard_count);
+  set("slim.store.shard.max_live", stats.shard_max_live);
+  set("slim.store.shard.min_live", stats.shard_min_live);
+  set("slim.store.shard.skew_x100", stats.shard_skew_x100);
+  set("slim.store.epoch.current", stats.epoch_current);
+  set("slim.store.epoch.oldest_pin", stats.epoch_oldest_pin);
+  set("slim.store.epoch.lag", stats.epoch_lag);
+  set("slim.store.epoch.retired", stats.epoch_retired);
+  set("slim.store.epoch.reclaimed", stats.epoch_reclaimed);
+  set("slim.store.epoch.limbo", stats.epoch_limbo);
 }
 
 }  // namespace slim::trim

@@ -7,6 +7,37 @@
 #include "obs/obs.h"
 
 namespace slim::trim {
+namespace {
+
+// Set while a mutator holds write_mu_: reads issued by the writer thread
+// itself (duplicate checks, SetOne's embedded RemoveMatching) evaluate at
+// the pending epoch so a batch observes its own effects, while other
+// threads keep reading the last published snapshot.
+struct WriterCtx {
+  const void* store = nullptr;
+  uint64_t epoch = 0;
+};
+thread_local WriterCtx t_writer_ctx;
+
+// Per-key live tally behind DistinctSubjects/Properties/Objects. A free
+// function (not a lambda over members) so the GUARDED_BY check fires at
+// the caller, which holds write_mu_.
+void BumpKeyCount(std::unordered_map<std::string, uint64_t>& map,
+                  const std::string& key, int delta,
+                  std::atomic<uint64_t>& distinct) {
+  if (delta > 0) {
+    if (++map[key] == 1) distinct.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto it = map.find(key);
+  if (it == map.end()) return;
+  if (--it->second == 0) {
+    map.erase(it);
+    distinct.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
 
 std::string TripleToString(const Triple& t) {
   std::string out = "(" + t.subject + ", " + t.property + ", ";
@@ -37,12 +68,189 @@ bool TriplePattern::Matches(const Triple& t) const {
   return true;
 }
 
-Status TripleStore::Add(Triple triple, bool allow_duplicates) {
-  util::MutexLock lock(&write_mu_);
-  return AddLocked(std::move(triple), allow_duplicates);
+uint64_t TripleStore::Fnv1a(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
-Status TripleStore::AddLocked(Triple triple, bool allow_duplicates) {
+size_t TripleStore::ShardOf(std::string_view subject) {
+  return Fnv1a(subject) & (kNumShards - 1);
+}
+
+TripleStore::Record* TripleStore::RecordAt(const ShardGuts& guts,
+                                           uint32_t slot) {
+  Chunk* chunk = guts.chunks[slot / kChunkSize].load(std::memory_order_seq_cst);
+  return &chunk->records[slot % kChunkSize];
+}
+
+bool TripleStore::Visible(const Record& rec, uint64_t snapshot) {
+  uint64_t birth = rec.birth.load(std::memory_order_relaxed);
+  if (birth == 0 || birth > snapshot) return false;
+  return snapshot < rec.death.load(std::memory_order_relaxed);
+}
+
+TripleStore::IndexNode* TripleStore::FindNode(const IndexMap& map,
+                                              std::string_view key) {
+  return FindNodeAt(map, key, Bucket(key));
+}
+
+TripleStore::IndexNode* TripleStore::FindNodeAt(const IndexMap& map,
+                                                std::string_view key,
+                                                size_t bucket) {
+  for (IndexNode* n = map.buckets[bucket].load(std::memory_order_seq_cst);
+       n != nullptr; n = n->next) {
+    if (n->key == key) return n;
+  }
+  return nullptr;
+}
+
+TripleStore::IndexNode* TripleStore::FindOrCreateNode(IndexMap& map,
+                                                      const std::string& key) {
+  IndexNode* found = FindNode(map, key);
+  if (found != nullptr) return found;
+  std::atomic<IndexNode*>& head = map.buckets[Bucket(key)];
+  // New node fully built (key, empty spine, next) before publication.
+  IndexNode* node = new IndexNode(key, head.load(std::memory_order_relaxed));
+  head.store(node, std::memory_order_seq_cst);
+  return node;
+}
+
+void TripleStore::AppendPosting(IndexNode* node, uint32_t slot,
+                                const ShardGuts& guts) {
+  Spine* spine = node->list.spine.load(std::memory_order_relaxed);
+  uint64_t used = spine->used.load(std::memory_order_relaxed);
+  if (used < spine->slots.size()) {
+    spine->slots[used] = slot;
+    spine->used.store(used + 1, std::memory_order_seq_cst);
+    return;
+  }
+  // Grow by copy. Entries dead at or before the oldest epoch anyone could
+  // still pin are dropped on the way — this is where retired postings are
+  // pruned as the oldest pinned epoch advances. A future reader pins at
+  // least current(), so min(MinPinned, current) bounds every reachable
+  // snapshot from below.
+  uint64_t cutoff = std::min(epoch_.MinPinned(), epoch_.current());
+  Spine* grown = new Spine(std::max<size_t>(kInitialSpineCap, 2 * (used + 1)));
+  uint64_t kept = 0;
+  for (uint64_t i = 0; i < used; ++i) {
+    uint32_t s = spine->slots[i];
+    if (RecordAt(guts, s)->death.load(std::memory_order_relaxed) <= cutoff) {
+      continue;
+    }
+    grown->slots[kept++] = s;
+  }
+  grown->slots[kept++] = slot;
+  grown->used.store(kept, std::memory_order_relaxed);  // published by the swap
+  node->list.spine.store(grown, std::memory_order_seq_cst);
+  // A reader pinned at the current epoch may already hold the old spine
+  // pointer, so it only becomes freeable one epoch later.
+  epoch_.Retire(epoch_.current() + 1, [spine] { delete spine; });
+}
+
+void TripleStore::FreeGuts(ShardGuts* guts) {
+  if (guts == nullptr) return;
+  for (auto& c : guts->chunks) {
+    delete c.load(std::memory_order_relaxed);
+  }
+  for (IndexMap* map : {&guts->by_subject, &guts->by_property,
+                        &guts->by_object}) {
+    for (auto& bucket : map->buckets) {
+      IndexNode* n = bucket.load(std::memory_order_relaxed);
+      while (n != nullptr) {
+        IndexNode* next = n->next;
+        delete n;  // ~PostingList frees the current spine
+        n = next;
+      }
+    }
+  }
+  delete guts;
+}
+
+// ---------------------------------------------------------------------------
+// Writer batch scope
+// ---------------------------------------------------------------------------
+
+/// One committed epoch: created by every public mutator right after taking
+/// write_mu_ (construction order matters — the lock must outlive the scope
+/// so the commit happens while still holding it). Ops stamp births/deaths
+/// with the pending epoch; the destructor publishes it, making the whole
+/// batch visible atomically, retires the batch's tombstoned payloads, and
+/// periodically reclaims.
+class TripleStore::WriterScope {
+ public:
+  explicit WriterScope(TripleStore& store) REQUIRES(store.write_mu_)
+      : store_(store), epoch_(store.epoch_.current() + 1) {
+    t_writer_ctx = WriterCtx{&store_, epoch_};
+  }
+
+  ~WriterScope() REQUIRES(store_.write_mu_) {
+    t_writer_ctx = WriterCtx{};
+    if (!dirty_) return;
+    if (!dead_.empty()) {
+      // Payloads freed once every pinned epoch reaches the death epoch
+      // (safe = epoch_: a reader pinned at >= epoch_ can't see them).
+      auto dead = std::make_shared<std::vector<Record*>>(std::move(dead_));
+      store_.epoch_.Retire(epoch_, [dead] {
+        for (Record* r : *dead) r->triple = Triple{};
+      });
+    }
+    store_.epoch_.Publish(epoch_);
+    if (++store_.commit_count_ % kReclaimInterval == 0) {
+      store_.ReclaimLocked();
+    }
+  }
+
+  WriterScope(const WriterScope&) = delete;
+  WriterScope& operator=(const WriterScope&) = delete;
+
+  uint64_t epoch() const { return epoch_; }
+  void MarkDirty() { dirty_ = true; }
+  void AddDead(Record* rec) { dead_.push_back(rec); }
+
+ private:
+  TripleStore& store_;
+  uint64_t epoch_;
+  bool dirty_ = false;
+  std::vector<Record*> dead_;
+};
+
+TripleStore::ReadPin TripleStore::BeginRead() const {
+  if (t_writer_ctx.store == this) {
+    return ReadPin{t_writer_ctx.epoch, false};
+  }
+  return ReadPin{epoch_.Pin(), true};
+}
+
+void TripleStore::EndRead(ReadPin pin) const {
+  if (pin.pinned) epoch_.Unpin();
+}
+
+TripleStore::~TripleStore() {
+  // No reader may outlive the store; with nothing pinned every limbo entry
+  // is reclaimable, and the drain must run before the guts it references
+  // are freed below.
+  epoch_.Reclaim();
+  for (Shard& shard : shards_) {
+    FreeGuts(shard.guts.load(std::memory_order_relaxed));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mutations
+// ---------------------------------------------------------------------------
+
+Status TripleStore::Add(Triple triple, bool allow_duplicates) {
+  util::MutexLock lock(&write_mu_);
+  WriterScope ws(*this);
+  return AddLocked(std::move(triple), allow_duplicates, ws);
+}
+
+Status TripleStore::AddLocked(Triple triple, bool allow_duplicates,
+                              WriterScope& ws) {
   if (triple.subject.empty() || triple.property.empty()) {
     SLIM_OBS_COUNT("trim.add.invalid");
     return Status::InvalidArgument("triple subject/property must be non-empty");
@@ -52,21 +260,64 @@ Status TripleStore::AddLocked(Triple triple, bool allow_duplicates) {
     return Status::AlreadyExists("duplicate statement " +
                                  TripleToString(triple));
   }
-  SLIM_OBS_COUNT("trim.add.ok");
-  TripleId id;
-  if (!free_slots_.empty()) {
-    id = free_slots_.back();
-    free_slots_.pop_back();
-    triples_[id] = std::move(triple);
-    live_[id] = true;
-  } else {
-    id = static_cast<TripleId>(triples_.size());
-    triples_.push_back(std::move(triple));
-    live_.push_back(true);
+  size_t shard_idx = ShardOf(triple.subject);
+  Shard& shard = shards_[shard_idx];
+  ShardGuts* guts = shard.guts.load(std::memory_order_relaxed);
+  if (guts == nullptr) {
+    guts = new ShardGuts();
+    shard.guts.store(guts, std::memory_order_seq_cst);
   }
-  ++live_count_;
-  IndexAdd(id);
+  uint64_t slot = guts->size.load(std::memory_order_relaxed);
+  if (slot >= kChunkSize * kMaxChunks) {
+    // Log full: force a compaction (drops records no snapshot can see) and
+    // retry once.
+    MaybeCompactShard(shard_idx, /*force=*/true);
+    guts = shard.guts.load(std::memory_order_relaxed);
+    if (guts == nullptr) {
+      guts = new ShardGuts();
+      shard.guts.store(guts, std::memory_order_seq_cst);
+    }
+    slot = guts->size.load(std::memory_order_relaxed);
+    if (slot >= kChunkSize * kMaxChunks) {
+      return Status::OutOfRange("triple store shard is full");
+    }
+  }
+  SLIM_OBS_COUNT("trim.add.ok");
+  size_t chunk_idx = slot / kChunkSize;
+  Chunk* chunk = guts->chunks[chunk_idx].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Chunk();
+    guts->chunks[chunk_idx].store(chunk, std::memory_order_seq_cst);
+  }
+  Record& rec = chunk->records[slot % kChunkSize];
+  rec.triple = std::move(triple);
+  rec.birth.store(ws.epoch(), std::memory_order_relaxed);
+  rec.death.store(EpochManager::kNeverDies, std::memory_order_relaxed);
+  guts->size.store(slot + 1, std::memory_order_seq_cst);
+
+  const Triple& t = rec.triple;
+  uint32_t slot32 = static_cast<uint32_t>(slot);
+  IndexNode* sn = FindOrCreateNode(guts->by_subject, t.subject);
+  AppendPosting(sn, slot32, *guts);
+  sn->live.fetch_add(1, std::memory_order_relaxed);
+  IndexNode* pn = FindOrCreateNode(guts->by_property, t.property);
+  AppendPosting(pn, slot32, *guts);
+  pn->live.fetch_add(1, std::memory_order_relaxed);
+  IndexNode* on = FindOrCreateNode(guts->by_object, t.object.text);
+  AppendPosting(on, slot32, *guts);
+  on->live.fetch_add(1, std::memory_order_relaxed);
+
+  shard.live.fetch_add(1, std::memory_order_relaxed);
+  live_count_.fetch_add(1, std::memory_order_relaxed);
+  BumpKeyLive(t, +1);
+  ws.MarkDirty();
   return Status::OK();
+}
+
+void TripleStore::BumpKeyLive(const Triple& t, int delta) {
+  BumpKeyCount(subject_live_, t.subject, delta, distinct_subjects_);
+  BumpKeyCount(property_live_, t.property, delta, distinct_properties_);
+  BumpKeyCount(object_live_, t.object.text, delta, distinct_objects_);
 }
 
 Status TripleStore::AddLiteral(std::string subject, std::string property,
@@ -81,43 +332,40 @@ Status TripleStore::AddResource(std::string subject, std::string property,
                     Object::Resource(std::move(resource))});
 }
 
-void TripleStore::IndexAdd(TripleId id) {
-  const Triple& t = triples_[id];
-  by_subject_[t.subject].push_back(id);
-  by_property_[t.property].push_back(id);
-  by_object_text_[t.object.text].push_back(id);
-}
-
-void TripleStore::IndexRemove(TripleId id) {
-  const Triple& t = triples_[id];
-  auto drop = [id](std::unordered_map<std::string, std::vector<TripleId>>& map,
-                   const std::string& key) {
-    auto it = map.find(key);
-    if (it == map.end()) return;
-    auto& vec = it->second;
-    vec.erase(std::remove(vec.begin(), vec.end(), id), vec.end());
-    if (vec.empty()) map.erase(it);
-  };
-  drop(by_subject_, t.subject);
-  drop(by_property_, t.property);
-  drop(by_object_text_, t.object.text);
-}
-
 Status TripleStore::Remove(const Triple& triple) {
   util::MutexLock lock(&write_mu_);
-  return RemoveLocked(triple);
+  WriterScope ws(*this);
+  return RemoveLocked(triple, ws);
 }
 
-Status TripleStore::RemoveLocked(const Triple& triple) {
-  auto it = by_subject_.find(triple.subject);
-  if (it != by_subject_.end()) {
-    for (TripleId id : it->second) {
-      if (live_[id] && triples_[id] == triple) {
-        IndexRemove(id);
-        live_[id] = false;
-        triples_[id] = Triple{};
-        free_slots_.push_back(id);
-        --live_count_;
+Status TripleStore::RemoveLocked(const Triple& triple, WriterScope& ws) {
+  size_t shard_idx = ShardOf(triple.subject);
+  Shard& shard = shards_[shard_idx];
+  ShardGuts* guts = shard.guts.load(std::memory_order_relaxed);
+  uint64_t epoch = ws.epoch();
+  if (guts != nullptr) {
+    if (IndexNode* sn = FindNode(guts->by_subject, triple.subject)) {
+      Spine* spine = sn->list.spine.load(std::memory_order_relaxed);
+      uint64_t used = spine->used.load(std::memory_order_relaxed);
+      for (uint64_t i = 0; i < used; ++i) {
+        Record* rec = RecordAt(*guts, spine->slots[i]);
+        if (!Visible(*rec, epoch)) continue;
+        if (!(rec->triple == triple)) continue;
+        rec->death.store(epoch, std::memory_order_relaxed);
+        sn->live.fetch_sub(1, std::memory_order_relaxed);
+        if (IndexNode* pn = FindNode(guts->by_property, triple.property)) {
+          pn->live.fetch_sub(1, std::memory_order_relaxed);
+        }
+        if (IndexNode* on = FindNode(guts->by_object, triple.object.text)) {
+          on->live.fetch_sub(1, std::memory_order_relaxed);
+        }
+        shard.live.fetch_sub(1, std::memory_order_relaxed);
+        shard.dead.fetch_add(1, std::memory_order_relaxed);
+        shard.max_death_epoch = epoch;
+        live_count_.fetch_sub(1, std::memory_order_relaxed);
+        BumpKeyLive(triple, -1);
+        ws.AddDead(rec);
+        ws.MarkDirty();
         SLIM_OBS_COUNT("trim.remove.ok");
         return Status::OK();
       }
@@ -129,65 +377,305 @@ Status TripleStore::RemoveLocked(const Triple& triple) {
 
 size_t TripleStore::RemoveMatching(const TriplePattern& pattern) {
   util::MutexLock lock(&write_mu_);
-  return RemoveMatchingLocked(pattern);
+  WriterScope ws(*this);
+  return RemoveMatchingLocked(pattern, ws);
 }
 
-size_t TripleStore::RemoveMatchingLocked(const TriplePattern& pattern) {
+size_t TripleStore::RemoveMatchingLocked(const TriplePattern& pattern,
+                                         WriterScope& ws) {
   std::vector<Triple> victims = Select(pattern);
   for (const Triple& t : victims) {
-    RemoveLocked(t).ok();  // each was just observed live
+    RemoveLocked(t, ws).ok();  // each was just observed live
   }
   return victims.size();
 }
 
-bool TripleStore::Contains(const Triple& triple) const {
-  auto it = by_subject_.find(triple.subject);
-  if (it == by_subject_.end()) return false;
-  for (TripleId id : it->second) {
-    if (live_[id] && triples_[id] == triple) return true;
+TripleStore::BatchResult TripleStore::ApplyBatch(std::vector<WriteOp> ops) {
+  util::MutexLock lock(&write_mu_);
+  WriterScope ws(*this);
+  BatchResult result;
+  result.epoch = ws.epoch();
+  result.statuses.reserve(ops.size());
+  for (WriteOp& op : ops) {
+    Status s = op.kind == WriteOp::Kind::kAdd
+                   ? AddLocked(std::move(op.triple), op.allow_duplicates, ws)
+                   : RemoveLocked(op.triple, ws);
+    if (s.ok()) ++result.applied;
+    result.statuses.push_back(std::move(s));
   }
-  return false;
+  return result;
 }
 
-const std::vector<TripleStore::TripleId>* TripleStore::CandidateList(
-    const TriplePattern& pattern, std::vector<TripleId>* scratch,
-    IndexPath* path) const {
-  // Choose the smallest available index list.
-  const std::vector<TripleId>* best = nullptr;
-  IndexPath chosen = IndexPath::kScan;
-  auto consider = [&](const std::unordered_map<std::string,
-                                               std::vector<TripleId>>& map,
-                      const std::string& key, IndexPath which) {
-    auto it = map.find(key);
-    if (it == map.end()) {
-      scratch->clear();
-      best = scratch;  // empty — nothing can match
-      chosen = IndexPath::kEmpty;
-      return true;     // can't get more selective than empty
+Status TripleStore::SetOne(const std::string& subject,
+                           const std::string& property, Object object) {
+  SLIM_OBS_COUNT("trim.set_one.calls");
+  util::MutexLock lock(&write_mu_);
+  WriterScope ws(*this);
+  RemoveMatchingLocked(TriplePattern::BySubjectProperty(subject, property), ws);
+  return AddLocked(Triple{subject, property, std::move(object)},
+                   /*allow_duplicates=*/false, ws);
+}
+
+void TripleStore::Clear() {
+  util::MutexLock lock(&write_mu_);
+  {
+    WriterScope ws(*this);
+    uint64_t epoch = ws.epoch();
+    for (Shard& shard : shards_) {
+      ShardGuts* guts = shard.guts.load(std::memory_order_relaxed);
+      if (guts == nullptr) continue;
+      uint64_t n = guts->size.load(std::memory_order_relaxed);
+      uint64_t cleared = 0;
+      for (uint64_t slot = 0; slot < n; ++slot) {
+        Record* rec = RecordAt(*guts, static_cast<uint32_t>(slot));
+        if (rec->death.load(std::memory_order_relaxed) !=
+            EpochManager::kNeverDies) {
+          continue;
+        }
+        rec->death.store(epoch, std::memory_order_relaxed);
+        ws.AddDead(rec);
+        ++cleared;
+      }
+      if (cleared > 0) {
+        shard.live.store(0, std::memory_order_relaxed);
+        shard.dead.fetch_add(cleared, std::memory_order_relaxed);
+        shard.max_death_epoch = epoch;
+        ws.MarkDirty();
+      }
     }
-    if (best == nullptr || it->second.size() < best->size()) {
-      best = &it->second;
-      chosen = which;
+    live_count_.store(0, std::memory_order_relaxed);
+    subject_live_.clear();
+    property_live_.clear();
+    object_live_.clear();
+    distinct_subjects_.store(0, std::memory_order_relaxed);
+    distinct_properties_.store(0, std::memory_order_relaxed);
+    distinct_objects_.store(0, std::memory_order_relaxed);
+  }
+  // Quiescent stores drop straight back to empty guts here; pinned readers
+  // keep their snapshot and the reset waits for them.
+  ReclaimLocked();
+}
+
+// ---------------------------------------------------------------------------
+// Reclamation & compaction
+// ---------------------------------------------------------------------------
+
+void TripleStore::MaybeCompactShard(size_t shard_idx, bool force) {
+  Shard& shard = shards_[shard_idx];
+  uint64_t dead = shard.dead.load(std::memory_order_relaxed);
+  if (dead == 0) return;
+  uint64_t live = shard.live.load(std::memory_order_relaxed);
+  if (!force && live != 0 &&
+      (dead < kCompactDeadFloor || dead < live)) {
+    return;
+  }
+  // Every dead record in this shard died at or before max_death_epoch; the
+  // compacted guts may drop them only when no pinned reader can still see
+  // any of them.
+  if (epoch_.MinPinned() <= shard.max_death_epoch) return;
+  ShardGuts* old = shard.guts.load(std::memory_order_relaxed);
+  if (old == nullptr) return;
+
+  ShardGuts* fresh = nullptr;
+  if (live != 0) {
+    fresh = new ShardGuts();
+    uint64_t n = old->size.load(std::memory_order_relaxed);
+    for (uint64_t slot = 0; slot < n; ++slot) {
+      Record* rec = RecordAt(*old, static_cast<uint32_t>(slot));
+      if (rec->death.load(std::memory_order_relaxed) !=
+          EpochManager::kNeverDies) {
+        continue;
+      }
+      uint64_t dst_slot = fresh->size.load(std::memory_order_relaxed);
+      size_t chunk_idx = dst_slot / kChunkSize;
+      Chunk* chunk = fresh->chunks[chunk_idx].load(std::memory_order_relaxed);
+      if (chunk == nullptr) {
+        chunk = new Chunk();
+        fresh->chunks[chunk_idx].store(chunk, std::memory_order_seq_cst);
+      }
+      Record& dst = chunk->records[dst_slot % kChunkSize];
+      dst.triple = rec->triple;
+      // Keep the birth stamp: a reader pinned before this record appeared
+      // must still not see it through the compacted guts.
+      dst.birth.store(rec->birth.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      fresh->size.store(dst_slot + 1, std::memory_order_seq_cst);
+      uint32_t slot32 = static_cast<uint32_t>(dst_slot);
+      IndexNode* sn = FindOrCreateNode(fresh->by_subject, dst.triple.subject);
+      AppendPosting(sn, slot32, *fresh);
+      sn->live.fetch_add(1, std::memory_order_relaxed);
+      IndexNode* pn = FindOrCreateNode(fresh->by_property, dst.triple.property);
+      AppendPosting(pn, slot32, *fresh);
+      pn->live.fetch_add(1, std::memory_order_relaxed);
+      IndexNode* on =
+          FindOrCreateNode(fresh->by_object, dst.triple.object.text);
+      AppendPosting(on, slot32, *fresh);
+      on->live.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  shard.guts.store(fresh, std::memory_order_seq_cst);
+  shard.dead.store(0, std::memory_order_relaxed);
+  shard.max_death_epoch = 0;
+  // Readers pinned at the current epoch may hold the old guts pointer.
+  epoch_.Retire(epoch_.current() + 1, [old] { FreeGuts(old); });
+}
+
+void TripleStore::ReclaimLocked() {
+  for (size_t i = 0; i < kNumShards; ++i) {
+    MaybeCompactShard(i);
+  }
+  epoch_.Reclaim();
+}
+
+size_t TripleStore::ReclaimRetired() {
+  util::MutexLock lock(&write_mu_);
+  for (size_t i = 0; i < kNumShards; ++i) {
+    MaybeCompactShard(i);
+  }
+  return epoch_.Reclaim();
+}
+
+std::array<uint64_t, TripleStore::kNumShards> TripleStore::ShardLiveCounts()
+    const {
+  std::array<uint64_t, kNumShards> out{};
+  for (size_t i = 0; i < kNumShards; ++i) {
+    out[i] = shards_[i].live.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+// ---------------------------------------------------------------------------
+
+bool TripleStore::Contains(const Triple& triple) const {
+  ReadPin pin = BeginRead();
+  bool found = false;
+  const ShardGuts* guts =
+      shards_[ShardOf(triple.subject)].guts.load(std::memory_order_seq_cst);
+  if (guts != nullptr) {
+    if (const IndexNode* sn = FindNode(guts->by_subject, triple.subject)) {
+      const Spine* spine = sn->list.spine.load(std::memory_order_seq_cst);
+      uint64_t used = spine->used.load(std::memory_order_seq_cst);
+      for (uint64_t i = 0; i < used; ++i) {
+        Record* rec = RecordAt(*guts, spine->slots[i]);
+        if (Visible(*rec, pin.snapshot) && rec->triple == triple) {
+          found = true;
+          break;
+        }
+      }
+    }
+  }
+  EndRead(pin);
+  return found;
+}
+
+TripleStore::PathChoice TripleStore::ChoosePath(
+    const TriplePattern& pattern, uint64_t snapshot,
+    const std::array<const ShardGuts*, kNumShards>& guts) const {
+  PathChoice chosen;
+  bool have = false;
+  uint64_t best_count = 0;
+
+  // Visible-candidate count + node list for one fixed key. node->live is
+  // the exact per-key live count when quiescent (what the pre-shard store
+  // reported); when it reads 0 the spines are walked so a pinned snapshot
+  // that can still see entries is never short-circuited to kEmpty.
+  auto gather = [&](int field, std::string_view key,
+                    PathChoice& out) -> uint64_t {
+    out.node_count = 0;
+    uint64_t live_sum = 0;
+    auto add_node = [&](const ShardGuts* g, const IndexNode* n) {
+      if (n == nullptr) return;
+      out.nodes[out.node_count] = n;
+      out.node_guts[out.node_count] = g;
+      ++out.node_count;
+      live_sum += n->live.load(std::memory_order_relaxed);
+    };
+    if (field == 0) {
+      const ShardGuts* g = guts[ShardOf(key)];
+      if (g != nullptr) add_node(g, FindNode(g->by_subject, key));
+    } else {
+      size_t bucket = Bucket(key);
+      for (size_t i = 0; i < kNumShards; ++i) {
+        const ShardGuts* g = guts[i];
+        if (g == nullptr) continue;
+        add_node(g, FindNodeAt(field == 1 ? g->by_object : g->by_property,
+                               key, bucket));
+      }
+    }
+    if (live_sum != 0 || out.node_count == 0) return live_sum;
+    uint64_t visible = 0;
+    for (size_t i = 0; i < out.node_count; ++i) {
+      const Spine* spine =
+          out.nodes[i]->list.spine.load(std::memory_order_seq_cst);
+      uint64_t used = spine->used.load(std::memory_order_seq_cst);
+      for (uint64_t j = 0; j < used; ++j) {
+        if (Visible(*RecordAt(*out.node_guts[i], spine->slots[j]), snapshot)) {
+          ++visible;
+        }
+      }
+    }
+    return visible;
+  };
+
+  // Same consideration order and tie-breaking as the pre-shard store:
+  // subject, then object, then property; a provably-empty key wins
+  // outright; otherwise the strictly smaller candidate list.
+  auto consider = [&](int field, IndexPath path, std::string_view key) {
+    PathChoice candidate;
+    candidate.path = path;
+    uint64_t count = gather(field, key, candidate);
+    if (count == 0) {
+      chosen = PathChoice{};
+      chosen.path = IndexPath::kEmpty;
+      have = true;
+      return true;  // can't get more selective than empty
+    }
+    if (!have || count < best_count) {
+      candidate.candidates = count;
+      chosen = candidate;
+      best_count = count;
+      have = true;
     }
     return false;
   };
-  auto done = [&]() {
-    if (path != nullptr) *path = chosen;
-    return best;  // may be nullptr: full scan
-  };
+
   if (pattern.subject &&
-      consider(by_subject_, *pattern.subject, IndexPath::kSubject)) {
-    return done();
+      consider(0, IndexPath::kSubject, *pattern.subject)) {
+    return chosen;
+  }
+  // A fixed subject resolves to exactly one shard's node; when its posting
+  // list is already tiny, walking it is cheaper than probing all
+  // kNumShards index maps for the object/property counts. Point reads
+  // (GetOne, Contains-style probes) live on this path.
+  if (pattern.subject && have && best_count <= 64) {
+    return chosen;
   }
   if (pattern.object &&
-      consider(by_object_text_, pattern.object->text, IndexPath::kObject)) {
-    return done();
+      consider(1, IndexPath::kObject, pattern.object->text)) {
+    return chosen;
+  }
+  // Same trade as above: once some path's candidate list is tiny, walking
+  // it beats another kNumShards-wide index probe for the property count.
+  if (have && best_count <= 64) {
+    return chosen;
   }
   if (pattern.property &&
-      consider(by_property_, *pattern.property, IndexPath::kProperty)) {
-    return done();
+      consider(2, IndexPath::kProperty, *pattern.property)) {
+    return chosen;
   }
-  return done();
+  if (!have) {
+    // Full scan: candidate count is every published record slot, dead ones
+    // included (they are "candidates the path offers" and get filtered).
+    chosen.path = IndexPath::kScan;
+    uint64_t total = 0;
+    for (const ShardGuts* g : guts) {
+      if (g != nullptr) total += g->size.load(std::memory_order_seq_cst);
+    }
+    chosen.candidates = total;
+  }
+  return chosen;
 }
 
 std::vector<Triple> TripleStore::Select(const TriplePattern& pattern) const {
@@ -203,11 +691,13 @@ void TripleStore::SelectEach(const TriplePattern& pattern,
                              const std::function<bool(const Triple&)>& fn,
                              SelectStats* stats) const {
   SLIM_OBS_COUNT("trim.select.calls");
-  std::vector<TripleId> scratch;
-  IndexPath path = IndexPath::kScan;
-  const std::vector<TripleId>* candidates =
-      CandidateList(pattern, &scratch, &path);
-  switch (path) {
+  ReadPin pin = BeginRead();
+  std::array<const ShardGuts*, kNumShards> guts;
+  for (size_t i = 0; i < kNumShards; ++i) {
+    guts[i] = shards_[i].guts.load(std::memory_order_seq_cst);
+  }
+  PathChoice choice = ChoosePath(pattern, pin.snapshot, guts);
+  switch (choice.path) {
     case IndexPath::kSubject: SLIM_OBS_COUNT("trim.select.index.subject"); break;
     case IndexPath::kObject: SLIM_OBS_COUNT("trim.select.index.object"); break;
     case IndexPath::kProperty: SLIM_OBS_COUNT("trim.select.index.property"); break;
@@ -215,37 +705,58 @@ void TripleStore::SelectEach(const TriplePattern& pattern,
     case IndexPath::kEmpty: SLIM_OBS_COUNT("trim.select.index.empty"); break;
   }
   if (stats != nullptr) {
-    stats->path = path;
-    stats->candidates =
-        candidates != nullptr ? candidates->size() : triples_.size();
+    stats->path = choice.path;
+    stats->candidates = choice.candidates;
   }
-  auto visit = [&](TripleId id) {
-    if (!live_[id]) return true;
+  auto visit = [&](Record* rec) {
+    if (!Visible(*rec, pin.snapshot)) return true;
     if (stats != nullptr) ++stats->examined;
-    if (!pattern.Matches(triples_[id])) return true;
+    if (!pattern.Matches(rec->triple)) return true;
     if (stats != nullptr) ++stats->matched;
-    return fn(triples_[id]);
+    return fn(rec->triple);
   };
-  if (candidates != nullptr) {
-    for (TripleId id : *candidates) {
-      if (!visit(id)) return;
+  bool stopped = false;
+  if (choice.path == IndexPath::kScan) {
+    for (size_t i = 0; i < kNumShards && !stopped; ++i) {
+      const ShardGuts* g = guts[i];
+      if (g == nullptr) continue;
+      uint64_t n = g->size.load(std::memory_order_seq_cst);
+      for (uint64_t slot = 0; slot < n; ++slot) {
+        if (!visit(RecordAt(*g, static_cast<uint32_t>(slot)))) {
+          stopped = true;
+          break;
+        }
+      }
     }
-    return;
+  } else if (choice.path != IndexPath::kEmpty) {
+    for (size_t i = 0; i < choice.node_count && !stopped; ++i) {
+      const Spine* spine =
+          choice.nodes[i]->list.spine.load(std::memory_order_seq_cst);
+      uint64_t used = spine->used.load(std::memory_order_seq_cst);
+      for (uint64_t j = 0; j < used; ++j) {
+        if (!visit(RecordAt(*choice.node_guts[i], spine->slots[j]))) {
+          stopped = true;
+          break;
+        }
+      }
+    }
   }
-  for (size_t id = 0; id < triples_.size(); ++id) {
-    if (!visit(static_cast<TripleId>(id))) return;
-  }
+  EndRead(pin);
 }
 
 TripleStore::AccessPlan TripleStore::PlanAccess(
     const TriplePattern& pattern) const {
-  std::vector<TripleId> scratch;
-  IndexPath path = IndexPath::kScan;
-  const std::vector<TripleId>* candidates =
-      CandidateList(pattern, &scratch, &path);
+  ReadPin pin = BeginRead();
+  std::array<const ShardGuts*, kNumShards> guts;
+  for (size_t i = 0; i < kNumShards; ++i) {
+    guts[i] = shards_[i].guts.load(std::memory_order_seq_cst);
+  }
+  PathChoice choice = ChoosePath(pattern, pin.snapshot, guts);
   AccessPlan plan;
-  plan.path = path;
-  plan.candidates = candidates != nullptr ? candidates->size() : live_count_;
+  plan.path = choice.path;
+  plan.candidates =
+      choice.path == IndexPath::kScan ? size() : choice.candidates;
+  EndRead(pin);
   return plan;
 }
 
@@ -261,18 +772,10 @@ std::optional<Object> TripleStore::GetOne(const std::string& subject,
   return out;
 }
 
-Status TripleStore::SetOne(const std::string& subject,
-                           const std::string& property, Object object) {
-  SLIM_OBS_COUNT("trim.set_one.calls");
-  util::MutexLock lock(&write_mu_);
-  RemoveMatchingLocked(TriplePattern::BySubjectProperty(subject, property));
-  return AddLocked(Triple{subject, property, std::move(object)},
-                   /*allow_duplicates=*/false);
-}
-
 std::vector<Triple> TripleStore::ViewFrom(const std::string& resource) const {
   SLIM_OBS_COUNT("trim.view.calls");
   SLIM_OBS_TIMER(timer, "trim.view.latency_us");
+  ReadPin pin = BeginRead();
   std::vector<Triple> out;
   std::unordered_set<std::string> visited;
   std::queue<std::string> frontier;
@@ -281,23 +784,31 @@ std::vector<Triple> TripleStore::ViewFrom(const std::string& resource) const {
   while (!frontier.empty()) {
     std::string cur = std::move(frontier.front());
     frontier.pop();
-    auto it = by_subject_.find(cur);
-    if (it == by_subject_.end()) continue;
-    for (TripleId id : it->second) {
-      if (!live_[id]) continue;
-      const Triple& t = triples_[id];
+    const ShardGuts* guts =
+        shards_[ShardOf(cur)].guts.load(std::memory_order_seq_cst);
+    if (guts == nullptr) continue;
+    const IndexNode* sn = FindNode(guts->by_subject, cur);
+    if (sn == nullptr) continue;
+    const Spine* spine = sn->list.spine.load(std::memory_order_seq_cst);
+    uint64_t used = spine->used.load(std::memory_order_seq_cst);
+    for (uint64_t i = 0; i < used; ++i) {
+      Record* rec = RecordAt(*guts, spine->slots[i]);
+      if (!Visible(*rec, pin.snapshot)) continue;
+      const Triple& t = rec->triple;
       out.push_back(t);
       if (t.object.is_resource() && visited.insert(t.object.text).second) {
         frontier.push(t.object.text);
       }
     }
   }
+  EndRead(pin);
   SLIM_OBS_HISTOGRAM("trim.view.fanout", out.size());
   return out;
 }
 
 std::vector<std::string> TripleStore::ReachableResources(
     const std::string& resource) const {
+  ReadPin pin = BeginRead();
   std::vector<std::string> out;
   std::unordered_set<std::string> visited;
   std::queue<std::string> frontier;
@@ -307,47 +818,59 @@ std::vector<std::string> TripleStore::ReachableResources(
   while (!frontier.empty()) {
     std::string cur = std::move(frontier.front());
     frontier.pop();
-    auto it = by_subject_.find(cur);
-    if (it == by_subject_.end()) continue;
-    for (TripleId id : it->second) {
-      if (!live_[id]) continue;
-      const Triple& t = triples_[id];
+    const ShardGuts* guts =
+        shards_[ShardOf(cur)].guts.load(std::memory_order_seq_cst);
+    if (guts == nullptr) continue;
+    const IndexNode* sn = FindNode(guts->by_subject, cur);
+    if (sn == nullptr) continue;
+    const Spine* spine = sn->list.spine.load(std::memory_order_seq_cst);
+    uint64_t used = spine->used.load(std::memory_order_seq_cst);
+    for (uint64_t i = 0; i < used; ++i) {
+      Record* rec = RecordAt(*guts, spine->slots[i]);
+      if (!Visible(*rec, pin.snapshot)) continue;
+      const Triple& t = rec->triple;
       if (t.object.is_resource() && visited.insert(t.object.text).second) {
         out.push_back(t.object.text);
         frontier.push(t.object.text);
       }
     }
   }
+  EndRead(pin);
   return out;
 }
 
-void TripleStore::Clear() {
-  util::MutexLock lock(&write_mu_);
-  triples_.clear();
-  live_.clear();
-  free_slots_.clear();
-  live_count_ = 0;
-  by_subject_.clear();
-  by_property_.clear();
-  by_object_text_.clear();
-}
-
 void TripleStore::ForEach(const std::function<void(const Triple&)>& fn) const {
-  for (size_t id = 0; id < triples_.size(); ++id) {
-    if (live_[id]) fn(triples_[id]);
+  ReadPin pin = BeginRead();
+  for (size_t i = 0; i < kNumShards; ++i) {
+    const ShardGuts* guts = shards_[i].guts.load(std::memory_order_seq_cst);
+    if (guts == nullptr) continue;
+    uint64_t n = guts->size.load(std::memory_order_seq_cst);
+    for (uint64_t slot = 0; slot < n; ++slot) {
+      Record* rec = RecordAt(*guts, static_cast<uint32_t>(slot));
+      if (Visible(*rec, pin.snapshot)) fn(rec->triple);
+    }
   }
+  EndRead(pin);
 }
 
 size_t TripleStore::ApproximateBytes() const {
+  ReadPin pin = BeginRead();
   size_t bytes = 0;
-  for (size_t id = 0; id < triples_.size(); ++id) {
-    if (!live_[id]) continue;
-    const Triple& t = triples_[id];
-    bytes += sizeof(Triple);
-    bytes += t.subject.capacity() + t.property.capacity() +
-             t.object.text.capacity();
-    bytes += 3 * sizeof(TripleId);  // index postings
+  for (size_t i = 0; i < kNumShards; ++i) {
+    const ShardGuts* guts = shards_[i].guts.load(std::memory_order_seq_cst);
+    if (guts == nullptr) continue;
+    uint64_t n = guts->size.load(std::memory_order_seq_cst);
+    for (uint64_t slot = 0; slot < n; ++slot) {
+      Record* rec = RecordAt(*guts, static_cast<uint32_t>(slot));
+      if (!Visible(*rec, pin.snapshot)) continue;
+      const Triple& t = rec->triple;
+      bytes += sizeof(Triple);
+      bytes += t.subject.capacity() + t.property.capacity() +
+               t.object.text.capacity();
+      bytes += 3 * sizeof(uint32_t);  // index postings
+    }
   }
+  EndRead(pin);
   return bytes;
 }
 

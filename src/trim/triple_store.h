@@ -11,27 +11,37 @@
 /// resource (such as a Bundle id), where all triples that can be reached
 /// from this resource are returned."
 ///
-/// The store keeps three hash indexes (subject, property, object text) and
-/// answers selection queries through the most selective fixed field.
+/// The store keeps three hash indexes (subject, property, object text),
+/// sharded 16 ways by subject hash, and answers selection queries through
+/// the most selective fixed field.
 ///
-/// Concurrency contract: *mutations* (Add/Remove/RemoveMatching/SetOne/
-/// Clear) serialize on an internal `util::InstrumentedMutex` (lock site
-/// `trim.store.write`), so concurrent writers are safe and their
-/// contention shows up in the lock profiler — the instrumentation
-/// prerequisite for the ROADMAP's concurrent-store work. *Reads* remain
-/// deliberately lock-free and unsynchronized: queries nest (SelectEach
-/// callbacks issue further Selects during joins), so a read lock here
-/// would either deadlock or need to be recursive. Callers must therefore
-/// not mutate the store while other threads read it (single-writer or
-/// quiescent-readers; the existing single-threaded usage is unchanged).
+/// Concurrency contract (DESIGN.md §10 is the full specification):
+/// *mutations* (Add/Remove/RemoveMatching/SetOne/ApplyBatch/Clear)
+/// serialize on an internal `util::InstrumentedMutex` (lock site
+/// `trim.store.write`), each committing one **epoch**: every record
+/// carries the epoch it was born and the epoch it died, and the whole
+/// batch becomes visible atomically when the epoch counter advances.
+/// *Reads* (Select/SelectEach/Contains/GetOne/ViewFrom/ForEach/Distinct*)
+/// are lock-free and safe to run concurrently with writers: each read pins
+/// the current epoch on entry and evaluates against that frozen snapshot,
+/// so a reader never blocks a writer, never observes a half-applied batch,
+/// and nested reads on the same thread (SelectEach callbacks issuing
+/// further Selects during joins) share the outer snapshot. Hold a
+/// `TripleStore::Snapshot` to keep one snapshot across several calls.
+/// Memory retired by writers (tombstoned payloads, replaced postings) is
+/// reclaimed only after the oldest pinned epoch advances past it.
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "trim/epoch.h"
 #include "trim/triple.h"
 #include "util/instrumented_mutex.h"
 #include "util/result.h"
@@ -64,9 +74,15 @@ struct TriplePattern {
 
 struct StoreStats;  // trim/store_stats.h
 
-/// \brief In-memory triple store with S/P/O indexes.
+/// \brief In-memory triple store with sharded S/P/O indexes and
+/// epoch-based snapshot reads.
 class TripleStore {
  public:
+  /// Shard fan-out, matching the obs registry's shard count. Subjects map
+  /// to shards deterministically (ShardOf), so save/load round-trips
+  /// re-create identical iteration order.
+  static constexpr size_t kNumShards = 16;
+
   /// Which access path a selection settled on (obs: the
   /// `trim.select.index.*` counters; also reified into query EXPLAIN
   /// plans, see slim/query_plan.h).
@@ -91,7 +107,70 @@ class TripleStore {
     uint64_t matched = 0;     ///< Rows handed to the callback.
   };
 
+  /// \brief RAII snapshot pin: freezes one epoch for this thread until
+  /// destroyed, so a sequence of reads (a whole query execution) observes
+  /// one consistent store state regardless of concurrent writers.
+  ///
+  /// Pins nest per thread — reads issued while a Snapshot is held reuse
+  /// its epoch — and are thread-affine: create and destroy on the same
+  /// thread. Movable so callers can hand the pin down a call chain.
+  class Snapshot {
+   public:
+    explicit Snapshot(const TripleStore& store)
+        : mgr_(&store.epoch_), epoch_(mgr_->Pin()) {}
+    ~Snapshot() {
+      if (mgr_ != nullptr) mgr_->Unpin();
+    }
+    Snapshot(Snapshot&& other) noexcept
+        : mgr_(other.mgr_), epoch_(other.epoch_) {
+      other.mgr_ = nullptr;
+    }
+    Snapshot& operator=(Snapshot&& other) noexcept {
+      if (this != &other) {
+        if (mgr_ != nullptr) mgr_->Unpin();
+        mgr_ = other.mgr_;
+        epoch_ = other.epoch_;
+        other.mgr_ = nullptr;
+      }
+      return *this;
+    }
+    Snapshot(const Snapshot&) = delete;
+    Snapshot& operator=(const Snapshot&) = delete;
+
+    /// The pinned epoch (diagnostics; compare against GetEpochStats()).
+    uint64_t epoch() const { return epoch_; }
+
+   private:
+    EpochManager* mgr_;
+    uint64_t epoch_;
+  };
+
+  /// \brief One mutation inside ApplyBatch.
+  struct WriteOp {
+    enum class Kind { kAdd, kRemove };
+    Kind kind = Kind::kAdd;
+    Triple triple;
+    bool allow_duplicates = false;  ///< Only meaningful for kAdd.
+
+    static WriteOp AddOp(Triple t, bool allow_duplicates = false) {
+      return {Kind::kAdd, std::move(t), allow_duplicates};
+    }
+    static WriteOp RemoveOp(Triple t) { return {Kind::kRemove, std::move(t)}; }
+  };
+
+  /// \brief Outcome of ApplyBatch: the epoch the batch committed at and a
+  /// per-op status vector (1:1 with the input ops).
+  struct BatchResult {
+    uint64_t epoch = 0;
+    size_t applied = 0;  ///< Ops whose status is OK.
+    std::vector<Status> statuses;
+  };
+
+  /// Epoch-domain introspection (feeds `slim.store.epoch.*`).
+  using EpochStats = EpochManager::Stats;
+
   TripleStore() = default;
+  ~TripleStore();
   TripleStore(const TripleStore&) = delete;
   TripleStore& operator=(const TripleStore&) = delete;
 
@@ -111,6 +190,11 @@ class TripleStore {
 
   /// Removes every triple matching the pattern; returns how many went.
   size_t RemoveMatching(const TriplePattern& pattern);
+
+  /// Applies a whole batch of adds/removes as ONE epoch: a concurrent
+  /// reader sees either none of the batch (pinned before the commit) or
+  /// all of it (pinned after) — never a prefix.
+  BatchResult ApplyBatch(std::vector<WriteOp> ops);
 
   /// True iff the exact statement is present.
   bool Contains(const Triple& triple) const;
@@ -136,77 +220,216 @@ class TripleStore {
                                const std::string& property) const;
 
   /// Replaces the object of (subject, property): removes all existing
-  /// statements with that subject+property, then adds the new one. The
-  /// "attribute write" access path of a DMI.
+  /// statements with that subject+property, then adds the new one, as one
+  /// atomically-visible epoch. The "attribute write" access path of a DMI.
   Status SetOne(const std::string& subject, const std::string& property,
                 Object object);
 
   /// View (paper §4.4): every triple reachable from `resource` by
   /// following resource-valued objects, including the starting resource's
-  /// own triples. Cycle-safe.
+  /// own triples. Cycle-safe; evaluated against one snapshot.
   std::vector<Triple> ViewFrom(const std::string& resource) const;
 
   /// All subjects reachable from `resource` (the resources a view spans).
   std::vector<std::string> ReachableResources(const std::string& resource) const;
 
   /// Number of live triples.
-  size_t size() const { return live_count_; }
-  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return live_count_.load(std::memory_order_relaxed); }
+  bool empty() const { return size() == 0; }
 
   /// \name Index key counts (distinct subjects/properties/object texts).
   /// Cheap O(1) reads; the query planner divides size() by these for
   /// average-cardinality estimates of runtime-bound patterns.
   /// @{
-  size_t DistinctSubjects() const { return by_subject_.size(); }
-  size_t DistinctProperties() const { return by_property_.size(); }
-  size_t DistinctObjects() const { return by_object_text_.size(); }
+  size_t DistinctSubjects() const {
+    return distinct_subjects_.load(std::memory_order_relaxed);
+  }
+  size_t DistinctProperties() const {
+    return distinct_properties_.load(std::memory_order_relaxed);
+  }
+  size_t DistinctObjects() const {
+    return distinct_objects_.load(std::memory_order_relaxed);
+  }
   /// @}
 
-  /// Removes every triple.
+  /// Removes every triple (one epoch; pinned readers keep their view).
   void Clear();
 
-  /// Visits every live triple.
+  /// Visits every live triple, shard by shard in deterministic order.
   void ForEach(const std::function<void(const Triple&)>& fn) const;
 
   /// Rough heap footprint of stored triple data in bytes (for the space
   /// trade-off experiment, paper §6).
   size_t ApproximateBytes() const;
 
+  /// \name Concurrency introspection
+  /// @{
+  /// Deterministic shard of a subject (FNV-1a; stable across platforms).
+  static size_t ShardOf(std::string_view subject);
+  /// Live-triple count per shard (feeds `slim.store.shard.*` gauges).
+  std::array<uint64_t, kNumShards> ShardLiveCounts() const;
+  /// Epoch counter, oldest pin, and limbo occupancy.
+  EpochStats GetEpochStats() const { return epoch_.GetStats(); }
+  /// Takes the writer lock, drains every reclaimable limbo entry, and
+  /// compacts shards whose garbage is no longer visible to any reader.
+  /// Writers also do this opportunistically; this forces it (tests,
+  /// stats refresh). Returns the number of limbo entries freed.
+  size_t ReclaimRetired();
+  /// @}
+
  private:
   friend StoreStats ComputeStats(const TripleStore& store);
+  class WriterScope;
 
-  using TripleId = uint32_t;
-  static constexpr TripleId kTombstone = UINT32_MAX;
+  /// \name Storage layout (DESIGN.md §10)
+  ///
+  /// Per shard: an append-only record log (fixed-capacity chunk table, so
+  /// a record's address never moves) plus three chained hash indexes whose
+  /// posting lists are grow-by-copy spines. Records carry birth/death
+  /// epochs; nothing is ever mutated in place in a way a pinned reader
+  /// could observe, and replaced structures go through the epoch limbo.
+  /// @{
+  static constexpr size_t kChunkSize = 512;   ///< Records per chunk.
+  static constexpr size_t kMaxChunks = 2048;  ///< 1M records per shard.
+  static constexpr size_t kIndexBuckets = 1024;
+  static constexpr size_t kInitialSpineCap = 4;
+  /// Commits between opportunistic reclaim/compaction sweeps.
+  static constexpr uint64_t kReclaimInterval = 64;
+  /// A shard compacts when its dead-record count passes this floor and
+  /// exceeds its live count (amortized O(1) per removal).
+  static constexpr uint64_t kCompactDeadFloor = 1024;
 
-  /// Lock-split internals: public mutators take write_mu_ once and
-  /// delegate here, so compound operations (SetOne = RemoveMatching + Add)
-  /// never re-enter the non-recursive mutex.
-  Status AddLocked(Triple triple, bool allow_duplicates)
+  struct Record {
+    Triple triple;
+    std::atomic<uint64_t> birth{0};
+    std::atomic<uint64_t> death{EpochManager::kNeverDies};
+  };
+  struct Chunk {
+    Record records[kChunkSize];
+  };
+  /// Posting-list storage: fixed-capacity slot array + published count.
+  struct Spine {
+    explicit Spine(size_t cap) : slots(cap) {}
+    std::vector<uint32_t> slots;
+    std::atomic<uint64_t> used{0};
+  };
+  struct PostingList {
+    PostingList() : spine(new Spine(kInitialSpineCap)) {}
+    ~PostingList() { delete spine.load(std::memory_order_relaxed); }
+    std::atomic<Spine*> spine;
+  };
+  /// Chained hash node; nodes are append-at-head and never unlinked
+  /// (whole-guts compaction is the only way a key disappears).
+  struct IndexNode {
+    IndexNode(std::string k, IndexNode* nxt) : key(std::move(k)), next(nxt) {}
+    const std::string key;
+    PostingList list;
+    /// Current live postings under this key (access-path sizing; exact
+    /// when quiescent, approximate mid-batch — see CandidateList).
+    std::atomic<uint64_t> live{0};
+    IndexNode* const next;
+  };
+  struct IndexMap {
+    std::array<std::atomic<IndexNode*>, kIndexBuckets> buckets{};
+  };
+  struct ShardGuts {
+    std::atomic<uint64_t> size{0};  ///< Published records (incl. dead).
+    std::array<std::atomic<Chunk*>, kMaxChunks> chunks{};
+    IndexMap by_subject;
+    IndexMap by_property;
+    IndexMap by_object;
+  };
+  struct alignas(64) Shard {
+    std::atomic<ShardGuts*> guts{nullptr};
+    std::atomic<uint64_t> live{0};
+    std::atomic<uint64_t> dead{0};
+    /// Largest death epoch in this shard's log; writer-only under
+    /// write_mu_. Compaction is legal once MinPinned() passes it.
+    uint64_t max_death_epoch = 0;
+  };
+  /// @}
+
+  /// Lock-split internals: public mutators take write_mu_ once, open one
+  /// WriterScope, and delegate here, so compound operations (SetOne =
+  /// RemoveMatching + Add) commit as a single epoch.
+  Status AddLocked(Triple triple, bool allow_duplicates, WriterScope& ws)
       REQUIRES(write_mu_);
-  Status RemoveLocked(const Triple& triple) REQUIRES(write_mu_);
-  size_t RemoveMatchingLocked(const TriplePattern& pattern)
+  Status RemoveLocked(const Triple& triple, WriterScope& ws)
       REQUIRES(write_mu_);
+  size_t RemoveMatchingLocked(const TriplePattern& pattern, WriterScope& ws)
+      REQUIRES(write_mu_);
+  void BumpKeyLive(const Triple& t, int delta) REQUIRES(write_mu_);
+  void MaybeCompactShard(size_t shard_idx, bool force = false)
+      REQUIRES(write_mu_);
+  void ReclaimLocked() REQUIRES(write_mu_);
 
-  void IndexAdd(TripleId id);
-  void IndexRemove(TripleId id);
-  /// Candidate ids from the most selective index for a pattern; nullptr
-  /// means "no usable index, scan everything". `path` (optional) reports
-  /// the chosen access path.
-  const std::vector<TripleId>* CandidateList(const TriplePattern& pattern,
-                                             std::vector<TripleId>* scratch,
-                                             IndexPath* path = nullptr) const;
+  /// Reader entry/exit: returns the snapshot epoch to evaluate at — the
+  /// pending epoch when this thread is the writer mid-batch (so compound
+  /// mutations read their own effects), a pinned epoch otherwise.
+  struct ReadPin {
+    uint64_t snapshot = 0;
+    bool pinned = false;
+  };
+  ReadPin BeginRead() const;
+  void EndRead(ReadPin pin) const;
+
+  /// The access path a pattern resolves to, plus the index nodes (one per
+  /// shard holding the key) a non-scan path will visit.
+  struct PathChoice {
+    IndexPath path = IndexPath::kScan;
+    uint64_t candidates = 0;
+    std::array<const IndexNode*, kNumShards> nodes{};
+    std::array<const ShardGuts*, kNumShards> node_guts{};
+    size_t node_count = 0;
+  };
+  PathChoice ChoosePath(const TriplePattern& pattern, uint64_t snapshot,
+                        const std::array<const ShardGuts*, kNumShards>& guts)
+      const;
+
+  static Record* RecordAt(const ShardGuts& guts, uint32_t slot);
+  static bool Visible(const Record& rec, uint64_t snapshot);
+  static size_t Bucket(std::string_view key) {
+    // Shards consume the hash's low bits (ShardOf), so within one shard
+    // every key agrees on them; bucket on disjoint high bits or all
+    // chains collapse into kIndexBuckets / kNumShards buckets.
+    return (Fnv1a(key) >> 32) & (kIndexBuckets - 1);
+  }
+  static uint64_t Fnv1a(std::string_view s);
+  static IndexNode* FindNode(const IndexMap& map, std::string_view key);
+  /// FindNode with the bucket index precomputed — the bucket depends only
+  /// on the key, so cross-shard gathers hash once and probe every shard.
+  static IndexNode* FindNodeAt(const IndexMap& map, std::string_view key,
+                               size_t bucket);
+  static void FreeGuts(ShardGuts* guts);
+
+  IndexNode* FindOrCreateNode(IndexMap& map, const std::string& key)
+      REQUIRES(write_mu_);
+  void AppendPosting(IndexNode* node, uint32_t slot, const ShardGuts& guts)
+      REQUIRES(write_mu_);
 
   /// Serializes mutations only; see the concurrency contract above.
   mutable util::InstrumentedMutex write_mu_{"trim.store.write"};
+  /// Epoch domain shared by all shards (mutable: const reads pin it).
+  mutable EpochManager epoch_;
 
-  std::vector<Triple> triples_;       // slot = id; tombstoned slots reused
-  std::vector<TripleId> free_slots_;
-  size_t live_count_ = 0;
-  std::vector<bool> live_;
+  Shard shards_[kNumShards];
 
-  std::unordered_map<std::string, std::vector<TripleId>> by_subject_;
-  std::unordered_map<std::string, std::vector<TripleId>> by_property_;
-  std::unordered_map<std::string, std::vector<TripleId>> by_object_text_;
+  std::atomic<uint64_t> live_count_{0};
+  std::atomic<uint64_t> distinct_subjects_{0};
+  std::atomic<uint64_t> distinct_properties_{0};
+  std::atomic<uint64_t> distinct_objects_{0};
+
+  /// Global per-key live counts (a property/object key spans shards, so
+  /// the 0<->1 transitions that maintain the distinct counters need a
+  /// cross-shard tally). Writer-only; stats readers take write_mu_.
+  std::unordered_map<std::string, uint64_t> subject_live_
+      GUARDED_BY(write_mu_);
+  std::unordered_map<std::string, uint64_t> property_live_
+      GUARDED_BY(write_mu_);
+  std::unordered_map<std::string, uint64_t> object_live_
+      GUARDED_BY(write_mu_);
+
+  uint64_t commit_count_ GUARDED_BY(write_mu_) = 0;
 };
 
 }  // namespace slim::trim

@@ -37,10 +37,17 @@ Catalog FixtureCatalog() {
 
 TEST(LintCatalog, ParsesOnlyTypedTableRows) {
   Catalog catalog = FixtureCatalog();
-  // 3 (brace) + 2 + 1 + 1 + 1 + 1 + 1 + 2 (brace) + 1 = 13; the untyped
-  // `not.a.metric` row is skipped.
-  EXPECT_EQ(catalog.size(), 13u);
+  // 3 (brace) + 2 + 1 + 1 + 1 + 1 + 1 + 2 (brace) + 1 + 2 (store) = 15;
+  // the untyped `not.a.metric` row is skipped.
+  EXPECT_EQ(catalog.size(), 15u);
   EXPECT_FALSE(catalog.MatchesExact("not.a.metric"));
+}
+
+TEST(LintCatalog, StoreShardAndEpochFamilies) {
+  Catalog catalog = FixtureCatalog();
+  EXPECT_TRUE(catalog.MatchesExact("slim.store.shard.skew_x100"));
+  EXPECT_TRUE(catalog.MatchesExact("slim.store.epoch.oldest_pin"));
+  EXPECT_FALSE(catalog.MatchesExact("slim.store.shard"));
 }
 
 TEST(LintCatalog, BraceExpansion) {
