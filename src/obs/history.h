@@ -124,11 +124,15 @@ class MetricsHistory {
   // Wakeup plumbing for the capture thread. std::condition_variable (the
   // efficient, non-_any flavor) requires a real std::mutex; nothing it
   // guards is worth profiling.
-  std::mutex wake_mu_;  // slim-lint: allow(raw-mutex)
+  // slim-lint: allow(raw-mutex) -- cv companion for wake_cv_
+  std::mutex wake_mu_;
   std::condition_variable wake_cv_;
-  bool stop_requested_ = false;  // guarded by wake_mu_
+  // slim-lint: allow(unguarded) -- guarded by raw cv-companion wake_mu_
+  bool stop_requested_ = false;
+  // slim-lint: allow(unguarded) -- joined only by the Start/Stop caller
   std::thread thread_;
-  bool running_ = false;  // touched only by the Start/Stop caller
+  // slim-lint: allow(unguarded) -- written only by the Start/Stop caller
+  bool running_ = false;
 };
 
 }  // namespace slim::obs

@@ -85,7 +85,8 @@ class LockProfiler {
   // Raw mutex by design: this lock sits *inside* the mutex-event hook, so
   // instrumenting it would feed the profiler its own lock traffic (and the
   // reentrancy guard would drop every event it generated anyway).
-  mutable std::mutex mu_;  // slim-lint: allow(raw-mutex)
+  // slim-lint: allow(raw-mutex) -- inside the mutex-event hook itself
+  mutable std::mutex mu_;
   // Keyed by the site literal's address: one entry per declaration site.
   std::map<const char*, SiteStats> sites_ GUARDED_BY(mu_);
   MetricsRegistry* registry_ = nullptr;  // set in Install, before hooking

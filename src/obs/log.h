@@ -148,7 +148,7 @@ class Logger {
   std::atomic<uint64_t> events_{0};
   MetricsRegistry* registry_ GUARDED_BY(mu_);
   std::array<Counter*, 4> level_counters_ GUARDED_BY(mu_){};
-  std::chrono::steady_clock::time_point epoch_;
+  const std::chrono::steady_clock::time_point epoch_;
 };
 
 /// Process-wide logger used by the SLIM_OBS_LOG instrumentation macro.

@@ -21,7 +21,8 @@ namespace {
 struct ShardIdPool {
   // Raw mutex by design: this pool sits *under* every sharded metric write
   // and under the lock profiler itself, so it must not be instrumented.
-  std::mutex mu;  // slim-lint: allow(raw-mutex)
+  // slim-lint: allow(raw-mutex) -- sits under every sharded metric write
+  std::mutex mu;
   std::vector<uint32_t> free_ids;
   uint32_t next_id = 0;
 };

@@ -278,7 +278,7 @@ class Tracer {
   std::atomic<size_t> sink_count_{0};
   std::atomic<uint64_t> next_id_{1};
   std::atomic<uint64_t> finished_{0};
-  std::chrono::steady_clock::time_point epoch_;
+  const std::chrono::steady_clock::time_point epoch_;
   /// Distinguishes this tracer from a later one reusing its address, so
   /// thread-local slab caches can never match a destroyed tracer.
   const uint64_t tracer_epoch_;

@@ -52,6 +52,11 @@ ConformanceReport CheckConformance(const trim::TripleStore& store,
                                    const ModelDef& model) {
   ConformanceReport report;
 
+  // Pin one epoch for the whole check: the per-instance re-reads below must
+  // see the same triples as the instance sweep, or a concurrent writer could
+  // make the report self-inconsistent.
+  trim::TripleStore::Snapshot snap(store);
+
   // Collect instances and their (resolved) schema elements.
   std::map<std::string, std::string> instance_element;  // id -> element
   std::vector<std::pair<std::string, std::string>> unknown;  // id, type

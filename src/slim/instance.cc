@@ -90,6 +90,7 @@ Status InstanceGraph::Disconnect(const std::string& id,
 std::vector<std::string> InstanceGraph::GetConnected(
     const std::string& id, const std::string& property) const {
   std::vector<std::string> out;
+  trim::TripleStore::Snapshot snap(*store_);
   store_->SelectEach(trim::TriplePattern::BySubjectProperty(id, property),
                      [&](const trim::Triple& t) {
                        if (t.object.is_resource()) out.push_back(t.object.text);
@@ -101,6 +102,7 @@ std::vector<std::string> InstanceGraph::GetConnected(
 std::vector<std::string> InstanceGraph::InstancesOf(
     const std::string& type_resource) const {
   std::vector<std::string> out;
+  trim::TripleStore::Snapshot snap(*store_);
   store_->SelectEach(
       trim::TriplePattern{std::nullopt, Vocab::kType,
                           trim::Object::Resource(type_resource)},
@@ -114,6 +116,7 @@ std::vector<std::string> InstanceGraph::InstancesOf(
 
 std::vector<std::string> InstanceGraph::AllInstances() const {
   std::vector<std::string> out;
+  trim::TripleStore::Snapshot snap(*store_);
   store_->SelectEach(trim::TriplePattern::ByProperty(Vocab::kType),
                      [&](const trim::Triple& t) {
                        if (StartsWith(t.subject, "inst:")) {
@@ -142,6 +145,10 @@ Result<SchemaDef> InduceSchema(const trim::TripleStore& store,
                                const std::string& schema_name) {
   ModelDef model = BuildGenericModel();
   SchemaDef schema(schema_name, model.name());
+
+  // Both observation passes must agree on what exists; pin one epoch so a
+  // concurrent writer cannot skew the induced connector cardinalities.
+  trim::TripleStore::Snapshot snap(store);
 
   // type resource -> element name (derived from the trailing path segment).
   std::map<std::string, std::string> type_to_element;

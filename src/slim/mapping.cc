@@ -34,6 +34,10 @@ Result<MappingStats> Mapping::Apply(const trim::TripleStore& source,
   if (target == nullptr) return Status::InvalidArgument("null target store");
   MappingStats stats;
 
+  // The per-instance property reads below must see the same source state as
+  // the type sweep; pin one epoch for the whole mapping run.
+  trim::TripleStore::Snapshot snap(source);
+
   // Gather instances and their types.
   std::map<std::string, std::string> instance_type;
   source.SelectEach(trim::TriplePattern::ByProperty(Vocab::kType),

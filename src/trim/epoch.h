@@ -122,6 +122,7 @@ class EpochManager {
   struct alignas(64) ReaderSlot {
     std::atomic<uint64_t> epoch{0};
   };
+  // slim-lint: allow(unguarded) -- per-slot atomics; lock-free pin path
   ReaderSlot slots_[kReaderSlots];
 
   /// Overflow pins for threads that found no free slot.

@@ -410,8 +410,10 @@ class TripleStore {
   /// Serializes mutations only; see the concurrency contract above.
   mutable util::InstrumentedMutex write_mu_{"trim.store.write"};
   /// Epoch domain shared by all shards (mutable: const reads pin it).
+  // slim-lint: allow(unguarded) -- internally synchronized epoch domain
   mutable EpochManager epoch_;
 
+  // slim-lint: allow(unguarded) -- MVCC: read lock-free under an epoch pin
   Shard shards_[kNumShards];
 
   std::atomic<uint64_t> live_count_{0};

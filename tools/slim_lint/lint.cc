@@ -9,6 +9,9 @@
 #include <set>
 #include <sstream>
 
+#include "flow.h"
+#include "lock_graph.h"
+
 namespace slim::lint {
 
 namespace {
@@ -330,23 +333,55 @@ bool LeadingStringLiteral(std::string_view arg, std::string* literal,
 
 namespace {
 
-/// Expands `{a,b,c}` alternatives (possibly several per pattern).
+/// Expands `{a,b,c}` alternatives (possibly several per pattern, possibly
+/// nested: `{a,{b,c}.d}`). The close brace is the *matching* one — not the
+/// first — and alternatives split only at top-level commas, so a nested
+/// group or a `<word>` wildcard inside an alternative survives intact.
 void ExpandBraces(const std::string& pattern, std::vector<std::string>* out) {
   size_t open = pattern.find('{');
   if (open == std::string::npos) {
     out->push_back(pattern);
     return;
   }
-  size_t close = pattern.find('}', open);
+  size_t close = std::string::npos;
+  int depth = 0;
+  for (size_t i = open; i < pattern.size(); ++i) {
+    if (pattern[i] == '{') {
+      ++depth;
+    } else if (pattern[i] == '}' && --depth == 0) {
+      close = i;
+      break;
+    }
+  }
   if (close == std::string::npos) return;  // malformed: drop
   std::string head = pattern.substr(0, open);
   std::string tail = pattern.substr(close + 1);
   std::string body = pattern.substr(open + 1, close - open - 1);
-  std::stringstream ss(body);
-  std::string alt;
-  while (std::getline(ss, alt, ',')) {
-    ExpandBraces(head + alt + tail, out);
+  size_t start = 0;
+  depth = 0;
+  for (size_t i = 0; i <= body.size(); ++i) {
+    if (i < body.size() && body[i] == '{') ++depth;
+    if (i < body.size() && body[i] == '}') --depth;
+    if (i == body.size() || (body[i] == ',' && depth == 0)) {
+      ExpandBraces(head + body.substr(start, i - start) + tail, out);
+      start = i + 1;
+    }
   }
+}
+
+/// Splits a dotted name into segments. Returns false on an empty segment
+/// (leading/trailing/doubled dot) — such a name can never be well formed.
+bool SplitSegments(std::string_view name, std::vector<std::string>* out) {
+  if (name.empty()) return false;
+  size_t start = 0;
+  for (size_t i = 0; i <= name.size(); ++i) {
+    if (i == name.size() || name[i] == '.') {
+      if (i == start) return false;
+      out->emplace_back(name.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -356,13 +391,19 @@ void Catalog::AddPattern(const std::string& pattern) {
 }
 
 bool Catalog::MatchesExact(std::string_view name) const {
+  // A name with an empty segment ("a..b", trailing '.') is never valid,
+  // whatever the patterns say.
+  {
+    std::vector<std::string> segs;
+    if (!SplitSegments(name, &segs)) return false;
+  }
   for (const std::string& p : patterns_) {
     if (p.find('<') == std::string::npos && p.find('*') == std::string::npos) {
       if (p == name) return true;
       continue;
     }
     // Wildcard pattern → regex: '.' literal, '<word>' one segment, '*' any
-    // dotted suffix.
+    // non-empty dotted suffix (segments themselves non-empty).
     std::string re;
     for (size_t i = 0; i < p.size(); ++i) {
       char c = p[i];
@@ -377,7 +418,7 @@ bool Catalog::MatchesExact(std::string_view name) const {
         re += "[a-z0-9_]+";
         i = close;
       } else if (c == '*') {
-        re += "[a-z0-9_.]+";
+        re += "[a-z0-9_]+(\\.[a-z0-9_]+)*";
       } else {
         re += c;
       }
@@ -390,8 +431,59 @@ bool Catalog::MatchesExact(std::string_view name) const {
 }
 
 bool Catalog::MatchesPrefix(std::string_view prefix) const {
+  // Runtime-concatenated names pass their literal head here, usually
+  // ending in '.'. Match segment-wise so wildcard patterns participate:
+  // a complete prefix segment matches '<word>' or the same literal, '*'
+  // matches any remaining suffix, and a trailing partial segment (no
+  // closing dot) must be a textual prefix of the pattern's next segment.
+  // An empty segment ("a..b." or a bare ".") never matches.
+  if (prefix.empty()) return false;
+  const bool ends_dot = prefix.back() == '.';
+  std::vector<std::string> segs;
+  if (!SplitSegments(ends_dot ? prefix.substr(0, prefix.size() - 1) : prefix,
+                     &segs)) {
+    return false;
+  }
+  std::string partial;
+  if (!ends_dot) {
+    partial = segs.back();
+    segs.pop_back();
+  }
   for (const std::string& p : patterns_) {
-    if (std::string_view(p).substr(0, prefix.size()) == prefix) return true;
+    std::vector<std::string> psegs;
+    if (!SplitSegments(p, &psegs)) continue;
+    size_t i = 0;
+    bool dead = false;
+    bool star = false;
+    for (; i < segs.size(); ++i) {
+      if (i >= psegs.size()) {
+        dead = true;
+        break;
+      }
+      const std::string& ps = psegs[i];
+      if (ps == "*") {
+        star = true;
+        break;
+      }
+      if (ps != segs[i] && ps.front() != '<') {
+        dead = true;
+        break;
+      }
+    }
+    if (dead) continue;
+    if (star) return true;
+    if (partial.empty()) {
+      // "a.b." requires the name to continue: the pattern must have at
+      // least one more segment.
+      if (psegs.size() > segs.size()) return true;
+      continue;
+    }
+    if (psegs.size() <= segs.size()) continue;
+    const std::string& next = psegs[segs.size()];
+    if (next == "*" || next.front() == '<' ||
+        next.compare(0, partial.size(), partial) == 0) {
+      return true;
+    }
   }
   return false;
 }
@@ -602,57 +694,6 @@ void LintCalls(const std::string& relative_path, std::string_view macro_view,
   }
 }
 
-// ---------------------------------------------------------------------------
-// raw-mutex: locks in instrumented layers must be InstrumentedMutex
-// ---------------------------------------------------------------------------
-
-/// True when the file lives in a layer whose locks are expected to feed
-/// the obs.lock.* contention telemetry (util/instrumented_mutex.h).
-bool InInstrumentedLayer(const std::string& relative_path) {
-  static const char* const kLayers[] = {"src/trim/", "src/slim/", "src/obs/",
-                                        "src/workload/"};
-  for (const char* layer : kLayers) {
-    if (relative_path.rfind(layer, 0) == 0) return true;
-  }
-  return false;
-}
-
-/// Flags raw `std::mutex` *declarations* (plus the recursive/shared/timed
-/// variants) in the instrumented layers. Declaration heuristic: the type
-/// followed by whitespace and an identifier on one line — template
-/// arguments (`std::lock_guard<std::mutex>`), pointers and references do
-/// not match, because using a mutex someone else declared is not the
-/// declaration site's problem. `code` is the comment-stripped view (same
-/// line positions as `contents`); the suppression annotation lives in a
-/// comment, so it is looked up on the *original* line.
-void LintRawMutex(const std::string& relative_path, std::string_view code,
-                  std::string_view contents, std::vector<Diagnostic>* out) {
-  if (!InInstrumentedLayer(relative_path)) return;
-  static const std::regex kDecl(
-      "(^|[^:<\\w])std::(recursive_|shared_|timed_|recursive_timed_)?"
-      "mutex\\s+[A-Za-z_]");
-  size_t layer_end = relative_path.find('/', 4);
-  std::string layer = relative_path.substr(4, layer_end - 4);
-  size_t pos = 0;
-  int line_no = 0;
-  while (pos <= code.size()) {
-    size_t eol = code.find('\n', pos);
-    if (eol == std::string::npos) eol = code.size();
-    ++line_no;
-    std::string line(code.substr(pos, eol - pos));
-    if (std::regex_search(line, kDecl) &&
-        contents.substr(pos, eol - pos).find("slim-lint: allow(raw-mutex)") ==
-            std::string_view::npos) {
-      out->push_back(
-          {relative_path, line_no, "raw-mutex",
-           "raw std::mutex declared in instrumented layer '" + layer +
-               "'; use util::InstrumentedMutex with a named lock site, or "
-               "annotate the line with '// slim-lint: allow(raw-mutex)'"});
-    }
-    pos = eol + 1;
-  }
-}
-
 bool IsCppFile(const std::filesystem::path& p) {
   std::string ext = p.extension().string();
   return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
@@ -664,22 +705,27 @@ void LintFile(const std::string& relative_path, std::string_view contents,
               const Catalog& catalog, std::vector<Diagnostic>* out) {
   std::string code = StripComments(contents);
   LintIncludes(relative_path, code, out);
-  LintRawMutex(relative_path, code, contents, out);
+  // raw-mutex rides on the flow tokenizer (flow.h); same diagnostics as
+  // the original per-line scanner.
+  LintRawMutexModel(BuildFlowModel(relative_path, contents), out);
   std::string macro_view = BlankDirectives(code);
   LintCalls(relative_path, macro_view, catalog, out);
 }
 
-Status LintTree(const Options& options, std::vector<Diagnostic>* out) {
-  std::filesystem::path catalog_path = options.catalog_path.empty()
-                                           ? options.root / "DESIGN.md"
-                                           : options.catalog_path;
-  Catalog catalog;
-  SLIM_RETURN_NOT_OK(LoadCatalog(catalog_path, &catalog));
+namespace {
 
+/// Reads every C++ file under options.subdirs, sorted by path. Fails when
+/// the root is not a readable directory (the documented exit-2 path).
+Status ReadTreeFiles(const Options& options,
+                     std::vector<std::pair<std::string, std::string>>* out) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(options.root, ec) || ec) {
+    return Status::IoError("root is not a readable directory: " +
+                           options.root.string());
+  }
   std::vector<std::filesystem::path> files;
   for (const std::string& sub : options.subdirs) {
     std::filesystem::path dir = options.root / sub;
-    std::error_code ec;
     if (!std::filesystem::is_directory(dir, ec)) continue;
     for (auto it = std::filesystem::recursive_directory_iterator(dir, ec);
          it != std::filesystem::recursive_directory_iterator(); ++it) {
@@ -689,7 +735,6 @@ Status LintTree(const Options& options, std::vector<Diagnostic>* out) {
     }
   }
   std::sort(files.begin(), files.end());
-
   for (const std::filesystem::path& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -697,11 +742,114 @@ Status LintTree(const Options& options, std::vector<Diagnostic>* out) {
     }
     std::stringstream buffer;
     buffer << in.rdbuf();
-    std::string relative =
-        std::filesystem::relative(file, options.root).generic_string();
-    LintFile(relative, buffer.str(), catalog, out);
+    out->emplace_back(
+        std::filesystem::relative(file, options.root).generic_string(),
+        buffer.str());
   }
   return Status::OK();
+}
+
+/// Flow models + index for a tree snapshot (the flow rules' input).
+void BuildFlowModels(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    std::vector<FlowFile>* models, FlowIndex* index) {
+  models->reserve(sources.size());
+  for (const auto& [relative, contents] : sources) {
+    models->push_back(BuildFlowModel(relative, contents));
+    index->Add(models->back());
+  }
+}
+
+}  // namespace
+
+Status LintTree(const Options& options, std::vector<Diagnostic>* out) {
+  std::filesystem::path catalog_path = options.catalog_path.empty()
+                                           ? options.root / "DESIGN.md"
+                                           : options.catalog_path;
+  Catalog catalog;
+  SLIM_RETURN_NOT_OK(LoadCatalog(catalog_path, &catalog));
+
+  std::vector<std::pair<std::string, std::string>> sources;
+  SLIM_RETURN_NOT_OK(ReadTreeFiles(options, &sources));
+
+  for (const auto& [relative, contents] : sources) {
+    LintFile(relative, contents, catalog, out);
+  }
+
+  // Flow-aware rules: per-file coverage checks against the tree-wide
+  // index, then the tree-level snapshot and lock-order analyses.
+  std::vector<FlowFile> models;
+  FlowIndex index;
+  BuildFlowModels(sources, &models, &index);
+  for (const FlowFile& model : models) {
+    LintGuardedByCoverage(model, index, out);
+    LintLockAcrossBlocking(model, index, out);
+  }
+  LintSnapshotDiscipline(models, index, out);
+  LockGraph graph;
+  graph.Build(models, index);
+  graph.LintLockOrder(out);
+  return Status::OK();
+}
+
+Status LockOrderDot(const Options& options, std::string* dot) {
+  std::vector<std::pair<std::string, std::string>> sources;
+  SLIM_RETURN_NOT_OK(ReadTreeFiles(options, &sources));
+  std::vector<FlowFile> models;
+  FlowIndex index;
+  BuildFlowModels(sources, &models, &index);
+  LockGraph graph;
+  graph.Build(models, index);
+  *dot = graph.ToDot();
+  return Status::OK();
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics) {
+  std::string json = "[";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    if (i != 0) json += ",";
+    json += "\n  {\"file\": \"" + JsonEscape(d.file) +
+            "\", \"line\": " + std::to_string(d.line) + ", \"rule\": \"" +
+            JsonEscape(d.rule) + "\", \"message\": \"" + JsonEscape(d.message) +
+            "\"}";
+  }
+  json += diagnostics.empty() ? "]\n" : "\n]\n";
+  return json;
 }
 
 int RunLint(const Options& options) {
@@ -711,8 +859,22 @@ int RunLint(const Options& options) {
     std::fprintf(stderr, "slim_lint: %s\n", status.ToString().c_str());
     return 2;
   }
-  for (const Diagnostic& d : diagnostics) {
-    std::printf("%s\n", FormatDiagnostic(d).c_str());
+  if (!options.rules.empty()) {
+    diagnostics.erase(
+        std::remove_if(diagnostics.begin(), diagnostics.end(),
+                       [&options](const Diagnostic& d) {
+                         return std::find(options.rules.begin(),
+                                          options.rules.end(),
+                                          d.rule) == options.rules.end();
+                       }),
+        diagnostics.end());
+  }
+  if (options.format == "json") {
+    std::fputs(DiagnosticsToJson(diagnostics).c_str(), stdout);
+  } else {
+    for (const Diagnostic& d : diagnostics) {
+      std::printf("%s\n", FormatDiagnostic(d).c_str());
+    }
   }
   if (!diagnostics.empty()) {
     std::fprintf(stderr, "slim_lint: %zu finding(s)\n", diagnostics.size());

@@ -29,6 +29,14 @@
 ///    (legitimate, e.g. a std::condition_variable's companion mutex or a
 ///    lock *inside* the instrumentation's own event path).
 ///
+/// Four flow-aware rules ride on the tokenizer and scope pass in flow.h —
+/// `lock-order` (acquisition-graph cycles), `snapshot-discipline` (MVCC
+/// read paths need a live pin; pins must not enclose writes or blocking
+/// calls), `lock-across-blocking` (instrumented locks held across waits)
+/// and `guarded-by-coverage` (mutable fields of lock-owning classes carry
+/// GUARDED_BY). Suppression comments follow one style everywhere:
+/// `// slim-lint: allow(<rule>) -- <justification>`.
+///
 /// The library half (this header) exists so the golden-fixture tests can
 /// run individual rules over seeded-violation files and assert the exact
 /// diagnostics; the `slim_lint` binary wraps `LintTree` and is wired into
@@ -92,6 +100,11 @@ struct Options {
   std::filesystem::path catalog_path;  ///< Defaults to root/DESIGN.md.
   /// Subdirectories of root to walk.
   std::vector<std::string> subdirs = {"src", "tests", "bench", "examples"};
+  /// Diagnostic rendering: "text" (file:line: [rule] message) or "json"
+  /// (an array of {file, line, rule, message} objects).
+  std::string format = "text";
+  /// When non-empty, only diagnostics from these rules are reported.
+  std::vector<std::string> rules;
 };
 
 /// Lints one file's contents. `relative_path` determines which rules apply
@@ -100,12 +113,22 @@ struct Options {
 void LintFile(const std::string& relative_path, std::string_view contents,
               const Catalog& catalog, std::vector<Diagnostic>* out);
 
-/// Walks `options.subdirs` under `options.root`, lints every C++ file and
-/// appends the findings (sorted by file, then line) to `out`.
+/// Walks `options.subdirs` under `options.root`, lints every C++ file
+/// (per-file rules in file order, then the tree-level flow rules) and
+/// appends the findings to `out`. Fails when `options.root` is not a
+/// readable directory or the catalog cannot be loaded.
 Status LintTree(const Options& options, std::vector<Diagnostic>* out);
 
-/// CLI entry: runs LintTree, prints diagnostics to stdout. Returns 0 when
-/// clean, 1 on findings, 2 on usage/IO errors.
+/// Renders the tree's lock-order acquisition graph (lock_graph.h) as DOT.
+Status LockOrderDot(const Options& options, std::string* dot);
+
+/// Serializes diagnostics as a JSON array (stable key order, one object
+/// per line) — the `--format=json` payload consumed by CI.
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics);
+
+/// CLI entry: runs LintTree, applies `options.rules`, prints diagnostics
+/// to stdout in `options.format`. Returns 0 when clean, 1 on findings, 2
+/// on usage/IO errors.
 int RunLint(const Options& options);
 
 }  // namespace slim::lint

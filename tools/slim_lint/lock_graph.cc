@@ -1,0 +1,213 @@
+#include "lock_graph.h"
+
+#include <algorithm>
+
+namespace slim::lint {
+
+namespace {
+
+/// Resolves a held/acquired lock to exactly one site name, or "" when the
+/// expression is unknown or ambiguous (no edge is better than a fabricated
+/// one).
+std::string SiteOf(const FlowIndex& index, const std::string& class_name,
+                   const HeldLock& lock) {
+  if (lock.kind == HeldLock::Kind::kWriterScope) return "trim.store.write";
+  std::vector<std::string> sites =
+      index.ResolveSites(class_name, lock.mutex_expr);
+  return sites.size() == 1 ? sites[0] : std::string();
+}
+
+std::string FnKey(const FunctionModel& fn) {
+  return fn.class_name + "::" + fn.name;
+}
+
+}  // namespace
+
+void LockGraph::AddEdge(LockEdge edge) {
+  if (edge.from == edge.to) return;
+  if (!seen_.insert({edge.from, edge.to}).second) return;
+  adj_[edge.from].push_back(edges_.size());
+  edges_.push_back(std::move(edge));
+}
+
+void LockGraph::Build(const std::vector<FlowFile>& files,
+                      const FlowIndex& index) {
+  // Pass 1: direct nesting edges, and each function's directly-acquired
+  // site set.
+  std::map<std::string, std::set<std::string>> reach;
+  std::map<std::string, std::vector<std::string>> by_simple;
+  for (const FlowFile& file : files) {
+    if (file.path.rfind("src/", 0) != 0) continue;
+    for (const FunctionModel& fn : file.functions) {
+      const std::string key = FnKey(fn);
+      if (reach.find(key) == reach.end()) {
+        by_simple[fn.name].push_back(key);
+      }
+      std::set<std::string>& acquired = reach[key];
+      for (const Acquisition& acq : fn.acquisitions) {
+        std::string to = SiteOf(index, fn.class_name, acq.lock);
+        if (to.empty()) continue;
+        acquired.insert(to);
+        for (const HeldLock& h : acq.held_before) {
+          std::string from = SiteOf(index, fn.class_name, h);
+          if (from.empty()) continue;
+          AddEdge({from, to, file.path, acq.lock.line, key});
+        }
+      }
+    }
+  }
+
+  // Pass 2: close the acquired-site sets over the (simple-name) call
+  // graph — calling a function may take everything it takes.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FlowFile& file : files) {
+      if (file.path.rfind("src/", 0) != 0) continue;
+      for (const FunctionModel& fn : file.functions) {
+        std::set<std::string>& mine = reach[FnKey(fn)];
+        for (const CallSite& cs : fn.calls) {
+          for (const std::string& callee_key :
+               ResolveCalleeKeys(index, fn.class_name, cs, by_simple)) {
+            if (callee_key == FnKey(fn)) continue;
+            for (const std::string& site : reach[callee_key]) {
+              if (mine.insert(site).second) changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Pass 3: interprocedural edges — a lock held across a call orders
+  // before every site the callee may acquire.
+  for (const FlowFile& file : files) {
+    if (file.path.rfind("src/", 0) != 0) continue;
+    for (const FunctionModel& fn : file.functions) {
+      const std::string key = FnKey(fn);
+      for (const CallSite& cs : fn.calls) {
+        if (cs.held.empty()) continue;
+        std::vector<std::string> callee_keys =
+            ResolveCalleeKeys(index, fn.class_name, cs, by_simple);
+        if (callee_keys.empty()) continue;
+        for (const HeldLock& h : cs.held) {
+          std::string from = SiteOf(index, fn.class_name, h);
+          if (from.empty()) continue;
+          for (const std::string& callee_key : callee_keys) {
+            if (callee_key == key) continue;
+            for (const std::string& to : reach[callee_key]) {
+              AddEdge({from, to, file.path, cs.line, key});
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void LockGraph::LintLockOrder(std::vector<Diagnostic>* out) const {
+  // Iterative DFS over the site digraph; every back edge closes a cycle,
+  // reported once under a canonical rotation.
+  std::set<std::string> nodes;
+  for (const LockEdge& e : edges_) {
+    nodes.insert(e.from);
+    nodes.insert(e.to);
+  }
+  std::map<std::string, int> color;  // 0 white, 1 on stack, 2 done
+  std::vector<std::string> stack;    // current DFS path (sites)
+  std::vector<size_t> stack_edge;    // edge taken into stack[i] (i > 0)
+  std::set<std::string> reported;
+
+  // Recursive lambda flattened: explicit work stack of (node, next child).
+  struct Frame {
+    std::string node;
+    size_t next = 0;
+  };
+  for (const std::string& root : nodes) {
+    if (color[root] != 0) continue;
+    std::vector<Frame> frames{{root, 0}};
+    color[root] = 1;
+    stack.push_back(root);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      auto adj_it = adj_.find(f.node);
+      const std::vector<size_t>* children =
+          adj_it == adj_.end() ? nullptr : &adj_it->second;
+      if (children == nullptr || f.next >= children->size()) {
+        color[f.node] = 2;
+        frames.pop_back();
+        stack.pop_back();
+        if (!stack_edge.empty()) stack_edge.pop_back();
+        continue;
+      }
+      size_t edge_idx = (*children)[f.next++];
+      const LockEdge& e = edges_[edge_idx];
+      int c = color[e.to];
+      if (c == 0) {
+        color[e.to] = 1;
+        stack.push_back(e.to);
+        stack_edge.push_back(edge_idx);
+        frames.push_back({e.to, 0});
+        continue;
+      }
+      if (c != 1) continue;
+      // Back edge e.from -> e.to with e.to on the path: the cycle is
+      // stack[pos(e.to)..end] plus this edge.
+      size_t pos = 0;
+      while (pos < stack.size() && stack[pos] != e.to) ++pos;
+      std::vector<size_t> cycle_edges(stack_edge.begin() + pos,
+                                      stack_edge.end());
+      cycle_edges.push_back(edge_idx);
+      // Canonical form for dedup: rotate so the smallest site leads.
+      std::vector<std::string> sites;
+      for (size_t idx : cycle_edges) sites.push_back(edges_[idx].from);
+      size_t lead = static_cast<size_t>(
+          std::min_element(sites.begin(), sites.end()) - sites.begin());
+      std::string canon;
+      for (size_t i = 0; i < sites.size(); ++i) {
+        canon += sites[(lead + i) % sites.size()] + ">";
+      }
+      if (!reported.insert(canon).second) continue;
+
+      std::string chain;
+      std::string witnesses;
+      for (size_t i = 0; i < cycle_edges.size(); ++i) {
+        const LockEdge& w = edges_[cycle_edges[(lead + i) % cycle_edges.size()]];
+        if (chain.empty()) chain = w.from;
+        chain += " -> " + w.to;
+        if (!witnesses.empty()) witnesses += "; ";
+        witnesses += w.from + " -> " + w.to + " at " + w.file + ":" +
+                     std::to_string(w.line) + " (" + w.function + ")";
+      }
+      const LockEdge& first = edges_[cycle_edges[lead % cycle_edges.size()]];
+      out->push_back(
+          {first.file, first.line, "lock-order",
+           "lock-order cycle " + chain +
+               " — two threads taking these sites in opposite orders "
+               "deadlock; witnesses: " + witnesses});
+    }
+  }
+}
+
+std::string LockGraph::ToDot() const {
+  std::vector<const LockEdge*> sorted;
+  sorted.reserve(edges_.size());
+  for (const LockEdge& e : edges_) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const LockEdge* a, const LockEdge* b) {
+              return a->from != b->from ? a->from < b->from : a->to < b->to;
+            });
+  std::string dot;
+  dot += "digraph slim_lock_order {\n";
+  dot += "  rankdir=LR;\n";
+  dot += "  node [shape=box, fontname=\"monospace\", fontsize=10];\n";
+  dot += "  edge [fontname=\"monospace\", fontsize=8];\n";
+  for (const LockEdge* e : sorted) {
+    dot += "  \"" + e->from + "\" -> \"" + e->to + "\" [label=\"" + e->file +
+           ":" + std::to_string(e->line) + "\"];\n";
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace slim::lint

@@ -1,0 +1,68 @@
+#ifndef SLIM_TOOLS_SLIM_LINT_LOCK_GRAPH_H_
+#define SLIM_TOOLS_SLIM_LINT_LOCK_GRAPH_H_
+
+/// \file lock_graph.h
+/// \brief Site-level lock-acquisition graph and the `lock-order` rule.
+///
+/// Every `MutexLock`/`UniqueLock` acquisition that happens while other
+/// instrumented locks are held contributes an edge held-site → acquired-
+/// site. Edges are also derived interprocedurally: when a function holds a
+/// lock across a call, it inherits edges to every site the callee (and its
+/// callees, transitively) may acquire. A cycle in the resulting digraph is
+/// a potential deadlock — two threads can take the sites in opposite
+/// orders — and is reported with the full witness chain (one acquisition
+/// site per edge). The acyclic graph doubles as documentation: `ToDot()`
+/// renders it for DESIGN.md §9.
+///
+/// Resolution of a mutex expression to a site name uses FlowIndex; an
+/// expression that resolves ambiguously (several classes declare the
+/// member and the receiver type is unknown) contributes *no* edges — a
+/// made-up edge could fabricate a cycle, and the real site is still
+/// covered wherever the expression resolves exactly.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "flow.h"
+#include "lint.h"
+
+namespace slim::lint {
+
+/// One acquisition-order edge with its witness.
+struct LockEdge {
+  std::string from;      ///< Site already held.
+  std::string to;        ///< Site acquired (or entered via a call).
+  std::string file;      ///< Witness location, relative to the root.
+  int line = 0;
+  std::string function;  ///< "Class::Name" of the witnessing function.
+};
+
+class LockGraph {
+ public:
+  /// Builds the graph from every function in `files` (src/ only), using
+  /// `index` to resolve mutex expressions to site names.
+  void Build(const std::vector<FlowFile>& files, const FlowIndex& index);
+
+  /// `lock-order`: reports every cycle (deterministically, each elementary
+  /// cycle found once) with its witness chain.
+  void LintLockOrder(std::vector<Diagnostic>* out) const;
+
+  /// Graphviz rendering, deterministic: one node per site, one edge per
+  /// ordered pair, witness in the edge tooltip.
+  std::string ToDot() const;
+
+  size_t edge_count() const { return edges_.size(); }
+
+ private:
+  void AddEdge(LockEdge edge);
+
+  std::vector<LockEdge> edges_;                       ///< First witness wins.
+  std::set<std::pair<std::string, std::string>> seen_;
+  std::map<std::string, std::vector<size_t>> adj_;    ///< from → edge idx.
+};
+
+}  // namespace slim::lint
+
+#endif  // SLIM_TOOLS_SLIM_LINT_LOCK_GRAPH_H_

@@ -13,12 +13,21 @@
 namespace {
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: slim_lint --root <repo-root> [--catalog <DESIGN.md>]\n"
-               "\n"
-               "Enforces the SLIM architecture contracts: the include-layer\n"
-               "DAG, SLIM_OBS_* macro hygiene, and the DESIGN.md metric-name\n"
-               "catalog. Exit: 0 clean, 1 findings, 2 errors.\n");
+  std::fprintf(
+      stderr,
+      "usage: slim_lint --root <repo-root> [--catalog <DESIGN.md>]\n"
+      "                 [--format=text|json] [--rule=<name> ...] [--dot]\n"
+      "\n"
+      "Enforces the SLIM architecture contracts: the include-layer DAG,\n"
+      "SLIM_OBS_* macro hygiene, the DESIGN.md metric-name catalog, and\n"
+      "the concurrency contracts (lock-order, snapshot-discipline,\n"
+      "lock-across-blocking, guarded-by-coverage).\n"
+      "\n"
+      "  --format=json   machine-readable diagnostics (CI artifact)\n"
+      "  --rule=<name>   report only this rule (repeatable)\n"
+      "  --dot           print the lock-order graph as DOT and exit\n"
+      "\n"
+      "Exit: 0 clean, 1 findings, 2 errors.\n");
   return 2;
 }
 
@@ -26,15 +35,36 @@ int Usage() {
 
 int main(int argc, char** argv) {
   slim::lint::Options options;
+  bool dot = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--root") == 0 && i + 1 < argc) {
       options.root = argv[++i];
-    } else if (std::strcmp(argv[i], "--catalog") == 0 && i + 1 < argc) {
+    } else if (std::strcmp(arg, "--catalog") == 0 && i + 1 < argc) {
       options.catalog_path = argv[++i];
+    } else if (std::strncmp(arg, "--format=", 9) == 0) {
+      options.format = arg + 9;
+      if (options.format != "text" && options.format != "json") {
+        return Usage();
+      }
+    } else if (std::strncmp(arg, "--rule=", 7) == 0 && arg[7] != '\0') {
+      options.rules.emplace_back(arg + 7);
+    } else if (std::strcmp(arg, "--dot") == 0) {
+      dot = true;
     } else {
       return Usage();
     }
   }
   if (options.root.empty()) return Usage();
+  if (dot) {
+    std::string out;
+    slim::Status status = slim::lint::LockOrderDot(options, &out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "slim_lint: %s\n", status.ToString().c_str());
+      return 2;
+    }
+    std::fputs(out.c_str(), stdout);
+    return 0;
+  }
   return slim::lint::RunLint(options);
 }

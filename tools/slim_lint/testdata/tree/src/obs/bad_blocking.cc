@@ -1,0 +1,24 @@
+// Seeded violation: an instrumented lock held across a blocking call — every
+// contender on the site stalls behind the sleep.
+
+#include <chrono>
+#include <thread>
+
+#include "util/instrumented_mutex.h"
+
+namespace slim::obs {
+
+class SlowFlusher {
+ public:
+  void Flush();
+
+ private:
+  util::InstrumentedMutex mu_{"obs.bad.flusher"};
+};
+
+void SlowFlusher::Flush() {
+  util::MutexLock lock(&mu_);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+}  // namespace slim::obs

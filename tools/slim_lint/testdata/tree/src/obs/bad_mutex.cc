@@ -8,7 +8,7 @@ namespace slim::obs {
 struct Ring {
   std::mutex mu;
   std::recursive_mutex nested_mu;
-  std::mutex wake_mu;  // slim-lint: allow(raw-mutex)
+  std::mutex wake_mu;  // slim-lint: allow(raw-mutex) -- cv companion
 };
 
 inline void Use(Ring* ring) {

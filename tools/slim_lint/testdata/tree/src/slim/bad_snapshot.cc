@@ -1,0 +1,38 @@
+// Seeded violations for the snapshot-discipline rule: an unpinned read
+// path, a snapshot held across a write batch, and a pinned sibling that
+// must stay clean.
+
+#include "trim/triple_store.h"
+
+namespace slim {
+
+// Violation: reads the store with no Snapshot pin anywhere on the path.
+int CountTypeTriples(const trim::TripleStore& store) {
+  int n = 0;
+  store.SelectEach(trim::TriplePattern::ByProperty("slim:s/type"),
+                   [&](const trim::Triple&) {
+                     ++n;
+                     return true;
+                   });
+  return n;
+}
+
+// Violation: the pin is still live around the mutation it would starve.
+void RewriteUnderPin(trim::TripleStore& store, trim::TripleBatch batch) {
+  trim::TripleStore::Snapshot snap(store);
+  store.ApplyBatch(batch);
+}
+
+// Clean: same read as above, under a pin.
+int CountTypeTriplesPinned(const trim::TripleStore& store) {
+  trim::TripleStore::Snapshot snap(store);
+  int n = 0;
+  store.SelectEach(trim::TriplePattern::ByProperty("slim:s/type"),
+                   [&](const trim::Triple&) {
+                     ++n;
+                     return true;
+                   });
+  return n;
+}
+
+}  // namespace slim

@@ -1,0 +1,29 @@
+// Seeded violation: two methods take the same pair of instrumented locks in
+// opposite orders — the canonical AB/BA deadlock the lock-order rule exists
+// to catch.
+
+#include "util/instrumented_mutex.h"
+
+namespace slim::trim {
+
+class OrderPair {
+ public:
+  void Forward();
+  void Backward();
+
+ private:
+  util::InstrumentedMutex alpha_mu_{"trim.bad.alpha"};
+  util::InstrumentedMutex beta_mu_{"trim.bad.beta"};
+};
+
+void OrderPair::Forward() {
+  util::MutexLock a(&alpha_mu_);
+  util::MutexLock b(&beta_mu_);
+}
+
+void OrderPair::Backward() {
+  util::MutexLock b(&beta_mu_);
+  util::MutexLock a(&alpha_mu_);
+}
+
+}  // namespace slim::trim

@@ -1,0 +1,28 @@
+// Seeded violations for the guarded-by-coverage rule: a mutex-owning class
+// with two bare mutable fields. The const, atomic, annotated and suppressed
+// siblings must stay clean.
+
+#include <atomic>
+#include <map>
+
+#include "util/instrumented_mutex.h"
+#include "util/thread_annotations.h"
+
+namespace slim::trim {
+
+class BadCache {
+ public:
+  int Lookup(int key) const;
+
+ private:
+  mutable util::InstrumentedMutex mu_{"trim.bad.cache"};
+  int hits_ = 0;
+  std::map<int, int> entries_;
+  const int capacity_ = 8;
+  std::atomic<int> lookups_{0};
+  int misses_ GUARDED_BY(mu_) = 0;
+  // slim-lint: allow(unguarded) -- statistics sampled without the lock
+  int approx_size_ = 0;
+};
+
+}  // namespace slim::trim
