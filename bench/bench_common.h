@@ -17,6 +17,10 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "bench/bench_json.h"
 #include "obs/obs.h"
 #include "util/status.h"
@@ -159,6 +163,30 @@ inline std::string BenchNameFromArgv0(const char* argv0) {
 #define SLIM_BENCH_BUILD_FLAGS ""
 #endif
 
+/// Whole-process getrusage(RUSAGE_SELF), converted to the slim-bench-v1
+/// units (RSS in KiB, CPU in microseconds). On platforms without
+/// getrusage the result has `present == false` and the serializer omits
+/// the section entirely.
+inline BenchRusage CollectBenchRusage() {
+  BenchRusage usage;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    usage.present = true;
+#if defined(__APPLE__)
+    usage.max_rss_kb = static_cast<uint64_t>(ru.ru_maxrss) / 1024;  // bytes
+#else
+    usage.max_rss_kb = static_cast<uint64_t>(ru.ru_maxrss);  // already KiB
+#endif
+    usage.user_cpu_us = static_cast<uint64_t>(ru.ru_utime.tv_sec) * 1000000 +
+                        static_cast<uint64_t>(ru.ru_utime.tv_usec);
+    usage.sys_cpu_us = static_cast<uint64_t>(ru.ru_stime.tv_sec) * 1000000 +
+                       static_cast<uint64_t>(ru.ru_stime.tv_usec);
+  }
+#endif
+  return usage;
+}
+
 /// Writes the collected telemetry when the environment asks for it:
 /// SLIM_BENCH_JSON names the exact output file; otherwise
 /// SLIM_BENCH_JSON_DIR receives one BENCH_<name>.json per binary. Returns
@@ -181,6 +209,7 @@ inline int WriteBenchJsonIfRequested(const JsonBenchReporter& reporter,
   report.build_flags = SLIM_BENCH_BUILD_FLAGS;
   report.obs_enabled = ObsCounterProbe::enabled();
   report.entries = reporter.Entries();
+  report.rusage = CollectBenchRusage();
   std::ofstream out(path, std::ios::trunc);
   out << BenchReportToJson(report) << "\n";
   out.flush();

@@ -26,7 +26,12 @@
 ///         "real_p50": 12.4, "real_p95": 13.1,   // per-iteration, across reps
 ///         "cpu_p50": 12.3,  "cpu_p95": 13.0,
 ///         "counters": { "selects_per_iter": 5.0 } }   // mean across reps
-///     ]
+///     ],
+///     "rusage": {                      // whole-process getrusage(SELF),
+///       "max_rss_kb": 48120,           // additive in v1: absent on old
+///       "user_cpu_us": 1821345,        // files, old readers ignore it
+///       "sys_cpu_us": 90210
+///     }
 ///   }
 
 #include <algorithm>
@@ -57,6 +62,16 @@ struct BenchEntry {
   std::vector<std::pair<std::string, double>> counters;
 };
 
+/// \brief Whole-process resource usage at report time (getrusage SELF).
+/// `present` gates serialization so platforms without getrusage — and old
+/// documents — simply omit the section; readers must treat it as optional.
+struct BenchRusage {
+  bool present = false;
+  uint64_t max_rss_kb = 0;    ///< Peak resident set, KiB.
+  uint64_t user_cpu_us = 0;   ///< User CPU time, microseconds.
+  uint64_t sys_cpu_us = 0;    ///< System CPU time, microseconds.
+};
+
 /// \brief Everything one bench binary reports.
 struct BenchReportData {
   std::string bench_name;
@@ -64,6 +79,7 @@ struct BenchReportData {
   std::string build_flags;
   bool obs_enabled = false;
   std::vector<BenchEntry> entries;
+  BenchRusage rusage;
 };
 
 /// Nearest-rank percentile of `values` (pct in [0, 100]). A single sample
@@ -119,7 +135,15 @@ inline std::string BenchReportToJson(const BenchReportData& report) {
     }
     out += "}}";
   }
-  out += "]}";
+  out += "]";
+  if (report.rusage.present) {
+    out += ",\"rusage\":{\"max_rss_kb\":" +
+           std::to_string(report.rusage.max_rss_kb);
+    out += ",\"user_cpu_us\":" + std::to_string(report.rusage.user_cpu_us);
+    out += ",\"sys_cpu_us\":" + std::to_string(report.rusage.sys_cpu_us);
+    out += "}";
+  }
+  out += "}";
   return out;
 }
 

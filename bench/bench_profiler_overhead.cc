@@ -1,0 +1,155 @@
+// Sampling-profiler overhead: what does always-on profiling cost the hot
+// path?
+//
+// The acceptance bar for the span-stack CPU sampler (obs/cpu_profiler.h)
+// is < 1% added real_p50 on the declarative-query hot path at the default
+// sampling rate (99 Hz). Profiling has two distinct costs and this bench
+// prices both:
+//
+//   1. The per-span cost of stack tracking — every StartSpan/End pushes
+//      and pops an interned frame on the thread's SpanStack while a
+//      profiler is running. This is the always-on tax and the gated one.
+//   2. The sampler tick itself — the profiler thread walking every live
+//      SpanStack once. It runs 99 times a second regardless of workload,
+//      so it is priced per-tick, not per-op.
+//
+// Families:
+//   BM_QueryUnprofiled     store::Execute, profiler off (the seed path)
+//   BM_QueryProfiled       same query with the 99 Hz ticker sampler live
+//   BM_SpanStackPushPop    one tracked-span open/close with stacks on
+//   BM_SamplerTick         one SampleOnce pass over live thread stacks
+//
+// The <1% gate compares BM_QueryProfiled p50 against BM_QueryUnprofiled
+// p50 via tools/bench_report and the seeded baseline in
+// bench/baselines/BENCH_profiler_overhead.json.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "obs/cpu_profiler.h"
+#include "obs/obs.h"
+#include "slim/query.h"
+#include "slimpad/slimpad_dmi.h"
+
+namespace slim {
+namespace {
+
+// The same rounds-shaped pad (64 patients x 8 scraps) bench_slo_overhead
+// uses, so the two overhead gates price the same representative query.
+struct BenchPad {
+  trim::TripleStore store;
+  std::unique_ptr<pad::SlimPadDmi> dmi;
+};
+
+std::unique_ptr<BenchPad> BuildBenchPad() {
+  auto out = std::make_unique<BenchPad>();
+  out->dmi = std::make_unique<pad::SlimPadDmi>(&out->store);
+  pad::SlimPadDmi& dmi = *out->dmi;
+  const pad::SlimPad* p = *dmi.Create_SlimPad("Rounds");
+  const pad::Bundle* root = *dmi.Create_Bundle("root", {0, 0}, 800, 600);
+  SLIM_BENCH_CHECK(dmi.Update_rootBundle(p->id(), root->id()));
+  for (int i = 0; i < 64; ++i) {
+    const pad::Bundle* b = *dmi.Create_Bundle(
+        "patient" + std::to_string(i), {0, double(i)}, 640, 160);
+    SLIM_BENCH_CHECK(dmi.AddNestedBundle(root->id(), b->id()));
+    for (int s = 0; s < 8; ++s) {
+      std::string name = s == 3 ? "K 4.9"
+                                : "med" + std::to_string(i) + "_" +
+                                      std::to_string(s);
+      const pad::Scrap* scrap = *dmi.Create_Scrap(name, {double(s), 0});
+      SLIM_BENCH_CHECK(dmi.AddScrapToBundle(b->id(), scrap->id()));
+    }
+  }
+  return out;
+}
+
+// --- The headline pair: the same query, profiled and unprofiled -----------
+
+void BM_QueryUnprofiled(benchmark::State& state) {
+  auto pad = BuildBenchPad();
+  store::Query q = *store::Query::Parse("?s scrapName \"K 4.9\"");
+  for (auto _ : state) {
+    auto rows = store::Execute(pad->store, q);
+    if (!rows.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryUnprofiled);
+
+void BM_QueryProfiled(benchmark::State& state) {
+#if SLIM_OBS_ENABLED
+  obs::CpuProfiler profiler(&obs::DefaultRegistry(), &obs::DefaultTracer());
+  if (!profiler.Start()) {
+    state.SkipWithError("profiler failed to start");
+    return;
+  }
+#endif
+  auto pad = BuildBenchPad();
+  store::Query q = *store::Query::Parse("?s scrapName \"K 4.9\"");
+  for (auto _ : state) {
+    auto rows = store::Execute(pad->store, q);
+    if (!rows.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations());
+#if SLIM_OBS_ENABLED
+  profiler.Stop();
+#endif
+}
+BENCHMARK(BM_QueryProfiled);
+
+#if SLIM_OBS_ENABLED
+
+// --- The always-on tax in isolation: one span open/close with stacks on --
+
+void BM_SpanStackPushPop(benchmark::State& state) {
+  obs::CpuProfilerOptions options;
+  options.sample_hz = 1;  // minimal ticking; this family prices the push
+  obs::CpuProfiler profiler(&obs::DefaultRegistry(), &obs::DefaultTracer(),
+                            options);
+  if (!profiler.Start()) {
+    state.SkipWithError("profiler failed to start");
+    return;
+  }
+  for (auto _ : state) {
+    SLIM_OBS_SPAN(span, "bench.cpuprof.span");
+    benchmark::DoNotOptimize(span);
+  }
+  state.SetItemsProcessed(state.iterations());
+  profiler.Stop();
+}
+BENCHMARK(BM_SpanStackPushPop);
+
+// --- The control plane: one sampler pass over live thread stacks ----------
+
+void BM_SamplerTick(benchmark::State& state) {
+  obs::Tracer tracer;
+  obs::MetricsRegistry registry;
+  obs::CpuProfiler profiler(&registry, &tracer);
+  tracer.set_stack_tracking(true);
+  // A realistic nest for the sampler to snapshot.
+  std::vector<obs::Span> spans;
+  for (const char* name :
+       {"slimpad.open_scrap", "slim.query.execute", "trim.select"}) {
+    spans.push_back(tracer.StartSpan(name));
+  }
+  for (auto _ : state) {
+    profiler.SampleOnceForBench();
+  }
+  state.SetItemsProcessed(state.iterations());
+  spans.clear();
+  tracer.set_stack_tracking(false);
+}
+BENCHMARK(BM_SamplerTick);
+
+#endif  // SLIM_OBS_ENABLED
+
+}  // namespace
+}  // namespace slim
+
+SLIM_BENCH_MAIN();

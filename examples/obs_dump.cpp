@@ -29,8 +29,13 @@
 //                            dedup, escalate, resolve and flap-suppress a
 //                            key on an injected clock, then print the
 //                            slim-alerts-v1 document
+//   obs_dump --cpuprofile [n]  sampling profiler: run the workload under
+//                            the span-stack CPU sampler for n seconds
+//                            (default 2), then print the collapsed stacks
+//                            and the slim-cpuprofile-v1 JSON
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -40,6 +45,8 @@
 
 #include "dmi/dynamic_dmi.h"
 #include "obs/alert.h"
+#include "obs/cpu_profiler.h"
+#include "obs/flight_recorder.h"
 #include "obs/history.h"
 #include "obs/lock_profiler.h"
 #include "obs/obs.h"
@@ -229,6 +236,60 @@ int RunSloDemo(obs::MetricsRegistry* session_metrics, int rounds) {
   return 0;
 }
 
+// Sampling-profiler tour: keep the workload running on a couple of worker
+// threads while the span-stack sampler watches, then print both export
+// shapes. The collapsed text pipes straight into flamegraph.pl; the JSON
+// loads in speedscope.
+int RunCpuProfileDemo(obs::MetricsRegistry* session_metrics, int seconds) {
+  obs::CpuProfiler& prof = obs::CpuProfiler::Default();
+  if (!prof.Start()) {
+    std::cerr << "FATAL: sampling profiler failed to start" << std::endl;
+    return 1;
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failed{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 2; ++w) {
+    workers.emplace_back([&] {
+      obs::MetricsRegistry scratch;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (RunWorkload(&scratch) != 0) {
+          failed.store(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  obs::CpuProfile profile = prof.CaptureWindow(
+      static_cast<uint64_t>(seconds) * 1000);
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& worker : workers) worker.join();
+  prof.Stop();
+  if (failed.load()) {
+    std::cerr << "FATAL: workload failed under the profiler" << std::endl;
+    return 1;
+  }
+  (void)session_metrics;
+
+  std::cout << "=== Collapsed span stacks (flamegraph input, samples) ==="
+            << std::endl;
+  std::cout << profile.ToCollapsed();
+  std::printf(
+      "\n%llu samples in spans, %llu idle, %llu dropped over %llu ms at "
+      "%llu Hz (%s mode)\n",
+      static_cast<unsigned long long>(profile.samples),
+      static_cast<unsigned long long>(profile.samples_idle),
+      static_cast<unsigned long long>(profile.samples_dropped),
+      static_cast<unsigned long long>(profile.duration_ms),
+      static_cast<unsigned long long>(profile.sample_hz),
+      profile.mode.c_str());
+  std::cout << "\n=== slim-cpuprofile-v1 (speedscope-compatible) ==="
+            << std::endl;
+  std::cout << profile.ToJson() << std::endl;
+  return 0;
+}
+
 // Deterministic alert-ring walkthrough on an injected clock: every line
 // of output is reproducible, so CI can grep it.
 int64_t g_demo_now_ms = 0;
@@ -301,11 +362,13 @@ int main(int argc, char** argv) {
     kDump,
     kWatch,
     kSlo,
-    kAlerts
+    kAlerts,
+    kCpuProfile
   } mode = Mode::kClassic;
   int serve_port = 0;
   int watch_rounds = 3;
   int slo_rounds = 2;
+  int cpuprofile_seconds = 2;
   std::string dump_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--profile") == 0) {
@@ -330,10 +393,15 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--alerts") == 0) {
       mode = Mode::kAlerts;
+    } else if (std::strcmp(argv[i], "--cpuprofile") == 0) {
+      mode = Mode::kCpuProfile;
+      if (i + 1 < argc && std::atoi(argv[i + 1]) > 0) {
+        cpuprofile_seconds = std::atoi(argv[++i]);
+      }
     } else {
       std::cerr << "usage: obs_dump [--profile | --prom | --serve <port> | "
                    "--dump <path> | --watch [rounds] | --slo [rounds] | "
-                   "--alerts]" << std::endl;
+                   "--alerts | --cpuprofile [seconds]]" << std::endl;
       return 2;
     }
   }
@@ -355,9 +423,10 @@ int main(int argc, char** argv) {
 
   obs::MetricsRegistry session_metrics;
   std::string store_report;
-  // --alerts is a pure alert-ring walkthrough; every other mode wants the
+  // --alerts is a pure alert-ring walkthrough and --cpuprofile drives its
+  // own workload loop under the sampler; every other mode wants the
   // workload's metrics in the default registry before reporting.
-  if (mode != Mode::kAlerts) {
+  if (mode != Mode::kAlerts && mode != Mode::kCpuProfile) {
     if (int rc = RunWorkload(&session_metrics, &store_report); rc != 0) {
       return rc;
     }
@@ -383,7 +452,8 @@ int main(int argc, char** argv) {
                 << std::endl;
       std::cout << profiler.CollapsedStacks();
       std::cout << profiler.span_count() << " spans profiled, "
-                << profiler.records_dropped() << " stack records dropped."
+                << profiler.records_dropped()
+                << " stack records evicted (obs.profile.evicted)."
                 << std::endl;
       break;
     }
@@ -414,13 +484,23 @@ int main(int argc, char** argv) {
       dog.set_lock_profiler(&obs::LockProfiler::Default());
       CHECK_OK(dog.Start());
       dog.Arm();
+      // Always-on sampling profiler: /profile/cpu serves live captures and
+      // the watchdog embeds a short capture in stall-trip bundles.
+      obs::CpuProfiler& cpuprof = obs::CpuProfiler::Default();
+      if (!cpuprof.Start()) {
+        std::cerr << "FATAL: sampling profiler failed to start" << std::endl;
+        return 1;
+      }
+      dog.set_cpu_profiler(&cpuprof);
       server.set_slo(&slo);
       server.set_alerts(&alerts);
       server.set_watchdog(&dog);
+      server.set_cpu_profiler(&cpuprof);
       CHECK_OK(server.Start());
       std::cout << "serving http://127.0.0.1:" << server.port()
                 << "/metrics, /metrics/history, /vars.json, /slo.json, "
-                   "/alerts.json and /healthz — re-running the workload "
+                   "/alerts.json, /healthz, /profile/cpu and "
+                   "/profile/cpu.collapsed — re-running the workload "
                    "every 2s, Ctrl-C to stop"
                 << std::endl;
       // Keep the counters moving so successive scrapes show a live system.
@@ -482,6 +562,9 @@ int main(int argc, char** argv) {
       break;
     case Mode::kAlerts:
       rc = RunAlertsDemo();
+      break;
+    case Mode::kCpuProfile:
+      rc = RunCpuProfileDemo(&session_metrics, cpuprofile_seconds);
       break;
   }
 

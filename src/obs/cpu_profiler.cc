@@ -1,0 +1,543 @@
+#include "obs/cpu_profiler.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/time.h>
+
+#ifdef SLIM_OBS_NATIVE_STACKS
+#include <execinfo.h>
+#endif
+
+#include "obs/json.h"
+
+namespace slim::obs {
+
+namespace internal {
+
+/// Vyukov-style bounded MPSC queue: the SIGPROF handler (any thread) pushes
+/// with a CAS slot claim, the drain thread pops. Atomics only, fixed
+/// storage, so both sides are async-signal-safe and allocation-free.
+struct CpuSampleRing {
+  static constexpr uint32_t kMaxNative = 16;
+
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    uint32_t n = 0;
+    uint32_t native_n = 0;
+    uint32_t frames[SpanStack::kMaxDepth];
+    uint64_t pcs[kMaxNative];
+  };
+
+  explicit CpuSampleRing(size_t capacity) {
+    cap_ = 1;
+    while (cap_ < capacity) cap_ <<= 1;
+    slots_ = std::make_unique<Slot[]>(cap_);
+    for (size_t i = 0; i < cap_; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  bool Push(const uint32_t* frames, uint32_t n, const uint64_t* pcs,
+            uint32_t native_n) {
+    uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & (cap_ - 1)];
+      const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      const int64_t diff =
+          static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          slot.n = n < SpanStack::kMaxDepth ? n : SpanStack::kMaxDepth;
+          std::memcpy(slot.frames, frames, slot.n * sizeof(uint32_t));
+          slot.native_n = native_n < kMaxNative ? native_n : kMaxNative;
+          std::memcpy(slot.pcs, pcs, slot.native_n * sizeof(uint64_t));
+          slot.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        // Full: a consumer hasn't recycled this slot yet. Count and drop —
+        // a handler must never wait.
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Single consumer (the drain thread).
+  bool Pop(uint32_t* frames, uint32_t* n, uint64_t* pcs, uint32_t* native_n) {
+    Slot& slot = slots_[tail_ & (cap_ - 1)];
+    const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (static_cast<int64_t>(seq) - static_cast<int64_t>(tail_ + 1) < 0) {
+      return false;
+    }
+    *n = slot.n;
+    std::memcpy(frames, slot.frames, slot.n * sizeof(uint32_t));
+    *native_n = slot.native_n;
+    std::memcpy(pcs, slot.pcs, slot.native_n * sizeof(uint64_t));
+    slot.seq.store(tail_ + cap_, std::memory_order_release);
+    ++tail_;
+    return true;
+  }
+
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  std::unique_ptr<Slot[]> slots_;
+  size_t cap_ = 0;
+  std::atomic<uint64_t> head_{0};
+  uint64_t tail_ = 0;
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace internal
+
+namespace {
+
+/// High bit marks a native-frame id inside an aggregation key; the low bits
+/// index the profiler's native_names_ table. Span-name ids (>= 1, dense)
+/// never reach this range.
+constexpr uint32_t kNativeBit = 0x80000000u;
+
+/// SIGPROF plumbing. One itimer-mode profiler owns the signal at a time;
+/// the handler validates the interrupted thread's published stack against
+/// the profiled tracer's epoch before reading it.
+std::atomic<CpuProfiler*> g_itimer_owner{nullptr};
+std::atomic<uint64_t> g_profiled_epoch{0};
+std::atomic<internal::CpuSampleRing*> g_ring{nullptr};
+std::atomic<bool> g_native_frames{false};
+std::atomic<bool> g_handler_installed{false};
+
+void SigprofHandler(int /*signo*/) {
+  const int saved_errno = errno;
+  internal::CpuSampleRing* ring = g_ring.load(std::memory_order_acquire);
+  const uint64_t epoch = g_profiled_epoch.load(std::memory_order_relaxed);
+  if (ring != nullptr && epoch != 0) {
+    uint32_t frames[SpanStack::kMaxDepth];
+    uint32_t n = 0;
+    const internal::SigStackRef& ref = internal::t_sig_stack;
+    if (ref.tracer_epoch.load(std::memory_order_relaxed) == epoch) {
+      const SpanStack* stack = ref.stack.load(std::memory_order_relaxed);
+      if (stack != nullptr) n = stack->Snapshot(frames);
+    }
+    uint64_t pcs[internal::CpuSampleRing::kMaxNative];
+    uint32_t native_n = 0;
+#ifdef SLIM_OBS_NATIVE_STACKS
+    if (g_native_frames.load(std::memory_order_relaxed)) {
+      // Skip the two innermost frames (this handler + the signal
+      // trampoline); Start() pre-warmed libgcc so this never dlopens here.
+      void* bt[internal::CpuSampleRing::kMaxNative + 2];
+      const int got =
+          backtrace(bt, internal::CpuSampleRing::kMaxNative + 2);
+      for (int i = 2; i < got; ++i) {
+        pcs[native_n++] = reinterpret_cast<uint64_t>(bt[i]);
+      }
+    }
+#endif
+    ring->Push(frames, n, pcs, native_n);
+  }
+  errno = saved_errno;
+}
+
+std::string JoinPath(const CpuProfile& profile,
+                     const CpuProfile::StackCount& stack) {
+  std::string out;
+  for (size_t i = 0; i < stack.frames.size(); ++i) {
+    if (i) out += ';';
+    const uint32_t frame = stack.frames[i];
+    out += frame < profile.frame_names.size() ? profile.frame_names[frame]
+                                              : "?";
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CpuProfile
+// ---------------------------------------------------------------------------
+
+std::string CpuProfile::ToCollapsed() const {
+  std::string out;
+  for (const StackCount& stack : stacks) {
+    out += JoinPath(*this, stack);
+    out += ' ';
+    out += std::to_string(stack.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string CpuProfile::ToJson() const {
+  std::string out = "{\"schema\":\"slim-cpuprofile-v1\"";
+  out += ",\"$schema\":\"https://www.speedscope.app/file-format-schema.json\"";
+  out += ",\"name\":\"slim cpu profile\"";
+  out += ",\"exporter\":\"slim-obs\"";
+  out += ",\"mode\":" + JsonQuote(mode);
+  out += ",\"sample_hz\":" + std::to_string(sample_hz);
+  out += ",\"duration_ms\":" + std::to_string(duration_ms);
+  out += ",\"samples\":" + std::to_string(samples);
+  out += ",\"samples_idle\":" + std::to_string(samples_idle);
+  out += ",\"samples_dropped\":" + std::to_string(samples_dropped);
+  out += ",\"shared\":{\"frames\":[";
+  for (size_t i = 0; i < frame_names.size(); ++i) {
+    if (i) out += ',';
+    out += "{\"name\":" + JsonQuote(frame_names[i]) + "}";
+  }
+  out += "]},\"profiles\":[{\"type\":\"sampled\"";
+  out += ",\"name\":\"spans\",\"unit\":\"none\",\"startValue\":0";
+  uint64_t total = 0;
+  for (const StackCount& stack : stacks) total += stack.count;
+  out += ",\"endValue\":" + std::to_string(total);
+  out += ",\"samples\":[";
+  for (size_t i = 0; i < stacks.size(); ++i) {
+    if (i) out += ',';
+    out += '[';
+    for (size_t j = 0; j < stacks[i].frames.size(); ++j) {
+      if (j) out += ',';
+      out += std::to_string(stacks[i].frames[j]);
+    }
+    out += ']';
+  }
+  out += "],\"weights\":[";
+  for (size_t i = 0; i < stacks.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(stacks[i].count);
+  }
+  out += "]}]}";
+  return out;
+}
+
+uint64_t CpuProfile::CountWithPrefix(const std::string& prefix) const {
+  uint64_t total = 0;
+  for (const StackCount& stack : stacks) {
+    if (JoinPath(*this, stack).rfind(prefix, 0) == 0) total += stack.count;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// CpuProfiler
+// ---------------------------------------------------------------------------
+
+CpuProfiler::CpuProfiler(MetricsRegistry* registry, Tracer* tracer,
+                         Options options)
+    : registry_(registry), tracer_(tracer), options_(options) {}
+
+CpuProfiler::~CpuProfiler() {
+  Stop();
+  if (ring_ != nullptr) {
+    // A SIGPROF delivered in the last instants before Stop() cleared the
+    // timer may still be publishing into the ring; give it time to finish
+    // before the storage dies.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+void CpuProfiler::EnsureMetrics() {
+  if (metrics_ready_ || registry_ == nullptr) return;
+  c_samples_ = registry_->GetCounter("obs.cpuprof.samples");
+  c_idle_ = registry_->GetCounter("obs.cpuprof.samples_idle");
+  c_dropped_ = registry_->GetCounter("obs.cpuprof.dropped");
+  c_ticks_ = registry_->GetCounter("obs.cpuprof.ticks");
+  c_captures_ = registry_->GetCounter("obs.cpuprof.captures");
+  g_running_ = registry_->GetGauge("obs.cpuprof.running");
+  g_stacks_ = registry_->GetGauge("obs.cpuprof.stacks");
+  g_hz_ = registry_->GetGauge("obs.cpuprof.sample_hz");
+  metrics_ready_ = true;
+}
+
+bool CpuProfiler::Start() {
+  util::MutexLock lifecycle(&lifecycle_mu_);
+  if (running()) return true;
+  {
+    util::MutexLock lock(&mu_);
+    EnsureMetrics();
+    if (g_hz_ != nullptr) {
+      g_hz_->Set(static_cast<int64_t>(options_.sample_hz));
+    }
+  }
+  if (options_.mode == Mode::kItimer) {
+    CpuProfiler* expected = nullptr;
+    if (!g_itimer_owner.compare_exchange_strong(expected, this,
+                                               std::memory_order_acq_rel)) {
+      return false;  // another profiler owns SIGPROF
+    }
+    if (ring_ == nullptr) {
+      ring_ = std::make_unique<internal::CpuSampleRing>(options_.ring_capacity);
+    }
+#ifdef SLIM_OBS_NATIVE_STACKS
+    if (options_.native_frames) {
+      void* warm[4];
+      backtrace(warm, 4);  // force libgcc load outside the handler
+      g_native_frames.store(true, std::memory_order_relaxed);
+    }
+#else
+    (void)options_.native_frames;
+#endif
+    g_profiled_epoch.store(tracer_->tracer_epoch(), std::memory_order_relaxed);
+    g_ring.store(ring_.get(), std::memory_order_release);
+    if (!g_handler_installed.exchange(true, std::memory_order_acq_rel)) {
+      // Installed once and left in place: restoring the default SIGPROF
+      // action with a signal still pending would kill the process. The
+      // handler no-ops whenever g_ring is cleared.
+      struct sigaction sa;
+      std::memset(&sa, 0, sizeof(sa));
+      sa.sa_handler = &SigprofHandler;
+      sa.sa_flags = SA_RESTART;
+      sigemptyset(&sa.sa_mask);
+      sigaction(SIGPROF, &sa, nullptr);
+    }
+    const uint64_t hz = std::max<uint64_t>(1, options_.sample_hz);
+    itimerval timer;
+    timer.it_interval.tv_sec = 0;
+    timer.it_interval.tv_usec = static_cast<suseconds_t>(
+        std::max<uint64_t>(1, 1'000'000 / hz));
+    timer.it_value = timer.it_interval;
+    setitimer(ITIMER_PROF, &timer, nullptr);
+  }
+  tracer_->set_stack_tracking(true);
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { Run(); });
+  running_.store(true, std::memory_order_release);
+  {
+    util::MutexLock lock(&mu_);
+    if (g_running_ != nullptr) g_running_->Set(1);
+  }
+  return true;
+}
+
+void CpuProfiler::Stop() {
+  util::MutexLock lifecycle(&lifecycle_mu_);
+  if (!running()) return;
+  if (options_.mode == Mode::kItimer) {
+    itimerval zero;
+    std::memset(&zero, 0, sizeof(zero));
+    setitimer(ITIMER_PROF, &zero, nullptr);
+    g_ring.store(nullptr, std::memory_order_release);
+    g_profiled_epoch.store(0, std::memory_order_relaxed);
+    g_native_frames.store(false, std::memory_order_relaxed);
+    g_itimer_owner.store(nullptr, std::memory_order_release);
+  }
+  tracer_->set_stack_tracking(false);
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_requested_ = true;
+  }
+  wake_cv_.notify_all();
+  thread_.join();
+  running_.store(false, std::memory_order_release);
+  {
+    util::MutexLock lock(&mu_);
+    if (g_running_ != nullptr) g_running_->Set(0);
+  }
+}
+
+void CpuProfiler::Run() {
+  const uint64_t hz = std::max<uint64_t>(1, options_.sample_hz);
+  // Itimer mode only drains the handler's queue; 10ms keeps the ring far
+  // from full at any sane rate without burning a core.
+  const auto interval = options_.mode == Mode::kItimer
+                            ? std::chrono::nanoseconds(10'000'000)
+                            : std::chrono::nanoseconds(1'000'000'000 / hz);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      if (stop_requested_) break;
+      wake_cv_.wait_for(lock, interval, [this] { return stop_requested_; });
+      if (stop_requested_) break;
+    }
+    if (options_.mode == Mode::kItimer) {
+      DrainRing();
+    } else {
+      SampleOnce();
+    }
+  }
+  // Final pass so Stop() never strands queued samples.
+  if (options_.mode == Mode::kItimer) DrainRing();
+}
+
+void CpuProfiler::SampleOnce() {
+  const std::vector<const SpanStack*> stacks = tracer_->StackRegistry();
+  uint32_t frames[SpanStack::kMaxDepth];
+  util::MutexLock lock(&mu_);
+  if (c_ticks_ != nullptr) c_ticks_->Increment();
+  if (g_stacks_ != nullptr) {
+    g_stacks_->Set(static_cast<int64_t>(stacks.size()));
+  }
+  for (const SpanStack* stack : stacks) {
+    const uint32_t n = stack->Snapshot(frames);
+    if (n == 0) {
+      ++samples_idle_;
+      if (c_idle_ != nullptr) c_idle_->Increment();
+      continue;
+    }
+    AggregateLocked(frames, n, nullptr, 0);
+  }
+}
+
+void CpuProfiler::DrainRing() {
+  if (ring_ == nullptr) return;
+  uint32_t frames[SpanStack::kMaxDepth];
+  uint64_t pcs[internal::CpuSampleRing::kMaxNative];
+  uint32_t n = 0;
+  uint32_t native_n = 0;
+  util::MutexLock lock(&mu_);
+  if (c_ticks_ != nullptr) c_ticks_->Increment();
+  if (g_stacks_ != nullptr) {
+    g_stacks_->Set(static_cast<int64_t>(tracer_->stack_count()));
+  }
+  while (ring_->Pop(frames, &n, pcs, &native_n)) {
+    if (n == 0 && native_n == 0) {
+      ++samples_idle_;
+      if (c_idle_ != nullptr) c_idle_->Increment();
+      continue;
+    }
+    AggregateLocked(frames, n, pcs, native_n);
+  }
+  const uint64_t dropped = ring_->dropped();
+  if (dropped > dropped_seen_) {
+    const uint64_t delta = dropped - dropped_seen_;
+    dropped_seen_ = dropped;
+    samples_dropped_ += delta;
+    if (c_dropped_ != nullptr) c_dropped_->Increment(delta);
+  }
+}
+
+void CpuProfiler::AggregateLocked(const uint32_t* frames, uint32_t n,
+                                  const uint64_t* pcs, uint32_t native_n) {
+  std::vector<uint32_t> key;
+  key.reserve(n + native_n);
+  key.assign(frames, frames + n);
+  for (uint32_t i = 0; i < native_n; ++i) {
+    auto [it, inserted] =
+        native_ids_.emplace(pcs[i], static_cast<uint32_t>(
+                                        native_names_.size()));
+    if (inserted) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "native:0x%llx",
+                    static_cast<unsigned long long>(pcs[i]));
+      native_names_.push_back(buf);
+    }
+    key.push_back(kNativeBit | it->second);
+  }
+  ++agg_[key];
+  ++samples_span_;
+  samples_total_.fetch_add(1, std::memory_order_relaxed);
+  if (c_samples_ != nullptr) c_samples_->Increment();
+}
+
+CpuProfile CpuProfiler::Snapshot() const {
+  CpuProfile out;
+  out.mode = options_.mode == Mode::kItimer ? "itimer" : "ticker";
+  out.sample_hz = options_.sample_hz;
+  std::map<std::vector<uint32_t>, uint64_t> agg;
+  std::vector<std::string> native_names;
+  {
+    util::MutexLock lock(&mu_);
+    agg = agg_;
+    native_names = native_names_;
+    out.samples = samples_span_;
+    out.samples_idle = samples_idle_;
+    out.samples_dropped = samples_dropped_;
+  }
+  // Fetched *after* the aggregate copy: the intern table only grows, so
+  // every id referenced by `agg` is already in it.
+  const std::vector<std::string> span_names = tracer_->SpanNameTable();
+  const uint32_t span_count = static_cast<uint32_t>(span_names.size());
+  out.frame_names = span_names;
+  out.frame_names.insert(out.frame_names.end(), native_names.begin(),
+                         native_names.end());
+  out.stacks.reserve(agg.size());
+  for (const auto& [key, count] : agg) {
+    CpuProfile::StackCount stack;
+    stack.count = count;
+    stack.frames.reserve(key.size());
+    for (const uint32_t id : key) {
+      // Span ids are 1-based; native ids index past the span table.
+      stack.frames.push_back((id & kNativeBit) != 0
+                                 ? span_count + (id & ~kNativeBit)
+                                 : id - 1);
+    }
+    out.stacks.push_back(std::move(stack));
+  }
+  std::sort(out.stacks.begin(), out.stacks.end(),
+            [](const CpuProfile::StackCount& a,
+               const CpuProfile::StackCount& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.frames < b.frames;
+            });
+  return out;
+}
+
+CpuProfile CpuProfiler::Diff(const CpuProfile& later,
+                             const CpuProfile& earlier) {
+  std::map<std::string, uint64_t> prev;
+  for (const CpuProfile::StackCount& stack : earlier.stacks) {
+    prev[JoinPath(earlier, stack)] = stack.count;
+  }
+  CpuProfile out = later;
+  out.stacks.clear();
+  for (const CpuProfile::StackCount& stack : later.stacks) {
+    const auto it = prev.find(JoinPath(later, stack));
+    const uint64_t base = it == prev.end() ? 0 : it->second;
+    if (stack.count > base) {
+      out.stacks.push_back(
+          CpuProfile::StackCount{stack.frames, stack.count - base});
+    }
+  }
+  out.samples =
+      later.samples > earlier.samples ? later.samples - earlier.samples : 0;
+  out.samples_idle = later.samples_idle > earlier.samples_idle
+                         ? later.samples_idle - earlier.samples_idle
+                         : 0;
+  out.samples_dropped = later.samples_dropped > earlier.samples_dropped
+                            ? later.samples_dropped - earlier.samples_dropped
+                            : 0;
+  return out;
+}
+
+CpuProfile CpuProfiler::CaptureWindow(uint64_t window_ms) {
+  const bool was_running = running();
+  if (!was_running && !Start()) return CpuProfile{};
+  const CpuProfile before = Snapshot();
+  std::this_thread::sleep_for(std::chrono::milliseconds(window_ms));
+  const CpuProfile after = Snapshot();
+  if (!was_running) Stop();
+  CpuProfile window = Diff(after, before);
+  window.duration_ms = window_ms;
+  {
+    util::MutexLock lock(&mu_);
+    EnsureMetrics();
+    if (c_captures_ != nullptr) c_captures_->Increment();
+  }
+  return window;
+}
+
+void CpuProfiler::Reset() {
+  util::MutexLock lock(&mu_);
+  agg_.clear();
+  samples_span_ = 0;
+  samples_idle_ = 0;
+  samples_dropped_ = 0;
+  samples_total_.store(0, std::memory_order_relaxed);
+}
+
+CpuProfiler& CpuProfiler::Default() {
+  static CpuProfiler* profiler =
+      new CpuProfiler(&DefaultRegistry(), &DefaultTracer());
+  return *profiler;
+}
+
+}  // namespace slim::obs

@@ -116,9 +116,19 @@ std::string FlightRecorder::dump_path() const {
   return dump_path_;
 }
 
+void FlightRecorder::SetCpuProfile(std::string profile_json) {
+  util::MutexLock lock(&mu_);
+  cpu_profile_json_ = std::move(profile_json);
+}
+
 std::string FlightRecorder::RenderBundle() const {
   std::vector<LogEvent> events = RecentEvents();
   std::vector<SpanRecord> spans = RecentSpans();
+  std::string cpu_profile;
+  {
+    util::MutexLock lock(&mu_);
+    cpu_profile = cpu_profile_json_;
+  }
 
   std::string out = "{\"events\":[\n";
   for (size_t i = 0; i < events.size(); ++i) {
@@ -136,6 +146,11 @@ std::string FlightRecorder::RenderBundle() const {
   // array when no LockProfiler is active — Sites() is then empty too).
   out += ",\"lock_sites\":";
   out += LockProfiler::Default().ToJson();
+  // What the process was doing: a slim-cpuprofile-v1 capture when the
+  // watchdog (or anyone) stored one, null otherwise — both shapes are
+  // valid JSON, so bundles stay parseable with the profiler disabled.
+  out += ",\"cpu_profile\":";
+  out += cpu_profile.empty() ? "null" : cpu_profile;
   out += "}\n";
   return out;
 }
@@ -172,6 +187,7 @@ void FlightRecorder::Clear() {
   util::MutexLock lock(&mu_);
   events_.clear();
   spans_.clear();
+  cpu_profile_json_.clear();
   statuses_.store(0, std::memory_order_relaxed);
 }
 

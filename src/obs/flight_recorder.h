@@ -67,7 +67,15 @@ class FlightRecorder : public LogSink, public TraceSink {
   void set_dump_path(std::string path);
   std::string dump_path() const;
 
-  /// The bundle as a JSON document (events, spans, metrics).
+  /// Attaches a `slim-cpuprofile-v1` document (CpuProfile::ToJson) to
+  /// subsequent bundles — the watchdog stores a short capture here when a
+  /// stall/heartbeat trip fires, so the bundle says what the process was
+  /// doing. An empty string clears it (the bundle then renders
+  /// `"cpu_profile":null`, keeping profiler-less deployments valid JSON).
+  void SetCpuProfile(std::string profile_json);
+
+  /// The bundle as a JSON document (events, spans, metrics, lock_sites,
+  /// cpu_profile).
   std::string RenderBundle() const;
 
   /// Writes RenderBundle() to `path`.
@@ -88,6 +96,8 @@ class FlightRecorder : public LogSink, public TraceSink {
   std::deque<SpanRecord> spans_ GUARDED_BY(mu_);
   std::atomic<uint64_t> statuses_{0};
   std::string dump_path_ GUARDED_BY(mu_);
+  /// Pre-rendered cpu profile JSON; empty = none captured.
+  std::string cpu_profile_json_ GUARDED_BY(mu_);
 };
 
 /// Process-wide recorder used by SLIM_OBS_DUMP_ON_ERROR.

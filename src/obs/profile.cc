@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <unordered_map>
 
+#include "obs/obs.h"
+
 namespace slim::obs {
 
 void SpanProfiler::OnSpanEnd(const SpanRecord& span) {
@@ -35,6 +37,9 @@ void SpanProfiler::OnSpanEnd(const SpanRecord& span) {
     if (records_.size() == max_records_) {
       records_.pop_front();
       ++records_dropped_;
+      // Evictions were only visible through records_dropped(); the counter
+      // makes capacity pressure show up on /metrics and in bundles.
+      SLIM_OBS_COUNT("obs.profile.evicted");
     }
     records_.push_back(span);
   }

@@ -1,6 +1,7 @@
 #include "obs/prom.h"
 
 #include "obs/alert.h"
+#include "obs/cpu_profiler.h"
 #include "obs/history.h"
 #include "obs/obs.h"
 #include "obs/slo.h"
@@ -160,6 +161,33 @@ void SendResponse(int fd, std::string_view status_line,
   SendAll(fd, body);
 }
 
+/// Value of an integer `seconds=` query parameter in `path`, or `fallback`
+/// when absent/garbled. Anything past 10s is clamped: the accept loop is
+/// serial, so one capture window blocks every other scrape.
+uint64_t ParseSecondsParam(const std::string& path, uint64_t fallback) {
+  const size_t q = path.find('?');
+  if (q == std::string::npos) return fallback;
+  size_t pos = q + 1;
+  while (pos < path.size()) {
+    size_t end = path.find('&', pos);
+    if (end == std::string::npos) end = path.size();
+    const std::string_view param(path.data() + pos, end - pos);
+    if (param.rfind("seconds=", 0) == 0) {
+      uint64_t value = 0;
+      bool any = false;
+      for (size_t i = 8; i < param.size(); ++i) {
+        if (param[i] < '0' || param[i] > '9') return fallback;
+        value = value * 10 + static_cast<uint64_t>(param[i] - '0');
+        any = true;
+        if (value > 10) return 10;
+      }
+      return any ? value : fallback;
+    }
+    pos = end + 1;
+  }
+  return fallback;
+}
+
 }  // namespace
 
 void StatsServer::HandleConnection(int fd) {
@@ -267,10 +295,37 @@ void StatsServer::HandleConnection(int fd) {
                      report.ToJson());
       }
     }
+  } else if (path == "/profile/cpu.collapsed" ||
+             path.rfind("/profile/cpu.collapsed?", 0) == 0) {
+    CpuProfiler* profiler = cpu_profiler_.load(std::memory_order_acquire);
+    if (profiler == nullptr) {
+      send_error("404 Not Found", "no cpu profiler attached\n");
+    } else {
+      // Default: the cumulative aggregate (instant); `seconds=` captures a
+      // fresh window instead.
+      const uint64_t seconds = ParseSecondsParam(path, 0);
+      const CpuProfile profile = seconds == 0
+                                     ? profiler->Snapshot()
+                                     : profiler->CaptureWindow(seconds * 1000);
+      SendResponse(fd, "200 OK", "text/plain; charset=utf-8",
+                   profile.ToCollapsed());
+    }
+  } else if (path == "/profile/cpu" || path.rfind("/profile/cpu?", 0) == 0) {
+    CpuProfiler* profiler = cpu_profiler_.load(std::memory_order_acquire);
+    if (profiler == nullptr) {
+      send_error("404 Not Found", "no cpu profiler attached\n");
+    } else {
+      const uint64_t seconds = ParseSecondsParam(path, 1);
+      const CpuProfile profile = seconds == 0
+                                     ? profiler->Snapshot()
+                                     : profiler->CaptureWindow(seconds * 1000);
+      SendResponse(fd, "200 OK", "application/json", profile.ToJson());
+    }
   } else {
     send_error("404 Not Found",
                "try /metrics, /metrics/history, /vars.json, /slo.json, "
-               "/alerts.json or /healthz\n");
+               "/alerts.json, /healthz, /profile/cpu or "
+               "/profile/cpu.collapsed\n");
   }
 }
 

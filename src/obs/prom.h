@@ -42,6 +42,7 @@ class MetricsHistory;
 class SloEngine;
 class AlertRing;
 class Watchdog;
+class CpuProfiler;
 
 /// Exposition-format name for a registry metric name: lowercase `[a-z0-9_]`
 /// with `.` (and any other illegal byte) mapped to `_`; a leading digit is
@@ -88,6 +89,16 @@ class StatsServer {
   void set_watchdog(const Watchdog* watchdog) {
     watchdog_.store(watchdog, std::memory_order_release);
   }
+  /// While set, `GET /profile/cpu?seconds=N` serves a slim-cpuprofile-v1
+  /// JSON window (default 1s, clamped to 10s — the accept loop is serial,
+  /// so a capture blocks other scrapes for its window) and `GET
+  /// /profile/cpu.collapsed` the flamegraph-collapsed text (cumulative
+  /// snapshot unless `seconds=` asks for a window). Non-const: captures
+  /// may start a stopped profiler for the window. Same lifetime/swap
+  /// contract as set_history.
+  void set_cpu_profiler(CpuProfiler* profiler) {
+    cpu_profiler_.store(profiler, std::memory_order_release);
+  }
 
   bool running() const { return running_.load(std::memory_order_acquire); }
   /// The bound port (valid after Start() returns OK).
@@ -110,6 +121,7 @@ class StatsServer {
   std::atomic<const SloEngine*> slo_{nullptr};
   std::atomic<const AlertRing*> alerts_{nullptr};
   std::atomic<const Watchdog*> watchdog_{nullptr};
+  std::atomic<CpuProfiler*> cpu_profiler_{nullptr};
   uint16_t port_;
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};

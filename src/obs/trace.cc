@@ -83,10 +83,16 @@ Span& Span::operator=(Span&& other) noexcept {
     slot_ = other.slot_;
     tracked_in_map_ = other.tracked_in_map_;
     lightweight_ = other.lightweight_;
+    stack_only_ = other.stack_only_;
+    stack_ = other.stack_;
+    stack_prev_depth_ = other.stack_prev_depth_;
     other.tracer_ = nullptr;
     other.slot_ = nullptr;
     other.tracked_in_map_ = false;
     other.lightweight_ = false;
+    other.stack_only_ = false;
+    other.stack_ = nullptr;
+    other.stack_prev_depth_ = 0;
   }
   return *this;
 }
@@ -95,6 +101,14 @@ void Span::End() {
   if (tracer_ == nullptr) return;
   Tracer* tracer = tracer_;
   tracer_ = nullptr;
+  if (stack_ != nullptr) {
+    tracer->PopStack(stack_, stack_prev_depth_);
+    stack_ = nullptr;
+  }
+  if (stack_only_) {
+    stack_only_ = false;
+    return;
+  }
   if (slot_ != nullptr) {
     tracer->ReleaseSlot(slot_, record_.id);
     slot_ = nullptr;
@@ -135,6 +149,26 @@ struct SlabRef {
 };
 thread_local std::vector<SlabRef> t_slabs;
 
+/// This thread's span stacks, keyed like t_slabs by the tracer's
+/// process-unique epoch.
+struct StackRef {
+  uint64_t tracer_epoch;
+  SpanStack* stack;
+};
+thread_local std::vector<StackRef> t_stacks;
+
+/// Thread-local memo for Tracer::InternSpanNameCached: a direct-mapped
+/// cache in the spirit of the metrics registry's Get* memo, so steady-state
+/// stack pushes never touch names_mu_.
+struct NameMemo {
+  uint64_t tracer_epoch = 0;
+  uint64_t hash = 0;
+  uint32_t id = 0;
+  std::string name;
+};
+inline constexpr size_t kNameMemoSlots = 16;
+thread_local NameMemo t_name_memo[kNameMemoSlots];
+
 }  // namespace
 
 namespace internal {
@@ -142,6 +176,8 @@ uint64_t NextTracerEpoch() {
   static std::atomic<uint64_t> next{1};
   return next.fetch_add(1, std::memory_order_relaxed);
 }
+
+thread_local SigStackRef t_sig_stack;
 }  // namespace internal
 
 void Tracer::AddSink(TraceSink* sink) {
@@ -179,6 +215,79 @@ ActiveSlab* Tracer::LocalSlab() {
   return raw;
 }
 
+SpanStack* Tracer::LocalStack() {
+  for (const StackRef& ref : t_stacks) {
+    if (ref.tracer_epoch == tracer_epoch_) {
+      // Re-publish for the SIGPROF sampler: the thread may have used
+      // another tracer since, or the profiler may have (re)started.
+      internal::t_sig_stack.stack.store(ref.stack, std::memory_order_relaxed);
+      internal::t_sig_stack.tracer_epoch.store(tracer_epoch_,
+                                               std::memory_order_relaxed);
+      return ref.stack;
+    }
+  }
+  auto stack = std::make_unique<SpanStack>();
+  SpanStack* raw = stack.get();
+  {
+    util::MutexLock lock(&active_mu_);
+    stacks_.push_back(std::move(stack));
+    stack_count_.store(stacks_.size(), std::memory_order_release);
+  }
+  t_stacks.push_back(StackRef{tracer_epoch_, raw});
+  internal::t_sig_stack.stack.store(raw, std::memory_order_relaxed);
+  internal::t_sig_stack.tracer_epoch.store(tracer_epoch_,
+                                           std::memory_order_relaxed);
+  return raw;
+}
+
+SpanStack* Tracer::CurrentStack() const {
+  for (const StackRef& ref : t_stacks) {
+    if (ref.tracer_epoch == tracer_epoch_) return ref.stack;
+  }
+  return nullptr;
+}
+
+uint32_t Tracer::InternSpanName(const std::string& name) {
+  util::MutexLock lock(&names_mu_);
+  auto [it, inserted] = name_ids_.emplace(name, 0);
+  if (inserted) {
+    names_by_id_.push_back(&it->first);
+    it->second = static_cast<uint32_t>(names_by_id_.size());
+  }
+  return it->second;
+}
+
+uint32_t Tracer::InternSpanNameCached(const std::string& name) {
+  const uint64_t hash = internal::HashMetricName(name);
+  NameMemo& memo = t_name_memo[hash & (kNameMemoSlots - 1)];
+  if (memo.tracer_epoch == tracer_epoch_ && memo.hash == hash &&
+      memo.name == name) {
+    return memo.id;
+  }
+  const uint32_t id = InternSpanName(name);
+  memo.tracer_epoch = tracer_epoch_;
+  memo.hash = hash;
+  memo.id = id;
+  memo.name = name;
+  return id;
+}
+
+std::vector<std::string> Tracer::SpanNameTable() const {
+  util::MutexLock lock(&names_mu_);
+  std::vector<std::string> out;
+  out.reserve(names_by_id_.size());
+  for (const std::string* name : names_by_id_) out.push_back(*name);
+  return out;
+}
+
+std::vector<const SpanStack*> Tracer::StackRegistry() const {
+  util::MutexLock lock(&active_mu_);
+  std::vector<const SpanStack*> out;
+  out.reserve(stacks_.size());
+  for (const auto& stack : stacks_) out.push_back(stack.get());
+  return out;
+}
+
 ActiveSlot* Tracer::ClaimSlot(uint64_t id, const std::string* name,
                               uint64_t start_ns) {
   ActiveSlab* slab = LocalSlab();
@@ -202,13 +311,35 @@ Span Tracer::StartSpan(std::string name) {
   if (Disabled()) return Span{};
   const bool to_sinks = sink_count() != 0;
   const bool track_all = tracking_active();
+  const bool stacks = stack_tracking();
   const std::string* interned = nullptr;
   if (!track_all) {
     const TrackFilter* filter =
         track_filter_.load(std::memory_order_acquire);
     if (filter != nullptr) interned = filter->Find(name);
   }
-  if (!to_sinks && !track_all && interned == nullptr) return Span{};
+  if (!to_sinks && !track_all && interned == nullptr && !stacks) {
+    return Span{};
+  }
+
+  SpanStack* stack = nullptr;
+  uint32_t stack_prev_depth = 0;
+  if (stacks) {
+    stack = LocalStack();
+    stack_prev_depth = PushStack(stack, InternSpanNameCached(name));
+  }
+
+  if (!to_sinks && !track_all && interned == nullptr) {
+    // Stack-only fastest path: the span exists purely so the sampling
+    // profiler sees the frame. No id fetch_add, no clock read; after the
+    // first span of a name on a thread, no locks either.
+    Span span;
+    span.tracer_ = this;
+    span.stack_only_ = true;
+    span.stack_ = stack;
+    span.stack_prev_depth_ = stack_prev_depth;
+    return span;
+  }
 
   const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
   auto now = std::chrono::steady_clock::now();
@@ -225,6 +356,8 @@ Span Tracer::StartSpan(std::string name) {
     span.slot_ = ClaimSlot(id, interned, start_ns);
     span.tracked_in_map_ = span.slot_ == nullptr;
     span.lightweight_ = true;
+    span.stack_ = stack;
+    span.stack_prev_depth_ = stack_prev_depth;
     return span;
   }
 
@@ -243,6 +376,8 @@ Span Tracer::StartSpan(std::string name) {
   record.start_ns = start_ns;
   t_open_spans.push_back(OpenSpan{this, record.id});
   Span span(this, std::move(record), now);
+  span.stack_ = stack;
+  span.stack_prev_depth_ = stack_prev_depth;
   if (track_all) {
     util::MutexLock lock(&active_mu_);
     active_.emplace(id, ActiveSpanInfo{id, span.record_.name, start_ns});

@@ -118,6 +118,40 @@ struct ActiveSlab {
   ActiveSlot slots[kSlots];
 };
 
+/// \brief One thread's span-nesting stack, published as interned name ids
+/// for asynchronous sampling (obs/cpu_profiler.h). The owning thread is the
+/// only writer; samplers — including a SIGPROF handler interrupting the
+/// owner — read it lock-free via Snapshot(). Nothing here ever allocates,
+/// so the structure is async-signal-safe on both sides.
+///
+/// Publish protocol: a push stores the frame id (relaxed), then the new
+/// depth (release); a pop only lowers `depth`. `depth` may logically exceed
+/// kMaxDepth (frames beyond it are not recorded, but pops stay balanced);
+/// readers clamp. A reader that races a pop+push can see one frame id from
+/// the newer span — a single-sample mis-attribution accepted as sampling
+/// noise rather than paying for a sequence counter on the hot path.
+struct SpanStack {
+  static constexpr uint32_t kMaxDepth = 64;
+  std::atomic<uint32_t> depth{0};
+  std::atomic<uint32_t> frames[kMaxDepth] = {};
+
+  /// Copies up to kMaxDepth frame ids (outermost first) into `out` and
+  /// returns the count. Async-signal-safe: atomics only, no allocation.
+  uint32_t Snapshot(uint32_t* out) const {
+    uint32_t d = depth.load(std::memory_order_acquire);
+    if (d == 0) return 0;
+    uint32_t n = d < kMaxDepth ? d : kMaxDepth;
+    for (uint32_t i = 0; i < n; ++i) {
+      out[i] = frames[i].load(std::memory_order_relaxed);
+    }
+    // Re-read: frames below min(d, d2) were published before our first
+    // acquire and not popped since, so they are a coherent prefix.
+    const uint32_t d2 = depth.load(std::memory_order_acquire);
+    if (d2 < n) n = d2;
+    return n;
+  }
+};
+
 /// \brief RAII span scope. Default-constructed (or moved-from) spans are
 /// inert: every operation is a no-op.
 class Span {
@@ -156,6 +190,14 @@ class Span {
   /// Tracked-only span: no record bookkeeping, no sink delivery — End()
   /// just releases the slot/map entry and counts the finish.
   bool lightweight_ = false;
+  /// Stack-only span: exists solely so the sampling profiler sees the
+  /// frame; End() pops the stack and does nothing else (no id, no clock).
+  bool stack_only_ = false;
+  /// The owning thread's published nesting stack, when stack tracking was
+  /// on at StartSpan; End() restores `stack_prev_depth_` (on the owning
+  /// thread only — ending elsewhere leaves the pop to an enclosing span).
+  SpanStack* stack_ = nullptr;
+  uint32_t stack_prev_depth_ = 0;
 };
 
 /// \brief One still-open span, as reported by Tracer::ActiveSpans(). The
@@ -170,6 +212,18 @@ struct ActiveSpanInfo {
 namespace internal {
 /// Process-unique tracer ids for the thread-local slab caches.
 uint64_t NextTracerEpoch();
+
+/// The calling thread's most recently used span stack, re-published on
+/// every stack-tracked StartSpan. A SIGPROF handler (cpu_profiler.cc)
+/// reads it to sample the interrupted thread without any lookup that could
+/// allocate or lock; it validates `tracer_epoch` against the profiled
+/// tracer before dereferencing. Constant-initialized, so touching it from
+/// a handler never runs a dynamic TLS constructor.
+struct SigStackRef {
+  std::atomic<uint64_t> tracer_epoch{0};
+  std::atomic<SpanStack*> stack{nullptr};
+};
+extern thread_local SigStackRef t_sig_stack;
 }  // namespace internal
 
 /// \brief Hands out spans and fans finished records out to sinks.
@@ -188,10 +242,11 @@ class Tracer {
     return sink_count_.load(std::memory_order_acquire);
   }
 
-  /// True when spans are actually recorded (a sink is attached or the
-  /// active-span registry is tracking, by filter or wholesale).
+  /// True when spans are actually recorded (a sink is attached, the
+  /// active-span registry is tracking — by filter or wholesale — or the
+  /// sampling profiler has stack tracking on).
   bool active() const {
-    return (sink_count() != 0 || tracking_active() ||
+    return (sink_count() != 0 || tracking_active() || stack_tracking() ||
             track_filter_.load(std::memory_order_relaxed) != nullptr) &&
            !Disabled();
   }
@@ -241,6 +296,37 @@ class Tracer {
   }
   /// @}
 
+  /// \name Span-stack publication (sampling profiler).
+  /// While stack tracking is on, every span pushes its interned name id
+  /// onto the calling thread's SpanStack at StartSpan and pops at End — a
+  /// span that would otherwise be inert takes the stack-only fast path (no
+  /// id fetch_add, no clock read, no allocation after the name is interned
+  /// and the thread's stack exists). CpuProfiler::Start enables this.
+  /// @{
+  void set_stack_tracking(bool enabled) {
+    stack_tracking_.store(enabled, std::memory_order_relaxed);
+  }
+  bool stack_tracking() const {
+    return stack_tracking_.load(std::memory_order_relaxed);
+  }
+  /// Stable id (>= 1) for `name`; the same name always maps to the same id
+  /// for this tracer's lifetime. Callers on the hot path go through the
+  /// thread-local memo inside StartSpan instead.
+  uint32_t InternSpanName(const std::string& name) EXCLUDES(names_mu_);
+  /// Interned names indexed by id - 1 (id 0 is reserved/invalid).
+  std::vector<std::string> SpanNameTable() const EXCLUDES(names_mu_);
+  /// Every thread stack registered so far (threads that started at least
+  /// one stack-tracked span). Pointers stay valid for the tracer's
+  /// lifetime; the sampler re-fetches to pick up new threads.
+  std::vector<const SpanStack*> StackRegistry() const EXCLUDES(active_mu_);
+  size_t stack_count() const {
+    return stack_count_.load(std::memory_order_acquire);
+  }
+  /// This tracer's process-unique identity (never reused), used to key the
+  /// thread-local caches and the SIGPROF publication check.
+  uint64_t tracer_epoch() const { return tracer_epoch_; }
+  /// @}
+
  private:
   friend class Span;
   void FinishSpan(SpanRecord* record,
@@ -271,6 +357,30 @@ class Tracer {
     slot->id.compare_exchange_strong(expected, 0, std::memory_order_release,
                                      std::memory_order_relaxed);
   }
+  /// The calling thread's span stack for this tracer, creating and
+  /// registering it on first use (mirrors LocalSlab).
+  SpanStack* LocalStack() EXCLUDES(active_mu_);
+  /// The calling thread's stack if it already exists, else nullptr (never
+  /// creates — End() uses this to detect cross-thread ends).
+  SpanStack* CurrentStack() const;
+  /// Memoized InternSpanName for the hot path (thread-local cache).
+  uint32_t InternSpanNameCached(const std::string& name);
+  static uint32_t PushStack(SpanStack* stack, uint32_t name_id) {
+    const uint32_t d = stack->depth.load(std::memory_order_relaxed);
+    if (d < SpanStack::kMaxDepth) {
+      stack->frames[d].store(name_id, std::memory_order_relaxed);
+    }
+    stack->depth.store(d + 1, std::memory_order_release);
+    return d;
+  }
+  void PopStack(SpanStack* stack, uint32_t prev_depth) const {
+    if (CurrentStack() != stack) return;  // ended on a different thread
+    const uint32_t d = stack->depth.load(std::memory_order_relaxed);
+    // min(): an outer span that ended out of order already lowered depth
+    // past us; never raise it back over a stale frame.
+    stack->depth.store(prev_depth < d ? prev_depth : d,
+                       std::memory_order_release);
+  }
 
   mutable util::InstrumentedMutex mu_{"obs.trace.sinks"};
   std::vector<TraceSink*> sinks_ GUARDED_BY(mu_);
@@ -291,6 +401,17 @@ class Tracer {
   std::vector<std::unique_ptr<const TrackFilter>> filters_
       GUARDED_BY(active_mu_);
   std::vector<std::unique_ptr<ActiveSlab>> slabs_ GUARDED_BY(active_mu_);
+
+  std::atomic<bool> stack_tracking_{false};
+  /// Mirrors stacks_.size() so samplers can poll for new threads cheaply.
+  std::atomic<size_t> stack_count_{0};
+  std::vector<std::unique_ptr<SpanStack>> stacks_ GUARDED_BY(active_mu_);
+  /// Span-name intern table. Ids are dense from 1; names_by_id_ points at
+  /// the map's own keys (std::map nodes are stable), so SpanNameTable()
+  /// and the memo cache stay valid for the tracer's lifetime.
+  mutable util::InstrumentedMutex names_mu_{"obs.trace.names"};
+  std::map<std::string, uint32_t> name_ids_ GUARDED_BY(names_mu_);
+  std::vector<const std::string*> names_by_id_ GUARDED_BY(names_mu_);
 };
 
 /// Process-wide tracer used by the SLIM_OBS_SPAN instrumentation macro.

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "obs/alert.h"
+#include "obs/cpu_profiler.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/lock_profiler.h"
 #include "obs/obs.h"
@@ -184,60 +186,81 @@ void Watchdog::Disarm() {
 
 size_t Watchdog::CheckSpansAt(uint64_t now_ns) {
   std::vector<ActiveSpanInfo> spans = tracer_->ActiveSpans();
-  util::MutexLock lock(&mu_);
-  EnsureMetrics();
-  if (g_active_spans_ != nullptr) {
-    g_active_spans_->Set(static_cast<int64_t>(spans.size()));
-  }
-  // Worst current overage per span name. Strictly past the deadline only:
-  // a span whose age equals the deadline exactly has not missed it yet.
-  std::map<std::string, int64_t> stalled_now;
   size_t stalled_spans = 0;
-  for (const ActiveSpanInfo& span : spans) {
-    int64_t deadline_ms = options_.default_span_deadline_ms;
-    auto it = deadlines_.find(span.name);
-    if (it != deadlines_.end()) deadline_ms = it->second;
-    if (deadline_ms <= 0 || now_ns <= span.start_ns) continue;
-    const uint64_t age_ns = now_ns - span.start_ns;
-    if (age_ns > static_cast<uint64_t>(deadline_ms) * 1'000'000u) {
-      ++stalled_spans;
-      const int64_t age_ms = static_cast<int64_t>(age_ns / 1'000'000u);
-      auto [worst, inserted] = stalled_now.emplace(span.name, age_ms);
-      if (!inserted) worst->second = std::max(worst->second, age_ms);
+  size_t fresh_trips = 0;
+  {
+    util::MutexLock lock(&mu_);
+    EnsureMetrics();
+    if (g_active_spans_ != nullptr) {
+      g_active_spans_->Set(static_cast<int64_t>(spans.size()));
+    }
+    // Worst current overage per span name. Strictly past the deadline only:
+    // a span whose age equals the deadline exactly has not missed it yet.
+    std::map<std::string, int64_t> stalled_now;
+    for (const ActiveSpanInfo& span : spans) {
+      int64_t deadline_ms = options_.default_span_deadline_ms;
+      auto it = deadlines_.find(span.name);
+      if (it != deadlines_.end()) deadline_ms = it->second;
+      if (deadline_ms <= 0 || now_ns <= span.start_ns) continue;
+      const uint64_t age_ns = now_ns - span.start_ns;
+      if (age_ns > static_cast<uint64_t>(deadline_ms) * 1'000'000u) {
+        ++stalled_spans;
+        const int64_t age_ms = static_cast<int64_t>(age_ns / 1'000'000u);
+        auto [worst, inserted] = stalled_now.emplace(span.name, age_ms);
+        if (!inserted) worst->second = std::max(worst->second, age_ms);
+      }
+    }
+    for (const auto& [name, age_ms] : stalled_now) {
+      const bool fresh = stalled_.find(name) == stalled_.end();
+      stalled_[name] = static_cast<uint64_t>(age_ms);
+      if (!fresh) continue;
+      ++fresh_trips;
+      if (c_stalled_ != nullptr) c_stalled_->Increment();
+      if (c_trips_ != nullptr) c_trips_->Increment();
+      if (alerts_ != nullptr) {
+        auto it = deadlines_.find(name);
+        const int64_t deadline_ms = it != deadlines_.end()
+                                        ? it->second
+                                        : options_.default_span_deadline_ms;
+        alerts_->Raise("stall:" + name, "stall", AlertSeverity::kCritical,
+                       "span '" + name + "' open for " +
+                           std::to_string(age_ms) + "ms (deadline " +
+                           std::to_string(deadline_ms) + "ms)");
+      }
+      SLIM_OBS_LOG(kError, "obs", "watchdog: stalled span",
+                   {{"span", name}, {"age_ms", std::to_string(age_ms)}});
+    }
+    for (auto it = stalled_.begin(); it != stalled_.end();) {
+      if (stalled_now.find(it->first) == stalled_now.end()) {
+        if (alerts_ != nullptr) alerts_->Resolve("stall:" + it->first);
+        it = stalled_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
-  for (const auto& [name, age_ms] : stalled_now) {
-    const bool fresh = stalled_.find(name) == stalled_.end();
-    stalled_[name] = static_cast<uint64_t>(age_ms);
-    if (!fresh) continue;
-    if (c_stalled_ != nullptr) c_stalled_->Increment();
-    if (c_trips_ != nullptr) c_trips_->Increment();
-    if (alerts_ != nullptr) {
-      auto it = deadlines_.find(name);
-      const int64_t deadline_ms = it != deadlines_.end()
-                                      ? it->second
-                                      : options_.default_span_deadline_ms;
-      alerts_->Raise("stall:" + name, "stall", AlertSeverity::kCritical,
-                     "span '" + name + "' open for " +
-                         std::to_string(age_ms) + "ms (deadline " +
-                         std::to_string(deadline_ms) + "ms)");
-    }
-    SLIM_OBS_LOG(kError, "obs", "watchdog: stalled span",
-                 {{"span", name}, {"age_ms", std::to_string(age_ms)}});
-    SLIM_OBS_DUMP_ON_ERROR("obs.watchdog.stall");
-  }
-  for (auto it = stalled_.begin(); it != stalled_.end();) {
-    if (stalled_now.find(it->first) == stalled_now.end()) {
-      if (alerts_ != nullptr) alerts_->Resolve("stall:" + it->first);
-      it = stalled_.erase(it);
-    } else {
-      ++it;
+  // The capture blocks and the dump takes the flight recorder's lock, so
+  // both run after mu_ is released; the profile is stored first so the
+  // dumped bundle embeds it.
+  if (fresh_trips > 0) {
+    CaptureTripProfile();
+    for (size_t i = 0; i < fresh_trips; ++i) {
+      SLIM_OBS_DUMP_ON_ERROR("obs.watchdog.stall");
     }
   }
   return stalled_spans;
 }
 
-void Watchdog::CheckHeartbeats(int64_t now) {
+void Watchdog::CaptureTripProfile() {
+  CpuProfiler* profiler = cpu_profiler_.load(std::memory_order_acquire);
+  if (profiler == nullptr || options_.trip_profile_ms <= 0) return;
+  const CpuProfile profile = profiler->CaptureWindow(
+      static_cast<uint64_t>(options_.trip_profile_ms));
+  DefaultFlightRecorder().SetCpuProfile(profile.ToJson());
+}
+
+size_t Watchdog::CheckHeartbeats(int64_t now) {
+  size_t fresh_misses = 0;
   for (const auto& [name, heartbeat] : heartbeats_) {
     FoldBeats(heartbeat.get(), now);
     if (!heartbeat->periodic) continue;
@@ -250,6 +273,7 @@ void Watchdog::CheckHeartbeats(int64_t now) {
       const bool fresh = missed_.find(name) == missed_.end();
       missed_[name] = silence;
       if (!fresh) continue;
+      ++fresh_misses;
       if (c_misses_ != nullptr) c_misses_->Increment();
       if (c_trips_ != nullptr) c_trips_->Increment();
       if (alerts_ != nullptr) {
@@ -262,12 +286,14 @@ void Watchdog::CheckHeartbeats(int64_t now) {
       SLIM_OBS_LOG(kError, "obs", "watchdog: heartbeat lost",
                    {{"subsystem", name},
                     {"silence_ms", std::to_string(silence)}});
-      SLIM_OBS_DUMP_ON_ERROR("obs.watchdog.heartbeat");
     } else if (missed_.find(name) != missed_.end()) {
       missed_.erase(name);
       if (alerts_ != nullptr) alerts_->Resolve("heartbeat:" + name);
     }
   }
+  // The dump (and the trip profile before it) runs in CheckOnce after mu_
+  // is released.
+  return fresh_misses;
 }
 
 void Watchdog::CheckLocks() {
@@ -305,6 +331,7 @@ void Watchdog::CheckOnce() {
   CheckSpansAt(tracer_->now_ns());
   SloEngine* slo = nullptr;
   Heartbeat* self = nullptr;
+  size_t fresh_misses = 0;
   {
     util::MutexLock lock(&mu_);
     EnsureMetrics();
@@ -312,12 +339,19 @@ void Watchdog::CheckOnce() {
     if (g_subsystems_ != nullptr) {
       g_subsystems_->Set(static_cast<int64_t>(heartbeats_.size()));
     }
-    CheckHeartbeats(now);
+    fresh_misses = CheckHeartbeats(now);
     CheckLocks();
     slo = slo_;
     self = self_heartbeat_;
   }
-  // Outside mu_: the SLO engine takes its own lock (and may raise alerts).
+  // Outside mu_: the trip profile blocks for its window and the SLO engine
+  // takes its own lock (and may raise alerts).
+  if (fresh_misses > 0) {
+    CaptureTripProfile();
+    for (size_t i = 0; i < fresh_misses; ++i) {
+      SLIM_OBS_DUMP_ON_ERROR("obs.watchdog.heartbeat");
+    }
+  }
   if (slo != nullptr) slo->Evaluate();
   Beat(self);
 }

@@ -56,6 +56,7 @@ namespace slim::obs {
 class AlertRing;
 class SloEngine;
 class LockProfiler;
+class CpuProfiler;
 
 enum class HealthState { kOk = 0, kDegraded = 1, kFailing = 2 };
 
@@ -86,6 +87,12 @@ struct WatchdogOptions {
   int64_t default_span_deadline_ms = 0;
   /// Lock-hold alert threshold; 0 disables the lock check.
   uint64_t long_hold_threshold_ns = 0;
+  /// When a CpuProfiler is attached (set_cpu_profiler), a *fresh* stall or
+  /// heartbeat trip captures a profile window this long and stores it in
+  /// the flight recorder before the dump fires, so the bundle says what
+  /// the process was doing. The capture blocks the check pass for the
+  /// window; 0 disables it.
+  int64_t trip_profile_ms = 200;
   /// Injectable monotonic clock (ms). nullptr = steady_clock.
   int64_t (*now_ms)() = nullptr;
 };
@@ -134,6 +141,13 @@ class Watchdog {
   void set_alerts(AlertRing* alerts) EXCLUDES(mu_);
   void set_slo(SloEngine* slo) EXCLUDES(mu_);
   void set_lock_profiler(const LockProfiler* profiler) EXCLUDES(mu_);
+  /// While set, fresh stall/heartbeat trips capture a
+  /// `options().trip_profile_ms` cpu-profile window into the flight
+  /// recorder (see WatchdogOptions::trip_profile_ms). The profiler must
+  /// outlive the watchdog or be detached with nullptr first.
+  void set_cpu_profiler(CpuProfiler* profiler) {
+    cpu_profiler_.store(profiler, std::memory_order_release);
+  }
   /// @}
 
   /// Records one pulse. Near-free when the watchdog is not armed (one
@@ -191,8 +205,13 @@ class Watchdog {
   void FoldBeats(Heartbeat* heartbeat, int64_t now) const REQUIRES(mu_);
   /// Publishes the deadline-name set as the tracer's track filter.
   void PublishTrackFilter() EXCLUDES(mu_);
-  void CheckHeartbeats(int64_t now) REQUIRES(mu_);
+  /// Returns the number of *fresh* heartbeat misses this pass; the caller
+  /// fires the trip profile + dump after releasing mu_.
+  size_t CheckHeartbeats(int64_t now) REQUIRES(mu_);
   void CheckLocks() REQUIRES(mu_);
+  /// Captures a trip_profile_ms window from the attached profiler into the
+  /// flight recorder. Blocks for the window; never call under mu_.
+  void CaptureTripProfile() EXCLUDES(mu_);
 
   MetricsRegistry* const registry_;
   Tracer* const tracer_;
@@ -201,6 +220,7 @@ class Watchdog {
   std::atomic<bool> armed_{false};
   std::atomic<int64_t> armed_at_ms_{0};
   std::atomic<uint64_t> checks_{0};
+  std::atomic<CpuProfiler*> cpu_profiler_{nullptr};
 
   mutable util::InstrumentedMutex mu_{"obs.watchdog.state"};
   std::map<std::string, int64_t, std::less<>> deadlines_ GUARDED_BY(mu_);

@@ -1,0 +1,613 @@
+// Sampling-profiler suite (obs/cpu_profiler.h + the tracer's SpanStack):
+// interning round-trips, nested-stack snapshots, the signal-safe
+// publish/read path under hammer, multi-thread sample attribution with
+// known span mixes, start/stop/restart accounting, both export shapes,
+// the flight-recorder cpu_profile section, live /profile endpoints over a
+// real socket, and a watchdog stall trip embedding a capture.
+//
+// Like obs_test.cc, everything here is library-level and must pass under
+// both SLIM_ENABLE_OBS settings — tests call Tracer/CpuProfiler directly
+// rather than through the compiled-out macros. This suite (ObsCpuProf.*)
+// is run by name under TSan in CI: the SpanStack push/pop/snapshot
+// protocol and the sampler thread walking live workers' stacks are the
+// newest lock-free surfaces in the tree.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/cpu_profiler.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/prom.h"
+#include "obs/trace.h"
+#include "obs/watchdog.h"
+
+namespace slim::obs {
+namespace {
+
+// Minimal blocking HTTP/1.1 GET against 127.0.0.1:port (same shape as
+// obs_diag_test.cc).
+std::string HttpGet(uint16_t port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  size_t off = 0;
+  while (off < request.size()) {
+    ssize_t n = ::send(fd, request.data() + off, request.size() - off, 0);
+    if (n <= 0) break;
+    off += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Body(const std::string& response) {
+  size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+// ---------------------------------------------------------------------------
+// Name interning and the SpanStack itself
+// ---------------------------------------------------------------------------
+
+TEST(ObsCpuProf, SpanNameInterningRoundTrips) {
+  Tracer tracer;
+  const uint32_t a = tracer.InternSpanName("cpuprof.intern.a");
+  const uint32_t b = tracer.InternSpanName("cpuprof.intern.b");
+  EXPECT_NE(a, 0u);  // id 0 is reserved for "no frame"
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(tracer.InternSpanName("cpuprof.intern.a"), a);
+
+  const std::vector<std::string> names = tracer.SpanNameTable();
+  ASSERT_GE(names.size(), 2u);
+  EXPECT_EQ(names[a - 1], "cpuprof.intern.a");  // ids are 1-based and dense
+  EXPECT_EQ(names[b - 1], "cpuprof.intern.b");
+}
+
+TEST(ObsCpuProf, NestedSpansPublishTheStackOutermostFirst) {
+  Tracer tracer;
+  tracer.set_stack_tracking(true);
+  const uint32_t outer_id = tracer.InternSpanName("cpuprof.nest.outer");
+  const uint32_t mid_id = tracer.InternSpanName("cpuprof.nest.mid");
+  const uint32_t inner_id = tracer.InternSpanName("cpuprof.nest.inner");
+
+  uint32_t frames[SpanStack::kMaxDepth];
+  {
+    Span outer = tracer.StartSpan("cpuprof.nest.outer");
+    Span mid = tracer.StartSpan("cpuprof.nest.mid");
+    {
+      Span inner = tracer.StartSpan("cpuprof.nest.inner");
+      const std::vector<const SpanStack*> stacks = tracer.StackRegistry();
+      ASSERT_EQ(stacks.size(), 1u);  // only this thread traced
+      const uint32_t n = stacks[0]->Snapshot(frames);
+      ASSERT_EQ(n, 3u);
+      EXPECT_EQ(frames[0], outer_id);
+      EXPECT_EQ(frames[1], mid_id);
+      EXPECT_EQ(frames[2], inner_id);
+    }
+    // inner ended: depth must be back to 2, same prefix.
+    const std::vector<const SpanStack*> stacks = tracer.StackRegistry();
+    ASSERT_EQ(stacks.size(), 1u);
+    const uint32_t n = stacks[0]->Snapshot(frames);
+    ASSERT_EQ(n, 2u);
+    EXPECT_EQ(frames[0], outer_id);
+    EXPECT_EQ(frames[1], mid_id);
+  }
+  // All spans ended: the stack is empty, not stale.
+  const std::vector<const SpanStack*> stacks = tracer.StackRegistry();
+  ASSERT_EQ(stacks.size(), 1u);
+  EXPECT_EQ(stacks[0]->Snapshot(frames), 0u);
+  tracer.set_stack_tracking(false);
+}
+
+TEST(ObsCpuProf, StackTrackingOffPublishesNothing) {
+  Tracer tracer;
+  Span span = tracer.StartSpan("cpuprof.off.span");
+  EXPECT_TRUE(tracer.StackRegistry().empty());
+  span.End();
+}
+
+// The signal-safety contract, hammered from the reader side: writer
+// threads churn nested spans (publishing frames and republishing the
+// thread-local signal ref) while readers snapshot every registered stack
+// as fast as they can. Every id a snapshot returns must be a valid,
+// interned span name — a torn read, stale frame past the depth, or
+// out-of-thin-air value fails loudly. Run under TSan in CI.
+TEST(ObsCpuProf, SnapshotPublishReadHammer) {
+  Tracer tracer;
+  tracer.set_stack_tracking(true);
+  constexpr int kWriters = 3;
+  constexpr int kIterations = 4000;
+  // Writers churn past their iteration floor until the reader has taken
+  // this many snapshots — on a loaded machine the reader thread may not
+  // be scheduled at all inside a fixed writer run. The ceiling keeps a
+  // wedged reader from spinning forever (the assertion then fails loudly).
+  constexpr uint64_t kMinSnapshots = 64;
+  constexpr int kMaxIterations = 10'000'000;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> snapshots{0};
+  std::atomic<bool> bad_id{false};
+
+  std::thread reader([&] {
+    uint32_t frames[SpanStack::kMaxDepth];
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::vector<const SpanStack*> stacks = tracer.StackRegistry();
+      // The name table only grows; fetching it before the snapshot still
+      // bounds every id a *previously registered* frame can carry.
+      const size_t names = tracer.SpanNameTable().size();
+      for (const SpanStack* stack : stacks) {
+        const uint32_t n = stack->Snapshot(frames);
+        for (uint32_t i = 0; i < n; ++i) {
+          if (frames[i] == 0 || frames[i] > names) {
+            bad_id.store(true, std::memory_order_relaxed);
+          }
+        }
+        snapshots.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&tracer, &snapshots, w] {
+      const std::string outer = "cpuprof.hammer.w" + std::to_string(w);
+      for (int i = 0; i < kMaxIterations; ++i) {
+        if (i >= kIterations &&
+            snapshots.load(std::memory_order_relaxed) >= kMinSnapshots) {
+          break;
+        }
+        Span a = tracer.StartSpan(outer);
+        Span b = tracer.StartSpan("cpuprof.hammer.mid");
+        Span c = tracer.StartSpan("cpuprof.hammer.leaf");
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_FALSE(bad_id.load());
+  EXPECT_GT(snapshots.load(), 0u);
+  tracer.set_stack_tracking(false);
+}
+
+// ---------------------------------------------------------------------------
+// Sampling and aggregation
+// ---------------------------------------------------------------------------
+
+// N workers hold known span mixes while the ticker samples: every sampled
+// path must come from the known mix (attribution is exact even though the
+// counts are statistical), both workers must be seen, and neither may
+// swallow the other (loose 5%-95% share bounds that hold at any sane
+// scheduler interleaving).
+TEST(ObsCpuProf, TickerAttributesKnownSpanMixes) {
+  Tracer tracer;
+  MetricsRegistry registry;
+  CpuProfilerOptions options;
+  options.sample_hz = 997;  // prime and fast: plenty of samples in 300ms
+  CpuProfiler profiler(&registry, &tracer, options);
+  ASSERT_TRUE(profiler.Start());
+
+  std::atomic<bool> stop{false};
+  std::thread alpha([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      Span span = tracer.StartSpan("cpuprof.mix.alpha");
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  std::thread beta([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      Span outer = tracer.StartSpan("cpuprof.mix.outer");
+      Span inner = tracer.StartSpan("cpuprof.mix.beta");
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  // Sample until both workers have been attributed (bounded wait keeps the
+  // test deterministic-in-outcome on loaded machines).
+  CpuProfile profile;
+  for (int tries = 0; tries < 50; ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    profile = profiler.Snapshot();
+    if (profile.CountWithPrefix("cpuprof.mix.alpha") > 10 &&
+        profile.CountWithPrefix("cpuprof.mix.outer;cpuprof.mix.beta") > 10) {
+      break;
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  alpha.join();
+  beta.join();
+  profiler.Stop();
+
+  const uint64_t alpha_hits = profile.CountWithPrefix("cpuprof.mix.alpha");
+  const uint64_t beta_hits =
+      profile.CountWithPrefix("cpuprof.mix.outer;cpuprof.mix.beta");
+  ASSERT_GT(alpha_hits, 10u);
+  ASSERT_GT(beta_hits, 10u);
+  // Attribution exactness: every sampled path starts with a known root.
+  uint64_t known = 0;
+  for (const CpuProfile::StackCount& stack : profile.stacks) {
+    known += stack.count;
+  }
+  EXPECT_EQ(known, profile.samples);
+  EXPECT_EQ(alpha_hits + profile.CountWithPrefix("cpuprof.mix.outer"),
+            profile.samples);
+  // Neither worker dominates completely: both loops sleep the same 200us,
+  // so a 19:1 skew means samples were lost or double-counted.
+  const double share = static_cast<double>(alpha_hits) /
+                       static_cast<double>(alpha_hits + beta_hits);
+  EXPECT_GT(share, 0.05);
+  EXPECT_LT(share, 0.95);
+}
+
+// Start/stop/restart: aggregates survive a restart (cumulative), the
+// second run keeps sampling the same worker threads (no thread is lost),
+// and stopping twice is a no-op (nothing double-counts).
+TEST(ObsCpuProf, RestartNeverLosesOrDoubleCountsThreads) {
+  Tracer tracer;
+  MetricsRegistry registry;
+  CpuProfilerOptions options;
+  options.sample_hz = 997;
+  CpuProfiler profiler(&registry, &tracer, options);
+
+  std::atomic<bool> stop{false};
+  std::thread worker([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      Span span = tracer.StartSpan("cpuprof.restart.work");
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  ASSERT_TRUE(profiler.Start());
+  uint64_t first = 0;
+  for (int tries = 0; tries < 100 && first == 0; ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    first = profiler.Snapshot().CountWithPrefix("cpuprof.restart.work");
+  }
+  ASSERT_GT(first, 0u);
+  profiler.Stop();
+  profiler.Stop();  // idempotent
+  const uint64_t at_stop = profiler.samples();
+
+  // Stopped: the worker keeps running but no samples accumulate.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(profiler.samples(), at_stop);
+
+  // Restart: the same worker thread is picked up again without re-tracing.
+  ASSERT_TRUE(profiler.Start());
+  uint64_t second = at_stop;
+  for (int tries = 0; tries < 100 && second <= at_stop; ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    second = profiler.samples();
+  }
+  EXPECT_GT(second, at_stop);
+  profiler.Stop();
+
+  stop.store(true, std::memory_order_release);
+  worker.join();
+}
+
+TEST(ObsCpuProf, CaptureWindowReturnsOnlyTheWindow) {
+  Tracer tracer;
+  MetricsRegistry registry;
+  CpuProfilerOptions options;
+  options.sample_hz = 997;
+  CpuProfiler profiler(&registry, &tracer, options);
+
+  std::atomic<bool> stop{false};
+  std::thread worker([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      Span span = tracer.StartSpan("cpuprof.window.work");
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  // A stopped profiler runs just for the window and stops again.
+  CpuProfile window = profiler.CaptureWindow(150);
+  EXPECT_FALSE(profiler.running());
+  EXPECT_EQ(window.duration_ms, 150u);
+  EXPECT_GT(window.CountWithPrefix("cpuprof.window.work"), 0u);
+
+  // A running profiler is undisturbed by a window capture.
+  ASSERT_TRUE(profiler.Start());
+  CpuProfile second = profiler.CaptureWindow(100);
+  EXPECT_TRUE(profiler.running());
+  EXPECT_EQ(second.duration_ms, 100u);
+  profiler.Stop();
+
+  stop.store(true, std::memory_order_release);
+  worker.join();
+
+  // The window is a delta: far fewer samples than the cumulative total.
+  EXPECT_LE(second.samples, profiler.Snapshot().samples);
+  EXPECT_EQ(registry.GetCounter("obs.cpuprof.captures")->value(), 2u);
+}
+
+TEST(ObsCpuProf, MetricsReflectSamplerActivity) {
+  Tracer tracer;
+  MetricsRegistry registry;
+  CpuProfilerOptions options;
+  options.sample_hz = 997;
+  CpuProfiler profiler(&registry, &tracer, options);
+  ASSERT_TRUE(profiler.Start());
+  EXPECT_EQ(registry.GetGauge("obs.cpuprof.running")->value(), 1);
+  EXPECT_EQ(registry.GetGauge("obs.cpuprof.sample_hz")->value(), 997);
+  {
+    Span span = tracer.StartSpan("cpuprof.metrics.span");
+    uint64_t seen = 0;
+    for (int tries = 0; tries < 100 && seen == 0; ++tries) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      seen = registry.GetCounter("obs.cpuprof.samples")->value();
+    }
+    EXPECT_GT(seen, 0u);
+  }
+  profiler.Stop();
+  EXPECT_EQ(registry.GetGauge("obs.cpuprof.running")->value(), 0);
+  EXPECT_GT(registry.GetCounter("obs.cpuprof.ticks")->value(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Export shapes
+// ---------------------------------------------------------------------------
+
+// A deterministic profile: one worker holds a fixed nest, sample, then
+// check both export shapes carry the collapsed path.
+TEST(ObsCpuProf, ExportsCollapsedTextAndSpeedscopeJson) {
+  Tracer tracer;
+  MetricsRegistry registry;
+  CpuProfilerOptions options;
+  options.sample_hz = 997;
+  CpuProfiler profiler(&registry, &tracer, options);
+  ASSERT_TRUE(profiler.Start());
+
+  std::atomic<bool> stop{false};
+  std::thread worker([&] {
+    Span outer = tracer.StartSpan("cpuprof.export.outer");
+    Span inner = tracer.StartSpan("cpuprof.export.inner");
+    while (!stop.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  CpuProfile profile;
+  for (int tries = 0; tries < 100; ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    profile = profiler.Snapshot();
+    if (profile.CountWithPrefix("cpuprof.export.outer;cpuprof.export.inner") >
+        0) {
+      break;
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  worker.join();
+  profiler.Stop();
+
+  const std::string collapsed = profile.ToCollapsed();
+  EXPECT_NE(collapsed.find("cpuprof.export.outer;cpuprof.export.inner "),
+            std::string::npos);
+
+  const std::string json = profile.ToJson();
+  EXPECT_NE(json.find("\"schema\":\"slim-cpuprofile-v1\""),
+            std::string::npos);
+  EXPECT_NE(
+      json.find(
+          "\"$schema\":\"https://www.speedscope.app/file-format-schema.json\""),
+      std::string::npos);
+  EXPECT_NE(json.find("\"shared\":{\"frames\":["), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"sampled\""), std::string::npos);
+  EXPECT_NE(json.find("\"weights\":["), std::string::npos);
+  EXPECT_NE(json.find("cpuprof.export.inner"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // one-line document
+}
+
+// ---------------------------------------------------------------------------
+// Flight-recorder integration: both bundle shapes stay valid JSON
+// ---------------------------------------------------------------------------
+
+TEST(ObsCpuProf, BundleCarriesNullWithoutAProfileAndObjectWithOne) {
+  FlightRecorder recorder(8, 8);
+
+  // Shape 1: no capture stored — the section renders as an explicit null.
+  std::string bundle = recorder.RenderBundle();
+  EXPECT_NE(bundle.find("\"cpu_profile\":null"), std::string::npos);
+
+  // Shape 2: a stored capture embeds verbatim as an object.
+  CpuProfile profile;
+  profile.mode = "ticker";
+  profile.sample_hz = 99;
+  recorder.SetCpuProfile(profile.ToJson());
+  bundle = recorder.RenderBundle();
+  EXPECT_EQ(bundle.find("\"cpu_profile\":null"), std::string::npos);
+  EXPECT_NE(bundle.find("\"cpu_profile\":{\"schema\":\"slim-cpuprofile-v1\""),
+            std::string::npos);
+
+  // Clearing with an empty string restores the null shape.
+  recorder.SetCpuProfile("");
+  bundle = recorder.RenderBundle();
+  EXPECT_NE(bundle.find("\"cpu_profile\":null"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// StatsServer: the live /profile endpoints over a real socket
+// ---------------------------------------------------------------------------
+
+TEST(ObsCpuProf, ProfileEndpointsServeUnderLiveLoad) {
+  Tracer tracer;
+  MetricsRegistry registry;
+  CpuProfilerOptions options;
+  options.sample_hz = 997;
+  CpuProfiler profiler(&registry, &tracer, options);
+  ASSERT_TRUE(profiler.Start());
+
+  std::atomic<bool> stop{false};
+  std::thread worker([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      Span span = tracer.StartSpan("cpuprof.http.work");
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  StatsServer server(&registry, /*port=*/0);
+  server.set_cpu_profiler(&profiler);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Let the cumulative aggregate fill before scraping it.
+  for (int tries = 0; tries < 100; ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (profiler.Snapshot().CountWithPrefix("cpuprof.http.work") > 0) break;
+  }
+
+  // The JSON endpoint captures a fresh 1s window under live load.
+  std::string response = HttpGet(server.port(), "/profile/cpu?seconds=1");
+  ASSERT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  ASSERT_NE(response.find("application/json"), std::string::npos);
+  std::string body = Body(response);
+  EXPECT_NE(body.find("\"schema\":\"slim-cpuprofile-v1\""),
+            std::string::npos);
+  EXPECT_NE(body.find("\"duration_ms\":1000"), std::string::npos);
+  EXPECT_NE(body.find("cpuprof.http.work"), std::string::npos);
+
+  // The collapsed endpoint defaults to the cumulative aggregate (instant).
+  response = HttpGet(server.port(), "/profile/cpu.collapsed");
+  ASSERT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  ASSERT_NE(response.find("text/plain"), std::string::npos);
+  EXPECT_NE(Body(response).find("cpuprof.http.work "), std::string::npos);
+
+  server.Stop();
+  stop.store(true, std::memory_order_release);
+  worker.join();
+  profiler.Stop();
+}
+
+TEST(ObsCpuProf, ProfileEndpointWithoutProfilerIs404) {
+  MetricsRegistry registry;
+  StatsServer server(&registry, /*port=*/0);
+  ASSERT_TRUE(server.Start().ok());
+  std::string response = HttpGet(server.port(), "/profile/cpu");
+  EXPECT_NE(response.find("404 Not Found"), std::string::npos);
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog: a stall trip embeds a capture in the flight bundle
+// ---------------------------------------------------------------------------
+
+TEST(ObsCpuProf, WatchdogStallTripEmbedsACpuProfile) {
+  Tracer tracer;
+  MetricsRegistry registry;
+  CpuProfilerOptions prof_options;
+  prof_options.sample_hz = 997;
+  CpuProfiler profiler(&registry, &tracer, prof_options);
+
+  WatchdogOptions dog_options;
+  dog_options.trip_profile_ms = 100;
+  Watchdog dog(&registry, &tracer, dog_options);
+  dog.set_cpu_profiler(&profiler);
+  dog.SetSpanDeadline("cpuprof.stall.me", 10);
+  dog.Arm();
+
+  // The profiler must be sampling before the stalled span starts: frames
+  // are pushed at StartSpan time.
+  ASSERT_TRUE(profiler.Start());
+  DefaultFlightRecorder().SetCpuProfile("");  // start from the null shape
+
+  std::atomic<bool> stop{false};
+  std::thread stalled([&] {
+    Span span = tracer.StartSpan("cpuprof.stall.me");
+    while (!stop.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  // Wait until the span is live in the deadline-filtered registry.
+  for (int tries = 0; tries < 100 && tracer.ActiveSpans().empty(); ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_FALSE(tracer.ActiveSpans().empty());
+
+  // Far past the 10ms deadline on the tracer's clock: a guaranteed stall.
+  const uint64_t far_future =
+      tracer.ActiveSpans().front().start_ns + 3'600'000'000'000ull;
+  EXPECT_GE(dog.CheckSpansAt(far_future), 1u);
+
+  // The fresh trip captured a 100ms window into the default recorder.
+  const std::string bundle = DefaultFlightRecorder().RenderBundle();
+  EXPECT_EQ(bundle.find("\"cpu_profile\":null"), std::string::npos);
+  EXPECT_NE(bundle.find("\"cpu_profile\":{\"schema\":\"slim-cpuprofile-v1\""),
+            std::string::npos);
+  EXPECT_NE(bundle.find("cpuprof.stall.me"), std::string::npos);
+
+  stop.store(true, std::memory_order_release);
+  stalled.join();
+  profiler.Stop();
+  dog.Disarm();
+  DefaultFlightRecorder().SetCpuProfile("");
+}
+
+// ---------------------------------------------------------------------------
+// Itimer mode: SIGPROF handler -> lock-free ring -> drain thread
+// ---------------------------------------------------------------------------
+
+TEST(ObsCpuProf, ItimerModeSamplesCpuBurners) {
+  Tracer tracer;
+  MetricsRegistry registry;
+  CpuProfilerOptions options;
+  options.mode = CpuProfilerMode::kItimer;
+  options.sample_hz = 250;
+  CpuProfiler profiler(&registry, &tracer, options);
+  ASSERT_TRUE(profiler.Start());
+
+  // Only one itimer profiler may own SIGPROF at a time.
+  CpuProfiler rival(&registry, &tracer, options);
+  EXPECT_FALSE(rival.Start());
+
+  // Burn CPU inside a span until the handler has attributed samples
+  // (ITIMER_PROF fires on consumed CPU time, so wall deadlines alone
+  // would be flaky on loaded machines — spin, then check).
+  {
+    Span span = tracer.StartSpan("cpuprof.itimer.burn");
+    volatile uint64_t sink = 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (profiler.Snapshot().CountWithPrefix("cpuprof.itimer.burn") == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      for (int i = 0; i < 100000; ++i) sink = sink * 33 + 1;
+    }
+  }
+  profiler.Stop();
+
+  const CpuProfile profile = profiler.Snapshot();
+  EXPECT_EQ(profile.mode, "itimer");
+  EXPECT_GT(profile.CountWithPrefix("cpuprof.itimer.burn"), 0u);
+
+  // The slot freed on Stop: a new itimer profiler can start again.
+  ASSERT_TRUE(rival.Start());
+  rival.Stop();
+}
+
+}  // namespace
+}  // namespace slim::obs

@@ -38,8 +38,12 @@ Catalog FixtureCatalog() {
 TEST(LintCatalog, ParsesOnlyTypedTableRows) {
   Catalog catalog = FixtureCatalog();
   // 3 (brace) + 2 + 1 + 1 + 1 + 1 + 1 + 2 (brace) + 1 + 2 (store)
-  // + 3 (nested brace) = 18; the untyped `not.a.metric` row is skipped.
-  EXPECT_EQ(catalog.size(), 18u);
+  // + 3 (nested brace) + 2 (cpuprof brace) + 1 (evicted) = 21; the
+  // untyped `not.a.metric` row is skipped.
+  EXPECT_EQ(catalog.size(), 21u);
+  EXPECT_TRUE(catalog.MatchesExact("obs.cpuprof.samples"));
+  EXPECT_TRUE(catalog.MatchesExact("obs.profile.evicted"));
+  EXPECT_FALSE(catalog.MatchesExact("obs.profile.evicted.total"));
   EXPECT_FALSE(catalog.MatchesExact("not.a.metric"));
 }
 
@@ -130,6 +134,8 @@ TEST(LintCatalog, RealCatalogLoadsAndCoversKnownNames) {
   EXPECT_TRUE(catalog.MatchesExact("trim.add.ok"));
   EXPECT_TRUE(catalog.MatchesExact("slim.query.execute"));
   EXPECT_TRUE(catalog.MatchesExact("log.events.error"));
+  EXPECT_TRUE(catalog.MatchesExact("obs.cpuprof.samples_idle"));
+  EXPECT_TRUE(catalog.MatchesExact("obs.profile.evicted"));
   EXPECT_TRUE(catalog.MatchesPrefix("mark.create.module."));
 }
 
@@ -327,6 +333,12 @@ TEST(LintTreeFixtures, ExactDiagnosticsAndExitCode) {
   for (const Diagnostic& d : diags) got.push_back(FormatDiagnostic(d));
 
   const std::vector<std::string> want = {
+      "src/obs/bad_cpuprof_names.cc:8: [obs-name] SLIM_OBS_COUNT name "
+      "\"obs.cpuprof.flamegraphs\" is not in the DESIGN.md metric-name "
+      "catalog",
+      "src/obs/bad_cpuprof_names.cc:10: [obs-name] SLIM_OBS_COUNT name "
+      "\"obs.profile.evicted.total\" is not in the DESIGN.md metric-name "
+      "catalog",
       "src/obs/bad_mutex.cc:9: [raw-mutex] raw std::mutex declared in "
       "instrumented layer 'obs'; use util::InstrumentedMutex with a named "
       "lock site, or annotate the line with '// slim-lint: "

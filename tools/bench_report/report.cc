@@ -296,6 +296,17 @@ bool ParseBenchJson(const std::string& text, BenchFile* out,
     }
     out->benchmarks.push_back(std::move(result));
   }
+  out->rusage = BenchRusageInfo{};
+  if (const JsonValue* usage = root.Find("rusage");
+      usage != nullptr && usage->kind == JsonValue::Kind::kObject) {
+    out->rusage.present = true;
+    out->rusage.max_rss_kb =
+        static_cast<uint64_t>(NumberOr(usage->Find("max_rss_kb"), 0));
+    out->rusage.user_cpu_us =
+        static_cast<uint64_t>(NumberOr(usage->Find("user_cpu_us"), 0));
+    out->rusage.sys_cpu_us =
+        static_cast<uint64_t>(NumberOr(usage->Find("sys_cpu_us"), 0));
+  }
   return true;
 }
 
@@ -321,6 +332,8 @@ DiffReport DiffBenchFiles(const BenchFile& older, const BenchFile& newer,
   report.threshold_pct = threshold_pct;
   report.comparable = older.obs_enabled == newer.obs_enabled;
   report.provenance = older.git_sha + " -> " + newer.git_sha;
+  report.old_rusage = older.rusage;
+  report.new_rusage = newer.rusage;
   std::map<std::string, const BenchmarkResult*> old_by_name;
   for (const BenchmarkResult& b : older.benchmarks) old_by_name[b.name] = &b;
   std::map<std::string, bool> seen;
@@ -336,9 +349,16 @@ DiffReport DiffBenchFiles(const BenchFile& older, const BenchFile& newer,
       seen[b.name] = true;
       row.old_p50 = it->second->real_p50;
       row.old_p95 = it->second->real_p95;
+      row.old_cpu_p50 = it->second->cpu_p50;
+      row.new_cpu_p50 = b.cpu_p50;
       if (row.old_p50 > 0) {
         row.delta_pct = (row.new_p50 - row.old_p50) / row.old_p50 * 100.0;
         row.regression = row.delta_pct > threshold_pct;
+      }
+      // CPU-time drift rides along for the eye; only real_p50 gates.
+      if (row.old_cpu_p50 > 0) {
+        row.cpu_delta_pct =
+            (row.new_cpu_p50 - row.old_cpu_p50) / row.old_cpu_p50 * 100.0;
       }
       if (row.regression) ++report.regressions;
     }
@@ -372,6 +392,12 @@ std::string FormatDiff(const DiffReport& report) {
     } else if (row.only_in_old) {
       std::snprintf(line, sizeof(line), "  GONE     %-48s p50 %.3f\n",
                     row.name.c_str(), row.old_p50);
+    } else if (row.old_cpu_p50 > 0) {
+      std::snprintf(line, sizeof(line),
+                    "  %-8s %-48s p50 %.3f -> %.3f (%+.1f%%)  cpu %+.1f%%\n",
+                    row.regression ? "REGRESS" : "ok", row.name.c_str(),
+                    row.old_p50, row.new_p50, row.delta_pct,
+                    row.cpu_delta_pct);
     } else {
       std::snprintf(line, sizeof(line),
                     "  %-8s %-48s p50 %.3f -> %.3f (%+.1f%%)\n",
@@ -379,6 +405,21 @@ std::string FormatDiff(const DiffReport& report) {
                     row.old_p50, row.new_p50, row.delta_pct);
     }
     out << line;
+  }
+  if (report.old_rusage.present && report.new_rusage.present) {
+    const BenchRusageInfo& o = report.old_rusage;
+    const BenchRusageInfo& n = report.new_rusage;
+    char usage_line[256];
+    std::snprintf(usage_line, sizeof(usage_line),
+                  "rusage: max_rss %llu -> %llu KiB, user_cpu %llu -> %llu "
+                  "us, sys_cpu %llu -> %llu us (informational)\n",
+                  static_cast<unsigned long long>(o.max_rss_kb),
+                  static_cast<unsigned long long>(n.max_rss_kb),
+                  static_cast<unsigned long long>(o.user_cpu_us),
+                  static_cast<unsigned long long>(n.user_cpu_us),
+                  static_cast<unsigned long long>(o.sys_cpu_us),
+                  static_cast<unsigned long long>(n.sys_cpu_us));
+    out << usage_line;
   }
   out << (report.regressions == 0
               ? "no regressions."

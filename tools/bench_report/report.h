@@ -32,6 +32,15 @@ struct BenchmarkResult {
   std::vector<std::pair<std::string, double>> counters;
 };
 
+// Optional whole-process resource usage (additive slim-bench-v1 field;
+// absent on files written before it existed, so `present` gates use).
+struct BenchRusageInfo {
+  bool present = false;
+  uint64_t max_rss_kb = 0;
+  uint64_t user_cpu_us = 0;
+  uint64_t sys_cpu_us = 0;
+};
+
 struct BenchFile {
   std::string schema;
   std::string bench;
@@ -39,6 +48,7 @@ struct BenchFile {
   std::string build_flags;
   bool obs_enabled = false;
   std::vector<BenchmarkResult> benchmarks;
+  BenchRusageInfo rusage;
 };
 
 // Parses a slim-bench-v1 document. Returns false (and sets *error) on
@@ -59,6 +69,9 @@ struct DiffRow {
   double old_p95 = 0;
   double new_p95 = 0;
   double delta_pct = 0;  // (new_p50 - old_p50) / old_p50 * 100
+  double old_cpu_p50 = 0;
+  double new_cpu_p50 = 0;
+  double cpu_delta_pct = 0;  // informational; never gates
   bool regression = false;
 };
 
@@ -68,6 +81,9 @@ struct DiffReport {
   double threshold_pct = 0;
   bool comparable = true;    // false when obs_enabled differs between files
   std::string provenance;    // "abc123 -> def456" style header material
+  // Whole-process rusage from each side, when the files carry it.
+  BenchRusageInfo old_rusage;
+  BenchRusageInfo new_rusage;
 };
 
 // Compares matching benchmark families by real_p50. A row regresses when

@@ -1,0 +1,11 @@
+#include "obs/obs.h"
+
+// Seeded violations for the sampling-profiler metric families: bogus
+// obs.cpuprof.* / obs.profile.* names next to catalogued ones, proving
+// the brace row and the exact eviction row gate them.
+void FixtureBadCpuprofNames() {
+  SLIM_OBS_COUNT("obs.cpuprof.samples");        // clean: brace row
+  SLIM_OBS_COUNT("obs.cpuprof.flamegraphs");    // not in the catalog
+  SLIM_OBS_COUNT("obs.profile.evicted");        // clean: exact row
+  SLIM_OBS_COUNT("obs.profile.evicted.total");  // not in the catalog
+}
